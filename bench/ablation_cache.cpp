@@ -1,0 +1,69 @@
+// Ablation — cache size vs bus energy.
+//
+// The paper's related work highlights "exploration and optimization of
+// the bus system in combination with caches" (Givargis, Vahid, Henkel).
+// This bench sweeps the core's I/D cache sizes and reports how the EC
+// bus traffic — and with it the bus-interface energy — responds while
+// the executed program stays identical.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "power/tl1_power_model.h"
+#include "soc/smartcard.h"
+#include "soc/sw_crypto.h"
+#include "trace/report.h"
+
+int main() {
+  using namespace sct;
+
+  const auto& table = bench::characterizedTable();
+  // The software cipher: ~280 B of round-loop code plus a 256 B S-box
+  // and key/data in RAM — a working set that straddles the small cache
+  // sizes of real smart cards.
+  const auto firmware = soc::swEncryptProgram(/*blocks=*/6);
+
+  std::printf("Ablation: cache size vs bus traffic and energy "
+              "(software cipher, 6 blocks, line = 16 B)\n\n");
+  trace::Table t({"I$/D$ bytes", "Cycles", "CPI", "I$ hit", "D$ hit",
+                  "Fetch bursts", "Bus txns", "Energy (pJ)"});
+
+  for (std::size_t size : {256u, 512u, 1024u, 4096u, 8192u}) {
+    soc::SocConfig cfg;
+    cfg.cpu.icacheBytes = size;
+    cfg.cpu.dcacheBytes = size;
+    soc::SmartCardSoC<bus::Tl1Bus> card{cfg};
+    power::Tl1PowerModel pm(table);
+    card.bus().addObserver(pm);
+    card.loadProgram(firmware);
+    const std::uint32_t key[4] = {0xA1B2C3D4, 0x11223344, 0x55667788,
+                                  0x99AABBCC};
+    for (unsigned i = 0; i < 4; ++i) {
+      card.ram().pokeWord(soc::memmap::kRamBase + 4 * i, key[i]);
+    }
+    for (unsigned b = 0; b < 12; ++b) {
+      card.ram().pokeWord(soc::memmap::kRamBase + 0x20 + 4 * b,
+                          0x1357 * (b + 1));
+    }
+    if (!card.run(20'000'000) || card.cpu().faulted()) {
+      std::printf("run failed at cache size %zu!\n", size);
+      return 1;
+    }
+    t.addRow({std::to_string(size),
+              std::to_string(card.cpu().stats().cycles),
+              trace::Table::num(card.cpu().stats().cpi(), 2),
+              trace::Table::pct(card.cpu().icache().stats().hitRate(), 1),
+              trace::Table::pct(card.cpu().dcache().stats().hitRate(), 1),
+              std::to_string(card.bus().stats().instrTransactions),
+              std::to_string(card.bus().stats().transactions()),
+              trace::Table::num(pm.totalEnergy_fJ() / 1e3, 1)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nSmaller caches turn conflict misses into 4-beat refill bursts:\n"
+      "cycles and bus energy climb while the program is unchanged —\n"
+      "the cache/bus co-exploration axis of the related work, available\n"
+      "here at transaction-level cost.\n");
+  return 0;
+}

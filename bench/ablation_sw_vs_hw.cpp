@@ -1,0 +1,162 @@
+// Ablation — software cipher vs crypto coprocessor.
+//
+// The paper's opening motivation: "To reach performance goals while
+// power consumption stays constant requires fast software code for
+// execution at low clock frequencies. Algorithms with high
+// computational effort, like cryptographic algorithms, are often
+// supported by dedicated coprocessors. The chosen HW/SW interface to
+// control these coprocessors influences both system performance and
+// power consumption."
+//
+// This bench runs the same 16-round Feistel cipher (a) in software on
+// the simulated core and (b) on the crypto coprocessor through its SFR
+// interface, for increasing block counts, and reports cycles, bus
+// transactions and estimated bus-interface energy.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "power/tl1_power_model.h"
+#include "soc/smartcard.h"
+#include "soc/sw_crypto.h"
+#include "trace/report.h"
+
+namespace {
+
+using namespace sct;
+
+struct Run {
+  std::uint64_t cycles = 0;
+  std::uint64_t busTxns = 0;
+  double energy_fJ = 0.0;
+  bool ok = false;
+};
+
+const std::uint32_t kKey[4] = {0x01234567, 0x89ABCDEF, 0xFEDCBA98,
+                               0x76543210};
+
+Run runSoftware(unsigned blocks, const power::SignalEnergyTable& table) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  power::Tl1PowerModel pm(table);
+  card.bus().addObserver(pm);
+  card.loadProgram(soc::swEncryptProgram(blocks));
+  for (unsigned i = 0; i < 4; ++i) {
+    card.ram().pokeWord(soc::memmap::kRamBase + 4 * i, kKey[i]);
+  }
+  for (unsigned b = 0; b < 2 * blocks; ++b) {
+    card.ram().pokeWord(soc::memmap::kRamBase + 0x20 + 4 * b,
+                        0x1000 * (b + 1) + b);
+  }
+  Run r;
+  r.ok = card.run(20'000'000) && !card.cpu().faulted();
+  r.cycles = card.cpu().stats().cycles;
+  r.busTxns = card.bus().stats().transactions();
+  r.energy_fJ = pm.totalEnergy_fJ();
+  // Verify one block against the reference cipher.
+  std::uint32_t d0 = 0x1000 * 1 + 0;
+  std::uint32_t d1 = 0x1000 * 2 + 1;
+  soc::CryptoCoprocessor::encryptBlock(kKey, d0, d1);
+  r.ok = r.ok && card.ram().peekWord(soc::memmap::kRamBase + 0x20) == d0 &&
+         card.ram().peekWord(soc::memmap::kRamBase + 0x24) == d1;
+  return r;
+}
+
+Run runHardware(unsigned blocks, const power::SignalEnergyTable& table) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  power::Tl1PowerModel pm(table);
+  card.bus().addObserver(pm);
+  // Firmware: load key once, then per block: write DATA, start, poll
+  // STATUS, read back, store to RAM.
+  const std::string fw = R"(
+    li   $s0, 0x10000400
+    li   $s1, 0x08000000    # key source / data buffer in RAM
+    lw   $t0, 0($s1)
+    sw   $t0, 0($s0)
+    lw   $t0, 4($s1)
+    sw   $t0, 4($s0)
+    lw   $t0, 8($s1)
+    sw   $t0, 8($s0)
+    lw   $t0, 12($s1)
+    sw   $t0, 12($s0)
+    li   $s2, 0x08000020    # block pointer
+    addiu $s3, $zero, )" + std::to_string(blocks) + R"(
+  block:
+    lw   $t0, 0($s2)
+    sw   $t0, 0x10($s0)
+    lw   $t0, 4($s2)
+    sw   $t0, 0x14($s0)
+    addiu $t0, $zero, 1
+    sw   $t0, 0x18($s0)
+  busy:
+    lw   $t1, 0x1C($s0)
+    bne  $t1, $zero, busy
+    lw   $t2, 0x10($s0)
+    sw   $t2, 0($s2)
+    lw   $t2, 0x14($s0)
+    sw   $t2, 4($s2)
+    addiu $s2, $s2, 8
+    addiu $s3, $s3, -1
+    bne  $s3, $zero, block
+    break
+  )";
+  card.loadProgram(soc::assemble(fw, soc::memmap::kRomBase));
+  for (unsigned i = 0; i < 4; ++i) {
+    card.ram().pokeWord(soc::memmap::kRamBase + 4 * i, kKey[i]);
+  }
+  for (unsigned b = 0; b < 2 * blocks; ++b) {
+    card.ram().pokeWord(soc::memmap::kRamBase + 0x20 + 4 * b,
+                        0x1000 * (b + 1) + b);
+  }
+  Run r;
+  r.ok = card.run(20'000'000) && !card.cpu().faulted();
+  r.cycles = card.cpu().stats().cycles;
+  r.busTxns = card.bus().stats().transactions();
+  r.energy_fJ = pm.totalEnergy_fJ();
+  std::uint32_t d0 = 0x1000 * 1 + 0;
+  std::uint32_t d1 = 0x1000 * 2 + 1;
+  soc::CryptoCoprocessor::encryptBlock(kKey, d0, d1);
+  r.ok = r.ok && card.ram().peekWord(soc::memmap::kRamBase + 0x20) == d0 &&
+         card.ram().peekWord(soc::memmap::kRamBase + 0x24) == d1;
+  return r;
+}
+
+} // namespace
+
+int main() {
+  const auto& table = sct::bench::characterizedTable();
+
+  std::printf("Ablation: software cipher vs crypto coprocessor\n"
+              "(same 16-round Feistel cipher, same key and plaintexts; "
+              "energy is the EC bus-interface estimate)\n\n");
+  sct::trace::Table t({"Blocks", "Impl", "Cycles", "Cycles/blk",
+                       "Bus txns", "Energy (pJ)", "pJ/blk", "OK"});
+  for (unsigned blocks : {1u, 4u, 16u}) {
+    const Run sw = runSoftware(blocks, table);
+    const Run hw = runHardware(blocks, table);
+    for (const auto& [name, r] : {std::pair{"software", sw},
+                                  std::pair{"coprocessor", hw}}) {
+      t.addRow({std::to_string(blocks), name, std::to_string(r.cycles),
+                std::to_string(r.cycles / blocks),
+                std::to_string(r.busTxns),
+                sct::trace::Table::num(r.energy_fJ / 1e3, 1),
+                sct::trace::Table::num(r.energy_fJ / 1e3 / blocks, 1),
+                r.ok ? "yes" : "NO"});
+    }
+  }
+  t.print(std::cout);
+
+  const Run sw16 = runSoftware(16, table);
+  const Run hw16 = runHardware(16, table);
+  std::printf(
+      "\nAt 16 blocks the coprocessor is %.1fx faster — but its SFR\n"
+      "interface costs ~%llu bus transactions per block, so the *bus*\n"
+      "energy share of the coprocessor (%.0f pJ) approaches or exceeds\n"
+      "the cache-resident software's (%.0f pJ). The speed win is clear;\n"
+      "the energy win depends entirely on the HW/SW interface — which\n"
+      "is precisely what the paper's Section 4.3 exploration optimizes.\n",
+      static_cast<double>(sw16.cycles) / static_cast<double>(hw16.cycles),
+      static_cast<unsigned long long>(hw16.busTxns / 16),
+      hw16.energy_fJ / 1e3, sw16.energy_fJ / 1e3);
+  return 0;
+}

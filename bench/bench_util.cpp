@@ -1,0 +1,156 @@
+#include "bench_util.h"
+
+namespace sct::bench {
+
+const soc::AssembledProgram& workloadFirmware() {
+  static const soc::AssembledProgram program = soc::assemble(R"(
+  # Evaluation firmware: the kind of assembly test program the paper
+  # traced on the RTL. Mixes fetch-heavy computation, flash->RAM block
+  # copy, EEPROM programming, TRNG draws, UART output with status
+  # polling, and a crypto-coprocessor operation.
+
+    # --- Phase 1: computation (fetch/branch heavy) -------------------
+    addiu $t0, $zero, 64
+    addiu $t1, $zero, 0
+  calc:
+    addu  $t1, $t1, $t0
+    sll   $t2, $t1, 1
+    xor   $t1, $t1, $t2
+    andi  $t1, $t1, 0x7FFF
+    addiu $t0, $t0, -1
+    bne   $t0, $zero, calc
+
+    # --- Phase 2: copy 32 words flash -> RAM -------------------------
+    li    $s0, 0x0C000100   # flash source
+    li    $s1, 0x08000100   # RAM destination
+    addiu $t0, $zero, 32
+  copy:
+    lw    $t2, 0($s0)
+    sw    $t2, 0($s1)
+    addiu $s0, $s0, 4
+    addiu $s1, $s1, 4
+    addiu $t0, $t0, -1
+    bne   $t0, $zero, copy
+
+    # --- Phase 3: program 8 words into EEPROM ------------------------
+    li    $s0, 0x0A000040
+    addiu $t0, $zero, 8
+  eep:
+    sll   $t2, $t0, 8
+    or    $t2, $t2, $t0
+    sw    $t2, 0($s0)
+    addiu $s0, $s0, 4
+    addiu $t0, $t0, -1
+    bne   $t0, $zero, eep
+
+    # --- Phase 4: TRNG draws ------------------------------------------
+    li    $s0, 0x10000300
+    addiu $t0, $zero, 4
+    addiu $t3, $zero, 0
+  rng:
+    lw    $t2, 0($s0)
+    xor   $t3, $t3, $t2
+    addiu $t0, $t0, -1
+    bne   $t0, $zero, rng
+    li    $s1, 0x08000080
+    sw    $t3, 0($s1)
+
+    # --- Phase 5: UART output with status polling ---------------------
+    li    $s0, 0x10000200
+    addiu $t0, $zero, 0x42   # 'B'
+    jal   putc
+    addiu $t0, $zero, 0x55   # 'U'
+    jal   putc
+    addiu $t0, $zero, 0x53   # 'S'
+    jal   putc
+    j     crypto
+
+  putc:
+    lw    $t1, 4($s0)
+    andi  $t1, $t1, 1
+    beq   $t1, $zero, putc
+    sw    $t0, 0($s0)
+    jr    $ra
+
+    # --- Phase 6: crypto coprocessor ----------------------------------
+  crypto:
+    li    $s0, 0x10000400
+    li    $t0, 0x01234567
+    sw    $t0, 0($s0)
+    li    $t0, 0x89ABCDEF
+    sw    $t0, 4($s0)
+    li    $t0, 0xFEDCBA98
+    sw    $t0, 8($s0)
+    li    $t0, 0x76543210
+    sw    $t0, 12($s0)
+    li    $t0, 0xCAFEBABE
+    sw    $t0, 0x10($s0)
+    li    $t0, 0xDEADBEEF
+    sw    $t0, 0x14($s0)
+    addiu $t0, $zero, 1
+    sw    $t0, 0x18($s0)
+  busy:
+    lw    $t1, 0x1C($s0)
+    bne   $t1, $zero, busy
+    lw    $t2, 0x10($s0)
+    lw    $t3, 0x14($s0)
+    li    $s1, 0x08000090
+    sw    $t2, 0($s1)
+    sw    $t3, 4($s1)
+    break
+  )",
+                                                soc::memmap::kRomBase);
+  return program;
+}
+
+const trace::BusTrace& firmwareTrace() {
+  static const trace::BusTrace t = [] {
+    soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+    trace::TraceRecorder recorder;
+    card.bus().addObserver(recorder);
+    card.loadProgram(workloadFirmware());
+    card.run();
+    return recorder.take();
+  }();
+  return t;
+}
+
+const trace::BusTrace& evaluationWorkload() {
+  static const trace::BusTrace workload = [] {
+    // EC-spec verification examples target RAM (zero-wait) and EEPROM
+    // (waited) windows of the platform.
+    trace::TargetRegion fast{soc::memmap::kRamBase, soc::memmap::kRamSize,
+                             true, true, true};
+    trace::TargetRegion waited{soc::memmap::kEepromBase,
+                               soc::memmap::kEepromSize, true, true, true};
+    trace::BusTrace all = trace::verificationTrace(fast, waited);
+
+    trace::BusTrace fw = trace::compressGaps(firmwareTrace(), 6);
+    all.append(fw, 200);
+    const std::uint64_t fwEnd =
+        fw.empty() ? 0 : fw.entries().back().issueCycle;
+
+    trace::MixRatios mix;
+    mix.instrFetch = 2;
+    const auto regions = platformRegions();
+    all.append(trace::randomMixStyled(555, 200, regions, mix, 1,
+                                      trace::DataStyle::Realistic),
+               200 + fwEnd + 100);
+    return all;
+  }();
+  return workload;
+}
+
+const power::SignalEnergyTable& characterizedTable() {
+  static const power::SignalEnergyTable table = [] {
+    ReplayPlatform<ref::GlBus> platform(energyModel());
+    power::Characterizer ch(energyModel());
+    platform.ecbus.addFrameListener(ch);
+    const auto regions = platformRegions();
+    platform.replay(trace::characterizationTrace(1234, 1500, regions));
+    return ch.buildTable();
+  }();
+  return table;
+}
+
+} // namespace sct::bench

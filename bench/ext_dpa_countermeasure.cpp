@@ -1,0 +1,139 @@
+// Extension — power-analysis countermeasure evaluation.
+//
+// The paper's security motivation: "Estimation of power consumption
+// over time is important to reduce the probability of a successful
+// power analysis attack." This bench uses the layer-1 cycle-accurate
+// energy interface to evaluate a classic SPA/DPA countermeasure —
+// random dummy bus traffic interleaved with the sensitive operation —
+// before any silicon exists.
+//
+// Method: run crypto firmware with two plaintexts of extreme Hamming
+// weights, compute the per-cycle |profile difference| an attacker
+// would integrate, then repeat with TRNG-driven dummy accesses mixed
+// into the data-loading phase and compare the leakage metrics.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "power/profile.h"
+#include "power/tl1_power_model.h"
+#include "soc/smartcard.h"
+#include "trace/report.h"
+
+namespace {
+
+using namespace sct;
+
+power::PowerProfile runFirmware(const std::string& d0, const std::string& d1,
+                                bool masked,
+                                const power::SignalEnergyTable& table) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  power::Tl1PowerModel pm(table);
+  power::PowerProfile profile(30'000);
+  power::Tl1ProfileRecorder rec(pm, profile);
+  card.bus().addObserver(pm);
+  card.bus().addObserver(rec);
+
+  // The countermeasure: before touching each sensitive data word, the
+  // masked variant draws a TRNG word and writes it to a scratch SFR-free
+  // RAM location — injecting data-independent bus activity between the
+  // key-dependent transfers.
+  const std::string dummy = masked ? R"(
+    lw   $t6, 0($s2)      # TRNG draw
+    sw   $t6, 0x40($s3)   # dummy RAM write
+  )"
+                                   : "\n";
+  const std::string fw = std::string(R"(
+    li   $s0, 0x10000400  # crypto
+    li   $s2, 0x10000300  # TRNG
+    li   $s3, 0x08000100  # scratch RAM
+    li   $t0, 0x0F1E2D3C
+    sw   $t0, 0($s0)
+    li   $t0, 0x4B5A6978
+    sw   $t0, 4($s0)
+    li   $t0, 0x8796A5B4
+    sw   $t0, 8($s0)
+    li   $t0, 0xC3D2E1F0
+    sw   $t0, 12($s0)
+  )") + dummy + R"(
+    li   $t0, )" + d0 + R"(
+    sw   $t0, 0x10($s0)
+  )" + dummy + R"(
+    li   $t0, )" + d1 + R"(
+    sw   $t0, 0x14($s0)
+  )" + dummy + R"(
+    addiu $t0, $zero, 1
+    sw   $t0, 0x18($s0)
+  busy:
+    lw   $t1, 0x1C($s0)
+    bne  $t1, $zero, busy
+    lw   $t2, 0x10($s0)
+    lw   $t3, 0x14($s0)
+    break
+  )";
+  card.loadProgram(soc::assemble(fw, soc::memmap::kRomBase));
+  card.run();
+  return profile;
+}
+
+struct Leakage {
+  double integratedDiff_fJ = 0.0;
+  double peakDiff_fJ = 0.0;
+};
+
+Leakage leakageBetween(const power::PowerProfile& a,
+                       const power::PowerProfile& b) {
+  Leakage l;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d =
+        a.samples()[i].energy_fJ - b.samples()[i].energy_fJ;
+    const double ad = d > 0 ? d : -d;
+    l.integratedDiff_fJ += ad;
+    if (ad > l.peakDiff_fJ) l.peakDiff_fJ = ad;
+  }
+  return l;
+}
+
+} // namespace
+
+int main() {
+  const auto& table = bench::characterizedTable();
+
+  const char* low0 = "0x00000000";
+  const char* low1 = "0x00000001";
+  const char* high0 = "0xFFFFFFFF";
+  const char* high1 = "0xFFFFFFFE";
+
+  const auto plainA = runFirmware(low0, low1, /*masked=*/false, table);
+  const auto plainB = runFirmware(high0, high1, /*masked=*/false, table);
+  const auto maskedA = runFirmware(low0, low1, /*masked=*/true, table);
+  const auto maskedB = runFirmware(high0, high1, /*masked=*/true, table);
+
+  const Leakage unprotected = leakageBetween(plainA, plainB);
+  const Leakage protectedL = leakageBetween(maskedA, maskedB);
+
+  std::printf("Extension: SPA/DPA countermeasure evaluation via the "
+              "cycle-accurate layer-1 energy interface\n\n");
+  trace::Table t({"Variant", "Cycles", "Integrated |diff| (pJ)",
+                  "Peak |diff| (fJ)", "Profile variance (fJ^2)"});
+  t.addRow({"unprotected", std::to_string(plainA.size()),
+            trace::Table::num(unprotected.integratedDiff_fJ / 1e3, 1),
+            trace::Table::num(unprotected.peakDiff_fJ, 0),
+            trace::Table::num(plainA.energyVariance_fJ2(), 0)});
+  t.addRow({"dummy-traffic masking", std::to_string(maskedA.size()),
+            trace::Table::num(protectedL.integratedDiff_fJ / 1e3, 1),
+            trace::Table::num(protectedL.peakDiff_fJ, 0),
+            trace::Table::num(maskedA.energyVariance_fJ2(), 0)});
+  t.print(std::cout);
+
+  std::printf(
+      "\nDummy TRNG traffic displaces and dilutes the key-dependent\n"
+      "transfers. Note the cost: %zu extra cycles per operation. The\n"
+      "point of the paper's cycle-accurate energy interface is that\n"
+      "this security/energy/performance trade-off can be quantified\n"
+      "at the transaction level, long before a power-analysis lab.\n",
+      maskedA.size() - plainA.size());
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Extension — early energy estimation for typical smart card
+// components (the paper's Section 5 outlook: "We will extend this
+// first model to allow an early energy estimation for several
+// different typical smart card components, like random number
+// generators, UARTs or timers").
+//
+// Firmware kernels exercising one peripheral each run on the full
+// layer-1 SoC with the energy model attached; the harness reports the
+// bus-interface energy and cycle cost per peripheral interaction.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "power/component_models.h"
+#include "power/tl1_power_model.h"
+#include "soc/smartcard.h"
+#include "trace/report.h"
+
+namespace {
+
+using namespace sct;
+
+struct KernelResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t busTransactions = 0;
+  double energy_fJ = 0.0;
+  bool ok = false;
+};
+
+KernelResult runKernel(const char* source,
+                       const power::SignalEnergyTable& table) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  power::Tl1PowerModel pm(table);
+  card.bus().addObserver(pm);
+  card.loadProgram(soc::assemble(source, soc::memmap::kRomBase));
+  KernelResult r;
+  r.ok = card.run() && !card.cpu().faulted();
+  r.cycles = card.cpu().stats().cycles;
+  r.busTransactions = card.bus().stats().transactions();
+  r.energy_fJ = pm.totalEnergy_fJ();
+  return r;
+}
+
+} // namespace
+
+int main() {
+  const auto& table = bench::characterizedTable();
+
+  struct Kernel {
+    const char* name;
+    const char* source;
+  };
+  const Kernel kernels[] = {
+      {"baseline (compute only)", R"(
+          addiu $t0, $zero, 200
+        loop:
+          addu $t1, $t1, $t0
+          addiu $t0, $t0, -1
+          bne $t0, $zero, loop
+          break
+      )"},
+      {"timer (poll 40 ticks)", R"(
+          li   $s0, 0x10000100
+          addiu $t0, $zero, 40
+          sw   $t0, 4($s0)     # COMPARE
+          addiu $t0, $zero, 1
+          sw   $t0, 8($s0)     # CTRL.enable
+        poll:
+          lw   $t1, 12($s0)
+          beq  $t1, $zero, poll
+          break
+      )"},
+      {"uart (print 8 bytes)", R"(
+          li   $s0, 0x10000200
+          addiu $t3, $zero, 8
+        next:
+          addiu $t0, $zero, 0x41
+        wait:
+          lw   $t1, 4($s0)
+          andi $t1, $t1, 1
+          beq  $t1, $zero, wait
+          sw   $t0, 0($s0)
+          addiu $t3, $t3, -1
+          bne  $t3, $zero, next
+          break
+      )"},
+      {"trng (draw 16 words)", R"(
+          li   $s0, 0x10000300
+          addiu $t3, $zero, 16
+        draw:
+          lw   $t1, 0($s0)
+          xor  $t2, $t2, $t1
+          addiu $t3, $t3, -1
+          bne  $t3, $zero, draw
+          break
+      )"},
+      {"crypto (2 block ops)", R"(
+          li   $s0, 0x10000400
+          addiu $t4, $zero, 2
+        op:
+          li   $t0, 0x13579BDF
+          sw   $t0, 0($s0)
+          sw   $t0, 4($s0)
+          sw   $t0, 8($s0)
+          sw   $t0, 12($s0)
+          li   $t0, 0x2468ACE0
+          sw   $t0, 0x10($s0)
+          sw   $t0, 0x14($s0)
+          addiu $t0, $zero, 1
+          sw   $t0, 0x18($s0)
+        busy:
+          lw   $t1, 0x1C($s0)
+          bne  $t1, $zero, busy
+          lw   $t2, 0x10($s0)
+          lw   $t3, 0x14($s0)
+          addiu $t4, $t4, -1
+          bne  $t4, $zero, op
+          break
+      )"},
+  };
+
+  std::printf("Extension: early energy estimation per smart-card "
+              "peripheral\n(full layer-1 SoC, firmware kernels; energy "
+              "is the EC bus-interface share)\n\n");
+  sct::trace::Table t({"Kernel", "Cycles", "Bus txns", "Energy (pJ)",
+                       "pJ/txn", "OK"});
+  for (const Kernel& k : kernels) {
+    const KernelResult r = runKernel(k.source, table);
+    t.addRow({k.name, std::to_string(r.cycles),
+              std::to_string(r.busTransactions),
+              sct::trace::Table::num(r.energy_fJ / 1e3, 1),
+              r.busTransactions
+                  ? sct::trace::Table::num(
+                        r.energy_fJ / 1e3 /
+                            static_cast<double>(r.busTransactions),
+                        2)
+                  : "-",
+              r.ok ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nStatus-polling peripherals (timer, UART, crypto) pay most of\n"
+      "their energy in repeated SFR reads; the TRNG's cost is pure\n"
+      "data transfer.\n");
+
+  // --- Whole-SoC breakdown: bus interface + component models ---------
+  std::printf("\nWhole-SoC energy breakdown for a mixed firmware run\n"
+              "(bus-interface estimate + activity-based component "
+              "models):\n\n");
+  {
+    soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+    power::Tl1PowerModel pm(table);
+    card.bus().addObserver(pm);
+    card.loadProgram(sct::bench::workloadFirmware());
+    card.run();
+    const auto report = power::SocEnergyReport::forSoc(card, pm);
+    sct::trace::Table bd({"Component", "Energy (pJ)", "Share"});
+    for (const auto& line : report.breakdown()) {
+      bd.addRow({line.name, sct::trace::Table::num(line.energy_fJ / 1e3, 1),
+                 sct::trace::Table::pct(line.share, 1)});
+    }
+    bd.addRow({"total",
+               sct::trace::Table::num(report.totalEnergy_fJ() / 1e3, 1),
+               "100.0%"});
+    bd.print(std::cout);
+  }
+  std::printf(
+      "\nThese per-component figures are the early estimates the\n"
+      "paper's Section 5 extension asks for: component activity\n"
+      "(operations, bytes, ticks) priced with per-event coefficients,\n"
+      "on top of the hierarchical bus-interface estimate.\n");
+  return 0;
+}

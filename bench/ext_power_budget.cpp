@@ -1,0 +1,61 @@
+// Extension — supply-budget check per deployment class.
+//
+// The paper's first motivation for power awareness: "the limitation of
+// power consumption by different standards, for instance the GSM
+// standard limits the [current] to 10 mA at 5 V supply. More critical
+// is power consumption for contact-less smart cards that are supplied
+// by RF field." This bench runs crypto firmware on the SoC, estimates
+// the whole-chip power profile from the layer-1 bus-interface energy,
+// and checks it against the three deployment classes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "power/budget.h"
+#include "power/profile.h"
+#include "power/tl1_power_model.h"
+#include "soc/smartcard.h"
+#include "trace/report.h"
+
+int main() {
+  using namespace sct;
+
+  const auto& table = bench::characterizedTable();
+
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  power::Tl1PowerModel pm(table);
+  power::PowerProfile profile(30'000);
+  power::Tl1ProfileRecorder rec(pm, profile);
+  card.bus().addObserver(pm);
+  card.bus().addObserver(rec);
+  card.loadProgram(bench::workloadFirmware());
+  const bool ok = card.run();
+
+  std::printf("Extension: supply-budget check for the evaluation "
+              "firmware (%s, %zu cycles profiled)\n\n",
+              ok ? "completed" : "FAILED",
+              profile.size());
+
+  trace::Table t({"Deployment class", "Budget (mA)", "Mean (mA)",
+                  "Peak window (mA)", "Headroom", "Verdict"});
+  for (const power::SupplySpec& spec :
+       {power::gsm5V(), power::iso7816Class3V(), power::contactless()}) {
+    // Bus interface ≈ 1/120 of chip power on the reference platform.
+    power::BudgetChecker checker(spec, 120.0);
+    const power::BudgetReport r = checker.check(profile, 64);
+    t.addRow({spec.name, trace::Table::num(spec.maxCurrent_mA, 1),
+              trace::Table::num(r.meanCurrent_mA, 4),
+              trace::Table::num(r.peakCurrent_mA, 4),
+              trace::Table::num(r.headroom, 0) + "x",
+              r.ok() ? "within budget" : "VIOLATION"});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nThe contact interfaces have orders of magnitude of headroom at\n"
+      "33 MHz; the contactless RF budget is the binding constraint —\n"
+      "matching the paper's observation that power \"is more critical\n"
+      "for contact-less smart cards\". Peak windows (not means) decide:\n"
+      "bursty crypto traffic can violate a budget the average obeys.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Interrupt-driven firmware: timer-paced UART transmission.
+//
+// The Figure-1 platform includes the interrupt system; this example
+// shows it in use. A timer interrupt fires periodically; its handler
+// sends the next byte of a ROM string over the UART (if the shifter is
+// ready) and returns with ERET. The main loop meanwhile does
+// foreground work — counting — until the message is out. Energy comes
+// along for free through the layer-1 power model.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "power/tl1_power_model.h"
+#include "soc/smartcard.h"
+
+using namespace sct;
+
+int main() {
+  const auto& table = bench::characterizedTable();
+
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  power::Tl1PowerModel pm(table);
+  card.bus().addObserver(pm);
+
+  card.loadProgram(soc::assemble(R"(
+      # Foreground: enable a periodic timer interrupt, then count until
+      # the ISR signals completion via RAM flag at 0x08000004.
+      li   $s0, 0x10000000   # IRQ controller
+      li   $s1, 0x10000100   # timer 0
+      li   $s2, 0x10000200   # UART
+      li   $s3, 0x08000000   # RAM: +0 = work counter, +4 = done flag
+      la   $s4, msg          # next byte to send
+
+      addiu $t0, $zero, 1
+      sw   $t0, 4($s0)       # unmask timer line
+      addiu $t0, $zero, 24
+      sw   $t0, 4($s1)       # COMPARE: fire every 24 ticks
+      addiu $t0, $zero, 1
+      sw   $t0, 8($s1)       # enable timer
+
+    foreground:
+      lw   $t0, 0($s3)       # foreground work: counter++
+      addiu $t0, $t0, 1
+      sw   $t0, 0($s3)
+      lw   $t1, 4($s3)
+      beqz $t1, foreground
+      break
+
+      .org 0x200             # interrupt vector
+    isr:
+      sw   $zero, 12($s1)    # clear timer match
+      addiu $t2, $zero, 1
+      sw   $t2, 0($s0)       # ack controller line 0
+      # re-arm: COMPARE = COUNT + 24
+      lw   $t2, 0($s1)
+      addiu $t2, $t2, 24
+      andi $t2, $t2, 0xFFFF
+      sw   $t2, 4($s1)
+      # send next byte if the UART is ready
+      lw   $t2, 4($s2)
+      andi $t2, $t2, 1
+      beqz $t2, isr_out      # shifter busy: try next interrupt
+      lbu  $t3, 0($s4)
+      bnez $t3, send
+      addiu $t3, $zero, 1    # end of string: set the done flag
+      sw   $t3, 4($s3)
+      sw   $zero, 8($s1)     # disable the timer
+      b    isr_out
+    send:
+      sw   $t3, 0($s2)
+      addiu $s4, $s4, 1
+    isr_out:
+      eret
+
+    msg: .asciz "irq-driven uart!"
+  )",
+                                 soc::memmap::kRomBase));
+
+  if (!card.run(1'000'000) || card.cpu().faulted()) {
+    std::printf("firmware failed!\n");
+    return 1;
+  }
+
+  std::printf("UART transmitted: \"%s\"\n",
+              card.uart().transmitted().c_str());
+  std::printf("interrupts taken:  %llu\n",
+              static_cast<unsigned long long>(
+                  card.cpu().interruptsTaken()));
+  std::printf("foreground loops:  %u (work continued between bytes)\n",
+              card.ram().peekWord(soc::memmap::kRamBase));
+  std::printf("total cycles:      %llu, bus energy %.1f pJ\n",
+              static_cast<unsigned long long>(card.cpu().stats().cycles),
+              pm.totalEnergy_fJ() / 1e3);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Full smart-card SoC bring-up: the Figure-1 platform boots firmware
+// that exercises memories and peripherals, once on the layer-1 bus and
+// once on the layer-0 reference bus — demonstrating bit- and
+// cycle-identical execution across abstraction layers plus the energy
+// numbers that come with each.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "power/budget.h"
+#include "power/profile.h"
+#include "power/tl1_power_model.h"
+#include "soc/smartcard.h"
+
+using namespace sct;
+
+namespace {
+
+constexpr const char* kFirmware = R"(
+  # Boot: greet over the UART, checksum 16 flash words into RAM,
+  # mix in 2 TRNG words, store the result to EEPROM.
+
+    li   $s0, 0x10000200       # UART
+    addiu $t0, $zero, 0x6F     # 'o'
+    jal  putc
+    addiu $t0, $zero, 0x6B     # 'k'
+    jal  putc
+
+    li   $s1, 0x0C000040       # flash constants
+    addiu $t3, $zero, 16
+    addiu $t4, $zero, 0
+  sum:
+    lw   $t5, 0($s1)
+    addu $t4, $t4, $t5
+    addiu $s1, $s1, 4
+    addiu $t3, $t3, -1
+    bne  $t3, $zero, sum
+
+    li   $s1, 0x10000300       # TRNG
+    lw   $t5, 0($s1)
+    xor  $t4, $t4, $t5
+    lw   $t5, 0($s1)
+    xor  $t4, $t4, $t5
+
+    li   $s1, 0x0A000010       # EEPROM
+    sw   $t4, 0($s1)
+    li   $s1, 0x08000010       # and RAM, for checking
+    sw   $t4, 0($s1)
+    break
+
+  putc:
+    lw   $t1, 4($s0)
+    andi $t1, $t1, 1
+    beq  $t1, $zero, putc
+    sw   $t0, 0($s0)
+    jr   $ra
+)";
+
+} // namespace
+
+int main() {
+  const auto& table = bench::characterizedTable();
+  const auto firmware = soc::assemble(kFirmware, soc::memmap::kRomBase);
+
+  // --- Layer 1: fast transaction-level simulation with estimation ----
+  soc::SmartCardSoC<bus::Tl1Bus> tl1{soc::SocConfig{}};
+  power::Tl1PowerModel pm(table);
+  power::PowerProfile profile(30'000);
+  power::Tl1ProfileRecorder profileRec(pm, profile);
+  tl1.bus().addObserver(pm);
+  tl1.bus().addObserver(profileRec);
+  trace::fillRealistic(tl1.flash().data(), tl1.flash().sizeBytes(), 77);
+  tl1.loadProgram(firmware);
+  const bool ok1 = tl1.run();
+
+  // --- Layer 0: the signal-accurate reference -------------------------
+  soc::SmartCardSoC<ref::GlBus> gl{soc::SocConfig{}, bench::energyModel()};
+  trace::fillRealistic(gl.flash().data(), gl.flash().sizeBytes(), 77);
+  gl.loadProgram(firmware);
+  const bool ok0 = gl.run();
+
+  std::printf("boot %s on both layers; UART says \"%s\" / \"%s\"\n",
+              ok1 && ok0 ? "succeeded" : "FAILED",
+              tl1.uart().transmitted().c_str(),
+              gl.uart().transmitted().c_str());
+
+  std::printf("\nexecution (layer 1 vs layer 0):\n");
+  std::printf("  cycles        %8llu vs %llu %s\n",
+              static_cast<unsigned long long>(tl1.cpu().stats().cycles),
+              static_cast<unsigned long long>(gl.cpu().stats().cycles),
+              tl1.cpu().stats().cycles == gl.cpu().stats().cycles
+                  ? "(identical)"
+                  : "(MISMATCH!)");
+  std::printf("  instructions  %8llu vs %llu\n",
+              static_cast<unsigned long long>(
+                  tl1.cpu().stats().instructions),
+              static_cast<unsigned long long>(gl.cpu().stats().instructions));
+  std::printf("  checksum      0x%08x vs 0x%08x %s\n",
+              tl1.ram().peekWord(soc::memmap::kRamBase + 0x10),
+              gl.ram().peekWord(soc::memmap::kRamBase + 0x10),
+              tl1.ram().peekWord(soc::memmap::kRamBase + 0x10) ==
+                      gl.ram().peekWord(soc::memmap::kRamBase + 0x10)
+                  ? "(identical)"
+                  : "(MISMATCH!)");
+
+  std::printf("\ncore statistics (layer 1):\n");
+  std::printf("  CPI                  %.2f\n", tl1.cpu().stats().cpi());
+  std::printf("  I-cache hit rate     %.1f%%\n",
+              100.0 * tl1.cpu().icache().stats().hitRate());
+  std::printf("  D-cache hit rate     %.1f%%\n",
+              100.0 * tl1.cpu().dcache().stats().hitRate());
+  std::printf("  bus transactions     %llu (%llu fetch bursts)\n",
+              static_cast<unsigned long long>(
+                  tl1.bus().stats().transactions()),
+              static_cast<unsigned long long>(
+                  tl1.bus().stats().instrTransactions));
+
+  std::printf("\nenergy:\n");
+  std::printf("  layer-1 estimate     %.1f pJ\n", pm.totalEnergy_fJ() / 1e3);
+  std::printf("  layer-0 reference    %.1f pJ (incl. %.1f pJ baseline)\n",
+              gl.bus().energy().total_fJ / 1e3,
+              gl.bus().energy().baseline_fJ / 1e3);
+  std::printf("  estimation error     %+.1f%%\n",
+              100.0 * (pm.totalEnergy_fJ() - gl.bus().energy().total_fJ) /
+                  gl.bus().energy().total_fJ);
+
+  const power::BudgetChecker budget(power::contactless(), 120.0);
+  const power::BudgetReport report = budget.check(profile, 64);
+  std::printf("\ncontactless budget (%s): peak %.4f mA of %.1f mA — %s\n",
+              budget.spec().name.c_str(), report.peakCurrent_mA,
+              budget.spec().maxCurrent_mA,
+              report.ok() ? "within budget" : "VIOLATION");
+  return ok1 && ok0 ? 0 : 1;
+}

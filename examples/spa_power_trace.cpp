@@ -1,0 +1,106 @@
+// Power-analysis view: cycle-accurate energy profiles of crypto
+// traffic (the paper's second motivation — "power analysis like simple
+// power analysis (SPA), or differential power analysis (DPA)"; the
+// layer-1 model's cycle-accurate energy interface exists so such
+// profiles can be estimated early).
+//
+// The same crypto-coprocessor firmware runs twice with different data
+// blocks; the example prints both per-cycle profiles around the
+// key-loading phase and quantifies the data-dependent difference an
+// SPA attacker would integrate over.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "power/profile.h"
+#include "power/tl1_power_model.h"
+#include "soc/smartcard.h"
+#include "trace/report.h"
+
+using namespace sct;
+
+namespace {
+
+power::PowerProfile runCrypto(const std::string& d0, const std::string& d1,
+                              const power::SignalEnergyTable& table) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  power::Tl1PowerModel pm(table);
+  power::PowerProfile profile(30'000);
+  power::Tl1ProfileRecorder recorder(pm, profile);
+  card.bus().addObserver(pm);
+  card.bus().addObserver(recorder);
+
+  const std::string firmware = R"(
+    li   $s0, 0x10000400
+    li   $t0, 0x0F1E2D3C
+    sw   $t0, 0($s0)
+    li   $t0, 0x4B5A6978
+    sw   $t0, 4($s0)
+    li   $t0, 0x8796A5B4
+    sw   $t0, 8($s0)
+    li   $t0, 0xC3D2E1F0
+    sw   $t0, 12($s0)
+    li   $t0, )" + d0 + R"(
+    sw   $t0, 0x10($s0)
+    li   $t0, )" + d1 + R"(
+    sw   $t0, 0x14($s0)
+    addiu $t0, $zero, 1
+    sw   $t0, 0x18($s0)
+  busy:
+    lw   $t1, 0x1C($s0)
+    bne  $t1, $zero, busy
+    lw   $t2, 0x10($s0)
+    lw   $t3, 0x14($s0)
+    break
+  )";
+  card.loadProgram(soc::assemble(firmware, soc::memmap::kRomBase));
+  card.run();
+  return profile;
+}
+
+} // namespace
+
+int main() {
+  const auto& table = bench::characterizedTable();
+
+  // Two plaintexts with very different Hamming weights.
+  const power::PowerProfile a =
+      runCrypto("0x00000000", "0x00000001", table);
+  const power::PowerProfile b =
+      runCrypto("0xFFFFFFFF", "0xFFFFFFFE", table);
+
+  std::printf("cycle-accurate power profiles (layer 1), crypto firmware "
+              "with two plaintexts:\n\n");
+  trace::Table t({"Cycle", "P(A) fJ", "P(B) fJ", "|diff|", "Trace"});
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ea = a.samples()[i].energy_fJ;
+    const double eb = b.samples()[i].energy_fJ;
+    const double diff = ea > eb ? ea - eb : eb - ea;
+    if (ea < 1.0 && eb < 1.0) continue;  // Skip idle cycles.
+    t.addRow({std::to_string(i + 1), trace::Table::num(ea, 0),
+              trace::Table::num(eb, 0), trace::Table::num(diff, 0),
+              std::string(static_cast<std::size_t>(diff / 400.0), '^')});
+  }
+  t.print(std::cout);
+
+  double leak = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d =
+        a.samples()[i].energy_fJ - b.samples()[i].energy_fJ;
+    leak += d > 0 ? d : -d;
+  }
+  std::printf("\ntotal energy: A = %.1f pJ, B = %.1f pJ\n",
+              a.total_fJ() / 1e3, b.total_fJ() / 1e3);
+  std::printf("integrated |profile difference| = %.1f pJ — the "
+              "data-dependent signal an SPA/DPA attacker exploits.\n",
+              leak / 1e3);
+  std::printf("profile variance: A = %.0f fJ^2, B = %.0f fJ^2 (flatter "
+              "profiles leak less)\n",
+              a.energyVariance_fJ2(), b.energyVariance_fJ2());
+  std::printf("\nThis is why the paper requires \"estimation of power "
+              "consumption over time\": countermeasures can be checked "
+              "at the transaction level, before silicon.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# One-shot reproduction: build, test, regenerate every table/figure.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,42 @@
+#include "bus/decoder.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sct::bus {
+
+int AddressDecoder::attach(EcSlave& slave) {
+  const SlaveControl& c = slave.control();
+  if (c.size == 0) {
+    throw std::invalid_argument("AddressDecoder: slave '" +
+                                std::string(slave.name()) +
+                                "' has an empty address window");
+  }
+  if (c.base > kAddressMask || c.end() - 1 > kAddressMask) {
+    throw std::invalid_argument("AddressDecoder: slave '" +
+                                std::string(slave.name()) +
+                                "' exceeds the 36-bit address space");
+  }
+  for (const EcSlave* other : slaves_) {
+    const SlaveControl& o = other->control();
+    const bool disjoint = c.end() <= o.base || o.end() <= c.base;
+    if (!disjoint) {
+      throw std::invalid_argument("AddressDecoder: slave '" +
+                                  std::string(slave.name()) +
+                                  "' overlaps slave '" +
+                                  std::string(other->name()) + "'");
+    }
+  }
+  slaves_.push_back(&slave);
+  return static_cast<int>(slaves_.size()) - 1;
+}
+
+int AddressDecoder::decode(Address addr) const {
+  addr &= kAddressMask;
+  for (std::size_t i = 0; i < slaves_.size(); ++i) {
+    if (slaves_[i]->control().contains(addr)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+} // namespace sct::bus

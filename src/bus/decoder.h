@@ -1,0 +1,48 @@
+// Address decoder of the bus controller.
+//
+// The EC interface itself connects one master to one slave; supporting
+// multiple slaves requires a bus controller. Its decoder maps the 36-bit
+// address space onto registered slave windows and drives the one-hot
+// select lines (SignalId::EB_Sel) that feed the energy models.
+#ifndef SCT_BUS_DECODER_H
+#define SCT_BUS_DECODER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "bus/ec_interfaces.h"
+#include "bus/ec_types.h"
+
+namespace sct::bus {
+
+class AddressDecoder {
+ public:
+  /// Register a slave. Throws std::invalid_argument if the slave's
+  /// window is empty, exceeds the 36-bit space, or overlaps a window
+  /// registered earlier. Returns the slave's index (select-line number).
+  int attach(EcSlave& slave);
+
+  /// Slave index for an address, or -1 on a decode miss.
+  int decode(Address addr) const;
+
+  EcSlave& slave(int index) { return *slaves_[static_cast<std::size_t>(index)]; }
+  const EcSlave& slave(int index) const {
+    return *slaves_[static_cast<std::size_t>(index)];
+  }
+  std::size_t slaveCount() const { return slaves_.size(); }
+
+  /// One-hot select mask for a decoded index (0 for a miss). Select
+  /// lines above bit 7 saturate into bit 7 so the 8-bit EB_Sel bundle
+  /// stays meaningful on very large systems.
+  static std::uint64_t selectMask(int index) {
+    if (index < 0) return 0;
+    return std::uint64_t{1} << (index < 8 ? index : 7);
+  }
+
+ private:
+  std::vector<EcSlave*> slaves_;
+};
+
+} // namespace sct::bus
+
+#endif // SCT_BUS_DECODER_H

@@ -1,0 +1,138 @@
+// Abstract interfaces between masters, the bus models and slaves.
+//
+// The layer-1 bus exposes a dedicated instruction interface and a data
+// interface to its single master (the paper's Figure 2); all methods
+// are non-blocking and return a BusStatus. Slaves expose a beat-level
+// data interface (invoked by the bus until it answers Ok or Error), a
+// block interface used by the layer-2 model's pointer-passing transfers,
+// and the slave control interface (address range, wait states, access
+// rights) the bus samples each cycle as getSlaveState().
+#ifndef SCT_BUS_EC_INTERFACES_H
+#define SCT_BUS_EC_INTERFACES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "bus/ec_request.h"
+#include "bus/ec_types.h"
+
+namespace sct::bus {
+
+/// Instruction-fetch interface of the layer-1 bus (master side).
+class EcInstrIf {
+ public:
+  virtual ~EcInstrIf() = default;
+  /// Submit or poll an instruction fetch. Call every cycle with the same
+  /// payload until Ok or Error is returned.
+  virtual BusStatus fetch(Tl1Request& req) = 0;
+};
+
+/// Data read/write interface of the layer-1 bus (master side).
+class EcDataIf {
+ public:
+  virtual ~EcDataIf() = default;
+  virtual BusStatus read(Tl1Request& req) = 0;
+  virtual BusStatus write(Tl1Request& req) = 0;
+};
+
+/// Layer-2 master interface: one function for read access and one for
+/// write access; parameters are the data pointer, the number of bytes,
+/// the address, and an instruction bit (carried in req.kind).
+class Tl2MasterIf {
+ public:
+  virtual ~Tl2MasterIf() = default;
+  /// Submit or poll a transaction. A burst is a single transaction.
+  virtual BusStatus read(Tl2Request& req) = 0;
+  virtual BusStatus write(Tl2Request& req) = 0;
+};
+
+/// Slave-side interface shared by both bus layers.
+class EcSlave {
+ public:
+  virtual ~EcSlave() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Slave control interface: address range, wait states, access rights.
+  virtual const SlaveControl& control() const = 0;
+
+  /// Layer-1 beat transfer. May return Wait to stretch the data phase
+  /// dynamically (beyond the static wait states in control()); must
+  /// eventually return Ok or Error.
+  virtual BusStatus readBeat(Address addr, AccessSize size, Word& out) = 0;
+  virtual BusStatus writeBeat(Address addr, AccessSize size,
+                              std::uint8_t byteEnables, Word in) = 0;
+
+  /// Layer-2 block transfer (pointer passing). Returns false on error.
+  virtual bool readBlock(Address addr, std::uint8_t* dst, std::size_t n) = 0;
+  virtual bool writeBlock(Address addr, const std::uint8_t* src,
+                          std::size_t n) = 0;
+};
+
+/// Information about an active address phase, published once per cycle
+/// while the phase is active (wait cycles included).
+struct AddressPhaseInfo {
+  Address address = 0;
+  Kind kind = Kind::Read;
+  AccessSize size = AccessSize::Word;
+  std::uint8_t beats = 1;
+  std::uint8_t byteEnables = 0;
+  int slave = -1;       ///< Decoded slave index, -1 on decode miss.
+  bool accepted = false;  ///< True on the cycle the phase completes.
+  bool error = false;     ///< Decode miss or access-right violation.
+  const Tl1Request* request = nullptr;  ///< Transaction payload (for
+                                        ///  recorders; may be null).
+};
+
+/// Information about a completed data beat.
+struct DataBeatInfo {
+  Address address = 0;
+  Kind kind = Kind::Read;
+  Word data = 0;
+  std::uint8_t byteEnables = 0;
+  std::uint8_t beatIndex = 0;
+  bool last = false;
+  bool error = false;
+  int slave = -1;
+};
+
+/// Observer hook of the layer-1 bus. The layer-1 power model and the
+/// transaction tracer attach here; callbacks fire from within the bus
+/// process (falling clock edge), in phase order.
+class Tl1Observer {
+ public:
+  virtual ~Tl1Observer() = default;
+  virtual void busCycleBegin(std::uint64_t /*cycle*/) {}
+  /// Fired every cycle the address phase drives the address bus.
+  virtual void addressPhase(const AddressPhaseInfo& /*info*/) {}
+  virtual void readBeat(const DataBeatInfo& /*info*/) {}
+  virtual void writeBeat(const DataBeatInfo& /*info*/) {}
+  virtual void busCycleEnd(std::uint64_t /*cycle*/) {}
+};
+
+/// Summary of a finished layer-2 phase. The layer-2 power model consumes
+/// these; per the paper the entire address phase of a burst is estimated
+/// at once, and likewise the read or write phase.
+struct Tl2PhaseInfo {
+  Kind kind = Kind::Read;
+  Address address = 0;
+  const std::uint8_t* data = nullptr;  ///< nullptr for the address phase.
+  std::size_t bytes = 0;
+  unsigned beats = 1;
+  unsigned cycles = 1;  ///< Estimated length of the phase.
+  int slave = -1;
+  bool error = false;
+};
+
+/// Observer hook of the layer-2 bus.
+class Tl2Observer {
+ public:
+  virtual ~Tl2Observer() = default;
+  virtual void addressPhaseDone(const Tl2PhaseInfo& /*info*/) {}
+  virtual void dataPhaseDone(const Tl2PhaseInfo& /*info*/) {}
+};
+
+} // namespace sct::bus
+
+#endif // SCT_BUS_EC_INTERFACES_H

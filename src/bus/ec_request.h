@@ -1,0 +1,108 @@
+// Transaction payloads for the two transaction-level bus layers.
+//
+// Layer 1 (transfer layer): one payload describes up to one burst; the
+// master re-invokes the non-blocking bus interface with the same payload
+// every clock cycle until the bus answers Ok or Error (the paper's
+// request/wait/ok/error protocol). The payload carries the progress
+// state the bus needs between cycles.
+//
+// Layer 2 (transaction layer): data is moved by pointer passing and a
+// whole burst is a single transaction. The payload stores the wait
+// states sampled from the slave at creation time, from which the bus
+// process computes the phase delays.
+#ifndef SCT_BUS_EC_REQUEST_H
+#define SCT_BUS_EC_REQUEST_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "bus/ec_types.h"
+
+namespace sct::bus {
+
+/// Progress of a layer-1 transaction through the bus queues.
+enum class Tl1Stage : std::uint8_t {
+  Idle,       ///< Not yet submitted (or reset for reuse).
+  Requested,  ///< In the request queue, before the address phase.
+  Address,    ///< Owning the address phase.
+  DataQueued, ///< In the read or write queue.
+  Data,       ///< Owning the read or write phase.
+  Finished,   ///< Completed; result valid; waiting for master pickup.
+};
+
+struct Tl1Request {
+  // --- set by the master -------------------------------------------------
+  Kind kind = Kind::Read;
+  Address address = 0;
+  AccessSize size = AccessSize::Word;
+  std::uint8_t beats = 1;  ///< 1 for single, 2..4 for bursts (word sized).
+  std::array<Word, kMaxBurstBeats> data{};  ///< Write data in / read data out.
+
+  // --- set by the bus ----------------------------------------------------
+  BusStatus result = BusStatus::Wait;  ///< Valid once stage == Finished.
+  Tl1Stage stage = Tl1Stage::Idle;
+  std::uint8_t beatsDone = 0;
+  int slave = -1;                 ///< Decoded slave index, -1 if none.
+  unsigned waitCount = 0;         ///< Phase-internal wait counter.
+  std::uint64_t acceptCycle = 0;  ///< Bus cycle of acceptance.
+  std::uint64_t finishCycle = 0;  ///< Bus cycle of completion.
+
+  /// Make the payload reusable for a new transaction.
+  void reset() {
+    result = BusStatus::Wait;
+    stage = Tl1Stage::Idle;
+    beatsDone = 0;
+    slave = -1;
+    waitCount = 0;
+  }
+
+  bool burst() const { return beats > 1; }
+  std::size_t byteCount() const {
+    return burst() ? std::size_t{4} * beats
+                   : static_cast<std::size_t>(size);
+  }
+};
+
+/// Progress of a layer-2 transaction.
+enum class Tl2Stage : std::uint8_t {
+  Idle,
+  Queued,    ///< Accepted; address phase not finished.
+  DataWait,  ///< Address phase done; data phase counting down.
+  Finished,
+};
+
+struct Tl2Request {
+  // --- set by the master -------------------------------------------------
+  Kind kind = Kind::Read;
+  Address address = 0;
+  std::uint8_t* data = nullptr;  ///< Pointer-passed payload.
+  std::size_t bytes = 0;         ///< 1, 2, 4 or a multiple of 4 up to 16.
+
+  // --- set by the bus ----------------------------------------------------
+  BusStatus result = BusStatus::Wait;
+  Tl2Stage stage = Tl2Stage::Idle;
+  int slave = -1;
+  unsigned addrCyclesLeft = 0;  ///< Remaining address-phase cycles.
+  unsigned dataCyclesLeft = 0;  ///< Remaining data-phase cycles.
+  unsigned addrCycles = 0;      ///< Estimated address-phase length.
+  unsigned dataCycles = 0;      ///< Estimated data-phase length.
+  std::uint64_t acceptCycle = 0;
+  std::uint64_t finishCycle = 0;
+
+  void reset() {
+    result = BusStatus::Wait;
+    stage = Tl2Stage::Idle;
+    slave = -1;
+    addrCyclesLeft = dataCyclesLeft = 0;
+    addrCycles = dataCycles = 0;
+  }
+
+  unsigned beatCount() const {
+    return bytes <= 4 ? 1u : static_cast<unsigned>((bytes + 3) / 4);
+  }
+};
+
+} // namespace sct::bus
+
+#endif // SCT_BUS_EC_REQUEST_H

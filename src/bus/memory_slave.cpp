@@ -1,0 +1,83 @@
+#include "bus/memory_slave.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sct::bus {
+
+MemorySlave::MemorySlave(std::string name, const SlaveControl& control)
+    : name_(std::move(name)), control_(control) {
+  if (control_.size == 0) {
+    throw std::invalid_argument("MemorySlave: zero-sized window");
+  }
+  bytes_.resize(static_cast<std::size_t>(control_.size), 0);
+}
+
+BusStatus MemorySlave::readBeat(Address addr, AccessSize size, Word& out) {
+  const auto n = static_cast<std::size_t>(size);
+  if (!inWindow(addr, n)) return BusStatus::Error;
+  // Reads are returned on word-aligned lanes, as on the EC read bus.
+  const std::size_t wordOff = offset(addr) & ~std::size_t{3};
+  Word w = 0;
+  std::memcpy(&w, &bytes_[wordOff], 4);
+  out = w;
+  return BusStatus::Ok;
+}
+
+BusStatus MemorySlave::writeBeat(Address addr, AccessSize size,
+                                 std::uint8_t byteEnables, Word in) {
+  const auto n = static_cast<std::size_t>(size);
+  if (!inWindow(addr, n)) return BusStatus::Error;
+  if (pendingStretch_ < extraWritePerBeat_) {
+    ++pendingStretch_;
+    return BusStatus::Wait;
+  }
+  pendingStretch_ = 0;
+  const std::size_t wordOff = offset(addr) & ~std::size_t{3};
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    if (byteEnables & (1u << lane)) {
+      bytes_[wordOff + lane] =
+          static_cast<std::uint8_t>((in >> (8 * lane)) & 0xFFu);
+    }
+  }
+  return BusStatus::Ok;
+}
+
+bool MemorySlave::readBlock(Address addr, std::uint8_t* dst, std::size_t n) {
+  if (!inWindow(addr, n)) return false;
+  std::memcpy(dst, &bytes_[offset(addr)], n);
+  return true;
+}
+
+bool MemorySlave::writeBlock(Address addr, const std::uint8_t* src,
+                             std::size_t n) {
+  if (!inWindow(addr, n)) return false;
+  std::memcpy(&bytes_[offset(addr)], src, n);
+  return true;
+}
+
+void MemorySlave::load(Address busAddr, const std::uint8_t* src,
+                       std::size_t n) {
+  if (!inWindow(busAddr, n)) {
+    throw std::out_of_range("MemorySlave::load outside window");
+  }
+  std::memcpy(&bytes_[offset(busAddr)], src, n);
+}
+
+Word MemorySlave::peekWord(Address busAddr) const {
+  if (!inWindow(busAddr, 4)) {
+    throw std::out_of_range("MemorySlave::peekWord outside window");
+  }
+  Word w = 0;
+  std::memcpy(&w, &bytes_[offset(busAddr)], 4);
+  return w;
+}
+
+void MemorySlave::pokeWord(Address busAddr, Word value) {
+  if (!inWindow(busAddr, 4)) {
+    throw std::out_of_range("MemorySlave::pokeWord outside window");
+  }
+  std::memcpy(&bytes_[offset(busAddr)], &value, 4);
+}
+
+} // namespace sct::bus

@@ -1,0 +1,67 @@
+// Generic memory slave.
+//
+// Covers the smart card's on-chip memories (ROM, EEPROM, FLASH,
+// scratchpad RAM) — they differ only in size, wait states and access
+// rights, all of which live in the SlaveControl handed to the
+// constructor. EEPROM/FLASH write behaviour (long programming times)
+// is modeled with the `extraWritePerBeat` dynamic stretch.
+#ifndef SCT_BUS_MEMORY_SLAVE_H
+#define SCT_BUS_MEMORY_SLAVE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/ec_interfaces.h"
+#include "bus/ec_types.h"
+
+namespace sct::bus {
+
+class MemorySlave : public EcSlave {
+ public:
+  /// `control.size` bytes are allocated zero-initialized.
+  MemorySlave(std::string name, const SlaveControl& control);
+
+  std::string_view name() const override { return name_; }
+  const SlaveControl& control() const override { return control_; }
+
+  BusStatus readBeat(Address addr, AccessSize size, Word& out) override;
+  BusStatus writeBeat(Address addr, AccessSize size, std::uint8_t byteEnables,
+                      Word in) override;
+  bool readBlock(Address addr, std::uint8_t* dst, std::size_t n) override;
+  bool writeBlock(Address addr, const std::uint8_t* src,
+                  std::size_t n) override;
+
+  /// Dynamic per-beat write stretch: the slave answers Wait this many
+  /// times before accepting each write beat (e.g. EEPROM programming).
+  /// Invisible to the layer-2 timing estimation — one of the paper's
+  /// layer-2 error sources.
+  void setExtraWritePerBeat(unsigned cycles) { extraWritePerBeat_ = cycles; }
+
+  /// Direct backdoor access (no bus, no timing) for loaders and tests.
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::size_t sizeBytes() const { return bytes_.size(); }
+  void load(Address busAddr, const std::uint8_t* src, std::size_t n);
+  Word peekWord(Address busAddr) const;
+  void pokeWord(Address busAddr, Word value);
+
+ protected:
+  std::size_t offset(Address addr) const {
+    return static_cast<std::size_t>(addr - control_.base);
+  }
+  bool inWindow(Address addr, std::size_t n) const {
+    return addr >= control_.base && addr - control_.base + n <= bytes_.size();
+  }
+
+ private:
+  std::string name_;
+  SlaveControl control_;
+  std::vector<std::uint8_t> bytes_;
+  unsigned extraWritePerBeat_ = 0;
+  unsigned pendingStretch_ = 0;
+};
+
+} // namespace sct::bus
+
+#endif // SCT_BUS_MEMORY_SLAVE_H

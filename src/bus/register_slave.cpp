@@ -1,0 +1,116 @@
+#include "bus/register_slave.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace sct::bus {
+
+RegisterSlave::RegisterSlave(std::string name, const SlaveControl& control)
+    : name_(std::move(name)), control_(control) {
+  if (control_.size == 0) {
+    throw std::invalid_argument("RegisterSlave: zero-sized window");
+  }
+}
+
+void RegisterSlave::defineRegister(Address offset, std::string regName,
+                                   ReadHandler read, WriteHandler write) {
+  if ((offset & 0x3u) != 0 || offset + 4 > control_.size) {
+    throw std::invalid_argument("RegisterSlave: register '" + regName +
+                                "' offset invalid");
+  }
+  for (const Register& r : regs_) {
+    if (r.offset == offset) {
+      throw std::invalid_argument("RegisterSlave: register offset collision");
+    }
+  }
+  regs_.push_back(Register{offset, std::move(regName), std::move(read),
+                           std::move(write)});
+}
+
+void RegisterSlave::defineStorageRegister(Address offset, std::string regName,
+                                          Word& storage) {
+  Word* p = &storage;
+  defineRegister(
+      offset, std::move(regName), [p]() { return *p; },
+      [p](Word v) { *p = v; });
+}
+
+const RegisterSlave::Register* RegisterSlave::find(Address addr) const {
+  if (!control_.contains(addr)) return nullptr;
+  const Address off = (addr - control_.base) & ~Address{3};
+  const auto it =
+      std::find_if(regs_.begin(), regs_.end(),
+                   [off](const Register& r) { return r.offset == off; });
+  return it == regs_.end() ? nullptr : &*it;
+}
+
+BusStatus RegisterSlave::readBeat(Address addr, AccessSize /*size*/,
+                                  Word& out) {
+  const Register* r = find(addr);
+  if (r == nullptr || !r->read) return BusStatus::Error;
+  if (stretch_ > 0) {
+    --stretch_;
+    return BusStatus::Wait;
+  }
+  out = r->read();
+  return BusStatus::Ok;
+}
+
+BusStatus RegisterSlave::writeBeat(Address addr, AccessSize /*size*/,
+                                   std::uint8_t byteEnables, Word in) {
+  const Register* r = find(addr);
+  if (r == nullptr || !r->write) return BusStatus::Error;
+  if (stretch_ > 0) {
+    --stretch_;
+    return BusStatus::Wait;
+  }
+  // Sub-word writes merge with the current register value when the
+  // register is readable; otherwise the enabled lanes are written and
+  // the others are zero.
+  Word merged = in;
+  if (byteEnables != 0xF && r->read) {
+    Word cur = r->read();
+    merged = 0;
+    for (unsigned lane = 0; lane < 4; ++lane) {
+      const Word mask = Word{0xFF} << (8 * lane);
+      merged |= (byteEnables & (1u << lane)) ? (in & mask) : (cur & mask);
+    }
+  }
+  r->write(merged);
+  return BusStatus::Ok;
+}
+
+bool RegisterSlave::readBlock(Address addr, std::uint8_t* dst,
+                              std::size_t n) {
+  // Layer-2 pointer transfers hit registers word by word.
+  for (std::size_t done = 0; done < n;) {
+    const Register* r = find(addr + done);
+    if (r == nullptr || !r->read) return false;
+    const Word v = r->read();
+    const std::size_t lane = (addr + done) & 0x3u;
+    const std::size_t chunk = std::min<std::size_t>(n - done, 4 - lane);
+    std::memcpy(dst + done,
+                reinterpret_cast<const std::uint8_t*>(&v) + lane, chunk);
+    done += chunk;
+  }
+  return true;
+}
+
+bool RegisterSlave::writeBlock(Address addr, const std::uint8_t* src,
+                               std::size_t n) {
+  for (std::size_t done = 0; done < n;) {
+    const Register* r = find(addr + done);
+    if (r == nullptr || !r->write) return false;
+    const std::size_t lane = (addr + done) & 0x3u;
+    const std::size_t chunk = std::min<std::size_t>(n - done, 4 - lane);
+    Word v = (r->read) ? r->read() : 0;
+    std::memcpy(reinterpret_cast<std::uint8_t*>(&v) + lane, src + done,
+                chunk);
+    r->write(v);
+    done += chunk;
+  }
+  return true;
+}
+
+} // namespace sct::bus

@@ -1,0 +1,73 @@
+// Register-file slave base.
+//
+// Memory-mapped peripherals (timers, UART, RNG, the crypto coprocessor,
+// and the Java Card hardware stack's special function registers) expose
+// word-aligned registers with per-register read/write handlers. The
+// paper's HW/SW interface exploration varies exactly this organization:
+// the address map, the grouping of SFRs and the transactions used to
+// access them.
+#ifndef SCT_BUS_REGISTER_SLAVE_H
+#define SCT_BUS_REGISTER_SLAVE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bus/ec_interfaces.h"
+#include "bus/ec_types.h"
+
+namespace sct::bus {
+
+class RegisterSlave : public EcSlave {
+ public:
+  using ReadHandler = std::function<Word()>;
+  using WriteHandler = std::function<void(Word)>;
+
+  RegisterSlave(std::string name, const SlaveControl& control);
+
+  std::string_view name() const override { return name_; }
+  const SlaveControl& control() const override { return control_; }
+
+  BusStatus readBeat(Address addr, AccessSize size, Word& out) override;
+  BusStatus writeBeat(Address addr, AccessSize size, std::uint8_t byteEnables,
+                      Word in) override;
+  bool readBlock(Address addr, std::uint8_t* dst, std::size_t n) override;
+  bool writeBlock(Address addr, const std::uint8_t* src,
+                  std::size_t n) override;
+
+  /// Define a register at a word-aligned byte offset inside the window.
+  /// Either handler may be null (access then errors on the bus).
+  void defineRegister(Address offset, std::string regName, ReadHandler read,
+                      WriteHandler write);
+
+  /// Convenience: a plain storage register backed by `storage`.
+  void defineStorageRegister(Address offset, std::string regName,
+                             Word& storage);
+
+  /// Dynamic wait injection: the next `n` beats answer Wait first
+  /// (models a busy peripheral, e.g. a coprocessor mid-operation).
+  void stretchNextBeats(unsigned n) { stretch_ += n; }
+
+  std::size_t registerCount() const { return regs_.size(); }
+
+ protected:
+  struct Register {
+    Address offset;
+    std::string name;
+    ReadHandler read;
+    WriteHandler write;
+  };
+
+  const Register* find(Address addr) const;
+
+ private:
+  std::string name_;
+  SlaveControl control_;
+  std::vector<Register> regs_;
+  unsigned stretch_ = 0;
+};
+
+} // namespace sct::bus
+
+#endif // SCT_BUS_REGISTER_SLAVE_H

@@ -1,0 +1,298 @@
+#include "bus/tl1_bus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sct::bus {
+
+Tl1Bus::Tl1Bus(sim::Clock& clock, std::string name)
+    : sim::Module(clock.kernel(), std::move(name)), clock_(clock) {
+  // The bus process runs on the falling edge; masters and slaves are
+  // expected to act on the rising edge (paper, Figure 2).
+  processId_ = clock_.onFalling([this] { busProcess(); });
+}
+
+Tl1Bus::~Tl1Bus() { clock_.removeHandler(processId_); }
+
+void Tl1Bus::removeObserver(Tl1Observer& obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), &obs),
+                   observers_.end());
+}
+
+// ---------------------------------------------------------------------------
+// Master interfaces
+// ---------------------------------------------------------------------------
+
+BusStatus Tl1Bus::fetch(Tl1Request& req) {
+  return submitOrPoll(req, Kind::InstrFetch);
+}
+
+BusStatus Tl1Bus::read(Tl1Request& req) {
+  return submitOrPoll(req, Kind::Read);
+}
+
+BusStatus Tl1Bus::write(Tl1Request& req) {
+  return submitOrPoll(req, Kind::Write);
+}
+
+bool Tl1Bus::validate(const Tl1Request& req) const {
+  if (req.beats == 0 || req.beats > kMaxBurstBeats) return false;
+  if (req.burst()) {
+    // Bursts are word-sized, word-aligned sequences.
+    if (req.size != AccessSize::Word) return false;
+    if (!isAligned(AccessSize::Word, req.address)) return false;
+  } else if (!isAligned(req.size, req.address)) {
+    return false;
+  }
+  return (req.address & ~kAddressMask) == 0;
+}
+
+unsigned& Tl1Bus::outstanding(Kind k) {
+  switch (k) {
+    case Kind::InstrFetch: return outstandingInstr_;
+    case Kind::Read: return outstandingRead_;
+    case Kind::Write: return outstandingWrite_;
+  }
+  return outstandingRead_;  // unreachable
+}
+
+unsigned Tl1Bus::outstanding(Kind k) const {
+  return const_cast<Tl1Bus*>(this)->outstanding(k);
+}
+
+BusStatus Tl1Bus::submitOrPoll(Tl1Request& req, Kind expectedKind) {
+  if (req.kind != expectedKind) {
+    throw std::logic_error(name() + ": request kind does not match the "
+                                    "invoked master interface");
+  }
+  switch (req.stage) {
+    case Tl1Stage::Idle: {
+      if (!validate(req)) {
+        req.result = BusStatus::Error;
+        return BusStatus::Error;
+      }
+      if (outstanding(req.kind) >= kMaxOutstandingPerClass) {
+        return BusStatus::Wait;  // Not accepted; the master retries.
+      }
+      req.stage = Tl1Stage::Requested;
+      req.result = BusStatus::Wait;
+      req.beatsDone = 0;
+      req.slave = -1;
+      req.acceptCycle = clock_.cycle();
+      ++outstanding(req.kind);
+      requestQueue_.push_back(&req);
+      return BusStatus::Request;
+    }
+    case Tl1Stage::Finished: {
+      const BusStatus result = req.result;
+      req.stage = Tl1Stage::Idle;  // Picked up; payload reusable.
+      return result;
+    }
+    default:
+      return BusStatus::Wait;
+  }
+}
+
+bool Tl1Bus::idle() const {
+  return requestQueue_.empty() && readQueue_.empty() && writeQueue_.empty() &&
+         addrCurrent_ == nullptr && readCurrent_ == nullptr &&
+         writeCurrent_ == nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Bus process
+// ---------------------------------------------------------------------------
+
+void Tl1Bus::busProcess() {
+  cycleNow_ = clock_.cycle();
+  anyActivityThisCycle_ = false;
+  ++stats_.cycles;
+  for (Tl1Observer* obs : observers_) obs->busCycleBegin(cycleNow_);
+
+  sampleSlaveStates();
+  addressPhase();
+  readPhase();
+  writePhase();
+
+  if (anyActivityThisCycle_) ++stats_.busyCycles;
+  for (Tl1Observer* obs : observers_) obs->busCycleEnd(cycleNow_);
+}
+
+void Tl1Bus::sampleSlaveStates() {
+  // getSlaveState(): the bus controller samples every slave's control
+  // interface once per cycle; the phases below work on this snapshot.
+  slaveState_.resize(decoder_.slaveCount());
+  for (std::size_t i = 0; i < decoder_.slaveCount(); ++i) {
+    slaveState_[i] = decoder_.slave(static_cast<int>(i)).control();
+  }
+}
+
+void Tl1Bus::publishAddressPhase(const AddressPhaseInfo& info) {
+  for (Tl1Observer* obs : observers_) obs->addressPhase(info);
+}
+
+void Tl1Bus::publishBeat(const DataBeatInfo& info, bool isWrite) {
+  for (Tl1Observer* obs : observers_) {
+    if (isWrite) {
+      obs->writeBeat(info);
+    } else {
+      obs->readBeat(info);
+    }
+  }
+}
+
+void Tl1Bus::finish(Tl1Request& req, BusStatus result) {
+  req.result = result;
+  req.stage = Tl1Stage::Finished;
+  req.finishCycle = cycleNow_;
+  --outstanding(req.kind);
+  switch (req.kind) {
+    case Kind::InstrFetch: ++stats_.instrTransactions; break;
+    case Kind::Read: ++stats_.readTransactions; break;
+    case Kind::Write: ++stats_.writeTransactions; break;
+  }
+  if (result == BusStatus::Error) {
+    if (req.kind == Kind::Write) {
+      ++stats_.writeBusErrors;
+    } else {
+      ++stats_.readBusErrors;
+    }
+  }
+}
+
+void Tl1Bus::addressPhase() {
+  if (addrCurrent_ == nullptr) {
+    if (requestQueue_.empty()) return;  // Idle: buses hold their values.
+    addrCurrent_ = requestQueue_.front();
+    requestQueue_.pop_front();
+    Tl1Request& req = *addrCurrent_;
+    req.stage = Tl1Stage::Address;
+    req.slave = decoder_.decode(req.address);
+    bool error = req.slave < 0;
+    if (!error) {
+      const SlaveControl& c = slaveState_[static_cast<std::size_t>(req.slave)];
+      error = !c.allows(req.kind) ||
+              (req.burst() && !c.contains(req.address + 4u * req.beats - 1));
+      req.waitCount = error ? 0 : c.addrWait;
+    } else {
+      req.waitCount = 0;
+    }
+    if (error) {
+      // Decode miss or access-right violation: the phase terminates and
+      // the error is indicated on the corresponding data bus error line.
+      AddressPhaseInfo info{req.address, req.kind, req.size, req.beats,
+                            byteEnables(req.size, req.address), req.slave,
+                            /*accepted=*/true, /*error=*/true, &req};
+      publishAddressPhase(info);
+      DataBeatInfo beat;
+      beat.address = req.address;
+      beat.kind = req.kind;
+      beat.error = true;
+      beat.last = true;
+      beat.slave = req.slave;
+      publishBeat(beat, req.kind == Kind::Write);
+      finish(req, BusStatus::Error);
+      addrCurrent_ = nullptr;
+      anyActivityThisCycle_ = true;
+      ++stats_.addrCycles;
+      return;
+    }
+  }
+
+  Tl1Request& req = *addrCurrent_;
+  anyActivityThisCycle_ = true;
+  ++stats_.addrCycles;
+  const bool accepted = req.waitCount == 0;
+  AddressPhaseInfo info{req.address, req.kind, req.size, req.beats,
+                        byteEnables(req.size, req.address), req.slave,
+                        accepted, /*error=*/false, &req};
+  publishAddressPhase(info);
+  if (!accepted) {
+    --req.waitCount;
+    return;
+  }
+  // Address phase completes this cycle: hand over to the data queues.
+  req.stage = Tl1Stage::DataQueued;
+  const SlaveControl& c = slaveState_[static_cast<std::size_t>(req.slave)];
+  if (req.kind == Kind::Write) {
+    req.waitCount = c.writeWait;
+    writeQueue_.push_back(&req);
+  } else {
+    req.waitCount = c.readWait;
+    readQueue_.push_back(&req);
+  }
+  addrCurrent_ = nullptr;
+}
+
+void Tl1Bus::readPhase() { dataPhase(readCurrent_, readQueue_); }
+
+void Tl1Bus::writePhase() { dataPhase(writeCurrent_, writeQueue_); }
+
+void Tl1Bus::dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue) {
+  if (current == nullptr) {
+    if (queue.empty()) return;
+    current = queue.front();
+    queue.pop_front();
+    current->stage = Tl1Stage::Data;
+    // The first-beat wait states were preloaded by the address phase.
+  }
+
+  Tl1Request& req = *current;
+  anyActivityThisCycle_ = true;
+  if (req.waitCount > 0) {
+    --req.waitCount;  // Slave-inserted wait state; no beat this cycle.
+    return;
+  }
+
+  EcSlave& slave = decoder_.slave(req.slave);
+  const Address beatAddr = req.address + 4u * req.beatsDone;
+  const bool isWrite = req.kind == Kind::Write;
+  Word data = 0;
+  BusStatus s;
+  if (isWrite) {
+    data = req.data[req.beatsDone];
+    s = slave.writeBeat(beatAddr, req.size, byteEnables(req.size, beatAddr),
+                        data);
+  } else {
+    s = slave.readBeat(beatAddr, req.size, data);
+    if (s == BusStatus::Ok) req.data[req.beatsDone] = data;
+  }
+  if (s == BusStatus::Wait) return;  // Dynamic stretch by the slave.
+
+  const bool last =
+      (s == BusStatus::Error) || (req.beatsDone + 1u == req.beats);
+  DataBeatInfo beat;
+  beat.address = beatAddr;
+  beat.kind = req.kind;
+  beat.data = data;
+  beat.byteEnables = byteEnables(req.size, beatAddr);
+  beat.beatIndex = req.beatsDone;
+  beat.last = last;
+  beat.error = s == BusStatus::Error;
+  beat.slave = req.slave;
+  publishBeat(beat, isWrite);
+
+  if (isWrite) {
+    ++stats_.writeBeats;
+    if (s == BusStatus::Ok) stats_.bytesWritten += req.burst() ? 4 : static_cast<unsigned>(req.size);
+  } else {
+    ++stats_.readBeats;
+    if (s == BusStatus::Ok) stats_.bytesRead += req.burst() ? 4 : static_cast<unsigned>(req.size);
+  }
+
+  if (s == BusStatus::Error) {
+    finish(req, BusStatus::Error);
+    current = nullptr;
+    return;
+  }
+  ++req.beatsDone;
+  if (req.beatsDone == req.beats) {
+    finish(req, BusStatus::Ok);
+    current = nullptr;
+  } else {
+    const SlaveControl& c = slaveState_[static_cast<std::size_t>(req.slave)];
+    req.waitCount = c.burstBeatWait;
+  }
+}
+
+} // namespace sct::bus

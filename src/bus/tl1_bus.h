@@ -1,0 +1,122 @@
+// EC bus model at transaction level layer 1 (transfer layer).
+//
+// Cycle-true model of the EC interface plus bus controller, following
+// the paper's Figure 3: the single bus process is sensitive to the
+// falling edge of the system clock (masters and slaves trigger on the
+// rising edge) and executes four phases per cycle —
+//   getSlaveState();  addressPhase();  readPhase();  writePhase();
+// Four queues connect the interfaces and the phases: a request queue
+// filled by the master interfaces, a read queue and a write queue
+// filled by the address phase, and the finished state picked up by the
+// next master interface call addressing the request. Because the
+// address and data phases execute sequentially within one activation, a
+// zero-wait request can pass from the request queue to the finish state
+// in a single cycle, exactly as the paper describes.
+//
+// The master interfaces are non-blocking and return
+// {Request, Wait, Ok, Error}; by polling, a master can keep several
+// transactions in flight (up to four outstanding burst instruction
+// reads, four burst data reads and four burst writes — the 4KSc limit).
+#ifndef SCT_BUS_TL1_BUS_H
+#define SCT_BUS_TL1_BUS_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bus/decoder.h"
+#include "bus/ec_interfaces.h"
+#include "bus/ec_request.h"
+#include "bus/ec_types.h"
+#include "sim/clock.h"
+#include "sim/module.h"
+
+namespace sct::bus {
+
+/// Aggregate counters kept by the layer-1 bus.
+struct Tl1BusStats {
+  std::uint64_t cycles = 0;        ///< Bus-process activations.
+  std::uint64_t busyCycles = 0;    ///< Cycles with any phase active.
+  std::uint64_t addrCycles = 0;    ///< Cycles the address phase was active.
+  std::uint64_t readBeats = 0;
+  std::uint64_t writeBeats = 0;
+  std::uint64_t instrTransactions = 0;
+  std::uint64_t readTransactions = 0;
+  std::uint64_t writeTransactions = 0;
+  std::uint64_t readBusErrors = 0;   ///< Errors signalled on the read bus.
+  std::uint64_t writeBusErrors = 0;  ///< Errors signalled on the write bus.
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+
+  std::uint64_t transactions() const {
+    return instrTransactions + readTransactions + writeTransactions;
+  }
+};
+
+class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
+ public:
+  /// Creates the bus and hooks its process onto the falling clock edge.
+  Tl1Bus(sim::Clock& clock, std::string name);
+  ~Tl1Bus() override;
+
+  /// Register a slave with the bus controller's address decoder.
+  /// Returns the slave index (select line).
+  int attach(EcSlave& slave) { return decoder_.attach(slave); }
+
+  void addObserver(Tl1Observer& obs) { observers_.push_back(&obs); }
+  void removeObserver(Tl1Observer& obs);
+
+  // EcInstrIf / EcDataIf (master side, call on rising edges).
+  BusStatus fetch(Tl1Request& req) override;
+  BusStatus read(Tl1Request& req) override;
+  BusStatus write(Tl1Request& req) override;
+
+  /// True when no transaction is queued or in flight.
+  bool idle() const;
+
+  const Tl1BusStats& stats() const { return stats_; }
+  const AddressDecoder& decoder() const { return decoder_; }
+  std::uint64_t cycle() const { return clock_.cycle(); }
+
+ private:
+  BusStatus submitOrPoll(Tl1Request& req, Kind expectedKind);
+  bool validate(const Tl1Request& req) const;
+  unsigned& outstanding(Kind k);
+  unsigned outstanding(Kind k) const;
+
+  void busProcess();
+  void sampleSlaveStates();
+  void addressPhase();
+  void readPhase();
+  void writePhase();
+  void dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue);
+  void finish(Tl1Request& req, BusStatus result);
+  void publishAddressPhase(const AddressPhaseInfo& info);
+  void publishBeat(const DataBeatInfo& info, bool isWrite);
+
+  sim::Clock& clock_;
+  sim::Clock::HandlerId processId_;
+  AddressDecoder decoder_;
+  std::vector<Tl1Observer*> observers_;
+  std::vector<SlaveControl> slaveState_;  ///< Sampled by getSlaveState().
+
+  std::deque<Tl1Request*> requestQueue_;
+  std::deque<Tl1Request*> readQueue_;   ///< Instr fetches + data reads.
+  std::deque<Tl1Request*> writeQueue_;
+  Tl1Request* addrCurrent_ = nullptr;
+  Tl1Request* readCurrent_ = nullptr;
+  Tl1Request* writeCurrent_ = nullptr;
+
+  unsigned outstandingInstr_ = 0;
+  unsigned outstandingRead_ = 0;
+  unsigned outstandingWrite_ = 0;
+
+  std::uint64_t cycleNow_ = 0;
+  bool anyActivityThisCycle_ = false;
+  Tl1BusStats stats_;
+};
+
+} // namespace sct::bus
+
+#endif // SCT_BUS_TL1_BUS_H

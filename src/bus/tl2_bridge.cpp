@@ -1,0 +1,88 @@
+#include "bus/tl2_bridge.h"
+
+namespace sct::bus {
+
+BusStatus Tl2MasterBridge::transport(Tl1Request& req) {
+  auto it = pending_.find(&req);
+  if (it == pending_.end()) {
+    // First call: validate like the layer-1 bus would, then open a
+    // layer-2 transaction.
+    if (req.stage != Tl1Stage::Idle) return BusStatus::Wait;
+    const bool alignedOk =
+        req.burst() ? (req.size == AccessSize::Word &&
+                       isAligned(AccessSize::Word, req.address))
+                    : isAligned(req.size, req.address);
+    if (req.beats == 0 || req.beats > kMaxBurstBeats || !alignedOk ||
+        (req.address & ~kAddressMask) != 0) {
+      req.result = BusStatus::Error;
+      return BusStatus::Error;
+    }
+    Slot slot;
+    slot.lower.kind = req.kind;
+    slot.lower.address = req.address;
+    slot.lower.bytes = req.byteCount();
+    if (req.kind == Kind::Write) {
+      if (req.burst() || req.size == AccessSize::Word) {
+        std::memcpy(slot.buffer.data(), req.data.data(),
+                    slot.lower.bytes);
+      } else {
+        // Sub-word stores arrive lane-aligned on the layer-1 write bus;
+        // extract the active lanes for the byte-exact layer-2 transfer.
+        const unsigned lane = static_cast<unsigned>(req.address & 0x3u);
+        std::memcpy(slot.buffer.data(),
+                    reinterpret_cast<const std::uint8_t*>(
+                        req.data.data()) +
+                        lane,
+                    slot.lower.bytes);
+      }
+    }
+    auto [pos, inserted] = pending_.emplace(&req, std::move(slot));
+    Slot& s = pos->second;
+    s.lower.data = s.buffer.data();
+    const BusStatus status = s.lower.kind == Kind::Write
+                                 ? lower_.write(s.lower)
+                                 : lower_.read(s.lower);
+    if (status == BusStatus::Error) {
+      pending_.erase(pos);
+      req.result = BusStatus::Error;
+      return BusStatus::Error;
+    }
+    if (status != BusStatus::Request) {
+      // Accept refused (outstanding limit); retry transparently on the
+      // next poll.
+      pending_.erase(pos);
+      return BusStatus::Wait;
+    }
+    req.stage = Tl1Stage::Requested;
+    req.result = BusStatus::Wait;
+    return BusStatus::Request;
+  }
+
+  // Poll the lower transaction.
+  Slot& s = it->second;
+  const BusStatus status = s.lower.kind == Kind::Write
+                               ? lower_.write(s.lower)
+                               : lower_.read(s.lower);
+  if (status != BusStatus::Ok && status != BusStatus::Error) {
+    return BusStatus::Wait;
+  }
+  if (status == BusStatus::Ok && req.kind != Kind::Write) {
+    if (req.burst() || req.size == AccessSize::Word) {
+      std::memcpy(req.data.data(), s.buffer.data(), s.lower.bytes);
+    } else {
+      // The layer-1 read bus presents sub-word data on its natural
+      // lanes; shift the byte-exact layer-2 payload into place.
+      Word w = 0;
+      std::memcpy(&w, s.buffer.data(), s.lower.bytes);
+      const unsigned lane = static_cast<unsigned>(req.address & 0x3u);
+      req.data[0] = w << (8 * lane);
+    }
+  }
+  req.beatsDone = req.beats;
+  req.stage = Tl1Stage::Idle;
+  req.result = status;
+  pending_.erase(it);
+  return status;
+}
+
+} // namespace sct::bus

@@ -1,0 +1,75 @@
+// Layer adapter: layer-1 master interface on a layer-2 bus.
+//
+// Haverinen's layering (paper, Section 2) lists "bridging layer three
+// or layer two components to cycle accurate systems" as a layer use
+// case. This bridge exposes the cycle-accurate EC master interfaces
+// (EcInstrIf/EcDataIf with non-blocking request/wait/ok/error polling)
+// and transports each transaction over a layer-2 bus as one
+// pointer-passing transaction. A cycle-true master — e.g. the MIPS
+// core — can thereby run on the fast layer-2 model unchanged, at
+// layer-2 timing fidelity.
+#ifndef SCT_BUS_TL2_BRIDGE_H
+#define SCT_BUS_TL2_BRIDGE_H
+
+#include <array>
+#include <cstring>
+#include <unordered_map>
+
+#include "bus/ec_interfaces.h"
+#include "bus/ec_request.h"
+#include "bus/tl2_bus.h"
+
+namespace sct::bus {
+
+class Tl2MasterBridge final : public EcInstrIf, public EcDataIf {
+ public:
+  explicit Tl2MasterBridge(Tl2MasterIf& lower) : lower_(lower) {}
+
+  BusStatus fetch(Tl1Request& req) override { return transport(req); }
+  BusStatus read(Tl1Request& req) override { return transport(req); }
+  BusStatus write(Tl1Request& req) override { return transport(req); }
+
+  /// Transactions currently in flight through the bridge.
+  std::size_t pendingCount() const { return pending_.size(); }
+
+ private:
+  struct Slot {
+    Tl2Request lower;
+    std::array<std::uint8_t, 16> buffer;
+  };
+
+  BusStatus transport(Tl1Request& req);
+
+  Tl2MasterIf& lower_;
+  std::unordered_map<Tl1Request*, Slot> pending_;
+};
+
+/// A layer-2 bus packaged with its bridge: a drop-in replacement for
+/// Tl1Bus wherever a cycle-true master expects the layer-1 interfaces
+/// (e.g. SmartCardSoC<BridgedTl2Bus> runs the whole SoC at layer-2
+/// timing fidelity).
+class BridgedTl2Bus final : public EcInstrIf, public EcDataIf {
+ public:
+  BridgedTl2Bus(sim::Clock& clock, std::string name)
+      : bus_(clock, std::move(name)), bridge_(bus_) {}
+
+  int attach(EcSlave& slave) { return bus_.attach(slave); }
+  void addObserver(Tl2Observer& obs) { bus_.addObserver(obs); }
+
+  BusStatus fetch(Tl1Request& req) override { return bridge_.fetch(req); }
+  BusStatus read(Tl1Request& req) override { return bridge_.read(req); }
+  BusStatus write(Tl1Request& req) override { return bridge_.write(req); }
+
+  Tl2Bus& lower() { return bus_; }
+  const Tl2BusStats& stats() const { return bus_.stats(); }
+  bool idle() const { return bus_.idle(); }
+  std::size_t pendingCount() const { return bridge_.pendingCount(); }
+
+ private:
+  Tl2Bus bus_;
+  Tl2MasterBridge bridge_;
+};
+
+} // namespace sct::bus
+
+#endif // SCT_BUS_TL2_BRIDGE_H

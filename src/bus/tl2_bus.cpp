@@ -1,0 +1,213 @@
+#include "bus/tl2_bus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sct::bus {
+
+Tl2Bus::Tl2Bus(sim::Clock& clock, std::string name)
+    : sim::Module(clock.kernel(), std::move(name)), clock_(clock) {
+  processId_ = clock_.onFalling([this] { busProcess(); });
+}
+
+Tl2Bus::~Tl2Bus() { clock_.removeHandler(processId_); }
+
+void Tl2Bus::removeObserver(Tl2Observer& obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), &obs),
+                   observers_.end());
+}
+
+BusStatus Tl2Bus::read(Tl2Request& req) {
+  if (req.kind == Kind::Write) {
+    throw std::logic_error(name() + ": write request on the read interface");
+  }
+  return submitOrPoll(req);
+}
+
+BusStatus Tl2Bus::write(Tl2Request& req) {
+  if (req.kind != Kind::Write) {
+    throw std::logic_error(name() + ": read request on the write interface");
+  }
+  return submitOrPoll(req);
+}
+
+bool Tl2Bus::validate(const Tl2Request& req) const {
+  if (req.data == nullptr) return false;
+  if ((req.address & ~kAddressMask) != 0) return false;
+  switch (req.bytes) {
+    case 1: return true;
+    case 2: return (req.address & 0x1u) == 0;
+    case 4:
+    case 8:
+    case 12:
+    case 16: return (req.address & 0x3u) == 0;
+    default: return false;
+  }
+}
+
+unsigned& Tl2Bus::outstanding(Kind k) {
+  switch (k) {
+    case Kind::InstrFetch: return outstandingInstr_;
+    case Kind::Read: return outstandingRead_;
+    case Kind::Write: return outstandingWrite_;
+  }
+  return outstandingRead_;  // unreachable
+}
+
+BusStatus Tl2Bus::submitOrPoll(Tl2Request& req) {
+  switch (req.stage) {
+    case Tl2Stage::Idle: {
+      if (!validate(req)) {
+        req.result = BusStatus::Error;
+        return BusStatus::Error;
+      }
+      if (outstanding(req.kind) >= kMaxOutstandingPerClass) {
+        return BusStatus::Wait;
+      }
+      // Timing estimation happens at creation time: sample the decoded
+      // slave's wait states now (paper, Section 3.2).
+      req.slave = decoder_.decode(req.address);
+      const unsigned beats = req.beatCount();
+      if (req.slave >= 0) {
+        const SlaveControl& c = decoder_.slave(req.slave).control();
+        const bool allowed =
+            c.allows(req.kind) && c.contains(req.address + req.bytes - 1);
+        if (allowed) {
+          req.addrCycles = c.addrWait + 1;
+          const unsigned dataWait =
+              req.kind == Kind::Write ? c.writeWait : c.readWait;
+          req.dataCycles = dataWait + beats + c.burstBeatWait * (beats - 1);
+        } else {
+          req.slave = -1;  // Treated like a decode miss below.
+        }
+      }
+      if (req.slave < 0) {
+        req.addrCycles = 1;
+        req.dataCycles = 0;
+      }
+      req.addrCyclesLeft = req.addrCycles;
+      req.dataCyclesLeft = req.dataCycles;
+      req.stage = Tl2Stage::Queued;
+      req.result = BusStatus::Wait;
+      req.acceptCycle = clock_.cycle();
+      ++outstanding(req.kind);
+      requestQueue_.push_back(&req);
+      return BusStatus::Request;
+    }
+    case Tl2Stage::Finished: {
+      const BusStatus result = req.result;
+      req.stage = Tl2Stage::Idle;
+      return result;
+    }
+    default:
+      return BusStatus::Wait;
+  }
+}
+
+bool Tl2Bus::idle() const {
+  return requestQueue_.empty() && readQueue_.empty() && writeQueue_.empty() &&
+         addrCurrent_ == nullptr && readCurrent_ == nullptr &&
+         writeCurrent_ == nullptr;
+}
+
+void Tl2Bus::busProcess() {
+  ++stats_.cycles;
+  const bool busy = !idle();
+  // Data units run before the address unit: a transaction leaving the
+  // address phase this cycle is first served by an idle data unit in
+  // the next cycle (the pipeline-fill estimation coarseness documented
+  // in the header), while a backlogged data unit loses nothing.
+  dataPhase(readCurrent_, readQueue_);
+  dataPhase(writeCurrent_, writeQueue_);
+  addressPhase();
+  if (busy) ++stats_.busyCycles;
+}
+
+void Tl2Bus::finish(Tl2Request& req, BusStatus result) {
+  req.result = result;
+  req.stage = Tl2Stage::Finished;
+  req.finishCycle = clock_.cycle();
+  --outstanding(req.kind);
+  switch (req.kind) {
+    case Kind::InstrFetch: ++stats_.instrTransactions; break;
+    case Kind::Read: ++stats_.readTransactions; break;
+    case Kind::Write: ++stats_.writeTransactions; break;
+  }
+  if (result == BusStatus::Error) {
+    ++stats_.errors;
+  } else if (req.kind == Kind::Write) {
+    stats_.bytesWritten += req.bytes;
+  } else {
+    stats_.bytesRead += req.bytes;
+  }
+}
+
+void Tl2Bus::addressPhase() {
+  if (addrCurrent_ == nullptr) {
+    if (requestQueue_.empty()) return;
+    addrCurrent_ = requestQueue_.front();
+    requestQueue_.pop_front();
+  }
+  Tl2Request& req = *addrCurrent_;
+  if (req.addrCyclesLeft > 0) --req.addrCyclesLeft;
+  if (req.addrCyclesLeft > 0) return;
+
+  // Address phase finishes this cycle.
+  Tl2PhaseInfo info;
+  info.kind = req.kind;
+  info.address = req.address;
+  info.bytes = req.bytes;
+  info.beats = req.beatCount();
+  info.cycles = req.addrCycles;
+  info.slave = req.slave;
+  info.error = req.slave < 0;
+  for (Tl2Observer* obs : observers_) obs->addressPhaseDone(info);
+
+  if (req.slave < 0) {
+    finish(req, BusStatus::Error);
+  } else {
+    req.stage = Tl2Stage::DataWait;
+    if (req.kind == Kind::Write) {
+      writeQueue_.push_back(&req);
+    } else {
+      readQueue_.push_back(&req);
+    }
+  }
+  addrCurrent_ = nullptr;
+}
+
+void Tl2Bus::dataPhase(Tl2Request*& current, std::deque<Tl2Request*>& queue) {
+  if (current == nullptr) {
+    if (queue.empty()) return;
+    current = queue.front();
+    queue.pop_front();
+  }
+  Tl2Request& req = *current;
+  if (req.dataCyclesLeft > 0) --req.dataCyclesLeft;
+  if (req.dataCyclesLeft > 0) return;
+
+  // Data phase finishes this cycle: one pointer-passing block transfer.
+  EcSlave& slave = decoder_.slave(req.slave);
+  bool ok;
+  if (req.kind == Kind::Write) {
+    ok = slave.writeBlock(req.address, req.data, req.bytes);
+  } else {
+    ok = slave.readBlock(req.address, req.data, req.bytes);
+  }
+
+  Tl2PhaseInfo info;
+  info.kind = req.kind;
+  info.address = req.address;
+  info.data = req.data;
+  info.bytes = req.bytes;
+  info.beats = req.beatCount();
+  info.cycles = req.dataCycles;
+  info.slave = req.slave;
+  info.error = !ok;
+  for (Tl2Observer* obs : observers_) obs->dataPhaseDone(info);
+
+  finish(req, ok ? BusStatus::Ok : BusStatus::Error);
+  current = nullptr;
+}
+
+} // namespace sct::bus

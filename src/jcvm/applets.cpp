@@ -1,0 +1,285 @@
+#include "jcvm/applets.h"
+
+namespace sct::jcvm::applets {
+
+JcProgram sumLoop() {
+  // short sum(short n) { short acc = 0;
+  //   while (n != 0) { acc += n; n -= 1; } return acc; }
+  ProgramBuilder b;
+  b.beginMethod("sum", /*argCount=*/1, /*maxLocals=*/2);
+  b.defineLabel("loop");
+  b.emitU8(Bc::Sload, 0);
+  b.branch(Bc::Ifeq, "done");
+  b.emitU8(Bc::Sload, 1);
+  b.emitU8(Bc::Sload, 0);
+  b.emit(Bc::Sadd);
+  b.emitU8(Bc::Sstore, 1);
+  b.sinc(0, -1);
+  b.branch(Bc::Goto, "loop");
+  b.defineLabel("done");
+  b.emitU8(Bc::Sload, 1);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  return b.build();
+}
+
+JcProgram fibonacci() {
+  // short fib(short n) { short a=0,b=1;
+  //   while (n != 0) { short t=a+b; a=b; b=t; n-=1; } return a; }
+  ProgramBuilder b;
+  b.beginMethod("fib", 1, 4);  // locals: n, a, b, t
+  b.emitS8(Bc::Bspush, 0);
+  b.emitU8(Bc::Sstore, 1);
+  b.emitS8(Bc::Bspush, 1);
+  b.emitU8(Bc::Sstore, 2);
+  b.defineLabel("loop");
+  b.emitU8(Bc::Sload, 0);
+  b.branch(Bc::Ifeq, "done");
+  b.emitU8(Bc::Sload, 1);
+  b.emitU8(Bc::Sload, 2);
+  b.emit(Bc::Sadd);
+  b.emitU8(Bc::Sstore, 3);
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sstore, 1);
+  b.emitU8(Bc::Sload, 3);
+  b.emitU8(Bc::Sstore, 2);
+  b.sinc(0, -1);
+  b.branch(Bc::Goto, "loop");
+  b.defineLabel("done");
+  b.emitU8(Bc::Sload, 1);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  return b.build();
+}
+
+JcProgram wallet(JcShort initialBalance, JcShort maxBalance) {
+  ProgramBuilder b;
+  // Field 0: balance, owned by the wallet's context (1).
+  const std::uint16_t balance = b.addStaticField(/*context=*/1);
+
+  // Method 0: entry(op, amount) — dispatch to credit/debit, then
+  // return the balance. Context 1.
+  b.beginMethod("process", 2, 2, /*context=*/1);
+  // Initialize the balance (Java Card would do this at install time).
+  b.emitS16(Bc::Sspush, initialBalance);
+  b.emitU16(Bc::Putstatic, balance);
+  b.emitU8(Bc::Sload, 0);
+  b.emitS8(Bc::Bspush, 1);
+  b.branch(Bc::IfScmpeq, "credit");
+  b.emitU8(Bc::Sload, 0);
+  b.emitS8(Bc::Bspush, 2);
+  b.branch(Bc::IfScmpeq, "debit");
+  b.branch(Bc::Goto, "out");
+  b.defineLabel("credit");
+  b.emitU8(Bc::Sload, 1);
+  b.invoke(1, 1);
+  b.branch(Bc::Goto, "out");
+  b.defineLabel("debit");
+  b.emitU8(Bc::Sload, 1);
+  b.invoke(2, 1);
+  b.defineLabel("out");
+  b.emitU16(Bc::Getstatic, balance);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+
+  // Method 1: credit(amount) — clamp to the limit.
+  b.beginMethod("credit", 1, 1, /*context=*/1);
+  b.emitU16(Bc::Getstatic, balance);
+  b.emitU8(Bc::Sload, 0);
+  b.emit(Bc::Sadd);
+  b.emit(Bc::Dup);
+  b.emitS16(Bc::Sspush, maxBalance);
+  b.branch(Bc::IfScmple, "ok");
+  b.emit(Bc::Pop);
+  b.emitS16(Bc::Sspush, maxBalance);
+  b.emitU16(Bc::Putstatic, balance);
+  b.emit(Bc::Return);
+  b.defineLabel("ok");
+  b.emitU16(Bc::Putstatic, balance);
+  b.emit(Bc::Return);
+  b.endMethod();
+
+  // Method 2: debit(amount) — refuse overdraft.
+  b.beginMethod("debit", 1, 1, /*context=*/1);
+  b.emitU16(Bc::Getstatic, balance);
+  b.emitU8(Bc::Sload, 0);
+  b.branch(Bc::IfScmplt, "refuse");
+  b.emitU16(Bc::Getstatic, balance);
+  b.emitU8(Bc::Sload, 0);
+  b.emit(Bc::Ssub);
+  b.emitU16(Bc::Putstatic, balance);
+  b.defineLabel("refuse");
+  b.emit(Bc::Return);
+  b.endMethod();
+  return b.build();
+}
+
+JcProgram arrayChecksum() {
+  // short run(short n) { short[] a = new short[n];
+  //   for (i=0..n-1) a[i] = i*i;  sum = Σ a[i]; return sum; }
+  ProgramBuilder b;
+  b.beginMethod("run", 1, 4);  // locals: n, ref, i, sum
+  b.emitU8(Bc::Sload, 0);
+  b.emit(Bc::Newarray);
+  b.emitU8(Bc::Sstore, 1);
+  b.emitS8(Bc::Bspush, 0);
+  b.emitU8(Bc::Sstore, 2);
+  b.defineLabel("fill");
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 0);
+  b.branch(Bc::IfScmpge, "sum_init");
+  b.emitU8(Bc::Sload, 1);
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 2);
+  b.emit(Bc::Smul);
+  b.emit(Bc::Sastore);
+  b.sinc(2, 1);
+  b.branch(Bc::Goto, "fill");
+  b.defineLabel("sum_init");
+  b.emitS8(Bc::Bspush, 0);
+  b.emitU8(Bc::Sstore, 2);
+  b.defineLabel("acc");
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 1);
+  b.emit(Bc::Arraylength);
+  b.branch(Bc::IfScmpge, "done");
+  b.emitU8(Bc::Sload, 3);
+  b.emitU8(Bc::Sload, 1);
+  b.emitU8(Bc::Sload, 2);
+  b.emit(Bc::Saload);
+  b.emit(Bc::Sadd);
+  b.emitU8(Bc::Sstore, 3);
+  b.sinc(2, 1);
+  b.branch(Bc::Goto, "acc");
+  b.defineLabel("done");
+  b.emitU8(Bc::Sload, 3);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  return b.build();
+}
+
+JcProgram gcd() {
+  // short gcd(short a, short b) {
+  //   while (b != 0) { short t = b; b = a % b; a = t; } return a; }
+  // The subset has no remainder bytecode: a % b = a - (a / b) * b.
+  ProgramBuilder b;
+  b.beginMethod("gcd", 2, 3);  // locals: a, b, t
+  b.defineLabel("loop");
+  b.emitU8(Bc::Sload, 1);
+  b.branch(Bc::Ifeq, "done");
+  b.emitU8(Bc::Sload, 1);
+  b.emitU8(Bc::Sstore, 2);      // t = b
+  b.emitU8(Bc::Sload, 0);
+  b.emitU8(Bc::Sload, 0);
+  b.emitU8(Bc::Sload, 1);
+  b.emit(Bc::Sdiv);             // a / b
+  b.emitU8(Bc::Sload, 1);
+  b.emit(Bc::Smul);             // (a / b) * b
+  b.emit(Bc::Ssub);             // a - ...
+  b.emitU8(Bc::Sstore, 1);      // b = a % b
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sstore, 0);      // a = t
+  b.branch(Bc::Goto, "loop");
+  b.defineLabel("done");
+  b.emitU8(Bc::Sload, 0);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  return b.build();
+}
+
+JcProgram bubbleSort() {
+  // locals: 0 n, 1 probe, 2 ref, 3 i, 4 j, 5 a, 6 b
+  ProgramBuilder b;
+  b.beginMethod("sort", 2, 7);
+  // ref = new short[n]; fill descending: arr[i] = n - i.
+  b.emitU8(Bc::Sload, 0);
+  b.emit(Bc::Newarray);
+  b.emitU8(Bc::Sstore, 2);
+  b.emitS8(Bc::Bspush, 0);
+  b.emitU8(Bc::Sstore, 3);
+  b.defineLabel("fill");
+  b.emitU8(Bc::Sload, 3);
+  b.emitU8(Bc::Sload, 0);
+  b.branch(Bc::IfScmpge, "sort_outer_init");
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 3);
+  b.emitU8(Bc::Sload, 0);
+  b.emitU8(Bc::Sload, 3);
+  b.emit(Bc::Ssub);
+  b.emit(Bc::Sastore);          // arr[i] = n - i
+  b.sinc(3, 1);
+  b.branch(Bc::Goto, "fill");
+
+  // for (i = 0; i < n-1; ++i) for (j = 0; j < n-1-i; ++j) swap if >
+  b.defineLabel("sort_outer_init");
+  b.emitS8(Bc::Bspush, 0);
+  b.emitU8(Bc::Sstore, 3);
+  b.defineLabel("outer");
+  b.emitU8(Bc::Sload, 3);
+  b.emitU8(Bc::Sload, 0);
+  b.emitS8(Bc::Bspush, 1);
+  b.emit(Bc::Ssub);
+  b.branch(Bc::IfScmpge, "sorted");
+  b.emitS8(Bc::Bspush, 0);
+  b.emitU8(Bc::Sstore, 4);
+  b.defineLabel("inner");
+  b.emitU8(Bc::Sload, 4);
+  b.emitU8(Bc::Sload, 0);
+  b.emitS8(Bc::Bspush, 1);
+  b.emit(Bc::Ssub);
+  b.emitU8(Bc::Sload, 3);
+  b.emit(Bc::Ssub);
+  b.branch(Bc::IfScmpge, "inner_done");
+  // a = arr[j]; b = arr[j+1]
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 4);
+  b.emit(Bc::Saload);
+  b.emitU8(Bc::Sstore, 5);
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 4);
+  b.emitS8(Bc::Bspush, 1);
+  b.emit(Bc::Sadd);
+  b.emit(Bc::Saload);
+  b.emitU8(Bc::Sstore, 6);
+  // if (a > b) swap
+  b.emitU8(Bc::Sload, 5);
+  b.emitU8(Bc::Sload, 6);
+  b.branch(Bc::IfScmple, "no_swap");
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 4);
+  b.emitU8(Bc::Sload, 6);
+  b.emit(Bc::Sastore);          // arr[j] = b
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 4);
+  b.emitS8(Bc::Bspush, 1);
+  b.emit(Bc::Sadd);
+  b.emitU8(Bc::Sload, 5);
+  b.emit(Bc::Sastore);          // arr[j+1] = a
+  b.defineLabel("no_swap");
+  b.sinc(4, 1);
+  b.branch(Bc::Goto, "inner");
+  b.defineLabel("inner_done");
+  b.sinc(3, 1);
+  b.branch(Bc::Goto, "outer");
+
+  b.defineLabel("sorted");
+  b.emitU8(Bc::Sload, 2);
+  b.emitU8(Bc::Sload, 1);
+  b.emit(Bc::Saload);           // arr[probe]
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  return b.build();
+}
+
+JcProgram firewallViolator() {
+  ProgramBuilder b;
+  const std::uint16_t secret = b.addStaticField(/*context=*/1);
+  b.beginMethod("attack", 0, 1, /*context=*/2);
+  b.emitU16(Bc::Getstatic, secret);  // Context 2 touching context 1.
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  return b.build();
+}
+
+} // namespace sct::jcvm::applets

@@ -1,0 +1,42 @@
+// Sample Java Card applets used by tests, benches and examples.
+#ifndef SCT_JCVM_APPLETS_H
+#define SCT_JCVM_APPLETS_H
+
+#include "jcvm/bytecode.h"
+#include "jcvm/stack_if.h"
+
+namespace sct::jcvm::applets {
+
+/// Sum of 1..n (argument in local 0), returned via sreturn.
+/// Stack-churny loop: the classic interpreter workload.
+JcProgram sumLoop();
+
+/// Iterative Fibonacci: fib(n) for the argument in local 0.
+JcProgram fibonacci();
+
+/// The classic wallet applet: static balance field, credit/debit
+/// helper methods with limit checks. Entry args: (opcode, amount)
+/// where opcode 1 = credit, 2 = debit; returns the resulting balance.
+/// Methods run in context 1; the balance field is owned by context 1.
+JcProgram wallet(JcShort initialBalance, JcShort maxBalance);
+
+/// Allocates an array of n elements, fills it with i*i, and returns the
+/// checksum. Exercises Newarray/Saload/Sastore and the firewall.
+JcProgram arrayChecksum();
+
+/// A deliberately firewall-violating applet: context 2 code touching a
+/// context-1 field.
+JcProgram firewallViolator();
+
+/// Euclid's algorithm: gcd(a, b) for the two entry arguments.
+JcProgram gcd();
+
+/// Allocates an n-element array filled with a descending sequence,
+/// bubble-sorts it ascending, and returns a probe element
+/// (arr[probeIndex]). Entry args: (n, probeIndex). Heavily exercises
+/// Saload/Sastore and nested loops — the array workout.
+JcProgram bubbleSort();
+
+} // namespace sct::jcvm::applets
+
+#endif // SCT_JCVM_APPLETS_H

@@ -1,0 +1,155 @@
+#include "jcvm/bytecode.h"
+
+#include <stdexcept>
+
+namespace sct::jcvm {
+
+std::string_view mnemonic(Bc op) {
+  switch (op) {
+    case Bc::Nop: return "nop";
+    case Bc::Bspush: return "bspush";
+    case Bc::Sspush: return "sspush";
+    case Bc::Pop: return "pop";
+    case Bc::Dup: return "dup";
+    case Bc::Swap: return "swap_x";
+    case Bc::Sadd: return "sadd";
+    case Bc::Ssub: return "ssub";
+    case Bc::Smul: return "smul";
+    case Bc::Sdiv: return "sdiv";
+    case Bc::Sneg: return "sneg";
+    case Bc::Sand: return "sand";
+    case Bc::Sor: return "sor";
+    case Bc::Sxor: return "sxor";
+    case Bc::Sshl: return "sshl";
+    case Bc::Sshr: return "sshr";
+    case Bc::Sload: return "sload";
+    case Bc::Sstore: return "sstore";
+    case Bc::Sinc: return "sinc";
+    case Bc::Goto: return "goto";
+    case Bc::Ifeq: return "ifeq";
+    case Bc::Ifne: return "ifne";
+    case Bc::IfScmpeq: return "if_scmpeq";
+    case Bc::IfScmpne: return "if_scmpne";
+    case Bc::IfScmplt: return "if_scmplt";
+    case Bc::IfScmpge: return "if_scmpge";
+    case Bc::IfScmpgt: return "if_scmpgt";
+    case Bc::IfScmple: return "if_scmple";
+    case Bc::Getstatic: return "getstatic_s";
+    case Bc::Putstatic: return "putstatic_s";
+    case Bc::Newarray: return "newarray";
+    case Bc::Arraylength: return "arraylength";
+    case Bc::Saload: return "saload";
+    case Bc::Sastore: return "sastore";
+    case Bc::Invokestatic: return "invokestatic";
+    case Bc::Sreturn: return "sreturn";
+    case Bc::Return: return "return";
+  }
+  return "?";
+}
+
+std::uint8_t ProgramBuilder::beginMethod(std::string name,
+                                         std::uint8_t argCount,
+                                         std::uint8_t maxLocals,
+                                         std::uint16_t context) {
+  if (inMethod_) {
+    throw std::runtime_error("ProgramBuilder: previous method not closed");
+  }
+  if (maxLocals < argCount) {
+    throw std::runtime_error("ProgramBuilder: maxLocals < argCount");
+  }
+  MethodInfo m;
+  m.offset = static_cast<std::uint32_t>(program_.code.size());
+  m.argCount = argCount;
+  m.maxLocals = maxLocals;
+  m.context = context;
+  m.name = std::move(name);
+  program_.methods.push_back(m);
+  inMethod_ = true;
+  return static_cast<std::uint8_t>(program_.methods.size() - 1);
+}
+
+void ProgramBuilder::endMethod() {
+  if (!inMethod_) throw std::runtime_error("ProgramBuilder: no open method");
+  inMethod_ = false;
+}
+
+void ProgramBuilder::emit(Bc op) {
+  program_.code.push_back(static_cast<std::uint8_t>(op));
+}
+
+void ProgramBuilder::emitU8(Bc op, std::uint8_t v) {
+  emit(op);
+  program_.code.push_back(v);
+}
+
+void ProgramBuilder::emitS8(Bc op, std::int8_t v) {
+  emitU8(op, static_cast<std::uint8_t>(v));
+}
+
+void ProgramBuilder::emitU16(Bc op, std::uint16_t v) {
+  emit(op);
+  program_.code.push_back(static_cast<std::uint8_t>(v >> 8));
+  program_.code.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void ProgramBuilder::emitS16(Bc op, std::int16_t v) {
+  emitU16(op, static_cast<std::uint16_t>(v));
+}
+
+void ProgramBuilder::sinc(std::uint8_t local, std::int8_t delta) {
+  emit(Bc::Sinc);
+  program_.code.push_back(local);
+  program_.code.push_back(static_cast<std::uint8_t>(delta));
+}
+
+void ProgramBuilder::invoke(std::uint8_t method, std::uint8_t argCount) {
+  emit(Bc::Invokestatic);
+  program_.code.push_back(method);
+  program_.code.push_back(argCount);
+}
+
+void ProgramBuilder::branch(Bc op, const std::string& label) {
+  emit(op);
+  fixups_.push_back(Fixup{program_.code.size(), label});
+  program_.code.push_back(0);
+  program_.code.push_back(0);
+}
+
+void ProgramBuilder::defineLabel(const std::string& label) {
+  labels_.emplace_back(label,
+                       static_cast<std::uint32_t>(program_.code.size()));
+}
+
+std::uint16_t ProgramBuilder::addStaticField(std::uint16_t context) {
+  program_.staticFieldContext.push_back(context);
+  return program_.staticFieldCount++;
+}
+
+JcProgram ProgramBuilder::build() {
+  if (inMethod_) throw std::runtime_error("ProgramBuilder: method not closed");
+  for (const Fixup& f : fixups_) {
+    bool found = false;
+    for (const auto& [name, offset] : labels_) {
+      if (name != f.label) continue;
+      // Branch offsets are relative to the opcode byte (at - 1).
+      const std::int64_t rel =
+          static_cast<std::int64_t>(offset) -
+          (static_cast<std::int64_t>(f.at) - 1);
+      if (rel < -32768 || rel > 32767) {
+        throw std::runtime_error("ProgramBuilder: branch out of range");
+      }
+      const auto v = static_cast<std::uint16_t>(rel & 0xFFFF);
+      program_.code[f.at] = static_cast<std::uint8_t>(v >> 8);
+      program_.code[f.at + 1] = static_cast<std::uint8_t>(v & 0xFF);
+      found = true;
+      break;
+    }
+    if (!found) {
+      throw std::runtime_error("ProgramBuilder: undefined label '" +
+                               f.label + "'");
+    }
+  }
+  return std::move(program_);
+}
+
+} // namespace sct::jcvm

@@ -1,0 +1,153 @@
+// Java Card bytecode subset.
+//
+// The paper's HW/SW-interface case study uses "a java card virtual
+// machine implemented as functional, un-timed SystemC model" (Figure
+// 7). This module defines the bytecode subset our interpreter executes:
+// the 16-bit ("short") arithmetic, stack, local-variable, branch,
+// static-field, array and invocation instructions that Java Card
+// applets are built from. Opcode numbering is internal to this
+// framework; mnemonics follow the Java Card VM specification.
+#ifndef SCT_JCVM_BYTECODE_H
+#define SCT_JCVM_BYTECODE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sct::jcvm {
+
+enum class Bc : std::uint8_t {
+  Nop = 0x00,
+  Bspush,   ///< Push sign-extended byte.
+  Sspush,   ///< Push 16-bit short.
+  Pop,
+  Dup,
+  Swap,
+  Sadd,
+  Ssub,
+  Smul,
+  Sdiv,     ///< Division by zero raises VmError::ArithmeticError.
+  Sneg,
+  Sand,
+  Sor,
+  Sxor,
+  Sshl,
+  Sshr,
+  Sload,    ///< Push local variable (u8 index).
+  Sstore,   ///< Pop into local variable (u8 index).
+  Sinc,     ///< Add s8 constant to local (u8 index, s8 delta).
+  Goto,     ///< Relative s16 branch.
+  Ifeq,     ///< Branch if popped value == 0.
+  Ifne,
+  IfScmpeq, ///< Pop two, compare, branch.
+  IfScmpne,
+  IfScmplt,
+  IfScmpge,
+  IfScmpgt,
+  IfScmple,
+  Getstatic,  ///< Push static field (u16 index).
+  Putstatic,  ///< Pop into static field (u16 index).
+  Newarray,   ///< Pop length, push array reference.
+  Arraylength,///< Pop reference, push length.
+  Saload,     ///< Pop index, ref; push element.
+  Sastore,    ///< Pop value, index, ref.
+  Invokestatic, ///< u8 method index; args move from stack to locals.
+  Sreturn,    ///< Return a short to the caller's stack.
+  Return,     ///< Return void.
+};
+
+/// Operand byte count of each opcode.
+constexpr unsigned operandBytes(Bc op) {
+  switch (op) {
+    case Bc::Bspush: return 1;
+    case Bc::Sspush: return 2;
+    case Bc::Sload:
+    case Bc::Sstore: return 1;
+    case Bc::Sinc: return 2;
+    case Bc::Goto:
+    case Bc::Ifeq:
+    case Bc::Ifne:
+    case Bc::IfScmpeq:
+    case Bc::IfScmpne:
+    case Bc::IfScmplt:
+    case Bc::IfScmpge:
+    case Bc::IfScmpgt:
+    case Bc::IfScmple: return 2;
+    case Bc::Getstatic:
+    case Bc::Putstatic: return 2;
+    case Bc::Invokestatic: return 2;  // method index, argument count.
+    default: return 0;
+  }
+}
+
+std::string_view mnemonic(Bc op);
+
+/// One method of an applet: bytecode range plus frame metadata.
+struct MethodInfo {
+  std::uint32_t offset = 0;   ///< First bytecode index.
+  std::uint8_t maxLocals = 0;
+  std::uint8_t argCount = 0;
+  std::uint16_t context = 0;  ///< Firewall context (package) id.
+  std::string name;
+};
+
+/// A complete applet image: bytecodes, method table, static field
+/// count. Method 0 is the entry point.
+struct JcProgram {
+  std::vector<std::uint8_t> code;
+  std::vector<MethodInfo> methods;
+  std::uint16_t staticFieldCount = 0;
+  /// Firewall owner context per static field (parallel array; missing
+  /// entries default to context 0 = shared/JCRE).
+  std::vector<std::uint16_t> staticFieldContext;
+
+  std::uint16_t fieldContext(std::uint16_t index) const {
+    return index < staticFieldContext.size() ? staticFieldContext[index]
+                                             : 0;
+  }
+};
+
+/// Incremental builder for applet images (the test/bench "assembler").
+class ProgramBuilder {
+ public:
+  /// Begin a method; returns its index. Methods must be closed with
+  /// endMethod() before the next begins.
+  std::uint8_t beginMethod(std::string name, std::uint8_t argCount,
+                           std::uint8_t maxLocals, std::uint16_t context = 0);
+  void endMethod();
+
+  // Emission helpers. `fixup` targets are resolved by label().
+  void emit(Bc op);
+  void emitU8(Bc op, std::uint8_t v);
+  void emitS8(Bc op, std::int8_t v);
+  void emitU16(Bc op, std::uint16_t v);
+  void emitS16(Bc op, std::int16_t v);
+  void sinc(std::uint8_t local, std::int8_t delta);
+  void invoke(std::uint8_t method, std::uint8_t argCount);
+
+  /// Branch to a label (forward or backward).
+  void branch(Bc op, const std::string& label);
+  void defineLabel(const std::string& label);
+
+  std::uint16_t addStaticField(std::uint16_t context = 0);
+
+  /// Finalize: resolves branch fixups; throws std::runtime_error on
+  /// undefined labels or unclosed methods.
+  JcProgram build();
+
+ private:
+  struct Fixup {
+    std::size_t at;  ///< Offset of the s16 operand.
+    std::string label;
+  };
+
+  JcProgram program_;
+  std::vector<Fixup> fixups_;
+  std::vector<std::pair<std::string, std::uint32_t>> labels_;
+  bool inMethod_ = false;
+};
+
+} // namespace sct::jcvm
+
+#endif // SCT_JCVM_BYTECODE_H

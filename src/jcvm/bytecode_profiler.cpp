@@ -1,0 +1,26 @@
+#include "jcvm/bytecode_profiler.h"
+
+#include <algorithm>
+
+namespace sct::jcvm {
+
+std::vector<BytecodeEnergyProfiler::Entry>
+BytecodeEnergyProfiler::ranking() const {
+  std::vector<Entry> out;
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back(Entry{static_cast<Bc>(i), counts_[i], energy_fJ_[i]});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.energy_fJ > b.energy_fJ;
+  });
+  return out;
+}
+
+double BytecodeEnergyProfiler::totalAttributed_fJ() const {
+  double sum = 0.0;
+  for (double e : energy_fJ_) sum += e;
+  return sum;
+}
+
+} // namespace sct::jcvm

@@ -1,0 +1,76 @@
+// Per-bytecode energy attribution.
+//
+// Attached to the interpreter as a BytecodeObserver and to a power
+// model's interval interface, the profiler attributes the bus energy
+// spent between consecutive bytecodes to the bytecode that caused it —
+// turning the exploration's aggregate figures into a "which bytecodes
+// cost what" ranking (the actionable form for firmware and interface
+// optimization).
+#ifndef SCT_JCVM_BYTECODE_PROFILER_H
+#define SCT_JCVM_BYTECODE_PROFILER_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jcvm/interpreter.h"
+#include "power/power_if.h"
+
+namespace sct::jcvm {
+
+class BytecodeEnergyProfiler final : public BytecodeObserver {
+ public:
+  explicit BytecodeEnergyProfiler(power::IntervalPowerIf& power)
+      : power_(power) {}
+
+  // BytecodeObserver
+  void onBytecode(Bc op, std::uint32_t /*pc*/) override {
+    attributePending();
+    pending_ = op;
+    hasPending_ = true;
+  }
+  void onRunEnd() override { attributePending(); }
+
+  struct Entry {
+    Bc op;
+    std::uint64_t count;
+    double energy_fJ;
+    double energyPerExecution_fJ() const {
+      return count == 0 ? 0.0 : energy_fJ / static_cast<double>(count);
+    }
+  };
+
+  /// Non-zero entries, most expensive first.
+  std::vector<Entry> ranking() const;
+
+  double totalAttributed_fJ() const;
+  std::uint64_t executions(Bc op) const {
+    return counts_[static_cast<std::size_t>(op)];
+  }
+  double energyOf(Bc op) const {
+    return energy_fJ_[static_cast<std::size_t>(op)];
+  }
+
+ private:
+  void attributePending() {
+    const double delta = power_.energySinceLastCall_fJ();
+    if (hasPending_) {
+      const auto i = static_cast<std::size_t>(pending_);
+      energy_fJ_[i] += delta;
+      ++counts_[i];
+    }
+    hasPending_ = false;
+  }
+
+  static constexpr std::size_t kOpCount = 64;  // > last Bc value.
+  power::IntervalPowerIf& power_;
+  std::array<double, kOpCount> energy_fJ_{};
+  std::array<std::uint64_t, kOpCount> counts_{};
+  Bc pending_ = Bc::Nop;
+  bool hasPending_ = false;
+};
+
+} // namespace sct::jcvm
+
+#endif // SCT_JCVM_BYTECODE_PROFILER_H

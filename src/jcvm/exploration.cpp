@@ -1,0 +1,121 @@
+#include "jcvm/exploration.h"
+
+#include "bus/tl1_bus.h"
+#include "jcvm/master_adapter.h"
+#include "power/tl1_power_model.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+
+namespace sct::jcvm {
+
+ExplorationResult evaluateInterface(
+    const JcProgram& program, const std::vector<JcShort>& args,
+    const InterfaceConfig& config, const power::SignalEnergyTable& table,
+    std::vector<BytecodeEnergyProfiler::Entry>* bytecodeRanking) {
+  sim::Kernel kernel;
+  sim::Clock clock(kernel, "clk", 30'000);
+  bus::Tl1Bus ecbus(clock, "ecbus");
+  power::Tl1PowerModel pm(table);
+  ecbus.addObserver(pm);
+
+  bus::SlaveControl ctl;
+  ctl.base = config.base;
+  ctl.size = 0x100;
+  ctl.addrWait = config.slaveAddrWait;
+  ctl.readWait = config.slaveDataWait;
+  ctl.writeWait = config.slaveDataWait;
+  ctl.canExec = false;
+
+  FunctionalStack backend(256);
+  HwStackSlave hwStack("hwstack", ctl, config.organization, backend);
+  ecbus.attach(hwStack);
+
+  HwStackMasterAdapter::Config mc;
+  mc.base = config.base;
+  mc.organization = config.organization;
+  mc.shadowDepth = config.shadowDepth;
+  HwStackMasterAdapter adapter(clock, ecbus, mc);
+
+  MemoryManager memory(program.staticFieldCount);
+  Firewall firewall;
+  Interpreter vm(program, adapter, memory, firewall);
+  BytecodeEnergyProfiler profiler(pm);
+  if (bytecodeRanking != nullptr) vm.setObserver(&profiler);
+
+  ExplorationResult r;
+  r.config = config.name;
+  r.ok = vm.run(args);
+  r.error = vm.error();
+  r.result = vm.result();
+  r.bytecodes = vm.stats().bytecodesExecuted;
+  r.stackOps = vm.stats().stackOps;
+  r.busTransactions = adapter.transport().busTransactions;
+  r.busCycles = clock.cycle();
+  r.bytesOnBus = adapter.transport().bytesOnBus;
+  r.energy_fJ = pm.totalEnergy_fJ();
+  if (bytecodeRanking != nullptr) *bytecodeRanking = profiler.ranking();
+  return r;
+}
+
+ExplorationResult evaluateFunctional(const JcProgram& program,
+                                     const std::vector<JcShort>& args) {
+  FunctionalStack stack(256);
+  MemoryManager memory(program.staticFieldCount);
+  Firewall firewall;
+  Interpreter vm(program, stack, memory, firewall);
+
+  ExplorationResult r;
+  r.config = "functional";
+  r.ok = vm.run(args);
+  r.error = vm.error();
+  r.result = vm.result();
+  r.bytecodes = vm.stats().bytecodesExecuted;
+  r.stackOps = vm.stats().stackOps;
+  return r;
+}
+
+std::vector<InterfaceConfig> defaultConfigSpace() {
+  std::vector<InterfaceConfig> space;
+  {
+    InterfaceConfig c;
+    c.name = "separate_regs";
+    c.organization = SfrOrganization::Separate;
+    space.push_back(c);
+  }
+  {
+    InterfaceConfig c;
+    c.name = "combined_reg";
+    c.organization = SfrOrganization::Combined;
+    space.push_back(c);
+  }
+  {
+    InterfaceConfig c;
+    c.name = "packed_pairs";
+    c.organization = SfrOrganization::Packed;
+    space.push_back(c);
+  }
+  {
+    InterfaceConfig c;
+    c.name = "combined_status_poll";
+    c.organization = SfrOrganization::Combined;
+    c.shadowDepth = false;  // Depth queries go over the bus.
+    space.push_back(c);
+  }
+  {
+    InterfaceConfig c;
+    c.name = "combined_slow_slave";
+    c.organization = SfrOrganization::Combined;
+    c.slaveDataWait = 2;
+    space.push_back(c);
+  }
+  {
+    InterfaceConfig c;
+    c.name = "combined_high_addr";
+    c.organization = SfrOrganization::Combined;
+    c.base = 0xF0000800;  // Address-map choice with heavy bit weight.
+    space.push_back(c);
+  }
+  return space;
+}
+
+} // namespace sct::jcvm

@@ -1,0 +1,87 @@
+#include "jcvm/hw_stack.h"
+
+namespace sct::jcvm {
+
+using bus::Word;
+
+HwStackSlave::HwStackSlave(std::string name,
+                           const bus::SlaveControl& control,
+                           SfrOrganization organization,
+                           OperandStackIf& backend)
+    : bus::RegisterSlave(std::move(name), control),
+      organization_(organization),
+      backend_(backend) {
+  switch (organization_) {
+    case SfrOrganization::Separate: defineSeparate(); break;
+    case SfrOrganization::Combined: defineCombined(); break;
+    case SfrOrganization::Packed: definePacked(); break;
+  }
+}
+
+Word HwStackSlave::statusWord() {
+  Word s = backend_.depth() & 0xFFu;
+  if (overflow_) s |= kHwStackErrOverflow;
+  if (underflow_) s |= kHwStackErrUnderflow;
+  return s;
+}
+
+void HwStackSlave::pushShort(Word v) {
+  if (!backend_.push(static_cast<JcShort>(v & 0xFFFF))) overflow_ = true;
+}
+
+Word HwStackSlave::popShort() {
+  JcShort v = 0;
+  if (!backend_.pop(v)) {
+    underflow_ = true;
+    return 0;
+  }
+  return static_cast<Word>(static_cast<std::uint16_t>(v));
+}
+
+void HwStackSlave::defineSeparate() {
+  defineRegister(0x0, "PUSH", nullptr, [this](Word v) { pushShort(v); });
+  defineRegister(0x4, "POP", [this] { return popShort(); }, nullptr);
+  defineRegister(0x8, "DEPTH",
+                 [this]() -> Word { return backend_.depth(); }, nullptr);
+  defineRegister(0xC, "CTRL", nullptr, [this](Word) {
+    backend_.reset();
+    overflow_ = underflow_ = false;
+  });
+}
+
+void HwStackSlave::defineCombined() {
+  defineRegister(
+      0x0, "DATA", [this] { return popShort(); },
+      [this](Word v) { pushShort(v); });
+  defineRegister(0x4, "STATUS", [this] { return statusWord(); }, nullptr);
+  defineRegister(0x8, "CTRL", nullptr, [this](Word) {
+    backend_.reset();
+    overflow_ = underflow_ = false;
+  });
+}
+
+void HwStackSlave::definePacked() {
+  defineRegister(
+      0x0, "PAIR",
+      [this]() -> Word {
+        // Pop two: the first popped short (the top) rides in the high
+        // half so the master can unpack in order.
+        const Word top = popShort();
+        const Word below = popShort();
+        return (top << 16) | below;
+      },
+      [this](Word v) {
+        pushShort(v & 0xFFFF);  // Low short first, high ends on top.
+        pushShort(v >> 16);
+      });
+  defineRegister(
+      0x4, "DATA", [this] { return popShort(); },
+      [this](Word v) { pushShort(v); });
+  defineRegister(0x8, "STATUS", [this] { return statusWord(); }, nullptr);
+  defineRegister(0xC, "CTRL", nullptr, [this](Word) {
+    backend_.reset();
+    overflow_ = underflow_ = false;
+  });
+}
+
+} // namespace sct::jcvm

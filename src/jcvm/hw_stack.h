@@ -1,0 +1,68 @@
+// Hardware operand stack: special-function-register slave.
+//
+// This is the paper's slave adapter plus hardware stack (Figure 7b):
+// bus accesses to the SFR window are translated back into operand-stack
+// interface calls on a backend stack model. "Communication is performed
+// by using special function register. During HW/SW interface evaluation
+// we change the address map, organization of these registers and used
+// bus transactions to access them" — the SfrOrganization enum and the
+// slave's base address are exactly those exploration dimensions.
+#ifndef SCT_JCVM_HW_STACK_H
+#define SCT_JCVM_HW_STACK_H
+
+#include <string>
+
+#include "bus/register_slave.h"
+#include "jcvm/stack_if.h"
+
+namespace sct::jcvm {
+
+/// Register organizations explored in Section 4.3.
+enum class SfrOrganization : std::uint8_t {
+  /// Dedicated registers: +0x0 PUSH (W), +0x4 POP (R), +0x8 DEPTH (R),
+  /// +0xC CTRL (W: any value resets). Push and pop hit different
+  /// addresses, so alternating traffic toggles address bits.
+  Separate,
+  /// One data register: +0x0 DATA (W = push, R = pop), +0x4 STATUS
+  /// (R: depth | error flags), +0x8 CTRL (W: reset). Minimal address
+  /// activity for push/pop streams.
+  Combined,
+  /// Pair transfers: +0x0 PAIR (W = push two shorts, low first;
+  /// R = pop two, top in the high half), +0x4 DATA (single-short
+  /// fallback), +0x8 STATUS, +0xC CTRL. Halves the transaction count
+  /// of stack-intensive bytecode when the master combines operations.
+  Packed,
+};
+
+/// STATUS register bits (beyond the depth in bits 0..7).
+inline constexpr bus::Word kHwStackErrOverflow = 1u << 8;
+inline constexpr bus::Word kHwStackErrUnderflow = 1u << 9;
+
+class HwStackSlave final : public bus::RegisterSlave {
+ public:
+  HwStackSlave(std::string name, const bus::SlaveControl& control,
+               SfrOrganization organization, OperandStackIf& backend);
+
+  SfrOrganization organization() const { return organization_; }
+  OperandStackIf& backend() { return backend_; }
+
+  bus::Word statusWord();
+  bool overflowSeen() const { return overflow_; }
+  bool underflowSeen() const { return underflow_; }
+
+ private:
+  void defineSeparate();
+  void defineCombined();
+  void definePacked();
+  bus::Word popShort();
+  void pushShort(bus::Word v);
+
+  SfrOrganization organization_;
+  OperandStackIf& backend_;
+  bool overflow_ = false;
+  bool underflow_ = false;
+};
+
+} // namespace sct::jcvm
+
+#endif // SCT_JCVM_HW_STACK_H

@@ -1,0 +1,335 @@
+#include "jcvm/interpreter.h"
+
+namespace sct::jcvm {
+
+Interpreter::Interpreter(const JcProgram& program, OperandStackIf& stack,
+                         MemoryManager& memory, Firewall& firewall,
+                         std::size_t maxCallDepth)
+    : program_(program),
+      stack_(stack),
+      memory_(memory),
+      firewall_(firewall),
+      maxCallDepth_(maxCallDepth) {}
+
+bool Interpreter::fail(VmError e) {
+  error_ = e;
+  finished_ = true;
+  return false;
+}
+
+bool Interpreter::push(JcShort v) {
+  ++stats_.stackOps;
+  if (!stack_.push(v)) return fail(VmError::StackOverflow);
+  return true;
+}
+
+bool Interpreter::pop(JcShort& v) {
+  ++stats_.stackOps;
+  if (!stack_.pop(v)) return fail(VmError::StackUnderflow);
+  return true;
+}
+
+std::uint8_t Interpreter::fetchU8() {
+  return program_.code[frames_.back().pc++];
+}
+
+std::uint16_t Interpreter::fetchU16() {
+  const std::uint16_t hi = fetchU8();
+  const std::uint16_t lo = fetchU8();
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+ContextId Interpreter::currentContext() const {
+  return program_.methods[frames_.back().method].context;
+}
+
+bool Interpreter::run(const std::vector<JcShort>& args,
+                      std::uint64_t maxSteps) {
+  if (program_.methods.empty()) return false;
+  frames_.clear();
+  error_ = VmError::None;
+  finished_ = false;
+  stats_ = VmStats{};
+  result_ = 0;
+  stack_.reset();
+
+  const MethodInfo& entry = program_.methods[0];
+  Frame f;
+  f.method = 0;
+  f.pc = entry.offset;
+  f.locals.assign(entry.maxLocals, 0);
+  for (std::size_t i = 0; i < args.size() && i < f.locals.size(); ++i) {
+    f.locals[i] = args[i];
+  }
+  frames_.push_back(std::move(f));
+
+  std::uint64_t steps = 0;
+  while (!finished_) {
+    if (++steps > maxSteps) {
+      fail(VmError::StepLimitExceeded);
+      break;
+    }
+    if (!step() && error_ != VmError::None) break;
+  }
+  if (observer_ != nullptr) observer_->onRunEnd();
+  return error_ == VmError::None;
+}
+
+bool Interpreter::step() {
+  Frame& frame = frames_.back();
+  if (frame.pc >= program_.code.size()) {
+    return fail(VmError::InvalidBytecode);
+  }
+  const Bc op = static_cast<Bc>(fetchU8());
+  ++stats_.bytecodesExecuted;
+  if (observer_ != nullptr) observer_->onBytecode(op, frame.pc - 1);
+
+  auto binary = [&](auto fn) -> bool {
+    JcShort b = 0;
+    JcShort a = 0;
+    if (!pop(b) || !pop(a)) return false;
+    return push(static_cast<JcShort>(fn(a, b)));
+  };
+  auto compareBranch = [&](auto fn) -> bool {
+    const auto offsetBase = frame.pc - 1;  // Opcode byte.
+    const auto rel = static_cast<std::int16_t>(fetchU16());
+    JcShort b = 0;
+    JcShort a = 0;
+    if (!pop(b) || !pop(a)) return false;
+    if (fn(a, b)) {
+      frame.pc = static_cast<std::uint32_t>(offsetBase + rel);
+      ++stats_.branchesTaken;
+    }
+    return true;
+  };
+  auto zeroBranch = [&](auto fn) -> bool {
+    const auto offsetBase = frame.pc - 1;
+    const auto rel = static_cast<std::int16_t>(fetchU16());
+    JcShort v = 0;
+    if (!pop(v)) return false;
+    if (fn(v)) {
+      frame.pc = static_cast<std::uint32_t>(offsetBase + rel);
+      ++stats_.branchesTaken;
+    }
+    return true;
+  };
+
+  switch (op) {
+    case Bc::Nop:
+      return true;
+    case Bc::Bspush:
+      return push(static_cast<JcShort>(static_cast<std::int8_t>(fetchU8())));
+    case Bc::Sspush:
+      return push(static_cast<JcShort>(fetchU16()));
+    case Bc::Pop: {
+      JcShort v = 0;
+      return pop(v);
+    }
+    case Bc::Dup: {
+      JcShort v = 0;
+      if (!pop(v)) return false;
+      return push(v) && push(v);
+    }
+    case Bc::Swap: {
+      JcShort a = 0;
+      JcShort b = 0;
+      if (!pop(b) || !pop(a)) return false;
+      return push(b) && push(a);
+    }
+    case Bc::Sadd:
+      return binary([](int a, int b) { return a + b; });
+    case Bc::Ssub:
+      return binary([](int a, int b) { return a - b; });
+    case Bc::Smul:
+      return binary([](int a, int b) { return a * b; });
+    case Bc::Sdiv: {
+      JcShort b = 0;
+      JcShort a = 0;
+      if (!pop(b) || !pop(a)) return false;
+      if (b == 0) return fail(VmError::ArithmeticError);
+      return push(static_cast<JcShort>(a / b));
+    }
+    case Bc::Sneg: {
+      JcShort v = 0;
+      if (!pop(v)) return false;
+      return push(static_cast<JcShort>(-v));
+    }
+    case Bc::Sand:
+      return binary([](int a, int b) { return a & b; });
+    case Bc::Sor:
+      return binary([](int a, int b) { return a | b; });
+    case Bc::Sxor:
+      return binary([](int a, int b) { return a ^ b; });
+    case Bc::Sshl:
+      return binary([](int a, int b) { return a << (b & 15); });
+    case Bc::Sshr:
+      return binary([](int a, int b) { return a >> (b & 15); });
+    case Bc::Sload: {
+      const std::uint8_t idx = fetchU8();
+      if (idx >= frame.locals.size()) return fail(VmError::BadLocalIndex);
+      return push(frame.locals[idx]);
+    }
+    case Bc::Sstore: {
+      const std::uint8_t idx = fetchU8();
+      if (idx >= frame.locals.size()) return fail(VmError::BadLocalIndex);
+      JcShort v = 0;
+      if (!pop(v)) return false;
+      frame.locals[idx] = v;
+      return true;
+    }
+    case Bc::Sinc: {
+      const std::uint8_t idx = fetchU8();
+      const auto delta = static_cast<std::int8_t>(fetchU8());
+      if (idx >= frame.locals.size()) return fail(VmError::BadLocalIndex);
+      frame.locals[idx] = static_cast<JcShort>(frame.locals[idx] + delta);
+      return true;
+    }
+    case Bc::Goto: {
+      const auto offsetBase = frame.pc - 1;
+      const auto rel = static_cast<std::int16_t>(fetchU16());
+      frame.pc = static_cast<std::uint32_t>(offsetBase + rel);
+      ++stats_.branchesTaken;
+      return true;
+    }
+    case Bc::Ifeq:
+      return zeroBranch([](JcShort v) { return v == 0; });
+    case Bc::Ifne:
+      return zeroBranch([](JcShort v) { return v != 0; });
+    case Bc::IfScmpeq:
+      return compareBranch([](JcShort a, JcShort b) { return a == b; });
+    case Bc::IfScmpne:
+      return compareBranch([](JcShort a, JcShort b) { return a != b; });
+    case Bc::IfScmplt:
+      return compareBranch([](JcShort a, JcShort b) { return a < b; });
+    case Bc::IfScmpge:
+      return compareBranch([](JcShort a, JcShort b) { return a >= b; });
+    case Bc::IfScmpgt:
+      return compareBranch([](JcShort a, JcShort b) { return a > b; });
+    case Bc::IfScmple:
+      return compareBranch([](JcShort a, JcShort b) { return a <= b; });
+    case Bc::Getstatic: {
+      const std::uint16_t idx = fetchU16();
+      const bool allowed =
+          firewall_.allows(currentContext(), program_.fieldContext(idx));
+      firewall_.recordCheck(allowed);
+      if (!allowed) return fail(VmError::FirewallViolation);
+      JcShort v = 0;
+      if (!memory_.readStatic(idx, v)) return fail(VmError::BadFieldIndex);
+      return push(v);
+    }
+    case Bc::Putstatic: {
+      const std::uint16_t idx = fetchU16();
+      const bool allowed =
+          firewall_.allows(currentContext(), program_.fieldContext(idx));
+      firewall_.recordCheck(allowed);
+      if (!allowed) return fail(VmError::FirewallViolation);
+      JcShort v = 0;
+      if (!pop(v)) return false;
+      if (!memory_.writeStatic(idx, v)) return fail(VmError::BadFieldIndex);
+      return true;
+    }
+    case Bc::Newarray: {
+      JcShort len = 0;
+      if (!pop(len)) return false;
+      if (len <= 0) return fail(VmError::NullOrBadArray);
+      const ArrayRef ref = memory_.allocArray(
+          static_cast<std::uint16_t>(len), currentContext());
+      if (ref == 0) return fail(VmError::NullOrBadArray);
+      return push(static_cast<JcShort>(ref));
+    }
+    case Bc::Arraylength: {
+      JcShort ref = 0;
+      if (!pop(ref)) return false;
+      std::uint16_t len = 0;
+      if (!memory_.arrayLength(static_cast<ArrayRef>(ref), len)) {
+        return fail(VmError::NullOrBadArray);
+      }
+      return push(static_cast<JcShort>(len));
+    }
+    case Bc::Saload: {
+      JcShort idx = 0;
+      JcShort ref = 0;
+      if (!pop(idx) || !pop(ref)) return false;
+      const auto aref = static_cast<ArrayRef>(ref);
+      const bool allowed =
+          firewall_.allows(currentContext(), memory_.arrayOwner(aref));
+      firewall_.recordCheck(allowed);
+      if (!allowed) return fail(VmError::FirewallViolation);
+      if (idx < 0) return fail(VmError::ArrayIndexOutOfBounds);
+      JcShort v = 0;
+      if (!memory_.readArray(aref, static_cast<std::uint16_t>(idx), v)) {
+        std::uint16_t len = 0;
+        return fail(memory_.arrayLength(aref, len)
+                        ? VmError::ArrayIndexOutOfBounds
+                        : VmError::NullOrBadArray);
+      }
+      return push(v);
+    }
+    case Bc::Sastore: {
+      JcShort value = 0;
+      JcShort idx = 0;
+      JcShort ref = 0;
+      if (!pop(value) || !pop(idx) || !pop(ref)) return false;
+      const auto aref = static_cast<ArrayRef>(ref);
+      const bool allowed =
+          firewall_.allows(currentContext(), memory_.arrayOwner(aref));
+      firewall_.recordCheck(allowed);
+      if (!allowed) return fail(VmError::FirewallViolation);
+      if (idx < 0) return fail(VmError::ArrayIndexOutOfBounds);
+      if (!memory_.writeArray(aref, static_cast<std::uint16_t>(idx),
+                              value)) {
+        std::uint16_t len = 0;
+        return fail(memory_.arrayLength(aref, len)
+                        ? VmError::ArrayIndexOutOfBounds
+                        : VmError::NullOrBadArray);
+      }
+      return true;
+    }
+    case Bc::Invokestatic: {
+      const std::uint8_t methodIdx = fetchU8();
+      const std::uint8_t argCount = fetchU8();
+      if (methodIdx >= program_.methods.size()) {
+        return fail(VmError::InvalidBytecode);
+      }
+      if (frames_.size() >= maxCallDepth_) {
+        return fail(VmError::CallDepthExceeded);
+      }
+      const MethodInfo& callee = program_.methods[methodIdx];
+      Frame next;
+      next.method = methodIdx;
+      next.pc = callee.offset;
+      next.locals.assign(callee.maxLocals, 0);
+      // Arguments are popped right-to-left into the first locals.
+      for (unsigned i = argCount; i-- > 0;) {
+        JcShort v = 0;
+        if (!pop(v)) return false;
+        if (i < next.locals.size()) next.locals[i] = v;
+      }
+      frames_.push_back(std::move(next));
+      ++stats_.invocations;
+      return true;
+    }
+    case Bc::Sreturn: {
+      JcShort v = 0;
+      if (!pop(v)) return false;
+      frames_.pop_back();
+      if (frames_.empty()) {
+        result_ = v;
+        finished_ = true;
+        return true;
+      }
+      return push(v);
+    }
+    case Bc::Return: {
+      frames_.pop_back();
+      if (frames_.empty()) {
+        finished_ = true;
+        return true;
+      }
+      return true;
+    }
+  }
+  return fail(VmError::InvalidBytecode);
+}
+
+} // namespace sct::jcvm

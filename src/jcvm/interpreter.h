@@ -1,0 +1,103 @@
+// Bytecode interpreter of the Java Card VM (Figure 7).
+//
+// Functional and un-timed, exactly like the paper's model: executing a
+// bytecode is a plain function call, and the only timed behaviour in
+// the refined system comes from the operand-stack interface when it is
+// backed by the hardware stack through the TLM bus. Frames (locals,
+// return addresses) live in the memory manager's domain and stay in
+// software; the operand stack goes through OperandStackIf.
+#ifndef SCT_JCVM_INTERPRETER_H
+#define SCT_JCVM_INTERPRETER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "jcvm/bytecode.h"
+#include "jcvm/memory_manager.h"
+#include "jcvm/stack_if.h"
+
+namespace sct::jcvm {
+
+enum class VmError : std::uint8_t {
+  None,
+  StackOverflow,
+  StackUnderflow,
+  ArithmeticError,      ///< Division by zero.
+  InvalidBytecode,
+  BadLocalIndex,
+  BadFieldIndex,
+  NullOrBadArray,
+  ArrayIndexOutOfBounds,
+  FirewallViolation,
+  CallDepthExceeded,
+  StepLimitExceeded,
+};
+
+struct VmStats {
+  std::uint64_t bytecodesExecuted = 0;
+  std::uint64_t stackOps = 0;      ///< Pushes + pops through the interface.
+  std::uint64_t invocations = 0;
+  std::uint64_t branchesTaken = 0;
+};
+
+/// Observes every bytecode the interpreter executes (profilers,
+/// tracers). Called before the bytecode's effects run.
+class BytecodeObserver {
+ public:
+  virtual ~BytecodeObserver() = default;
+  virtual void onBytecode(Bc op, std::uint32_t pc) = 0;
+  /// Called when a run finishes (to close the last attribution span).
+  virtual void onRunEnd() {}
+};
+
+class Interpreter {
+ public:
+  Interpreter(const JcProgram& program, OperandStackIf& stack,
+              MemoryManager& memory, Firewall& firewall,
+              std::size_t maxCallDepth = 32);
+
+  void setObserver(BytecodeObserver* observer) { observer_ = observer; }
+
+  /// Run method 0 (the entry point) with `args` pre-loaded into its
+  /// first locals. Returns true on clean completion.
+  bool run(const std::vector<JcShort>& args = {},
+           std::uint64_t maxSteps = 1'000'000);
+
+  VmError error() const { return error_; }
+  const VmStats& stats() const { return stats_; }
+
+  /// Value delivered by a top-level `sreturn` (0 for `return`).
+  JcShort result() const { return result_; }
+
+ private:
+  struct Frame {
+    std::uint8_t method;
+    std::uint32_t pc;  ///< Absolute index into program.code.
+    std::vector<JcShort> locals;
+  };
+
+  bool step();
+  bool push(JcShort v);
+  bool pop(JcShort& v);
+  bool fail(VmError e);
+  std::uint8_t fetchU8();
+  std::uint16_t fetchU16();
+  ContextId currentContext() const;
+
+  const JcProgram& program_;
+  OperandStackIf& stack_;
+  MemoryManager& memory_;
+  Firewall& firewall_;
+  std::size_t maxCallDepth_;
+
+  std::vector<Frame> frames_;
+  BytecodeObserver* observer_ = nullptr;
+  VmError error_ = VmError::None;
+  VmStats stats_;
+  JcShort result_ = 0;
+  bool finished_ = false;
+};
+
+} // namespace sct::jcvm
+
+#endif // SCT_JCVM_INTERPRETER_H

@@ -1,0 +1,174 @@
+#include "jcvm/master_adapter.h"
+
+namespace sct::jcvm {
+
+using bus::BusStatus;
+using bus::Word;
+
+namespace {
+
+struct Offsets {
+  bus::Address push;    ///< Write target for a single short.
+  bus::Address pop;     ///< Read target for a single short.
+  bus::Address pair;    ///< Pair transfer register (Packed only).
+  bus::Address status;  ///< Depth / status.
+  bus::Address ctrl;    ///< Reset.
+};
+
+Offsets offsetsFor(SfrOrganization org) {
+  switch (org) {
+    case SfrOrganization::Separate: return {0x0, 0x4, 0x0, 0x8, 0xC};
+    case SfrOrganization::Combined: return {0x0, 0x0, 0x0, 0x4, 0x8};
+    case SfrOrganization::Packed: return {0x4, 0x4, 0x0, 0x8, 0xC};
+  }
+  return {};
+}
+
+} // namespace
+
+HwStackMasterAdapter::HwStackMasterAdapter(sim::Clock& clock,
+                                           bus::EcDataIf& dataIf,
+                                           const Config& config)
+    : clock_(clock), dataIf_(dataIf), config_(config) {}
+
+BusStatus HwStackMasterAdapter::transfer(bus::Tl1Request& req) {
+  ++transportStats_.busTransactions;
+  transportStats_.bytesOnBus += req.byteCount();
+  BusStatus s = req.kind == bus::Kind::Write ? dataIf_.write(req)
+                                             : dataIf_.read(req);
+  const std::uint64_t start = clock_.cycle();
+  while (s != BusStatus::Ok && s != BusStatus::Error) {
+    clock_.runCycles(1);
+    s = req.kind == bus::Kind::Write ? dataIf_.write(req)
+                                     : dataIf_.read(req);
+    if (clock_.cycle() - start > 10000) break;  // Wedged bus safeguard.
+  }
+  transportStats_.busCycles += clock_.cycle() - start;
+  if (s == BusStatus::Error) ++transportStats_.busErrors;
+  return s;
+}
+
+Word HwStackMasterAdapter::busRead(bus::Address offset, bool& ok) {
+  bus::Tl1Request req;
+  req.kind = bus::Kind::Read;
+  req.address = config_.base + offset;
+  req.size = bus::AccessSize::Word;
+  ok = transfer(req) == BusStatus::Ok;
+  return ok ? req.data[0] : 0;
+}
+
+void HwStackMasterAdapter::busWrite(bus::Address offset, Word value,
+                                    bool& ok) {
+  bus::Tl1Request req;
+  req.kind = bus::Kind::Write;
+  req.address = config_.base + offset;
+  req.size = bus::AccessSize::Word;
+  req.data[0] = value;
+  ok = transfer(req) == BusStatus::Ok;
+}
+
+bool HwStackMasterAdapter::flushHeld() {
+  if (!heldHigh_) return true;
+  const Offsets off = offsetsFor(config_.organization);
+  bool ok = true;
+  busWrite(off.push, static_cast<std::uint16_t>(*heldHigh_), ok);
+  if (ok) ++hwDepth_;
+  heldHigh_.reset();
+  return ok;
+}
+
+bool HwStackMasterAdapter::push(JcShort value) {
+  ++stackStats_.pushes;
+  const std::uint16_t total =
+      static_cast<std::uint16_t>(hwDepth_ + (heldHigh_ ? 1 : 0));
+  if (total >= config_.capacity) {
+    ++stackStats_.overflowAttempts;
+    return false;
+  }
+  const Offsets off = offsetsFor(config_.organization);
+  if (config_.organization == SfrOrganization::Packed) {
+    // Top-of-stack register with pair combining: one short may live in
+    // the adapter (the TOS register); a second push spills both as one
+    // pair transaction. Push/pop ping-pong hits the TOS register, and
+    // sustained pushes cost half the transactions of single transfers.
+    if (!heldHigh_) {
+      heldHigh_ = value;
+      return true;
+    }
+    const Word pair =
+        (static_cast<Word>(static_cast<std::uint16_t>(value)) << 16) |
+        static_cast<std::uint16_t>(*heldHigh_);
+    bool ok = true;
+    busWrite(off.pair, pair, ok);
+    if (!ok) return false;
+    hwDepth_ += 2;
+    heldHigh_.reset();
+    return true;
+  }
+  bool ok = true;
+  busWrite(off.push, static_cast<std::uint16_t>(value), ok);
+  if (ok) ++hwDepth_;
+  return ok;
+}
+
+bool HwStackMasterAdapter::pop(JcShort& out) {
+  ++stackStats_.pops;
+  const Offsets off = offsetsFor(config_.organization);
+  if (config_.organization == SfrOrganization::Packed) {
+    if (heldHigh_) {
+      out = *heldHigh_;
+      heldHigh_.reset();
+      return true;
+    }
+    if (hwDepth_ == 0) {
+      ++stackStats_.underflowAttempts;
+      return false;
+    }
+    bool ok = true;
+    if (hwDepth_ >= 2) {
+      const Word pair = busRead(off.pair, ok);
+      if (!ok) return false;
+      hwDepth_ -= 2;
+      out = static_cast<JcShort>(static_cast<std::uint16_t>(pair >> 16));
+      heldHigh_ = static_cast<JcShort>(
+          static_cast<std::uint16_t>(pair & 0xFFFF));
+      return true;
+    }
+    const Word v = busRead(off.pop, ok);
+    if (!ok) return false;
+    --hwDepth_;
+    out = static_cast<JcShort>(static_cast<std::uint16_t>(v));
+    return true;
+  }
+  if (hwDepth_ == 0) {
+    ++stackStats_.underflowAttempts;
+    return false;
+  }
+  bool ok = true;
+  const Word v = busRead(off.pop, ok);
+  if (!ok) return false;
+  --hwDepth_;
+  out = static_cast<JcShort>(static_cast<std::uint16_t>(v));
+  return true;
+}
+
+std::uint16_t HwStackMasterAdapter::depth() {
+  const std::uint16_t held = heldHigh_ ? 1 : 0;
+  if (config_.shadowDepth) {
+    return static_cast<std::uint16_t>(hwDepth_ + held);
+  }
+  const Offsets off = offsetsFor(config_.organization);
+  bool ok = true;
+  const Word s = busRead(off.status, ok);
+  return static_cast<std::uint16_t>((ok ? (s & 0xFF) : 0) + held);
+}
+
+void HwStackMasterAdapter::reset() {
+  heldHigh_.reset();
+  const Offsets off = offsetsFor(config_.organization);
+  bool ok = true;
+  busWrite(off.ctrl, 1, ok);
+  hwDepth_ = 0;
+}
+
+} // namespace sct::jcvm

@@ -1,0 +1,74 @@
+// Master adapter: operand-stack calls → EC bus transactions.
+//
+// The communication-refinement half on the interpreter's side (Figure
+// 7b): "The master adapter translates them into bus transactions."
+// The interpreter stays functional and un-timed; every stack interface
+// call the adapter receives becomes one (or, with pair combining, half
+// a) bus transaction, driven to completion by advancing the system
+// clock — which is where simulated time and energy accrue.
+#ifndef SCT_JCVM_MASTER_ADAPTER_H
+#define SCT_JCVM_MASTER_ADAPTER_H
+
+#include <cstdint>
+#include <optional>
+
+#include "bus/ec_interfaces.h"
+#include "bus/ec_request.h"
+#include "jcvm/hw_stack.h"
+#include "jcvm/stack_if.h"
+#include "sim/clock.h"
+
+namespace sct::jcvm {
+
+struct TransportStats {
+  std::uint64_t busTransactions = 0;
+  std::uint64_t busCycles = 0;   ///< Clock cycles spent in transport.
+  std::uint64_t bytesOnBus = 0;
+  std::uint64_t busErrors = 0;
+};
+
+class HwStackMasterAdapter final : public OperandStackIf {
+ public:
+  struct Config {
+    bus::Address base = 0;  ///< Base address of the HW stack window.
+    SfrOrganization organization = SfrOrganization::Combined;
+    /// Track the stack depth in the adapter instead of reading the
+    /// DEPTH/STATUS register over the bus (cuts one transaction per
+    /// depth query).
+    bool shadowDepth = true;
+    /// Capacity used for local overflow checks when shadowDepth is on.
+    std::uint16_t capacity = 256;
+  };
+
+  HwStackMasterAdapter(sim::Clock& clock, bus::EcDataIf& dataIf,
+                       const Config& config);
+
+  // OperandStackIf — each call may issue bus transactions.
+  bool push(JcShort value) override;
+  bool pop(JcShort& out) override;
+  std::uint16_t depth() override;
+  void reset() override;
+  const StackStats& stats() const override { return stackStats_; }
+
+  const TransportStats& transport() const { return transportStats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  bus::Word busRead(bus::Address offset, bool& ok);
+  void busWrite(bus::Address offset, bus::Word value, bool& ok);
+  bus::BusStatus transfer(bus::Tl1Request& req);
+  bool flushHeld();  ///< Packed mode: spill locally held shorts.
+
+  sim::Clock& clock_;
+  bus::EcDataIf& dataIf_;
+  Config config_;
+  std::uint16_t hwDepth_ = 0;  ///< Shadow of the backend depth.
+  /// Packed mode: the top-of-stack register held in the adapter.
+  std::optional<JcShort> heldHigh_;
+  StackStats stackStats_;
+  TransportStats transportStats_;
+};
+
+} // namespace sct::jcvm
+
+#endif // SCT_JCVM_MASTER_ADAPTER_H

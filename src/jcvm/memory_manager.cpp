@@ -1,0 +1,64 @@
+#include "jcvm/memory_manager.h"
+
+namespace sct::jcvm {
+
+MemoryManager::MemoryManager(std::uint16_t staticFieldCount,
+                             std::size_t heapShorts)
+    : statics_(staticFieldCount, 0), heap_(heapShorts, 0) {}
+
+bool MemoryManager::readStatic(std::uint16_t index, JcShort& out) const {
+  if (index >= statics_.size()) return false;
+  out = statics_[index];
+  return true;
+}
+
+bool MemoryManager::writeStatic(std::uint16_t index, JcShort value) {
+  if (index >= statics_.size()) return false;
+  statics_[index] = value;
+  return true;
+}
+
+ArrayRef MemoryManager::allocArray(std::uint16_t length, ContextId owner) {
+  if (length == 0 || heapUsed_ + length > heap_.size() ||
+      arrays_.size() >= 0xFFFE) {
+    return 0;
+  }
+  arrays_.push_back(ArrayDesc{heapUsed_, length, owner});
+  heapUsed_ += length;
+  return static_cast<ArrayRef>(arrays_.size());  // 1-based.
+}
+
+const MemoryManager::ArrayDesc* MemoryManager::descFor(ArrayRef ref) const {
+  if (ref == 0 || ref > arrays_.size()) return nullptr;
+  return &arrays_[ref - 1];
+}
+
+bool MemoryManager::arrayLength(ArrayRef ref, std::uint16_t& out) const {
+  const ArrayDesc* d = descFor(ref);
+  if (d == nullptr) return false;
+  out = d->length;
+  return true;
+}
+
+ContextId MemoryManager::arrayOwner(ArrayRef ref) const {
+  const ArrayDesc* d = descFor(ref);
+  return d == nullptr ? kJcreContext : d->owner;
+}
+
+bool MemoryManager::readArray(ArrayRef ref, std::uint16_t index,
+                              JcShort& out) const {
+  const ArrayDesc* d = descFor(ref);
+  if (d == nullptr || index >= d->length) return false;
+  out = heap_[d->offset + index];
+  return true;
+}
+
+bool MemoryManager::writeArray(ArrayRef ref, std::uint16_t index,
+                               JcShort value) {
+  const ArrayDesc* d = descFor(ref);
+  if (d == nullptr || index >= d->length) return false;
+  heap_[d->offset + index] = value;
+  return true;
+}
+
+} // namespace sct::jcvm

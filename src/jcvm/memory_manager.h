@@ -1,0 +1,85 @@
+// Memory manager and applet firewall of the Java Card VM (Figure 7).
+//
+// The memory manager owns the static-field area and the short-array
+// heap; the firewall enforces Java Card's context isolation: an object
+// may only be touched from the context that owns it, except for objects
+// owned by context 0 (the JCRE / shared context).
+#ifndef SCT_JCVM_MEMORY_MANAGER_H
+#define SCT_JCVM_MEMORY_MANAGER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "jcvm/stack_if.h"
+
+namespace sct::jcvm {
+
+/// Firewall context id; 0 is the shared JCRE context.
+using ContextId = std::uint16_t;
+inline constexpr ContextId kJcreContext = 0;
+
+class Firewall {
+ public:
+  /// May code running in `current` touch an object owned by `owner`?
+  bool allows(ContextId current, ContextId owner) const {
+    return owner == kJcreContext || owner == current;
+  }
+
+  void recordCheck(bool allowed) {
+    ++checks_;
+    if (!allowed) ++violations_;
+  }
+
+  std::uint64_t checks() const { return checks_; }
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  std::uint64_t checks_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+/// Array reference; 0 is the null reference.
+using ArrayRef = std::uint16_t;
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(std::uint16_t staticFieldCount = 0,
+                         std::size_t heapShorts = 4096);
+
+  // --- Static fields -------------------------------------------------------
+  std::uint16_t staticFieldCount() const {
+    return static_cast<std::uint16_t>(statics_.size());
+  }
+  bool readStatic(std::uint16_t index, JcShort& out) const;
+  bool writeStatic(std::uint16_t index, JcShort value);
+
+  // --- Arrays ----------------------------------------------------------------
+  /// Allocate a zeroed short array owned by `owner`; returns 0 when the
+  /// heap is exhausted or length invalid.
+  ArrayRef allocArray(std::uint16_t length, ContextId owner);
+  bool arrayLength(ArrayRef ref, std::uint16_t& out) const;
+  ContextId arrayOwner(ArrayRef ref) const;
+  bool readArray(ArrayRef ref, std::uint16_t index, JcShort& out) const;
+  bool writeArray(ArrayRef ref, std::uint16_t index, JcShort value);
+
+  std::size_t heapUsedShorts() const { return heapUsed_; }
+  std::size_t heapCapacityShorts() const { return heap_.size(); }
+
+ private:
+  struct ArrayDesc {
+    std::size_t offset;
+    std::uint16_t length;
+    ContextId owner;
+  };
+
+  const ArrayDesc* descFor(ArrayRef ref) const;
+
+  std::vector<JcShort> statics_;
+  std::vector<JcShort> heap_;
+  std::size_t heapUsed_ = 0;
+  std::vector<ArrayDesc> arrays_;
+};
+
+} // namespace sct::jcvm
+
+#endif // SCT_JCVM_MEMORY_MANAGER_H

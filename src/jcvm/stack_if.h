@@ -1,0 +1,91 @@
+// Operand-stack interface of the Java Card VM.
+//
+// This is the interface boundary the paper's communication refinement
+// cuts (Figure 7): the bytecode interpreter invokes these methods
+// whether the stack is the functional software model or — through the
+// master adapter, the TLM bus and the slave adapter — the hardware
+// stack. "The bytecode interpreter invokes the same interface functions
+// as in the pure functional model."
+#ifndef SCT_JCVM_STACK_IF_H
+#define SCT_JCVM_STACK_IF_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sct::jcvm {
+
+using JcShort = std::int16_t;
+
+struct StackStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t overflowAttempts = 0;
+  std::uint64_t underflowAttempts = 0;
+};
+
+class OperandStackIf {
+ public:
+  virtual ~OperandStackIf() = default;
+
+  /// Push a short. Returns false on overflow.
+  virtual bool push(JcShort value) = 0;
+
+  /// Pop a short into `out`. Returns false on underflow.
+  virtual bool pop(JcShort& out) = 0;
+
+  /// Current element count.
+  virtual std::uint16_t depth() = 0;
+
+  /// Empty the stack.
+  virtual void reset() = 0;
+
+  virtual const StackStats& stats() const = 0;
+};
+
+/// Pure software operand stack (the untimed functional model).
+class FunctionalStack final : public OperandStackIf {
+ public:
+  explicit FunctionalStack(std::uint16_t capacity = 256)
+      : capacity_(capacity) {
+    data_.reserve(capacity);
+  }
+
+  bool push(JcShort value) override {
+    ++stats_.pushes;
+    if (data_.size() >= capacity_) {
+      ++stats_.overflowAttempts;
+      return false;
+    }
+    data_.push_back(value);
+    return true;
+  }
+
+  bool pop(JcShort& out) override {
+    ++stats_.pops;
+    if (data_.empty()) {
+      ++stats_.underflowAttempts;
+      return false;
+    }
+    out = data_.back();
+    data_.pop_back();
+    return true;
+  }
+
+  std::uint16_t depth() override {
+    return static_cast<std::uint16_t>(data_.size());
+  }
+
+  void reset() override { data_.clear(); }
+
+  const StackStats& stats() const override { return stats_; }
+  std::uint16_t capacity() const { return capacity_; }
+
+ private:
+  std::uint16_t capacity_;
+  std::vector<JcShort> data_;
+  StackStats stats_;
+};
+
+} // namespace sct::jcvm
+
+#endif // SCT_JCVM_STACK_IF_H

@@ -1,0 +1,49 @@
+#include "power/budget.h"
+
+#include <algorithm>
+
+namespace sct::power {
+
+SupplySpec gsm5V() { return SupplySpec{"GSM 5V", 5.0, 10.0}; }
+
+SupplySpec iso7816Class3V() {
+  return SupplySpec{"ISO 7816 class B 3V", 3.0, 7.5};
+}
+
+SupplySpec contactless() {
+  // ~5 mW harvested from the RF field at 3 V ≈ 1.7 mA.
+  return SupplySpec{"ISO 14443 contactless", 3.0, 1.7};
+}
+
+BudgetReport BudgetChecker::check(const PowerProfile& profile,
+                                  std::size_t windowCycles) const {
+  BudgetReport report;
+  if (profile.empty() || windowCycles == 0) return report;
+
+  // Whole-chip mean power in µW (1 fJ / 1 ps = 1 µW).
+  const double mean_uW = profile.meanPower_uW() * chipScale_;
+  report.meanCurrent_mA = mean_uW / (spec_.vdd * 1000.0);
+
+  const auto windows = profile.windowedEnergy_fJ(windowCycles);
+  report.totalWindows = windows.size();
+  // Window power: energy over windowCycles samples; the final window
+  // may be shorter, scale by its actual length.
+  const std::size_t n = profile.size();
+  const double periodPs = static_cast<double>(profile.clockPeriodPs());
+  double peak_uW = 0.0;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const std::size_t len =
+        std::min(windowCycles, n - w * windowCycles);
+    const double p_uW =
+        windows[w] * chipScale_ / (static_cast<double>(len) * periodPs);
+    peak_uW = std::max(peak_uW, p_uW);
+    if (p_uW > spec_.maxPower_uW()) ++report.violatingWindows;
+  }
+  report.peakCurrent_mA = peak_uW / (spec_.vdd * 1000.0);
+  report.headroom = report.peakCurrent_mA > 0.0
+                        ? spec_.maxCurrent_mA / report.peakCurrent_mA
+                        : 0.0;
+  return report;
+}
+
+} // namespace sct::power

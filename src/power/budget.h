@@ -1,0 +1,71 @@
+// Supply-budget checking.
+//
+// The paper's first power motivation: "the limitation of power
+// consumption by different standards, for instance the GSM standard
+// limits the [current] to 10 mA at 5 V supply. More critical is power
+// consumption for contact-less smart cards that are supplied by RF
+// field." This module turns an estimated power profile into a
+// current-versus-budget verdict so interface alternatives can be
+// checked against a deployment class early.
+//
+// The framework models the energy of the EC bus interface only; a
+// whole-chip estimate is obtained with a documented scale factor
+// (core + memories + peripherals as a multiple of bus-interface
+// energy), configurable per platform.
+#ifndef SCT_POWER_BUDGET_H
+#define SCT_POWER_BUDGET_H
+
+#include <string>
+#include <vector>
+
+#include "power/profile.h"
+
+namespace sct::power {
+
+/// A deployment class with its supply constraints.
+struct SupplySpec {
+  std::string name;
+  double vdd = 5.0;            ///< Supply voltage (V).
+  double maxCurrent_mA = 10.0; ///< Budget (mA).
+
+  double maxPower_uW() const { return maxCurrent_mA * vdd * 1000.0; }
+};
+
+/// Presets for the standards the paper names.
+SupplySpec gsm5V();            ///< GSM: 10 mA at 5 V.
+SupplySpec iso7816Class3V();   ///< ISO 7816 class B: 7.5 mA at 3 V.
+SupplySpec contactless();      ///< ISO 14443 RF field: ~5 mW harvested.
+
+struct BudgetReport {
+  double meanCurrent_mA = 0.0;
+  double peakCurrent_mA = 0.0;  ///< Worst averaging window.
+  double headroom = 0.0;        ///< budget / peak (>1 means within).
+  std::size_t violatingWindows = 0;
+  std::size_t totalWindows = 0;
+  bool ok() const { return violatingWindows == 0; }
+};
+
+class BudgetChecker {
+ public:
+  /// `chipScale` converts bus-interface energy to a whole-chip
+  /// estimate (the bus interface of the reference platform dissipates
+  /// roughly 1/120 of the chip; adjust per platform).
+  explicit BudgetChecker(const SupplySpec& spec, double chipScale = 120.0)
+      : spec_(spec), chipScale_(chipScale) {}
+
+  /// Check a profile against the budget. Current is averaged over
+  /// windows of `windowCycles` samples (supply regulation smooths
+  /// cycle spikes; standards measure averaged current).
+  BudgetReport check(const PowerProfile& profile,
+                     std::size_t windowCycles = 64) const;
+
+  const SupplySpec& spec() const { return spec_; }
+
+ private:
+  SupplySpec spec_;
+  double chipScale_;
+};
+
+} // namespace sct::power
+
+#endif // SCT_POWER_BUDGET_H

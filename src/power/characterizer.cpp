@@ -1,0 +1,41 @@
+#include "power/characterizer.h"
+
+namespace sct::power {
+
+void Characterizer::onFrame(std::uint64_t /*cycle*/,
+                            const bus::SignalFrame& prev,
+                            const bus::SignalFrame& next,
+                            const ref::GlitchCounts& /*glitches*/,
+                            const ref::CycleEnergy& energy) {
+  // Glitch and baseline energy are already folded into `energy`; the
+  // accumulator pairs them with the TL-visible transition counts so the
+  // coefficient absorbs them on average — exactly the abstraction the
+  // paper performs on the Diesel output.
+  acc_.add(energy, prev, next);
+}
+
+SignalEnergyTable Characterizer::buildTable() const {
+  // An average over a handful of transitions is dominated by whatever
+  // hazard energy happened to be attributed to the bundle (e.g. the
+  // select lines of a single-slave system toggle once but collect all
+  // decoder glitches); below this sample count the analytic estimate
+  // is more trustworthy.
+  constexpr std::uint64_t kMinTransitionSamples = 16;
+  SignalEnergyTable table;
+  for (const auto& info : bus::kSignalTable) {
+    const std::size_t i = static_cast<std::size_t>(info.id);
+    if (acc_.transitions[i] >= kMinTransitionSamples) {
+      table.setCoeff_fJ(info.id,
+                        acc_.perSignal_fJ[i] /
+                            static_cast<double>(acc_.transitions[i]));
+    } else {
+      // Analytic fallback: mean wire switching energy of the bundle.
+      const double meanC =
+          model_.parasitics().bundleCSelf_fF(info.id) / info.width;
+      table.setCoeff_fJ(info.id, model_.halfCV2(meanC));
+    }
+  }
+  return table;
+}
+
+} // namespace sct::power

@@ -1,0 +1,45 @@
+// Power characterization (paper, Section 3.3 "Power Characterization").
+//
+// Use case (ii) of the paper: an existing platform is characterized for
+// embedded system design. The characterizer attaches to the layer-0
+// reference bus as a frame listener, accumulates per-bundle energy and
+// transition counts over a training workload, and reduces them to the
+// average-energy-per-transition table the transaction-level models use.
+// Bundles that never toggled during training fall back to an analytic
+// ½·C·Vdd² estimate from the parasitic database.
+#ifndef SCT_POWER_CHARACTERIZER_H
+#define SCT_POWER_CHARACTERIZER_H
+
+#include <cstdint>
+
+#include "power/coeff_table.h"
+#include "ref/energy.h"
+#include "ref/gl_bus.h"
+
+namespace sct::power {
+
+class Characterizer final : public ref::FrameListener {
+ public:
+  explicit Characterizer(const ref::TransitionEnergyModel& model)
+      : model_(model) {}
+
+  // ref::FrameListener
+  void onFrame(std::uint64_t cycle, const bus::SignalFrame& prev,
+               const bus::SignalFrame& next,
+               const ref::GlitchCounts& glitches,
+               const ref::CycleEnergy& energy) override;
+
+  /// Reduce the accumulated statistics to per-signal coefficients.
+  SignalEnergyTable buildTable() const;
+
+  const ref::EnergyAccumulator& accumulated() const { return acc_; }
+  void reset() { acc_ = {}; }
+
+ private:
+  const ref::TransitionEnergyModel& model_;
+  ref::EnergyAccumulator acc_;
+};
+
+} // namespace sct::power
+
+#endif // SCT_POWER_CHARACTERIZER_H

@@ -1,0 +1,52 @@
+// Per-signal energy coefficients.
+//
+// The paper's characterization step: "We abstracted all different
+// transitions and use the average energy per transition for each signal
+// considered for our power estimation." A SignalEnergyTable holds that
+// abstraction — one femtojoule-per-transition coefficient per EC
+// interface bundle — plus a text (de)serialization so characterized
+// tables can be shipped with a platform.
+#ifndef SCT_POWER_COEFF_TABLE_H
+#define SCT_POWER_COEFF_TABLE_H
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "bus/ec_signals.h"
+
+namespace sct::power {
+
+class SignalEnergyTable {
+ public:
+  SignalEnergyTable() = default;
+
+  double coeff_fJ(bus::SignalId id) const {
+    return coeffs_[static_cast<std::size_t>(id)];
+  }
+  void setCoeff_fJ(bus::SignalId id, double fJPerTransition) {
+    coeffs_[static_cast<std::size_t>(id)] = fJPerTransition;
+  }
+
+  /// Energy for `n` transitions on a bundle.
+  double energyFor(bus::SignalId id, double transitions) const {
+    return coeff_fJ(id) * transitions;
+  }
+
+  /// Serialize as "name fJ_per_transition" lines.
+  void save(std::ostream& os) const;
+
+  /// Parse the save() format. Throws std::runtime_error on unknown
+  /// signal names or malformed lines; missing signals keep their
+  /// current value.
+  static SignalEnergyTable load(std::istream& is);
+
+  bool operator==(const SignalEnergyTable&) const = default;
+
+ private:
+  std::array<double, bus::kSignalCount> coeffs_{};
+};
+
+} // namespace sct::power
+
+#endif // SCT_POWER_COEFF_TABLE_H

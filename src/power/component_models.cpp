@@ -1,0 +1,24 @@
+#include "power/component_models.h"
+
+namespace sct::power {
+
+double SocEnergyReport::componentEnergy_fJ() const {
+  double sum = 0.0;
+  for (const auto& c : components_) sum += c->totalEnergy_fJ();
+  return sum;
+}
+
+std::vector<SocEnergyReport::Line> SocEnergyReport::breakdown() const {
+  const double total = totalEnergy_fJ();
+  const double denom = total > 0.0 ? total : 1.0;
+  std::vector<Line> lines;
+  lines.push_back(Line{"ec-bus-interface", busEnergy_fJ(),
+                       busEnergy_fJ() / denom});
+  for (const auto& c : components_) {
+    lines.push_back(
+        Line{c->name(), c->totalEnergy_fJ(), c->totalEnergy_fJ() / denom});
+  }
+  return lines;
+}
+
+} // namespace sct::power

@@ -1,0 +1,166 @@
+// Component energy models (paper, Section 5).
+//
+// "We will extend this first model to allow an early energy estimation
+// for several different typical smart card components, like random
+// number generators, UARTs or timers." These are those extensions:
+// activity-based energy models for the peripherals themselves, on top
+// of the bus-interface energy the hierarchical bus models estimate.
+// Each model reads its component's activity counters and multiplies
+// them with per-event coefficients; a SocEnergyReport aggregates the
+// bus share and every component share into one breakdown.
+//
+// The per-event coefficients are synthetic (there is no Philips
+// characterization database to draw from) but sized plausibly for a
+// 0.18 µm smart-card process; like the bus coefficients they would be
+// characterized once per platform in the paper's flow.
+#ifndef SCT_POWER_COMPONENT_MODELS_H
+#define SCT_POWER_COMPONENT_MODELS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/power_if.h"
+#include "soc/peripherals.h"
+
+namespace sct::power {
+
+/// Per-event energy coefficients of the peripheral set (fJ).
+struct ComponentCoefficients {
+  double timerTick_fJ = 45.0;        ///< Counter increment + compare.
+  double uartByte_fJ = 5200.0;       ///< Shift register + pad driver.
+  double trngWord_fJ = 9800.0;       ///< Entropy source + whitening.
+  double cryptoOperation_fJ = 52'000.0;  ///< 16 Feistel rounds.
+  double cryptoBusyCycle_fJ = 0.0;   ///< Optional per-cycle adder.
+};
+
+/// Base: a named component model implementing the interval interface.
+class ComponentEnergyModel : public IntervalPowerIf {
+ public:
+  explicit ComponentEnergyModel(std::string name)
+      : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  double energySinceLastCall_fJ() override {
+    const double now = totalEnergy_fJ();
+    const double delta = now - marker_;
+    marker_ = now;
+    return delta;
+  }
+
+ private:
+  std::string name_;
+  double marker_ = 0.0;
+};
+
+class TimerEnergyModel final : public ComponentEnergyModel {
+ public:
+  TimerEnergyModel(const soc::Timer& timer,
+                   const ComponentCoefficients& c)
+      : ComponentEnergyModel(std::string(timer.name())),
+        timer_(timer),
+        perTick_fJ_(c.timerTick_fJ) {}
+  double totalEnergy_fJ() const override {
+    return static_cast<double>(timer_.ticks()) * perTick_fJ_;
+  }
+
+ private:
+  const soc::Timer& timer_;
+  double perTick_fJ_;
+};
+
+class UartEnergyModel final : public ComponentEnergyModel {
+ public:
+  UartEnergyModel(const soc::Uart& uart, const ComponentCoefficients& c)
+      : ComponentEnergyModel(std::string(uart.name())),
+        uart_(uart),
+        perByte_fJ_(c.uartByte_fJ) {}
+  double totalEnergy_fJ() const override {
+    return static_cast<double>(uart_.bytesTransmitted()) * perByte_fJ_;
+  }
+
+ private:
+  const soc::Uart& uart_;
+  double perByte_fJ_;
+};
+
+class TrngEnergyModel final : public ComponentEnergyModel {
+ public:
+  TrngEnergyModel(const soc::Trng& trng, const ComponentCoefficients& c)
+      : ComponentEnergyModel(std::string(trng.name())),
+        trng_(trng),
+        perWord_fJ_(c.trngWord_fJ) {}
+  double totalEnergy_fJ() const override {
+    return static_cast<double>(trng_.wordsDrawn()) * perWord_fJ_;
+  }
+
+ private:
+  const soc::Trng& trng_;
+  double perWord_fJ_;
+};
+
+class CryptoEnergyModel final : public ComponentEnergyModel {
+ public:
+  CryptoEnergyModel(const soc::CryptoCoprocessor& crypto,
+                    const ComponentCoefficients& c)
+      : ComponentEnergyModel(std::string(crypto.name())),
+        crypto_(crypto),
+        perOperation_fJ_(c.cryptoOperation_fJ) {}
+  double totalEnergy_fJ() const override {
+    return static_cast<double>(crypto_.operations()) * perOperation_fJ_;
+  }
+
+ private:
+  const soc::CryptoCoprocessor& crypto_;
+  double perOperation_fJ_;
+};
+
+/// Aggregated SoC energy: bus interface + all component models.
+class SocEnergyReport {
+ public:
+  /// `busModel` is borrowed; component models are owned.
+  explicit SocEnergyReport(const IntervalPowerIf& busModel)
+      : busModel_(busModel) {}
+
+  void addComponent(std::unique_ptr<ComponentEnergyModel> model) {
+    components_.push_back(std::move(model));
+  }
+
+  /// Convenience: attach models for every peripheral of a SmartCardSoC.
+  template <typename SocT>
+  static SocEnergyReport forSoc(SocT& soc, const IntervalPowerIf& busModel,
+                                const ComponentCoefficients& c = {}) {
+    SocEnergyReport report(busModel);
+    report.addComponent(
+        std::make_unique<TimerEnergyModel>(soc.timer(), c));
+    report.addComponent(
+        std::make_unique<TimerEnergyModel>(soc.timer2(), c));
+    report.addComponent(std::make_unique<UartEnergyModel>(soc.uart(), c));
+    report.addComponent(std::make_unique<TrngEnergyModel>(soc.trng(), c));
+    report.addComponent(
+        std::make_unique<CryptoEnergyModel>(soc.crypto(), c));
+    return report;
+  }
+
+  double busEnergy_fJ() const { return busModel_.totalEnergy_fJ(); }
+  double componentEnergy_fJ() const;
+  double totalEnergy_fJ() const {
+    return busEnergy_fJ() + componentEnergy_fJ();
+  }
+
+  struct Line {
+    std::string name;
+    double energy_fJ;
+    double share;  ///< Of the total.
+  };
+  /// Breakdown rows (bus first, then components), shares of the total.
+  std::vector<Line> breakdown() const;
+
+ private:
+  const IntervalPowerIf& busModel_;
+  std::vector<std::unique_ptr<ComponentEnergyModel>> components_;
+};
+
+} // namespace sct::power
+
+#endif // SCT_POWER_COMPONENT_MODELS_H

@@ -1,0 +1,36 @@
+// Power interfaces of the hierarchical energy models.
+//
+// The layer-1 bus power model "defines a method returning the energy
+// dissipated during the last clock cycle and a second method which
+// returns the dissipated energy since the last method call" — enabling
+// cycle-accurate energy profiling (relevant against SPA/DPA power
+// analysis) as well as interval estimation. The layer-2 model "comprises
+// only one method to get the energy consumed since the last method
+// call": phase-granular, not cycle-accurate (paper, Figure 6).
+#ifndef SCT_POWER_POWER_IF_H
+#define SCT_POWER_POWER_IF_H
+
+namespace sct::power {
+
+/// Interval energy interface (available at both layers).
+class IntervalPowerIf {
+ public:
+  virtual ~IntervalPowerIf() = default;
+
+  /// Energy (fJ) accumulated since the previous call (or construction).
+  virtual double energySinceLastCall_fJ() = 0;
+
+  /// Total accumulated energy (fJ); does not reset the interval marker.
+  virtual double totalEnergy_fJ() const = 0;
+};
+
+/// Cycle-accurate energy interface (layer 1 only).
+class CycleAccuratePowerIf : public IntervalPowerIf {
+ public:
+  /// Energy (fJ) dissipated during the last completed clock cycle.
+  virtual double energyLastCycle_fJ() const = 0;
+};
+
+} // namespace sct::power
+
+#endif // SCT_POWER_POWER_IF_H

@@ -1,0 +1,44 @@
+#include "power/profile.h"
+
+#include <algorithm>
+
+namespace sct::power {
+
+double PowerProfile::meanPower_uW() const {
+  if (samples_.empty()) return 0.0;
+  const double cycles = static_cast<double>(samples_.size());
+  const double period = static_cast<double>(clockPeriodPs_);
+  return total_fJ_ / (cycles * period);
+}
+
+double PowerProfile::peakPower_uW() const {
+  double peak = 0.0;
+  for (const Sample& s : samples_) peak = std::max(peak, s.energy_fJ);
+  return peak / static_cast<double>(clockPeriodPs_);
+}
+
+std::vector<double> PowerProfile::windowedEnergy_fJ(
+    std::size_t windowCycles) const {
+  std::vector<double> out;
+  if (windowCycles == 0) return out;
+  for (std::size_t i = 0; i < samples_.size(); i += windowCycles) {
+    double sum = 0.0;
+    const std::size_t end = std::min(i + windowCycles, samples_.size());
+    for (std::size_t j = i; j < end; ++j) sum += samples_[j].energy_fJ;
+    out.push_back(sum);
+  }
+  return out;
+}
+
+double PowerProfile::energyVariance_fJ2() const {
+  if (samples_.empty()) return 0.0;
+  const double mean = total_fJ_ / static_cast<double>(samples_.size());
+  double acc = 0.0;
+  for (const Sample& s : samples_) {
+    const double d = s.energy_fJ - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(samples_.size());
+}
+
+} // namespace sct::power

@@ -1,0 +1,88 @@
+// Power profiles over time.
+//
+// One of the paper's motivations is power analysis (SPA/DPA): the
+// cycle-accurate energy interface of the layer-1 model exists so that
+// "estimation of power consumption over time" can reduce "the
+// probability of a successful power analysis attack". PowerProfile
+// stores an energy time series (one sample per cycle or per window) and
+// provides the statistics the examples and benches report: total and
+// mean power, peak windows, variance, and windowed reductions.
+#ifndef SCT_POWER_PROFILE_H
+#define SCT_POWER_PROFILE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/ec_interfaces.h"
+#include "power/tl1_power_model.h"
+#include "sim/time.h"
+
+namespace sct::power {
+
+class PowerProfile {
+ public:
+  struct Sample {
+    std::uint64_t cycle;
+    double energy_fJ;
+  };
+
+  /// `clockPeriodPs` converts energy per cycle into power.
+  explicit PowerProfile(sim::Time clockPeriodPs)
+      : clockPeriodPs_(clockPeriodPs) {}
+
+  void addSample(std::uint64_t cycle, double energy_fJ) {
+    samples_.push_back(Sample{cycle, energy_fJ});
+    total_fJ_ += energy_fJ;
+  }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  sim::Time clockPeriodPs() const { return clockPeriodPs_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double total_fJ() const { return total_fJ_; }
+
+  /// Mean power in microwatts over the sampled cycles.
+  /// 1 fJ / 1 ps = 1 µW.
+  double meanPower_uW() const;
+
+  /// Peak single-sample power in microwatts.
+  double peakPower_uW() const;
+
+  /// Sum energy over consecutive windows of `windowCycles` samples.
+  std::vector<double> windowedEnergy_fJ(std::size_t windowCycles) const;
+
+  /// Population variance of the per-sample energy (fJ²) — a flat
+  /// profile (low variance) leaks less to SPA.
+  double energyVariance_fJ2() const;
+
+  void clear() {
+    samples_.clear();
+    total_fJ_ = 0.0;
+  }
+
+ private:
+  sim::Time clockPeriodPs_;
+  std::vector<Sample> samples_;
+  double total_fJ_ = 0.0;
+};
+
+/// Records one profile sample per bus cycle from a layer-1 power model.
+/// Register it with the bus *after* the power model so it observes the
+/// cycle's final energy value.
+class Tl1ProfileRecorder final : public bus::Tl1Observer {
+ public:
+  Tl1ProfileRecorder(const Tl1PowerModel& model, PowerProfile& profile)
+      : model_(model), profile_(profile) {}
+
+  void busCycleEnd(std::uint64_t cycle) override {
+    profile_.addSample(cycle, model_.energyLastCycle_fJ());
+  }
+
+ private:
+  const Tl1PowerModel& model_;
+  PowerProfile& profile_;
+};
+
+} // namespace sct::power
+
+#endif // SCT_POWER_PROFILE_H

@@ -1,0 +1,79 @@
+#include "power/tl1_power_model.h"
+
+namespace sct::power {
+
+using bus::SignalId;
+
+void Tl1PowerModel::busCycleBegin(std::uint64_t /*cycle*/) {
+  // Open the cycle: buses, qualifiers and select lines hold their
+  // values; handshake strobes return to the inactive level.
+  newFrame_ = oldFrame_;
+  newFrame_.set(SignalId::EB_AValid, 0);
+  newFrame_.set(SignalId::EB_ARdy, 0);
+  newFrame_.set(SignalId::EB_RdVal, 0);
+  newFrame_.set(SignalId::EB_RBErr, 0);
+  newFrame_.set(SignalId::EB_WDRdy, 0);
+  newFrame_.set(SignalId::EB_WBErr, 0);
+  newFrame_.set(SignalId::EB_Last, 0);
+}
+
+void Tl1PowerModel::addressPhase(const bus::AddressPhaseInfo& info) {
+  newFrame_.set(SignalId::EB_A, info.address);
+  newFrame_.set(SignalId::EB_Instr, info.kind == bus::Kind::InstrFetch);
+  newFrame_.set(SignalId::EB_Write, info.kind == bus::Kind::Write);
+  newFrame_.set(SignalId::EB_Burst, info.beats > 1);
+  newFrame_.set(SignalId::EB_BE, info.byteEnables);
+  newFrame_.set(SignalId::EB_AValid, 1);
+  newFrame_.set(SignalId::EB_Sel,
+                info.error ? 0 : bus::AddressDecoder::selectMask(info.slave));
+  if (info.accepted && !info.error) newFrame_.set(SignalId::EB_ARdy, 1);
+}
+
+void Tl1PowerModel::readBeat(const bus::DataBeatInfo& info) {
+  if (info.error) {
+    newFrame_.set(SignalId::EB_RBErr, 1);
+    newFrame_.set(SignalId::EB_Last, 1);
+    return;
+  }
+  newFrame_.set(SignalId::EB_RData, info.data);
+  newFrame_.set(SignalId::EB_RdVal, 1);
+  if (info.last) newFrame_.set(SignalId::EB_Last, 1);
+}
+
+void Tl1PowerModel::writeBeat(const bus::DataBeatInfo& info) {
+  if (info.error) {
+    newFrame_.set(SignalId::EB_WBErr, 1);
+    newFrame_.set(SignalId::EB_Last, 1);
+    return;
+  }
+  newFrame_.set(SignalId::EB_WData, info.data);
+  newFrame_.set(SignalId::EB_WDRdy, 1);
+  if (info.last) newFrame_.set(SignalId::EB_Last, 1);
+}
+
+void Tl1PowerModel::busCycleEnd(std::uint64_t /*cycle*/) {
+  // Standard RTL power estimation on the reconstructed signals: count
+  // the transitions of each bundle and weight them with the
+  // characterized average energy per transition.
+  double e = 0.0;
+  for (const auto& info : bus::kSignalTable) {
+    const std::size_t i = static_cast<std::size_t>(info.id);
+    const unsigned n = bus::hammingDistance(
+        info.id, oldFrame_.get(info.id), newFrame_.get(info.id));
+    if (n != 0) {
+      transitions_[i] += n;
+      e += table_.energyFor(info.id, n);
+    }
+  }
+  lastCycle_fJ_ = e;
+  total_fJ_ += e;
+  oldFrame_ = newFrame_;
+}
+
+double Tl1PowerModel::energySinceLastCall_fJ() {
+  const double delta = total_fJ_ - intervalMarker_fJ_;
+  intervalMarker_fJ_ = total_fJ_;
+  return delta;
+}
+
+} // namespace sct::power

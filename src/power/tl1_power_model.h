@@ -1,0 +1,72 @@
+// Layer-1 energy model (paper, Section 3.3 "Layer 1 Energy Model").
+//
+// "The power estimation unit is implemented as a dedicated module. It
+// defines for each bus interface signal a member variable for the new
+// and old value. The new values for all signals are set by the
+// different bus phases. The bus process calls the energy calculation
+// method after the write phase. [...] This methodology is like a
+// transaction level to RTL adapter."
+//
+// Tl1PowerModel attaches to the layer-1 bus as an observer. At
+// busCycleBegin it opens a new signal frame (buses and qualifiers hold,
+// handshake strobes deassert); the address-phase and beat events drive
+// the new values; at busCycleEnd it counts bit transitions between the
+// old and new frames and converts them to energy with the characterized
+// per-signal coefficients. The reconstructed frames are bit-identical
+// to the layer-0 reference model's frames on the same workload (a
+// property enforced by tests), so the only estimation error left is the
+// coefficient abstraction itself — slope, coupling, hazard and baseline
+// detail averaged into one number per signal (Table 2, layer 1).
+#ifndef SCT_POWER_TL1_POWER_MODEL_H
+#define SCT_POWER_TL1_POWER_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/decoder.h"
+#include "bus/ec_interfaces.h"
+#include "bus/ec_signals.h"
+#include "power/coeff_table.h"
+#include "power/power_if.h"
+
+namespace sct::power {
+
+class Tl1PowerModel final : public bus::Tl1Observer,
+                            public CycleAccuratePowerIf {
+ public:
+  explicit Tl1PowerModel(const SignalEnergyTable& table) : table_(table) {}
+
+  // bus::Tl1Observer
+  void busCycleBegin(std::uint64_t cycle) override;
+  void addressPhase(const bus::AddressPhaseInfo& info) override;
+  void readBeat(const bus::DataBeatInfo& info) override;
+  void writeBeat(const bus::DataBeatInfo& info) override;
+  void busCycleEnd(std::uint64_t cycle) override;
+
+  // CycleAccuratePowerIf
+  double energyLastCycle_fJ() const override { return lastCycle_fJ_; }
+  double energySinceLastCall_fJ() override;
+  double totalEnergy_fJ() const override { return total_fJ_; }
+
+  /// Transition counts per bundle over the whole run (diagnostics).
+  std::uint64_t transitions(bus::SignalId id) const {
+    return transitions_[static_cast<std::size_t>(id)];
+  }
+
+  /// The frame as reconstructed for the last completed cycle (used by
+  /// the layer-0 equivalence tests).
+  const bus::SignalFrame& frame() const { return oldFrame_; }
+
+ private:
+  SignalEnergyTable table_;
+  bus::SignalFrame oldFrame_;
+  bus::SignalFrame newFrame_;
+  std::array<std::uint64_t, bus::kSignalCount> transitions_{};
+  double lastCycle_fJ_ = 0.0;
+  double total_fJ_ = 0.0;
+  double intervalMarker_fJ_ = 0.0;
+};
+
+} // namespace sct::power
+
+#endif // SCT_POWER_TL1_POWER_MODEL_H

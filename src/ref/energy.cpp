@@ -1,0 +1,93 @@
+#include "ref/energy.h"
+
+namespace sct::ref {
+
+using bus::SignalFrame;
+using bus::SignalId;
+using bus::kSignalCount;
+using bus::kSignalTable;
+
+void EnergyAccumulator::add(const CycleEnergy& e, const SignalFrame& prev,
+                            const SignalFrame& next) {
+  total_fJ += e.total_fJ;
+  baseline_fJ += e.baseline_fJ;
+  ++cycles;
+  for (std::size_t i = 0; i < kSignalCount; ++i) {
+    perSignal_fJ[i] += e.perSignal_fJ[i];
+    const auto id = static_cast<SignalId>(i);
+    const std::uint64_t p = prev.get(id);
+    const std::uint64_t n = next.get(id);
+    transitions[i] += bus::hammingDistance(id, p, n);
+    risingTransitions[i] += bus::hammingDistance(id, 0, ~p & n);
+    fallingTransitions[i] += bus::hammingDistance(id, 0, p & ~n);
+  }
+}
+
+TransitionEnergyModel::TransitionEnergyModel(const ParasiticDb& db,
+                                             const ProcessParams& params)
+    : db_(db), params_(params) {
+  // Precompute each bundle's mean switching energy for the glitch model.
+  for (const auto& info : kSignalTable) {
+    const std::size_t i = static_cast<std::size_t>(info.id);
+    const double c = db_.bundleCSelf_fF(info.id);
+    meanSwitch_fJ_[i] = halfCV2(c / info.width);
+  }
+}
+
+CycleEnergy TransitionEnergyModel::cycleEnergy(
+    const SignalFrame& prev, const SignalFrame& next,
+    const GlitchCounts& glitches) const {
+  CycleEnergy out;
+  out.baseline_fJ = params_.baselinePerCycle_fJ;
+  out.total_fJ = out.baseline_fJ;
+  for (const auto& info : kSignalTable) {
+    const std::size_t idx = static_cast<std::size_t>(info.id);
+    const std::uint64_t p = prev.get(info.id);
+    const std::uint64_t n = next.get(info.id);
+    const std::uint64_t toggled = p ^ n;
+    double e = 0.0;
+
+    if (toggled != 0) {
+      for (unsigned bit = 0; bit < info.width; ++bit) {
+        const std::uint64_t mask = std::uint64_t{1} << bit;
+        if ((toggled & mask) == 0) continue;
+        const WireParasitics& w = db_.wire(info.id, bit);
+        const bool rising = (n & mask) != 0;
+        const double base = halfCV2(w.cSelf_fF);
+        const double dir = rising ? params_.riseFactor : params_.fallFactor;
+        const double sc =
+            params_.shortCircuitFactor[static_cast<std::size_t>(w.slope)];
+        e += base * (dir + sc);
+      }
+      // Coupling between adjacent bits of the bundle.
+      for (unsigned bit = 0; bit + 1 < info.width; ++bit) {
+        const std::uint64_t lo = std::uint64_t{1} << bit;
+        const std::uint64_t hi = lo << 1;
+        const bool tLo = (toggled & lo) != 0;
+        const bool tHi = (toggled & hi) != 0;
+        if (!tLo && !tHi) continue;
+        const WireParasitics& w = db_.wire(info.id, bit);
+        const double quantum = halfCV2(w.cCouple_fF);
+        double factor;
+        if (tLo && tHi) {
+          const bool riseLo = (n & lo) != 0;
+          const bool riseHi = (n & hi) != 0;
+          factor = (riseLo == riseHi) ? params_.coupleSame
+                                      : params_.coupleOpposite;
+        } else {
+          factor = params_.coupleSingle;
+        }
+        e += quantum * factor;
+      }
+    }
+    // Hazard energy from combinational logic feeding this bundle.
+    if (glitches[idx] > 0.0) {
+      e += glitches[idx] * meanSwitch_fJ_[idx] * params_.glitchFactor;
+    }
+    out.perSignal_fJ[idx] = e;
+    out.total_fJ += e;
+  }
+  return out;
+}
+
+} // namespace sct::ref

@@ -1,0 +1,85 @@
+#include "ref/parasitics.h"
+
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace sct::ref {
+
+namespace {
+
+using bus::SignalId;
+
+// Geometry classes. Address and data buses run across the bus-interface
+// region (long, parallel, strongly coupled); handshake strobes are short
+// point-to-point nets; select lines fan out from the decoder.
+constexpr BundleGeometry kLongBus{180.0, 340.0, 45.0, 95.0, 0.8, 2.2};
+constexpr BundleGeometry kControl{55.0, 120.0, 8.0, 22.0, 0.3, 0.9};
+constexpr BundleGeometry kSelect{90.0, 180.0, 15.0, 40.0, 0.5, 1.4};
+
+const BundleGeometry& geometryFor(SignalId id) {
+  switch (id) {
+    case SignalId::EB_A:
+    case SignalId::EB_RData:
+    case SignalId::EB_WData:
+      return kLongBus;
+    case SignalId::EB_Sel:
+      return kSelect;
+    default:
+      return kControl;
+  }
+}
+
+SlopeClass slopeFromR(double r_kOhm) {
+  if (r_kOhm < 0.7) return SlopeClass::Fast;
+  if (r_kOhm < 1.5) return SlopeClass::Medium;
+  return SlopeClass::Slow;
+}
+
+double uniform(sim::Xoshiro256& rng, double lo, double hi) {
+  // 2^53 grid is far finer than any physical extraction tolerance.
+  const double u = static_cast<double>(rng.next() >> 11) * 0x1p-53;
+  return lo + u * (hi - lo);
+}
+
+} // namespace
+
+ParasiticDb ParasiticDb::makeDefault(std::uint64_t seed) {
+  ParasiticDb db;
+  sim::Xoshiro256 rng(seed);
+  for (const auto& info : bus::kSignalTable) {
+    db.bundleOffset_[static_cast<std::size_t>(info.id)] = db.wires_.size();
+    const BundleGeometry& g = geometryFor(info.id);
+    for (unsigned bit = 0; bit < info.width; ++bit) {
+      WireParasitics w;
+      w.cSelf_fF = uniform(rng, g.cSelfMin_fF, g.cSelfMax_fF);
+      // The last bit of a bundle has no upper neighbour to couple to.
+      w.cCouple_fF = (bit + 1 < info.width)
+                         ? uniform(rng, g.cCoupleMin_fF, g.cCoupleMax_fF)
+                         : 0.0;
+      w.r_kOhm = uniform(rng, g.rMin_kOhm, g.rMax_kOhm);
+      w.slope = slopeFromR(w.r_kOhm);
+      db.wires_.push_back(w);
+    }
+  }
+  return db;
+}
+
+const WireParasitics& ParasiticDb::wire(bus::SignalId id, unsigned bit) const {
+  const auto& info = bus::signalInfo(id);
+  if (bit >= info.width) {
+    throw std::out_of_range("ParasiticDb::wire: bit beyond bundle width");
+  }
+  return wires_[bundleOffset_[static_cast<std::size_t>(id)] + bit];
+}
+
+double ParasiticDb::bundleCSelf_fF(bus::SignalId id) const {
+  const auto& info = bus::signalInfo(id);
+  double sum = 0.0;
+  for (unsigned bit = 0; bit < info.width; ++bit) {
+    sum += wire(id, bit).cSelf_fF;
+  }
+  return sum;
+}
+
+} // namespace sct::ref

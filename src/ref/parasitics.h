@@ -1,0 +1,70 @@
+// Wire-level parasitic database.
+//
+// The paper's reference numbers come from Diesel, a gate-level power
+// estimator that uses layout-extracted parasitic capacitances and
+// resistances for every wire plus macro-cell characterization. We have
+// no Philips layout database, so this module synthesizes a plausible
+// one: every wire of the EC interface gets a self capacitance, a
+// coupling capacitance to its bundle neighbour, a series resistance and
+// a slope class, drawn deterministically from per-bundle ranges that
+// reflect geometry (long, heavily loaded address/data buses; short
+// control strobes; medium select lines). The substitution preserves
+// what the experiments need: a transition-resolved, wire-resolved
+// energy reference that transaction-level estimation can be compared
+// against (DESIGN.md, Section 2).
+#ifndef SCT_REF_PARASITICS_H
+#define SCT_REF_PARASITICS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bus/ec_signals.h"
+
+namespace sct::ref {
+
+/// Signal slope classes; slower slopes burn more short-circuit current.
+enum class SlopeClass : std::uint8_t { Fast = 0, Medium = 1, Slow = 2 };
+
+struct WireParasitics {
+  double cSelf_fF = 0.0;    ///< Wire-to-ground capacitance.
+  double cCouple_fF = 0.0;  ///< Coupling capacitance to the next bit.
+  double r_kOhm = 0.0;      ///< Series resistance (drives the slope).
+  SlopeClass slope = SlopeClass::Fast;
+};
+
+/// Per-bundle geometry ranges used to synthesize wire parasitics.
+struct BundleGeometry {
+  double cSelfMin_fF;
+  double cSelfMax_fF;
+  double cCoupleMin_fF;
+  double cCoupleMax_fF;
+  double rMin_kOhm;
+  double rMax_kOhm;
+};
+
+class ParasiticDb {
+ public:
+  /// Deterministically synthesize a database. The same seed always
+  /// produces the same wires, so characterization and estimation agree
+  /// across runs.
+  static ParasiticDb makeDefault(std::uint64_t seed = 0x5C7CAFD);
+
+  const WireParasitics& wire(bus::SignalId id, unsigned bit) const;
+
+  /// Sum of self capacitances of a bundle (fF).
+  double bundleCSelf_fF(bus::SignalId id) const;
+
+  /// Total number of wires (all bundles).
+  unsigned wireCount() const { return static_cast<unsigned>(wires_.size()); }
+
+ private:
+  ParasiticDb() = default;
+
+  std::array<std::size_t, bus::kSignalCount> bundleOffset_{};
+  std::vector<WireParasitics> wires_;
+};
+
+} // namespace sct::ref
+
+#endif // SCT_REF_PARASITICS_H

@@ -1,0 +1,100 @@
+#include "sim/clock.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sct::sim {
+
+Clock::Clock(Kernel& kernel, std::string name, Time period)
+    : kernel_(kernel), name_(std::move(name)), period_(period) {
+  if (period_ == 0 || period_ % 2 != 0) {
+    throw std::invalid_argument("Clock: period must be non-zero and even");
+  }
+}
+
+Clock::HandlerId Clock::onEdge(Edge edge, Callback cb, int priority) {
+  if (!cb) throw std::invalid_argument("Clock::onEdge: empty callback");
+  HandlerId id = nextId_++;
+  auto& vec = (edge == Edge::Rising) ? rising_ : falling_;
+  // Keep handlers sorted by priority; equal priorities keep
+  // registration order (stable insert at upper bound).
+  auto pos = std::upper_bound(
+      vec.begin(), vec.end(), priority,
+      [](int p, const Handler& h) { return p < h.priority; });
+  vec.insert(pos, Handler{id, priority, std::move(cb)});
+  if (!scheduled_ && !halted_) {
+    scheduleNextRising(kernel_.now() + period_);
+  }
+  return id;
+}
+
+void Clock::removeHandler(HandlerId id) { pendingRemoval_.push_back(id); }
+
+bool Clock::anyHandlers() const {
+  return !rising_.empty() || !falling_.empty();
+}
+
+void Clock::scheduleNextRising(Time when) {
+  scheduled_ = true;
+  kernel_.scheduleAt(when, [this] { fireRising(); });
+}
+
+void Clock::fireRising() {
+  scheduled_ = false;
+  if (!pendingRemoval_.empty()) {
+    auto gone = [this](const Handler& h) {
+      return std::find(pendingRemoval_.begin(), pendingRemoval_.end(),
+                       h.id) != pendingRemoval_.end();
+    };
+    rising_.erase(std::remove_if(rising_.begin(), rising_.end(), gone),
+                  rising_.end());
+    falling_.erase(std::remove_if(falling_.begin(), falling_.end(), gone),
+                   falling_.end());
+    pendingRemoval_.clear();
+  }
+  if (halted_ || !anyHandlers()) return;
+  ++cycle_;
+  inHighPhase_ = true;
+  dispatch(rising_);
+  kernel_.scheduleAt(kernel_.now() + period_ / 2, [this] { fireFalling(); });
+}
+
+void Clock::fireFalling() {
+  dispatch(falling_);
+  inHighPhase_ = false;
+  if (!halted_) scheduleNextRising(kernel_.now() + period_ / 2);
+}
+
+void Clock::dispatch(std::vector<Handler>& handlers) {
+  // Iterate by index: handlers may register further handlers (growing
+  // the vector) during dispatch; newly added handlers first run on the
+  // next edge because insertion keeps them past the current index only
+  // if their priority sorts later — to keep semantics simple we snapshot
+  // the size and skip handlers flagged for removal.
+  const std::size_t n = handlers.size();
+  for (std::size_t i = 0; i < n && i < handlers.size(); ++i) {
+    const Handler& h = handlers[i];
+    if (!pendingRemoval_.empty() &&
+        std::find(pendingRemoval_.begin(), pendingRemoval_.end(), h.id) !=
+            pendingRemoval_.end()) {
+      continue;
+    }
+    h.cb();
+  }
+}
+
+void Clock::runCycles(std::uint64_t n) {
+  const std::uint64_t target = cycle_ + n;
+  while ((cycle_ < target || inHighPhase_) && !halted_ && anyHandlers()) {
+    if (kernel_.step(1) == 0) break;
+  }
+}
+
+void Clock::resume() {
+  halted_ = false;
+  if (!scheduled_ && anyHandlers()) {
+    scheduleNextRising(kernel_.now() + period_);
+  }
+}
+
+} // namespace sct::sim

@@ -1,0 +1,99 @@
+// Two-phase system clock.
+//
+// The paper's SystemC models hang their processes off the two edges of
+// the system clock: bus masters and slaves evaluate on the *rising*
+// edge, the bus process of the TL1/TL2 models is sensitive to the
+// *falling* edge (Figures 2 and 4). The Clock reproduces that contract:
+// per cycle it first dispatches all rising-edge handlers, then all
+// falling-edge handlers, each group ordered by an explicit priority and
+// otherwise by registration order.
+#ifndef SCT_SIM_CLOCK_H
+#define SCT_SIM_CLOCK_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/time.h"
+
+namespace sct::sim {
+
+/// Edge selector for handler registration.
+enum class Edge : std::uint8_t { Rising, Falling };
+
+/// A clock generator bound to a kernel. The clock self-schedules one
+/// kernel event per edge; it only keeps the event chain alive while at
+/// least one handler is registered and the cycle limit is not reached,
+/// so Kernel::run() terminates once every model has finished.
+class Clock {
+ public:
+  using Callback = std::function<void()>;
+  using HandlerId = std::size_t;
+
+  /// `period` must be an even, non-zero number of picoseconds so both
+  /// edges land on integral timestamps.
+  Clock(Kernel& kernel, std::string name, Time period);
+
+  const std::string& name() const { return name_; }
+  Time period() const { return period_; }
+  Kernel& kernel() { return kernel_; }
+
+  /// Completed cycles, i.e. how many rising edges have fired.
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Register an edge handler. Handlers run every cycle until removed.
+  /// Lower `priority` runs first within the edge.
+  HandlerId onEdge(Edge edge, Callback cb, int priority = 0);
+  HandlerId onRising(Callback cb, int priority = 0) {
+    return onEdge(Edge::Rising, std::move(cb), priority);
+  }
+  HandlerId onFalling(Callback cb, int priority = 0) {
+    return onEdge(Edge::Falling, std::move(cb), priority);
+  }
+
+  /// Remove a handler. Safe to call from inside a handler; the removal
+  /// takes effect from the next edge.
+  void removeHandler(HandlerId id);
+
+  /// Run the bound kernel for exactly `n` clock cycles (both edges).
+  void runCycles(std::uint64_t n);
+
+  /// Stop generating edges after the current cycle completes.
+  void halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
+  /// Restart edge generation after halt(); the first rising edge fires
+  /// one full period after the current kernel time.
+  void resume();
+
+ private:
+  struct Handler {
+    HandlerId id;
+    int priority;
+    Callback cb;
+  };
+
+  void scheduleNextRising(Time when);
+  void fireRising();
+  void fireFalling();
+  void dispatch(std::vector<Handler>& handlers);
+  bool anyHandlers() const;
+
+  Kernel& kernel_;
+  std::string name_;
+  Time period_;
+  std::uint64_t cycle_ = 0;
+  HandlerId nextId_ = 1;
+  std::vector<Handler> rising_;
+  std::vector<Handler> falling_;
+  std::vector<HandlerId> pendingRemoval_;
+  bool scheduled_ = false;
+  bool halted_ = false;
+  bool inHighPhase_ = false;  ///< Between a rising edge and its falling edge.
+};
+
+} // namespace sct::sim
+
+#endif // SCT_SIM_CLOCK_H

@@ -1,0 +1,63 @@
+#include "sim/kernel.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sct::sim {
+
+void Kernel::scheduleAt(Time when, Callback fn, int priority) {
+  if (when < now_) {
+    throw std::invalid_argument("Kernel::scheduleAt: time is in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Kernel::scheduleAt: empty callback");
+  }
+  queue_.push(Event{when, priority, seq_++, std::move(fn)});
+}
+
+bool Kernel::dispatchOne() {
+  if (queue_.empty()) return false;
+  // Move the callback out before popping so that callbacks may schedule
+  // new events (which reallocates the underlying heap) safely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++dispatched_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Kernel::run() {
+  stopRequested_ = false;
+  std::uint64_t n = 0;
+  while (!stopRequested_ && dispatchOne()) ++n;
+  return n;
+}
+
+std::uint64_t Kernel::runUntil(Time t) {
+  stopRequested_ = false;
+  std::uint64_t n = 0;
+  while (!stopRequested_ && !queue_.empty() && queue_.top().when <= t) {
+    dispatchOne();
+    ++n;
+  }
+  if (!stopRequested_ && now_ < t) now_ = t;
+  return n;
+}
+
+std::uint64_t Kernel::step(std::uint64_t maxEvents) {
+  stopRequested_ = false;
+  std::uint64_t n = 0;
+  while (n < maxEvents && !stopRequested_ && dispatchOne()) ++n;
+  return n;
+}
+
+void Kernel::reset() {
+  queue_ = {};
+  now_ = 0;
+  seq_ = 0;
+  dispatched_ = 0;
+  stopRequested_ = false;
+}
+
+} // namespace sct::sim

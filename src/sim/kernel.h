@@ -1,0 +1,95 @@
+// Minimal discrete-event simulation kernel.
+//
+// This stands in for the SystemC 2.0 kernel used by the paper. The bus
+// models only require: (a) timestamp-ordered event dispatch, (b) stable
+// ordering of simultaneous events (insertion order, with an explicit
+// integer priority to realise the paper's "masters and slaves are
+// triggered at the rising edge, the bus process is sensitive to the
+// falling edge" discipline), and (c) run control (run-to-exhaustion,
+// run-until-time, cooperative stop).
+#ifndef SCT_SIM_KERNEL_H
+#define SCT_SIM_KERNEL_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sct::sim {
+
+/// Discrete-event scheduler. Not thread-safe; one kernel per simulation.
+class Kernel {
+ public:
+  using Callback = std::function<void()>;
+
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current simulation time. Valid inside and outside callbacks.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` picoseconds from now. `priority`
+  /// breaks ties at equal timestamps: lower priorities run first;
+  /// equal priorities run in insertion order.
+  void schedule(Time delay, Callback fn, int priority = 0) {
+    scheduleAt(now_ + delay, std::move(fn), priority);
+  }
+
+  /// Schedule `fn` at an absolute time, which must not be in the past.
+  void scheduleAt(Time when, Callback fn, int priority = 0);
+
+  /// Dispatch events until the queue is empty or stop() was requested.
+  /// Returns the number of events dispatched.
+  std::uint64_t run();
+
+  /// Dispatch all events with timestamp <= `t`, then set now() = t
+  /// (unless stopped earlier). Returns the number of events dispatched.
+  std::uint64_t runUntil(Time t);
+
+  /// Dispatch at most `maxEvents` events. Returns the number dispatched.
+  std::uint64_t step(std::uint64_t maxEvents = 1);
+
+  /// Request that the current run()/runUntil() returns after the
+  /// currently executing callback. Cleared by the next run call.
+  void stop() { stopRequested_ = true; }
+
+  bool stopRequested() const { return stopRequested_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pendingEvents() const { return queue_.size(); }
+  std::uint64_t dispatchedEvents() const { return dispatched_; }
+
+  /// Reset to time zero with an empty queue. Existing callbacks are
+  /// dropped; modules holding a kernel reference stay valid.
+  void reset();
+
+ private:
+  struct Event {
+    Time when;
+    int priority;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatchOne();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  bool stopRequested_ = false;
+};
+
+} // namespace sct::sim
+
+#endif // SCT_SIM_KERNEL_H

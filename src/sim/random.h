@@ -1,0 +1,64 @@
+// Deterministic pseudo-random source for workload generation.
+//
+// Workload generators, the true-RNG peripheral model and the
+// property-based tests all need reproducible randomness that is stable
+// across standard libraries (std:: distributions are not). This is
+// xoshiro256**, seeded with splitmix64.
+#ifndef SCT_SIM_RANDOM_H
+#define SCT_SIM_RANDOM_H
+
+#include <cstdint>
+
+namespace sct::sim {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be non-zero.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability numer/denom.
+  bool chance(std::uint64_t numer, std::uint64_t denom) {
+    return below(denom) < numer;
+  }
+
+  std::uint32_t next32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+} // namespace sct::sim
+
+#endif // SCT_SIM_RANDOM_H

@@ -1,0 +1,191 @@
+#include "soc/apdu.h"
+
+namespace sct::soc::apdu {
+
+std::vector<std::uint8_t> Command::encode() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(5 + data.size());
+  bytes.push_back(cla);
+  bytes.push_back(ins);
+  bytes.push_back(p1);
+  bytes.push_back(p2);
+  bytes.push_back(static_cast<std::uint8_t>(data.size()));
+  bytes.insert(bytes.end(), data.begin(), data.end());
+  return bytes;
+}
+
+AssembledProgram cardApplet(const std::uint8_t pin[4]) {
+  // Register plan: $s0 UART, $s1 TRNG, $s2 crypto, $s4 verified flag,
+  // $s5 CLA, $s6 INS, $s7 LC. Subroutines getc/putc/put2 are leaves.
+  std::string src = R"(
+    li   $s0, 0x10000200
+    li   $s1, 0x10000300
+    li   $s2, 0x10000400
+    addiu $s4, $zero, 0      # PIN not verified
+
+  session:
+    jal  getc
+    move $s5, $v0            # CLA
+    jal  getc
+    move $s6, $v0            # INS
+    jal  getc                # P1 (ignored)
+    jal  getc                # P2 (ignored)
+    jal  getc
+    move $s7, $v0            # LC
+    li   $t8, 0x08000000     # data buffer
+    move $t9, $s7
+  rdloop:
+    beqz $t9, rddone
+    jal  getc
+    sb   $v0, 0($t8)
+    addiu $t8, $t8, 1
+    addiu $t9, $t9, -1
+    b    rdloop
+  rddone:
+    addiu $t0, $zero, 0xFF
+    beq  $s5, $t0, endsession
+    addiu $t0, $zero, 0x20
+    beq  $s6, $t0, ins_verify
+    addiu $t0, $zero, 0x84
+    beq  $s6, $t0, ins_challenge
+    addiu $t0, $zero, 0x88
+    beq  $s6, $t0, ins_auth
+    addiu $a0, $zero, 0x6D   # SW 6D00: INS not supported
+    addiu $a1, $zero, 0x00
+    jal  put2
+    b    session
+
+  ins_verify:
+    la   $t2, pin
+    li   $t3, 0x08000000
+    addiu $t4, $zero, 4
+  vloop:
+    lbu  $t5, 0($t2)
+    lbu  $t6, 0($t3)
+    bne  $t5, $t6, vfail
+    addiu $t2, $t2, 1
+    addiu $t3, $t3, 1
+    addiu $t4, $t4, -1
+    bnez $t4, vloop
+    addiu $s4, $zero, 1
+    addiu $a0, $zero, 0x90
+    addiu $a1, $zero, 0x00
+    jal  put2
+    b    session
+  vfail:
+    addiu $s4, $zero, 0
+    addiu $a0, $zero, 0x63
+    addiu $a1, $zero, 0xC0
+    jal  put2
+    b    session
+
+  ins_challenge:
+    lw   $t2, 0($s1)         # TRNG word
+    addiu $t3, $zero, 4
+  chloop:
+    andi $a0, $t2, 0xFF
+    jal  putc
+    srl  $t2, $t2, 8
+    addiu $t3, $t3, -1
+    bnez $t3, chloop
+    addiu $a0, $zero, 0x90
+    addiu $a1, $zero, 0x00
+    jal  put2
+    b    session
+
+  ins_auth:
+    bnez $s4, auth_ok
+    addiu $a0, $zero, 0x69   # SW 6982: security status not satisfied
+    addiu $a1, $zero, 0x82
+    jal  put2
+    b    session
+  auth_ok:
+    la   $t2, authkey        # load the 128-bit key from ROM
+    addiu $t3, $zero, 0
+  kloop:
+    lw   $t4, 0($t2)
+    addu $t5, $s2, $t3
+    sw   $t4, 0($t5)         # KEY[i]
+    addiu $t2, $t2, 4
+    addiu $t3, $t3, 4
+    addiu $t6, $zero, 16
+    bne  $t3, $t6, kloop
+    li   $t2, 0x08000000
+    lw   $t3, 0($t2)
+    sw   $t3, 0x10($s2)      # DATA0 = challenge bytes 0..3
+    lw   $t3, 4($t2)
+    sw   $t3, 0x14($s2)      # DATA1 = challenge bytes 4..7
+    addiu $t3, $zero, 1
+    sw   $t3, 0x18($s2)      # CTRL = encrypt
+  abusy:
+    lw   $t3, 0x1C($s2)
+    bnez $t3, abusy
+    lw   $t2, 0x10($s2)      # cryptogram word 0
+    addiu $t3, $zero, 4
+  aout0:
+    andi $a0, $t2, 0xFF
+    jal  putc
+    srl  $t2, $t2, 8
+    addiu $t3, $t3, -1
+    bnez $t3, aout0
+    lw   $t2, 0x14($s2)      # cryptogram word 1
+    addiu $t3, $zero, 4
+  aout1:
+    andi $a0, $t2, 0xFF
+    jal  putc
+    srl  $t2, $t2, 8
+    addiu $t3, $t3, -1
+    bnez $t3, aout1
+    addiu $a0, $zero, 0x90
+    addiu $a1, $zero, 0x00
+    jal  put2
+    b    session
+
+  endsession:
+    addiu $a0, $zero, 0x90
+    addiu $a1, $zero, 0x00
+    jal  put2
+    break
+
+    # --- leaf subroutines ------------------------------------------
+  getc:
+    lw   $t0, 4($s0)
+    andi $t0, $t0, 2
+    beqz $t0, getc
+    lw   $v0, 0($s0)
+    andi $v0, $v0, 0xFF
+    jr   $ra
+  putc:
+    lw   $t0, 4($s0)
+    andi $t0, $t0, 1
+    beqz $t0, putc
+    sw   $a0, 0($s0)
+    jr   $ra
+  put2:
+    lw   $t0, 4($s0)
+    andi $t0, $t0, 1
+    beqz $t0, put2
+    sw   $a0, 0($s0)
+  put2b:
+    lw   $t0, 4($s0)
+    andi $t0, $t0, 1
+    beqz $t0, put2b
+    sw   $a1, 0($s0)
+    jr   $ra
+
+    # --- constants --------------------------------------------------
+  pin: .byte )";
+  for (int i = 0; i < 4; ++i) {
+    src += std::to_string(pin[i]);
+    src += (i < 3 ? ", " : "\n");
+  }
+  src += "  authkey:\n";
+  for (std::uint32_t w : kAuthKey) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "    .word 0x%08X\n", w);
+    src += buf;
+  }
+  return assemble(src, memmap::kRomBase);
+}
+
+} // namespace sct::soc::apdu

@@ -1,0 +1,103 @@
+// ISO 7816-style APDU command interpreter (firmware + host helpers).
+//
+// Smart cards speak command/response APDUs over their serial interface;
+// this module makes the simulated platform do its actual job. The
+// firmware (MIPS assembly, generated here) polls the UART for a command
+// header CLA INS P1 P2 LC, optionally reads LC data bytes, dispatches:
+//
+//   INS 0x20 VERIFY               — compare LC=4 bytes with the ROM PIN;
+//                                   SW 9000 on match, 63C0 otherwise.
+//   INS 0x84 GET CHALLENGE        — respond with 4 TRNG bytes, SW 9000.
+//   INS 0x88 INTERNAL AUTHENTICATE— LC=8 challenge through the crypto
+//                                   coprocessor, 8 ciphertext bytes,
+//                                   SW 9000 (requires prior VERIFY;
+//                                   SW 6982 otherwise).
+//   anything else                 — SW 6D00 (INS not supported).
+//   CLA 0xFF                      — end of session: SW 9000, halt.
+//
+// The host side drives the session from C++: queue a command into the
+// UART receiver, run the simulation until the response (data + status
+// word) has been transmitted, repeat.
+#ifndef SCT_SOC_APDU_H
+#define SCT_SOC_APDU_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/assembler.h"
+#include "soc/smartcard.h"
+
+namespace sct::soc::apdu {
+
+inline constexpr std::uint8_t kInsVerify = 0x20;
+inline constexpr std::uint8_t kInsGetChallenge = 0x84;
+inline constexpr std::uint8_t kInsInternalAuth = 0x88;
+inline constexpr std::uint8_t kClaEndSession = 0xFF;
+
+inline constexpr std::uint16_t kSwOk = 0x9000;
+inline constexpr std::uint16_t kSwPinWrong = 0x63C0;
+inline constexpr std::uint16_t kSwNotVerified = 0x6982;
+inline constexpr std::uint16_t kSwInsNotSupported = 0x6D00;
+
+/// The card applet. `pin` is burned into ROM (4 bytes); the
+/// authentication key is the fixed 128-bit key below.
+AssembledProgram cardApplet(const std::uint8_t pin[4]);
+
+/// The INTERNAL AUTHENTICATE key the applet uses (shared with hosts
+/// that want to verify the cryptogram).
+inline constexpr std::uint32_t kAuthKey[4] = {0x0F1E2D3C, 0x4B5A6978,
+                                              0x8796A5B4, 0xC3D2E1F0};
+
+struct Command {
+  std::uint8_t cla = 0x00;
+  std::uint8_t ins = 0x00;
+  std::uint8_t p1 = 0x00;
+  std::uint8_t p2 = 0x00;
+  std::vector<std::uint8_t> data;  ///< LC bytes.
+
+  std::vector<std::uint8_t> encode() const;
+};
+
+struct Response {
+  std::vector<std::uint8_t> data;
+  std::uint16_t sw = 0;
+};
+
+/// Host-side session driver for a SmartCardSoC running cardApplet().
+template <typename SocT>
+class Session {
+ public:
+  explicit Session(SocT& card) : card_(card) {}
+
+  /// Send a command and run the simulation until the response (
+  /// `expectData` payload bytes + 2 status bytes) arrived. Returns
+  /// false on timeout.
+  bool exchange(const Command& cmd, std::size_t expectData, Response& out,
+                std::uint64_t maxCycles = 2'000'000) {
+    for (std::uint8_t b : cmd.encode()) card_.uart().injectReceive(b);
+    const std::size_t want =
+        card_.uart().transmitted().size() + expectData + 2;
+    const std::uint64_t start = card_.clock().cycle();
+    while (card_.uart().transmitted().size() < want &&
+           card_.clock().cycle() - start < maxCycles &&
+           !card_.cpu().halted()) {
+      card_.clock().runCycles(16);
+    }
+    const std::string& tx = card_.uart().transmitted();
+    if (tx.size() < want) return false;
+    out.data.assign(tx.end() - static_cast<long>(expectData) - 2,
+                    tx.end() - 2);
+    out.sw = static_cast<std::uint16_t>(
+        (static_cast<std::uint8_t>(tx[tx.size() - 2]) << 8) |
+        static_cast<std::uint8_t>(tx[tx.size() - 1]));
+    return true;
+  }
+
+ private:
+  SocT& card_;
+};
+
+} // namespace sct::soc::apdu
+
+#endif // SCT_SOC_APDU_H

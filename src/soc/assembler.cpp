@@ -1,0 +1,548 @@
+#include "soc/assembler.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "soc/isa.h"
+
+namespace sct::soc {
+
+namespace {
+
+constexpr std::array<std::string_view, 32> kAbiNames{
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0",   "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0",   "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8",   "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+/// One source statement after tokenization.
+struct Statement {
+  std::size_t line;
+  std::string mnemonic;             // Lower-case, empty for pure labels.
+  std::vector<std::string> operands;
+};
+
+std::string stripComment(const std::string& line) {
+  const std::size_t pos = line.find_first_of("#;");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool validLabelName(const std::string& s) {
+  if (s.empty() || (!std::isalpha(static_cast<unsigned char>(s[0])) &&
+                    s[0] != '_' && s[0] != '.')) {
+    return false;
+  }
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '.';
+  });
+}
+
+} // namespace
+
+unsigned parseRegister(std::string_view token) {
+  if (token.empty() || token[0] != '$') {
+    throw AsmError(0, "expected register, got '" + std::string(token) + "'");
+  }
+  const std::string body = toLower(token.substr(1));
+  if (!body.empty() && std::isdigit(static_cast<unsigned char>(body[0]))) {
+    const unsigned n = static_cast<unsigned>(std::stoul(body));
+    if (n > 31) throw AsmError(0, "register number out of range");
+    return n;
+  }
+  for (unsigned i = 0; i < kAbiNames.size(); ++i) {
+    if (kAbiNames[i] == body) return i;
+  }
+  throw AsmError(0, "unknown register '" + std::string(token) + "'");
+}
+
+namespace {
+
+class Assembler {
+ public:
+  Assembler(std::string_view source, bus::Address origin)
+      : origin_(origin) {
+    tokenize(source);
+  }
+
+  AssembledProgram run() {
+    layout();           // Pass 1: label addresses.
+    emitAll();          // Pass 2: encode.
+    AssembledProgram p;
+    p.origin = origin_;
+    p.words = std::move(words_);
+    p.labels = std::move(labels_);
+    return p;
+  }
+
+ private:
+  // --- Tokenization --------------------------------------------------------
+
+  void tokenize(std::string_view source) {
+    std::istringstream in{std::string(source)};
+    std::string raw;
+    std::size_t lineNo = 0;
+    while (std::getline(in, raw)) {
+      ++lineNo;
+      std::string line = trim(stripComment(raw));
+      // Peel leading labels ("loop:" possibly followed by code).
+      while (true) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) break;
+        const std::string head = trim(line.substr(0, colon));
+        if (!validLabelName(head)) break;
+        Statement label;
+        label.line = lineNo;
+        label.mnemonic = ":" + head;  // Marker for a label definition.
+        stmts_.push_back(label);
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+      Statement st;
+      st.line = lineNo;
+      const std::size_t sp = line.find_first_of(" \t");
+      st.mnemonic = toLower(line.substr(0, sp));
+      if (sp != std::string::npos) {
+        std::string rest = trim(line.substr(sp));
+        std::string cur;
+        for (char c : rest) {
+          if (c == ',') {
+            st.operands.push_back(trim(cur));
+            cur.clear();
+          } else {
+            cur += c;
+          }
+        }
+        if (!trim(cur).empty()) st.operands.push_back(trim(cur));
+      }
+      stmts_.push_back(st);
+    }
+  }
+
+  // --- Sizing / layout -----------------------------------------------------
+
+  /// Number of words a statement emits.
+  std::size_t wordsFor(const Statement& st) const {
+    if (st.mnemonic[0] == ':') return 0;
+    if (st.mnemonic == ".org") return 0;
+    if (st.mnemonic == ".word") return st.operands.size();
+    if (st.mnemonic == ".byte") {
+      // Bytes pack into words, padded to the next word boundary.
+      return (st.operands.size() + 3) / 4;
+    }
+    if (st.mnemonic == ".ascii" || st.mnemonic == ".asciz") {
+      return (asciiBytes(st).size() + 3) / 4;
+    }
+    if (st.mnemonic == ".space") {
+      return (parseNumber(st, st.operands.at(0)) + 3) / 4;
+    }
+    if (st.mnemonic == "li" || st.mnemonic == "la") return 2;
+    return 1;
+  }
+
+  /// Decode the string literal of an .ascii/.asciz directive
+  /// (re-joining operands, since commas may appear inside the quotes).
+  std::vector<std::uint8_t> asciiBytes(const Statement& st) const {
+    std::string joined;
+    for (std::size_t i = 0; i < st.operands.size(); ++i) {
+      if (i > 0) joined += ",";
+      joined += st.operands[i];
+    }
+    if (joined.size() < 2 || joined.front() != '"' ||
+        joined.back() != '"') {
+      throw AsmError(st.line, ".ascii expects a quoted string");
+    }
+    std::vector<std::uint8_t> bytes;
+    for (std::size_t i = 1; i + 1 < joined.size(); ++i) {
+      char c = joined[i];
+      if (c == '\\' && i + 2 < joined.size()) {
+        const char esc = joined[++i];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default:
+            throw AsmError(st.line, "unknown escape in string");
+        }
+      }
+      bytes.push_back(static_cast<std::uint8_t>(c));
+    }
+    if (st.mnemonic == ".asciz") bytes.push_back(0);
+    return bytes;
+  }
+
+  void emitPackedBytes(const std::vector<std::uint8_t>& bytes) {
+    for (std::size_t i = 0; i < bytes.size(); i += 4) {
+      std::uint32_t w = 0;
+      for (std::size_t k = 0; k < 4 && i + k < bytes.size(); ++k) {
+        w |= static_cast<std::uint32_t>(bytes[i + k]) << (8 * k);
+      }
+      words_.push_back(w);
+    }
+  }
+
+  void layout() {
+    bus::Address addr = origin_;
+    bool originFixed = false;
+    for (const Statement& st : stmts_) {
+      if (st.mnemonic[0] == ':') {
+        labels_[st.mnemonic.substr(1)] = addr;
+        continue;
+      }
+      if (st.mnemonic == ".org") {
+        const std::int64_t raw = parseNumber(st, operand(st, 0));
+        if (raw < 0) throw AsmError(st.line, ".org address is negative");
+        const auto target = static_cast<bus::Address>(raw);
+        if (!originFixed && words_.empty() && addr == origin_) {
+          origin_ = target;
+          addr = target;
+          originFixed = true;
+        } else if (target < addr) {
+          throw AsmError(st.line, ".org may not move backwards");
+        } else {
+          addr = target;
+        }
+        continue;
+      }
+      addr += 4 * wordsFor(st);
+      if ((addr & 0x3u) != 0) {
+        throw AsmError(st.line, "unaligned layout");
+      }
+    }
+  }
+
+  // --- Emission ------------------------------------------------------------
+
+  void emitAll() {
+    bus::Address addr = origin_;
+    for (const Statement& st : stmts_) {
+      if (st.mnemonic[0] == ':') continue;
+      if (st.mnemonic == ".org") {
+        const auto target =
+            static_cast<bus::Address>(parseNumber(st, operand(st, 0)));
+        if (target == origin_ && words_.empty()) {
+          addr = target;
+          continue;
+        }
+        while (addr < target) {
+          words_.push_back(0);
+          addr += 4;
+        }
+        continue;
+      }
+      const std::size_t before = words_.size();
+      emit(st, addr);
+      addr += 4 * (words_.size() - before);
+    }
+  }
+
+  const std::string& operand(const Statement& st, std::size_t i) const {
+    if (i >= st.operands.size()) {
+      throw AsmError(st.line, "missing operand " + std::to_string(i + 1) +
+                                  " for '" + st.mnemonic + "'");
+    }
+    return st.operands[i];
+  }
+
+  std::int64_t parseNumber(const Statement& st, const std::string& tok) const {
+    try {
+      std::size_t used = 0;
+      const std::int64_t v = std::stoll(tok, &used, 0);
+      if (used != tok.size()) throw std::invalid_argument(tok);
+      return v;
+    } catch (const std::exception&) {
+      throw AsmError(st.line, "bad number '" + tok + "'");
+    }
+  }
+
+  /// Number or label value.
+  std::int64_t value(const Statement& st, const std::string& tok) const {
+    const auto it = labels_.find(tok);
+    if (it != labels_.end()) return static_cast<std::int64_t>(it->second);
+    return parseNumber(st, tok);
+  }
+
+  unsigned reg(const Statement& st, const std::string& tok) const {
+    try {
+      return parseRegister(tok);
+    } catch (const AsmError& e) {
+      throw AsmError(st.line, e.what());
+    }
+  }
+
+  std::uint16_t imm16(const Statement& st, std::int64_t v) const {
+    if (v < -32768 || v > 65535) {
+      throw AsmError(st.line, "immediate out of 16-bit range");
+    }
+    return static_cast<std::uint16_t>(v & 0xFFFF);
+  }
+
+  std::uint16_t branchOffset(const Statement& st, const std::string& tok,
+                             bus::Address pc) const {
+    const std::int64_t target = value(st, tok);
+    const std::int64_t diff = (target - static_cast<std::int64_t>(pc + 4)) / 4;
+    if (diff < -32768 || diff > 32767) {
+      throw AsmError(st.line, "branch target out of range");
+    }
+    return static_cast<std::uint16_t>(diff & 0xFFFF);
+  }
+
+  /// Parse "imm($reg)" memory operands.
+  void memOperand(const Statement& st, const std::string& tok,
+                  unsigned& base, std::int64_t& offset) const {
+    const std::size_t open = tok.find('(');
+    const std::size_t close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      throw AsmError(st.line, "bad memory operand '" + tok + "'");
+    }
+    const std::string offTok = trim(tok.substr(0, open));
+    offset = offTok.empty() ? 0 : value(st, offTok);
+    base = reg(st, trim(tok.substr(open + 1, close - open - 1)));
+  }
+
+  void emit(const Statement& st, bus::Address pc) {
+    const std::string& m = st.mnemonic;
+
+    // Directives.
+    if (m == ".word") {
+      for (const std::string& tok : st.operands) {
+        words_.push_back(static_cast<std::uint32_t>(value(st, tok)));
+      }
+      return;
+    }
+    if (m == ".byte") {
+      std::vector<std::uint8_t> bytes;
+      for (const std::string& tok : st.operands) {
+        const std::int64_t v = value(st, tok);
+        if (v < -128 || v > 255) {
+          throw AsmError(st.line, ".byte value out of range");
+        }
+        bytes.push_back(static_cast<std::uint8_t>(v & 0xFF));
+      }
+      emitPackedBytes(bytes);
+      return;
+    }
+    if (m == ".ascii" || m == ".asciz") {
+      emitPackedBytes(asciiBytes(st));
+      return;
+    }
+    if (m == ".space") {
+      const std::size_t n =
+          static_cast<std::size_t>((parseNumber(st, operand(st, 0)) + 3) / 4);
+      words_.insert(words_.end(), n, 0);
+      return;
+    }
+
+    // Pseudo-instructions.
+    if (m == "nop") {
+      words_.push_back(kNop);
+      return;
+    }
+    if (m == "move") {
+      const unsigned rd = reg(st, operand(st, 0));
+      const unsigned rs = reg(st, operand(st, 1));
+      words_.push_back(encodeR(0, rs, 0, rd, 0, 0x25));  // or rd, rs, $0
+      return;
+    }
+    if (m == "li" || m == "la") {
+      const unsigned rt = reg(st, operand(st, 0));
+      const std::uint32_t v =
+          static_cast<std::uint32_t>(value(st, operand(st, 1)));
+      words_.push_back(encodeI(0x0F, 0, rt, static_cast<std::uint16_t>(
+                                                v >> 16)));  // lui
+      words_.push_back(encodeI(0x0D, rt, rt,
+                               static_cast<std::uint16_t>(v & 0xFFFF)));
+      return;
+    }
+    if (m == "b") {
+      words_.push_back(
+          encodeI(0x04, 0, 0, branchOffset(st, operand(st, 0), pc)));
+      return;
+    }
+    if (m == "beqz" || m == "bnez") {
+      const unsigned rs = reg(st, operand(st, 0));
+      words_.push_back(encodeI(m == "beqz" ? 0x04 : 0x05, rs, 0,
+                               branchOffset(st, operand(st, 1), pc)));
+      return;
+    }
+    if (m == "neg" || m == "negu") {
+      const unsigned rd = reg(st, operand(st, 0));
+      const unsigned rs = reg(st, operand(st, 1));
+      words_.push_back(encodeR(0, 0, rs, rd, 0, 0x23));  // subu rd,$0,rs
+      return;
+    }
+    if (m == "syscall") {
+      words_.push_back(kSyscall);
+      return;
+    }
+    if (m == "break") {
+      words_.push_back(kBreak);
+      return;
+    }
+    if (m == "eret") {
+      words_.push_back(kEret);
+      return;
+    }
+
+    // R-type three-register ALU.
+    static const std::map<std::string, unsigned> rFunct{
+        {"addu", 0x21}, {"subu", 0x23}, {"and", 0x24}, {"or", 0x25},
+        {"xor", 0x26},  {"nor", 0x27},  {"slt", 0x2A}, {"sltu", 0x2B},
+        {"sllv", 0x04}, {"srlv", 0x06}, {"srav", 0x07}};
+    if (const auto it = rFunct.find(m); it != rFunct.end()) {
+      const unsigned rd = reg(st, operand(st, 0));
+      const unsigned rs = reg(st, operand(st, 1));
+      const unsigned rt = reg(st, operand(st, 2));
+      // Shift-variable forms take (rd, rt, rs) order per MIPS syntax.
+      if (m == "sllv" || m == "srlv" || m == "srav") {
+        words_.push_back(encodeR(0, rt, rs, rd, 0, it->second));
+      } else {
+        words_.push_back(encodeR(0, rs, rt, rd, 0, it->second));
+      }
+      return;
+    }
+
+    // Shifts with immediate amount.
+    static const std::map<std::string, unsigned> shifts{
+        {"sll", 0x00}, {"srl", 0x02}, {"sra", 0x03}};
+    if (const auto it = shifts.find(m); it != shifts.end()) {
+      const unsigned rd = reg(st, operand(st, 0));
+      const unsigned rt = reg(st, operand(st, 1));
+      const auto sh = parseNumber(st, operand(st, 2));
+      if (sh < 0 || sh > 31) throw AsmError(st.line, "shift out of range");
+      words_.push_back(
+          encodeR(0, 0, rt, rd, static_cast<unsigned>(sh), it->second));
+      return;
+    }
+
+    // I-type ALU.
+    static const std::map<std::string, unsigned> iOps{
+        {"addiu", 0x09}, {"slti", 0x0A}, {"sltiu", 0x0B},
+        {"andi", 0x0C},  {"ori", 0x0D},  {"xori", 0x0E}};
+    if (const auto it = iOps.find(m); it != iOps.end()) {
+      const unsigned rt = reg(st, operand(st, 0));
+      const unsigned rs = reg(st, operand(st, 1));
+      words_.push_back(encodeI(it->second, rs, rt,
+                               imm16(st, value(st, operand(st, 2)))));
+      return;
+    }
+    if (m == "lui") {
+      const unsigned rt = reg(st, operand(st, 0));
+      words_.push_back(
+          encodeI(0x0F, 0, rt, imm16(st, value(st, operand(st, 1)))));
+      return;
+    }
+
+    // Loads / stores.
+    static const std::map<std::string, unsigned> mems{
+        {"lb", 0x20}, {"lh", 0x21}, {"lw", 0x23}, {"lbu", 0x24},
+        {"lhu", 0x25}, {"sb", 0x28}, {"sh", 0x29}, {"sw", 0x2B}};
+    if (const auto it = mems.find(m); it != mems.end()) {
+      const unsigned rt = reg(st, operand(st, 0));
+      unsigned base = 0;
+      std::int64_t off = 0;
+      memOperand(st, operand(st, 1), base, off);
+      words_.push_back(encodeI(it->second, base, rt, imm16(st, off)));
+      return;
+    }
+
+    // Branches.
+    if (m == "beq" || m == "bne") {
+      const unsigned rs = reg(st, operand(st, 0));
+      const unsigned rt = reg(st, operand(st, 1));
+      words_.push_back(encodeI(m == "beq" ? 0x04 : 0x05, rs, rt,
+                               branchOffset(st, operand(st, 2), pc)));
+      return;
+    }
+    if (m == "blez" || m == "bgtz") {
+      const unsigned rs = reg(st, operand(st, 0));
+      words_.push_back(encodeI(m == "blez" ? 0x06 : 0x07, rs, 0,
+                               branchOffset(st, operand(st, 1), pc)));
+      return;
+    }
+    if (m == "bltz" || m == "bgez") {
+      const unsigned rs = reg(st, operand(st, 0));
+      words_.push_back(encodeI(0x01, rs, m == "bltz" ? 0 : 1,
+                               branchOffset(st, operand(st, 1), pc)));
+      return;
+    }
+
+    // Multiply/divide unit.
+    static const std::map<std::string, unsigned> mdOps{
+        {"mult", 0x18}, {"multu", 0x19}, {"div", 0x1A}, {"divu", 0x1B}};
+    if (const auto it = mdOps.find(m); it != mdOps.end()) {
+      const unsigned rs = reg(st, operand(st, 0));
+      const unsigned rt = reg(st, operand(st, 1));
+      words_.push_back(encodeR(0, rs, rt, 0, 0, it->second));
+      return;
+    }
+    if (m == "mfhi" || m == "mflo") {
+      const unsigned rd = reg(st, operand(st, 0));
+      words_.push_back(
+          encodeR(0, 0, 0, rd, 0, m == "mfhi" ? 0x10 : 0x12));
+      return;
+    }
+    if (m == "mthi" || m == "mtlo") {
+      const unsigned rs = reg(st, operand(st, 0));
+      words_.push_back(
+          encodeR(0, rs, 0, 0, 0, m == "mthi" ? 0x11 : 0x13));
+      return;
+    }
+
+    // Jumps.
+    if (m == "j" || m == "jal") {
+      const std::int64_t target = value(st, operand(st, 0));
+      words_.push_back(encodeJ(m == "j" ? 0x02 : 0x03,
+                               static_cast<std::uint32_t>(target >> 2)));
+      return;
+    }
+    if (m == "jr") {
+      words_.push_back(encodeR(0, reg(st, operand(st, 0)), 0, 0, 0, 0x08));
+      return;
+    }
+    if (m == "jalr") {
+      const unsigned rd =
+          st.operands.size() > 1 ? reg(st, operand(st, 0)) : 31u;
+      const unsigned rs = st.operands.size() > 1
+                              ? reg(st, operand(st, 1))
+                              : reg(st, operand(st, 0));
+      words_.push_back(encodeR(0, rs, 0, rd, 0, 0x09));
+      return;
+    }
+
+    throw AsmError(st.line, "unknown mnemonic '" + m + "'");
+  }
+
+  bus::Address origin_;
+  std::vector<Statement> stmts_;
+  std::vector<std::uint32_t> words_;
+  std::map<std::string, bus::Address> labels_;
+};
+
+} // namespace
+
+AssembledProgram assemble(std::string_view source, bus::Address origin) {
+  return Assembler(source, origin).run();
+}
+
+} // namespace sct::soc

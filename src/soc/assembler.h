@@ -1,0 +1,64 @@
+// Two-pass assembler for the MIPS32 subset.
+//
+// The paper drove its RTL and TLM verification with assembly test
+// programs; this assembler lets tests, examples and benches write them
+// as text. Supported: all instructions of soc/isa.h, labels, `.org` /
+// `.word` / `.space` directives, `#`/`;` comments, numeric ($0..$31)
+// and ABI register names, and the pseudo-instructions
+// `li` (lui+ori), `la` (lui+ori), `move`, `b` and `nop`.
+#ifndef SCT_SOC_ASSEMBLER_H
+#define SCT_SOC_ASSEMBLER_H
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bus/ec_types.h"
+
+namespace sct::soc {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct AssembledProgram {
+  bus::Address origin = 0;  ///< Address of words[0].
+  std::vector<std::uint32_t> words;
+  std::map<std::string, bus::Address> labels;
+
+  const std::uint8_t* bytes() const {
+    return reinterpret_cast<const std::uint8_t*>(words.data());
+  }
+  std::size_t byteSize() const { return words.size() * 4; }
+
+  bus::Address label(const std::string& name) const {
+    const auto it = labels.find(name);
+    if (it == labels.end()) {
+      throw std::out_of_range("unknown label: " + name);
+    }
+    return it->second;
+  }
+};
+
+/// Assemble `source`; the program starts at `origin` unless an `.org`
+/// directive appears before the first emitted word. Throws AsmError.
+AssembledProgram assemble(std::string_view source, bus::Address origin = 0);
+
+/// Register number for "$t0", "$4", "$ra", ... Throws AsmError(0, ...)
+/// on unknown names (exposed for tests).
+unsigned parseRegister(std::string_view token);
+
+} // namespace sct::soc
+
+#endif // SCT_SOC_ASSEMBLER_H

@@ -1,0 +1,80 @@
+#include "soc/cache.h"
+
+namespace sct::soc {
+
+namespace {
+bool isPow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+} // namespace
+
+Cache::Cache(std::size_t sizeBytes, std::size_t lineBytes)
+    : lineBytes_(lineBytes) {
+  if (!isPow2(sizeBytes) || !isPow2(lineBytes) || lineBytes < 4 ||
+      sizeBytes < lineBytes) {
+    throw std::invalid_argument("Cache: sizes must be powers of two");
+  }
+  lines_.resize(sizeBytes / lineBytes);
+  for (Line& l : lines_) l.words.resize(lineBytes / 4, 0);
+}
+
+Cache::Line& Cache::lineFor(bus::Address addr) {
+  const std::size_t index =
+      static_cast<std::size_t>(lineBase(addr) / lineBytes_) % lines_.size();
+  return lines_[index];
+}
+
+const Cache::Line& Cache::lineFor(bus::Address addr) const {
+  const std::size_t index =
+      static_cast<std::size_t>((addr & ~static_cast<bus::Address>(
+                                           lineBytes_ - 1)) /
+                               lineBytes_) %
+      lines_.size();
+  return lines_[index];
+}
+
+bool Cache::contains(bus::Address addr) const {
+  const Line& l = lineFor(addr);
+  return l.valid && l.tagBase == (addr & ~static_cast<bus::Address>(
+                                             lineBytes_ - 1));
+}
+
+bool Cache::lookupWord(bus::Address addr, bus::Word& out) {
+  Line& l = lineFor(addr);
+  if (l.valid && l.tagBase == lineBase(addr)) {
+    out = l.words[static_cast<std::size_t>((addr - l.tagBase) / 4)];
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void Cache::fillLine(bus::Address addr, const bus::Word* words) {
+  Line& l = lineFor(addr);
+  l.valid = true;
+  l.tagBase = lineBase(addr);
+  for (std::size_t i = 0; i < l.words.size(); ++i) l.words[i] = words[i];
+}
+
+void Cache::updateIfPresent(bus::Address addr, bus::Word value,
+                            std::uint8_t byteEnables) {
+  Line& l = lineFor(addr);
+  if (!l.valid || l.tagBase != lineBase(addr)) return;
+  bus::Word& w = l.words[static_cast<std::size_t>((addr - l.tagBase) / 4)];
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    if (byteEnables & (1u << lane)) {
+      const bus::Word mask = bus::Word{0xFF} << (8 * lane);
+      w = (w & ~mask) | (value & mask);
+    }
+  }
+}
+
+void Cache::invalidate(bus::Address addr) {
+  Line& l = lineFor(addr);
+  if (l.valid && l.tagBase == lineBase(addr)) l.valid = false;
+}
+
+void Cache::invalidateAll() {
+  for (Line& l : lines_) l.valid = false;
+}
+
+} // namespace sct::soc

@@ -1,0 +1,80 @@
+// Direct-mapped cache model.
+//
+// The MIPS 4KSc integrates instruction and data caches whose refills
+// appear on the EC interface as 4-beat bursts (Figure 1). This model
+// keeps tags, valid bits and data so the simulator's bus traffic — and
+// nothing else — is cycle-relevant: hits cost no bus transaction,
+// misses trigger a line refill issued by the core.
+#ifndef SCT_SOC_CACHE_H
+#define SCT_SOC_CACHE_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bus/ec_types.h"
+
+namespace sct::soc {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double hitRate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class Cache {
+ public:
+  /// `sizeBytes` and `lineBytes` must be powers of two; the line size
+  /// must match the EC burst (16 bytes = 4 words).
+  Cache(std::size_t sizeBytes, std::size_t lineBytes = 16);
+
+  std::size_t lineBytes() const { return lineBytes_; }
+  std::size_t lineCount() const { return lines_.size(); }
+
+  /// Line-aligned base address for `addr`.
+  bus::Address lineBase(bus::Address addr) const {
+    return addr & ~static_cast<bus::Address>(lineBytes_ - 1);
+  }
+
+  bool contains(bus::Address addr) const;
+
+  /// Word lookup. Returns true and sets `out` on a hit (records a hit);
+  /// records a miss otherwise.
+  bool lookupWord(bus::Address addr, bus::Word& out);
+
+  /// Install a line fetched from memory. `words` must hold
+  /// lineBytes()/4 entries starting at lineBase(addr).
+  void fillLine(bus::Address addr, const bus::Word* words);
+
+  /// Write-through update: if the line is present, patch the cached
+  /// copy (byte-enable granular). Never allocates.
+  void updateIfPresent(bus::Address addr, bus::Word value,
+                       std::uint8_t byteEnables);
+
+  /// Drop a line (e.g. on DMA or self-modifying code).
+  void invalidate(bus::Address addr);
+  void invalidateAll();
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bus::Address tagBase = 0;  ///< Line-aligned address of the content.
+    std::vector<bus::Word> words;
+  };
+
+  Line& lineFor(bus::Address addr);
+  const Line& lineFor(bus::Address addr) const;
+
+  std::size_t lineBytes_;
+  std::vector<Line> lines_;
+  CacheStats stats_;
+};
+
+} // namespace sct::soc
+
+#endif // SCT_SOC_CACHE_H

@@ -1,0 +1,466 @@
+#include "soc/cpu.h"
+
+namespace sct::soc {
+
+using bus::AccessSize;
+using bus::Address;
+using bus::BusStatus;
+using bus::Kind;
+using bus::Word;
+
+MipsCore::MipsCore(sim::Clock& clock, std::string name,
+                   bus::EcInstrIf& instrIf, bus::EcDataIf& dataIf,
+                   const CpuConfig& config)
+    : sim::Module(clock.kernel(), std::move(name)),
+      clock_(clock),
+      instrIf_(instrIf),
+      dataIf_(dataIf),
+      config_(config),
+      icache_(config.icacheBytes, config.lineBytes),
+      dcache_(config.dcacheBytes, config.lineBytes) {
+  handlerId_ = clock_.onRising([this] { onRisingEdge(); });
+  reset(config.resetPc);
+}
+
+MipsCore::~MipsCore() { clock_.removeHandler(handlerId_); }
+
+void MipsCore::reset(Address pc) {
+  regs_.fill(0);
+  hi_ = 0;
+  lo_ = 0;
+  pc_ = pc;
+  epc_ = 0;
+  inIsr_ = false;
+  interruptsTaken_ = 0;
+  state_ = State::Running;
+  haltPending_ = false;
+  faulted_ = false;
+  icache_.invalidateAll();
+  dcache_.invalidateAll();
+  ifetchSubmitted_ = false;
+  loadSubmitted_ = false;
+  storeActive_.fill(false);
+  storeBusy_ = 0;
+  stats_ = CpuStats{};
+}
+
+void MipsCore::halt(bool fault) {
+  state_ = State::Halted;
+  faulted_ = fault;
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle behaviour
+// ---------------------------------------------------------------------------
+
+void MipsCore::onRisingEdge() {
+  if (state_ == State::Halted && storeBusy_ == 0) return;
+  ++stats_.cycles;
+  pollStores();
+
+  switch (state_) {
+    case State::Halted:
+      return;  // Draining the store buffer.
+    case State::WaitIFetch: {
+      ++stats_.ifetchStallCycles;
+      if (!ifetchSubmitted_) {
+        const BusStatus s = instrIf_.fetch(ifetchReq_);
+        if (s == BusStatus::Request) ifetchSubmitted_ = true;
+        if (s == BusStatus::Error) halt(true);
+        return;
+      }
+      const BusStatus s = instrIf_.fetch(ifetchReq_);
+      if (s == BusStatus::Ok) {
+        icache_.fillLine(ifetchReq_.address, ifetchReq_.data.data());
+        state_ = State::Running;
+      } else if (s == BusStatus::Error) {
+        halt(true);
+      }
+      return;
+    }
+    case State::WaitLoad: {
+      ++stats_.loadStallCycles;
+      if (!loadSubmitted_) {
+        const BusStatus s = dataIf_.read(loadReq_);
+        if (s == BusStatus::Request) loadSubmitted_ = true;
+        if (s == BusStatus::Error) halt(true);
+        return;
+      }
+      const BusStatus s = dataIf_.read(loadReq_);
+      if (s == BusStatus::Ok) {
+        finishLoad();
+        state_ = State::Running;
+      } else if (s == BusStatus::Error) {
+        halt(true);
+      }
+      return;
+    }
+    case State::WaitStoreSlot: {
+      ++stats_.storeStallCycles;
+      if (startStore(pendingStore_, pendingStoreAddr_)) {
+        state_ = State::Running;
+      }
+      return;
+    }
+    case State::Running:
+      if (haltPending_) {
+        halt(false);
+        return;
+      }
+      executeOne();
+      return;
+  }
+}
+
+void MipsCore::pollStores() {
+  for (std::size_t i = 0; i < storeReqs_.size(); ++i) {
+    if (!storeActive_[i]) continue;
+    const BusStatus s = dataIf_.write(storeReqs_[i]);
+    if (s == BusStatus::Ok) {
+      storeActive_[i] = false;
+      --storeBusy_;
+    } else if (s == BusStatus::Error) {
+      storeActive_[i] = false;
+      --storeBusy_;
+      halt(true);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction execution
+// ---------------------------------------------------------------------------
+
+void MipsCore::startIFetch(Address pcLine) {
+  ifetchReq_.reset();
+  ifetchReq_.kind = Kind::InstrFetch;
+  ifetchReq_.address = pcLine;
+  ifetchReq_.size = AccessSize::Word;
+  ifetchReq_.beats =
+      static_cast<std::uint8_t>(config_.lineBytes / 4);
+  const BusStatus s = instrIf_.fetch(ifetchReq_);
+  ifetchSubmitted_ = s == BusStatus::Request;
+  if (s == BusStatus::Error) {
+    halt(true);
+    return;
+  }
+  state_ = State::WaitIFetch;
+}
+
+void MipsCore::executeOne() {
+  // --- Interrupt dispatch (instruction boundary) ---------------------------
+  if (!inIsr_ && config_.irqVector != 0 && irqSource_ && irqSource_() != 0) {
+    epc_ = pc_;
+    pc_ = config_.irqVector;
+    inIsr_ = true;
+    ++interruptsTaken_;
+  }
+
+  // --- Fetch ---------------------------------------------------------------
+  Word instrWord = 0;
+  if (!icache_.lookupWord(pc_, instrWord)) {
+    startIFetch(icache_.lineBase(pc_));
+    return;
+  }
+
+  const DecodedInstr d = decode(instrWord);
+  Address nextPc = pc_ + 4;
+  const auto rs = regs_[d.rs];
+  const auto rt = regs_[d.rt];
+  auto setRd = [&](std::uint32_t v) { setReg(d.rd, v); };
+  auto setRt = [&](std::uint32_t v) { setReg(d.rt, v); };
+  auto branch = [&](bool taken) {
+    if (taken) nextPc = pc_ + 4 + (static_cast<std::int64_t>(d.simm) << 2);
+  };
+
+  switch (d.op) {
+    case Op::Addu: setRd(rs + rt); break;
+    case Op::Subu: setRd(rs - rt); break;
+    case Op::And: setRd(rs & rt); break;
+    case Op::Or: setRd(rs | rt); break;
+    case Op::Xor: setRd(rs ^ rt); break;
+    case Op::Nor: setRd(~(rs | rt)); break;
+    case Op::Slt:
+      setRd(static_cast<std::int32_t>(rs) < static_cast<std::int32_t>(rt));
+      break;
+    case Op::Sltu: setRd(rs < rt); break;
+    case Op::Sll: setRd(rt << d.shamt); break;
+    case Op::Srl: setRd(rt >> d.shamt); break;
+    case Op::Sra:
+      setRd(static_cast<std::uint32_t>(static_cast<std::int32_t>(rt) >>
+                                       d.shamt));
+      break;
+    case Op::Sllv: setRd(rt << (rs & 31)); break;
+    case Op::Srlv: setRd(rt >> (rs & 31)); break;
+    case Op::Srav:
+      setRd(static_cast<std::uint32_t>(static_cast<std::int32_t>(rt) >>
+                                       (rs & 31)));
+      break;
+    case Op::Mult: {
+      const std::int64_t p = static_cast<std::int64_t>(
+                                 static_cast<std::int32_t>(rs)) *
+                             static_cast<std::int32_t>(rt);
+      lo_ = static_cast<std::uint32_t>(p);
+      hi_ = static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+      break;
+    }
+    case Op::Multu: {
+      const std::uint64_t p = static_cast<std::uint64_t>(rs) * rt;
+      lo_ = static_cast<std::uint32_t>(p);
+      hi_ = static_cast<std::uint32_t>(p >> 32);
+      break;
+    }
+    case Op::Div:
+      // Division by zero leaves HI/LO unpredictable on MIPS; we keep
+      // them unchanged rather than faulting (matches real cores).
+      if (rt != 0) {
+        lo_ = static_cast<std::uint32_t>(static_cast<std::int32_t>(rs) /
+                                         static_cast<std::int32_t>(rt));
+        hi_ = static_cast<std::uint32_t>(static_cast<std::int32_t>(rs) %
+                                         static_cast<std::int32_t>(rt));
+      }
+      break;
+    case Op::Divu:
+      if (rt != 0) {
+        lo_ = rs / rt;
+        hi_ = rs % rt;
+      }
+      break;
+    case Op::Mfhi: setRd(hi_); break;
+    case Op::Mflo: setRd(lo_); break;
+    case Op::Mthi: hi_ = rs; break;
+    case Op::Mtlo: lo_ = rs; break;
+    case Op::Jr: nextPc = rs; break;
+    case Op::Jalr:
+      setRd(static_cast<std::uint32_t>(pc_ + 4));
+      nextPc = rs;
+      break;
+    case Op::Addiu: setRt(rs + static_cast<std::uint32_t>(d.simm)); break;
+    case Op::Andi: setRt(rs & d.uimm); break;
+    case Op::Ori: setRt(rs | d.uimm); break;
+    case Op::Xori: setRt(rs ^ d.uimm); break;
+    case Op::Slti:
+      setRt(static_cast<std::int32_t>(rs) < d.simm);
+      break;
+    case Op::Sltiu:
+      setRt(rs < static_cast<std::uint32_t>(d.simm));
+      break;
+    case Op::Lui: setRt(d.uimm << 16); break;
+    case Op::Beq: branch(rs == rt); break;
+    case Op::Bne: branch(rs != rt); break;
+    case Op::Blez: branch(static_cast<std::int32_t>(rs) <= 0); break;
+    case Op::Bgtz: branch(static_cast<std::int32_t>(rs) > 0); break;
+    case Op::Bltz: branch(static_cast<std::int32_t>(rs) < 0); break;
+    case Op::Bgez: branch(static_cast<std::int32_t>(rs) >= 0); break;
+    case Op::J:
+      nextPc = ((pc_ + 4) & ~Address{0x0FFFFFFF}) | (Address{d.target} << 2);
+      break;
+    case Op::Jal:
+      regs_[31] = static_cast<std::uint32_t>(pc_ + 4);
+      nextPc = ((pc_ + 4) & ~Address{0x0FFFFFFF}) | (Address{d.target} << 2);
+      break;
+    case Op::Lb:
+    case Op::Lbu:
+    case Op::Lh:
+    case Op::Lhu:
+    case Op::Lw: {
+      const Address addr = rs + static_cast<std::uint32_t>(d.simm);
+      // Read-after-write hazard: the EC interface's separate read and
+      // write paths may complete a later read before an earlier write
+      // (the spec's reordering). Stall the load until overlapping
+      // stores have drained from the write buffer, as the 4K BIU does.
+      if (storeBufferOverlaps(addr)) {
+        ++stats_.storeStallCycles;
+        return;  // PC unchanged; retry next cycle.
+      }
+      ++stats_.instructions;
+      pc_ = nextPc;
+      startLoad(d, addr);
+      return;
+    }
+    case Op::Sb:
+    case Op::Sh:
+    case Op::Sw: {
+      const Address addr = rs + static_cast<std::uint32_t>(d.simm);
+      ++stats_.instructions;
+      pc_ = nextPc;
+      if (!startStore(d, addr)) {
+        pendingStore_ = d;
+        pendingStoreAddr_ = addr;
+        state_ = State::WaitStoreSlot;
+      }
+      return;
+    }
+    case Op::Syscall:
+    case Op::Break:
+      ++stats_.instructions;
+      haltPending_ = true;
+      return;
+    case Op::Eret:
+      nextPc = epc_;
+      inIsr_ = false;
+      break;
+    case Op::Invalid:
+      halt(true);
+      return;
+  }
+  ++stats_.instructions;
+  pc_ = nextPc;
+}
+
+namespace {
+
+AccessSize sizeOf(Op op) {
+  switch (op) {
+    case Op::Lb:
+    case Op::Lbu:
+    case Op::Sb: return AccessSize::Byte;
+    case Op::Lh:
+    case Op::Lhu:
+    case Op::Sh: return AccessSize::Half;
+    default: return AccessSize::Word;
+  }
+}
+
+} // namespace
+
+void MipsCore::startLoad(const DecodedInstr& d, Address addr) {
+  loadInstr_ = d;
+  loadAddr_ = addr;
+  const bool uncached = addr >= config_.uncachedBase;
+  Word cachedWord = 0;
+  if (!uncached && dcache_.lookupWord(addr, cachedWord)) {
+    loadIsCached_ = true;
+    writeLoadResult(cachedWord);
+    return;  // Hit: single-cycle load.
+  }
+  loadReq_.reset();
+  loadReq_.kind = Kind::Read;
+  if (uncached) {
+    loadIsCached_ = false;
+    loadReq_.address = addr & ~static_cast<Address>(
+                                  static_cast<std::size_t>(sizeOf(d.op)) - 1);
+    loadReq_.size = sizeOf(d.op);
+    loadReq_.beats = 1;
+  } else {
+    loadIsCached_ = true;
+    loadReq_.address = dcache_.lineBase(addr);
+    loadReq_.size = AccessSize::Word;
+    loadReq_.beats = static_cast<std::uint8_t>(config_.lineBytes / 4);
+  }
+  const BusStatus s = dataIf_.read(loadReq_);
+  loadSubmitted_ = s == BusStatus::Request;
+  if (s == BusStatus::Error) {
+    halt(true);
+    return;
+  }
+  state_ = State::WaitLoad;
+}
+
+void MipsCore::finishLoad() {
+  if (loadIsCached_ && loadReq_.beats > 1) {
+    dcache_.fillLine(loadReq_.address, loadReq_.data.data());
+    const std::size_t wordIndex =
+        static_cast<std::size_t>((loadAddr_ - loadReq_.address) / 4);
+    writeLoadResult(loadReq_.data[wordIndex]);
+  } else {
+    writeLoadResult(loadReq_.data[0]);
+  }
+}
+
+std::uint32_t MipsCore::extractLane(Word word, Address addr, Op op) {
+  const unsigned lane = static_cast<unsigned>(addr & 0x3u);
+  switch (op) {
+    case Op::Lb: {
+      const auto b = static_cast<std::int8_t>((word >> (8 * lane)) & 0xFF);
+      return static_cast<std::uint32_t>(static_cast<std::int32_t>(b));
+    }
+    case Op::Lbu:
+      return (word >> (8 * lane)) & 0xFF;
+    case Op::Lh: {
+      const auto h =
+          static_cast<std::int16_t>((word >> (8 * (lane & ~1u))) & 0xFFFF);
+      return static_cast<std::uint32_t>(static_cast<std::int32_t>(h));
+    }
+    case Op::Lhu:
+      return (word >> (8 * (lane & ~1u))) & 0xFFFF;
+    default:
+      return word;
+  }
+}
+
+void MipsCore::writeLoadResult(Word wordOnBus) {
+  setReg(loadInstr_.rt, extractLane(wordOnBus, loadAddr_, loadInstr_.op));
+}
+
+bool MipsCore::storeBufferOverlaps(Address addr) const {
+  const Address word = addr & ~Address{3};
+  for (std::size_t i = 0; i < storeReqs_.size(); ++i) {
+    if (storeActive_[i] &&
+        (storeReqs_[i].address & ~Address{3}) == word) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MipsCore::startStore(const DecodedInstr& d, Address addr) {
+  std::size_t slot = storeReqs_.size();
+  for (std::size_t i = 0; i < storeReqs_.size(); ++i) {
+    if (!storeActive_[i]) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == storeReqs_.size() || storeBusy_ >= config_.storeBufferDepth) {
+    return false;  // Buffer full; retry next cycle.
+  }
+
+  const AccessSize size = sizeOf(d.op);
+  const unsigned lane = static_cast<unsigned>(addr & 0x3u);
+  Word value = regs_[d.rt];
+  switch (size) {
+    case AccessSize::Byte: value = (value & 0xFF) << (8 * lane); break;
+    case AccessSize::Half:
+      value = (value & 0xFFFF) << (8 * (lane & ~1u));
+      break;
+    case AccessSize::Word: break;
+  }
+
+  bus::Tl1Request& req = storeReqs_[slot];
+  req.reset();
+  req.kind = Kind::Write;
+  req.address = addr & ~static_cast<Address>(
+                           static_cast<std::size_t>(size) - 1);
+  req.size = size;
+  req.beats = 1;
+  req.data[0] = value;
+
+  // Write-through: keep the cached copy coherent.
+  if (addr < config_.uncachedBase) {
+    dcache_.updateIfPresent(addr, value, bus::byteEnables(size, addr));
+    icache_.invalidate(addr);  // Self-modifying-code safety.
+  }
+
+  const BusStatus s = dataIf_.write(req);
+  if (s == BusStatus::Request) {
+    storeActive_[slot] = true;
+    ++storeBusy_;
+    return true;
+  }
+  if (s == BusStatus::Error) {
+    halt(true);
+    return true;  // Halted; nothing to retry.
+  }
+  return false;  // Bus refused the accept (EC limit); retry.
+}
+
+bool MipsCore::runUntilHalt(std::uint64_t maxCycles) {
+  const std::uint64_t start = clock_.cycle();
+  while (!halted() && clock_.cycle() - start < maxCycles) {
+    clock_.runCycles(1);
+  }
+  return halted();
+}
+
+} // namespace sct::soc

@@ -1,0 +1,163 @@
+// MIPS-subset instruction-set simulator with caches and EC bus port.
+//
+// Models the processor core of the paper's target platform at the
+// fidelity the experiments need: it executes real MIPS32 encodings one
+// instruction per cycle, keeps direct-mapped instruction and data
+// caches whose refills appear as 4-beat EC bursts, posts stores through
+// a write buffer (up to the EC limit of four outstanding writes), and
+// stalls on refills and uncached accesses. It drives the non-blocking
+// EC master interfaces on rising clock edges — the discipline the
+// paper's assembly test programs exercised on the RTL.
+//
+// Simplifications (documented): no branch delay slots, no TLB/MMU (the
+// 4KSc's fixed mapping is identity here), no precise exceptions —
+// SYSCALL/BREAK halt the core, a bus error or invalid opcode halts with
+// an error flag.
+#ifndef SCT_SOC_CPU_H
+#define SCT_SOC_CPU_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "bus/ec_interfaces.h"
+#include "bus/ec_request.h"
+#include "sim/clock.h"
+#include "sim/module.h"
+#include "soc/cache.h"
+#include "soc/isa.h"
+
+namespace sct::soc {
+
+struct CpuConfig {
+  bus::Address resetPc = 0;
+  /// Interrupt vector. When an interrupt source is connected and
+  /// reports a pending line, the core saves PC to EPC and jumps here;
+  /// the handler returns with ERET. 0 disables interrupt dispatch.
+  bus::Address irqVector = 0;
+  std::size_t icacheBytes = 4096;
+  std::size_t dcacheBytes = 4096;
+  std::size_t lineBytes = 16;  ///< Must equal the EC burst (4 words).
+  /// Addresses at or above this are uncached (memory-mapped SFRs).
+  bus::Address uncachedBase = 0x10000000;
+  unsigned storeBufferDepth = 4;  ///< <= EC outstanding-write limit.
+};
+
+struct CpuStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t ifetchStallCycles = 0;
+  std::uint64_t loadStallCycles = 0;
+  std::uint64_t storeStallCycles = 0;
+
+  double cpi() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(cycles) /
+                     static_cast<double>(instructions);
+  }
+};
+
+class MipsCore final : public sim::Module {
+ public:
+  MipsCore(sim::Clock& clock, std::string name, bus::EcInstrIf& instrIf,
+           bus::EcDataIf& dataIf, const CpuConfig& config = CpuConfig{});
+  ~MipsCore() override;
+
+  /// Restart execution at `pc` with cleared registers and caches.
+  void reset(bus::Address pc);
+
+  bool halted() const { return state_ == State::Halted && storeBusy_ == 0; }
+  /// True when the core stopped because of a bus error or invalid
+  /// opcode rather than SYSCALL/BREAK.
+  bool faulted() const { return faulted_; }
+
+  std::uint32_t reg(unsigned index) const { return regs_[index & 31]; }
+  void setReg(unsigned index, std::uint32_t value) {
+    if ((index & 31) != 0) regs_[index & 31] = value;
+  }
+  bus::Address pc() const { return pc_; }
+  std::uint32_t hi() const { return hi_; }
+  std::uint32_t lo() const { return lo_; }
+
+  const CpuStats& stats() const { return stats_; }
+  const Cache& icache() const { return icache_; }
+  const Cache& dcache() const { return dcache_; }
+
+  /// Drive the clock until the core halts. Returns true if it halted
+  /// within `maxCycles`.
+  bool runUntilHalt(std::uint64_t maxCycles = 10'000'000);
+
+  /// Connect the interrupt request line (e.g. the interrupt
+  /// controller's masked pending word). Sampled at instruction
+  /// boundaries; a non-zero value outside a handler vectors the core.
+  void setInterruptSource(std::function<std::uint32_t()> source) {
+    irqSource_ = std::move(source);
+  }
+
+  bus::Address epc() const { return epc_; }
+  bool inInterruptHandler() const { return inIsr_; }
+  std::uint64_t interruptsTaken() const { return interruptsTaken_; }
+
+ private:
+  enum class State : std::uint8_t {
+    Running,
+    WaitIFetch,
+    WaitLoad,
+    WaitStoreSlot,
+    Halted,
+  };
+
+  void onRisingEdge();
+  void pollStores();
+  void executeOne();
+  void startIFetch(bus::Address pcLine);
+  void startLoad(const DecodedInstr& d, bus::Address addr);
+  bool storeBufferOverlaps(bus::Address addr) const;
+  bool startStore(const DecodedInstr& d, bus::Address addr);
+  void finishLoad();
+  void writeLoadResult(bus::Word wordOnBus);
+  static std::uint32_t extractLane(bus::Word word, bus::Address addr, Op op);
+  void halt(bool fault);
+
+  sim::Clock& clock_;
+  sim::Clock::HandlerId handlerId_;
+  bus::EcInstrIf& instrIf_;
+  bus::EcDataIf& dataIf_;
+  CpuConfig config_;
+
+  std::array<std::uint32_t, 32> regs_{};
+  std::uint32_t hi_ = 0;
+  std::uint32_t lo_ = 0;
+  bus::Address pc_ = 0;
+  bus::Address epc_ = 0;
+  bool inIsr_ = false;
+  std::function<std::uint32_t()> irqSource_;
+  std::uint64_t interruptsTaken_ = 0;
+  State state_ = State::Halted;
+  bool haltPending_ = false;
+  bool faulted_ = false;
+
+  Cache icache_;
+  Cache dcache_;
+
+  bus::Tl1Request ifetchReq_;
+  bool ifetchSubmitted_ = false;
+  bus::Tl1Request loadReq_;
+  bool loadSubmitted_ = false;
+  bool loadIsCached_ = false;
+  DecodedInstr loadInstr_{};
+  bus::Address loadAddr_ = 0;
+  std::array<bus::Tl1Request, bus::kMaxOutstandingPerClass> storeReqs_{};
+  std::array<bool, bus::kMaxOutstandingPerClass> storeActive_{};
+  unsigned storeBusy_ = 0;
+  DecodedInstr pendingStore_{};
+  bus::Address pendingStoreAddr_ = 0;
+
+  CpuStats stats_;
+};
+
+} // namespace sct::soc
+
+#endif // SCT_SOC_CPU_H

@@ -1,0 +1,144 @@
+#include "soc/isa.h"
+
+namespace sct::soc {
+
+DecodedInstr decode(std::uint32_t w) {
+  DecodedInstr d;
+  if (w == kEret) {
+    d.op = Op::Eret;
+    return d;
+  }
+  const unsigned opcode = w >> 26;
+  d.rs = static_cast<std::uint8_t>((w >> 21) & 0x1F);
+  d.rt = static_cast<std::uint8_t>((w >> 16) & 0x1F);
+  d.rd = static_cast<std::uint8_t>((w >> 11) & 0x1F);
+  d.shamt = static_cast<std::uint8_t>((w >> 6) & 0x1F);
+  d.simm = static_cast<std::int32_t>(static_cast<std::int16_t>(w & 0xFFFF));
+  d.uimm = w & 0xFFFF;
+  d.target = w & 0x3FFFFFF;
+
+  switch (opcode) {
+    case 0x00: {  // SPECIAL
+      switch (w & 0x3F) {
+        case 0x00: d.op = Op::Sll; break;
+        case 0x02: d.op = Op::Srl; break;
+        case 0x03: d.op = Op::Sra; break;
+        case 0x04: d.op = Op::Sllv; break;
+        case 0x06: d.op = Op::Srlv; break;
+        case 0x07: d.op = Op::Srav; break;
+        case 0x08: d.op = Op::Jr; break;
+        case 0x09: d.op = Op::Jalr; break;
+        case 0x10: d.op = Op::Mfhi; break;
+        case 0x11: d.op = Op::Mthi; break;
+        case 0x12: d.op = Op::Mflo; break;
+        case 0x13: d.op = Op::Mtlo; break;
+        case 0x18: d.op = Op::Mult; break;
+        case 0x19: d.op = Op::Multu; break;
+        case 0x1A: d.op = Op::Div; break;
+        case 0x1B: d.op = Op::Divu; break;
+        case 0x0C: d.op = Op::Syscall; break;
+        case 0x0D: d.op = Op::Break; break;
+        case 0x21: d.op = Op::Addu; break;
+        case 0x23: d.op = Op::Subu; break;
+        case 0x24: d.op = Op::And; break;
+        case 0x25: d.op = Op::Or; break;
+        case 0x26: d.op = Op::Xor; break;
+        case 0x27: d.op = Op::Nor; break;
+        case 0x2A: d.op = Op::Slt; break;
+        case 0x2B: d.op = Op::Sltu; break;
+        default: d.op = Op::Invalid; break;
+      }
+      break;
+    }
+    case 0x01: {  // REGIMM
+      switch (d.rt) {
+        case 0x00: d.op = Op::Bltz; break;
+        case 0x01: d.op = Op::Bgez; break;
+        default: d.op = Op::Invalid; break;
+      }
+      break;
+    }
+    case 0x02: d.op = Op::J; break;
+    case 0x03: d.op = Op::Jal; break;
+    case 0x04: d.op = Op::Beq; break;
+    case 0x05: d.op = Op::Bne; break;
+    case 0x06: d.op = Op::Blez; break;
+    case 0x07: d.op = Op::Bgtz; break;
+    case 0x09: d.op = Op::Addiu; break;
+    case 0x0A: d.op = Op::Slti; break;
+    case 0x0B: d.op = Op::Sltiu; break;
+    case 0x0C: d.op = Op::Andi; break;
+    case 0x0D: d.op = Op::Ori; break;
+    case 0x0E: d.op = Op::Xori; break;
+    case 0x0F: d.op = Op::Lui; break;
+    case 0x20: d.op = Op::Lb; break;
+    case 0x21: d.op = Op::Lh; break;
+    case 0x23: d.op = Op::Lw; break;
+    case 0x24: d.op = Op::Lbu; break;
+    case 0x25: d.op = Op::Lhu; break;
+    case 0x28: d.op = Op::Sb; break;
+    case 0x29: d.op = Op::Sh; break;
+    case 0x2B: d.op = Op::Sw; break;
+    default: d.op = Op::Invalid; break;
+  }
+  return d;
+}
+
+std::string mnemonic(Op op) {
+  switch (op) {
+    case Op::Addu: return "addu";
+    case Op::Subu: return "subu";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Nor: return "nor";
+    case Op::Slt: return "slt";
+    case Op::Sltu: return "sltu";
+    case Op::Sll: return "sll";
+    case Op::Srl: return "srl";
+    case Op::Sra: return "sra";
+    case Op::Sllv: return "sllv";
+    case Op::Srlv: return "srlv";
+    case Op::Srav: return "srav";
+    case Op::Mult: return "mult";
+    case Op::Multu: return "multu";
+    case Op::Div: return "div";
+    case Op::Divu: return "divu";
+    case Op::Mfhi: return "mfhi";
+    case Op::Mflo: return "mflo";
+    case Op::Mthi: return "mthi";
+    case Op::Mtlo: return "mtlo";
+    case Op::Jr: return "jr";
+    case Op::Jalr: return "jalr";
+    case Op::Addiu: return "addiu";
+    case Op::Andi: return "andi";
+    case Op::Ori: return "ori";
+    case Op::Xori: return "xori";
+    case Op::Slti: return "slti";
+    case Op::Sltiu: return "sltiu";
+    case Op::Lui: return "lui";
+    case Op::Lb: return "lb";
+    case Op::Lbu: return "lbu";
+    case Op::Lh: return "lh";
+    case Op::Lhu: return "lhu";
+    case Op::Lw: return "lw";
+    case Op::Sb: return "sb";
+    case Op::Sh: return "sh";
+    case Op::Sw: return "sw";
+    case Op::Beq: return "beq";
+    case Op::Bne: return "bne";
+    case Op::Blez: return "blez";
+    case Op::Bgtz: return "bgtz";
+    case Op::Bltz: return "bltz";
+    case Op::Bgez: return "bgez";
+    case Op::J: return "j";
+    case Op::Jal: return "jal";
+    case Op::Syscall: return "syscall";
+    case Op::Break: return "break";
+    case Op::Eret: return "eret";
+    case Op::Invalid: return "invalid";
+  }
+  return "?";
+}
+
+} // namespace sct::soc

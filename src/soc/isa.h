@@ -1,0 +1,82 @@
+// MIPS32 instruction subset: encodings and decoder.
+//
+// The target platform of the paper is built around a MIPS 4KSc
+// smart-card core. This module defines the instruction subset our
+// instruction-set simulator executes — standard MIPS32 encodings for
+// the ALU, load/store, branch and jump instructions that smart-card
+// firmware exercises, plus SYSCALL/BREAK as halt markers. Branch delay
+// slots are not modeled (documented simplification: the simulator's
+// purpose is generating realistic bus traffic, not micro-architectural
+// fidelity).
+#ifndef SCT_SOC_ISA_H
+#define SCT_SOC_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace sct::soc {
+
+/// Decoded operation kinds.
+enum class Op : std::uint8_t {
+  // R-type ALU.
+  Addu, Subu, And, Or, Xor, Nor, Slt, Sltu,
+  Sll, Srl, Sra, Sllv, Srlv, Srav,
+  Mult, Multu, Div, Divu, Mfhi, Mflo, Mthi, Mtlo,
+  Jr, Jalr,
+  // I-type ALU.
+  Addiu, Andi, Ori, Xori, Slti, Sltiu, Lui,
+  // Loads/stores.
+  Lb, Lbu, Lh, Lhu, Lw, Sb, Sh, Sw,
+  // Branches.
+  Beq, Bne, Blez, Bgtz, Bltz, Bgez,
+  // Jumps.
+  J, Jal,
+  // System.
+  Syscall, Break, Eret,
+  Invalid,
+};
+
+struct DecodedInstr {
+  Op op = Op::Invalid;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t shamt = 0;
+  std::int32_t simm = 0;   ///< Sign-extended 16-bit immediate.
+  std::uint32_t uimm = 0;  ///< Zero-extended 16-bit immediate.
+  std::uint32_t target = 0;  ///< 26-bit jump target field.
+};
+
+/// Decode one 32-bit instruction word.
+DecodedInstr decode(std::uint32_t word);
+
+/// Mnemonic for diagnostics ("addu", "lw", ...).
+std::string mnemonic(Op op);
+
+// --- Encoders (used by the assembler and by tests) ---------------------
+
+constexpr std::uint32_t encodeR(unsigned opcode, unsigned rs, unsigned rt,
+                                unsigned rd, unsigned shamt,
+                                unsigned funct) {
+  return (opcode << 26) | (rs << 21) | (rt << 16) | (rd << 11) |
+         (shamt << 6) | funct;
+}
+
+constexpr std::uint32_t encodeI(unsigned opcode, unsigned rs, unsigned rt,
+                                std::uint16_t imm) {
+  return (opcode << 26) | (rs << 21) | (rt << 16) | imm;
+}
+
+constexpr std::uint32_t encodeJ(unsigned opcode, std::uint32_t target26) {
+  return (opcode << 26) | (target26 & 0x3FFFFFF);
+}
+
+// Frequently used fixed encodings.
+constexpr std::uint32_t kNop = 0;  // sll r0, r0, 0
+constexpr std::uint32_t kSyscall = 0x0000000C;
+constexpr std::uint32_t kBreak = 0x0000000D;
+constexpr std::uint32_t kEret = 0x42000018;  // COP0 ERET.
+
+} // namespace sct::soc
+
+#endif // SCT_SOC_ISA_H

@@ -1,0 +1,167 @@
+// Smart-card peripherals (Figure 1 of the paper): timers, UART, true
+// random number generator, interrupt system — and the cryptographic
+// coprocessor whose HW/SW interface motivates the paper's exploration.
+//
+// All peripherals are memory-mapped register slaves on the EC bus
+// controller; their register traffic is what the "early energy
+// estimation for several different typical smart card components"
+// extension (paper, Section 5) measures.
+#ifndef SCT_SOC_PERIPHERALS_H
+#define SCT_SOC_PERIPHERALS_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "bus/register_slave.h"
+#include "sim/clock.h"
+#include "sim/random.h"
+
+namespace sct::soc {
+
+/// Aggregates peripheral interrupt lines into a memory-mapped pending /
+/// enable register pair. The core observes interrupts by polling STATUS
+/// (documented simplification of the 4KSc's interrupt system).
+///
+/// Register map (word offsets): +0x0 STATUS (R, W1C), +0x4 ENABLE (RW).
+class InterruptController final : public bus::RegisterSlave {
+ public:
+  InterruptController(std::string name, const bus::SlaveControl& control);
+
+  void raise(unsigned line) { pending_ |= (1u << line); }
+  std::uint32_t pending() const { return pending_ & enable_; }
+
+ private:
+  bus::Word pending_ = 0;
+  bus::Word enable_ = 0;
+};
+
+/// 16-bit timer with prescaler and compare interrupt.
+///
+/// Register map: +0x0 COUNT (R), +0x4 COMPARE (RW), +0x8 CTRL (RW:
+/// bit0 enable, bits8..15 prescaler), +0xC STATUS (R, any write clears;
+/// bit0 = compare match).
+class Timer final : public bus::RegisterSlave {
+ public:
+  Timer(sim::Clock& clock, std::string name,
+        const bus::SlaveControl& control,
+        InterruptController* irq = nullptr, unsigned irqLine = 0);
+  ~Timer() override;
+
+  std::uint32_t count() const { return count_; }
+  bool matched() const { return (status_ & 1u) != 0; }
+  /// Monotonic tick counter (does not wrap with COUNT).
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick();
+
+  sim::Clock& clock_;
+  sim::Clock::HandlerId handlerId_;
+  InterruptController* irq_;
+  unsigned irqLine_;
+  bus::Word count_ = 0;
+  std::uint64_t ticks_ = 0;
+  bus::Word compare_ = 0;
+  bus::Word ctrl_ = 0;
+  bus::Word status_ = 0;
+  unsigned prescale_ = 0;
+};
+
+/// Transmit-only-plus-loopback UART.
+///
+/// Register map: +0x0 DATA (W: transmit byte; R: receive byte),
+/// +0x4 STATUS (R: bit0 tx ready, bit1 rx available).
+class Uart final : public bus::RegisterSlave {
+ public:
+  /// `cyclesPerByte` models the shifting time; STATUS bit0 drops while
+  /// a byte is on the wire.
+  Uart(sim::Clock& clock, std::string name,
+       const bus::SlaveControl& control, unsigned cyclesPerByte = 16);
+  ~Uart() override;
+
+  const std::string& transmitted() const { return tx_; }
+  std::uint64_t bytesTransmitted() const { return tx_.size(); }
+  void injectReceive(std::uint8_t byte) { rx_.push_back(byte); }
+  bool txBusy() const { return busyCycles_ > 0; }
+
+ private:
+  void tick();
+
+  sim::Clock& clock_;
+  sim::Clock::HandlerId handlerId_;
+  unsigned cyclesPerByte_;
+  unsigned busyCycles_ = 0;
+  std::string tx_;
+  std::deque<std::uint8_t> rx_;
+};
+
+/// True random number generator (entropy source modeled by a seeded
+/// PRNG so simulations stay reproducible).
+///
+/// Register map: +0x0 DATA (R: next 32 random bits), +0x4 STATUS
+/// (R: bit0 always ready).
+class Trng final : public bus::RegisterSlave {
+ public:
+  Trng(std::string name, const bus::SlaveControl& control,
+       std::uint64_t seed = 0xC0FFEE);
+
+  std::uint64_t wordsDrawn() const { return drawn_; }
+
+ private:
+  sim::Xoshiro256 rng_;
+  std::uint64_t drawn_ = 0;
+};
+
+/// Cryptographic coprocessor: a 16-round Feistel block cipher on
+/// 64-bit blocks with a 128-bit key (a stand-in for the DES/3DES
+/// engines of real smart cards — same interface shape, same
+/// key-dependent data activity, no cryptographic strength claimed).
+///
+/// Register map: +0x00..0x0C KEY0..KEY3 (W), +0x10 DATA0 (RW),
+/// +0x14 DATA1 (RW), +0x18 CTRL (W: 1 = encrypt, 2 = decrypt),
+/// +0x1C STATUS (R: bit0 busy). Reading DATA while busy stalls the bus
+/// (dynamic wait states — visible at layers 0/1, invisible at layer 2).
+class CryptoCoprocessor final : public bus::RegisterSlave {
+ public:
+  CryptoCoprocessor(sim::Clock& clock, std::string name,
+                    const bus::SlaveControl& control,
+                    unsigned cyclesPerRound = 2,
+                    InterruptController* irq = nullptr,
+                    unsigned irqLine = 1);
+  ~CryptoCoprocessor() override;
+
+  bool busy() const { return busyCycles_ > 0; }
+  std::uint64_t operations() const { return operations_; }
+
+  /// Reads of DATA0/DATA1 answer Wait while an operation is running:
+  /// dynamic wait states the layer-2 timing estimation cannot see.
+  bus::BusStatus readBeat(bus::Address addr, bus::AccessSize size,
+                          bus::Word& out) override;
+
+  /// Reference software implementation of the same cipher (for tests
+  /// and for the SW-vs-HW energy comparison).
+  static void encryptBlock(const std::uint32_t key[4], std::uint32_t& d0,
+                           std::uint32_t& d1);
+  static void decryptBlock(const std::uint32_t key[4], std::uint32_t& d0,
+                           std::uint32_t& d1);
+
+ private:
+  void tick();
+  void start(bus::Word mode);
+
+  sim::Clock& clock_;
+  sim::Clock::HandlerId handlerId_;
+  InterruptController* irq_;
+  unsigned irqLine_;
+  unsigned cyclesPerRound_;
+  unsigned busyCycles_ = 0;
+  bus::Word pendingMode_ = 0;
+  bus::Word key_[4] = {};
+  bus::Word data_[2] = {};
+  std::uint64_t operations_ = 0;
+};
+
+} // namespace sct::soc
+
+#endif // SCT_SOC_PERIPHERALS_H

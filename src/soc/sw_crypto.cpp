@@ -1,0 +1,113 @@
+#include "soc/sw_crypto.h"
+
+#include <string>
+
+#include "soc/smartcard.h"
+
+namespace sct::soc {
+
+AssembledProgram swEncryptProgram(unsigned blocks) {
+  // Register plan:
+  //   $s0 sbox base   $s1 key array base (RAM)   $s2 block pointer
+  //   $s3 blocks left $s5 L                      $s6 R
+  //   $s7 round       $t8 gamma accumulator      $a2 golden-ratio const
+  //   $a3 0x...FF mask scratch
+  const std::string src = std::string(R"(
+    la    $s0, sbox
+    li    $s1, 0x08000000        # key[4] at RAM+0
+    li    $s2, 0x08000020        # first block
+    addiu $s3, $zero, )") + std::to_string(blocks) + R"(
+    li    $a2, 0x9E3779B9
+
+  block_loop:
+    lw    $s5, 0($s2)            # L = d0
+    lw    $s6, 4($s2)            # R = d1
+    addiu $s7, $zero, 0          # round = 0
+    addiu $t8, $zero, 0          # gamma = 0
+
+  round_loop:
+    addu  $t8, $t8, $a2          # gamma += 0x9E3779B9 (== c*(round+1))
+
+    # rk = rotl32(key[round & 3] ^ gamma, round)
+    andi  $t0, $s7, 3
+    sll   $t0, $t0, 2
+    addu  $t0, $t0, $s1
+    lw    $t1, 0($t0)            # key[round & 3]
+    xor   $t1, $t1, $t8
+    sllv  $t2, $t1, $s7
+    addiu $t3, $zero, 32
+    subu  $t3, $t3, $s7
+    andi  $t3, $t3, 31
+    srlv  $t3, $t1, $t3
+    or    $t1, $t2, $t3          # rk
+
+    # F(R, rk) = rotl32(substitute(R ^ rk), 5) ^ (R >> 3)
+    xor   $t1, $s6, $t1          # x = R ^ rk
+    # substitute: four S-box byte lookups
+    andi  $t2, $t1, 0xFF
+    addu  $t2, $t2, $s0
+    lbu   $t4, 0($t2)            # sbox[x & FF]
+    srl   $t2, $t1, 8
+    andi  $t2, $t2, 0xFF
+    addu  $t2, $t2, $s0
+    lbu   $t5, 0($t2)
+    sll   $t5, $t5, 8
+    or    $t4, $t4, $t5
+    srl   $t2, $t1, 16
+    andi  $t2, $t2, 0xFF
+    addu  $t2, $t2, $s0
+    lbu   $t5, 0($t2)
+    sll   $t5, $t5, 16
+    or    $t4, $t4, $t5
+    srl   $t2, $t1, 24
+    addu  $t2, $t2, $s0
+    lbu   $t5, 0($t2)
+    sll   $t5, $t5, 24
+    or    $t4, $t4, $t5          # substituted
+    # rotl 5
+    sll   $t5, $t4, 5
+    srl   $t4, $t4, 27
+    or    $t4, $t5, $t4
+    # ^ (R >> 3)
+    srl   $t5, $s6, 3
+    xor   $t4, $t4, $t5          # f
+
+    # Feistel swap: t = R; R = L ^ f; L = t
+    move  $t5, $s6
+    xor   $s6, $s5, $t4
+    move  $s5, $t5
+
+    addiu $s7, $s7, 1
+    addiu $t0, $zero, 16
+    bne   $s7, $t0, round_loop
+
+    # Final swap: d0 = R, d1 = L
+    sw    $s6, 0($s2)
+    sw    $s5, 4($s2)
+    addiu $s2, $s2, 8
+    addiu $s3, $s3, -1
+    bne   $s3, $zero, block_loop
+    break
+
+  sbox:
+    .word 0x7B777C63, 0xC56F6BF2, 0x2B670130, 0x76ABD7FE
+    .word 0x7DC982CA, 0xF04759FA, 0xAFA2D4AD, 0xC072A49C
+    .word 0x2693FDB7, 0xCCF73F36, 0xF1E5A534, 0x1531D871
+    .word 0xC323C704, 0x9A059618, 0xE2801207, 0x75B227EB
+    .word 0x1A2C8309, 0xA05A6E1B, 0xB3D63B52, 0x842FE329
+    .word 0xED00D153, 0x5BB1FC20, 0x39BECB6A, 0xCF584C4A
+    .word 0xFBAAEFD0, 0x85334D43, 0x7F02F945, 0xA89F3C50
+    .word 0x8F40A351, 0xF5389D92, 0x21DAB6BC, 0xD2F3FF10
+    .word 0xEC130CCD, 0x1744975F, 0x3D7EA7C4, 0x73195D64
+    .word 0xDC4F8160, 0x88902A22, 0x14B8EE46, 0xDB0B5EDE
+    .word 0x0A3A32E0, 0x5C240649, 0x62ACD3C2, 0x79E49591
+    .word 0x6D37C8E7, 0xA94ED58D, 0xEAF4566C, 0x08AE7A65
+    .word 0x2E2578BA, 0xC6B4A61C, 0x1F74DDE8, 0x8A8BBD4B
+    .word 0x66B53E70, 0x0EF60348, 0xB9573561, 0x9E1DC186
+    .word 0x1198F8E1, 0x948ED969, 0xE9871E9B, 0xDF2855CE
+    .word 0x0D89A18C, 0x6842E6BF, 0x0F2D9941, 0x16BB54B0
+  )";
+  return assemble(src, memmap::kRomBase);
+}
+
+} // namespace sct::soc

@@ -1,0 +1,32 @@
+// Software implementation of the crypto coprocessor's cipher, in MIPS
+// assembly, running on the simulated core.
+//
+// The paper's introduction motivates dedicated coprocessors:
+// "Algorithms with high computational effort, like cryptographic
+// algorithms, are often supported by dedicated coprocessors." This
+// module provides the software side of that trade-off — the same
+// 16-round Feistel cipher as soc::CryptoCoprocessor, executed
+// instruction by instruction — so benches can quantify the cycle and
+// energy gap that justifies the hardware engine and its HW/SW
+// interface.
+#ifndef SCT_SOC_SW_CRYPTO_H
+#define SCT_SOC_SW_CRYPTO_H
+
+#include <array>
+#include <cstdint>
+
+#include "soc/assembler.h"
+
+namespace sct::soc {
+
+/// Assemble a program that encrypts `blocks` consecutive 64-bit blocks
+/// in software. The key is loaded from the four words at RAM offset
+/// 0x000 (kRamBase), plaintext blocks start at RAM offset 0x020, and
+/// ciphertext is written back in place. The program halts with BREAK.
+/// The caller pokes key/plaintext into RAM before running and verifies
+/// against CryptoCoprocessor::encryptBlock.
+AssembledProgram swEncryptProgram(unsigned blocks);
+
+} // namespace sct::soc
+
+#endif // SCT_SOC_SW_CRYPTO_H

@@ -1,0 +1,67 @@
+// Bus transaction traces.
+//
+// The paper's verification flow traces bus transactions from the RTL
+// simulation of assembly test programs and replays them as "input test
+// sequences for the transaction level models". BusTrace is that
+// artifact: an ordered list of transactions with their earliest issue
+// cycles, serializable to a line-based text format so traces can be
+// recorded once and replayed against every model layer.
+#ifndef SCT_TRACE_BUS_TRACE_H
+#define SCT_TRACE_BUS_TRACE_H
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bus/ec_types.h"
+
+namespace sct::trace {
+
+struct TraceEntry {
+  std::uint64_t issueCycle = 0;  ///< Earliest cycle to submit.
+  bus::Kind kind = bus::Kind::Read;
+  bus::Address address = 0;
+  bus::AccessSize size = bus::AccessSize::Word;
+  std::uint8_t beats = 1;
+  std::array<bus::Word, bus::kMaxBurstBeats> writeData{};
+
+  std::size_t byteCount() const {
+    return beats > 1 ? std::size_t{4} * beats
+                     : static_cast<std::size_t>(size);
+  }
+
+  bool operator==(const TraceEntry&) const = default;
+};
+
+class BusTrace {
+ public:
+  BusTrace() = default;
+
+  void append(const TraceEntry& e) { entries_.push_back(e); }
+  void append(const BusTrace& other, std::uint64_t cycleOffset = 0);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const TraceEntry& operator[](std::size_t i) const { return entries_[i]; }
+
+  /// Totals for reporting.
+  std::uint64_t totalBeats() const;
+  std::uint64_t countOf(bus::Kind k) const;
+
+  /// Text serialization: one transaction per line,
+  /// "cycle kind addr size beats [w0 w1 w2 w3]".
+  void save(std::ostream& os) const;
+  static BusTrace load(std::istream& is);
+
+  bool operator==(const BusTrace&) const = default;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+} // namespace sct::trace
+
+#endif // SCT_TRACE_BUS_TRACE_H

@@ -1,0 +1,49 @@
+#include "trace/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sct::trace {
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << '\n';
+  };
+  printRow(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string Table::pct(double fraction, int precision, bool forceSign) {
+  std::ostringstream ss;
+  if (forceSign && fraction >= 0) ss << '+';
+  ss << std::fixed << std::setprecision(precision) << fraction * 100.0
+     << '%';
+  return ss.str();
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+} // namespace sct::trace

@@ -1,0 +1,37 @@
+// Fixed-width table reporting for the benchmark harnesses, so every
+// bench prints rows in the same shape as the paper's tables.
+#ifndef SCT_TRACE_REPORT_H
+#define SCT_TRACE_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sct::trace {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os) const;
+
+  /// "12.3%" / "+12.3%" style percentage of a fraction (0.123 -> 12.3%).
+  static std::string pct(double fraction, int precision = 1,
+                         bool forceSign = false);
+
+  /// Fixed-precision number.
+  static std::string num(double value, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sct::trace
+
+#endif // SCT_TRACE_REPORT_H

@@ -1,0 +1,58 @@
+#include "trace/vcd.h"
+
+namespace sct::trace {
+
+VcdWriter::VcdWriter(std::ostream& os, sim::Time clockPeriodPs,
+                     std::string topName)
+    : os_(os), period_(clockPeriodPs) {
+  // Short identifier codes: one printable character per signal.
+  for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+    codes_[i] = static_cast<char>('!' + i);
+  }
+  writeHeader(topName);
+}
+
+void VcdWriter::writeHeader(const std::string& topName) {
+  os_ << "$timescale 1ps $end\n";
+  os_ << "$scope module " << topName << " $end\n";
+  for (const auto& info : bus::kSignalTable) {
+    os_ << "$var wire " << info.width << ' '
+        << codes_[static_cast<std::size_t>(info.id)] << ' ' << info.name;
+    if (info.width > 1) os_ << " [" << info.width - 1 << ":0]";
+    os_ << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::emitValue(bus::SignalId id, std::uint64_t value) {
+  const auto& info = bus::signalInfo(id);
+  if (info.width == 1) {
+    os_ << (value & 1) << codes_[static_cast<std::size_t>(id)] << '\n';
+    return;
+  }
+  os_ << 'b';
+  for (unsigned bit = info.width; bit-- > 0;) {
+    os_ << ((value >> bit) & 1);
+  }
+  os_ << ' ' << codes_[static_cast<std::size_t>(id)] << '\n';
+}
+
+void VcdWriter::onFrame(std::uint64_t cycle, const bus::SignalFrame& prev,
+                        const bus::SignalFrame& next,
+                        const ref::GlitchCounts& /*glitches*/,
+                        const ref::CycleEnergy& /*energy*/) {
+  bool stamped = false;
+  for (const auto& info : bus::kSignalTable) {
+    const bool changed = prev.get(info.id) != next.get(info.id);
+    if (!first_ && !changed) continue;
+    if (!stamped) {
+      os_ << '#' << cycle * period_ << '\n';
+      stamped = true;
+    }
+    emitValue(info.id, next.get(info.id));
+  }
+  first_ = false;
+  ++frames_;
+}
+
+} // namespace sct::trace

@@ -1,0 +1,49 @@
+// VCD (value change dump) writer for the layer-0 reference bus.
+//
+// Attach a VcdWriter to a GlBus as a frame listener to obtain a
+// standard VCD waveform of all EC interface signals, viewable in any
+// waveform browser — the layer-0 equivalent of tracing the RTL
+// simulation the paper characterized against.
+#ifndef SCT_TRACE_VCD_H
+#define SCT_TRACE_VCD_H
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "bus/ec_signals.h"
+#include "ref/gl_bus.h"
+#include "sim/time.h"
+
+namespace sct::trace {
+
+class VcdWriter final : public ref::FrameListener {
+ public:
+  /// Writes the VCD header immediately. `clockPeriodPs` scales the
+  /// timestamps (one frame per clock cycle).
+  VcdWriter(std::ostream& os, sim::Time clockPeriodPs,
+            std::string topName = "ecbus");
+
+  // ref::FrameListener
+  void onFrame(std::uint64_t cycle, const bus::SignalFrame& prev,
+               const bus::SignalFrame& next,
+               const ref::GlitchCounts& glitches,
+               const ref::CycleEnergy& energy) override;
+
+  std::uint64_t framesWritten() const { return frames_; }
+
+ private:
+  void writeHeader(const std::string& topName);
+  void emitValue(bus::SignalId id, std::uint64_t value);
+
+  std::ostream& os_;
+  sim::Time period_;
+  std::array<char, bus::kSignalCount> codes_{};
+  std::uint64_t frames_ = 0;
+  bool first_ = true;
+};
+
+} // namespace sct::trace
+
+#endif // SCT_TRACE_VCD_H

@@ -1,0 +1,287 @@
+#include "trace/workloads.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace sct::trace {
+
+using bus::AccessSize;
+using bus::Address;
+using bus::Kind;
+using bus::Word;
+
+namespace {
+
+TraceEntry single(std::uint64_t cycle, Kind kind, Address addr,
+                  Word data = 0, AccessSize size = AccessSize::Word) {
+  TraceEntry e;
+  e.issueCycle = cycle;
+  e.kind = kind;
+  e.address = addr;
+  e.size = size;
+  e.beats = 1;
+  e.writeData[0] = data;
+  return e;
+}
+
+TraceEntry burst(std::uint64_t cycle, Kind kind, Address addr,
+                 std::array<Word, 4> data = {}) {
+  TraceEntry e;
+  e.issueCycle = cycle;
+  e.kind = kind;
+  e.address = addr;
+  e.size = AccessSize::Word;
+  e.beats = 4;
+  e.writeData = data;
+  return e;
+}
+
+/// Word-aligned address inside `r` with room for `bytes`.
+Address pickAddress(sim::Xoshiro256& rng, const TargetRegion& r,
+                    std::size_t bytes) {
+  const Address span = r.size - bytes;
+  return r.base + (rng.below(span / 4 + 1) * 4);
+}
+
+const TargetRegion* pickRegion(sim::Xoshiro256& rng,
+                               std::span<const TargetRegion> regions,
+                               Kind kind) {
+  // Rejection sampling over the regions that allow this access class.
+  for (int tries = 0; tries < 64; ++tries) {
+    const TargetRegion& r = regions[rng.below(regions.size())];
+    const bool ok = (kind == Kind::Read && r.read) ||
+                    (kind == Kind::Write && r.write) ||
+                    (kind == Kind::InstrFetch && r.exec);
+    if (ok && r.size >= 16) return &r;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+std::vector<NamedTrace> verificationSuite(const TargetRegion& fast,
+                                          const TargetRegion& waited) {
+  std::vector<NamedTrace> suite;
+
+  {  // Single read / write without wait states.
+    BusTrace t;
+    t.append(single(0, Kind::Read, fast.base + 0x10));
+    t.append(single(4, Kind::Write, fast.base + 0x14, 0xA5A5A5A5));
+    suite.push_back({"single_no_wait", t});
+  }
+  {  // Single read / write with wait states.
+    BusTrace t;
+    t.append(single(0, Kind::Read, waited.base + 0x20));
+    t.append(single(8, Kind::Write, waited.base + 0x24, 0x0F0F0F0F));
+    suite.push_back({"single_wait", t});
+  }
+  {  // Back-to-back reads.
+    BusTrace t;
+    for (unsigned i = 0; i < 6; ++i) {
+      t.append(single(0, Kind::Read, fast.base + 4 * i));
+    }
+    suite.push_back({"back_to_back_read", t});
+  }
+  {  // Back-to-back writes.
+    BusTrace t;
+    for (unsigned i = 0; i < 6; ++i) {
+      t.append(single(0, Kind::Write, fast.base + 0x40 + 4 * i,
+                      0x11111111u * (i + 1)));
+    }
+    suite.push_back({"back_to_back_write", t});
+  }
+  {  // Read followed by write.
+    BusTrace t;
+    t.append(single(0, Kind::Read, waited.base + 0x30));
+    t.append(single(0, Kind::Write, fast.base + 0x30, 0xDEADBEEF));
+    suite.push_back({"read_then_write", t});
+  }
+  {  // Write followed by read with reordering: the read targets the
+     // zero-wait slave and completes before the long write — the EC
+     // interface's separate read/write paths allow that.
+    BusTrace t;
+    t.append(single(0, Kind::Write, waited.base + 0x40, 0xC0FFEE00));
+    t.append(single(0, Kind::Read, fast.base + 0x40));
+    suite.push_back({"write_then_read_reorder", t});
+  }
+  {  // Burst read and write.
+    BusTrace t;
+    t.append(burst(0, Kind::Read, fast.base + 0x80));
+    t.append(burst(0, Kind::Write, fast.base + 0x90,
+                   {0x01020304, 0x05060708, 0x090A0B0C, 0x0D0E0F10}));
+    t.append(burst(12, Kind::Read, waited.base + 0x80));
+    t.append(burst(12, Kind::Write, waited.base + 0x90,
+                   {0xFFFF0000, 0x0000FFFF, 0xAAAA5555, 0x5555AAAA}));
+    suite.push_back({"burst_read_write", t});
+  }
+  {  // Instruction fetch bursts (cache-line refills).
+    BusTrace t;
+    t.append(burst(0, Kind::InstrFetch, fast.base + 0x100));
+    t.append(burst(0, Kind::InstrFetch, fast.base + 0x110));
+    suite.push_back({"instr_fetch_burst", t});
+  }
+  {  // Sub-word accesses per the EC merge patterns.
+    BusTrace t;
+    t.append(single(0, Kind::Write, fast.base + 0x60, 0x000000AA,
+                    AccessSize::Byte));
+    t.append(single(0, Kind::Write, fast.base + 0x62, 0xBBCC0000,
+                    AccessSize::Half));
+    t.append(single(2, Kind::Read, fast.base + 0x61, 0, AccessSize::Byte));
+    t.append(single(2, Kind::Read, fast.base + 0x62, 0, AccessSize::Half));
+    suite.push_back({"subword_merge", t});
+  }
+  return suite;
+}
+
+BusTrace verificationTrace(const TargetRegion& fast,
+                           const TargetRegion& waited) {
+  BusTrace all;
+  std::uint64_t offset = 0;
+  for (const NamedTrace& nt : verificationSuite(fast, waited)) {
+    all.append(nt.trace, offset);
+    // Leave a drain gap between the examples so each starts on an idle
+    // bus, as in the specification's stand-alone waveforms. The deepest
+    // example (waited 4-beat burst) needs ~12 cycles end to end.
+    offset += 16;
+  }
+  return all;
+}
+
+bus::Word realisticWord(sim::Xoshiro256& rng) {
+  switch (rng.below(10)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      return static_cast<Word>(rng.below(256));  // Small constants.
+    case 4:
+    case 5:
+      return 0;  // Zero-initialized data.
+    case 6:
+    case 7:
+      // Pointers into the on-chip address space, word aligned.
+      return static_cast<Word>(0x8000 + (rng.below(0x2000) & ~0x3ull));
+    case 8:
+      // Small bit masks (flag words).
+      return static_cast<Word>(0xF) << (4 * rng.below(8));
+    default:
+      return rng.next32();  // Occasional high-entropy word.
+  }
+}
+
+void fillRealistic(std::uint8_t* bytes, std::size_t n, std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  std::size_t off = 0;
+  while (off + 4 <= n) {
+    // A correlated run: base value stepped by a small stride, like an
+    // instruction stream or an array of records.
+    Word base = realisticWord(rng);
+    const Word stride = static_cast<Word>(rng.below(3) * 4);
+    const std::size_t runWords = 8 + rng.below(48);
+    for (std::size_t i = 0; i < runWords && off + 4 <= n; ++i, off += 4) {
+      Word w = base + static_cast<Word>(i) * stride;
+      if (rng.chance(1, 8)) w ^= Word{0xFF} << (8 * rng.below(4));
+      std::memcpy(bytes + off, &w, 4);
+    }
+  }
+}
+
+BusTrace randomMixStyled(std::uint64_t seed, std::size_t count,
+                         std::span<const TargetRegion> regions,
+                         const MixRatios& mix, unsigned issueGapMax,
+                         DataStyle style) {
+  if (regions.empty()) {
+    throw std::invalid_argument("randomMix: no target regions");
+  }
+  const unsigned total = mix.singleRead + mix.singleWrite + mix.burstRead +
+                         mix.burstWrite + mix.instrFetch;
+  if (total == 0) {
+    throw std::invalid_argument("randomMix: all mix weights are zero");
+  }
+  sim::Xoshiro256 rng(seed);
+  BusTrace t;
+  std::uint64_t cycle = 0;
+  while (t.size() < count) {
+    const unsigned pick = static_cast<unsigned>(rng.below(total));
+    Kind kind;
+    bool isBurst;
+    if (pick < mix.singleRead) {
+      kind = Kind::Read;
+      isBurst = false;
+    } else if (pick < mix.singleRead + mix.singleWrite) {
+      kind = Kind::Write;
+      isBurst = false;
+    } else if (pick < mix.singleRead + mix.singleWrite + mix.burstRead) {
+      kind = Kind::Read;
+      isBurst = true;
+    } else if (pick <
+               mix.singleRead + mix.singleWrite + mix.burstRead +
+                   mix.burstWrite) {
+      kind = Kind::Write;
+      isBurst = true;
+    } else {
+      kind = Kind::InstrFetch;
+      isBurst = true;  // Fetches refill cache lines.
+    }
+    const TargetRegion* r = pickRegion(rng, regions, kind);
+    if (r == nullptr) continue;
+    TraceEntry e;
+    e.issueCycle = cycle;
+    e.kind = kind;
+    e.beats = isBurst ? 4 : 1;
+    e.size = AccessSize::Word;
+    e.address = pickAddress(rng, *r, isBurst ? 16 : 4);
+    if (kind == Kind::Write) {
+      if (style == DataStyle::Realistic) {
+        // Correlated beats, like storing an array slice.
+        const Word base = realisticWord(rng);
+        const Word stride = static_cast<Word>(rng.below(3) * 4);
+        for (unsigned b = 0; b < e.beats; ++b) {
+          e.writeData[b] = base + b * stride;
+        }
+      } else {
+        for (unsigned b = 0; b < e.beats; ++b) e.writeData[b] = rng.next32();
+      }
+    }
+    t.append(e);
+    if (issueGapMax > 0) cycle += rng.below(issueGapMax + 1);
+  }
+  return t;
+}
+
+BusTrace randomMix(std::uint64_t seed, std::size_t count,
+                   std::span<const TargetRegion> regions,
+                   const MixRatios& mix, unsigned issueGapMax) {
+  return randomMixStyled(seed, count, regions, mix, issueGapMax,
+                         DataStyle::Random);
+}
+
+BusTrace compressGaps(const BusTrace& trace, std::uint64_t maxGap) {
+  BusTrace out;
+  std::uint64_t prevIn = 0;
+  std::uint64_t prevOut = 0;
+  for (TraceEntry e : trace.entries()) {
+    const std::uint64_t gap =
+        e.issueCycle >= prevIn ? e.issueCycle - prevIn : 0;
+    prevIn = e.issueCycle;
+    prevOut += gap > maxGap ? maxGap : gap;
+    e.issueCycle = prevOut;
+    out.append(e);
+  }
+  return out;
+}
+
+BusTrace characterizationTrace(std::uint64_t seed, std::size_t count,
+                               std::span<const TargetRegion> regions) {
+  MixRatios mix;
+  mix.singleRead = 1;
+  mix.singleWrite = 1;
+  mix.burstRead = 1;
+  mix.burstWrite = 1;
+  mix.instrFetch = 1;
+  return randomMix(seed, count, regions, mix, /*issueGapMax=*/0);
+}
+
+} // namespace sct::trace

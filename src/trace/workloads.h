@@ -1,0 +1,106 @@
+// Workload generators.
+//
+// Two families, matching the paper's evaluation:
+//  * verificationSuite(): the transaction examples of the EC interface
+//    specification used for the first verification step — "single read
+//    and write with and without wait states, back-to-back reads,
+//    back-to-back writes, read followed by write and write followed by
+//    read with reordering, and at last burst read and writes";
+//  * randomMix(): "all combinations between single read, single write,
+//    burst read, and burst write transactions" used for the simulation
+//    performance measurements (Table 3) and for characterization.
+#ifndef SCT_TRACE_WORKLOADS_H
+#define SCT_TRACE_WORKLOADS_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bus/ec_types.h"
+#include "sim/random.h"
+#include "trace/bus_trace.h"
+
+namespace sct::trace {
+
+/// An address window the generator may target, mirroring the rights of
+/// the slave that will decode it.
+struct TargetRegion {
+  bus::Address base = 0;
+  bus::Address size = 0;
+  bool read = true;
+  bool write = true;
+  bool exec = true;
+};
+
+struct NamedTrace {
+  std::string name;
+  BusTrace trace;
+};
+
+/// EC-specification verification examples. `fast` should map to a
+/// zero-wait slave and `waited` to a slave with address/data wait
+/// states; the suite exercises both.
+std::vector<NamedTrace> verificationSuite(const TargetRegion& fast,
+                                          const TargetRegion& waited);
+
+/// Concatenation of the whole verification suite into one trace.
+BusTrace verificationTrace(const TargetRegion& fast,
+                           const TargetRegion& waited);
+
+/// Relative weights of the four transaction classes (plus instruction
+/// fetches, which ride the read path).
+struct MixRatios {
+  unsigned singleRead = 1;
+  unsigned singleWrite = 1;
+  unsigned burstRead = 1;
+  unsigned burstWrite = 1;
+  unsigned instrFetch = 0;
+};
+
+/// `count` random transactions over `regions`. Issue cycles advance by
+/// a uniform random gap in [0, issueGapMax] between entries (0 = fully
+/// back-to-back).
+BusTrace randomMix(std::uint64_t seed, std::size_t count,
+                   std::span<const TargetRegion> regions,
+                   const MixRatios& mix = MixRatios{},
+                   unsigned issueGapMax = 0);
+
+/// Dense training workload for power characterization: equal class mix
+/// including instruction fetches, back-to-back issue.
+BusTrace characterizationTrace(std::uint64_t seed, std::size_t count,
+                               std::span<const TargetRegion> regions);
+
+/// How generated write data (and memory preloads) look.
+enum class DataStyle {
+  Random,     ///< Uniform 32-bit words (maximum switching activity).
+  Realistic,  ///< Program-like: small constants, pointers, masks, and
+              ///  strongly word-to-word correlated runs (arrays,
+              ///  instruction streams) — the activity profile of real
+              ///  smart-card firmware.
+};
+
+/// One program-like data word.
+bus::Word realisticWord(sim::Xoshiro256& rng);
+
+/// Fill `bytes` (interpreted as words) with program-like contents:
+/// correlated runs with occasional new bases, exactly what a ROM/EEPROM
+/// image looks like. Use before replaying energy workloads so read data
+/// carries realistic switching activity.
+void fillRealistic(std::uint8_t* bytes, std::size_t n, std::uint64_t seed);
+
+/// randomMix with a choice of write-data style.
+BusTrace randomMixStyled(std::uint64_t seed, std::size_t count,
+                         std::span<const TargetRegion> regions,
+                         const MixRatios& mix, unsigned issueGapMax,
+                         DataStyle style);
+
+/// Cap the issue gap between consecutive transactions at `maxGap`
+/// cycles. Recorded firmware traces contain long idle spans (cache-hit
+/// compute phases) that carry no bus information; compressing them
+/// keeps a replayed test sequence representative of bus activity.
+BusTrace compressGaps(const BusTrace& trace, std::uint64_t maxGap);
+
+} // namespace sct::trace
+
+#endif // SCT_TRACE_WORKLOADS_H

@@ -1,0 +1,77 @@
+// Shared helpers for driving bus models in unit tests: simple masters
+// that submit requests on rising clock edges and poll until completion,
+// as a real EC master would.
+#ifndef SCT_TESTS_BUS_TEST_UTIL_H
+#define SCT_TESTS_BUS_TEST_UTIL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/tl1_bus.h"
+#include "bus/tl2_bus.h"
+#include "sim/clock.h"
+
+namespace sct::bus::testutil {
+
+inline BusStatus invoke(Tl1Bus& bus, Tl1Request& req) {
+  switch (req.kind) {
+    case Kind::InstrFetch: return bus.fetch(req);
+    case Kind::Read: return bus.read(req);
+    case Kind::Write: return bus.write(req);
+  }
+  return BusStatus::Error;
+}
+
+inline BusStatus invoke(Tl2Bus& bus, Tl2Request& req) {
+  return req.kind == Kind::Write ? bus.write(req) : bus.read(req);
+}
+
+/// Drives a set of requests to completion, submitting all of them on the
+/// first rising edge (retrying while the bus answers Wait on accept) and
+/// polling each until Ok/Error. Returns elapsed cycles from the first
+/// submission edge to the cycle the last result was picked up.
+template <typename Bus, typename Request>
+std::uint64_t driveAll(sim::Clock& clk, Bus& bus,
+                       std::vector<Request*> reqs,
+                       std::uint64_t maxCycles = 100000) {
+  const std::uint64_t start = clk.cycle();
+  std::size_t done = 0;
+  std::vector<bool> finished(reqs.size(), false);
+  const auto id = clk.onRising([&] {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (finished[i]) continue;
+      const BusStatus s = invoke(bus, *reqs[i]);
+      if (s == BusStatus::Ok || s == BusStatus::Error) {
+        finished[i] = true;
+        ++done;
+      }
+    }
+  });
+  while (done < reqs.size() && clk.cycle() - start < maxCycles) {
+    clk.runCycles(1);
+  }
+  clk.removeHandler(id);
+  return clk.cycle() - start;
+}
+
+template <typename Bus, typename Request>
+std::uint64_t driveAll(sim::Clock& clk, Bus& bus,
+                       std::initializer_list<Request*> reqs,
+                       std::uint64_t maxCycles = 100000) {
+  return driveAll(clk, bus, std::vector<Request*>(reqs), maxCycles);
+}
+
+/// Convenience for a single request; returns the final status.
+template <typename Bus, typename Request>
+BusStatus driveOne(sim::Clock& clk, Bus& bus, Request& req,
+                   std::uint64_t* elapsed = nullptr,
+                   std::uint64_t maxCycles = 100000) {
+  const std::uint64_t cycles =
+      driveAll(clk, bus, std::vector<Request*>{&req}, maxCycles);
+  if (elapsed != nullptr) *elapsed = cycles;
+  return req.result;
+}
+
+} // namespace sct::bus::testutil
+
+#endif // SCT_TESTS_BUS_TEST_UTIL_H

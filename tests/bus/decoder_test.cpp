@@ -1,0 +1,93 @@
+#include "bus/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bus/memory_slave.h"
+
+namespace sct::bus {
+namespace {
+
+SlaveControl window(Address base, Address size) {
+  SlaveControl c;
+  c.base = base;
+  c.size = size;
+  return c;
+}
+
+TEST(DecoderTest, DecodesRegisteredWindows) {
+  AddressDecoder d;
+  MemorySlave rom("rom", window(0x0000, 0x1000));
+  MemorySlave ram("ram", window(0x2000, 0x800));
+  EXPECT_EQ(d.attach(rom), 0);
+  EXPECT_EQ(d.attach(ram), 1);
+  EXPECT_EQ(d.decode(0x0000), 0);
+  EXPECT_EQ(d.decode(0x0FFF), 0);
+  EXPECT_EQ(d.decode(0x1000), -1);
+  EXPECT_EQ(d.decode(0x2000), 1);
+  EXPECT_EQ(d.decode(0x27FF), 1);
+  EXPECT_EQ(d.decode(0x2800), -1);
+}
+
+TEST(DecoderTest, RejectsOverlaps) {
+  AddressDecoder d;
+  MemorySlave a("a", window(0x1000, 0x1000));
+  MemorySlave b("b", window(0x1800, 0x1000));
+  d.attach(a);
+  EXPECT_THROW(d.attach(b), std::invalid_argument);
+}
+
+TEST(DecoderTest, RejectsContainedOverlap) {
+  AddressDecoder d;
+  MemorySlave a("a", window(0x1000, 0x1000));
+  MemorySlave b("b", window(0x1400, 0x100));
+  d.attach(a);
+  EXPECT_THROW(d.attach(b), std::invalid_argument);
+}
+
+TEST(DecoderTest, AdjacentWindowsAreFine) {
+  AddressDecoder d;
+  MemorySlave a("a", window(0x1000, 0x1000));
+  MemorySlave b("b", window(0x2000, 0x1000));
+  d.attach(a);
+  EXPECT_NO_THROW(d.attach(b));
+}
+
+TEST(DecoderTest, RejectsWindowBeyond36Bits) {
+  AddressDecoder d;
+  SlaveControl c = window(kAddressMask - 0x10, 0x100);
+  EXPECT_THROW(
+      {
+        MemorySlave s("s", c);
+        d.attach(s);
+      },
+      std::invalid_argument);
+}
+
+TEST(DecoderTest, DecodeMasksTo36Bits) {
+  AddressDecoder d;
+  MemorySlave a("a", window(0x1000, 0x1000));
+  d.attach(a);
+  // Bit 36 and above are ignored by the decoder.
+  EXPECT_EQ(d.decode((Address{1} << 36) | 0x1000), 0);
+}
+
+TEST(DecoderTest, SelectMaskIsOneHot) {
+  EXPECT_EQ(AddressDecoder::selectMask(-1), 0u);
+  EXPECT_EQ(AddressDecoder::selectMask(0), 0x1u);
+  EXPECT_EQ(AddressDecoder::selectMask(3), 0x8u);
+  EXPECT_EQ(AddressDecoder::selectMask(7), 0x80u);
+  EXPECT_EQ(AddressDecoder::selectMask(12), 0x80u);  // Saturates.
+}
+
+TEST(DecoderTest, SlaveAccessors) {
+  AddressDecoder d;
+  MemorySlave a("a", window(0x0, 0x100));
+  d.attach(a);
+  EXPECT_EQ(d.slaveCount(), 1u);
+  EXPECT_EQ(d.slave(0).name(), "a");
+}
+
+} // namespace
+} // namespace sct::bus

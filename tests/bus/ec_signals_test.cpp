@@ -1,0 +1,73 @@
+#include "bus/ec_signals.h"
+
+#include <gtest/gtest.h>
+
+namespace sct::bus {
+namespace {
+
+TEST(EcSignalsTest, TableIsConsistentWithEnum) {
+  for (std::size_t i = 0; i < kSignalCount; ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(kSignalTable[i].id), i);
+  }
+}
+
+TEST(EcSignalsTest, BusWidthsMatchTheEcInterface) {
+  // 36-bit address, 32-bit separated read and write data buses.
+  EXPECT_EQ(signalWidth(SignalId::EB_A), 36u);
+  EXPECT_EQ(signalWidth(SignalId::EB_RData), 32u);
+  EXPECT_EQ(signalWidth(SignalId::EB_WData), 32u);
+  EXPECT_EQ(signalWidth(SignalId::EB_BE), 4u);
+}
+
+TEST(EcSignalsTest, SeparateErrorIndicationsExist) {
+  EXPECT_EQ(signalName(SignalId::EB_RBErr), "EB_RBErr");
+  EXPECT_EQ(signalName(SignalId::EB_WBErr), "EB_WBErr");
+}
+
+TEST(EcSignalsTest, MasksMatchWidths) {
+  EXPECT_EQ(signalMask(SignalId::EB_Instr), 0x1u);
+  EXPECT_EQ(signalMask(SignalId::EB_BE), 0xFu);
+  EXPECT_EQ(signalMask(SignalId::EB_A), 0xFFFFFFFFFull);
+  EXPECT_EQ(signalMask(SignalId::EB_RData), 0xFFFFFFFFull);
+}
+
+TEST(EcSignalsTest, TotalWireCount) {
+  // 36+1+1+1+4+1+1+32+1+1+32+1+1+1+8 = 122 wires.
+  EXPECT_EQ(totalWireCount(), 122u);
+}
+
+TEST(EcSignalsTest, FrameMasksStoredValues) {
+  SignalFrame f;
+  f.set(SignalId::EB_BE, 0xFF);  // Only 4 bits defined.
+  EXPECT_EQ(f.get(SignalId::EB_BE), 0xFu);
+  f.set(SignalId::EB_A, ~std::uint64_t{0});
+  EXPECT_EQ(f.get(SignalId::EB_A), kSignalTable[0].width == 36
+                                       ? 0xFFFFFFFFFull
+                                       : f.get(SignalId::EB_A));
+}
+
+TEST(EcSignalsTest, FrameDefaultsToZero) {
+  SignalFrame f;
+  for (std::size_t i = 0; i < kSignalCount; ++i) {
+    EXPECT_EQ(f.get(static_cast<SignalId>(i)), 0u);
+  }
+}
+
+TEST(EcSignalsTest, FrameEquality) {
+  SignalFrame a;
+  SignalFrame b;
+  EXPECT_EQ(a, b);
+  a.set(SignalId::EB_WData, 0xDEADBEEF);
+  EXPECT_NE(a, b);
+}
+
+TEST(EcSignalsTest, HammingDistance) {
+  EXPECT_EQ(hammingDistance(SignalId::EB_RData, 0x0, 0xF), 4u);
+  EXPECT_EQ(hammingDistance(SignalId::EB_RData, 0xFF, 0xFF), 0u);
+  EXPECT_EQ(hammingDistance(SignalId::EB_Instr, 0, 1), 1u);
+  // Out-of-bundle bits are masked off.
+  EXPECT_EQ(hammingDistance(SignalId::EB_BE, 0x10, 0x00), 0u);
+}
+
+} // namespace
+} // namespace sct::bus

@@ -1,0 +1,190 @@
+// Failure injection: a slave that errors mid-transaction. The layers
+// must agree on the outcome, the error must land on the right bus
+// error line, and the models must stay live afterwards.
+#include <gtest/gtest.h>
+
+#include "../testbench.h"
+#include "bus/ec_interfaces.h"
+#include "bus/tl1_bus.h"
+#include "bus/tl2_bus.h"
+#include "ref/gl_bus.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "trace/replay_master.h"
+
+namespace sct::bus {
+namespace {
+
+/// Memory-backed slave that raises a bus error on the Nth beat of the
+/// Kth transaction (per direction), then behaves normally again.
+class FaultInjectingSlave final : public EcSlave {
+ public:
+  FaultInjectingSlave(const SlaveControl& control, unsigned failOnBeat,
+                      unsigned failOnCall)
+      : control_(control),
+        backing_("backing", control),
+        failOnBeat_(failOnBeat),
+        failOnCall_(failOnCall) {}
+
+  std::string_view name() const override { return "faulty"; }
+  const SlaveControl& control() const override { return control_; }
+
+  BusStatus readBeat(Address addr, AccessSize size, Word& out) override {
+    if (shouldFail(readBeats_)) return BusStatus::Error;
+    ++readBeats_;
+    return backing_.readBeat(addr, size, out);
+  }
+
+  BusStatus writeBeat(Address addr, AccessSize size, std::uint8_t be,
+                      Word in) override {
+    if (shouldFail(writeBeats_)) return BusStatus::Error;
+    ++writeBeats_;
+    return backing_.writeBeat(addr, size, be, in);
+  }
+
+  bool readBlock(Address addr, std::uint8_t* dst, std::size_t n) override {
+    // Layer 2 sees the whole transfer as one call; a beat fault inside
+    // the window fails the block.
+    if (blockCalls_++ == failOnCall_) return false;
+    return backing_.readBlock(addr, dst, n);
+  }
+
+  bool writeBlock(Address addr, const std::uint8_t* src,
+                  std::size_t n) override {
+    if (blockCalls_++ == failOnCall_) return false;
+    return backing_.writeBlock(addr, src, n);
+  }
+
+ private:
+  bool shouldFail(std::uint64_t& beatCounter) {
+    const bool fail = beatCounter == failOnBeat_ && !fired_;
+    if (fail) {
+      fired_ = true;
+      ++beatCounter;
+    }
+    return fail;
+  }
+
+  SlaveControl control_;
+  MemorySlave backing_;
+  std::uint64_t readBeats_ = 0;
+  std::uint64_t writeBeats_ = 0;
+  std::uint64_t blockCalls_ = 0;
+  unsigned failOnBeat_;
+  unsigned failOnCall_;
+  bool fired_ = false;
+};
+
+SlaveControl window() {
+  SlaveControl c;
+  c.base = 0x0;
+  c.size = 0x1000;
+  return c;
+}
+
+trace::BusTrace burstsThenSingles() {
+  trace::BusTrace t;
+  trace::TraceEntry burst;
+  burst.kind = Kind::Read;
+  burst.address = 0x100;
+  burst.beats = 4;
+  t.append(burst);
+  trace::TraceEntry single;
+  single.kind = Kind::Read;
+  single.address = 0x200;
+  t.append(single);
+  trace::TraceEntry wr;
+  wr.kind = Kind::Write;
+  wr.address = 0x300;
+  wr.writeData[0] = 7;
+  t.append(wr);
+  return t;
+}
+
+TEST(FaultInjectionTest, MidBurstErrorTerminatesTransaction) {
+  sim::Kernel kernel;
+  sim::Clock clk(kernel, "clk", 10);
+  Tl1Bus bus(clk, "bus");
+  FaultInjectingSlave slave(window(), /*failOnBeat=*/2, /*failOnCall=*/99);
+  bus.attach(slave);
+  trace::ReplayMaster m(clk, "m", bus, bus, burstsThenSingles());
+  m.runToCompletion();
+  ASSERT_TRUE(m.done());
+  EXPECT_EQ(m.requests()[0].result, BusStatus::Error);
+  EXPECT_EQ(m.requests()[0].beatsDone, 2u);  // Beats 0 and 1 landed.
+  // The bus recovered: the following transactions succeed.
+  EXPECT_EQ(m.requests()[1].result, BusStatus::Ok);
+  EXPECT_EQ(m.requests()[2].result, BusStatus::Ok);
+  EXPECT_EQ(bus.stats().readBusErrors, 1u);
+  EXPECT_EQ(bus.stats().writeBusErrors, 0u);
+}
+
+TEST(FaultInjectionTest, Layer0AgreesWithLayer1OnMidBurstError) {
+  sim::Kernel k1;
+  sim::Clock c1(k1, "clk", 10);
+  Tl1Bus tl1(c1, "tl1");
+  FaultInjectingSlave s1(window(), 2, 99);
+  tl1.attach(s1);
+  trace::ReplayMaster m1(c1, "m", tl1, tl1, burstsThenSingles());
+  const std::uint64_t cycles1 = m1.runToCompletion();
+
+  sim::Kernel k0;
+  sim::Clock c0(k0, "clk", 10);
+  ref::GlBus gl(c0, "gl", testbench::energyModel());
+  FaultInjectingSlave s0(window(), 2, 99);
+  gl.attach(s0);
+  trace::ReplayMaster m0(c0, "m", gl, gl, burstsThenSingles());
+  const std::uint64_t cycles0 = m0.runToCompletion();
+
+  EXPECT_EQ(cycles1, cycles0);
+  for (std::size_t i = 0; i < m1.requests().size(); ++i) {
+    EXPECT_EQ(m1.requests()[i].result, m0.requests()[i].result) << i;
+  }
+  EXPECT_EQ(gl.stats().readBusErrors, 1u);
+}
+
+TEST(FaultInjectionTest, Layer2BlockFaultYieldsErrorResult) {
+  sim::Kernel kernel;
+  sim::Clock clk(kernel, "clk", 10);
+  Tl2Bus bus(clk, "bus");
+  FaultInjectingSlave slave(window(), 99, /*failOnCall=*/0);
+  bus.attach(slave);
+  // Reads only: block-transfer order is then the issue order.
+  trace::BusTrace t;
+  trace::TraceEntry burst;
+  burst.kind = Kind::Read;
+  burst.address = 0x100;
+  burst.beats = 4;
+  t.append(burst);
+  trace::TraceEntry single;
+  single.kind = Kind::Read;
+  single.address = 0x200;
+  t.append(single);
+  trace::Tl2ReplayMaster m(clk, "m", bus, t);
+  m.runToCompletion();
+  ASSERT_TRUE(m.done());
+  EXPECT_EQ(m.requests()[0].result, BusStatus::Error);
+  EXPECT_EQ(m.requests()[1].result, BusStatus::Ok);
+  EXPECT_EQ(bus.stats().errors, 1u);
+}
+
+TEST(FaultInjectionTest, WriteErrorLandsOnWriteErrorLine) {
+  sim::Kernel kernel;
+  sim::Clock clk(kernel, "clk", 10);
+  Tl1Bus bus(clk, "bus");
+  FaultInjectingSlave slave(window(), /*failOnBeat=*/0, 99);
+  bus.attach(slave);
+  trace::BusTrace t;
+  trace::TraceEntry wr;
+  wr.kind = Kind::Write;
+  wr.address = 0x10;
+  wr.writeData[0] = 1;
+  t.append(wr);
+  trace::ReplayMaster m(clk, "m", bus, bus, t);
+  m.runToCompletion();
+  EXPECT_EQ(bus.stats().writeBusErrors, 1u);
+  EXPECT_EQ(bus.stats().readBusErrors, 0u);
+}
+
+} // namespace
+} // namespace sct::bus

@@ -1,0 +1,112 @@
+#include "bus/memory_slave.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace sct::bus {
+namespace {
+
+SlaveControl window(Address base, Address size) {
+  SlaveControl c;
+  c.base = base;
+  c.size = size;
+  return c;
+}
+
+TEST(MemorySlaveTest, WordWriteThenRead) {
+  MemorySlave m("ram", window(0x1000, 0x100));
+  EXPECT_EQ(m.writeBeat(0x1010, AccessSize::Word, 0xF, 0xCAFEBABE),
+            BusStatus::Ok);
+  Word out = 0;
+  EXPECT_EQ(m.readBeat(0x1010, AccessSize::Word, out), BusStatus::Ok);
+  EXPECT_EQ(out, 0xCAFEBABEu);
+}
+
+TEST(MemorySlaveTest, ByteLanesHonourByteEnables) {
+  MemorySlave m("ram", window(0, 0x100));
+  m.writeBeat(0x10, AccessSize::Word, 0xF, 0x11223344);
+  // Write one byte into lane 2 only.
+  m.writeBeat(0x12, AccessSize::Byte, byteEnables(AccessSize::Byte, 0x12),
+              0x00AA0000);
+  Word out = 0;
+  m.readBeat(0x10, AccessSize::Word, out);
+  EXPECT_EQ(out, 0x11AA3344u);
+}
+
+TEST(MemorySlaveTest, HalfWordMerge) {
+  MemorySlave m("ram", window(0, 0x100));
+  m.writeBeat(0x20, AccessSize::Word, 0xF, 0xAABBCCDD);
+  m.writeBeat(0x22, AccessSize::Half, byteEnables(AccessSize::Half, 0x22),
+              0x12340000);
+  Word out = 0;
+  m.readBeat(0x20, AccessSize::Word, out);
+  EXPECT_EQ(out, 0x1234CCDDu);
+}
+
+TEST(MemorySlaveTest, ReadReturnsWholeWordLane) {
+  MemorySlave m("ram", window(0, 0x100));
+  m.writeBeat(0x30, AccessSize::Word, 0xF, 0xDEADBEEF);
+  // A byte read still drives the full word on the read bus; the master
+  // extracts the lane.
+  Word out = 0;
+  EXPECT_EQ(m.readBeat(0x31, AccessSize::Byte, out), BusStatus::Ok);
+  EXPECT_EQ(out, 0xDEADBEEFu);
+}
+
+TEST(MemorySlaveTest, OutOfWindowIsError) {
+  MemorySlave m("ram", window(0x100, 0x10));
+  Word out = 0;
+  EXPECT_EQ(m.readBeat(0x0FF, AccessSize::Word, out), BusStatus::Error);
+  EXPECT_EQ(m.readBeat(0x110, AccessSize::Word, out), BusStatus::Error);
+  EXPECT_EQ(m.writeBeat(0x110, AccessSize::Word, 0xF, 0), BusStatus::Error);
+}
+
+TEST(MemorySlaveTest, BlockTransferRoundTrip) {
+  MemorySlave m("ram", window(0x200, 0x100));
+  std::array<std::uint8_t, 16> in{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  EXPECT_TRUE(m.writeBlock(0x210, in.data(), in.size()));
+  std::array<std::uint8_t, 16> out{};
+  EXPECT_TRUE(m.readBlock(0x210, out.data(), out.size()));
+  EXPECT_EQ(in, out);
+}
+
+TEST(MemorySlaveTest, BlockTransferOutOfWindowFails) {
+  MemorySlave m("ram", window(0x200, 0x10));
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_FALSE(m.readBlock(0x208, buf.data(), buf.size()));
+  EXPECT_FALSE(m.writeBlock(0x1F8, buf.data(), buf.size()));
+}
+
+TEST(MemorySlaveTest, WriteStretchInsertsWaits) {
+  MemorySlave m("eeprom", window(0, 0x100));
+  m.setExtraWritePerBeat(2);
+  EXPECT_EQ(m.writeBeat(0x0, AccessSize::Word, 0xF, 1), BusStatus::Wait);
+  EXPECT_EQ(m.writeBeat(0x0, AccessSize::Word, 0xF, 1), BusStatus::Wait);
+  EXPECT_EQ(m.writeBeat(0x0, AccessSize::Word, 0xF, 1), BusStatus::Ok);
+  // The stretch restarts for the next beat.
+  EXPECT_EQ(m.writeBeat(0x4, AccessSize::Word, 0xF, 2), BusStatus::Wait);
+}
+
+TEST(MemorySlaveTest, BackdoorLoadAndPeek) {
+  MemorySlave m("rom", window(0x1000, 0x100));
+  const std::array<std::uint8_t, 4> img{0x78, 0x56, 0x34, 0x12};
+  m.load(0x1020, img.data(), img.size());
+  EXPECT_EQ(m.peekWord(0x1020), 0x12345678u);
+  m.pokeWord(0x1024, 0xA5A5A5A5);
+  EXPECT_EQ(m.peekWord(0x1024), 0xA5A5A5A5u);
+  EXPECT_THROW(m.peekWord(0x10FE), std::out_of_range);
+  EXPECT_THROW(m.load(0x0FFF, img.data(), img.size()), std::out_of_range);
+}
+
+TEST(MemorySlaveTest, ZeroInitialized) {
+  MemorySlave m("ram", window(0, 0x40));
+  for (Address a = 0; a < 0x40; a += 4) EXPECT_EQ(m.peekWord(a), 0u);
+}
+
+} // namespace
+} // namespace sct::bus

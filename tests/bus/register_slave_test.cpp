@@ -1,0 +1,125 @@
+#include "bus/register_slave.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sct::bus {
+namespace {
+
+SlaveControl window(Address base, Address size) {
+  SlaveControl c;
+  c.base = base;
+  c.size = size;
+  return c;
+}
+
+TEST(RegisterSlaveTest, StorageRegisterRoundTrip) {
+  RegisterSlave s("sfr", window(0x8000, 0x100));
+  Word reg = 0;
+  s.defineStorageRegister(0x10, "DATA", reg);
+  EXPECT_EQ(s.writeBeat(0x8010, AccessSize::Word, 0xF, 0x12345678),
+            BusStatus::Ok);
+  EXPECT_EQ(reg, 0x12345678u);
+  Word out = 0;
+  EXPECT_EQ(s.readBeat(0x8010, AccessSize::Word, out), BusStatus::Ok);
+  EXPECT_EQ(out, 0x12345678u);
+}
+
+TEST(RegisterSlaveTest, HandlersAreInvoked) {
+  RegisterSlave s("sfr", window(0, 0x100));
+  int reads = 0;
+  Word lastWrite = 0;
+  s.defineRegister(
+      0x0, "CTRL", [&] { ++reads; return Word{0xA5}; },
+      [&](Word v) { lastWrite = v; });
+  Word out = 0;
+  EXPECT_EQ(s.readBeat(0x0, AccessSize::Word, out), BusStatus::Ok);
+  EXPECT_EQ(out, 0xA5u);
+  EXPECT_EQ(reads, 1);
+  EXPECT_EQ(s.writeBeat(0x0, AccessSize::Word, 0xF, 0x42), BusStatus::Ok);
+  EXPECT_EQ(lastWrite, 0x42u);
+}
+
+TEST(RegisterSlaveTest, UnmappedOffsetErrors) {
+  RegisterSlave s("sfr", window(0, 0x100));
+  Word reg = 0;
+  s.defineStorageRegister(0x0, "R0", reg);
+  Word out = 0;
+  EXPECT_EQ(s.readBeat(0x4, AccessSize::Word, out), BusStatus::Error);
+  EXPECT_EQ(s.writeBeat(0x8, AccessSize::Word, 0xF, 1), BusStatus::Error);
+}
+
+TEST(RegisterSlaveTest, WriteOnlyRegisterErrorsOnRead) {
+  RegisterSlave s("sfr", window(0, 0x100));
+  Word sink = 0;
+  s.defineRegister(0x0, "WO", nullptr, [&](Word v) { sink = v; });
+  Word out = 0;
+  EXPECT_EQ(s.readBeat(0x0, AccessSize::Word, out), BusStatus::Error);
+  EXPECT_EQ(s.writeBeat(0x0, AccessSize::Word, 0xF, 7), BusStatus::Ok);
+  EXPECT_EQ(sink, 7u);
+}
+
+TEST(RegisterSlaveTest, SubWordWriteMergesWithCurrentValue) {
+  RegisterSlave s("sfr", window(0, 0x100));
+  Word reg = 0xAABBCCDD;
+  s.defineStorageRegister(0x0, "R0", reg);
+  // Byte write to lane 1.
+  EXPECT_EQ(s.writeBeat(0x1, AccessSize::Byte,
+                        byteEnables(AccessSize::Byte, 0x1), 0x0000EE00),
+            BusStatus::Ok);
+  EXPECT_EQ(reg, 0xAABBEEDDu);
+}
+
+TEST(RegisterSlaveTest, DuplicateOffsetThrows) {
+  RegisterSlave s("sfr", window(0, 0x100));
+  Word a = 0;
+  Word b = 0;
+  s.defineStorageRegister(0x0, "A", a);
+  EXPECT_THROW(s.defineStorageRegister(0x0, "B", b), std::invalid_argument);
+}
+
+TEST(RegisterSlaveTest, MisalignedOrOutOfWindowDefinitionThrows) {
+  RegisterSlave s("sfr", window(0, 0x10));
+  Word r = 0;
+  EXPECT_THROW(s.defineStorageRegister(0x2, "X", r), std::invalid_argument);
+  EXPECT_THROW(s.defineStorageRegister(0x10, "Y", r), std::invalid_argument);
+}
+
+TEST(RegisterSlaveTest, StretchInjectsWaits) {
+  RegisterSlave s("copro", window(0, 0x100));
+  Word reg = 0;
+  s.defineStorageRegister(0x0, "R0", reg);
+  s.stretchNextBeats(2);
+  Word out = 0;
+  EXPECT_EQ(s.readBeat(0x0, AccessSize::Word, out), BusStatus::Wait);
+  EXPECT_EQ(s.readBeat(0x0, AccessSize::Word, out), BusStatus::Wait);
+  EXPECT_EQ(s.readBeat(0x0, AccessSize::Word, out), BusStatus::Ok);
+}
+
+TEST(RegisterSlaveTest, BlockTransfersWalkRegisters) {
+  RegisterSlave s("sfr", window(0, 0x100));
+  Word r0 = 0x11111111;
+  Word r1 = 0x22222222;
+  s.defineStorageRegister(0x0, "R0", r0);
+  s.defineStorageRegister(0x4, "R1", r1);
+  std::uint8_t buf[8] = {};
+  EXPECT_TRUE(s.readBlock(0x0, buf, 8));
+  EXPECT_EQ(buf[0], 0x11);
+  EXPECT_EQ(buf[4], 0x22);
+  const std::uint8_t wr[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(s.writeBlock(0x0, wr, 8));
+  EXPECT_EQ(r0, 0x04030201u);
+  EXPECT_EQ(r1, 0x08070605u);
+}
+
+TEST(RegisterSlaveTest, BlockTransferFailsOnGap) {
+  RegisterSlave s("sfr", window(0, 0x100));
+  Word r0 = 0;
+  s.defineStorageRegister(0x0, "R0", r0);
+  std::uint8_t buf[8] = {};
+  EXPECT_FALSE(s.readBlock(0x0, buf, 8));  // 0x4 is unmapped.
+}
+
+} // namespace
+} // namespace sct::bus

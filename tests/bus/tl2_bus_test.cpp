@@ -1,0 +1,304 @@
+#include "bus/tl2_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "bus/memory_slave.h"
+#include "bus/tl1_bus.h"
+#include "bus_test_util.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+
+namespace sct::bus {
+namespace {
+
+using testutil::driveAll;
+using testutil::driveOne;
+
+SlaveControl window(Address base, Address size, unsigned aw = 0,
+                    unsigned rw = 0, unsigned ww = 0, unsigned bw = 0) {
+  SlaveControl c;
+  c.base = base;
+  c.size = size;
+  c.addrWait = aw;
+  c.readWait = rw;
+  c.writeWait = ww;
+  c.burstBeatWait = bw;
+  return c;
+}
+
+struct Tl2Fixture : public ::testing::Test {
+  sim::Kernel kernel;
+  sim::Clock clk{kernel, "clk", 10};
+  Tl2Bus bus{clk, "ecbus_tl2"};
+};
+
+TEST_F(Tl2Fixture, IsolatedReadCostsOnePipelineFillCycleOverLayerOne) {
+  MemorySlave ram("ram", window(0x1000, 0x1000));
+  bus.attach(ram);
+  ram.pokeWord(0x1010, 0xCAFEBABE);
+  Word value = 0;
+  Tl2Request req;
+  req.kind = Kind::Read;
+  req.address = 0x1010;
+  req.data = reinterpret_cast<std::uint8_t*>(&value);
+  req.bytes = 4;
+  std::uint64_t elapsed = 0;
+  EXPECT_EQ(driveOne(clk, bus, req, &elapsed), BusStatus::Ok);
+  EXPECT_EQ(value, 0xCAFEBABEu);
+  // Layer 1 takes 2 cycles; the idle data unit picks the transaction
+  // up one estimated cycle after the address phase.
+  EXPECT_EQ(elapsed, 3u);
+}
+
+TEST_F(Tl2Fixture, WritePointerPassing) {
+  MemorySlave ram("ram", window(0, 0x1000));
+  bus.attach(ram);
+  Word value = 0x12345678;
+  Tl2Request req;
+  req.kind = Kind::Write;
+  req.address = 0x40;
+  req.data = reinterpret_cast<std::uint8_t*>(&value);
+  req.bytes = 4;
+  EXPECT_EQ(driveOne(clk, bus, req), BusStatus::Ok);
+  EXPECT_EQ(ram.peekWord(0x40), 0x12345678u);
+}
+
+TEST_F(Tl2Fixture, BurstIsASingleTransaction) {
+  MemorySlave ram("ram", window(0, 0x1000));
+  bus.attach(ram);
+  for (Address a = 0; a < 16; a += 4) {
+    ram.pokeWord(a, static_cast<Word>(0xA0 + a));
+  }
+  std::array<std::uint8_t, 16> buf{};
+  Tl2Request req;
+  req.kind = Kind::Read;
+  req.address = 0x0;
+  req.data = buf.data();
+  req.bytes = 16;
+  std::uint64_t elapsed = 0;
+  EXPECT_EQ(driveOne(clk, bus, req, &elapsed), BusStatus::Ok);
+  EXPECT_EQ(elapsed, 6u);  // Layer 1's 4-beat burst (5) + pipeline fill.
+  EXPECT_EQ(bus.stats().readTransactions, 1u);
+  Word w = 0;
+  std::memcpy(&w, &buf[8], 4);
+  EXPECT_EQ(w, 0xA8u);
+}
+
+TEST_F(Tl2Fixture, WaitStatesFromControlAreEstimated) {
+  MemorySlave ram("ram", window(0, 0x1000, /*aw=*/1, /*rw=*/2, /*ww=*/3,
+                                /*bw=*/1));
+  bus.attach(ram);
+  std::array<std::uint8_t, 16> buf{};
+  Tl2Request rd;
+  rd.kind = Kind::Read;
+  rd.address = 0x0;
+  rd.data = buf.data();
+  rd.bytes = 16;
+  std::uint64_t elapsed = 0;
+  EXPECT_EQ(driveOne(clk, bus, rd, &elapsed), BusStatus::Ok);
+  // Address phase: aw+1 = 2 cycles; data phase rw + 4 beats + 3*bw = 9
+  // cycles starting one cycle after the address phase; +1 pickup edge.
+  EXPECT_EQ(elapsed, 12u);
+}
+
+TEST_F(Tl2Fixture, InstructionBitTravelsOnReadInterface) {
+  MemorySlave rom("rom", window(0, 0x1000));
+  bus.attach(rom);
+  rom.pokeWord(0x80, 0xDEAD0001);
+  Word v = 0;
+  Tl2Request req;
+  req.kind = Kind::InstrFetch;
+  req.address = 0x80;
+  req.data = reinterpret_cast<std::uint8_t*>(&v);
+  req.bytes = 4;
+  EXPECT_EQ(driveOne(clk, bus, req), BusStatus::Ok);
+  EXPECT_EQ(v, 0xDEAD0001u);
+  EXPECT_EQ(bus.stats().instrTransactions, 1u);
+}
+
+TEST_F(Tl2Fixture, InterfaceKindMismatchThrows) {
+  Tl2Request req;
+  req.kind = Kind::Write;
+  EXPECT_THROW(bus.read(req), std::logic_error);
+  req.kind = Kind::Read;
+  EXPECT_THROW(bus.write(req), std::logic_error);
+}
+
+TEST_F(Tl2Fixture, NullPointerRejected) {
+  Tl2Request req;
+  req.kind = Kind::Read;
+  req.address = 0x0;
+  req.data = nullptr;
+  req.bytes = 4;
+  EXPECT_EQ(bus.read(req), BusStatus::Error);
+}
+
+TEST_F(Tl2Fixture, BadSizeRejected) {
+  Word v = 0;
+  Tl2Request req;
+  req.kind = Kind::Read;
+  req.address = 0x0;
+  req.data = reinterpret_cast<std::uint8_t*>(&v);
+  req.bytes = 3;
+  EXPECT_EQ(bus.read(req), BusStatus::Error);
+}
+
+TEST_F(Tl2Fixture, DecodeMissFinishesWithError) {
+  MemorySlave ram("ram", window(0x1000, 0x100));
+  bus.attach(ram);
+  Word v = 0;
+  Tl2Request req;
+  req.kind = Kind::Read;
+  req.address = 0x9000;
+  req.data = reinterpret_cast<std::uint8_t*>(&v);
+  req.bytes = 4;
+  EXPECT_EQ(driveOne(clk, bus, req), BusStatus::Error);
+  EXPECT_EQ(bus.stats().errors, 1u);
+}
+
+TEST_F(Tl2Fixture, AccessRightViolationFinishesWithError) {
+  SlaveControl c = window(0, 0x1000);
+  c.canWrite = false;
+  MemorySlave rom("rom", c);
+  bus.attach(rom);
+  Word v = 1;
+  Tl2Request req;
+  req.kind = Kind::Write;
+  req.address = 0x0;
+  req.data = reinterpret_cast<std::uint8_t*>(&v);
+  req.bytes = 4;
+  EXPECT_EQ(driveOne(clk, bus, req), BusStatus::Error);
+}
+
+TEST_F(Tl2Fixture, OutstandingLimitIsFourPerClass) {
+  MemorySlave ram("ram", window(0, 0x1000, 0, /*rw=*/8));
+  bus.attach(ram);
+  std::array<Word, 6> vals{};
+  std::vector<Tl2Request> reqs(6);
+  int accepted = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].kind = Kind::Read;
+    reqs[i].address = 0x0;
+    reqs[i].data = reinterpret_cast<std::uint8_t*>(&vals[i]);
+    reqs[i].bytes = 4;
+    if (bus.read(reqs[i]) == BusStatus::Request) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);
+}
+
+TEST_F(Tl2Fixture, ReadWriteOverlapKeepsParallelUnits) {
+  // The same scenario as the layer-1 test
+  // ReadAndWritePhasesRunInParallel (elapsed 5 there): layer 2 keeps
+  // the parallel read/write units and loses only the pipeline-fill
+  // cycle — the paper's systematic small over-estimation.
+  MemorySlave ram("ram", window(0, 0x1000, 0, /*rw=*/2, /*ww=*/2));
+  bus.attach(ram);
+  Word rv = 0;
+  Word wv = 0xBEEF;
+  Tl2Request rd;
+  rd.kind = Kind::Read;
+  rd.address = 0x0;
+  rd.data = reinterpret_cast<std::uint8_t*>(&rv);
+  rd.bytes = 4;
+  Tl2Request wr;
+  wr.kind = Kind::Write;
+  wr.address = 0x100;
+  wr.data = reinterpret_cast<std::uint8_t*>(&wv);
+  wr.bytes = 4;
+  const std::uint64_t elapsed = driveAll(clk, bus, {&rd, &wr});
+  EXPECT_GT(elapsed, 5u);  // Strictly worse than layer 1.
+  EXPECT_EQ(elapsed, 6u);
+}
+
+TEST_F(Tl2Fixture, DynamicStretchIsInvisibleToLayer2) {
+  // Layer 1 sees the EEPROM's dynamic write stretch; layer 2 sampled
+  // only the static control wait states — an under-estimation source.
+  MemorySlave eeprom("eeprom", window(0, 0x1000));
+  eeprom.setExtraWritePerBeat(3);
+  bus.attach(eeprom);
+  Word v = 0x5A;
+  Tl2Request wr;
+  wr.kind = Kind::Write;
+  wr.address = 0x10;
+  wr.data = reinterpret_cast<std::uint8_t*>(&v);
+  wr.bytes = 4;
+  std::uint64_t elapsed = 0;
+  EXPECT_EQ(driveOne(clk, bus, wr, &elapsed), BusStatus::Ok);
+  EXPECT_EQ(elapsed, 3u);  // Layer 1 takes 5 for the same transfer.
+  EXPECT_EQ(eeprom.peekWord(0x10), 0x5Au);
+}
+
+TEST_F(Tl2Fixture, BackToBackReadsLoseOnlyThePipelineFillCycle) {
+  MemorySlave ram("ram", window(0, 0x1000));
+  bus.attach(ram);
+  std::array<Word, 4> vals{};
+  std::vector<Tl2Request> reqs(4);
+  std::vector<Tl2Request*> ptrs;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].kind = Kind::Read;
+    reqs[i].address = 4 * i;
+    reqs[i].data = reinterpret_cast<std::uint8_t*>(&vals[i]);
+    reqs[i].bytes = 4;
+    ptrs.push_back(&reqs[i]);
+  }
+  const std::uint64_t elapsed = driveAll(clk, bus, ptrs);
+  EXPECT_EQ(elapsed, reqs.size() + 2);  // Layer 1: N + 1.
+}
+
+// Observer integration.
+struct RecordingTl2Observer : Tl2Observer {
+  std::vector<Tl2PhaseInfo> addr;
+  std::vector<Tl2PhaseInfo> data;
+  void addressPhaseDone(const Tl2PhaseInfo& i) override {
+    addr.push_back(i);
+  }
+  void dataPhaseDone(const Tl2PhaseInfo& i) override { data.push_back(i); }
+};
+
+TEST_F(Tl2Fixture, ObserverSeesPhaseCompletionsOnly) {
+  MemorySlave ram("ram", window(0, 0x1000, /*aw=*/2, /*rw=*/1));
+  bus.attach(ram);
+  RecordingTl2Observer obs;
+  bus.addObserver(obs);
+  Word v = 0;
+  Tl2Request req;
+  req.kind = Kind::Read;
+  req.address = 0x30;
+  req.data = reinterpret_cast<std::uint8_t*>(&v);
+  req.bytes = 4;
+  driveOne(clk, bus, req);
+  ASSERT_EQ(obs.addr.size(), 1u);  // One event per phase, not per cycle.
+  ASSERT_EQ(obs.data.size(), 1u);
+  EXPECT_EQ(obs.addr[0].cycles, 3u);  // aw + 1.
+  EXPECT_EQ(obs.data[0].cycles, 2u);  // rw + 1 beat.
+  EXPECT_EQ(obs.data[0].bytes, 4u);
+  EXPECT_EQ(obs.data[0].data, reinterpret_cast<std::uint8_t*>(&v));
+}
+
+TEST_F(Tl2Fixture, StatsAccumulate) {
+  MemorySlave ram("ram", window(0, 0x1000));
+  bus.attach(ram);
+  std::array<std::uint8_t, 16> buf{};
+  Tl2Request rd;
+  rd.kind = Kind::Read;
+  rd.address = 0x0;
+  rd.data = buf.data();
+  rd.bytes = 16;
+  Tl2Request wr;
+  wr.kind = Kind::Write;
+  wr.address = 0x20;
+  wr.data = buf.data();
+  wr.bytes = 4;
+  driveAll(clk, bus, {&rd, &wr});
+  EXPECT_EQ(bus.stats().bytesRead, 16u);
+  EXPECT_EQ(bus.stats().bytesWritten, 4u);
+  EXPECT_EQ(bus.stats().transactions(), 2u);
+}
+
+} // namespace
+} // namespace sct::bus

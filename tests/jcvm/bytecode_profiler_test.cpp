@@ -1,0 +1,78 @@
+#include "jcvm/bytecode_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "../testbench.h"
+#include "jcvm/applets.h"
+#include "jcvm/exploration.h"
+#include "power/characterizer.h"
+#include "trace/workloads.h"
+
+namespace sct::jcvm {
+namespace {
+
+const power::SignalEnergyTable& table() {
+  static const power::SignalEnergyTable t = [] {
+    testbench::RefBench tb;
+    power::Characterizer ch(testbench::energyModel());
+    tb.bus.addFrameListener(ch);
+    tb.run(trace::characterizationTrace(1234, 500,
+                                        testbench::bothRegions()));
+    return ch.buildTable();
+  }();
+  return t;
+}
+
+TEST(BytecodeProfilerTest, AttributionCoversAllEnergy) {
+  std::vector<BytecodeEnergyProfiler::Entry> ranking;
+  InterfaceConfig cfg;
+  const auto r = evaluateInterface(applets::sumLoop(), {30}, cfg, table(),
+                                   &ranking);
+  ASSERT_TRUE(r.ok);
+  double attributed = 0.0;
+  std::uint64_t counted = 0;
+  for (const auto& e : ranking) {
+    attributed += e.energy_fJ;
+    counted += e.count;
+  }
+  // Everything except the pre-run setup (the stack-reset transaction
+  // issued before the first bytecode) is attributed.
+  EXPECT_LE(attributed, r.energy_fJ);
+  EXPECT_LT(r.energy_fJ - attributed, 10'000.0)
+      << "only the session-setup energy may be unattributed";
+  EXPECT_EQ(counted, r.bytecodes);
+}
+
+TEST(BytecodeProfilerTest, RankingIsSortedDescending) {
+  std::vector<BytecodeEnergyProfiler::Entry> ranking;
+  InterfaceConfig cfg;
+  evaluateInterface(applets::fibonacci(), {15}, cfg, table(), &ranking);
+  ASSERT_FALSE(ranking.empty());
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].energy_fJ, ranking[i].energy_fJ);
+  }
+}
+
+TEST(BytecodeProfilerTest, StackFreeBytecodesAreCheap) {
+  std::vector<BytecodeEnergyProfiler::Entry> ranking;
+  InterfaceConfig cfg;
+  evaluateInterface(applets::sumLoop(), {30}, cfg, table(), &ranking);
+  double sincCost = 0.0;
+  double sloadCost = 0.0;
+  for (const auto& e : ranking) {
+    if (e.op == Bc::Sinc) sincCost = e.energyPerExecution_fJ();
+    if (e.op == Bc::Sload) sloadCost = e.energyPerExecution_fJ();
+  }
+  // Sinc touches only locals (no operand stack, no bus); Sload pushes.
+  EXPECT_LT(sincCost, sloadCost);
+}
+
+TEST(BytecodeProfilerTest, ProfilerIsOptIn) {
+  InterfaceConfig cfg;
+  const auto r =
+      evaluateInterface(applets::sumLoop(), {10}, cfg, table(), nullptr);
+  EXPECT_TRUE(r.ok);  // No observer attached, still runs.
+}
+
+} // namespace
+} // namespace sct::jcvm

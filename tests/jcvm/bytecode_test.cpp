@@ -1,0 +1,119 @@
+#include "jcvm/bytecode.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sct::jcvm {
+namespace {
+
+TEST(BytecodeTest, OperandWidths) {
+  EXPECT_EQ(operandBytes(Bc::Nop), 0u);
+  EXPECT_EQ(operandBytes(Bc::Bspush), 1u);
+  EXPECT_EQ(operandBytes(Bc::Sspush), 2u);
+  EXPECT_EQ(operandBytes(Bc::Sinc), 2u);
+  EXPECT_EQ(operandBytes(Bc::Goto), 2u);
+  EXPECT_EQ(operandBytes(Bc::Invokestatic), 2u);
+  EXPECT_EQ(operandBytes(Bc::Sreturn), 0u);
+}
+
+TEST(BytecodeTest, MnemonicsFollowJavaCardNames) {
+  EXPECT_EQ(mnemonic(Bc::Sspush), "sspush");
+  EXPECT_EQ(mnemonic(Bc::IfScmplt), "if_scmplt");
+  EXPECT_EQ(mnemonic(Bc::Getstatic), "getstatic_s");
+}
+
+TEST(ProgramBuilderTest, EmitsBytesInOrder) {
+  ProgramBuilder b;
+  b.beginMethod("m", 0, 0);
+  b.emitS8(Bc::Bspush, -3);
+  b.emitS16(Bc::Sspush, 0x1234);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  const JcProgram p = b.build();
+  ASSERT_EQ(p.code.size(), 6u);
+  EXPECT_EQ(p.code[0], static_cast<std::uint8_t>(Bc::Bspush));
+  EXPECT_EQ(p.code[1], 0xFD);
+  EXPECT_EQ(p.code[2], static_cast<std::uint8_t>(Bc::Sspush));
+  EXPECT_EQ(p.code[3], 0x12);
+  EXPECT_EQ(p.code[4], 0x34);
+}
+
+TEST(ProgramBuilderTest, BranchFixupsResolve) {
+  ProgramBuilder b;
+  b.beginMethod("m", 0, 0);
+  b.branch(Bc::Goto, "end");   // At 0, operand at 1..2.
+  b.emit(Bc::Nop);             // At 3.
+  b.defineLabel("end");        // At 4.
+  b.emit(Bc::Return);
+  b.endMethod();
+  const JcProgram p = b.build();
+  // Relative to the opcode byte at 0: offset = 4.
+  EXPECT_EQ(p.code[1], 0x00);
+  EXPECT_EQ(p.code[2], 0x04);
+}
+
+TEST(ProgramBuilderTest, BackwardBranch) {
+  ProgramBuilder b;
+  b.beginMethod("m", 0, 0);
+  b.defineLabel("top");  // 0.
+  b.emit(Bc::Nop);       // 0.
+  b.branch(Bc::Goto, "top");  // Opcode at 1; offset = 0 - 1 = -1.
+  b.endMethod();
+  const JcProgram p = b.build();
+  EXPECT_EQ(p.code[2], 0xFF);
+  EXPECT_EQ(p.code[3], 0xFF);
+}
+
+TEST(ProgramBuilderTest, UndefinedLabelThrows) {
+  ProgramBuilder b;
+  b.beginMethod("m", 0, 0);
+  b.branch(Bc::Goto, "nowhere");
+  b.endMethod();
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(ProgramBuilderTest, UnclosedMethodThrows) {
+  ProgramBuilder b;
+  b.beginMethod("m", 0, 0);
+  EXPECT_THROW(b.build(), std::runtime_error);
+  EXPECT_THROW(b.beginMethod("n", 0, 0), std::runtime_error);
+}
+
+TEST(ProgramBuilderTest, MaxLocalsMustCoverArgs) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.beginMethod("m", 3, 2), std::runtime_error);
+}
+
+TEST(ProgramBuilderTest, MethodTableRecordsOffsets) {
+  ProgramBuilder b;
+  b.beginMethod("first", 0, 1, 7);
+  b.emit(Bc::Return);
+  b.endMethod();
+  b.beginMethod("second", 1, 2);
+  b.emit(Bc::Return);
+  b.endMethod();
+  const JcProgram p = b.build();
+  ASSERT_EQ(p.methods.size(), 2u);
+  EXPECT_EQ(p.methods[0].offset, 0u);
+  EXPECT_EQ(p.methods[0].context, 7u);
+  EXPECT_EQ(p.methods[1].offset, 1u);
+  EXPECT_EQ(p.methods[1].argCount, 1u);
+}
+
+TEST(ProgramBuilderTest, StaticFieldsTrackContexts) {
+  ProgramBuilder b;
+  EXPECT_EQ(b.addStaticField(0), 0u);
+  EXPECT_EQ(b.addStaticField(5), 1u);
+  b.beginMethod("m", 0, 0);
+  b.emit(Bc::Return);
+  b.endMethod();
+  const JcProgram p = b.build();
+  EXPECT_EQ(p.staticFieldCount, 2u);
+  EXPECT_EQ(p.fieldContext(0), 0u);
+  EXPECT_EQ(p.fieldContext(1), 5u);
+  EXPECT_EQ(p.fieldContext(99), 0u);  // Default context.
+}
+
+} // namespace
+} // namespace sct::jcvm

@@ -1,0 +1,70 @@
+// Exploration-harness error paths: failing applets must be reported,
+// not mask as results.
+#include <gtest/gtest.h>
+
+#include "../testbench.h"
+#include "jcvm/applets.h"
+#include "jcvm/exploration.h"
+#include "power/characterizer.h"
+#include "trace/workloads.h"
+
+namespace sct::jcvm {
+namespace {
+
+const power::SignalEnergyTable& table() {
+  static const power::SignalEnergyTable t = [] {
+    testbench::RefBench tb;
+    power::Characterizer ch(testbench::energyModel());
+    tb.bus.addFrameListener(ch);
+    tb.run(trace::characterizationTrace(1234, 400,
+                                        testbench::bothRegions()));
+    return ch.buildTable();
+  }();
+  return t;
+}
+
+TEST(ExplorationErrorsTest, FunctionalHarnessReportsVmErrors) {
+  const auto r = evaluateFunctional(applets::firewallViolator(), {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, VmError::FirewallViolation);
+}
+
+TEST(ExplorationErrorsTest, RefinedHarnessReportsVmErrors) {
+  InterfaceConfig cfg;
+  const auto r =
+      evaluateInterface(applets::firewallViolator(), {}, cfg, table());
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, VmError::FirewallViolation);
+}
+
+TEST(ExplorationErrorsTest, DivisionByZeroSurfacesThroughTheHarness) {
+  // gcd(0, 0): first iteration divides by zero? gcd loop exits when
+  // b == 0 — so gcd(0,0) returns 0 cleanly. Use explicit bad input: a
+  // program dividing by its argument.
+  ProgramBuilder b;
+  b.beginMethod("div", 1, 1);
+  b.emitS8(Bc::Bspush, 10);
+  b.emitU8(Bc::Sload, 0);
+  b.emit(Bc::Sdiv);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  const auto program = b.build();
+
+  InterfaceConfig cfg;
+  const auto ok = evaluateInterface(program, {2}, cfg, table());
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.result, 5);
+  const auto bad = evaluateInterface(program, {0}, cfg, table());
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, VmError::ArithmeticError);
+}
+
+TEST(ExplorationErrorsTest, StatsStillReportedOnFailure) {
+  InterfaceConfig cfg;
+  const auto r =
+      evaluateInterface(applets::firewallViolator(), {}, cfg, table());
+  EXPECT_GT(r.bytecodes, 0u);  // The getstatic executed before the trap.
+}
+
+} // namespace
+} // namespace sct::jcvm

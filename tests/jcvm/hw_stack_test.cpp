@@ -1,0 +1,113 @@
+// Slave-adapter tests: SFR accesses restored into stack interface calls.
+#include "jcvm/hw_stack.h"
+
+#include <gtest/gtest.h>
+
+namespace sct::jcvm {
+namespace {
+
+bus::SlaveControl window(bus::Address base = 0x8000) {
+  bus::SlaveControl c;
+  c.base = base;
+  c.size = 0x100;
+  return c;
+}
+
+TEST(HwStackTest, SeparateOrganizationPushPop) {
+  FunctionalStack backend;
+  HwStackSlave hw("hw", window(), SfrOrganization::Separate, backend);
+  EXPECT_EQ(hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF, 41),
+            bus::BusStatus::Ok);
+  EXPECT_EQ(hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF, 42),
+            bus::BusStatus::Ok);
+  bus::Word depth = 0;
+  hw.readBeat(0x8008, bus::AccessSize::Word, depth);
+  EXPECT_EQ(depth, 2u);
+  bus::Word v = 0;
+  hw.readBeat(0x8004, bus::AccessSize::Word, v);
+  EXPECT_EQ(v, 42u);
+  hw.readBeat(0x8004, bus::AccessSize::Word, v);
+  EXPECT_EQ(v, 41u);
+}
+
+TEST(HwStackTest, CombinedOrganizationSharesDataRegister) {
+  FunctionalStack backend;
+  HwStackSlave hw("hw", window(), SfrOrganization::Combined, backend);
+  hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF, 7);
+  bus::Word status = 0;
+  hw.readBeat(0x8004, bus::AccessSize::Word, status);
+  EXPECT_EQ(status & 0xFF, 1u);
+  bus::Word v = 0;
+  hw.readBeat(0x8000, bus::AccessSize::Word, v);
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(HwStackTest, PackedPairTransfersKeepOrder) {
+  FunctionalStack backend;
+  HwStackSlave hw("hw", window(), SfrOrganization::Packed, backend);
+  // Pair write: low short pushed first, high ends on top.
+  hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF,
+               (bus::Word{0x0022} << 16) | 0x0011);
+  EXPECT_EQ(backend.depth(), 2u);
+  // Pair read: top in the high half.
+  bus::Word v = 0;
+  hw.readBeat(0x8000, bus::AccessSize::Word, v);
+  EXPECT_EQ(v >> 16, 0x0022u);
+  EXPECT_EQ(v & 0xFFFF, 0x0011u);
+  EXPECT_EQ(backend.depth(), 0u);
+}
+
+TEST(HwStackTest, PackedSingleFallbackRegister) {
+  FunctionalStack backend;
+  HwStackSlave hw("hw", window(), SfrOrganization::Packed, backend);
+  hw.writeBeat(0x8004, bus::AccessSize::Word, 0xF, 99);
+  EXPECT_EQ(backend.depth(), 1u);
+  bus::Word v = 0;
+  hw.readBeat(0x8004, bus::AccessSize::Word, v);
+  EXPECT_EQ(v, 99u);
+}
+
+TEST(HwStackTest, NegativeShortsRoundTrip) {
+  FunctionalStack backend;
+  HwStackSlave hw("hw", window(), SfrOrganization::Combined, backend);
+  hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF, 0xFFFB);  // -5.
+  JcShort popped = 0;
+  backend.pop(popped);
+  EXPECT_EQ(popped, -5);
+}
+
+TEST(HwStackTest, UnderflowSetsStatusFlag) {
+  FunctionalStack backend;
+  HwStackSlave hw("hw", window(), SfrOrganization::Combined, backend);
+  bus::Word v = 0;
+  hw.readBeat(0x8000, bus::AccessSize::Word, v);  // Pop empty stack.
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(hw.underflowSeen());
+  bus::Word status = 0;
+  hw.readBeat(0x8004, bus::AccessSize::Word, status);
+  EXPECT_TRUE(status & kHwStackErrUnderflow);
+}
+
+TEST(HwStackTest, OverflowSetsStatusFlag) {
+  FunctionalStack backend(2);
+  HwStackSlave hw("hw", window(), SfrOrganization::Combined, backend);
+  hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF, 1);
+  hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF, 2);
+  hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF, 3);
+  EXPECT_TRUE(hw.overflowSeen());
+}
+
+TEST(HwStackTest, ResetClearsStackAndFlags) {
+  FunctionalStack backend;
+  HwStackSlave hw("hw", window(), SfrOrganization::Combined, backend);
+  hw.writeBeat(0x8000, bus::AccessSize::Word, 0xF, 5);
+  bus::Word v = 0;
+  hw.readBeat(0x8000, bus::AccessSize::Word, v);
+  hw.readBeat(0x8000, bus::AccessSize::Word, v);  // Underflow.
+  hw.writeBeat(0x8008, bus::AccessSize::Word, 0xF, 1);  // CTRL reset.
+  EXPECT_EQ(backend.depth(), 0u);
+  EXPECT_FALSE(hw.underflowSeen());
+}
+
+} // namespace
+} // namespace sct::jcvm

@@ -1,0 +1,252 @@
+#include "jcvm/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "jcvm/applets.h"
+
+namespace sct::jcvm {
+namespace {
+
+struct VmFixture : ::testing::Test {
+  FunctionalStack stack;
+  Firewall firewall;
+
+  JcShort runProgram(const JcProgram& p, std::vector<JcShort> args = {},
+                     bool expectOk = true,
+                     VmError expectedError = VmError::None) {
+    MemoryManager memory(p.staticFieldCount);
+    Interpreter vm(p, stack, memory, firewall);
+    const bool ok = vm.run(args);
+    EXPECT_EQ(ok, expectOk);
+    EXPECT_EQ(vm.error(), expectedError);
+    return vm.result();
+  }
+};
+
+JcProgram singleMethod(const std::function<void(ProgramBuilder&)>& body,
+                       std::uint8_t args = 0, std::uint8_t locals = 4) {
+  ProgramBuilder b;
+  b.beginMethod("m", args, locals);
+  body(b);
+  b.endMethod();
+  return b.build();
+}
+
+TEST_F(VmFixture, ArithmeticChain) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.emitS8(Bc::Bspush, 6);
+    b.emitS8(Bc::Bspush, 7);
+    b.emit(Bc::Smul);     // 42
+    b.emitS8(Bc::Bspush, 2);
+    b.emit(Bc::Sdiv);     // 21
+    b.emitS8(Bc::Bspush, 9);
+    b.emit(Bc::Ssub);     // 12
+    b.emit(Bc::Sneg);     // -12
+    b.emit(Bc::Sreturn);
+  });
+  EXPECT_EQ(runProgram(p), -12);
+}
+
+TEST_F(VmFixture, BitwiseAndShifts) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.emitS16(Bc::Sspush, 0x0F0F);
+    b.emitS16(Bc::Sspush, 0x00FF);
+    b.emit(Bc::Sand);     // 0x000F
+    b.emitS8(Bc::Bspush, 4);
+    b.emit(Bc::Sshl);     // 0x00F0
+    b.emitS16(Bc::Sspush, 0x0F00);
+    b.emit(Bc::Sor);      // 0x0FF0
+    b.emitS16(Bc::Sspush, 0x0110);
+    b.emit(Bc::Sxor);     // 0x0EE0
+    b.emit(Bc::Sreturn);
+  });
+  EXPECT_EQ(runProgram(p), 0x0EE0);
+}
+
+TEST_F(VmFixture, DupSwapPop) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.emitS8(Bc::Bspush, 3);
+    b.emitS8(Bc::Bspush, 5);
+    b.emit(Bc::Swap);     // 5, 3 (3 on top)
+    b.emit(Bc::Dup);      // 5, 3, 3
+    b.emit(Bc::Sadd);     // 5, 6
+    b.emit(Bc::Smul);     // 30
+    b.emit(Bc::Sreturn);
+  });
+  EXPECT_EQ(runProgram(p), 30);
+}
+
+TEST_F(VmFixture, LocalsAndSinc) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.emitS8(Bc::Bspush, 10);
+    b.emitU8(Bc::Sstore, 1);
+    b.sinc(1, 5);
+    b.sinc(1, -3);
+    b.emitU8(Bc::Sload, 1);
+    b.emit(Bc::Sreturn);
+  });
+  EXPECT_EQ(runProgram(p), 12);
+}
+
+TEST_F(VmFixture, SumLoopApplet) {
+  EXPECT_EQ(runProgram(applets::sumLoop(), {10}), 55);
+  EXPECT_EQ(runProgram(applets::sumLoop(), {100}), 5050);
+  EXPECT_EQ(runProgram(applets::sumLoop(), {0}), 0);
+}
+
+TEST_F(VmFixture, FibonacciApplet) {
+  EXPECT_EQ(runProgram(applets::fibonacci(), {0}), 0);
+  EXPECT_EQ(runProgram(applets::fibonacci(), {1}), 1);
+  EXPECT_EQ(runProgram(applets::fibonacci(), {10}), 55);
+  EXPECT_EQ(runProgram(applets::fibonacci(), {20}), 6765);
+}
+
+TEST_F(VmFixture, WalletCreditAndDebit) {
+  EXPECT_EQ(runProgram(applets::wallet(100, 1000), {1, 50}), 150);
+  EXPECT_EQ(runProgram(applets::wallet(100, 1000), {2, 30}), 70);
+  // Credit clamps at the limit.
+  EXPECT_EQ(runProgram(applets::wallet(900, 1000), {1, 500}), 1000);
+  // Overdraft refused.
+  EXPECT_EQ(runProgram(applets::wallet(10, 1000), {2, 50}), 10);
+}
+
+TEST_F(VmFixture, ArrayChecksumApplet) {
+  // sum of i*i for i in 0..5 = 0+1+4+9+16+25 = 55.
+  EXPECT_EQ(runProgram(applets::arrayChecksum(), {6}), 55);
+}
+
+TEST_F(VmFixture, GcdApplet) {
+  EXPECT_EQ(runProgram(applets::gcd(), {48, 36}), 12);
+  EXPECT_EQ(runProgram(applets::gcd(), {17, 5}), 1);
+  EXPECT_EQ(runProgram(applets::gcd(), {100, 0}), 100);
+  EXPECT_EQ(runProgram(applets::gcd(), {7, 7}), 7);
+}
+
+TEST_F(VmFixture, BubbleSortApplet) {
+  // Descending fill n..1, sorted ascending: arr[k] == k + 1.
+  EXPECT_EQ(runProgram(applets::bubbleSort(), {8, 0}), 1);
+  EXPECT_EQ(runProgram(applets::bubbleSort(), {8, 7}), 8);
+  EXPECT_EQ(runProgram(applets::bubbleSort(), {8, 3}), 4);
+  EXPECT_EQ(runProgram(applets::bubbleSort(), {1, 0}), 1);
+}
+
+TEST_F(VmFixture, FirewallViolationIsTrapped) {
+  runProgram(applets::firewallViolator(), {}, false,
+             VmError::FirewallViolation);
+  EXPECT_GT(firewall.violations(), 0u);
+}
+
+TEST_F(VmFixture, DivisionByZeroFaults) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.emitS8(Bc::Bspush, 1);
+    b.emitS8(Bc::Bspush, 0);
+    b.emit(Bc::Sdiv);
+    b.emit(Bc::Sreturn);
+  });
+  runProgram(p, {}, false, VmError::ArithmeticError);
+}
+
+TEST_F(VmFixture, StackUnderflowFaults) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.emit(Bc::Pop);
+    b.emit(Bc::Return);
+  });
+  runProgram(p, {}, false, VmError::StackUnderflow);
+}
+
+TEST_F(VmFixture, BadLocalIndexFaults) {
+  const auto p = singleMethod(
+      [](ProgramBuilder& b) {
+        b.emitU8(Bc::Sload, 9);
+        b.emit(Bc::Sreturn);
+      },
+      0, 2);
+  runProgram(p, {}, false, VmError::BadLocalIndex);
+}
+
+TEST_F(VmFixture, ArrayBoundsFault) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.emitS8(Bc::Bspush, 4);
+    b.emit(Bc::Newarray);
+    b.emitS8(Bc::Bspush, 7);   // Index out of bounds.
+    b.emit(Bc::Saload);
+    b.emit(Bc::Sreturn);
+  });
+  runProgram(p, {}, false, VmError::ArrayIndexOutOfBounds);
+}
+
+TEST_F(VmFixture, NullArrayFault) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.emitS8(Bc::Bspush, 0);  // Null reference.
+    b.emitS8(Bc::Bspush, 0);
+    b.emit(Bc::Saload);
+    b.emit(Bc::Sreturn);
+  });
+  runProgram(p, {}, false, VmError::NullOrBadArray);
+}
+
+TEST_F(VmFixture, InfiniteLoopHitsStepLimit) {
+  const auto p = singleMethod([](ProgramBuilder& b) {
+    b.defineLabel("spin");
+    b.branch(Bc::Goto, "spin");
+  });
+  MemoryManager memory(0);
+  Interpreter vm(p, stack, memory, firewall);
+  EXPECT_FALSE(vm.run({}, /*maxSteps=*/1000));
+  EXPECT_EQ(vm.error(), VmError::StepLimitExceeded);
+}
+
+TEST_F(VmFixture, NestedInvocationReturnsThroughStack) {
+  ProgramBuilder b;
+  b.beginMethod("entry", 1, 1);
+  b.emitU8(Bc::Sload, 0);
+  b.invoke(1, 1);            // triple(x)
+  b.emitS8(Bc::Bspush, 1);
+  b.emit(Bc::Sadd);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  b.beginMethod("triple", 1, 1);
+  b.emitU8(Bc::Sload, 0);
+  b.emitS8(Bc::Bspush, 3);
+  b.emit(Bc::Smul);
+  b.emit(Bc::Sreturn);
+  b.endMethod();
+  const auto p = b.build();
+  EXPECT_EQ(runProgram(p, {5}), 16);
+}
+
+TEST_F(VmFixture, CallDepthLimitFaults) {
+  ProgramBuilder b;
+  b.beginMethod("recurse", 0, 0);
+  b.invoke(0, 0);
+  b.emit(Bc::Return);
+  b.endMethod();
+  const auto p = b.build();
+  MemoryManager memory(0);
+  Interpreter vm(p, stack, memory, firewall, /*maxCallDepth=*/8);
+  EXPECT_FALSE(vm.run());
+  EXPECT_EQ(vm.error(), VmError::CallDepthExceeded);
+}
+
+TEST_F(VmFixture, StatsCountActivity) {
+  const auto p = applets::sumLoop();
+  MemoryManager memory(p.staticFieldCount);
+  Interpreter vm(p, stack, memory, firewall);
+  ASSERT_TRUE(vm.run({20}));
+  EXPECT_GT(vm.stats().bytecodesExecuted, 100u);
+  EXPECT_GT(vm.stats().stackOps, 100u);
+  EXPECT_GT(vm.stats().branchesTaken, 19u);
+}
+
+TEST_F(VmFixture, StackIsResetBetweenRuns) {
+  const auto p = applets::sumLoop();
+  MemoryManager memory(p.staticFieldCount);
+  Interpreter vm(p, stack, memory, firewall);
+  ASSERT_TRUE(vm.run({5}));
+  ASSERT_TRUE(vm.run({7}));
+  EXPECT_EQ(vm.result(), 28);
+  EXPECT_EQ(stack.depth(), 0u);
+}
+
+} // namespace
+} // namespace sct::jcvm

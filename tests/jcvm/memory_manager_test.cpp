@@ -1,0 +1,104 @@
+#include "jcvm/memory_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace sct::jcvm {
+namespace {
+
+TEST(MemoryManagerTest, StaticFieldsReadWrite) {
+  MemoryManager m(4);
+  EXPECT_EQ(m.staticFieldCount(), 4u);
+  EXPECT_TRUE(m.writeStatic(2, -77));
+  JcShort v = 0;
+  EXPECT_TRUE(m.readStatic(2, v));
+  EXPECT_EQ(v, -77);
+  EXPECT_FALSE(m.readStatic(4, v));
+  EXPECT_FALSE(m.writeStatic(9, 1));
+}
+
+TEST(MemoryManagerTest, ArrayAllocationAndAccess) {
+  MemoryManager m(0, 64);
+  const ArrayRef a = m.allocArray(10, 1);
+  ASSERT_NE(a, 0);
+  std::uint16_t len = 0;
+  EXPECT_TRUE(m.arrayLength(a, len));
+  EXPECT_EQ(len, 10u);
+  EXPECT_EQ(m.arrayOwner(a), 1u);
+  EXPECT_TRUE(m.writeArray(a, 9, 42));
+  JcShort v = 0;
+  EXPECT_TRUE(m.readArray(a, 9, v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(m.readArray(a, 10, v));
+  EXPECT_FALSE(m.writeArray(a, 10, 0));
+}
+
+TEST(MemoryManagerTest, ArraysAreZeroInitialized) {
+  MemoryManager m(0, 64);
+  const ArrayRef a = m.allocArray(8, 0);
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    JcShort v = 1;
+    EXPECT_TRUE(m.readArray(a, i, v));
+    EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(MemoryManagerTest, HeapExhaustionReturnsNull) {
+  MemoryManager m(0, 16);
+  EXPECT_NE(m.allocArray(10, 0), 0);
+  EXPECT_EQ(m.allocArray(10, 0), 0);  // 10 + 10 > 16.
+  EXPECT_NE(m.allocArray(6, 0), 0);
+  EXPECT_EQ(m.heapUsedShorts(), 16u);
+}
+
+TEST(MemoryManagerTest, ZeroLengthAllocationRejected) {
+  MemoryManager m(0, 16);
+  EXPECT_EQ(m.allocArray(0, 0), 0);
+}
+
+TEST(MemoryManagerTest, NullRefQueries) {
+  MemoryManager m(0, 16);
+  std::uint16_t len = 0;
+  EXPECT_FALSE(m.arrayLength(0, len));
+  JcShort v = 0;
+  EXPECT_FALSE(m.readArray(0, 0, v));
+  EXPECT_EQ(m.arrayOwner(0), kJcreContext);
+}
+
+TEST(MemoryManagerTest, MultipleArraysAreDisjoint) {
+  MemoryManager m(0, 64);
+  const ArrayRef a = m.allocArray(4, 0);
+  const ArrayRef b = m.allocArray(4, 0);
+  m.writeArray(a, 0, 11);
+  m.writeArray(b, 0, 22);
+  JcShort va = 0;
+  JcShort vb = 0;
+  m.readArray(a, 0, va);
+  m.readArray(b, 0, vb);
+  EXPECT_EQ(va, 11);
+  EXPECT_EQ(vb, 22);
+}
+
+TEST(FirewallTest, SharedContextIsAlwaysAccessible) {
+  Firewall f;
+  EXPECT_TRUE(f.allows(5, kJcreContext));
+  EXPECT_TRUE(f.allows(kJcreContext, kJcreContext));
+}
+
+TEST(FirewallTest, CrossContextDenied) {
+  Firewall f;
+  EXPECT_TRUE(f.allows(1, 1));
+  EXPECT_FALSE(f.allows(1, 2));
+  EXPECT_FALSE(f.allows(2, 1));
+}
+
+TEST(FirewallTest, CountersTrackChecks) {
+  Firewall f;
+  f.recordCheck(true);
+  f.recordCheck(false);
+  f.recordCheck(true);
+  EXPECT_EQ(f.checks(), 3u);
+  EXPECT_EQ(f.violations(), 1u);
+}
+
+} // namespace
+} // namespace sct::jcvm

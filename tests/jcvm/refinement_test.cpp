@@ -1,0 +1,199 @@
+// Communication-refinement tests: the interpreter must behave
+// identically whether the operand stack is the functional model or the
+// hardware stack reached through the master adapter and the TLM bus —
+// and the exploration harness must expose the cost differences between
+// interface alternatives (paper, Section 4.3).
+#include <gtest/gtest.h>
+
+#include "../testbench.h"
+#include "bus/tl1_bus.h"
+#include "jcvm/applets.h"
+#include "jcvm/exploration.h"
+#include "jcvm/master_adapter.h"
+#include "power/characterizer.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "trace/workloads.h"
+
+namespace sct::jcvm {
+namespace {
+
+const power::SignalEnergyTable& table() {
+  static const power::SignalEnergyTable t = [] {
+    testbench::RefBench tb;
+    power::Characterizer ch(testbench::energyModel());
+    tb.bus.addFrameListener(ch);
+    tb.run(trace::characterizationTrace(1234, 800,
+                                        testbench::bothRegions()));
+    return ch.buildTable();
+  }();
+  return t;
+}
+
+struct AdapterFixture : ::testing::Test {
+  sim::Kernel kernel;
+  sim::Clock clk{kernel, "clk", 10};
+  bus::Tl1Bus bus{clk, "ecbus"};
+  FunctionalStack backend;
+
+  HwStackMasterAdapter makeAdapter(SfrOrganization org,
+                                   HwStackSlave& slave) {
+    bus.attach(slave);
+    HwStackMasterAdapter::Config c;
+    c.base = slave.control().base;
+    c.organization = org;
+    return HwStackMasterAdapter(clk, bus, c);
+  }
+
+  bus::SlaveControl window() {
+    bus::SlaveControl c;
+    c.base = 0x9000;
+    c.size = 0x100;
+    return c;
+  }
+};
+
+TEST_F(AdapterFixture, PushPopThroughTheBus) {
+  HwStackSlave hw("hw", window(), SfrOrganization::Combined, backend);
+  auto adapter = makeAdapter(SfrOrganization::Combined, hw);
+  EXPECT_TRUE(adapter.push(123));
+  EXPECT_TRUE(adapter.push(-45));
+  EXPECT_EQ(adapter.depth(), 2u);
+  EXPECT_EQ(backend.depth(), 2u);  // Really landed in the HW stack.
+  JcShort v = 0;
+  EXPECT_TRUE(adapter.pop(v));
+  EXPECT_EQ(v, -45);
+  EXPECT_TRUE(adapter.pop(v));
+  EXPECT_EQ(v, 123);
+  EXPECT_EQ(adapter.transport().busTransactions, 4u);
+  EXPECT_GT(adapter.transport().busCycles, 0u);
+}
+
+TEST_F(AdapterFixture, UnderflowDetectedWithoutBusTraffic) {
+  HwStackSlave hw("hw", window(), SfrOrganization::Combined, backend);
+  auto adapter = makeAdapter(SfrOrganization::Combined, hw);
+  JcShort v = 0;
+  EXPECT_FALSE(adapter.pop(v));
+  EXPECT_EQ(adapter.transport().busTransactions, 0u);
+  EXPECT_EQ(adapter.stats().underflowAttempts, 1u);
+}
+
+TEST_F(AdapterFixture, PackedModeHalvesTransactions) {
+  HwStackSlave hw("hw", window(), SfrOrganization::Packed, backend);
+  auto adapter = makeAdapter(SfrOrganization::Packed, hw);
+  for (JcShort i = 0; i < 8; ++i) adapter.push(i);
+  JcShort v = 0;
+  JcShort sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(adapter.pop(v));
+    sum = static_cast<JcShort>(sum + v);
+  }
+  EXPECT_EQ(sum, 28);
+  // 8 pushes + 8 pops through pair transfers: well under 16 singles.
+  EXPECT_LT(adapter.transport().busTransactions, 10u);
+}
+
+TEST_F(AdapterFixture, PackedModePreservesLifoOrder) {
+  HwStackSlave hw("hw", window(), SfrOrganization::Packed, backend);
+  auto adapter = makeAdapter(SfrOrganization::Packed, hw);
+  // Interleave pushes and pops to stress the held-value window.
+  adapter.push(1);
+  adapter.push(2);
+  adapter.push(3);
+  JcShort v = 0;
+  adapter.pop(v);
+  EXPECT_EQ(v, 3);
+  adapter.push(4);
+  adapter.push(5);
+  const JcShort expect[] = {5, 4, 2, 1};
+  for (JcShort e : expect) {
+    ASSERT_TRUE(adapter.pop(v));
+    EXPECT_EQ(v, e);
+  }
+  EXPECT_EQ(adapter.depth(), 0u);
+}
+
+TEST_F(AdapterFixture, StatusPollCostsExtraTransactions) {
+  HwStackSlave hw("hw", window(), SfrOrganization::Combined, backend);
+  bus.attach(hw);
+  HwStackMasterAdapter::Config c;
+  c.base = 0x9000;
+  c.organization = SfrOrganization::Combined;
+  c.shadowDepth = false;
+  HwStackMasterAdapter adapter(clk, bus, c);
+  adapter.push(1);
+  const auto before = adapter.transport().busTransactions;
+  adapter.depth();
+  EXPECT_EQ(adapter.transport().busTransactions, before + 1);
+}
+
+class OrgParamTest : public ::testing::TestWithParam<SfrOrganization> {};
+
+TEST_P(OrgParamTest, RefinedInterpreterMatchesFunctionalModel) {
+  // The headline refinement property: same applet, same results,
+  // through every SFR organization.
+  const struct {
+    JcProgram program;
+    std::vector<JcShort> args;
+  } cases[] = {
+      {applets::sumLoop(), {25}},
+      {applets::fibonacci(), {15}},
+      {applets::wallet(100, 500), {1, 77}},
+      {applets::arrayChecksum(), {9}},
+  };
+  for (const auto& tc : cases) {
+    const auto functional = evaluateFunctional(tc.program, tc.args);
+    InterfaceConfig cfg;
+    cfg.name = "test";
+    cfg.organization = GetParam();
+    const auto refined =
+        evaluateInterface(tc.program, tc.args, cfg, table());
+    ASSERT_TRUE(functional.ok);
+    ASSERT_TRUE(refined.ok);
+    EXPECT_EQ(refined.result, functional.result);
+    EXPECT_EQ(refined.bytecodes, functional.bytecodes);
+    EXPECT_GT(refined.busTransactions, 0u);
+    EXPECT_GT(refined.energy_fJ, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Organizations, OrgParamTest,
+                         ::testing::Values(SfrOrganization::Separate,
+                                           SfrOrganization::Combined,
+                                           SfrOrganization::Packed));
+
+TEST(ExplorationTest, PackedBeatsSeparateOnStackyWorkload) {
+  const auto program = applets::sumLoop();
+  InterfaceConfig separate;
+  separate.organization = SfrOrganization::Separate;
+  InterfaceConfig packed;
+  packed.organization = SfrOrganization::Packed;
+  const auto rSep = evaluateInterface(program, {40}, separate, table());
+  const auto rPack = evaluateInterface(program, {40}, packed, table());
+  EXPECT_LT(rPack.busTransactions, rSep.busTransactions);
+  EXPECT_LT(rPack.energy_fJ, rSep.energy_fJ);
+  EXPECT_LT(rPack.busCycles, rSep.busCycles);
+}
+
+TEST(ExplorationTest, SlowSlaveCostsCyclesNotTransactions) {
+  const auto program = applets::fibonacci();
+  InterfaceConfig fast;
+  InterfaceConfig slow;
+  slow.slaveDataWait = 3;
+  const auto rFast = evaluateInterface(program, {12}, fast, table());
+  const auto rSlow = evaluateInterface(program, {12}, slow, table());
+  EXPECT_EQ(rFast.busTransactions, rSlow.busTransactions);
+  EXPECT_GT(rSlow.busCycles, rFast.busCycles);
+}
+
+TEST(ExplorationTest, DefaultSpaceEvaluatesCleanly) {
+  const auto program = applets::wallet(50, 200);
+  for (const InterfaceConfig& cfg : defaultConfigSpace()) {
+    const auto r = evaluateInterface(program, {1, 25}, cfg, table());
+    EXPECT_TRUE(r.ok) << cfg.name;
+    EXPECT_EQ(r.result, 75) << cfg.name;
+  }
+}
+
+} // namespace
+} // namespace sct::jcvm

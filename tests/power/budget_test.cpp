@@ -1,0 +1,78 @@
+#include "power/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace sct::power {
+namespace {
+
+PowerProfile flatProfile(std::size_t cycles, double fJPerCycle,
+                         sim::Time periodPs = 30'000) {
+  PowerProfile p(periodPs);
+  for (std::size_t i = 0; i < cycles; ++i) {
+    p.addSample(i, fJPerCycle);
+  }
+  return p;
+}
+
+TEST(BudgetTest, PresetsMatchTheStandards) {
+  EXPECT_DOUBLE_EQ(gsm5V().maxPower_uW(), 50'000.0);  // 10 mA x 5 V.
+  EXPECT_DOUBLE_EQ(iso7816Class3V().maxPower_uW(), 22'500.0);
+  EXPECT_NEAR(contactless().maxPower_uW(), 5'100.0, 1.0);
+}
+
+TEST(BudgetTest, FlatProfileCurrents) {
+  // 300 fJ per 30000 ps cycle = 0.01 µW bus share; x120 chip scale =
+  // 1.2 µW; at 5 V that is 0.24 µA.
+  const PowerProfile p = flatProfile(256, 300.0);
+  BudgetChecker checker(gsm5V(), 120.0);
+  const BudgetReport r = checker.check(p, 64);
+  EXPECT_NEAR(r.meanCurrent_mA, 0.00024, 1e-6);
+  EXPECT_NEAR(r.peakCurrent_mA, 0.00024, 1e-6);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(r.headroom, 1000.0);
+  EXPECT_EQ(r.totalWindows, 4u);
+}
+
+TEST(BudgetTest, ViolationsAreCounted) {
+  // A profile with one hot window: 5 mW-equivalent bus activity.
+  PowerProfile p(30'000);
+  for (std::size_t i = 0; i < 128; ++i) {
+    // Window 1 (samples 64..127) burns 100x more.
+    p.addSample(i, i < 64 ? 100.0 : 3'000'000.0);
+  }
+  BudgetChecker checker(contactless(), 120.0);
+  const BudgetReport r = checker.check(p, 64);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.violatingWindows, 1u);
+  EXPECT_EQ(r.totalWindows, 2u);
+  EXPECT_LT(r.headroom, 1.0);
+}
+
+TEST(BudgetTest, PeakWindowDominatesMean) {
+  PowerProfile p(30'000);
+  for (std::size_t i = 0; i < 128; ++i) {
+    p.addSample(i, i < 64 ? 0.0 : 1000.0);
+  }
+  BudgetChecker checker(gsm5V(), 1.0);
+  const BudgetReport r = checker.check(p, 64);
+  EXPECT_GT(r.peakCurrent_mA, r.meanCurrent_mA * 1.9);
+}
+
+TEST(BudgetTest, EmptyProfileIsSafe) {
+  PowerProfile p(30'000);
+  BudgetChecker checker(gsm5V());
+  const BudgetReport r = checker.check(p);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.totalWindows, 0u);
+}
+
+TEST(BudgetTest, ChipScaleScalesLinearly) {
+  const PowerProfile p = flatProfile(64, 500.0);
+  const BudgetReport a = BudgetChecker(gsm5V(), 100.0).check(p, 64);
+  const BudgetReport b = BudgetChecker(gsm5V(), 200.0).check(p, 64);
+  EXPECT_NEAR(b.meanCurrent_mA, 2.0 * a.meanCurrent_mA, 1e-12);
+  EXPECT_NEAR(b.peakCurrent_mA, 2.0 * a.peakCurrent_mA, 1e-12);
+}
+
+} // namespace
+} // namespace sct::power

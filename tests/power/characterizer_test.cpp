@@ -1,0 +1,88 @@
+#include "power/characterizer.h"
+
+#include <gtest/gtest.h>
+
+#include "../testbench.h"
+#include "trace/workloads.h"
+
+namespace sct::power {
+namespace {
+
+using bus::SignalId;
+using testbench::RefBench;
+
+TEST(CharacterizerTest, ProducesPositiveCoefficientsForActiveSignals) {
+  RefBench tb;
+  Characterizer ch(testbench::energyModel());
+  tb.bus.addFrameListener(ch);
+  const auto regions = testbench::bothRegions();
+  tb.run(trace::characterizationTrace(42, 400, regions));
+
+  const SignalEnergyTable table = ch.buildTable();
+  for (const SignalId id : {SignalId::EB_A, SignalId::EB_RData,
+                            SignalId::EB_WData, SignalId::EB_AValid,
+                            SignalId::EB_ARdy, SignalId::EB_RdVal,
+                            SignalId::EB_WDRdy, SignalId::EB_Last}) {
+    EXPECT_GT(table.coeff_fJ(id), 0.0) << bus::signalName(id);
+  }
+}
+
+TEST(CharacterizerTest, CoefficientAbsorbsCouplingSlopesAndHazards) {
+  // The characterized average must exceed the plain mean ½CV² of the
+  // bundle because it folds in coupling, short-circuit and hazard
+  // energy (the per-cycle baseline deliberately stays out — it has no
+  // transition to be attributed to).
+  RefBench tb;
+  Characterizer ch(testbench::energyModel());
+  tb.bus.addFrameListener(ch);
+  tb.run(trace::characterizationTrace(7, 400, testbench::bothRegions()));
+  const SignalEnergyTable table = ch.buildTable();
+
+  const auto& model = testbench::energyModel();
+  const double meanHalfCV2 =
+      model.halfCV2(testbench::parasitics().bundleCSelf_fF(SignalId::EB_A) /
+                    bus::signalWidth(SignalId::EB_A));
+  EXPECT_GT(table.coeff_fJ(SignalId::EB_A), meanHalfCV2);
+}
+
+TEST(CharacterizerTest, QuietSignalsFallBackToAnalyticEstimate) {
+  RefBench tb;
+  Characterizer ch(testbench::energyModel());
+  tb.bus.addFrameListener(ch);
+  // Read-only workload: EB_WData and EB_WBErr never toggle.
+  trace::MixRatios readsOnly;
+  readsOnly.singleWrite = 0;
+  readsOnly.burstWrite = 0;
+  tb.run(trace::randomMix(1, 100, testbench::bothRegions(), readsOnly));
+  const SignalEnergyTable table = ch.buildTable();
+  EXPECT_EQ(
+      ch.accumulated().transitions[static_cast<std::size_t>(
+          SignalId::EB_WData)],
+      0u);
+  EXPECT_GT(table.coeff_fJ(SignalId::EB_WData), 0.0);
+}
+
+TEST(CharacterizerTest, DeterministicAcrossRuns) {
+  auto runOnce = [] {
+    RefBench tb;
+    Characterizer ch(testbench::energyModel());
+    tb.bus.addFrameListener(ch);
+    tb.run(trace::characterizationTrace(99, 200, testbench::bothRegions()));
+    return ch.buildTable();
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(CharacterizerTest, ResetClearsAccumulation) {
+  RefBench tb;
+  Characterizer ch(testbench::energyModel());
+  tb.bus.addFrameListener(ch);
+  tb.run(trace::characterizationTrace(3, 50, testbench::bothRegions()));
+  EXPECT_GT(ch.accumulated().cycles, 0u);
+  ch.reset();
+  EXPECT_EQ(ch.accumulated().cycles, 0u);
+  EXPECT_DOUBLE_EQ(ch.accumulated().total_fJ, 0.0);
+}
+
+} // namespace
+} // namespace sct::power

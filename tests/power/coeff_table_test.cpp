@@ -1,0 +1,57 @@
+#include "power/coeff_table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sct::power {
+namespace {
+
+using bus::SignalId;
+
+TEST(CoeffTableTest, DefaultsToZero) {
+  SignalEnergyTable t;
+  for (const auto& info : bus::kSignalTable) {
+    EXPECT_DOUBLE_EQ(t.coeff_fJ(info.id), 0.0);
+  }
+}
+
+TEST(CoeffTableTest, SetAndGet) {
+  SignalEnergyTable t;
+  t.setCoeff_fJ(SignalId::EB_A, 123.5);
+  EXPECT_DOUBLE_EQ(t.coeff_fJ(SignalId::EB_A), 123.5);
+  EXPECT_DOUBLE_EQ(t.energyFor(SignalId::EB_A, 4), 494.0);
+}
+
+TEST(CoeffTableTest, SaveLoadRoundTrip) {
+  SignalEnergyTable t;
+  double v = 10.0;
+  for (const auto& info : bus::kSignalTable) {
+    t.setCoeff_fJ(info.id, v);
+    v += 3.25;
+  }
+  std::stringstream ss;
+  t.save(ss);
+  const SignalEnergyTable loaded = SignalEnergyTable::load(ss);
+  EXPECT_EQ(t, loaded);
+}
+
+TEST(CoeffTableTest, LoadSkipsCommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\nEB_A 42.5\n");
+  const SignalEnergyTable t = SignalEnergyTable::load(ss);
+  EXPECT_DOUBLE_EQ(t.coeff_fJ(SignalId::EB_A), 42.5);
+  EXPECT_DOUBLE_EQ(t.coeff_fJ(SignalId::EB_RData), 0.0);
+}
+
+TEST(CoeffTableTest, LoadRejectsUnknownSignal) {
+  std::stringstream ss("EB_BOGUS 1.0\n");
+  EXPECT_THROW(SignalEnergyTable::load(ss), std::runtime_error);
+}
+
+TEST(CoeffTableTest, LoadRejectsMalformedLine) {
+  std::stringstream ss("EB_A notanumber\n");
+  EXPECT_THROW(SignalEnergyTable::load(ss), std::runtime_error);
+}
+
+} // namespace
+} // namespace sct::power

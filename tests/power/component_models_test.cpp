@@ -1,0 +1,110 @@
+#include "power/component_models.h"
+
+#include <gtest/gtest.h>
+
+#include "../testbench.h"
+#include "bus/tl1_bus.h"
+#include "power/characterizer.h"
+#include "power/tl1_power_model.h"
+#include "soc/assembler.h"
+#include "soc/smartcard.h"
+#include "trace/workloads.h"
+
+namespace sct::power {
+namespace {
+
+const SignalEnergyTable& table() {
+  static const SignalEnergyTable t = [] {
+    testbench::RefBench tb;
+    Characterizer ch(testbench::energyModel());
+    tb.bus.addFrameListener(ch);
+    tb.run(trace::characterizationTrace(1234, 500,
+                                        testbench::bothRegions()));
+    return ch.buildTable();
+  }();
+  return t;
+}
+
+TEST(ComponentModelsTest, CountersDriveTheModels) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  Tl1PowerModel pm(table());
+  card.bus().addObserver(pm);
+  card.loadProgram(soc::assemble(R"(
+    li   $s0, 0x10000300   # TRNG: draw 3 words
+    lw   $t0, 0($s0)
+    lw   $t0, 0($s0)
+    lw   $t0, 0($s0)
+    li   $s0, 0x10000200   # UART: send 2 bytes
+    addiu $t0, $zero, 0x41
+    sw   $t0, 0($s0)
+  w1: lw   $t1, 4($s0)
+    andi $t1, $t1, 1
+    beq  $t1, $zero, w1
+    sw   $t0, 0($s0)
+    break
+  )",
+                                 soc::memmap::kRomBase));
+  ASSERT_TRUE(card.run());
+
+  ComponentCoefficients c;
+  auto report = SocEnergyReport::forSoc(card, pm, c);
+  // 3 TRNG words + 2 UART bytes, no crypto, timers disabled.
+  EXPECT_DOUBLE_EQ(report.componentEnergy_fJ(),
+                   3 * c.trngWord_fJ + 2 * c.uartByte_fJ);
+  EXPECT_GT(report.busEnergy_fJ(), 0.0);
+  EXPECT_DOUBLE_EQ(report.totalEnergy_fJ(),
+                   report.busEnergy_fJ() + report.componentEnergy_fJ());
+}
+
+TEST(ComponentModelsTest, BreakdownSharesSumToOne) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  Tl1PowerModel pm(table());
+  card.bus().addObserver(pm);
+  card.loadProgram(soc::assemble(R"(
+    li   $s0, 0x10000400   # one crypto operation
+    addiu $t0, $zero, 1
+    sw   $t0, 0x18($s0)
+  w:  lw   $t1, 0x1C($s0)
+    bne  $t1, $zero, w
+    break
+  )",
+                                 soc::memmap::kRomBase));
+  ASSERT_TRUE(card.run());
+
+  const auto report = SocEnergyReport::forSoc(card, pm);
+  double shares = 0.0;
+  bool sawCrypto = false;
+  for (const auto& line : report.breakdown()) {
+    shares += line.share;
+    if (line.name == "crypto" && line.energy_fJ > 0.0) sawCrypto = true;
+  }
+  EXPECT_NEAR(shares, 1.0, 1e-9);
+  EXPECT_TRUE(sawCrypto);
+}
+
+TEST(ComponentModelsTest, IntervalInterfaceDeltas) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  ComponentCoefficients c;
+  TrngEnergyModel model(card.trng(), c);
+  EXPECT_DOUBLE_EQ(model.energySinceLastCall_fJ(), 0.0);
+  bus::Word out = 0;
+  card.trng().readBeat(soc::memmap::kTrngBase, bus::AccessSize::Word, out);
+  EXPECT_DOUBLE_EQ(model.energySinceLastCall_fJ(), c.trngWord_fJ);
+  EXPECT_DOUBLE_EQ(model.energySinceLastCall_fJ(), 0.0);
+}
+
+TEST(ComponentModelsTest, TimerTicksAccumulateEnergy) {
+  soc::SmartCardSoC<bus::Tl1Bus> card{soc::SocConfig{}};
+  ComponentCoefficients c;
+  TimerEnergyModel model(card.timer(), c);
+  bus::Word unused = 0;
+  (void)unused;
+  // Enable the timer directly and run some cycles.
+  card.timer().writeBeat(soc::memmap::kTimerBase + 8, bus::AccessSize::Word,
+                         0xF, 1);
+  card.clock().runCycles(10);
+  EXPECT_DOUBLE_EQ(model.totalEnergy_fJ(), 10 * c.timerTick_fJ);
+}
+
+} // namespace
+} // namespace sct::power

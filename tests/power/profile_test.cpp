@@ -1,0 +1,82 @@
+#include "power/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "../testbench.h"
+#include "power/characterizer.h"
+#include "trace/workloads.h"
+
+namespace sct::power {
+namespace {
+
+TEST(PowerProfileTest, TotalsAndMeanPower) {
+  PowerProfile p(/*clockPeriodPs=*/10);
+  p.addSample(1, 100.0);
+  p.addSample(2, 300.0);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.total_fJ(), 400.0);
+  // 400 fJ over 2 cycles * 10 ps = 20 µW.
+  EXPECT_DOUBLE_EQ(p.meanPower_uW(), 20.0);
+  EXPECT_DOUBLE_EQ(p.peakPower_uW(), 30.0);
+}
+
+TEST(PowerProfileTest, EmptyProfileIsSafe) {
+  PowerProfile p(10);
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.meanPower_uW(), 0.0);
+  EXPECT_DOUBLE_EQ(p.peakPower_uW(), 0.0);
+  EXPECT_DOUBLE_EQ(p.energyVariance_fJ2(), 0.0);
+}
+
+TEST(PowerProfileTest, WindowedEnergySumsChunks) {
+  PowerProfile p(10);
+  for (int i = 1; i <= 7; ++i) p.addSample(i, 10.0);
+  const auto w = p.windowedEnergy_fJ(3);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 30.0);
+  EXPECT_DOUBLE_EQ(w[1], 30.0);
+  EXPECT_DOUBLE_EQ(w[2], 10.0);  // Tail window.
+  EXPECT_TRUE(p.windowedEnergy_fJ(0).empty());
+}
+
+TEST(PowerProfileTest, VarianceDetectsFlatVsSpiky) {
+  PowerProfile flat(10);
+  PowerProfile spiky(10);
+  for (int i = 0; i < 10; ++i) {
+    flat.addSample(i, 50.0);
+    spiky.addSample(i, i % 2 == 0 ? 0.0 : 100.0);
+  }
+  EXPECT_DOUBLE_EQ(flat.energyVariance_fJ2(), 0.0);
+  EXPECT_GT(spiky.energyVariance_fJ2(), 0.0);
+}
+
+TEST(PowerProfileTest, RecorderCapturesOneSamplePerBusCycle) {
+  testbench::Tl1Bench tb;
+  testbench::RefBench glForTable;
+  Characterizer ch(testbench::energyModel());
+  glForTable.bus.addFrameListener(ch);
+  glForTable.run(trace::characterizationTrace(1, 200,
+                                              testbench::bothRegions()));
+  Tl1PowerModel pm(ch.buildTable());
+  PowerProfile profile(10);
+  Tl1ProfileRecorder rec(pm, profile);
+  tb.bus.addObserver(pm);
+  tb.bus.addObserver(rec);
+
+  const std::uint64_t cycles =
+      tb.run(trace::randomMix(2, 30, testbench::bothRegions()));
+  EXPECT_EQ(profile.size(), cycles);
+  EXPECT_GT(profile.total_fJ(), 0.0);
+  EXPECT_NEAR(profile.total_fJ(), pm.totalEnergy_fJ(), 1e-9);
+}
+
+TEST(PowerProfileTest, ClearResets) {
+  PowerProfile p(10);
+  p.addSample(0, 5.0);
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.total_fJ(), 0.0);
+}
+
+} // namespace
+} // namespace sct::power

@@ -1,0 +1,141 @@
+#include "ref/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace sct::ref {
+namespace {
+
+using bus::SignalFrame;
+using bus::SignalId;
+
+struct EnergyTest : ::testing::Test {
+  ParasiticDb db = ParasiticDb::makeDefault();
+  ProcessParams params;
+  TransitionEnergyModel model{db, params};
+  GlitchCounts noGlitch{};
+};
+
+TEST_F(EnergyTest, QuietCycleCostsOnlyBaseline) {
+  SignalFrame f;
+  const CycleEnergy e = model.cycleEnergy(f, f, noGlitch);
+  EXPECT_NEAR(e.total_fJ, params.baselinePerCycle_fJ, 1e-9);
+}
+
+TEST_F(EnergyTest, BaselineIsSeparateFromSwitching) {
+  SignalFrame f;
+  const CycleEnergy e = model.cycleEnergy(f, f, noGlitch);
+  EXPECT_DOUBLE_EQ(e.baseline_fJ, params.baselinePerCycle_fJ);
+  for (double v : e.perSignal_fJ) {
+    EXPECT_DOUBLE_EQ(v, 0.0);  // No switching on a quiet cycle.
+  }
+}
+
+TEST_F(EnergyTest, MoreTogglesMoreEnergy) {
+  SignalFrame zero;
+  SignalFrame one;
+  one.set(SignalId::EB_RData, 0x1);
+  SignalFrame many;
+  many.set(SignalId::EB_RData, 0xFFFF);
+  const double e1 = model.cycleEnergy(zero, one, noGlitch).total_fJ;
+  const double e16 = model.cycleEnergy(zero, many, noGlitch).total_fJ;
+  EXPECT_GT(e16, e1);
+  // Roughly proportional to the toggle count (within wire variation).
+  EXPECT_GT(e16, 8 * (e1 - params.baselinePerCycle_fJ));
+}
+
+TEST_F(EnergyTest, SwitchingEnergyIsPlausibleHalfCV2) {
+  // One toggle on EB_RData bit 0: ½CV² with C in [180,340] fF at 1.8 V
+  // gives 292..551 fJ before slope/direction factors.
+  SignalFrame zero;
+  SignalFrame one;
+  one.set(SignalId::EB_RData, 0x1);
+  const double e = model.cycleEnergy(zero, one, noGlitch).total_fJ -
+                   params.baselinePerCycle_fJ;
+  EXPECT_GT(e, 200.0);
+  EXPECT_LT(e, 900.0);  // Includes coupling to the quiet neighbour.
+}
+
+TEST_F(EnergyTest, RisingCostsMoreThanFalling) {
+  SignalFrame zero;
+  SignalFrame one;
+  one.set(SignalId::EB_Instr, 1);
+  const double rise = model.cycleEnergy(zero, one, noGlitch).total_fJ;
+  const double fall = model.cycleEnergy(one, zero, noGlitch).total_fJ;
+  EXPECT_GT(rise, fall);
+}
+
+TEST_F(EnergyTest, OppositeToggleOfNeighboursCostsMoreThanSameDirection) {
+  // Bits 0 and 1 of EB_WData: same-direction vs opposite-direction.
+  SignalFrame from;
+  from.set(SignalId::EB_WData, 0b01);
+  SignalFrame sameDir;  // 01 -> 10 is opposite (bit0 falls, bit1 rises).
+  sameDir.set(SignalId::EB_WData, 0b10);
+  SignalFrame bothUpFrom;
+  bothUpFrom.set(SignalId::EB_WData, 0b00);
+  SignalFrame bothUpTo;
+  bothUpTo.set(SignalId::EB_WData, 0b11);
+  const double opposite =
+      model.cycleEnergy(from, sameDir, noGlitch).total_fJ;
+  const double same =
+      model.cycleEnergy(bothUpFrom, bothUpTo, noGlitch).total_fJ;
+  // Opposite transition has 1 rise + 1 fall like... compare coupling:
+  // both cases toggle two wires; the Miller term only hits `opposite`.
+  EXPECT_GT(opposite, same - (params.riseFactor - params.fallFactor) *
+                                 model.halfCV2(340.0));
+}
+
+TEST_F(EnergyTest, GlitchesAddEnergy) {
+  SignalFrame f;
+  GlitchCounts g{};
+  g[static_cast<std::size_t>(SignalId::EB_Sel)] = 3.0;
+  const double quiet = model.cycleEnergy(f, f, noGlitch).total_fJ;
+  const double glitchy = model.cycleEnergy(f, f, g).total_fJ;
+  EXPECT_GT(glitchy, quiet);
+}
+
+TEST_F(EnergyTest, AccumulatorTracksTotalsAndTransitions) {
+  EnergyAccumulator acc;
+  SignalFrame a;
+  SignalFrame b;
+  b.set(SignalId::EB_A, 0xFF);
+  const CycleEnergy e = model.cycleEnergy(a, b, noGlitch);
+  acc.add(e, a, b);
+  acc.add(model.cycleEnergy(b, b, noGlitch), b, b);
+  EXPECT_EQ(acc.cycles, 2u);
+  EXPECT_EQ(acc.transitions[static_cast<std::size_t>(SignalId::EB_A)], 8u);
+  EXPECT_GT(acc.total_fJ, e.total_fJ);
+}
+
+TEST_F(EnergyTest, AccumulatorResolvesTransitionDirections) {
+  EnergyAccumulator acc;
+  SignalFrame a;
+  a.set(SignalId::EB_WData, 0b1100);
+  SignalFrame b;
+  b.set(SignalId::EB_WData, 0b1010);  // Bit1 rises, bit2 falls.
+  acc.add(model.cycleEnergy(a, b, noGlitch), a, b);
+  const auto i = static_cast<std::size_t>(SignalId::EB_WData);
+  EXPECT_EQ(acc.transitions[i], 2u);
+  EXPECT_EQ(acc.risingTransitions[i], 1u);
+  EXPECT_EQ(acc.fallingTransitions[i], 1u);
+  // Rising + falling always equals the total.
+  acc.add(model.cycleEnergy(b, a, noGlitch), b, a);
+  EXPECT_EQ(acc.risingTransitions[i] + acc.fallingTransitions[i],
+            acc.transitions[i]);
+}
+
+TEST_F(EnergyTest, PerSignalSplitsSumToTotal) {
+  SignalFrame a;
+  SignalFrame b;
+  b.set(SignalId::EB_A, 0x123456);
+  b.set(SignalId::EB_WData, 0xDEADBEEF);
+  b.set(SignalId::EB_AValid, 1);
+  GlitchCounts g{};
+  g[static_cast<std::size_t>(SignalId::EB_Sel)] = 1.5;
+  const CycleEnergy e = model.cycleEnergy(a, b, g);
+  double sum = e.baseline_fJ;
+  for (double v : e.perSignal_fJ) sum += v;
+  EXPECT_NEAR(sum, e.total_fJ, 1e-9);
+}
+
+} // namespace
+} // namespace sct::ref

@@ -1,0 +1,79 @@
+#include "ref/parasitics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sct::ref {
+namespace {
+
+using bus::SignalId;
+
+TEST(ParasiticsTest, DeterministicForEqualSeeds) {
+  const ParasiticDb a = ParasiticDb::makeDefault(7);
+  const ParasiticDb b = ParasiticDb::makeDefault(7);
+  for (const auto& info : bus::kSignalTable) {
+    for (unsigned bit = 0; bit < info.width; ++bit) {
+      EXPECT_DOUBLE_EQ(a.wire(info.id, bit).cSelf_fF,
+                       b.wire(info.id, bit).cSelf_fF);
+    }
+  }
+}
+
+TEST(ParasiticsTest, CoversEveryWire) {
+  const ParasiticDb db = ParasiticDb::makeDefault();
+  EXPECT_EQ(db.wireCount(), bus::totalWireCount());
+}
+
+TEST(ParasiticsTest, ValuesWithinGeometryRanges) {
+  const ParasiticDb db = ParasiticDb::makeDefault();
+  for (const auto& info : bus::kSignalTable) {
+    for (unsigned bit = 0; bit < info.width; ++bit) {
+      const WireParasitics& w = db.wire(info.id, bit);
+      EXPECT_GT(w.cSelf_fF, 0.0);
+      EXPECT_LT(w.cSelf_fF, 400.0);
+      EXPECT_GE(w.cCouple_fF, 0.0);
+      EXPECT_GT(w.r_kOhm, 0.0);
+    }
+  }
+}
+
+TEST(ParasiticsTest, LongBusesAreHeavierThanControl) {
+  const ParasiticDb db = ParasiticDb::makeDefault();
+  const double addr = db.bundleCSelf_fF(SignalId::EB_A) /
+                      bus::signalWidth(SignalId::EB_A);
+  const double ctrl = db.bundleCSelf_fF(SignalId::EB_AValid);
+  EXPECT_GT(addr, ctrl);
+}
+
+TEST(ParasiticsTest, LastBitHasNoUpperNeighbourCoupling) {
+  const ParasiticDb db = ParasiticDb::makeDefault();
+  for (const auto& info : bus::kSignalTable) {
+    EXPECT_DOUBLE_EQ(db.wire(info.id, info.width - 1).cCouple_fF, 0.0);
+  }
+}
+
+TEST(ParasiticsTest, OutOfRangeBitThrows) {
+  const ParasiticDb db = ParasiticDb::makeDefault();
+  EXPECT_THROW(db.wire(SignalId::EB_Instr, 1), std::out_of_range);
+  EXPECT_THROW(db.wire(SignalId::EB_A, 36), std::out_of_range);
+}
+
+TEST(ParasiticsTest, SlopeClassFollowsResistance) {
+  const ParasiticDb db = ParasiticDb::makeDefault();
+  for (const auto& info : bus::kSignalTable) {
+    for (unsigned bit = 0; bit < info.width; ++bit) {
+      const WireParasitics& w = db.wire(info.id, bit);
+      if (w.r_kOhm < 0.7) {
+        EXPECT_EQ(w.slope, SlopeClass::Fast);
+      } else if (w.r_kOhm < 1.5) {
+        EXPECT_EQ(w.slope, SlopeClass::Medium);
+      } else {
+        EXPECT_EQ(w.slope, SlopeClass::Slow);
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace sct::ref

@@ -1,0 +1,86 @@
+// Clock re-entrancy and edge cases beyond the basic contract tests.
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+
+namespace sct::sim {
+namespace {
+
+TEST(ClockReentrancyTest, HandlerMayRegisterAnotherHandler) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  int nested = 0;
+  bool registered = false;
+  clk.onRising([&] {
+    if (!registered) {
+      registered = true;
+      clk.onRising([&] { ++nested; });
+    }
+  });
+  clk.runCycles(3);
+  // The nested handler runs on the cycles after its registration.
+  EXPECT_GE(nested, 2);
+}
+
+TEST(ClockReentrancyTest, HandlerMayRemoveALaterHandler) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  int second = 0;
+  Clock::HandlerId secondId = 0;
+  clk.onRising([&] { clk.removeHandler(secondId); });
+  secondId = clk.onRising([&] { ++second; });
+  clk.runCycles(3);
+  // Removed from within the same edge before it ever ran.
+  EXPECT_EQ(second, 0);
+}
+
+TEST(ClockReentrancyTest, KernelDrainsWhenAllHandlersRemoveThemselves) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  Clock::HandlerId a = 0;
+  Clock::HandlerId b = 0;
+  int runsA = 0;
+  int runsB = 0;
+  a = clk.onRising([&] {
+    ++runsA;
+    clk.removeHandler(a);
+  });
+  b = clk.onFalling([&] {
+    ++runsB;
+    clk.removeHandler(b);
+  });
+  k.run();  // Must terminate.
+  EXPECT_EQ(runsA, 1);
+  EXPECT_EQ(runsB, 1);
+  EXPECT_TRUE(k.empty());
+}
+
+TEST(ClockReentrancyTest, HaltInsideHandlerStopsAfterCurrentCycle) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  int rising = 0;
+  int falling = 0;
+  clk.onRising([&] {
+    if (++rising == 2) clk.halt();
+  });
+  clk.onFalling([&] { ++falling; });
+  k.run();
+  EXPECT_EQ(rising, 2);
+  EXPECT_EQ(falling, 2);  // The halting cycle still completes.
+}
+
+TEST(ClockReentrancyTest, TwoClocksShareOneKernel) {
+  Kernel k;
+  Clock fast(k, "fast", 10);
+  Clock slow(k, "slow", 30);
+  int fastTicks = 0;
+  int slowTicks = 0;
+  fast.onRising([&] { ++fastTicks; });
+  slow.onRising([&] { ++slowTicks; });
+  k.runUntil(95);
+  EXPECT_EQ(fastTicks, 9);
+  EXPECT_EQ(slowTicks, 3);
+}
+
+} // namespace
+} // namespace sct::sim

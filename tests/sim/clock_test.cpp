@@ -1,0 +1,129 @@
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace sct::sim {
+namespace {
+
+TEST(ClockTest, RejectsBadPeriods) {
+  Kernel k;
+  EXPECT_THROW(Clock(k, "clk", 0), std::invalid_argument);
+  EXPECT_THROW(Clock(k, "clk", 3), std::invalid_argument);
+}
+
+TEST(ClockTest, RisingThenFallingWithinEachCycle) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  std::vector<char> order;
+  clk.onRising([&] { order.push_back('R'); });
+  clk.onFalling([&] { order.push_back('F'); });
+  clk.runCycles(3);
+  EXPECT_EQ(order, (std::vector<char>{'R', 'F', 'R', 'F', 'R', 'F'}));
+  EXPECT_EQ(clk.cycle(), 3u);
+}
+
+TEST(ClockTest, EdgeTimestampsFollowThePeriod) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  std::vector<Time> rises;
+  std::vector<Time> falls;
+  clk.onRising([&] { rises.push_back(k.now()); });
+  clk.onFalling([&] { falls.push_back(k.now()); });
+  clk.runCycles(3);
+  EXPECT_EQ(rises, (std::vector<Time>{10, 20, 30}));
+  EXPECT_EQ(falls, (std::vector<Time>{15, 25, 35}));
+}
+
+TEST(ClockTest, PriorityOrdersHandlersWithinEdge) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  std::vector<int> order;
+  clk.onRising([&] { order.push_back(2); }, /*priority=*/5);
+  clk.onRising([&] { order.push_back(1); }, /*priority=*/-5);
+  clk.runCycles(1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ClockTest, EqualPriorityKeepsRegistrationOrder) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    clk.onRising([&order, i] { order.push_back(i); });
+  }
+  clk.runCycles(1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ClockTest, RemoveHandlerTakesEffect) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  int a = 0;
+  int b = 0;
+  const auto id = clk.onRising([&] { ++a; });
+  clk.onRising([&] { ++b; });
+  clk.runCycles(2);
+  clk.removeHandler(id);
+  clk.runCycles(2);
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 4);
+}
+
+TEST(ClockTest, RemoveFromInsideHandlerStopsFutureCycles) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  int count = 0;
+  Clock::HandlerId id = 0;
+  id = clk.onRising([&] {
+    ++count;
+    if (count == 3) clk.removeHandler(id);
+  });
+  clk.onFalling([] {});  // Keeps the clock alive independently.
+  clk.runCycles(6);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ClockTest, ClockStopsWhenNoHandlersRemain) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  int count = 0;
+  Clock::HandlerId id = 0;
+  id = clk.onRising([&] {
+    ++count;
+    if (count == 2) clk.removeHandler(id);
+  });
+  k.run();  // Terminates: the clock stops rescheduling itself.
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ClockTest, HaltAndResume) {
+  Kernel k;
+  Clock clk(k, "clk", 10);
+  int count = 0;
+  clk.onRising([&] { ++count; });
+  clk.runCycles(2);
+  clk.halt();
+  k.runUntil(k.now() + 100);
+  EXPECT_EQ(count, 2);
+  clk.resume();
+  clk.runCycles(2);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(ClockTest, RunCyclesCountsWholeCycles) {
+  Kernel k;
+  Clock clk(k, "clk", 8);
+  int rising = 0;
+  int falling = 0;
+  clk.onRising([&] { ++rising; });
+  clk.onFalling([&] { ++falling; });
+  clk.runCycles(5);
+  EXPECT_EQ(rising, 5);
+  EXPECT_EQ(falling, 5);
+}
+
+} // namespace
+} // namespace sct::sim

@@ -1,0 +1,134 @@
+#include "sim/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace sct::sim {
+namespace {
+
+TEST(KernelTest, StartsAtTimeZeroAndEmpty) {
+  Kernel k;
+  EXPECT_EQ(k.now(), 0u);
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.run(), 0u);
+}
+
+TEST(KernelTest, DispatchesInTimestampOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(30, [&] { order.push_back(3); });
+  k.schedule(10, [&] { order.push_back(1); });
+  k.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(k.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), 30u);
+}
+
+TEST(KernelTest, SimultaneousEventsKeepInsertionOrder) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    k.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(KernelTest, PriorityBreaksTimestampTies) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(100, [&] { order.push_back(2); }, /*priority=*/1);
+  k.schedule(100, [&] { order.push_back(1); }, /*priority=*/0);
+  k.schedule(100, [&] { order.push_back(0); }, /*priority=*/-1);
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(KernelTest, CallbacksMayScheduleFurtherEvents) {
+  Kernel k;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 10) k.schedule(5, chain);
+  };
+  k.schedule(0, chain);
+  k.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(k.now(), 45u);
+}
+
+TEST(KernelTest, RunUntilAdvancesTimeWithoutEvents) {
+  Kernel k;
+  EXPECT_EQ(k.runUntil(500), 0u);
+  EXPECT_EQ(k.now(), 500u);
+}
+
+TEST(KernelTest, RunUntilStopsAtBoundary) {
+  Kernel k;
+  int fired = 0;
+  k.schedule(100, [&] { ++fired; });
+  k.schedule(200, [&] { ++fired; });
+  k.schedule(300, [&] { ++fired; });
+  EXPECT_EQ(k.runUntil(200), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(k.now(), 200u);
+  EXPECT_EQ(k.pendingEvents(), 1u);
+}
+
+TEST(KernelTest, StopEndsRunEarly) {
+  Kernel k;
+  int fired = 0;
+  k.schedule(10, [&] {
+    ++fired;
+    k.stop();
+  });
+  k.schedule(20, [&] { ++fired; });
+  k.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.pendingEvents(), 1u);
+  // A fresh run resumes.
+  k.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(KernelTest, StepDispatchesBoundedEventCount) {
+  Kernel k;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) k.schedule(10 * (i + 1), [&] { ++fired; });
+  EXPECT_EQ(k.step(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(k.step(100), 3u);
+}
+
+TEST(KernelTest, SchedulingInThePastThrows) {
+  Kernel k;
+  k.schedule(100, [] {});
+  k.run();
+  EXPECT_THROW(k.scheduleAt(50, [] {}), std::invalid_argument);
+}
+
+TEST(KernelTest, EmptyCallbackThrows) {
+  Kernel k;
+  EXPECT_THROW(k.schedule(10, Kernel::Callback{}), std::invalid_argument);
+}
+
+TEST(KernelTest, ResetClearsQueueAndTime) {
+  Kernel k;
+  k.schedule(100, [] {});
+  k.runUntil(40);
+  k.reset();
+  EXPECT_EQ(k.now(), 0u);
+  EXPECT_TRUE(k.empty());
+}
+
+TEST(KernelTest, DispatchedEventCounterAccumulates) {
+  Kernel k;
+  for (int i = 0; i < 7; ++i) k.schedule(i + 1, [] {});
+  k.run();
+  EXPECT_EQ(k.dispatchedEvents(), 7u);
+}
+
+} // namespace
+} // namespace sct::sim

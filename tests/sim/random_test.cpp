@@ -1,0 +1,64 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace sct::sim {
+namespace {
+
+TEST(RandomTest, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, BelowStaysInBound) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RandomTest, RangeIsInclusive) {
+  Xoshiro256 r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.range(3, 6));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5, 6}));
+}
+
+TEST(RandomTest, ChanceZeroAndCertain) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0, 10));
+    EXPECT_TRUE(r.chance(10, 10));
+  }
+}
+
+TEST(RandomTest, BitsLookBalanced) {
+  Xoshiro256 r(99);
+  std::array<int, 64> ones{};
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t v = r.next();
+    for (int b = 0; b < 64; ++b) {
+      if (v & (std::uint64_t{1} << b)) ++ones[static_cast<std::size_t>(b)];
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_GT(ones[static_cast<std::size_t>(b)], n / 2 - n / 8);
+    EXPECT_LT(ones[static_cast<std::size_t>(b)], n / 2 + n / 8);
+  }
+}
+
+} // namespace
+} // namespace sct::sim

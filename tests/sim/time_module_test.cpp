@@ -1,0 +1,34 @@
+#include <gtest/gtest.h>
+
+#include "sim/module.h"
+#include "sim/time.h"
+
+namespace sct::sim {
+namespace {
+
+TEST(TimeTest, UnitHelpers) {
+  EXPECT_EQ(picoseconds(5), 5u);
+  EXPECT_EQ(nanoseconds(3), 3'000u);
+  EXPECT_EQ(microseconds(2), 2'000'000u);
+  EXPECT_EQ(milliseconds(1), 1'000'000'000u);
+}
+
+TEST(TimeTest, PeriodFromMHz) {
+  EXPECT_EQ(periodFromMHz(1), 1'000'000u);
+  EXPECT_EQ(periodFromMHz(10), 100'000u);
+  EXPECT_EQ(periodFromMHz(50), 20'000u);
+}
+
+TEST(ModuleTest, NameAndKernelBinding) {
+  Kernel k;
+  struct Dummy : Module {
+    using Module::Module;
+  } m(k, "dut.bus");
+  EXPECT_EQ(m.name(), "dut.bus");
+  EXPECT_EQ(&m.kernel(), &k);
+  k.runUntil(123);
+  EXPECT_EQ(m.now(), 123u);
+}
+
+} // namespace
+} // namespace sct::sim

@@ -1,0 +1,141 @@
+// End-to-end APDU session tests: the card applet serving VERIFY /
+// GET CHALLENGE / INTERNAL AUTHENTICATE over the UART.
+#include "soc/apdu.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "bus/tl1_bus.h"
+#include "soc/peripherals.h"
+
+namespace sct::soc::apdu {
+namespace {
+
+using Soc = SmartCardSoC<bus::Tl1Bus>;
+
+constexpr std::uint8_t kPin[4] = {0x12, 0x34, 0x56, 0x78};
+
+struct ApduFixture : ::testing::Test {
+  Soc card{SocConfig{}};
+  Session<Soc> session{card};
+
+  ApduFixture() { card.loadProgram(cardApplet(kPin)); }
+
+  Response verify(const std::vector<std::uint8_t>& pin) {
+    Command cmd;
+    cmd.ins = kInsVerify;
+    cmd.data = pin;
+    Response r;
+    EXPECT_TRUE(session.exchange(cmd, 0, r));
+    return r;
+  }
+};
+
+TEST_F(ApduFixture, VerifyCorrectPin) {
+  const Response r = verify({0x12, 0x34, 0x56, 0x78});
+  EXPECT_EQ(r.sw, kSwOk);
+}
+
+TEST_F(ApduFixture, VerifyWrongPinRejected) {
+  const Response r = verify({0x12, 0x34, 0x56, 0x79});
+  EXPECT_EQ(r.sw, kSwPinWrong);
+}
+
+TEST_F(ApduFixture, GetChallengeReturnsFourBytes) {
+  Command cmd;
+  cmd.ins = kInsGetChallenge;
+  Response a;
+  ASSERT_TRUE(session.exchange(cmd, 4, a));
+  EXPECT_EQ(a.sw, kSwOk);
+  ASSERT_EQ(a.data.size(), 4u);
+  Response b;
+  ASSERT_TRUE(session.exchange(cmd, 4, b));
+  EXPECT_NE(a.data, b.data);  // Fresh entropy per challenge.
+}
+
+TEST_F(ApduFixture, InternalAuthRequiresVerification) {
+  Command cmd;
+  cmd.ins = kInsInternalAuth;
+  cmd.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  Response r;
+  ASSERT_TRUE(session.exchange(cmd, 0, r));
+  EXPECT_EQ(r.sw, kSwNotVerified);
+}
+
+TEST_F(ApduFixture, InternalAuthProducesTheExpectedCryptogram) {
+  ASSERT_EQ(verify({0x12, 0x34, 0x56, 0x78}).sw, kSwOk);
+
+  Command cmd;
+  cmd.ins = kInsInternalAuth;
+  cmd.data = {0xA0, 0xA1, 0xA2, 0xA3, 0xB0, 0xB1, 0xB2, 0xB3};
+  Response r;
+  ASSERT_TRUE(session.exchange(cmd, 8, r));
+  EXPECT_EQ(r.sw, kSwOk);
+  ASSERT_EQ(r.data.size(), 8u);
+
+  // Host-side verification of the cryptogram.
+  std::uint32_t d0 = 0;
+  std::uint32_t d1 = 0;
+  std::memcpy(&d0, cmd.data.data(), 4);
+  std::memcpy(&d1, cmd.data.data() + 4, 4);
+  CryptoCoprocessor::encryptBlock(kAuthKey, d0, d1);
+  std::uint32_t r0 = 0;
+  std::uint32_t r1 = 0;
+  std::memcpy(&r0, r.data.data(), 4);
+  std::memcpy(&r1, r.data.data() + 4, 4);
+  EXPECT_EQ(r0, d0);
+  EXPECT_EQ(r1, d1);
+}
+
+TEST_F(ApduFixture, UnknownInstructionRejected) {
+  Command cmd;
+  cmd.ins = 0x42;
+  Response r;
+  ASSERT_TRUE(session.exchange(cmd, 0, r));
+  EXPECT_EQ(r.sw, kSwInsNotSupported);
+}
+
+TEST_F(ApduFixture, WrongPinBlocksAuthentication) {
+  ASSERT_EQ(verify({9, 9, 9, 9}).sw, kSwPinWrong);
+  Command cmd;
+  cmd.ins = kInsInternalAuth;
+  cmd.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  Response r;
+  ASSERT_TRUE(session.exchange(cmd, 0, r));
+  EXPECT_EQ(r.sw, kSwNotVerified);
+}
+
+TEST_F(ApduFixture, EndSessionHaltsTheCard) {
+  Command bye;
+  bye.cla = kClaEndSession;
+  Response r;
+  ASSERT_TRUE(session.exchange(bye, 0, r));
+  EXPECT_EQ(r.sw, kSwOk);
+  card.clock().runCycles(64);
+  EXPECT_TRUE(card.cpu().halted());
+  EXPECT_FALSE(card.cpu().faulted());
+}
+
+TEST_F(ApduFixture, FullSessionScript) {
+  EXPECT_EQ(verify({0x12, 0x34, 0x56, 0x78}).sw, kSwOk);
+  Command chal;
+  chal.ins = kInsGetChallenge;
+  Response c;
+  ASSERT_TRUE(session.exchange(chal, 4, c));
+  EXPECT_EQ(c.sw, kSwOk);
+  Command auth;
+  auth.ins = kInsInternalAuth;
+  auth.data = {c.data[0], c.data[1], c.data[2], c.data[3], 0, 0, 0, 0};
+  Response a;
+  ASSERT_TRUE(session.exchange(auth, 8, a));
+  EXPECT_EQ(a.sw, kSwOk);
+  Command bye;
+  bye.cla = kClaEndSession;
+  Response r;
+  ASSERT_TRUE(session.exchange(bye, 0, r));
+  EXPECT_EQ(r.sw, kSwOk);
+}
+
+} // namespace
+} // namespace sct::soc::apdu

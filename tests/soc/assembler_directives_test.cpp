@@ -1,0 +1,100 @@
+// Tests for the extended assembler features: data directives and the
+// extra pseudo-instructions.
+#include <gtest/gtest.h>
+
+#include "bus/tl1_bus.h"
+#include "soc/assembler.h"
+#include "soc/isa.h"
+#include "soc/smartcard.h"
+
+namespace sct::soc {
+namespace {
+
+TEST(AsmDirectivesTest, ByteDirectivePacksLittleEndian) {
+  const auto p = assemble(R"(
+    data: .byte 0x11, 0x22, 0x33, 0x44, 0x55
+  )");
+  ASSERT_EQ(p.words.size(), 2u);
+  EXPECT_EQ(p.words[0], 0x44332211u);
+  EXPECT_EQ(p.words[1], 0x00000055u);
+}
+
+TEST(AsmDirectivesTest, ByteRangeChecked) {
+  EXPECT_THROW(assemble(".byte 300\n"), AsmError);
+  EXPECT_NO_THROW(assemble(".byte -128, 255\n"));
+}
+
+TEST(AsmDirectivesTest, AsciiAndAsciz) {
+  const auto p = assemble(R"(
+    msg: .asciz "Hi!"
+  )");
+  ASSERT_EQ(p.words.size(), 1u);
+  EXPECT_EQ(p.words[0], 0x00216948u);  // 'H' 'i' '!' '\0'.
+}
+
+TEST(AsmDirectivesTest, AsciiWithCommaAndEscapes) {
+  const auto p = assemble(R"(
+    .ascii "a,b\n"
+  )");
+  ASSERT_EQ(p.words.size(), 1u);
+  EXPECT_EQ(p.words[0],
+            (0x0Au << 24) | ('b' << 16) | (',' << 8) | 'a');
+}
+
+TEST(AsmDirectivesTest, AsciiRequiresQuotes) {
+  EXPECT_THROW(assemble(".ascii hello\n"), AsmError);
+}
+
+TEST(AsmDirectivesTest, LabelsAfterStringsStayAligned) {
+  const auto p = assemble(R"(
+    .ascii "abcde"     # 5 bytes -> 2 words
+    after: break
+  )");
+  EXPECT_EQ(p.label("after"), 8u);
+  EXPECT_EQ(decode(p.words[2]).op, Op::Break);
+}
+
+TEST(AsmDirectivesTest, BeqzBnezPseudo) {
+  const auto p = assemble(R"(
+      beqz $t0, out
+      bnez $t1, out
+    out: break
+  )");
+  // Offsets relative to pc+4: beqz at 0 -> (8-4)/4 = 1, bnez at 4 -> 0.
+  EXPECT_EQ(p.words[0], encodeI(0x04, 8, 0, 1));
+  EXPECT_EQ(p.words[1], encodeI(0x05, 9, 0, 0));
+}
+
+TEST(AsmDirectivesTest, NegPseudo) {
+  const auto p = assemble("neg $t0, $t1\n");
+  EXPECT_EQ(p.words[0], encodeR(0, 0, 9, 8, 0, 0x23));
+}
+
+TEST(AsmDirectivesTest, StringDataReadableByFirmware) {
+  // Firmware prints an .asciz string from ROM over the UART.
+  SmartCardSoC<bus::Tl1Bus> soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+      li   $s0, 0x10000200
+      la   $s1, msg
+    next:
+      lbu  $t0, 0($s1)
+      beqz $t0, done
+    wait:
+      lw   $t1, 4($s0)
+      andi $t1, $t1, 1
+      beqz $t1, wait
+      sw   $t0, 0($s0)
+      addiu $s1, $s1, 1
+      b    next
+    done:
+      break
+    msg: .asciz "card ok"
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_FALSE(soc.cpu().faulted());
+  EXPECT_EQ(soc.uart().transmitted(), "card ok");
+}
+
+} // namespace
+} // namespace sct::soc

@@ -1,0 +1,181 @@
+#include "soc/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/isa.h"
+
+namespace sct::soc {
+namespace {
+
+TEST(AssemblerTest, RegisterNames) {
+  EXPECT_EQ(parseRegister("$0"), 0u);
+  EXPECT_EQ(parseRegister("$31"), 31u);
+  EXPECT_EQ(parseRegister("$zero"), 0u);
+  EXPECT_EQ(parseRegister("$t0"), 8u);
+  EXPECT_EQ(parseRegister("$s0"), 16u);
+  EXPECT_EQ(parseRegister("$sp"), 29u);
+  EXPECT_EQ(parseRegister("$ra"), 31u);
+  EXPECT_THROW(parseRegister("$bogus"), AsmError);
+  EXPECT_THROW(parseRegister("$32"), AsmError);
+  EXPECT_THROW(parseRegister("t0"), AsmError);
+}
+
+TEST(AssemblerTest, BasicRType) {
+  const auto p = assemble("addu $3, $1, $2\n");
+  ASSERT_EQ(p.words.size(), 1u);
+  EXPECT_EQ(p.words[0], encodeR(0, 1, 2, 3, 0, 0x21));
+}
+
+TEST(AssemblerTest, ImmediateAndShift) {
+  const auto p = assemble(R"(
+    addiu $t0, $zero, 42
+    sll $t1, $t0, 4
+    ori $t2, $t0, 0xFF
+  )");
+  ASSERT_EQ(p.words.size(), 3u);
+  EXPECT_EQ(p.words[0], encodeI(0x09, 0, 8, 42));
+  EXPECT_EQ(p.words[1], encodeR(0, 0, 8, 9, 4, 0x00));
+  EXPECT_EQ(p.words[2], encodeI(0x0D, 8, 10, 0xFF));
+}
+
+TEST(AssemblerTest, NegativeImmediate) {
+  const auto p = assemble("addiu $t0, $t0, -4\n");
+  EXPECT_EQ(p.words[0], encodeI(0x09, 8, 8, 0xFFFC));
+}
+
+TEST(AssemblerTest, MemoryOperands) {
+  const auto p = assemble(R"(
+    lw $t0, 8($sp)
+    sw $t0, -4($s0)
+    lbu $t1, ($a0)
+  )");
+  EXPECT_EQ(p.words[0], encodeI(0x23, 29, 8, 8));
+  EXPECT_EQ(p.words[1], encodeI(0x2B, 16, 8, 0xFFFC));
+  EXPECT_EQ(p.words[2], encodeI(0x24, 4, 9, 0));
+}
+
+TEST(AssemblerTest, LabelsAndBranches) {
+  const auto p = assemble(R"(
+    loop:
+      addiu $t0, $t0, -1
+      bne $t0, $zero, loop
+      break
+  )");
+  ASSERT_EQ(p.words.size(), 3u);
+  // bne at address 4 branching to 0: offset = (0 - 8) / 4 = -2.
+  EXPECT_EQ(p.words[1], encodeI(0x05, 8, 0, 0xFFFE));
+  EXPECT_EQ(p.label("loop"), 0u);
+}
+
+TEST(AssemblerTest, ForwardBranch) {
+  const auto p = assemble(R"(
+    beq $zero, $zero, done
+    nop
+    done: break
+  )");
+  // beq at 0 to 8: offset = (8 - 4) / 4 = 1.
+  EXPECT_EQ(p.words[0], encodeI(0x04, 0, 0, 1));
+}
+
+TEST(AssemblerTest, LiExpandsToLuiOri) {
+  const auto p = assemble("li $t0, 0x12345678\n");
+  ASSERT_EQ(p.words.size(), 2u);
+  EXPECT_EQ(p.words[0], encodeI(0x0F, 0, 8, 0x1234));
+  EXPECT_EQ(p.words[1], encodeI(0x0D, 8, 8, 0x5678));
+}
+
+TEST(AssemblerTest, PseudoMoveAndNop) {
+  const auto p = assemble("move $t0, $s0\nnop\n");
+  EXPECT_EQ(p.words[0], encodeR(0, 16, 0, 8, 0, 0x25));
+  EXPECT_EQ(p.words[1], kNop);
+}
+
+TEST(AssemblerTest, JumpToLabel) {
+  const auto p = assemble(R"(
+      nop
+    target:
+      j target
+  )",
+                          0x1000);
+  EXPECT_EQ(p.origin, 0x1000u);
+  EXPECT_EQ(p.label("target"), 0x1004u);
+  EXPECT_EQ(p.words[1], encodeJ(0x02, 0x1004 >> 2));
+}
+
+TEST(AssemblerTest, OrgAndWordDirectives) {
+  const auto p = assemble(R"(
+    .org 0x100
+    start:
+      lw $t0, 0($zero)
+    data:
+      .word 0xDEADBEEF, 42
+  )");
+  EXPECT_EQ(p.origin, 0x100u);
+  EXPECT_EQ(p.label("start"), 0x100u);
+  EXPECT_EQ(p.label("data"), 0x104u);
+  EXPECT_EQ(p.words[1], 0xDEADBEEFu);
+  EXPECT_EQ(p.words[2], 42u);
+}
+
+TEST(AssemblerTest, SpaceDirectiveReserves) {
+  const auto p = assemble(R"(
+    .space 8
+    after: break
+  )");
+  EXPECT_EQ(p.label("after"), 8u);
+  EXPECT_EQ(p.words.size(), 3u);
+}
+
+TEST(AssemblerTest, CommentsAreIgnored) {
+  const auto p = assemble(R"(
+    # full-line comment
+    nop   # trailing comment
+    nop   ; semicolon comment
+  )");
+  EXPECT_EQ(p.words.size(), 2u);
+}
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus $t0\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(AssemblerTest, RejectsOutOfRangeImmediate) {
+  EXPECT_THROW(assemble("addiu $t0, $zero, 70000\n"), AsmError);
+}
+
+TEST(AssemblerTest, RejectsUnknownLabel) {
+  EXPECT_THROW(assemble("j nowhere\n"), AsmError);
+}
+
+TEST(AssemblerTest, ShiftVariableOperandOrder) {
+  // sllv rd, rt, rs — shift rt left by rs.
+  const auto p = assemble("sllv $t2, $t0, $t1\n");
+  EXPECT_EQ(p.words[0], encodeR(0, 9, 8, 10, 0, 0x04));
+}
+
+TEST(AssemblerTest, RoundTripThroughDecoder) {
+  const auto p = assemble(R"(
+    addu $1, $2, $3
+    subu $4, $5, $6
+    lw $t0, 4($t1)
+    sw $t0, 8($t1)
+    beq $1, $2, 0x0
+    jal 0x40
+    jr $ra
+    syscall
+  )");
+  const Op expected[] = {Op::Addu, Op::Subu, Op::Lw,      Op::Sw,
+                         Op::Beq,  Op::Jal,  Op::Jr,      Op::Syscall};
+  ASSERT_EQ(p.words.size(), std::size(expected));
+  for (std::size_t i = 0; i < p.words.size(); ++i) {
+    EXPECT_EQ(decode(p.words[i]).op, expected[i]) << i;
+  }
+}
+
+} // namespace
+} // namespace sct::soc

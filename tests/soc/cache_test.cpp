@@ -1,0 +1,85 @@
+#include "soc/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace sct::soc {
+namespace {
+
+TEST(CacheTest, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(1000, 16), std::invalid_argument);
+  EXPECT_THROW(Cache(1024, 12), std::invalid_argument);
+  EXPECT_THROW(Cache(8, 16), std::invalid_argument);
+}
+
+TEST(CacheTest, MissThenHitAfterFill) {
+  Cache c(256, 16);
+  bus::Word out = 0;
+  EXPECT_FALSE(c.lookupWord(0x100, out));
+  const bus::Word line[4] = {10, 11, 12, 13};
+  c.fillLine(0x100, line);
+  EXPECT_TRUE(c.lookupWord(0x100, out));
+  EXPECT_EQ(out, 10u);
+  EXPECT_TRUE(c.lookupWord(0x108, out));
+  EXPECT_EQ(out, 12u);
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheTest, ConflictEviction) {
+  Cache c(64, 16);  // 4 lines: 0x100 and 0x140 conflict.
+  const bus::Word a[4] = {1, 1, 1, 1};
+  const bus::Word b[4] = {2, 2, 2, 2};
+  c.fillLine(0x100, a);
+  EXPECT_TRUE(c.contains(0x100));
+  c.fillLine(0x140, b);
+  EXPECT_FALSE(c.contains(0x100));
+  bus::Word out = 0;
+  EXPECT_TRUE(c.lookupWord(0x140, out));
+  EXPECT_EQ(out, 2u);
+}
+
+TEST(CacheTest, LineBaseAlignment) {
+  Cache c(256, 16);
+  EXPECT_EQ(c.lineBase(0x123), 0x120u);
+  EXPECT_EQ(c.lineBase(0x120), 0x120u);
+}
+
+TEST(CacheTest, WriteThroughUpdateOnlyIfPresent) {
+  Cache c(256, 16);
+  const bus::Word line[4] = {0xAAAAAAAA, 0, 0, 0};
+  c.fillLine(0x40, line);
+  c.updateIfPresent(0x40, 0x000000BB, 0x1);
+  bus::Word out = 0;
+  c.lookupWord(0x40, out);
+  EXPECT_EQ(out, 0xAAAAAABBu);
+  // Absent line: no allocation.
+  c.updateIfPresent(0x200, 0xFF, 0xF);
+  EXPECT_FALSE(c.contains(0x200));
+}
+
+TEST(CacheTest, InvalidateSingleAndAll) {
+  Cache c(256, 16);
+  const bus::Word line[4] = {5, 5, 5, 5};
+  c.fillLine(0x10, line);
+  c.fillLine(0x20, line);
+  c.invalidate(0x10);
+  EXPECT_FALSE(c.contains(0x10));
+  EXPECT_TRUE(c.contains(0x20));
+  c.invalidateAll();
+  EXPECT_FALSE(c.contains(0x20));
+}
+
+TEST(CacheTest, HitRateComputation) {
+  Cache c(256, 16);
+  EXPECT_DOUBLE_EQ(c.stats().hitRate(), 0.0);
+  const bus::Word line[4] = {};
+  c.fillLine(0x0, line);
+  bus::Word out;
+  c.lookupWord(0x0, out);
+  c.lookupWord(0x0, out);
+  c.lookupWord(0x80, out);  // Miss.
+  EXPECT_NEAR(c.stats().hitRate(), 2.0 / 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace sct::soc

@@ -1,0 +1,172 @@
+// Interrupt system tests: timer and crypto interrupts vector the core,
+// handlers acknowledge and return with ERET.
+#include <gtest/gtest.h>
+
+#include "bus/tl1_bus.h"
+#include "soc/assembler.h"
+#include "soc/smartcard.h"
+
+namespace sct::soc {
+namespace {
+
+using Soc = SmartCardSoC<bus::Tl1Bus>;
+
+// Main program: enable the timer interrupt, spin incrementing a loop
+// counter until the ISR has fired 3 times. ISR at the vector: ack the
+// timer + controller, bump the RAM counter at 0x08000000, eret.
+constexpr const char* kTimerIrqProgram = R"(
+    li   $s0, 0x10000000   # IRQ controller
+    addiu $t0, $zero, 1
+    sw   $t0, 4($s0)       # ENABLE line 0 (timer)
+    li   $s1, 0x10000100   # timer
+    addiu $t0, $zero, 8
+    sw   $t0, 4($s1)       # COMPARE = 8
+    addiu $t0, $zero, 1
+    sw   $t0, 8($s1)       # CTRL.enable
+    li   $s2, 0x08000000   # counter in RAM
+  spin:
+    lw   $t1, 0($s2)
+    addiu $t2, $zero, 3
+    bne  $t1, $t2, spin
+    break
+
+    .org 0x200             # interrupt vector
+  isr:
+    lw   $t3, 12($s1)      # read timer STATUS
+    sw   $zero, 12($s1)    # clear timer match flag
+    addiu $t3, $zero, 1
+    sw   $t3, 0($s0)       # W1C the controller line
+    lw   $t3, 0($s2)
+    addiu $t3, $t3, 1
+    sw   $t3, 0($s2)       # counter++
+    addiu $t4, $zero, 0
+    sw   $t4, 4($s1)       # COMPARE = 0... re-arm below
+    lw   $t4, 0($s1)       # COUNT
+    addiu $t4, $t4, 8
+    andi $t4, $t4, 0xFFFF
+    sw   $t4, 4($s1)       # next COMPARE = COUNT + 8
+    eret
+)";
+
+TEST(InterruptTest, TimerInterruptVectorsAndReturns) {
+  Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(kTimerIrqProgram, memmap::kRomBase));
+  ASSERT_TRUE(soc.run(1'000'000));
+  EXPECT_FALSE(soc.cpu().faulted());
+  // The ISR re-arms itself, so one extra interrupt may land between
+  // the counter reaching 3 and the main loop noticing it.
+  EXPECT_GE(soc.ram().peekWord(memmap::kRamBase), 3u);
+  EXPECT_LE(soc.ram().peekWord(memmap::kRamBase), 4u);
+  EXPECT_GE(soc.cpu().interruptsTaken(), 3u);
+  EXPECT_FALSE(soc.cpu().inInterruptHandler());
+}
+
+TEST(InterruptTest, MaskedInterruptDoesNotFire) {
+  Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    li   $s1, 0x10000100
+    addiu $t0, $zero, 4
+    sw   $t0, 4($s1)       # COMPARE = 4
+    addiu $t0, $zero, 1
+    sw   $t0, 8($s1)       # enable timer, but ENABLE mask stays 0
+    addiu $t1, $zero, 64
+  wait:
+    addiu $t1, $t1, -1
+    bne  $t1, $zero, wait
+    break
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_EQ(soc.cpu().interruptsTaken(), 0u);
+  EXPECT_TRUE(soc.timer().matched());  // The event happened, masked off.
+}
+
+TEST(InterruptTest, CryptoCompletionInterrupt) {
+  Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    li   $s0, 0x10000000
+    addiu $t0, $zero, 2
+    sw   $t0, 4($s0)       # ENABLE line 1 (crypto)
+    li   $s1, 0x10000400
+    addiu $t0, $zero, 1
+    sw   $t0, 0x18($s1)    # CTRL = encrypt
+    li   $s2, 0x08000000
+  spin:
+    lw   $t1, 0($s2)
+    beq  $t1, $zero, spin
+    break
+
+    .org 0x200
+  isr:
+    addiu $t3, $zero, 2
+    sw   $t3, 0($s0)       # ack controller line 1
+    addiu $t3, $zero, 1
+    sw   $t3, 0($s2)       # flag completion
+    eret
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run(1'000'000));
+  EXPECT_FALSE(soc.cpu().faulted());
+  EXPECT_EQ(soc.cpu().interruptsTaken(), 1u);
+  EXPECT_EQ(soc.crypto().operations(), 1u);
+}
+
+TEST(InterruptTest, NoNestedDispatchInsideHandler) {
+  // The ISR spins long enough for a second timer match; the core must
+  // not re-enter the vector until ERET.
+  Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    li   $s0, 0x10000000
+    addiu $t0, $zero, 1
+    sw   $t0, 4($s0)
+    li   $s1, 0x10000100
+    addiu $t0, $zero, 4
+    sw   $t0, 4($s1)       # COMPARE = 4
+    addiu $t0, $zero, 1
+    sw   $t0, 8($s1)
+    li   $s2, 0x08000000
+  spin:
+    lw   $t1, 0($s2)
+    beq  $t1, $zero, spin
+    break
+
+    .org 0x200
+  isr:
+    addiu $t5, $zero, 40   # Dawdle: > one timer period.
+  dawdle:
+    addiu $t5, $t5, -1
+    bne  $t5, $zero, dawdle
+    sw   $zero, 12($s1)    # clear timer flag
+    addiu $t3, $zero, 1
+    sw   $t3, 0($s0)       # ack line
+    sw   $t3, 0($s2)       # flag done (stop main loop)
+    addiu $t4, $zero, 0
+    sw   $t4, 8($s1)       # disable timer
+    eret
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run(1'000'000));
+  EXPECT_EQ(soc.cpu().interruptsTaken(), 1u);
+}
+
+TEST(InterruptTest, EretOutsideHandlerIsJustAJump) {
+  Soc soc{SocConfig{}};
+  // epc is 0 after reset: eret jumps to 0 = program start; use a flag
+  // to terminate the second pass.
+  soc.loadProgram(assemble(R"(
+    li   $s2, 0x08000000
+    lw   $t0, 0($s2)
+    bne  $t0, $zero, done
+    addiu $t0, $zero, 1
+    sw   $t0, 0($s2)
+    eret                   # epc == 0: back to start
+  done:
+    break
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_FALSE(soc.cpu().faulted());
+}
+
+} // namespace
+} // namespace sct::soc

@@ -1,0 +1,80 @@
+#include "soc/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace sct::soc {
+namespace {
+
+TEST(IsaTest, DecodeRType) {
+  // addu $3, $1, $2
+  const auto d = decode(encodeR(0, 1, 2, 3, 0, 0x21));
+  EXPECT_EQ(d.op, Op::Addu);
+  EXPECT_EQ(d.rs, 1);
+  EXPECT_EQ(d.rt, 2);
+  EXPECT_EQ(d.rd, 3);
+}
+
+TEST(IsaTest, DecodeShift) {
+  // sll $5, $4, 7
+  const auto d = decode(encodeR(0, 0, 4, 5, 7, 0x00));
+  EXPECT_EQ(d.op, Op::Sll);
+  EXPECT_EQ(d.rt, 4);
+  EXPECT_EQ(d.rd, 5);
+  EXPECT_EQ(d.shamt, 7);
+}
+
+TEST(IsaTest, DecodeITypeSignExtension) {
+  // addiu $2, $1, -4
+  const auto d = decode(encodeI(0x09, 1, 2, 0xFFFC));
+  EXPECT_EQ(d.op, Op::Addiu);
+  EXPECT_EQ(d.simm, -4);
+  EXPECT_EQ(d.uimm, 0xFFFCu);
+}
+
+TEST(IsaTest, DecodeLoadsAndStores) {
+  EXPECT_EQ(decode(encodeI(0x23, 1, 2, 8)).op, Op::Lw);
+  EXPECT_EQ(decode(encodeI(0x20, 1, 2, 8)).op, Op::Lb);
+  EXPECT_EQ(decode(encodeI(0x24, 1, 2, 8)).op, Op::Lbu);
+  EXPECT_EQ(decode(encodeI(0x21, 1, 2, 8)).op, Op::Lh);
+  EXPECT_EQ(decode(encodeI(0x25, 1, 2, 8)).op, Op::Lhu);
+  EXPECT_EQ(decode(encodeI(0x2B, 1, 2, 8)).op, Op::Sw);
+  EXPECT_EQ(decode(encodeI(0x29, 1, 2, 8)).op, Op::Sh);
+  EXPECT_EQ(decode(encodeI(0x28, 1, 2, 8)).op, Op::Sb);
+}
+
+TEST(IsaTest, DecodeBranchesAndJumps) {
+  EXPECT_EQ(decode(encodeI(0x04, 1, 2, 16)).op, Op::Beq);
+  EXPECT_EQ(decode(encodeI(0x05, 1, 2, 16)).op, Op::Bne);
+  EXPECT_EQ(decode(encodeI(0x06, 1, 0, 16)).op, Op::Blez);
+  EXPECT_EQ(decode(encodeI(0x07, 1, 0, 16)).op, Op::Bgtz);
+  EXPECT_EQ(decode(encodeI(0x01, 1, 0, 16)).op, Op::Bltz);
+  EXPECT_EQ(decode(encodeI(0x01, 1, 1, 16)).op, Op::Bgez);
+  EXPECT_EQ(decode(encodeJ(0x02, 0x100)).op, Op::J);
+  EXPECT_EQ(decode(encodeJ(0x03, 0x100)).op, Op::Jal);
+  EXPECT_EQ(decode(encodeJ(0x02, 0x100)).target, 0x100u);
+}
+
+TEST(IsaTest, DecodeSystem) {
+  EXPECT_EQ(decode(kSyscall).op, Op::Syscall);
+  EXPECT_EQ(decode(kBreak).op, Op::Break);
+}
+
+TEST(IsaTest, NopIsSllZero) {
+  const auto d = decode(kNop);
+  EXPECT_EQ(d.op, Op::Sll);
+  EXPECT_EQ(d.rd, 0);
+}
+
+TEST(IsaTest, InvalidOpcodeDetected) {
+  EXPECT_EQ(decode(0xFC000000).op, Op::Invalid);
+  EXPECT_EQ(decode(encodeR(0, 0, 0, 0, 0, 0x3F)).op, Op::Invalid);
+}
+
+TEST(IsaTest, MnemonicsAreUnique) {
+  EXPECT_EQ(mnemonic(Op::Addu), "addu");
+  EXPECT_EQ(mnemonic(Op::Lw), "lw");
+  EXPECT_EQ(mnemonic(Op::Invalid), "invalid");
+}
+
+} // namespace
+} // namespace sct::soc

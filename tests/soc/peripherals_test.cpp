@@ -1,0 +1,207 @@
+#include "soc/peripherals.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/kernel.h"
+
+namespace sct::soc {
+namespace {
+
+bus::SlaveControl window(bus::Address base) {
+  bus::SlaveControl c;
+  c.base = base;
+  c.size = 0x100;
+  return c;
+}
+
+struct PeripheralFixture : ::testing::Test {
+  sim::Kernel kernel;
+  sim::Clock clk{kernel, "clk", 10};
+};
+
+// --- Timer -----------------------------------------------------------------
+
+TEST_F(PeripheralFixture, TimerCountsWhenEnabled) {
+  Timer t(clk, "timer", window(0x1000));
+  clk.runCycles(5);
+  EXPECT_EQ(t.count(), 0u);  // Disabled.
+  bus::Word out = 0;
+  t.writeBeat(0x1008, bus::AccessSize::Word, 0xF, 1);  // CTRL.enable.
+  clk.runCycles(5);
+  t.readBeat(0x1000, bus::AccessSize::Word, out);
+  EXPECT_EQ(out, 5u);
+}
+
+TEST_F(PeripheralFixture, TimerPrescalerDividesRate) {
+  Timer t(clk, "timer", window(0x1000));
+  // Enable with prescaler 3: one tick per 4 cycles.
+  t.writeBeat(0x1008, bus::AccessSize::Word, 0xF, 1 | (3 << 8));
+  clk.runCycles(8);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST_F(PeripheralFixture, TimerCompareRaisesInterrupt) {
+  InterruptController irqc("irqc", window(0x2000));
+  Timer t(clk, "timer", window(0x1000), &irqc, 0);
+  irqc.writeBeat(0x2004, bus::AccessSize::Word, 0xF, 0x1);  // Enable line 0.
+  t.writeBeat(0x1004, bus::AccessSize::Word, 0xF, 3);       // COMPARE = 3.
+  t.writeBeat(0x1008, bus::AccessSize::Word, 0xF, 1);       // Enable.
+  clk.runCycles(3);
+  EXPECT_TRUE(t.matched());
+  EXPECT_EQ(irqc.pending(), 0x1u);
+  // Clear via STATUS write and W1C of the controller.
+  t.writeBeat(0x100C, bus::AccessSize::Word, 0xF, 1);
+  irqc.writeBeat(0x2000, bus::AccessSize::Word, 0xF, 0x1);
+  EXPECT_FALSE(t.matched());
+  EXPECT_EQ(irqc.pending(), 0u);
+}
+
+TEST_F(PeripheralFixture, TimerCountIsReadOnly) {
+  Timer t(clk, "timer", window(0x1000));
+  EXPECT_EQ(t.writeBeat(0x1000, bus::AccessSize::Word, 0xF, 99),
+            bus::BusStatus::Error);
+}
+
+// --- InterruptController ----------------------------------------------------
+
+TEST_F(PeripheralFixture, InterruptMaskGatesPending) {
+  InterruptController irqc("irqc", window(0x2000));
+  irqc.raise(3);
+  EXPECT_EQ(irqc.pending(), 0u);  // Masked by default.
+  irqc.writeBeat(0x2004, bus::AccessSize::Word, 0xF, 0x8);
+  EXPECT_EQ(irqc.pending(), 0x8u);
+  bus::Word out = 0;
+  irqc.readBeat(0x2000, bus::AccessSize::Word, out);
+  EXPECT_EQ(out, 0x8u);
+}
+
+// --- UART --------------------------------------------------------------------
+
+TEST_F(PeripheralFixture, UartTransmitsAndGoesBusy) {
+  Uart u(clk, "uart", window(0x3000), /*cyclesPerByte=*/4);
+  bus::Word status = 0;
+  u.readBeat(0x3004, bus::AccessSize::Word, status);
+  EXPECT_EQ(status & 1u, 1u);  // TX ready.
+  u.writeBeat(0x3000, bus::AccessSize::Word, 0xF, 'H');
+  u.readBeat(0x3004, bus::AccessSize::Word, status);
+  EXPECT_EQ(status & 1u, 0u);  // Busy while shifting.
+  clk.runCycles(4);
+  u.readBeat(0x3004, bus::AccessSize::Word, status);
+  EXPECT_EQ(status & 1u, 1u);
+  u.writeBeat(0x3000, bus::AccessSize::Word, 0xF, 'i');
+  clk.runCycles(4);
+  EXPECT_EQ(u.transmitted(), "Hi");
+}
+
+TEST_F(PeripheralFixture, UartReceivePath) {
+  Uart u(clk, "uart", window(0x3000));
+  bus::Word status = 0;
+  u.readBeat(0x3004, bus::AccessSize::Word, status);
+  EXPECT_EQ(status & 2u, 0u);
+  u.injectReceive('X');
+  u.readBeat(0x3004, bus::AccessSize::Word, status);
+  EXPECT_EQ(status & 2u, 2u);
+  bus::Word data = 0;
+  u.readBeat(0x3000, bus::AccessSize::Word, data);
+  EXPECT_EQ(data, static_cast<bus::Word>('X'));
+  u.readBeat(0x3004, bus::AccessSize::Word, status);
+  EXPECT_EQ(status & 2u, 0u);
+}
+
+// --- TRNG ---------------------------------------------------------------------
+
+TEST_F(PeripheralFixture, TrngProducesVaryingWords) {
+  Trng t("trng", window(0x4000));
+  bus::Word a = 0;
+  bus::Word b = 0;
+  t.readBeat(0x4000, bus::AccessSize::Word, a);
+  t.readBeat(0x4000, bus::AccessSize::Word, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.wordsDrawn(), 2u);
+  bus::Word status = 0;
+  t.readBeat(0x4004, bus::AccessSize::Word, status);
+  EXPECT_EQ(status, 1u);
+}
+
+TEST_F(PeripheralFixture, TrngIsDeterministicPerSeed) {
+  Trng a("a", window(0x4000), 7);
+  Trng b("b", window(0x4000), 7);
+  bus::Word va = 0;
+  bus::Word vb = 0;
+  a.readBeat(0x4000, bus::AccessSize::Word, va);
+  b.readBeat(0x4000, bus::AccessSize::Word, vb);
+  EXPECT_EQ(va, vb);
+}
+
+// --- Crypto coprocessor ---------------------------------------------------------
+
+TEST_F(PeripheralFixture, CryptoEncryptDecryptRoundTrip) {
+  const std::uint32_t key[4] = {0x01234567, 0x89ABCDEF, 0xFEDCBA98,
+                                0x76543210};
+  std::uint32_t d0 = 0xDEADBEEF;
+  std::uint32_t d1 = 0x00C0FFEE;
+  CryptoCoprocessor::encryptBlock(key, d0, d1);
+  EXPECT_NE(d0, 0xDEADBEEFu);
+  CryptoCoprocessor::decryptBlock(key, d0, d1);
+  EXPECT_EQ(d0, 0xDEADBEEFu);
+  EXPECT_EQ(d1, 0x00C0FFEEu);
+}
+
+TEST_F(PeripheralFixture, CryptoCipherDependsOnKeyAndData) {
+  const std::uint32_t k1[4] = {1, 2, 3, 4};
+  const std::uint32_t k2[4] = {1, 2, 3, 5};
+  std::uint32_t a0 = 42;
+  std::uint32_t a1 = 0;
+  std::uint32_t b0 = 42;
+  std::uint32_t b1 = 0;
+  CryptoCoprocessor::encryptBlock(k1, a0, a1);
+  CryptoCoprocessor::encryptBlock(k2, b0, b1);
+  EXPECT_TRUE(a0 != b0 || a1 != b1);
+}
+
+TEST_F(PeripheralFixture, CryptoRegistersDriveTheEngine) {
+  CryptoCoprocessor c(clk, "crypto", window(0x5000), /*cyclesPerRound=*/1);
+  const std::uint32_t key[4] = {0xA, 0xB, 0xC, 0xD};
+  for (unsigned i = 0; i < 4; ++i) {
+    c.writeBeat(0x5000 + 4 * i, bus::AccessSize::Word, 0xF, key[i]);
+  }
+  c.writeBeat(0x5010, bus::AccessSize::Word, 0xF, 0x1111);
+  c.writeBeat(0x5014, bus::AccessSize::Word, 0xF, 0x2222);
+  c.writeBeat(0x5018, bus::AccessSize::Word, 0xF, 1);  // Encrypt.
+  EXPECT_TRUE(c.busy());
+  bus::Word status = 1;
+  clk.runCycles(16);  // 16 rounds x 1 cycle.
+  c.readBeat(0x501C, bus::AccessSize::Word, status);
+  EXPECT_EQ(status, 0u);
+  std::uint32_t e0 = 0x1111;
+  std::uint32_t e1 = 0x2222;
+  CryptoCoprocessor::encryptBlock(key, e0, e1);
+  bus::Word r0 = 0;
+  bus::Word r1 = 0;
+  c.readBeat(0x5010, bus::AccessSize::Word, r0);
+  c.readBeat(0x5014, bus::AccessSize::Word, r1);
+  EXPECT_EQ(r0, e0);
+  EXPECT_EQ(r1, e1);
+  EXPECT_EQ(c.operations(), 1u);
+}
+
+TEST_F(PeripheralFixture, CryptoRaisesInterruptWhenDone) {
+  InterruptController irqc("irqc", window(0x2000));
+  CryptoCoprocessor c(clk, "crypto", window(0x5000), 1, &irqc, 1);
+  irqc.writeBeat(0x2004, bus::AccessSize::Word, 0xF, 0x2);
+  c.writeBeat(0x5018, bus::AccessSize::Word, 0xF, 1);
+  clk.runCycles(16);
+  EXPECT_EQ(irqc.pending(), 0x2u);
+}
+
+TEST_F(PeripheralFixture, CryptoDataReadWhileBusyStalls) {
+  CryptoCoprocessor c(clk, "crypto", window(0x5000), 1);
+  c.writeBeat(0x5018, bus::AccessSize::Word, 0xF, 1);
+  bus::Word out = 0;
+  EXPECT_EQ(c.readBeat(0x5010, bus::AccessSize::Word, out),
+            bus::BusStatus::Wait);
+}
+
+} // namespace
+} // namespace sct::soc

@@ -1,0 +1,213 @@
+// Full-SoC integration tests: firmware running on the complete Figure-1
+// platform, over both the layer-1 bus and the layer-0 reference bus.
+#include "soc/smartcard.h"
+
+#include <gtest/gtest.h>
+
+#include "../testbench.h"
+#include "bus/tl1_bus.h"
+#include "power/characterizer.h"
+#include "power/tl1_power_model.h"
+#include "ref/gl_bus.h"
+#include "soc/assembler.h"
+
+namespace sct::soc {
+namespace {
+
+using Tl1Soc = SmartCardSoC<bus::Tl1Bus>;
+using GlSoc = SmartCardSoC<ref::GlBus>;
+
+// Firmware: print "OK" over the UART, honouring the TX-ready handshake.
+constexpr const char* kUartProgram = R"(
+    li   $s0, 0x10000200   # UART base
+    addiu $t0, $zero, 0x4F # 'O'
+    jal  putc
+    addiu $t0, $zero, 0x4B # 'K'
+    jal  putc
+    break
+  putc:
+    lw   $t1, 4($s0)       # STATUS
+    andi $t1, $t1, 1
+    beq  $t1, $zero, putc
+    sw   $t0, 0($s0)
+    jr   $ra
+)";
+
+// Firmware: encrypt one block on the coprocessor, store result in RAM.
+constexpr const char* kCryptoProgram = R"(
+    li   $s0, 0x10000400   # Crypto base
+    li   $t0, 0x01234567
+    sw   $t0, 0($s0)       # KEY0
+    li   $t0, 0x89ABCDEF
+    sw   $t0, 4($s0)       # KEY1
+    li   $t0, 0xFEDCBA98
+    sw   $t0, 8($s0)       # KEY2
+    li   $t0, 0x76543210
+    sw   $t0, 12($s0)      # KEY3
+    li   $t0, 0xDEADBEEF
+    sw   $t0, 0x10($s0)    # DATA0
+    li   $t0, 0x00C0FFEE
+    sw   $t0, 0x14($s0)    # DATA1
+    addiu $t0, $zero, 1
+    sw   $t0, 0x18($s0)    # CTRL = encrypt
+  wait:
+    lw   $t1, 0x1C($s0)    # STATUS
+    bne  $t1, $zero, wait
+    lw   $t2, 0x10($s0)
+    lw   $t3, 0x14($s0)
+    li   $s1, 0x08000000
+    sw   $t2, 0($s1)
+    sw   $t3, 4($s1)
+    break
+)";
+
+TEST(SmartCardTest, BootsAndPrintsOverUart) {
+  Tl1Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(kUartProgram, memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_FALSE(soc.cpu().faulted());
+  EXPECT_EQ(soc.uart().transmitted(), "OK");
+}
+
+TEST(SmartCardTest, CryptoFirmwareMatchesReferenceCipher) {
+  Tl1Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(kCryptoProgram, memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  ASSERT_FALSE(soc.cpu().faulted());
+  const std::uint32_t key[4] = {0x01234567, 0x89ABCDEF, 0xFEDCBA98,
+                                0x76543210};
+  std::uint32_t d0 = 0xDEADBEEF;
+  std::uint32_t d1 = 0x00C0FFEE;
+  CryptoCoprocessor::encryptBlock(key, d0, d1);
+  EXPECT_EQ(soc.ram().peekWord(memmap::kRamBase), d0);
+  EXPECT_EQ(soc.ram().peekWord(memmap::kRamBase + 4), d1);
+  EXPECT_EQ(soc.crypto().operations(), 1u);
+}
+
+TEST(SmartCardTest, TimerFirmwareObservesMatch) {
+  Tl1Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    li   $s0, 0x10000100   # Timer base
+    addiu $t0, $zero, 20
+    sw   $t0, 4($s0)       # COMPARE = 20
+    addiu $t0, $zero, 1
+    sw   $t0, 8($s0)       # CTRL.enable
+  poll:
+    lw   $t1, 12($s0)      # STATUS
+    beq  $t1, $zero, poll
+    lw   $s1, 0($s0)       # COUNT at match time
+    break
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_FALSE(soc.cpu().faulted());
+  EXPECT_GE(soc.cpu().reg(17), 20u);
+}
+
+TEST(SmartCardTest, SameFirmwareSameResultOnLayer0Bus) {
+  Tl1Soc tl1{SocConfig{}};
+  GlSoc gl{SocConfig{}, sct::testbench::energyModel()};
+  const auto prog = assemble(kCryptoProgram, memmap::kRomBase);
+  tl1.loadProgram(prog);
+  gl.loadProgram(prog);
+  ASSERT_TRUE(tl1.run());
+  ASSERT_TRUE(gl.run());
+  // Bit-identical results and cycle-identical execution.
+  EXPECT_EQ(tl1.ram().peekWord(memmap::kRamBase),
+            gl.ram().peekWord(memmap::kRamBase));
+  EXPECT_EQ(tl1.cpu().stats().cycles, gl.cpu().stats().cycles);
+  EXPECT_EQ(tl1.cpu().stats().instructions, gl.cpu().stats().instructions);
+  EXPECT_GT(gl.bus().energy().total_fJ, 0.0);
+}
+
+TEST(SmartCardTest, EnergyEstimationOnRunningFirmware) {
+  // End-to-end: characterize on the layer-0 SoC, estimate on the
+  // layer-1 SoC running the same firmware.
+  GlSoc gl{SocConfig{}, sct::testbench::energyModel()};
+  power::Characterizer ch(sct::testbench::energyModel());
+  gl.bus().addFrameListener(ch);
+  const auto prog = assemble(kCryptoProgram, memmap::kRomBase);
+  gl.loadProgram(prog);
+  ASSERT_TRUE(gl.run());
+
+  Tl1Soc tl1{SocConfig{}};
+  power::Tl1PowerModel pm(ch.buildTable());
+  tl1.bus().addObserver(pm);
+  tl1.loadProgram(prog);
+  ASSERT_TRUE(tl1.run());
+
+  const double ref = gl.bus().energy().total_fJ;
+  const double est = pm.totalEnergy_fJ();
+  EXPECT_GT(est, 0.0);
+  // Same workload the coefficients came from: estimate within ~20 %.
+  EXPECT_GT(est, 0.8 * ref);
+  EXPECT_LT(est, 1.2 * ref);
+}
+
+TEST(SmartCardTest, EepromWritesAreSlowerThanRam) {
+  auto timeOf = [](const char* target) {
+    Tl1Soc soc{SocConfig{}};
+    std::string src = R"(
+      li   $s0, )" + std::string(target) + R"(
+      addiu $t0, $zero, 32
+    loop:
+      sw   $t0, 0($s0)
+    drain:
+      addiu $t0, $t0, -1
+      bne  $t0, $zero, loop
+      break
+    )";
+    soc.loadProgram(assemble(src, memmap::kRomBase));
+    soc.run();
+    return soc.cpu().stats().cycles;
+  };
+  EXPECT_GT(timeOf("0x0A000000"), timeOf("0x08000000"));
+}
+
+TEST(SmartCardTest, ProgramLoadsIntoFlashToo) {
+  Tl1Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    addiu $v0, $zero, 7
+    break
+  )",
+                           memmap::kFlashBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_EQ(soc.cpu().reg(2), 7u);
+}
+
+TEST(SmartCardTest, TwoTimersRunIndependently) {
+  Tl1Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    li   $s0, 0x10000100   # timer 0
+    li   $s1, 0x10000500   # timer 1
+    addiu $t0, $zero, 1
+    sw   $t0, 8($s0)       # enable T0, prescaler 0
+    addiu $t0, $zero, 0x101
+    sw   $t0, 8($s1)       # enable T1, prescaler 1 (half rate)
+    addiu $t1, $zero, 64
+  wait:
+    addiu $t1, $t1, -1
+    bne  $t1, $zero, wait
+    lw   $s2, 0($s0)       # COUNT0
+    lw   $s3, 0($s1)       # COUNT1
+    break
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  const auto c0 = soc.cpu().reg(18);
+  const auto c1 = soc.cpu().reg(19);
+  EXPECT_GT(c0, 0u);
+  EXPECT_GT(c1, 0u);
+  // Timer 1 runs at half rate; the enable skew and the gap between the
+  // two uncached COUNT reads allow a few ticks of slack.
+  EXPECT_NEAR(static_cast<double>(c0) / 2.0, static_cast<double>(c1), 5.0);
+}
+
+TEST(SmartCardTest, LoadOutsideAnyMemoryThrows) {
+  Tl1Soc soc{SocConfig{}};
+  const std::uint8_t data[4] = {};
+  EXPECT_THROW(soc.loadData(0x30000000, data, 4), std::out_of_range);
+}
+
+} // namespace
+} // namespace sct::soc

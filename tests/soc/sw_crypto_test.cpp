@@ -1,0 +1,155 @@
+#include "soc/sw_crypto.h"
+
+#include <gtest/gtest.h>
+
+#include "bus/tl1_bus.h"
+#include "soc/peripherals.h"
+#include "soc/smartcard.h"
+
+namespace sct::soc {
+namespace {
+
+using Soc = SmartCardSoC<bus::Tl1Bus>;
+
+TEST(SwCryptoTest, MatchesTheCoprocessorCipher) {
+  Soc soc{SocConfig{}};
+  soc.loadProgram(swEncryptProgram(/*blocks=*/2));
+
+  const std::uint32_t key[4] = {0x01234567, 0x89ABCDEF, 0xFEDCBA98,
+                                0x76543210};
+  for (unsigned i = 0; i < 4; ++i) {
+    soc.ram().pokeWord(memmap::kRamBase + 4 * i, key[i]);
+  }
+  const std::uint32_t plain[4] = {0xDEADBEEF, 0x00C0FFEE, 0x11111111,
+                                  0x22222222};
+  for (unsigned i = 0; i < 4; ++i) {
+    soc.ram().pokeWord(memmap::kRamBase + 0x20 + 4 * i, plain[i]);
+  }
+
+  ASSERT_TRUE(soc.run(2'000'000));
+  ASSERT_FALSE(soc.cpu().faulted());
+
+  for (unsigned b = 0; b < 2; ++b) {
+    std::uint32_t d0 = plain[2 * b];
+    std::uint32_t d1 = plain[2 * b + 1];
+    CryptoCoprocessor::encryptBlock(key, d0, d1);
+    EXPECT_EQ(soc.ram().peekWord(memmap::kRamBase + 0x20 + 8 * b), d0)
+        << "block " << b;
+    EXPECT_EQ(soc.ram().peekWord(memmap::kRamBase + 0x24 + 8 * b), d1)
+        << "block " << b;
+  }
+}
+
+TEST(SwCryptoTest, SoftwareCostsFarMoreCyclesThanTheCoprocessor) {
+  // The motivation for the coprocessor, quantified.
+  Soc sw{SocConfig{}};
+  sw.loadProgram(swEncryptProgram(1));
+  sw.ram().pokeWord(memmap::kRamBase + 0x20, 0xCAFEBABE);
+  sw.ram().pokeWord(memmap::kRamBase + 0x24, 0xDEADBEEF);
+  ASSERT_TRUE(sw.run(2'000'000));
+  const auto swCycles = sw.cpu().stats().cycles;
+
+  Soc hw{SocConfig{}};
+  hw.loadProgram(assemble(R"(
+      li   $s0, 0x10000400
+      li   $t0, 0xCAFEBABE
+      sw   $t0, 0x10($s0)
+      li   $t0, 0xDEADBEEF
+      sw   $t0, 0x14($s0)
+      addiu $t0, $zero, 1
+      sw   $t0, 0x18($s0)
+    busy:
+      lw   $t1, 0x1C($s0)
+      bne  $t1, $zero, busy
+      lw   $t2, 0x10($s0)
+      break
+  )",
+                          memmap::kRomBase));
+  ASSERT_TRUE(hw.run());
+  const auto hwCycles = hw.cpu().stats().cycles;
+
+  EXPECT_GT(swCycles, 5 * hwCycles);
+}
+
+TEST(CpuMultDivTest, MultiplySignedAndUnsigned) {
+  Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    li    $t0, 100000
+    li    $t1, 100000
+    multu $t0, $t1       # 10^10 = 0x2540BE400
+    mflo  $s0            # 0x540BE400
+    mfhi  $s1            # 0x2
+    addiu $t2, $zero, -3
+    addiu $t3, $zero, 7
+    mult  $t2, $t3       # -21
+    mflo  $s2
+    mfhi  $s3            # sign extension: 0xFFFFFFFF
+    break
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_EQ(soc.cpu().reg(16), 0x540BE400u);
+  EXPECT_EQ(soc.cpu().reg(17), 0x2u);
+  EXPECT_EQ(soc.cpu().reg(18), static_cast<std::uint32_t>(-21));
+  EXPECT_EQ(soc.cpu().reg(19), 0xFFFFFFFFu);
+}
+
+TEST(CpuMultDivTest, DivideQuotientAndRemainder) {
+  Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    addiu $t0, $zero, 47
+    addiu $t1, $zero, 5
+    divu  $t0, $t1
+    mflo  $s0            # 9
+    mfhi  $s1            # 2
+    addiu $t0, $zero, -47
+    div   $t0, $t1
+    mflo  $s2            # -9
+    mfhi  $s3            # -2
+    break
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_EQ(soc.cpu().reg(16), 9u);
+  EXPECT_EQ(soc.cpu().reg(17), 2u);
+  EXPECT_EQ(soc.cpu().reg(18), static_cast<std::uint32_t>(-9));
+  EXPECT_EQ(soc.cpu().reg(19), static_cast<std::uint32_t>(-2));
+}
+
+TEST(CpuMultDivTest, DivideByZeroLeavesHiLoUnchanged) {
+  Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    addiu $t0, $zero, 5
+    mtlo  $t0
+    mthi  $t0
+    div   $t0, $zero
+    mflo  $s0
+    mfhi  $s1
+    break
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_FALSE(soc.cpu().faulted());
+  EXPECT_EQ(soc.cpu().reg(16), 5u);
+  EXPECT_EQ(soc.cpu().reg(17), 5u);
+}
+
+TEST(CpuMultDivTest, MthiMtloRoundTrip) {
+  Soc soc{SocConfig{}};
+  soc.loadProgram(assemble(R"(
+    li   $t0, 0xABCD1234
+    mtlo $t0
+    mflo $s0
+    li   $t1, 0x55AA55AA
+    mthi $t1
+    mfhi $s1
+    break
+  )",
+                           memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  EXPECT_EQ(soc.cpu().reg(16), 0xABCD1234u);
+  EXPECT_EQ(soc.cpu().reg(17), 0x55AA55AAu);
+}
+
+} // namespace
+} // namespace sct::soc

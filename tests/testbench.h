@@ -1,0 +1,122 @@
+// Shared test fixtures: a small smart-card-like memory map (one
+// zero-wait RAM window, one waited EEPROM-like window) instantiated for
+// each bus layer, plus the shared parasitic database and energy model.
+#ifndef SCT_TESTS_TESTBENCH_H
+#define SCT_TESTS_TESTBENCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/memory_slave.h"
+#include "bus/tl1_bus.h"
+#include "bus/tl2_bus.h"
+#include "ref/energy.h"
+#include "ref/gl_bus.h"
+#include "ref/parasitics.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "trace/replay_master.h"
+#include "trace/workloads.h"
+
+namespace sct::testbench {
+
+inline const ref::ParasiticDb& parasitics() {
+  static const ref::ParasiticDb db = ref::ParasiticDb::makeDefault();
+  return db;
+}
+
+inline const ref::TransitionEnergyModel& energyModel() {
+  static const ref::TransitionEnergyModel model(parasitics(),
+                                                ref::ProcessParams{});
+  return model;
+}
+
+inline bus::SlaveControl fastCtl() {
+  bus::SlaveControl c;
+  c.base = 0x0000;
+  c.size = 0x2000;
+  return c;
+}
+
+inline bus::SlaveControl waitedCtl() {
+  bus::SlaveControl c;
+  c.base = 0x8000;
+  c.size = 0x2000;
+  c.addrWait = 1;
+  c.readWait = 2;
+  c.writeWait = 3;
+  c.burstBeatWait = 1;
+  return c;
+}
+
+inline trace::TargetRegion fastRegion() {
+  return trace::TargetRegion{0x0000, 0x2000, true, true, true};
+}
+
+inline trace::TargetRegion waitedRegion() {
+  return trace::TargetRegion{0x8000, 0x2000, true, true, true};
+}
+
+inline std::vector<trace::TargetRegion> bothRegions() {
+  return {fastRegion(), waitedRegion()};
+}
+
+/// Layer-1 testbench: clock + bus + the two memory slaves.
+struct Tl1Bench {
+  sim::Kernel kernel;
+  sim::Clock clk{kernel, "clk", 10};
+  bus::Tl1Bus bus{clk, "ecbus"};
+  bus::MemorySlave fast{"ram", fastCtl()};
+  bus::MemorySlave waited{"eeprom", waitedCtl()};
+
+  Tl1Bench() {
+    bus.attach(fast);
+    bus.attach(waited);
+  }
+
+  /// Replay a trace to completion; returns elapsed cycles.
+  std::uint64_t run(const trace::BusTrace& t) {
+    trace::ReplayMaster master(clk, "master", bus, bus, t);
+    return master.runToCompletion();
+  }
+};
+
+struct Tl2Bench {
+  sim::Kernel kernel;
+  sim::Clock clk{kernel, "clk", 10};
+  bus::Tl2Bus bus{clk, "ecbus_tl2"};
+  bus::MemorySlave fast{"ram", fastCtl()};
+  bus::MemorySlave waited{"eeprom", waitedCtl()};
+
+  Tl2Bench() {
+    bus.attach(fast);
+    bus.attach(waited);
+  }
+
+  std::uint64_t run(const trace::BusTrace& t) {
+    trace::Tl2ReplayMaster master(clk, "master", bus, t);
+    return master.runToCompletion();
+  }
+};
+
+struct RefBench {
+  sim::Kernel kernel;
+  sim::Clock clk{kernel, "clk", 10};
+  ref::GlBus bus{clk, "ecbus_gl", energyModel()};
+  bus::MemorySlave fast{"ram", fastCtl()};
+  bus::MemorySlave waited{"eeprom", waitedCtl()};
+
+  RefBench() {
+    bus.attach(fast);
+    bus.attach(waited);
+  }
+
+  std::uint64_t run(const trace::BusTrace& t) {
+    trace::ReplayMaster master(clk, "master", bus, bus, t);
+    return master.runToCompletion();
+  }
+};
+
+} // namespace sct::testbench
+
+#endif // SCT_TESTS_TESTBENCH_H

@@ -1,0 +1,88 @@
+#include "trace/bus_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sct::trace {
+namespace {
+
+using bus::Kind;
+
+TEST(BusTraceTest, AppendAndTotals) {
+  BusTrace t;
+  TraceEntry r;
+  r.kind = Kind::Read;
+  r.address = 0x10;
+  t.append(r);
+  TraceEntry w;
+  w.kind = Kind::Write;
+  w.address = 0x20;
+  w.beats = 4;
+  t.append(w);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.totalBeats(), 5u);
+  EXPECT_EQ(t.countOf(Kind::Read), 1u);
+  EXPECT_EQ(t.countOf(Kind::Write), 1u);
+  EXPECT_EQ(t.countOf(Kind::InstrFetch), 0u);
+}
+
+TEST(BusTraceTest, AppendTraceWithOffsetShiftsIssueCycles) {
+  BusTrace a;
+  TraceEntry e;
+  e.issueCycle = 5;
+  a.append(e);
+  BusTrace b;
+  b.append(a, 100);
+  EXPECT_EQ(b[0].issueCycle, 105u);
+}
+
+TEST(BusTraceTest, SaveLoadRoundTrip) {
+  BusTrace t;
+  TraceEntry r;
+  r.issueCycle = 3;
+  r.kind = Kind::Read;
+  r.address = 0x1234;
+  r.size = bus::AccessSize::Half;
+  t.append(r);
+  TraceEntry w;
+  w.issueCycle = 7;
+  w.kind = Kind::Write;
+  w.address = 0xABC0;
+  w.beats = 4;
+  w.writeData = {1, 2, 3, 0xFFFFFFFF};
+  t.append(w);
+  TraceEntry i;
+  i.kind = Kind::InstrFetch;
+  i.address = 0x400;
+  i.beats = 4;
+  t.append(i);
+
+  std::stringstream ss;
+  t.save(ss);
+  const BusTrace loaded = BusTrace::load(ss);
+  EXPECT_EQ(t, loaded);
+}
+
+TEST(BusTraceTest, LoadRejectsGarbage) {
+  std::stringstream ss("0 X 0x10 4 1\n");
+  EXPECT_THROW(BusTrace::load(ss), std::runtime_error);
+  std::stringstream ss2("0 R 0x10 3 1\n");
+  EXPECT_THROW(BusTrace::load(ss2), std::runtime_error);
+  std::stringstream ss3("0 W 0x10 4 1\n");  // Missing write data.
+  EXPECT_THROW(BusTrace::load(ss3), std::runtime_error);
+  std::stringstream ss4("0 R 0x10 4 9\n");  // Bad beat count.
+  EXPECT_THROW(BusTrace::load(ss4), std::runtime_error);
+}
+
+TEST(BusTraceTest, ByteCountOfEntries) {
+  TraceEntry e;
+  e.size = bus::AccessSize::Byte;
+  EXPECT_EQ(e.byteCount(), 1u);
+  e.size = bus::AccessSize::Word;
+  e.beats = 4;
+  EXPECT_EQ(e.byteCount(), 16u);
+}
+
+} // namespace
+} // namespace sct::trace

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "trace/workloads.h"
+
+namespace sct::trace {
+namespace {
+
+BusTrace traceWithGaps(std::initializer_list<std::uint64_t> cycles) {
+  BusTrace t;
+  for (std::uint64_t c : cycles) {
+    TraceEntry e;
+    e.kind = bus::Kind::Read;
+    e.address = 0x100;
+    e.issueCycle = c;
+    t.append(e);
+  }
+  return t;
+}
+
+TEST(CompressGapsTest, CapsLongGapsKeepsShortOnes) {
+  const BusTrace in = traceWithGaps({0, 2, 100, 103});
+  const BusTrace out = compressGaps(in, 6);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].issueCycle, 0u);
+  EXPECT_EQ(out[1].issueCycle, 2u);   // Gap 2 kept.
+  EXPECT_EQ(out[2].issueCycle, 8u);   // Gap 98 capped to 6.
+  EXPECT_EQ(out[3].issueCycle, 11u);  // Gap 3 kept.
+}
+
+TEST(CompressGapsTest, ZeroMaxGapMakesBackToBack) {
+  const BusTrace in = traceWithGaps({5, 10, 200});
+  const BusTrace out = compressGaps(in, 0);
+  EXPECT_EQ(out[0].issueCycle, 0u);
+  EXPECT_EQ(out[1].issueCycle, 0u);
+  EXPECT_EQ(out[2].issueCycle, 0u);
+}
+
+TEST(CompressGapsTest, AlreadyDenseTraceUnchangedInShape) {
+  const BusTrace in = traceWithGaps({0, 1, 2, 3});
+  const BusTrace out = compressGaps(in, 10);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].issueCycle, in[i].issueCycle);
+  }
+}
+
+TEST(CompressGapsTest, NonMonotonicInputIsTreatedAsBackToBack) {
+  BusTrace in = traceWithGaps({10, 5});
+  const BusTrace out = compressGaps(in, 4);
+  EXPECT_EQ(out[1].issueCycle, out[0].issueCycle);
+}
+
+TEST(CompressGapsTest, PayloadFieldsSurvive) {
+  BusTrace in;
+  TraceEntry e;
+  e.kind = bus::Kind::Write;
+  e.address = 0xABC0;
+  e.beats = 4;
+  e.writeData = {1, 2, 3, 4};
+  e.issueCycle = 77;
+  in.append(e);
+  const BusTrace out = compressGaps(in, 3);
+  EXPECT_EQ(out[0].kind, e.kind);
+  EXPECT_EQ(out[0].address, e.address);
+  EXPECT_EQ(out[0].writeData, e.writeData);
+}
+
+TEST(CompressGapsTest, EmptyTrace) {
+  EXPECT_TRUE(compressGaps(BusTrace{}, 5).empty());
+}
+
+} // namespace
+} // namespace sct::trace

@@ -1,0 +1,45 @@
+#include "trace/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sct::trace {
+namespace {
+
+TEST(ReportTest, PrintsAlignedColumns) {
+  Table t({"Model", "Cycles", "Error"});
+  t.addRow({"Gate-level", "1000", "-"});
+  t.addRow({"TL layer 1", "1000", "0.0%"});
+  std::stringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("Gate-level"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Header and both rows plus separator: 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(ReportTest, PercentFormatting) {
+  EXPECT_EQ(Table::pct(0.123), "12.3%");
+  EXPECT_EQ(Table::pct(-0.078), "-7.8%");
+  EXPECT_EQ(Table::pct(0.147, 1, /*forceSign=*/true), "+14.7%");
+  EXPECT_EQ(Table::pct(0.005, 1, true), "+0.5%");
+}
+
+TEST(ReportTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(85.3), "85.3");
+  EXPECT_EQ(Table::num(1.52, 2), "1.52");
+  EXPECT_EQ(Table::num(100.0, 0), "100");
+}
+
+TEST(ReportTest, RowsShorterThanHeaderAreFine) {
+  Table t({"A", "B", "C"});
+  t.addRow({"x"});
+  std::stringstream ss;
+  EXPECT_NO_THROW(t.print(ss));
+}
+
+} // namespace
+} // namespace sct::trace

@@ -1,0 +1,57 @@
+#include "trace/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../testbench.h"
+#include "trace/workloads.h"
+
+namespace sct::trace {
+namespace {
+
+TEST(VcdTest, HeaderDeclaresAllSignals) {
+  std::stringstream ss;
+  VcdWriter vcd(ss, 10);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("$timescale 1ps $end"), std::string::npos);
+  for (const auto& info : bus::kSignalTable) {
+    EXPECT_NE(out.find(std::string(info.name)), std::string::npos)
+        << info.name;
+  }
+  EXPECT_NE(out.find("$enddefinitions"), std::string::npos);
+}
+
+TEST(VcdTest, DumpsValueChanges) {
+  testbench::RefBench tb;
+  std::stringstream ss;
+  VcdWriter vcd(ss, 10);
+  tb.bus.addFrameListener(vcd);
+  BusTrace t;
+  TraceEntry e;
+  e.kind = bus::Kind::Write;
+  e.address = 0x100;
+  e.writeData[0] = 0xFFFFFFFF;
+  t.append(e);
+  tb.run(t);
+  const std::string out = ss.str();
+  EXPECT_GT(vcd.framesWritten(), 0u);
+  // Timestamped sections and vector values must appear.
+  EXPECT_NE(out.find("#10"), std::string::npos);
+  EXPECT_NE(out.find("b"), std::string::npos);
+}
+
+TEST(VcdTest, QuietCyclesEmitNoTimestamps) {
+  testbench::RefBench tb;
+  std::stringstream ss;
+  VcdWriter vcd(ss, 10);
+  tb.bus.addFrameListener(vcd);
+  // First frame dumps everything; later idle frames add nothing.
+  tb.clk.runCycles(5);
+  const std::string out = ss.str();
+  EXPECT_EQ(out.find("#30"), std::string::npos);
+  EXPECT_EQ(vcd.framesWritten(), 5u);
+}
+
+} // namespace
+} // namespace sct::trace

@@ -1,0 +1,115 @@
+#include "trace/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "../testbench.h"
+
+namespace sct::trace {
+namespace {
+
+using bus::Kind;
+
+TEST(WorkloadsTest, VerificationSuiteCoversSpecExamples) {
+  const auto suite = verificationSuite(testbench::fastRegion(),
+                                       testbench::waitedRegion());
+  ASSERT_GE(suite.size(), 7u);
+  bool sawBurst = false;
+  bool sawSubword = false;
+  bool sawFetch = false;
+  for (const NamedTrace& nt : suite) {
+    EXPECT_FALSE(nt.trace.empty()) << nt.name;
+    for (const TraceEntry& e : nt.trace.entries()) {
+      if (e.beats > 1) sawBurst = true;
+      if (e.size != bus::AccessSize::Word) sawSubword = true;
+      if (e.kind == Kind::InstrFetch) sawFetch = true;
+    }
+  }
+  EXPECT_TRUE(sawBurst);
+  EXPECT_TRUE(sawSubword);
+  EXPECT_TRUE(sawFetch);
+}
+
+TEST(WorkloadsTest, VerificationTraceRunsCleanlyOnLayer1) {
+  testbench::Tl1Bench tb;
+  const BusTrace t = verificationTrace(testbench::fastRegion(),
+                                       testbench::waitedRegion());
+  trace::ReplayMaster m(tb.clk, "m", tb.bus, tb.bus, t);
+  m.runToCompletion();
+  EXPECT_TRUE(m.done());
+  EXPECT_EQ(m.stats().errors, 0u);
+}
+
+TEST(WorkloadsTest, RandomMixRespectsCountAndRegions) {
+  const auto regions = testbench::bothRegions();
+  const BusTrace t = randomMix(1, 500, regions);
+  EXPECT_EQ(t.size(), 500u);
+  for (const TraceEntry& e : t.entries()) {
+    const bool inFast = e.address < 0x2000;
+    const bool inWaited = e.address >= 0x8000 && e.address < 0xA000;
+    EXPECT_TRUE(inFast || inWaited);
+    EXPECT_EQ(e.address % 4, 0u);
+    if (e.beats > 1) {
+      EXPECT_LE(e.address + 16,
+                inFast ? 0x2000u : 0xA000u);
+    }
+  }
+}
+
+TEST(WorkloadsTest, MixRatiosAreHonoured) {
+  const auto regions = testbench::bothRegions();
+  MixRatios mix;
+  mix.singleRead = 1;
+  mix.singleWrite = 0;
+  mix.burstRead = 0;
+  mix.burstWrite = 0;
+  const BusTrace t = randomMix(2, 200, regions, mix);
+  for (const TraceEntry& e : t.entries()) {
+    EXPECT_EQ(e.kind, Kind::Read);
+    EXPECT_EQ(e.beats, 1u);
+  }
+}
+
+TEST(WorkloadsTest, DeterministicPerSeed) {
+  const auto regions = testbench::bothRegions();
+  EXPECT_EQ(randomMix(42, 100, regions), randomMix(42, 100, regions));
+  EXPECT_NE(randomMix(42, 100, regions), randomMix(43, 100, regions));
+}
+
+TEST(WorkloadsTest, IssueGapsAreBounded) {
+  const auto regions = testbench::bothRegions();
+  const BusTrace t = randomMix(3, 100, regions, MixRatios{}, 5);
+  std::uint64_t prev = 0;
+  for (const TraceEntry& e : t.entries()) {
+    EXPECT_GE(e.issueCycle, prev);
+    EXPECT_LE(e.issueCycle - prev, 5u);
+    prev = e.issueCycle;
+  }
+}
+
+TEST(WorkloadsTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(randomMix(1, 10, {}), std::invalid_argument);
+  const auto regions = testbench::bothRegions();
+  MixRatios zero;
+  zero.singleRead = zero.singleWrite = zero.burstRead = zero.burstWrite = 0;
+  EXPECT_THROW(randomMix(1, 10, regions, zero), std::invalid_argument);
+}
+
+TEST(WorkloadsTest, CharacterizationTraceIncludesAllClasses) {
+  const auto regions = testbench::bothRegions();
+  const BusTrace t = characterizationTrace(4, 600, regions);
+  EXPECT_GT(t.countOf(Kind::Read), 0u);
+  EXPECT_GT(t.countOf(Kind::Write), 0u);
+  EXPECT_GT(t.countOf(Kind::InstrFetch), 0u);
+  bool sawBurst = false;
+  bool sawSingle = false;
+  for (const TraceEntry& e : t.entries()) {
+    (e.beats > 1 ? sawBurst : sawSingle) = true;
+  }
+  EXPECT_TRUE(sawBurst);
+  EXPECT_TRUE(sawSingle);
+}
+
+} // namespace
+} // namespace sct::trace
