@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buscoding.dir/bench/ablation_buscoding.cpp.o"
+  "CMakeFiles/ablation_buscoding.dir/bench/ablation_buscoding.cpp.o.d"
+  "bench/ablation_buscoding"
+  "bench/ablation_buscoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buscoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache.dir/bench/ablation_cache.cpp.o"
+  "CMakeFiles/ablation_cache.dir/bench/ablation_cache.cpp.o.d"
+  "bench/ablation_cache"
+  "bench/ablation_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

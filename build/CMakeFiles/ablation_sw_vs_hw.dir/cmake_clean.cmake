@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sw_vs_hw.dir/bench/ablation_sw_vs_hw.cpp.o"
+  "CMakeFiles/ablation_sw_vs_hw.dir/bench/ablation_sw_vs_hw.cpp.o.d"
+  "bench/ablation_sw_vs_hw"
+  "bench/ablation_sw_vs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sw_vs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_sw_vs_hw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vdd.dir/bench/ablation_vdd.cpp.o"
+  "CMakeFiles/ablation_vdd.dir/bench/ablation_vdd.cpp.o.d"
+  "bench/ablation_vdd"
+  "bench/ablation_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

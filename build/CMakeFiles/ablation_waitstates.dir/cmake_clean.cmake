@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_waitstates.dir/bench/ablation_waitstates.cpp.o"
+  "CMakeFiles/ablation_waitstates.dir/bench/ablation_waitstates.cpp.o.d"
+  "bench/ablation_waitstates"
+  "bench/ablation_waitstates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_waitstates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

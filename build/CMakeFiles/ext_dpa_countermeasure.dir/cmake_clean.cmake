@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dpa_countermeasure.dir/bench/ext_dpa_countermeasure.cpp.o"
+  "CMakeFiles/ext_dpa_countermeasure.dir/bench/ext_dpa_countermeasure.cpp.o.d"
+  "bench/ext_dpa_countermeasure"
+  "bench/ext_dpa_countermeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dpa_countermeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

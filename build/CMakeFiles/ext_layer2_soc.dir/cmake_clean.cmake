@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_layer2_soc.dir/bench/ext_layer2_soc.cpp.o"
+  "CMakeFiles/ext_layer2_soc.dir/bench/ext_layer2_soc.cpp.o.d"
+  "bench/ext_layer2_soc"
+  "bench/ext_layer2_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_layer2_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_peripherals.dir/bench/ext_peripherals.cpp.o"
+  "CMakeFiles/ext_peripherals.dir/bench/ext_peripherals.cpp.o.d"
+  "bench/ext_peripherals"
+  "bench/ext_peripherals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_peripherals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

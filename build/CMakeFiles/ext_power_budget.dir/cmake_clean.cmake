@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_power_budget.dir/bench/ext_power_budget.cpp.o"
+  "CMakeFiles/ext_power_budget.dir/bench/ext_power_budget.cpp.o.d"
+  "bench/ext_power_budget"
+  "bench/ext_power_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_power_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sampling.dir/bench/fig6_sampling.cpp.o"
+  "CMakeFiles/fig6_sampling.dir/bench/fig6_sampling.cpp.o.d"
+  "bench/fig6_sampling"
+  "bench/fig6_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

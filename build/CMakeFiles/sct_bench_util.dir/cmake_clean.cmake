@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_bench_util.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/sct_bench_util.dir/bench/bench_util.cpp.o.d"
+  "libsct_bench_util.a"
+  "libsct_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sct_bench_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sct_bench_util.
+# This may be replaced when dependencies are built.

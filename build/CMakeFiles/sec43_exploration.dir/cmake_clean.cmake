@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_exploration.dir/bench/sec43_exploration.cpp.o"
+  "CMakeFiles/sec43_exploration.dir/bench/sec43_exploration.cpp.o.d"
+  "bench/sec43_exploration"
+  "bench/sec43_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

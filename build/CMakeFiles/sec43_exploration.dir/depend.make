@@ -1,0 +1,2 @@
+# Empty dependencies file for sec43_exploration.
+# This may be replaced when dependencies are built.

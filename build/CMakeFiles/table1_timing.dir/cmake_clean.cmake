@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_timing.dir/bench/table1_timing.cpp.o"
+  "CMakeFiles/table1_timing.dir/bench/table1_timing.cpp.o.d"
+  "bench/table1_timing"
+  "bench/table1_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_energy.dir/bench/table2_energy.cpp.o"
+  "CMakeFiles/table2_energy.dir/bench/table2_energy.cpp.o.d"
+  "bench/table2_energy"
+  "bench/table2_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_simperf.dir/bench/table3_simperf.cpp.o"
+  "CMakeFiles/table3_simperf.dir/bench/table3_simperf.cpp.o.d"
+  "bench/table3_simperf"
+  "bench/table3_simperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_simperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

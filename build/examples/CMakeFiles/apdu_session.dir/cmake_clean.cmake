@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apdu_session.dir/apdu_session.cpp.o"
+  "CMakeFiles/apdu_session.dir/apdu_session.cpp.o.d"
+  "apdu_session"
+  "apdu_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apdu_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

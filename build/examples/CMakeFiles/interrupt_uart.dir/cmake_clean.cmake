@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_uart.dir/interrupt_uart.cpp.o"
+  "CMakeFiles/interrupt_uart.dir/interrupt_uart.cpp.o.d"
+  "interrupt_uart"
+  "interrupt_uart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_uart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for interrupt_uart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for interrupt_uart.
+# This may be replaced when dependencies are built.

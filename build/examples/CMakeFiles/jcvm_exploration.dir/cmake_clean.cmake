@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcvm_exploration.dir/jcvm_exploration.cpp.o"
+  "CMakeFiles/jcvm_exploration.dir/jcvm_exploration.cpp.o.d"
+  "jcvm_exploration"
+  "jcvm_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcvm_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

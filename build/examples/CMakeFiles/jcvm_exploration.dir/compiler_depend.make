@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jcvm_exploration.
+# This may be replaced when dependencies are built.

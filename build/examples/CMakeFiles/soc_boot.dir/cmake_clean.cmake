@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_boot.dir/soc_boot.cpp.o"
+  "CMakeFiles/soc_boot.dir/soc_boot.cpp.o.d"
+  "soc_boot"
+  "soc_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

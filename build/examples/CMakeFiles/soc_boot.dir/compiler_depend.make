@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for soc_boot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_power_trace.dir/spa_power_trace.cpp.o"
+  "CMakeFiles/spa_power_trace.dir/spa_power_trace.cpp.o.d"
+  "spa_power_trace"
+  "spa_power_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

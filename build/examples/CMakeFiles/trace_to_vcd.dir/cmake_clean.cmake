@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_to_vcd.dir/trace_to_vcd.cpp.o"
+  "CMakeFiles/trace_to_vcd.dir/trace_to_vcd.cpp.o.d"
+  "trace_to_vcd"
+  "trace_to_vcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_to_vcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

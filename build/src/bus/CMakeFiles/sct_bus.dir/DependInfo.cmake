@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/decoder.cpp" "src/bus/CMakeFiles/sct_bus.dir/decoder.cpp.o" "gcc" "src/bus/CMakeFiles/sct_bus.dir/decoder.cpp.o.d"
+  "/root/repo/src/bus/memory_slave.cpp" "src/bus/CMakeFiles/sct_bus.dir/memory_slave.cpp.o" "gcc" "src/bus/CMakeFiles/sct_bus.dir/memory_slave.cpp.o.d"
+  "/root/repo/src/bus/register_slave.cpp" "src/bus/CMakeFiles/sct_bus.dir/register_slave.cpp.o" "gcc" "src/bus/CMakeFiles/sct_bus.dir/register_slave.cpp.o.d"
+  "/root/repo/src/bus/tl1_bus.cpp" "src/bus/CMakeFiles/sct_bus.dir/tl1_bus.cpp.o" "gcc" "src/bus/CMakeFiles/sct_bus.dir/tl1_bus.cpp.o.d"
+  "/root/repo/src/bus/tl2_bridge.cpp" "src/bus/CMakeFiles/sct_bus.dir/tl2_bridge.cpp.o" "gcc" "src/bus/CMakeFiles/sct_bus.dir/tl2_bridge.cpp.o.d"
+  "/root/repo/src/bus/tl2_bus.cpp" "src/bus/CMakeFiles/sct_bus.dir/tl2_bus.cpp.o" "gcc" "src/bus/CMakeFiles/sct_bus.dir/tl2_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

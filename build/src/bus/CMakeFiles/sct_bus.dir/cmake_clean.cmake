@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_bus.dir/decoder.cpp.o"
+  "CMakeFiles/sct_bus.dir/decoder.cpp.o.d"
+  "CMakeFiles/sct_bus.dir/memory_slave.cpp.o"
+  "CMakeFiles/sct_bus.dir/memory_slave.cpp.o.d"
+  "CMakeFiles/sct_bus.dir/register_slave.cpp.o"
+  "CMakeFiles/sct_bus.dir/register_slave.cpp.o.d"
+  "CMakeFiles/sct_bus.dir/tl1_bus.cpp.o"
+  "CMakeFiles/sct_bus.dir/tl1_bus.cpp.o.d"
+  "CMakeFiles/sct_bus.dir/tl2_bridge.cpp.o"
+  "CMakeFiles/sct_bus.dir/tl2_bridge.cpp.o.d"
+  "CMakeFiles/sct_bus.dir/tl2_bus.cpp.o"
+  "CMakeFiles/sct_bus.dir/tl2_bus.cpp.o.d"
+  "libsct_bus.a"
+  "libsct_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

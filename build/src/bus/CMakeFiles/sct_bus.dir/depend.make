@@ -1,0 +1,2 @@
+# Empty dependencies file for sct_bus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jcvm/applets.cpp" "src/jcvm/CMakeFiles/sct_jcvm.dir/applets.cpp.o" "gcc" "src/jcvm/CMakeFiles/sct_jcvm.dir/applets.cpp.o.d"
+  "/root/repo/src/jcvm/bytecode.cpp" "src/jcvm/CMakeFiles/sct_jcvm.dir/bytecode.cpp.o" "gcc" "src/jcvm/CMakeFiles/sct_jcvm.dir/bytecode.cpp.o.d"
+  "/root/repo/src/jcvm/bytecode_profiler.cpp" "src/jcvm/CMakeFiles/sct_jcvm.dir/bytecode_profiler.cpp.o" "gcc" "src/jcvm/CMakeFiles/sct_jcvm.dir/bytecode_profiler.cpp.o.d"
+  "/root/repo/src/jcvm/exploration.cpp" "src/jcvm/CMakeFiles/sct_jcvm.dir/exploration.cpp.o" "gcc" "src/jcvm/CMakeFiles/sct_jcvm.dir/exploration.cpp.o.d"
+  "/root/repo/src/jcvm/hw_stack.cpp" "src/jcvm/CMakeFiles/sct_jcvm.dir/hw_stack.cpp.o" "gcc" "src/jcvm/CMakeFiles/sct_jcvm.dir/hw_stack.cpp.o.d"
+  "/root/repo/src/jcvm/interpreter.cpp" "src/jcvm/CMakeFiles/sct_jcvm.dir/interpreter.cpp.o" "gcc" "src/jcvm/CMakeFiles/sct_jcvm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/jcvm/master_adapter.cpp" "src/jcvm/CMakeFiles/sct_jcvm.dir/master_adapter.cpp.o" "gcc" "src/jcvm/CMakeFiles/sct_jcvm.dir/master_adapter.cpp.o.d"
+  "/root/repo/src/jcvm/memory_manager.cpp" "src/jcvm/CMakeFiles/sct_jcvm.dir/memory_manager.cpp.o" "gcc" "src/jcvm/CMakeFiles/sct_jcvm.dir/memory_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sct_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/sct_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sct_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_jcvm.dir/applets.cpp.o"
+  "CMakeFiles/sct_jcvm.dir/applets.cpp.o.d"
+  "CMakeFiles/sct_jcvm.dir/bytecode.cpp.o"
+  "CMakeFiles/sct_jcvm.dir/bytecode.cpp.o.d"
+  "CMakeFiles/sct_jcvm.dir/bytecode_profiler.cpp.o"
+  "CMakeFiles/sct_jcvm.dir/bytecode_profiler.cpp.o.d"
+  "CMakeFiles/sct_jcvm.dir/exploration.cpp.o"
+  "CMakeFiles/sct_jcvm.dir/exploration.cpp.o.d"
+  "CMakeFiles/sct_jcvm.dir/hw_stack.cpp.o"
+  "CMakeFiles/sct_jcvm.dir/hw_stack.cpp.o.d"
+  "CMakeFiles/sct_jcvm.dir/interpreter.cpp.o"
+  "CMakeFiles/sct_jcvm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/sct_jcvm.dir/master_adapter.cpp.o"
+  "CMakeFiles/sct_jcvm.dir/master_adapter.cpp.o.d"
+  "CMakeFiles/sct_jcvm.dir/memory_manager.cpp.o"
+  "CMakeFiles/sct_jcvm.dir/memory_manager.cpp.o.d"
+  "libsct_jcvm.a"
+  "libsct_jcvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_jcvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

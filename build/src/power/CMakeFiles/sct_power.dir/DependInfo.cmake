@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/budget.cpp" "src/power/CMakeFiles/sct_power.dir/budget.cpp.o" "gcc" "src/power/CMakeFiles/sct_power.dir/budget.cpp.o.d"
+  "/root/repo/src/power/characterizer.cpp" "src/power/CMakeFiles/sct_power.dir/characterizer.cpp.o" "gcc" "src/power/CMakeFiles/sct_power.dir/characterizer.cpp.o.d"
+  "/root/repo/src/power/coeff_table.cpp" "src/power/CMakeFiles/sct_power.dir/coeff_table.cpp.o" "gcc" "src/power/CMakeFiles/sct_power.dir/coeff_table.cpp.o.d"
+  "/root/repo/src/power/component_models.cpp" "src/power/CMakeFiles/sct_power.dir/component_models.cpp.o" "gcc" "src/power/CMakeFiles/sct_power.dir/component_models.cpp.o.d"
+  "/root/repo/src/power/profile.cpp" "src/power/CMakeFiles/sct_power.dir/profile.cpp.o" "gcc" "src/power/CMakeFiles/sct_power.dir/profile.cpp.o.d"
+  "/root/repo/src/power/tl1_power_model.cpp" "src/power/CMakeFiles/sct_power.dir/tl1_power_model.cpp.o" "gcc" "src/power/CMakeFiles/sct_power.dir/tl1_power_model.cpp.o.d"
+  "/root/repo/src/power/tl2_power_model.cpp" "src/power/CMakeFiles/sct_power.dir/tl2_power_model.cpp.o" "gcc" "src/power/CMakeFiles/sct_power.dir/tl2_power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/sct_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sct_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_power.dir/budget.cpp.o"
+  "CMakeFiles/sct_power.dir/budget.cpp.o.d"
+  "CMakeFiles/sct_power.dir/characterizer.cpp.o"
+  "CMakeFiles/sct_power.dir/characterizer.cpp.o.d"
+  "CMakeFiles/sct_power.dir/coeff_table.cpp.o"
+  "CMakeFiles/sct_power.dir/coeff_table.cpp.o.d"
+  "CMakeFiles/sct_power.dir/component_models.cpp.o"
+  "CMakeFiles/sct_power.dir/component_models.cpp.o.d"
+  "CMakeFiles/sct_power.dir/profile.cpp.o"
+  "CMakeFiles/sct_power.dir/profile.cpp.o.d"
+  "CMakeFiles/sct_power.dir/tl1_power_model.cpp.o"
+  "CMakeFiles/sct_power.dir/tl1_power_model.cpp.o.d"
+  "CMakeFiles/sct_power.dir/tl2_power_model.cpp.o"
+  "CMakeFiles/sct_power.dir/tl2_power_model.cpp.o.d"
+  "libsct_power.a"
+  "libsct_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

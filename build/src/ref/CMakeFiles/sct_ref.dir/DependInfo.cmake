@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ref/energy.cpp" "src/ref/CMakeFiles/sct_ref.dir/energy.cpp.o" "gcc" "src/ref/CMakeFiles/sct_ref.dir/energy.cpp.o.d"
+  "/root/repo/src/ref/gl_bus.cpp" "src/ref/CMakeFiles/sct_ref.dir/gl_bus.cpp.o" "gcc" "src/ref/CMakeFiles/sct_ref.dir/gl_bus.cpp.o.d"
+  "/root/repo/src/ref/parasitics.cpp" "src/ref/CMakeFiles/sct_ref.dir/parasitics.cpp.o" "gcc" "src/ref/CMakeFiles/sct_ref.dir/parasitics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_ref.dir/energy.cpp.o"
+  "CMakeFiles/sct_ref.dir/energy.cpp.o.d"
+  "CMakeFiles/sct_ref.dir/gl_bus.cpp.o"
+  "CMakeFiles/sct_ref.dir/gl_bus.cpp.o.d"
+  "CMakeFiles/sct_ref.dir/parasitics.cpp.o"
+  "CMakeFiles/sct_ref.dir/parasitics.cpp.o.d"
+  "libsct_ref.a"
+  "libsct_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_sim.dir/clock.cpp.o"
+  "CMakeFiles/sct_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/sct_sim.dir/kernel.cpp.o"
+  "CMakeFiles/sct_sim.dir/kernel.cpp.o.d"
+  "libsct_sim.a"
+  "libsct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/apdu.cpp" "src/soc/CMakeFiles/sct_soc.dir/apdu.cpp.o" "gcc" "src/soc/CMakeFiles/sct_soc.dir/apdu.cpp.o.d"
+  "/root/repo/src/soc/assembler.cpp" "src/soc/CMakeFiles/sct_soc.dir/assembler.cpp.o" "gcc" "src/soc/CMakeFiles/sct_soc.dir/assembler.cpp.o.d"
+  "/root/repo/src/soc/cache.cpp" "src/soc/CMakeFiles/sct_soc.dir/cache.cpp.o" "gcc" "src/soc/CMakeFiles/sct_soc.dir/cache.cpp.o.d"
+  "/root/repo/src/soc/cpu.cpp" "src/soc/CMakeFiles/sct_soc.dir/cpu.cpp.o" "gcc" "src/soc/CMakeFiles/sct_soc.dir/cpu.cpp.o.d"
+  "/root/repo/src/soc/isa.cpp" "src/soc/CMakeFiles/sct_soc.dir/isa.cpp.o" "gcc" "src/soc/CMakeFiles/sct_soc.dir/isa.cpp.o.d"
+  "/root/repo/src/soc/peripherals.cpp" "src/soc/CMakeFiles/sct_soc.dir/peripherals.cpp.o" "gcc" "src/soc/CMakeFiles/sct_soc.dir/peripherals.cpp.o.d"
+  "/root/repo/src/soc/sw_crypto.cpp" "src/soc/CMakeFiles/sct_soc.dir/sw_crypto.cpp.o" "gcc" "src/soc/CMakeFiles/sct_soc.dir/sw_crypto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

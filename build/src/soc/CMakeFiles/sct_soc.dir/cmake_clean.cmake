@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_soc.dir/apdu.cpp.o"
+  "CMakeFiles/sct_soc.dir/apdu.cpp.o.d"
+  "CMakeFiles/sct_soc.dir/assembler.cpp.o"
+  "CMakeFiles/sct_soc.dir/assembler.cpp.o.d"
+  "CMakeFiles/sct_soc.dir/cache.cpp.o"
+  "CMakeFiles/sct_soc.dir/cache.cpp.o.d"
+  "CMakeFiles/sct_soc.dir/cpu.cpp.o"
+  "CMakeFiles/sct_soc.dir/cpu.cpp.o.d"
+  "CMakeFiles/sct_soc.dir/isa.cpp.o"
+  "CMakeFiles/sct_soc.dir/isa.cpp.o.d"
+  "CMakeFiles/sct_soc.dir/peripherals.cpp.o"
+  "CMakeFiles/sct_soc.dir/peripherals.cpp.o.d"
+  "CMakeFiles/sct_soc.dir/sw_crypto.cpp.o"
+  "CMakeFiles/sct_soc.dir/sw_crypto.cpp.o.d"
+  "libsct_soc.a"
+  "libsct_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

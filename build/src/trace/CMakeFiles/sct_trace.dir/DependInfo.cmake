@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/bus_trace.cpp" "src/trace/CMakeFiles/sct_trace.dir/bus_trace.cpp.o" "gcc" "src/trace/CMakeFiles/sct_trace.dir/bus_trace.cpp.o.d"
+  "/root/repo/src/trace/replay_master.cpp" "src/trace/CMakeFiles/sct_trace.dir/replay_master.cpp.o" "gcc" "src/trace/CMakeFiles/sct_trace.dir/replay_master.cpp.o.d"
+  "/root/repo/src/trace/report.cpp" "src/trace/CMakeFiles/sct_trace.dir/report.cpp.o" "gcc" "src/trace/CMakeFiles/sct_trace.dir/report.cpp.o.d"
+  "/root/repo/src/trace/vcd.cpp" "src/trace/CMakeFiles/sct_trace.dir/vcd.cpp.o" "gcc" "src/trace/CMakeFiles/sct_trace.dir/vcd.cpp.o.d"
+  "/root/repo/src/trace/workloads.cpp" "src/trace/CMakeFiles/sct_trace.dir/workloads.cpp.o" "gcc" "src/trace/CMakeFiles/sct_trace.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/sct_ref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

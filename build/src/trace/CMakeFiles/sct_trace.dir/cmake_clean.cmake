@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sct_trace.dir/bus_trace.cpp.o"
+  "CMakeFiles/sct_trace.dir/bus_trace.cpp.o.d"
+  "CMakeFiles/sct_trace.dir/replay_master.cpp.o"
+  "CMakeFiles/sct_trace.dir/replay_master.cpp.o.d"
+  "CMakeFiles/sct_trace.dir/report.cpp.o"
+  "CMakeFiles/sct_trace.dir/report.cpp.o.d"
+  "CMakeFiles/sct_trace.dir/vcd.cpp.o"
+  "CMakeFiles/sct_trace.dir/vcd.cpp.o.d"
+  "CMakeFiles/sct_trace.dir/workloads.cpp.o"
+  "CMakeFiles/sct_trace.dir/workloads.cpp.o.d"
+  "libsct_trace.a"
+  "libsct_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sct_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

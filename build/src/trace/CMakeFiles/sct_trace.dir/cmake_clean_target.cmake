@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsct_trace.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bus/decoder_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/decoder_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/decoder_test.cpp.o.d"
+  "/root/repo/tests/bus/ec_signals_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/ec_signals_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/ec_signals_test.cpp.o.d"
+  "/root/repo/tests/bus/ec_types_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/ec_types_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/ec_types_test.cpp.o.d"
+  "/root/repo/tests/bus/fault_injection_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/bus/memory_slave_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/memory_slave_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/memory_slave_test.cpp.o.d"
+  "/root/repo/tests/bus/protocol_sweep_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/protocol_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/protocol_sweep_test.cpp.o.d"
+  "/root/repo/tests/bus/register_slave_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/register_slave_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/register_slave_test.cpp.o.d"
+  "/root/repo/tests/bus/tl1_bus_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/tl1_bus_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/tl1_bus_test.cpp.o.d"
+  "/root/repo/tests/bus/tl2_bridge_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/tl2_bridge_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/tl2_bridge_test.cpp.o.d"
+  "/root/repo/tests/bus/tl2_bus_test.cpp" "tests/CMakeFiles/test_bus.dir/bus/tl2_bus_test.cpp.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/tl2_bus_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/sct_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sct_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

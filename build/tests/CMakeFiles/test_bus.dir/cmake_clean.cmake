@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus.dir/bus/decoder_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/decoder_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/ec_signals_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/ec_signals_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/ec_types_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/ec_types_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/fault_injection_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/fault_injection_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/memory_slave_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/memory_slave_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/protocol_sweep_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/protocol_sweep_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/register_slave_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/register_slave_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/tl1_bus_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/tl1_bus_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/tl2_bridge_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/tl2_bridge_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/tl2_bus_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/tl2_bus_test.cpp.o.d"
+  "test_bus"
+  "test_bus.pdb"
+  "test_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalence.dir/equivalence/layer_equivalence_test.cpp.o"
+  "CMakeFiles/test_equivalence.dir/equivalence/layer_equivalence_test.cpp.o.d"
+  "test_equivalence"
+  "test_equivalence.pdb"
+  "test_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jcvm/bytecode_profiler_test.cpp" "tests/CMakeFiles/test_jcvm.dir/jcvm/bytecode_profiler_test.cpp.o" "gcc" "tests/CMakeFiles/test_jcvm.dir/jcvm/bytecode_profiler_test.cpp.o.d"
+  "/root/repo/tests/jcvm/bytecode_test.cpp" "tests/CMakeFiles/test_jcvm.dir/jcvm/bytecode_test.cpp.o" "gcc" "tests/CMakeFiles/test_jcvm.dir/jcvm/bytecode_test.cpp.o.d"
+  "/root/repo/tests/jcvm/exploration_errors_test.cpp" "tests/CMakeFiles/test_jcvm.dir/jcvm/exploration_errors_test.cpp.o" "gcc" "tests/CMakeFiles/test_jcvm.dir/jcvm/exploration_errors_test.cpp.o.d"
+  "/root/repo/tests/jcvm/hw_stack_test.cpp" "tests/CMakeFiles/test_jcvm.dir/jcvm/hw_stack_test.cpp.o" "gcc" "tests/CMakeFiles/test_jcvm.dir/jcvm/hw_stack_test.cpp.o.d"
+  "/root/repo/tests/jcvm/interpreter_test.cpp" "tests/CMakeFiles/test_jcvm.dir/jcvm/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/test_jcvm.dir/jcvm/interpreter_test.cpp.o.d"
+  "/root/repo/tests/jcvm/memory_manager_test.cpp" "tests/CMakeFiles/test_jcvm.dir/jcvm/memory_manager_test.cpp.o" "gcc" "tests/CMakeFiles/test_jcvm.dir/jcvm/memory_manager_test.cpp.o.d"
+  "/root/repo/tests/jcvm/refinement_test.cpp" "tests/CMakeFiles/test_jcvm.dir/jcvm/refinement_test.cpp.o" "gcc" "tests/CMakeFiles/test_jcvm.dir/jcvm/refinement_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/jcvm/CMakeFiles/sct_jcvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/sct_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sct_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sct_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jcvm.dir/jcvm/bytecode_profiler_test.cpp.o"
+  "CMakeFiles/test_jcvm.dir/jcvm/bytecode_profiler_test.cpp.o.d"
+  "CMakeFiles/test_jcvm.dir/jcvm/bytecode_test.cpp.o"
+  "CMakeFiles/test_jcvm.dir/jcvm/bytecode_test.cpp.o.d"
+  "CMakeFiles/test_jcvm.dir/jcvm/exploration_errors_test.cpp.o"
+  "CMakeFiles/test_jcvm.dir/jcvm/exploration_errors_test.cpp.o.d"
+  "CMakeFiles/test_jcvm.dir/jcvm/hw_stack_test.cpp.o"
+  "CMakeFiles/test_jcvm.dir/jcvm/hw_stack_test.cpp.o.d"
+  "CMakeFiles/test_jcvm.dir/jcvm/interpreter_test.cpp.o"
+  "CMakeFiles/test_jcvm.dir/jcvm/interpreter_test.cpp.o.d"
+  "CMakeFiles/test_jcvm.dir/jcvm/memory_manager_test.cpp.o"
+  "CMakeFiles/test_jcvm.dir/jcvm/memory_manager_test.cpp.o.d"
+  "CMakeFiles/test_jcvm.dir/jcvm/refinement_test.cpp.o"
+  "CMakeFiles/test_jcvm.dir/jcvm/refinement_test.cpp.o.d"
+  "test_jcvm"
+  "test_jcvm.pdb"
+  "test_jcvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jcvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/budget_test.cpp" "tests/CMakeFiles/test_power.dir/power/budget_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/budget_test.cpp.o.d"
+  "/root/repo/tests/power/characterizer_test.cpp" "tests/CMakeFiles/test_power.dir/power/characterizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/characterizer_test.cpp.o.d"
+  "/root/repo/tests/power/coeff_table_test.cpp" "tests/CMakeFiles/test_power.dir/power/coeff_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/coeff_table_test.cpp.o.d"
+  "/root/repo/tests/power/component_models_test.cpp" "tests/CMakeFiles/test_power.dir/power/component_models_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/component_models_test.cpp.o.d"
+  "/root/repo/tests/power/profile_test.cpp" "tests/CMakeFiles/test_power.dir/power/profile_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/profile_test.cpp.o.d"
+  "/root/repo/tests/power/tl1_power_model_test.cpp" "tests/CMakeFiles/test_power.dir/power/tl1_power_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/tl1_power_model_test.cpp.o.d"
+  "/root/repo/tests/power/tl2_power_model_test.cpp" "tests/CMakeFiles/test_power.dir/power/tl2_power_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/tl2_power_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sct_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/sct_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sct_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power.dir/power/budget_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/budget_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/characterizer_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/characterizer_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/coeff_table_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/coeff_table_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/component_models_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/component_models_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/profile_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/profile_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/tl1_power_model_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/tl1_power_model_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/tl2_power_model_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/tl2_power_model_test.cpp.o.d"
+  "test_power"
+  "test_power.pdb"
+  "test_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref.dir/ref/energy_test.cpp.o"
+  "CMakeFiles/test_ref.dir/ref/energy_test.cpp.o.d"
+  "CMakeFiles/test_ref.dir/ref/gl_bus_test.cpp.o"
+  "CMakeFiles/test_ref.dir/ref/gl_bus_test.cpp.o.d"
+  "CMakeFiles/test_ref.dir/ref/multi_slave_test.cpp.o"
+  "CMakeFiles/test_ref.dir/ref/multi_slave_test.cpp.o.d"
+  "CMakeFiles/test_ref.dir/ref/parasitics_test.cpp.o"
+  "CMakeFiles/test_ref.dir/ref/parasitics_test.cpp.o.d"
+  "test_ref"
+  "test_ref.pdb"
+  "test_ref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/clock_reentrancy_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/clock_reentrancy_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/clock_reentrancy_test.cpp.o.d"
+  "/root/repo/tests/sim/clock_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/clock_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/clock_test.cpp.o.d"
+  "/root/repo/tests/sim/kernel_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/kernel_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/time_module_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/time_module_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/time_module_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/clock_reentrancy_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/clock_reentrancy_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/clock_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/clock_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/kernel_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/kernel_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/random_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/random_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/time_module_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/time_module_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

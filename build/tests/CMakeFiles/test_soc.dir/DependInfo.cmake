@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/soc/apdu_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/apdu_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/apdu_test.cpp.o.d"
+  "/root/repo/tests/soc/assembler_directives_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/assembler_directives_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/assembler_directives_test.cpp.o.d"
+  "/root/repo/tests/soc/assembler_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/assembler_test.cpp.o.d"
+  "/root/repo/tests/soc/cache_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/cache_test.cpp.o.d"
+  "/root/repo/tests/soc/cpu_random_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/cpu_random_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/cpu_random_test.cpp.o.d"
+  "/root/repo/tests/soc/cpu_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/cpu_test.cpp.o.d"
+  "/root/repo/tests/soc/interrupt_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/interrupt_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/interrupt_test.cpp.o.d"
+  "/root/repo/tests/soc/isa_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/isa_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/isa_test.cpp.o.d"
+  "/root/repo/tests/soc/peripherals_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/peripherals_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/peripherals_test.cpp.o.d"
+  "/root/repo/tests/soc/smartcard_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/smartcard_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/smartcard_test.cpp.o.d"
+  "/root/repo/tests/soc/sw_crypto_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/sw_crypto_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/sw_crypto_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sct_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/sct_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sct_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sct_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc.dir/soc/apdu_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/apdu_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/assembler_directives_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/assembler_directives_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/assembler_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/assembler_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/cache_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/cache_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/cpu_random_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/cpu_random_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/cpu_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/cpu_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/interrupt_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/interrupt_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/isa_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/isa_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/peripherals_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/peripherals_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/smartcard_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/smartcard_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/sw_crypto_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/sw_crypto_test.cpp.o.d"
+  "test_soc"
+  "test_soc.pdb"
+  "test_soc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

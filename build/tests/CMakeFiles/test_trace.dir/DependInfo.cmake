@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/bus_trace_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/bus_trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/bus_trace_test.cpp.o.d"
+  "/root/repo/tests/trace/compress_gaps_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/compress_gaps_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/compress_gaps_test.cpp.o.d"
+  "/root/repo/tests/trace/file_io_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/file_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/file_io_test.cpp.o.d"
+  "/root/repo/tests/trace/recorder_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/recorder_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/recorder_test.cpp.o.d"
+  "/root/repo/tests/trace/replay_master_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/replay_master_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/replay_master_test.cpp.o.d"
+  "/root/repo/tests/trace/report_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/report_test.cpp.o.d"
+  "/root/repo/tests/trace/vcd_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/vcd_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/vcd_test.cpp.o.d"
+  "/root/repo/tests/trace/workloads_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sct_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/sct_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sct_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sct_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

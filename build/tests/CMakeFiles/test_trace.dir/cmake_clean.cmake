@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/bus_trace_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/bus_trace_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/compress_gaps_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/compress_gaps_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/file_io_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/file_io_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/recorder_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/recorder_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/replay_master_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/replay_master_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/report_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/report_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/vcd_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/vcd_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/workloads_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/workloads_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_ref[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_soc[1]_include.cmake")
+include("/root/repo/build/tests/test_jcvm[1]_include.cmake")
