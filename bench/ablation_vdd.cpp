@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "power/characterizer.h"
 #include "power/tl1_power_model.h"
+#include "sim/parallel_runner.h"
 #include "trace/report.h"
 
 int main() {
@@ -20,6 +21,8 @@ int main() {
   const auto workload = trace::randomMixStyled(
       2024, 400, bench::platformRegions(), trace::MixRatios{}, 1,
       trace::DataStyle::Realistic);
+  const auto regions = bench::platformRegions();
+  const auto training = trace::characterizationTrace(1234, 1000, regions);
 
   std::printf("Ablation: supply voltage (ISO 7816 class A/B/C)\n"
               "(fixed 400-transaction workload; coefficients "
@@ -27,8 +30,16 @@ int main() {
   trace::Table t({"Vdd (V)", "Ref energy (pJ)", "Relative", "L1 est (pJ)",
                   "L1 error"});
 
-  double refAt5V = 0.0;
-  for (double vdd : {5.0, 3.0, 1.8}) {
+  // Each voltage point (characterize → reference replay → estimate) is
+  // an independent simulation; fan them out and report in sweep order.
+  const double vdds[] = {5.0, 3.0, 1.8};
+  struct Point {
+    double refE = 0.0;
+    double est = 0.0;
+  };
+  Point points[3];
+  sim::ParallelRunner::runIndexed(3, 0, [&](std::size_t i) {
+    const double vdd = vdds[i];
     ref::ProcessParams params;
     params.vdd = vdd;
     // Leakage scales roughly linearly with Vdd; keep the default's
@@ -40,27 +51,29 @@ int main() {
     bench::ReplayPlatform<ref::GlBus> trainer(model);
     power::Characterizer ch(model);
     trainer.ecbus.addFrameListener(ch);
-    trainer.replay(trace::characterizationTrace(
-        1234, 1000, bench::platformRegions()));
+    trainer.replay(training);
     const power::SignalEnergyTable table = ch.buildTable();
 
     // Reference + estimate on the evaluation workload.
     bench::ReplayPlatform<ref::GlBus> gl(model);
     gl.replay(workload);
-    const double refE = gl.ecbus.energy().total_fJ;
-    if (vdd == 5.0) refAt5V = refE;
+    points[i].refE = gl.ecbus.energy().total_fJ;
 
     bench::ReplayPlatform<bus::Tl1Bus> tl1;
     power::Tl1PowerModel pm(table);
     tl1.ecbus.addObserver(pm);
     tl1.replay(workload);
+    points[i].est = pm.totalEnergy_fJ();
+  });
 
-    t.addRow({trace::Table::num(vdd, 1),
-              trace::Table::num(refE / 1e3, 1),
-              trace::Table::pct(refE / refAt5V, 1),
-              trace::Table::num(pm.totalEnergy_fJ() / 1e3, 1),
-              trace::Table::pct((pm.totalEnergy_fJ() - refE) / refE, 1,
-                                true)});
+  const double refAt5V = points[0].refE;
+  for (std::size_t i = 0; i < 3; ++i) {
+    t.addRow({trace::Table::num(vdds[i], 1),
+              trace::Table::num(points[i].refE / 1e3, 1),
+              trace::Table::pct(points[i].refE / refAt5V, 1),
+              trace::Table::num(points[i].est / 1e3, 1),
+              trace::Table::pct((points[i].est - points[i].refE) /
+                                    points[i].refE, 1, true)});
   }
   t.print(std::cout);
 

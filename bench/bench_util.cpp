@@ -1,6 +1,31 @@
 #include "bench_util.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
+
 namespace sct::bench {
+
+const std::uint8_t* realisticImage(std::size_t n, std::uint64_t seed) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, std::uint64_t>,
+                  std::unique_ptr<std::uint8_t[]>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[{n, seed}];
+  if (!slot) {
+    slot = std::make_unique<std::uint8_t[]>(n);
+    trace::fillRealistic(slot.get(), n, seed);
+  }
+  return slot.get();
+}
+
+void prewarmSharedWorkloads() {
+  (void)characterizedTable();
+  (void)evaluationWorkload();
+  (void)realisticImage(soc::memmap::kRomSize, 11);
+  (void)realisticImage(soc::memmap::kFlashSize, 13);
+}
 
 const soc::AssembledProgram& workloadFirmware() {
   static const soc::AssembledProgram program = soc::assemble(R"(

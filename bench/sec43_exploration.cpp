@@ -14,13 +14,23 @@
 #include "bench_util.h"
 #include "jcvm/applets.h"
 #include "jcvm/exploration.h"
+#include "sim/parallel_runner.h"
 #include "trace/report.h"
 
 int main() {
   using namespace sct;
   using jcvm::ExplorationResult;
 
+  // Build every lazily-constructed shared input on the main thread; the
+  // sweep below fans configurations out over a worker pool and shares
+  // the table by const reference.
+  bench::prewarmSharedWorkloads();
   const auto& table = bench::characterizedTable();
+  const unsigned threads = sim::ParallelRunner::defaultThreadCount();
+  std::printf("Exploration sweep on %u thread(s) (override with "
+              "SCT_THREADS); results are collected in configuration\n"
+              "order, so the tables are identical at any thread count.\n\n",
+              threads);
 
   struct Workload {
     std::string name;
@@ -47,9 +57,13 @@ int main() {
 
     trace::Table t({"Interface config", "Bus txns", "Bus cycles",
                     "Bytes", "Energy (pJ)", "fJ/bytecode", "OK"});
-    for (const jcvm::InterfaceConfig& cfg : jcvm::defaultConfigSpace()) {
-      const ExplorationResult r =
-          jcvm::evaluateInterface(w.program, w.args, cfg, table);
+    const std::vector<jcvm::InterfaceConfig> space =
+        jcvm::defaultConfigSpace();
+    const std::vector<ExplorationResult> results =
+        jcvm::evaluateInterfaces(w.program, w.args, space, table, threads);
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      const jcvm::InterfaceConfig& cfg = space[i];
+      const ExplorationResult& r = results[i];
       t.addRow({cfg.name, std::to_string(r.busTransactions),
                 std::to_string(r.busCycles),
                 std::to_string(r.bytesOnBus),

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Run the Table 3 simulation-performance benchmark and record the
+# result as JSON for regression tracking.
+#
+#   scripts/bench_table3.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build, output-json = BENCH_table3.json (repo
+# root). The google-benchmark `items_per_second` counter is
+# transactions per second — the paper's kT/s metric. Compare the
+# TL1_WithEstimation entry across commits to track hot-path
+# performance.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_table3.json"}
+bench="$build_dir/bench/table3_simperf"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built — run: cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target table3_simperf" >&2
+  exit 1
+fi
+
+# The paper-style factor table goes to stdout for the console; the
+# machine-readable run lands in the JSON file.
+"$bench" --benchmark_format=json --benchmark_out="$out" \
+         --benchmark_out_format=json
+echo "wrote $out"

@@ -26,6 +26,13 @@ class EcInstrIf {
   /// Submit or poll an instruction fetch. Call every cycle with the same
   /// payload until Ok or Error is returned.
   virtual BusStatus fetch(Tl1Request& req) = 0;
+  /// True if the implementation advances req.stage to Finished on its
+  /// own (from its bus process) and treats polls of any other non-Idle
+  /// stage as side-effect-free Waits. Masters may then skip the poll
+  /// until the public stage field reads Finished. Adapters that need
+  /// the poll itself to make progress (e.g. Tl2MasterBridge) keep the
+  /// default false.
+  virtual bool publishesStage() const { return false; }
 };
 
 /// Data read/write interface of the layer-1 bus (master side).
@@ -34,6 +41,8 @@ class EcDataIf {
   virtual ~EcDataIf() = default;
   virtual BusStatus read(Tl1Request& req) = 0;
   virtual BusStatus write(Tl1Request& req) = 0;
+  /// See EcInstrIf::publishesStage().
+  virtual bool publishesStage() const { return false; }
 };
 
 /// Layer-2 master interface: one function for read access and one for
@@ -45,6 +54,8 @@ class Tl2MasterIf {
   /// Submit or poll a transaction. A burst is a single transaction.
   virtual BusStatus read(Tl2Request& req) = 0;
   virtual BusStatus write(Tl2Request& req) = 0;
+  /// See EcInstrIf::publishesStage() (here for Tl2Request::stage).
+  virtual bool publishesStage() const { return false; }
 };
 
 /// Slave-side interface shared by both bus layers.
@@ -55,6 +66,11 @@ class EcSlave {
   virtual std::string_view name() const = 0;
 
   /// Slave control interface: address range, wait states, access rights.
+  /// The returned reference must stay valid (and refer to the same
+  /// object) for the slave's lifetime: the bus controllers cache it at
+  /// attach time and re-read it every cycle to snapshot the slave
+  /// state without a virtual call. Mutating the referenced struct
+  /// between cycles is allowed and is picked up by the next snapshot.
   virtual const SlaveControl& control() const = 0;
 
   /// Layer-1 beat transfer. May return Wait to stretch the data phase

@@ -6,11 +6,27 @@
 namespace sct::bus {
 
 MemorySlave::MemorySlave(std::string name, const SlaveControl& control)
-    : name_(std::move(name)), control_(control) {
+    : name_(std::move(name)),
+      control_(control),
+      size_(static_cast<std::size_t>(control.size)) {
   if (control_.size == 0) {
     throw std::invalid_argument("MemorySlave: zero-sized window");
   }
-  bytes_.resize(static_cast<std::size_t>(control_.size), 0);
+  bytes_.resize(size_, 0);
+}
+
+MemorySlave::MemorySlave(std::string name, const SlaveControl& control,
+                         const std::uint8_t* sharedImage)
+    : name_(std::move(name)),
+      control_(control),
+      shared_(sharedImage),
+      size_(static_cast<std::size_t>(control.size)) {
+  if (control_.size == 0) {
+    throw std::invalid_argument("MemorySlave: zero-sized window");
+  }
+  if (sharedImage == nullptr) {
+    throw std::invalid_argument("MemorySlave: null shared image");
+  }
 }
 
 BusStatus MemorySlave::readBeat(Address addr, AccessSize size, Word& out) {
@@ -19,7 +35,7 @@ BusStatus MemorySlave::readBeat(Address addr, AccessSize size, Word& out) {
   // Reads are returned on word-aligned lanes, as on the EC read bus.
   const std::size_t wordOff = offset(addr) & ~std::size_t{3};
   Word w = 0;
-  std::memcpy(&w, &bytes_[wordOff], 4);
+  std::memcpy(&w, roData() + wordOff, 4);
   out = w;
   return BusStatus::Ok;
 }
@@ -33,6 +49,7 @@ BusStatus MemorySlave::writeBeat(Address addr, AccessSize size,
     return BusStatus::Wait;
   }
   pendingStretch_ = 0;
+  materialize();
   const std::size_t wordOff = offset(addr) & ~std::size_t{3};
   for (unsigned lane = 0; lane < 4; ++lane) {
     if (byteEnables & (1u << lane)) {
@@ -45,13 +62,14 @@ BusStatus MemorySlave::writeBeat(Address addr, AccessSize size,
 
 bool MemorySlave::readBlock(Address addr, std::uint8_t* dst, std::size_t n) {
   if (!inWindow(addr, n)) return false;
-  std::memcpy(dst, &bytes_[offset(addr)], n);
+  std::memcpy(dst, roData() + offset(addr), n);
   return true;
 }
 
 bool MemorySlave::writeBlock(Address addr, const std::uint8_t* src,
                              std::size_t n) {
   if (!inWindow(addr, n)) return false;
+  materialize();
   std::memcpy(&bytes_[offset(addr)], src, n);
   return true;
 }
@@ -61,6 +79,7 @@ void MemorySlave::load(Address busAddr, const std::uint8_t* src,
   if (!inWindow(busAddr, n)) {
     throw std::out_of_range("MemorySlave::load outside window");
   }
+  materialize();
   std::memcpy(&bytes_[offset(busAddr)], src, n);
 }
 
@@ -69,7 +88,7 @@ Word MemorySlave::peekWord(Address busAddr) const {
     throw std::out_of_range("MemorySlave::peekWord outside window");
   }
   Word w = 0;
-  std::memcpy(&w, &bytes_[offset(busAddr)], 4);
+  std::memcpy(&w, roData() + offset(busAddr), 4);
   return w;
 }
 
@@ -77,6 +96,7 @@ void MemorySlave::pokeWord(Address busAddr, Word value) {
   if (!inWindow(busAddr, 4)) {
     throw std::out_of_range("MemorySlave::pokeWord outside window");
   }
+  materialize();
   std::memcpy(&bytes_[offset(busAddr)], &value, 4);
 }
 

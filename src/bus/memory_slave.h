@@ -22,6 +22,15 @@ class MemorySlave : public EcSlave {
   /// `control.size` bytes are allocated zero-initialized.
   MemorySlave(std::string name, const SlaveControl& control);
 
+  /// Copy-on-write construction from a shared prototype image of
+  /// `control.size` bytes. The slave reads through `sharedImage` (which
+  /// must stay valid until the slave is destroyed or first written) and
+  /// only materializes a private copy on the first mutation — replay
+  /// harnesses that build a platform per run load large ROM/flash
+  /// contents for free this way.
+  MemorySlave(std::string name, const SlaveControl& control,
+              const std::uint8_t* sharedImage);
+
   std::string_view name() const override { return name_; }
   const SlaveControl& control() const override { return control_; }
 
@@ -39,9 +48,13 @@ class MemorySlave : public EcSlave {
   void setExtraWritePerBeat(unsigned cycles) { extraWritePerBeat_ = cycles; }
 
   /// Direct backdoor access (no bus, no timing) for loaders and tests.
-  std::uint8_t* data() { return bytes_.data(); }
-  const std::uint8_t* data() const { return bytes_.data(); }
-  std::size_t sizeBytes() const { return bytes_.size(); }
+  /// The mutable overload materializes a shared image (copy-on-write).
+  std::uint8_t* data() {
+    materialize();
+    return bytes_.data();
+  }
+  const std::uint8_t* data() const { return roData(); }
+  std::size_t sizeBytes() const { return size_; }
   void load(Address busAddr, const std::uint8_t* src, std::size_t n);
   Word peekWord(Address busAddr) const;
   void pokeWord(Address busAddr, Word value);
@@ -51,13 +64,26 @@ class MemorySlave : public EcSlave {
     return static_cast<std::size_t>(addr - control_.base);
   }
   bool inWindow(Address addr, std::size_t n) const {
-    return addr >= control_.base && addr - control_.base + n <= bytes_.size();
+    return addr >= control_.base && addr - control_.base + n <= size_;
   }
 
  private:
+  const std::uint8_t* roData() const {
+    return shared_ != nullptr ? shared_ : bytes_.data();
+  }
+  /// Turn a shared image into a private copy before the first mutation.
+  void materialize() {
+    if (shared_ != nullptr) {
+      bytes_.assign(shared_, shared_ + size_);
+      shared_ = nullptr;
+    }
+  }
+
   std::string name_;
   SlaveControl control_;
   std::vector<std::uint8_t> bytes_;
+  const std::uint8_t* shared_ = nullptr;  ///< Non-null until materialized.
+  std::size_t size_ = 0;
   unsigned extraWritePerBeat_ = 0;
   unsigned pendingStretch_ = 0;
 };

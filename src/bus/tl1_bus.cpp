@@ -109,22 +109,17 @@ void Tl1Bus::busProcess() {
   ++stats_.cycles;
   for (Tl1Observer* obs : observers_) obs->busCycleBegin(cycleNow_);
 
-  sampleSlaveStates();
+  // getSlaveState(): the paper's first phase samples every slave's
+  // control interface. The control references were cached at attach
+  // time (EcSlave::control guarantees a stable reference that only
+  // changes between cycles), so the phases below read them directly —
+  // the per-cycle snapshot copy would be byte-identical.
   addressPhase();
   readPhase();
   writePhase();
 
   if (anyActivityThisCycle_) ++stats_.busyCycles;
   for (Tl1Observer* obs : observers_) obs->busCycleEnd(cycleNow_);
-}
-
-void Tl1Bus::sampleSlaveStates() {
-  // getSlaveState(): the bus controller samples every slave's control
-  // interface once per cycle; the phases below work on this snapshot.
-  slaveState_.resize(decoder_.slaveCount());
-  for (std::size_t i = 0; i < decoder_.slaveCount(); ++i) {
-    slaveState_[i] = decoder_.slave(static_cast<int>(i)).control();
-  }
 }
 
 void Tl1Bus::publishAddressPhase(const AddressPhaseInfo& info) {
@@ -170,7 +165,7 @@ void Tl1Bus::addressPhase() {
     req.slave = decoder_.decode(req.address);
     bool error = req.slave < 0;
     if (!error) {
-      const SlaveControl& c = slaveState_[static_cast<std::size_t>(req.slave)];
+      const SlaveControl& c = *slaveControls_[static_cast<std::size_t>(req.slave)];
       error = !c.allows(req.kind) ||
               (req.burst() && !c.contains(req.address + 4u * req.beats - 1));
       req.waitCount = error ? 0 : c.addrWait;
@@ -213,7 +208,7 @@ void Tl1Bus::addressPhase() {
   }
   // Address phase completes this cycle: hand over to the data queues.
   req.stage = Tl1Stage::DataQueued;
-  const SlaveControl& c = slaveState_[static_cast<std::size_t>(req.slave)];
+  const SlaveControl& c = *slaveControls_[static_cast<std::size_t>(req.slave)];
   if (req.kind == Kind::Write) {
     req.waitCount = c.writeWait;
     writeQueue_.push_back(&req);
@@ -246,13 +241,13 @@ void Tl1Bus::dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue) {
 
   EcSlave& slave = decoder_.slave(req.slave);
   const Address beatAddr = req.address + 4u * req.beatsDone;
+  const std::uint8_t lanes = byteEnables(req.size, beatAddr);
   const bool isWrite = req.kind == Kind::Write;
   Word data = 0;
   BusStatus s;
   if (isWrite) {
     data = req.data[req.beatsDone];
-    s = slave.writeBeat(beatAddr, req.size, byteEnables(req.size, beatAddr),
-                        data);
+    s = slave.writeBeat(beatAddr, req.size, lanes, data);
   } else {
     s = slave.readBeat(beatAddr, req.size, data);
     if (s == BusStatus::Ok) req.data[req.beatsDone] = data;
@@ -265,7 +260,7 @@ void Tl1Bus::dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue) {
   beat.address = beatAddr;
   beat.kind = req.kind;
   beat.data = data;
-  beat.byteEnables = byteEnables(req.size, beatAddr);
+  beat.byteEnables = lanes;
   beat.beatIndex = req.beatsDone;
   beat.last = last;
   beat.error = s == BusStatus::Error;
@@ -290,7 +285,7 @@ void Tl1Bus::dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue) {
     finish(req, BusStatus::Ok);
     current = nullptr;
   } else {
-    const SlaveControl& c = slaveState_[static_cast<std::size_t>(req.slave)];
+    const SlaveControl& c = *slaveControls_[static_cast<std::size_t>(req.slave)];
     req.waitCount = c.burstBeatWait;
   }
 }

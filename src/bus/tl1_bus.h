@@ -62,7 +62,11 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
 
   /// Register a slave with the bus controller's address decoder.
   /// Returns the slave index (select line).
-  int attach(EcSlave& slave) { return decoder_.attach(slave); }
+  int attach(EcSlave& slave) {
+    const int idx = decoder_.attach(slave);
+    slaveControls_.push_back(&slave.control());
+    return idx;
+  }
 
   void addObserver(Tl1Observer& obs) { observers_.push_back(&obs); }
   void removeObserver(Tl1Observer& obs);
@@ -71,6 +75,9 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   BusStatus fetch(Tl1Request& req) override;
   BusStatus read(Tl1Request& req) override;
   BusStatus write(Tl1Request& req) override;
+  // The bus process moves req.stage to Finished itself; intermediate
+  // polls are side-effect-free, so masters may gate on the stage field.
+  bool publishesStage() const override { return true; }
 
   /// True when no transaction is queued or in flight.
   bool idle() const;
@@ -86,7 +93,6 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   unsigned outstanding(Kind k) const;
 
   void busProcess();
-  void sampleSlaveStates();
   void addressPhase();
   void readPhase();
   void writePhase();
@@ -99,7 +105,7 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   sim::Clock::HandlerId processId_;
   AddressDecoder decoder_;
   std::vector<Tl1Observer*> observers_;
-  std::vector<SlaveControl> slaveState_;  ///< Sampled by getSlaveState().
+  std::vector<const SlaveControl*> slaveControls_;  ///< Cached at attach().
 
   std::deque<Tl1Request*> requestQueue_;
   std::deque<Tl1Request*> readQueue_;   ///< Instr fetches + data reads.

@@ -69,6 +69,9 @@ class Tl2Bus final : public sim::Module, public Tl2MasterIf {
   // Kind::InstrFetch (the "instruction bit" parameter of the paper).
   BusStatus read(Tl2Request& req) override;
   BusStatus write(Tl2Request& req) override;
+  // The bus process moves req.stage to Finished itself; intermediate
+  // polls are side-effect-free, so masters may gate on the stage field.
+  bool publishesStage() const override { return true; }
 
   bool idle() const;
 

@@ -5,6 +5,7 @@
 #include "power/tl1_power_model.h"
 #include "sim/clock.h"
 #include "sim/kernel.h"
+#include "sim/parallel_runner.h"
 
 namespace sct::jcvm {
 
@@ -72,6 +73,18 @@ ExplorationResult evaluateFunctional(const JcProgram& program,
   r.bytecodes = vm.stats().bytecodesExecuted;
   r.stackOps = vm.stats().stackOps;
   return r;
+}
+
+std::vector<ExplorationResult> evaluateInterfaces(
+    const JcProgram& program, const std::vector<JcShort>& args,
+    const std::vector<InterfaceConfig>& space,
+    const power::SignalEnergyTable& table, unsigned threads) {
+  std::vector<ExplorationResult> results(space.size());
+  sim::ParallelRunner::runIndexed(
+      space.size(), threads, [&](std::size_t i) {
+        results[i] = evaluateInterface(program, args, space[i], table);
+      });
+  return results;
 }
 
 std::vector<InterfaceConfig> defaultConfigSpace() {

@@ -63,6 +63,18 @@ ExplorationResult evaluateInterface(
 ExplorationResult evaluateFunctional(const JcProgram& program,
                                      const std::vector<JcShort>& args);
 
+/// Sweep a whole configuration space, one independent simulation per
+/// configuration, fanned out over `threads` workers (0 = use
+/// sim::ParallelRunner::defaultThreadCount(), 1 = sequential on the
+/// caller's thread). Each worker builds its own kernel/clock/bus/model
+/// stack; `program` and `table` are shared read-only. Results come back
+/// indexed by `space` order, so the output is identical to calling
+/// evaluateInterface() in a loop no matter how many threads run.
+std::vector<ExplorationResult> evaluateInterfaces(
+    const JcProgram& program, const std::vector<JcShort>& args,
+    const std::vector<InterfaceConfig>& space,
+    const power::SignalEnergyTable& table, unsigned threads = 0);
+
 /// The configuration space swept by the Section 4.3 bench.
 std::vector<InterfaceConfig> defaultConfigSpace();
 

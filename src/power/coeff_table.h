@@ -6,6 +6,12 @@
 // abstraction — one femtojoule-per-transition coefficient per EC
 // interface bundle — plus a text (de)serialization so characterized
 // tables can be shipped with a platform.
+//
+// Thread-safety: a SignalEnergyTable is a plain value type (an array of
+// doubles). Concurrent const access — coeff_fJ/coeffs/energyFor/save —
+// from any number of threads is safe as long as no thread mutates the
+// same instance; the parallel exploration runner relies on this by
+// sharing one characterized table across workers by const reference.
 #ifndef SCT_POWER_COEFF_TABLE_H
 #define SCT_POWER_COEFF_TABLE_H
 
@@ -23,6 +29,13 @@ class SignalEnergyTable {
 
   double coeff_fJ(bus::SignalId id) const {
     return coeffs_[static_cast<std::size_t>(id)];
+  }
+
+  /// The flat per-signal coefficient array, indexed by SignalId order.
+  /// Hot loops (Tl1PowerModel::busCycleEnd) index this directly instead
+  /// of paying an energyFor call per signal.
+  const std::array<double, bus::kSignalCount>& coeffs() const {
+    return coeffs_;
   }
   void setCoeff_fJ(bus::SignalId id, double fJPerTransition) {
     coeffs_[static_cast<std::size_t>(id)] = fJPerTransition;

@@ -1,73 +1,97 @@
 #include "power/tl1_power_model.h"
 
+#include <bit>
+
 namespace sct::power {
 
 using bus::SignalId;
 
 void Tl1PowerModel::busCycleBegin(std::uint64_t /*cycle*/) {
   // Open the cycle: buses, qualifiers and select lines hold their
-  // values; handshake strobes return to the inactive level.
-  newFrame_ = oldFrame_;
-  newFrame_.set(SignalId::EB_AValid, 0);
-  newFrame_.set(SignalId::EB_ARdy, 0);
-  newFrame_.set(SignalId::EB_RdVal, 0);
-  newFrame_.set(SignalId::EB_RBErr, 0);
-  newFrame_.set(SignalId::EB_WDRdy, 0);
-  newFrame_.set(SignalId::EB_WBErr, 0);
-  newFrame_.set(SignalId::EB_Last, 0);
+  // values; handshake strobes return to the inactive level. The strobe
+  // deassertion is handled lazily — strobe() cancels it for bundles
+  // re-driven this cycle, busCycleEnd applies it to the rest — so
+  // opening a cycle costs nothing.
 }
 
 void Tl1PowerModel::addressPhase(const bus::AddressPhaseInfo& info) {
-  newFrame_.set(SignalId::EB_A, info.address);
-  newFrame_.set(SignalId::EB_Instr, info.kind == bus::Kind::InstrFetch);
-  newFrame_.set(SignalId::EB_Write, info.kind == bus::Kind::Write);
-  newFrame_.set(SignalId::EB_Burst, info.beats > 1);
-  newFrame_.set(SignalId::EB_BE, info.byteEnables);
-  newFrame_.set(SignalId::EB_AValid, 1);
-  newFrame_.set(SignalId::EB_Sel,
-                info.error ? 0 : bus::AddressDecoder::selectMask(info.slave));
-  if (info.accepted && !info.error) newFrame_.set(SignalId::EB_ARdy, 1);
+  touch(SignalId::EB_A, info.address);
+  touch(SignalId::EB_Instr, info.kind == bus::Kind::InstrFetch);
+  touch(SignalId::EB_Write, info.kind == bus::Kind::Write);
+  touch(SignalId::EB_Burst, info.beats > 1);
+  touch(SignalId::EB_BE, info.byteEnables);
+  strobe(SignalId::EB_AValid);
+  touch(SignalId::EB_Sel,
+        info.error ? 0 : bus::AddressDecoder::selectMask(info.slave));
+  if (info.accepted && !info.error) strobe(SignalId::EB_ARdy);
 }
 
 void Tl1PowerModel::readBeat(const bus::DataBeatInfo& info) {
   if (info.error) {
-    newFrame_.set(SignalId::EB_RBErr, 1);
-    newFrame_.set(SignalId::EB_Last, 1);
+    strobe(SignalId::EB_RBErr);
+    strobe(SignalId::EB_Last);
     return;
   }
-  newFrame_.set(SignalId::EB_RData, info.data);
-  newFrame_.set(SignalId::EB_RdVal, 1);
-  if (info.last) newFrame_.set(SignalId::EB_Last, 1);
+  touch(SignalId::EB_RData, info.data);
+  strobe(SignalId::EB_RdVal);
+  if (info.last) strobe(SignalId::EB_Last);
 }
 
 void Tl1PowerModel::writeBeat(const bus::DataBeatInfo& info) {
   if (info.error) {
-    newFrame_.set(SignalId::EB_WBErr, 1);
-    newFrame_.set(SignalId::EB_Last, 1);
+    strobe(SignalId::EB_WBErr);
+    strobe(SignalId::EB_Last);
     return;
   }
-  newFrame_.set(SignalId::EB_WData, info.data);
-  newFrame_.set(SignalId::EB_WDRdy, 1);
-  if (info.last) newFrame_.set(SignalId::EB_Last, 1);
+  touch(SignalId::EB_WData, info.data);
+  strobe(SignalId::EB_WDRdy);
+  if (info.last) strobe(SignalId::EB_Last);
 }
 
 void Tl1PowerModel::busCycleEnd(std::uint64_t /*cycle*/) {
   // Standard RTL power estimation on the reconstructed signals: count
   // the transitions of each bundle and weight them with the
   // characterized average energy per transition.
+  //
+  // Hot-path shape: only bundles touched this cycle can differ from
+  // their pre-cycle value (everything else holds by construction), so
+  // the scan walks the dirty mask — typically the seven handshake
+  // strobes on an idle cycle — with a bare XOR + popcount per bundle.
+  // Frame values are stored masked. The shortcuts keep the accumulated
+  // energy bit-identical to the naive all-signals energyFor loop — the
+  // equivalence test pins that down.
+  const std::array<double, bus::kSignalCount>& coeff = table_.coeffs();
+  // Deferred strobe deassertion: strobes driven high last cycle and not
+  // re-driven this cycle drop back to the inactive level now. Folding
+  // them into the dirty mask before the walk keeps the energy
+  // accumulation in bundle-index order, i.e. bit-identical to eagerly
+  // clearing every strobe at busCycleBegin.
+  std::uint32_t drop = pendingLow_;
+  pendingLow_ = strobeSetMask_;
+  strobeSetMask_ = 0;
+  dirty_ |= drop;
+  while (drop != 0) {
+    const unsigned i = static_cast<unsigned>(std::countr_zero(drop));
+    drop &= drop - 1;
+    prev_[i] = 1;
+    frame_.set(static_cast<SignalId>(i), 0);
+  }
   double e = 0.0;
-  for (const auto& info : bus::kSignalTable) {
-    const std::size_t i = static_cast<std::size_t>(info.id);
-    const unsigned n = bus::hammingDistance(
-        info.id, oldFrame_.get(info.id), newFrame_.get(info.id));
-    if (n != 0) {
+  std::uint32_t m = dirty_;
+  dirty_ = 0;
+  while (m != 0) {
+    const unsigned i = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    const std::uint64_t diff =
+        prev_[i] ^ frame_.get(static_cast<SignalId>(i));
+    if (diff != 0) {
+      const unsigned n = static_cast<unsigned>(std::popcount(diff));
       transitions_[i] += n;
-      e += table_.energyFor(info.id, n);
+      e += coeff[i] * static_cast<double>(n);
     }
   }
   lastCycle_fJ_ = e;
   total_fJ_ += e;
-  oldFrame_ = newFrame_;
 }
 
 double Tl1PowerModel::energySinceLastCall_fJ() {

@@ -54,18 +54,64 @@ class Tl1PowerModel final : public bus::Tl1Observer,
   }
 
   /// The frame as reconstructed for the last completed cycle (used by
-  /// the layer-0 equivalence tests).
-  const bus::SignalFrame& frame() const { return oldFrame_; }
+  /// the layer-0 equivalence tests; read it after busCycleEnd, i.e.
+  /// from an observer registered after the power model).
+  const bus::SignalFrame& frame() const { return frame_; }
 
  private:
+  /// Record a new value for a bundle, saving its pre-cycle value the
+  /// first time the bundle's value actually changes in the current
+  /// cycle. A write that leaves the value as-is is dropped outright
+  /// (it cannot produce a transition), so busCycleEnd inspects just
+  /// the signals that really moved — every other signal holds by
+  /// construction. Handshake strobes must go through strobe() instead:
+  /// their frame value is only valid once pending deassertions are
+  /// accounted for.
+  void touch(bus::SignalId id, std::uint64_t value) {
+    const auto i = static_cast<std::size_t>(id);
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    const std::uint64_t masked = value & bus::signalMask(id);
+    if (!(dirty_ & bit)) {
+      if (frame_.get(id) == masked) return;  // Holds: no transition.
+      prev_[i] = frame_.get(id);
+      dirty_ |= bit;
+    }
+    frame_.set(id, masked);
+  }
+
+  /// Drive a one-bit handshake strobe to its active level. Strobes are
+  /// low at cycle open (busCycleBegin semantics), so the first drive of
+  /// a cycle is a 0 -> 1 edge — unless the previous cycle left the
+  /// strobe high and its lazy deassertion is still pending, in which
+  /// case the strobe simply holds and the deassertion is cancelled.
+  void strobe(bus::SignalId id) {
+    const auto i = static_cast<std::size_t>(id);
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    if (strobeSetMask_ & bit) return;  // Already high this cycle.
+    strobeSetMask_ |= bit;
+    if (pendingLow_ & bit) {
+      pendingLow_ &= ~bit;  // Held high across the boundary: no edge.
+      return;
+    }
+    prev_[i] = 0;
+    dirty_ |= bit;
+    frame_.set(id, 1);
+  }
+
   SignalEnergyTable table_;
-  bus::SignalFrame oldFrame_;
-  bus::SignalFrame newFrame_;
+  bus::SignalFrame frame_;  ///< Wire values of the cycle in progress.
+  std::array<std::uint64_t, bus::kSignalCount> prev_{};  ///< Pre-cycle
+                                                         ///  values of
+                                                         ///  dirty bundles.
+  std::uint32_t dirty_ = 0;
+  std::uint32_t strobeSetMask_ = 0;  ///< Strobes driven high this cycle.
+  std::uint32_t pendingLow_ = 0;  ///< Strobes awaiting lazy deassertion.
   std::array<std::uint64_t, bus::kSignalCount> transitions_{};
   double lastCycle_fJ_ = 0.0;
   double total_fJ_ = 0.0;
   double intervalMarker_fJ_ = 0.0;
 };
+static_assert(bus::kSignalCount <= 32, "dirty_ mask is 32 bits wide");
 
 } // namespace sct::power
 

@@ -10,7 +10,10 @@ Clock::Clock(Kernel& kernel, std::string name, Time period)
   if (period_ == 0 || period_ % 2 != 0) {
     throw std::invalid_argument("Clock: period must be non-zero and even");
   }
+  periodicId_ = kernel_.addPeriodic(*this);
 }
+
+Clock::~Clock() { kernel_.removePeriodic(periodicId_); }
 
 Clock::HandlerId Clock::onEdge(Edge edge, Callback cb, int priority) {
   if (!cb) throw std::invalid_argument("Clock::onEdge: empty callback");
@@ -23,29 +26,46 @@ Clock::HandlerId Clock::onEdge(Edge edge, Callback cb, int priority) {
       [](int p, const Handler& h) { return p < h.priority; });
   vec.insert(pos, Handler{id, priority, std::move(cb)});
   if (!scheduled_ && !halted_) {
-    scheduleNextRising(kernel_.now() + period_);
+    armNextEdge(kernel_.now() + period_, /*rising=*/true);
   }
   return id;
 }
 
-void Clock::removeHandler(HandlerId id) { pendingRemoval_.push_back(id); }
+void Clock::removeHandler(HandlerId id) {
+  auto pos = std::lower_bound(pendingRemoval_.begin(), pendingRemoval_.end(),
+                              id);
+  if (pos == pendingRemoval_.end() || *pos != id) {
+    pendingRemoval_.insert(pos, id);
+  }
+}
+
+bool Clock::flaggedForRemoval(HandlerId id) const {
+  return std::binary_search(pendingRemoval_.begin(), pendingRemoval_.end(),
+                            id);
+}
 
 bool Clock::anyHandlers() const {
   return !rising_.empty() || !falling_.empty();
 }
 
-void Clock::scheduleNextRising(Time when) {
+void Clock::armNextEdge(Time when, bool rising) {
   scheduled_ = true;
-  kernel_.scheduleAt(when, [this] { fireRising(); });
+  nextEdgeRising_ = rising;
+  kernel_.armPeriodic(periodicId_, when);
+}
+
+void Clock::fire() {
+  scheduled_ = false;
+  if (nextEdgeRising_) {
+    fireRising();
+  } else {
+    fireFalling();
+  }
 }
 
 void Clock::fireRising() {
-  scheduled_ = false;
   if (!pendingRemoval_.empty()) {
-    auto gone = [this](const Handler& h) {
-      return std::find(pendingRemoval_.begin(), pendingRemoval_.end(),
-                       h.id) != pendingRemoval_.end();
-    };
+    auto gone = [this](const Handler& h) { return flaggedForRemoval(h.id); };
     rising_.erase(std::remove_if(rising_.begin(), rising_.end(), gone),
                   rising_.end());
     falling_.erase(std::remove_if(falling_.begin(), falling_.end(), gone),
@@ -56,13 +76,13 @@ void Clock::fireRising() {
   ++cycle_;
   inHighPhase_ = true;
   dispatch(rising_);
-  kernel_.scheduleAt(kernel_.now() + period_ / 2, [this] { fireFalling(); });
+  armNextEdge(kernel_.now() + period_ / 2, /*rising=*/false);
 }
 
 void Clock::fireFalling() {
   dispatch(falling_);
   inHighPhase_ = false;
-  if (!halted_) scheduleNextRising(kernel_.now() + period_ / 2);
+  if (!halted_) armNextEdge(kernel_.now() + period_ / 2, /*rising=*/true);
 }
 
 void Clock::dispatch(std::vector<Handler>& handlers) {
@@ -70,15 +90,17 @@ void Clock::dispatch(std::vector<Handler>& handlers) {
   // the vector) during dispatch; newly added handlers first run on the
   // next edge because insertion keeps them past the current index only
   // if their priority sorts later — to keep semantics simple we snapshot
-  // the size and skip handlers flagged for removal.
+  // the size and skip handlers flagged for removal. A handler call may
+  // flag removals, so the per-handler check re-arms as soon as
+  // pendingRemoval_ becomes non-empty.
   const std::size_t n = handlers.size();
   for (std::size_t i = 0; i < n && i < handlers.size(); ++i) {
-    const Handler& h = handlers[i];
-    if (!pendingRemoval_.empty() &&
-        std::find(pendingRemoval_.begin(), pendingRemoval_.end(), h.id) !=
-            pendingRemoval_.end()) {
+    if (pendingRemoval_.empty()) {
+      handlers[i].cb();
       continue;
     }
+    const Handler& h = handlers[i];
+    if (flaggedForRemoval(h.id)) continue;
     h.cb();
   }
 }
@@ -86,6 +108,15 @@ void Clock::dispatch(std::vector<Handler>& handlers) {
 void Clock::runCycles(std::uint64_t n) {
   const std::uint64_t target = cycle_ + n;
   while ((cycle_ < target || inHighPhase_) && !halted_ && anyHandlers()) {
+    // Self-drive: when this clock's own activation is the only thing
+    // the kernel could dispatch, claim it and fire the edge directly —
+    // same time advance, same bookkeeping, minus the generic dispatch
+    // machinery. Anything else pending (queued events, other clocks)
+    // falls back to ordinary single-step dispatch.
+    if (scheduled_ && kernel_.claimSoleActivation(periodicId_)) {
+      fire();
+      continue;
+    }
     if (kernel_.step(1) == 0) break;
   }
 }
@@ -93,7 +124,7 @@ void Clock::runCycles(std::uint64_t n) {
 void Clock::resume() {
   halted_ = false;
   if (!scheduled_ && anyHandlers()) {
-    scheduleNextRising(kernel_.now() + period_);
+    armNextEdge(kernel_.now() + period_, /*rising=*/true);
   }
 }
 

@@ -7,6 +7,14 @@
 // per cycle it first dispatches all rising-edge handlers, then all
 // falling-edge handlers, each group ordered by an explicit priority and
 // otherwise by registration order.
+//
+// The clock is a kernel PeriodicProcess: each edge is one armed
+// activation dispatched from the kernel's inline fast path, so a
+// running clock costs no heap allocation and no priority-queue traffic.
+// Aperiodic events scheduled through Kernel::schedule interleave with
+// the edges in exactly the order the pure event-queue design produced
+// (the activation's tie-break sequence number is allocated when the
+// previous edge re-arms, just as the old self-scheduling callback was).
 #ifndef SCT_SIM_CLOCK_H
 #define SCT_SIM_CLOCK_H
 
@@ -23,11 +31,11 @@ namespace sct::sim {
 /// Edge selector for handler registration.
 enum class Edge : std::uint8_t { Rising, Falling };
 
-/// A clock generator bound to a kernel. The clock self-schedules one
-/// kernel event per edge; it only keeps the event chain alive while at
-/// least one handler is registered and the cycle limit is not reached,
-/// so Kernel::run() terminates once every model has finished.
-class Clock {
+/// A clock generator bound to a kernel. The clock arms one periodic
+/// activation per edge; it only keeps the activation chain alive while
+/// at least one handler is registered and the cycle limit is not
+/// reached, so Kernel::run() terminates once every model has finished.
+class Clock final : private PeriodicProcess {
  public:
   using Callback = std::function<void()>;
   using HandlerId = std::size_t;
@@ -35,6 +43,7 @@ class Clock {
   /// `period` must be an even, non-zero number of picoseconds so both
   /// edges land on integral timestamps.
   Clock(Kernel& kernel, std::string name, Time period);
+  ~Clock() override;
 
   const std::string& name() const { return name_; }
   Time period() const { return period_; }
@@ -75,21 +84,27 @@ class Clock {
     Callback cb;
   };
 
-  void scheduleNextRising(Time when);
+  // PeriodicProcess: one activation per edge.
+  void fire() override;
+
+  void armNextEdge(Time when, bool rising);
   void fireRising();
   void fireFalling();
   void dispatch(std::vector<Handler>& handlers);
   bool anyHandlers() const;
+  bool flaggedForRemoval(HandlerId id) const;
 
   Kernel& kernel_;
   std::string name_;
   Time period_;
+  Kernel::PeriodicId periodicId_;
   std::uint64_t cycle_ = 0;
   HandlerId nextId_ = 1;
   std::vector<Handler> rising_;
   std::vector<Handler> falling_;
-  std::vector<HandlerId> pendingRemoval_;
+  std::vector<HandlerId> pendingRemoval_;  ///< Kept sorted.
   bool scheduled_ = false;
+  bool nextEdgeRising_ = true;
   bool halted_ = false;
   bool inHighPhase_ = false;  ///< Between a rising edge and its falling edge.
 };

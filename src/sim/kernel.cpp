@@ -15,10 +15,108 @@ void Kernel::scheduleAt(Time when, Callback fn, int priority) {
   queue_.push(Event{when, priority, seq_++, std::move(fn)});
 }
 
+Kernel::PeriodicId Kernel::addPeriodic(PeriodicProcess& proc) {
+  for (std::size_t i = 0; i < periodics_.size(); ++i) {
+    if (periodics_[i].proc == nullptr) {
+      periodics_[i] = Periodic{&proc};
+      return i;
+    }
+  }
+  periodics_.push_back(Periodic{&proc});
+  return periodics_.size() - 1;
+}
+
+void Kernel::removePeriodic(PeriodicId id) {
+  disarmPeriodic(id);
+  periodics_[id].proc = nullptr;
+}
+
+void Kernel::armQueued(PeriodicId id, Periodic& p) {
+  // Reference path: represent the activation as an ordinary queue
+  // event carrying the already-allocated sequence number. The event
+  // re-checks the arm state at dispatch so disarm/re-arm behave
+  // exactly like the fast path.
+  const std::uint64_t seq = p.seq;
+  queue_.push(Event{p.when, p.priority, seq,
+                    [this, id, seq] { fireQueuedActivation(id, seq); }});
+}
+
+void Kernel::disarmPeriodic(PeriodicId id) {
+  Periodic& p = periodics_[id];
+  if (p.armed) {
+    p.armed = false;
+    --armedCount_;
+    // In event-queue-only mode the wrapper event stays queued; it
+    // no-ops at dispatch because the (armed, seq) check fails.
+  }
+}
+
+std::size_t Kernel::earliestPeriodic() const {
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < periodics_.size(); ++i) {
+    const Periodic& p = periodics_[i];
+    if (!p.armed) continue;
+    if (best == static_cast<std::size_t>(-1)) {
+      best = i;
+      continue;
+    }
+    const Periodic& b = periodics_[best];
+    if (p.when != b.when ? p.when < b.when
+                         : (p.priority != b.priority ? p.priority < b.priority
+                                                     : p.seq < b.seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Kernel::firePeriodic(std::size_t idx) {
+  Periodic& p = periodics_[idx];
+  now_ = p.when;
+  p.armed = false;
+  --armedCount_;
+  ++dispatched_;
+  p.proc->fire();
+}
+
+void Kernel::fireQueuedActivation(PeriodicId id, std::uint64_t seq) {
+  Periodic& p = periodics_[id];
+  // Stale wrapper after disarm/re-arm/removal: ignore.
+  if (p.proc == nullptr || !p.armed || p.seq != seq) return;
+  p.armed = false;
+  --armedCount_;
+  p.proc->fire();
+}
+
 bool Kernel::dispatchOne() {
+  if (!eventQueueOnly_ && armedCount_ != 0) {
+    const std::size_t idx = earliestPeriodic();
+    if (queue_.empty() || activationBefore(periodics_[idx], queue_.top())) {
+      firePeriodic(idx);
+      return true;
+    }
+  }
   if (queue_.empty()) return false;
   // Move the callback out before popping so that callbacks may schedule
   // new events (which reallocates the underlying heap) safely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++dispatched_;
+  ev.fn();
+  return true;
+}
+
+bool Kernel::dispatchOneUntil(Time t) {
+  if (!eventQueueOnly_ && armedCount_ != 0) {
+    const std::size_t idx = earliestPeriodic();
+    if (periodics_[idx].when <= t &&
+        (queue_.empty() || activationBefore(periodics_[idx], queue_.top()))) {
+      firePeriodic(idx);
+      return true;
+    }
+  }
+  if (queue_.empty() || queue_.top().when > t) return false;
   Event ev = queue_.top();
   queue_.pop();
   now_ = ev.when;
@@ -37,10 +135,7 @@ std::uint64_t Kernel::run() {
 std::uint64_t Kernel::runUntil(Time t) {
   stopRequested_ = false;
   std::uint64_t n = 0;
-  while (!stopRequested_ && !queue_.empty() && queue_.top().when <= t) {
-    dispatchOne();
-    ++n;
-  }
+  while (!stopRequested_ && dispatchOneUntil(t)) ++n;
   if (!stopRequested_ && now_ < t) now_ = t;
   return n;
 }
@@ -54,6 +149,8 @@ std::uint64_t Kernel::step(std::uint64_t maxEvents) {
 
 void Kernel::reset() {
   queue_ = {};
+  for (Periodic& p : periodics_) p.armed = false;
+  armedCount_ = 0;
   now_ = 0;
   seq_ = 0;
   dispatched_ = 0;

@@ -7,12 +7,24 @@
 // triggered at the rising edge, the bus process is sensitive to the
 // falling edge" discipline), and (c) run control (run-to-exhaustion,
 // run-until-time, cooperative stop).
+//
+// Two dispatch sources feed the scheduler:
+//  * the general event queue — one-shot callbacks, arbitrary times;
+//  * periodic processes — long-lived clocked processes (sim::Clock)
+//    that re-arm themselves every activation. An armed activation is
+//    a plain (when, priority, seq) triple held inline in the kernel,
+//    so driving a clock costs no heap allocation and no priority-queue
+//    traffic on the hot path. The sequence number is allocated from
+//    the same counter as queue events at arm time, which makes the
+//    interleaving of periodic activations with ordinary events
+//    bit-identical to scheduling a fresh callback at the same instant.
 #ifndef SCT_SIM_KERNEL_H
 #define SCT_SIM_KERNEL_H
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,10 +32,21 @@
 
 namespace sct::sim {
 
+/// A clocked process driven by the kernel's periodic fast path.
+/// fire() runs the due activation; the activation is consumed before
+/// the call, so fire() must re-arm (or leave the process disarmed to
+/// let the simulation drain).
+class PeriodicProcess {
+ public:
+  virtual ~PeriodicProcess() = default;
+  virtual void fire() = 0;
+};
+
 /// Discrete-event scheduler. Not thread-safe; one kernel per simulation.
 class Kernel {
  public:
   using Callback = std::function<void()>;
+  using PeriodicId = std::size_t;
 
   Kernel() = default;
   Kernel(const Kernel&) = delete;
@@ -42,6 +65,68 @@ class Kernel {
   /// Schedule `fn` at an absolute time, which must not be in the past.
   void scheduleAt(Time when, Callback fn, int priority = 0);
 
+  /// Register a periodic process. The slot stays valid until
+  /// removePeriodic(); registration does not arm an activation.
+  PeriodicId addPeriodic(PeriodicProcess& proc);
+
+  /// Unregister; a pending activation is cancelled.
+  void removePeriodic(PeriodicId id);
+
+  /// Arm (or re-arm) the process' next activation. Allocates the
+  /// activation's tie-break sequence number immediately, exactly as if
+  /// a callback had been scheduled at this instant, so dispatch order
+  /// against ordinary events is unchanged from the pure-queue design.
+  /// Inline: a running clock calls this once per edge.
+  void armPeriodic(PeriodicId id, Time when, int priority = 0) {
+    if (when < now_) {
+      throw std::invalid_argument("Kernel::armPeriodic: time is in the past");
+    }
+    Periodic& p = periodics_[id];
+    if (p.proc == nullptr) {
+      throw std::logic_error("Kernel::armPeriodic: process was removed");
+    }
+    p.when = when;
+    p.priority = priority;
+    p.seq = seq_++;  // Same counter as queue events: exact tie order.
+    if (!p.armed) ++armedCount_;
+    p.armed = true;
+    if (eventQueueOnly_) armQueued(id, p);
+  }
+
+  /// Cancel the pending activation (no-op when disarmed).
+  void disarmPeriodic(PeriodicId id);
+
+  /// Fast-path handshake for self-driving clocked processes: when the
+  /// armed activation of `id` is the *only* dispatch candidate (no
+  /// queued event, no other armed periodic, fast path enabled), consume
+  /// it — advance now() to its armed time, exactly as dispatching it
+  /// would — and return true; the caller then runs the process body
+  /// itself. Returns false (no state change) whenever ordinary dispatch
+  /// could interleave anything else; the caller must fall back to
+  /// step()/run() in that case.
+  bool claimSoleActivation(PeriodicId id) {
+    if (eventQueueOnly_ || armedCount_ != 1 || !queue_.empty()) return false;
+    Periodic& p = periodics_[id];
+    if (!p.armed) return false;
+    now_ = p.when;
+    p.armed = false;
+    --armedCount_;
+    ++dispatched_;
+    return true;
+  }
+
+  bool periodicArmed(PeriodicId id) const {
+    return periodics_[id].armed;
+  }
+
+  /// Testing hook: when set, armPeriodic() routes activations through
+  /// the general event queue instead of the inline fast path. Dispatch
+  /// order is identical by construction; this exists so the fast path
+  /// can be checked against the reference behaviour. Must be set
+  /// before any activation is armed.
+  void setEventQueueOnly(bool v) { eventQueueOnly_ = v; }
+  bool eventQueueOnly() const { return eventQueueOnly_; }
+
   /// Dispatch events until the queue is empty or stop() was requested.
   /// Returns the number of events dispatched.
   std::uint64_t run();
@@ -58,12 +143,19 @@ class Kernel {
   void stop() { stopRequested_ = true; }
 
   bool stopRequested() const { return stopRequested_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t pendingEvents() const { return queue_.size(); }
+
+  /// True when nothing is pending: no queued events and no armed
+  /// periodic activation.
+  bool empty() const { return queue_.empty() && armedCount_ == 0; }
+
+  /// Queued events plus armed periodic activations.
+  std::size_t pendingEvents() const { return queue_.size() + armedCount_; }
+
   std::uint64_t dispatchedEvents() const { return dispatched_; }
 
-  /// Reset to time zero with an empty queue. Existing callbacks are
-  /// dropped; modules holding a kernel reference stay valid.
+  /// Reset to time zero with an empty queue and all periodic
+  /// activations disarmed. Registered periodic processes stay
+  /// registered; modules holding a kernel reference stay valid.
   void reset();
 
  private:
@@ -80,14 +172,42 @@ class Kernel {
       return a.seq > b.seq;
     }
   };
+  struct Periodic {
+    PeriodicProcess* proc = nullptr;
+    Time when = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    bool armed = false;
+  };
 
+  /// Index of the earliest armed periodic activation, or npos. With the
+  /// handful of clocks a simulation owns this linear scan is cheaper
+  /// than any ordered structure.
+  std::size_t earliestPeriodic() const;
+
+  /// True when activation `p` dispatches before queue event `e`.
+  static bool activationBefore(const Periodic& p, const Event& e) {
+    if (p.when != e.when) return p.when < e.when;
+    if (p.priority != e.priority) return p.priority < e.priority;
+    return p.seq < e.seq;
+  }
+
+  void firePeriodic(std::size_t idx);
+  void fireQueuedActivation(PeriodicId id, std::uint64_t seq);
+  /// Cold path of armPeriodic (eventQueueOnly mode): wrap the armed
+  /// activation in an ordinary queue event.
+  void armQueued(PeriodicId id, Periodic& p);
   bool dispatchOne();
+  bool dispatchOneUntil(Time t);
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Periodic> periodics_;
+  std::size_t armedCount_ = 0;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
   bool stopRequested_ = false;
+  bool eventQueueOnly_ = false;
 };
 
 } // namespace sct::sim

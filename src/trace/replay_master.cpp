@@ -43,18 +43,22 @@ ReplayMaster::ReplayMaster(sim::Clock& clock, std::string name,
       clock_(clock),
       instrIf_(instrIf),
       dataIf_(dataIf),
-      maxInFlight_(maxInFlight) {
-  requests_.reserve(trace.size());
-  issueCycles_.reserve(trace.size());
-  for (const TraceEntry& e : trace.entries()) {
-    Tl1Request r;
+      maxInFlight_(maxInFlight),
+      stageGated_(instrIf.publishesStage() && dataIf.publishesStage()) {
+  // Built in place: the payload vector is the bulk of the master's
+  // setup cost, and replay harnesses construct one master per run.
+  const std::size_t n = trace.size();
+  requests_.resize(n);
+  issueCycles_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEntry& e = trace[i];
+    Tl1Request& r = requests_[i];
     r.kind = e.kind;
     r.address = e.address;
     r.size = e.size;
     r.beats = e.beats;
     r.data = e.writeData;
-    requests_.push_back(r);
-    issueCycles_.push_back(e.issueCycle);
+    issueCycles_[i] = e.issueCycle;
   }
   handlerId_ = clock_.onRising([this] { onRisingEdge(); });
 }
@@ -62,8 +66,18 @@ ReplayMaster::ReplayMaster(sim::Clock& clock, std::string name,
 ReplayMaster::~ReplayMaster() { clock_.removeHandler(handlerId_); }
 
 void ReplayMaster::onRisingEdge() {
-  // Poll transactions in flight.
+  // Poll transactions in flight. When the bus publishes stage
+  // transitions (publishesStage()), polling a request it still owns
+  // returns Wait with no side effects, so the completion pickup is only
+  // invoked once the payload's public stage says the result is ready —
+  // the same protocol, minus a virtual call per in-flight transaction
+  // per cycle. Adapters like Tl2MasterBridge need every poll to pump
+  // their lower transaction, so they are polled unconditionally.
   for (auto it = inFlight_.begin(); it != inFlight_.end();) {
+    if (stageGated_ && (*it)->stage != bus::Tl1Stage::Finished) {
+      ++it;
+      continue;
+    }
     const BusStatus s = invoke(instrIf_, dataIf_, **it);
     if (finished(s)) {
       ++stats_.completed;
@@ -112,7 +126,8 @@ Tl2ReplayMaster::Tl2ReplayMaster(sim::Clock& clock, std::string name,
     : sim::Module(clock.kernel(), std::move(name)),
       clock_(clock),
       busIf_(busIf),
-      maxInFlight_(maxInFlight) {
+      maxInFlight_(maxInFlight),
+      stageGated_(busIf.publishesStage()) {
   requests_.resize(trace.size());
   buffers_.resize(trace.size());
   issueCycles_.reserve(trace.size());
@@ -134,7 +149,12 @@ Tl2ReplayMaster::Tl2ReplayMaster(sim::Clock& clock, std::string name,
 Tl2ReplayMaster::~Tl2ReplayMaster() { clock_.removeHandler(handlerId_); }
 
 void Tl2ReplayMaster::onRisingEdge() {
+  // Same Finished-stage gate as ReplayMaster::onRisingEdge().
   for (auto it = inFlight_.begin(); it != inFlight_.end();) {
+    if (stageGated_ && (*it)->stage != bus::Tl2Stage::Finished) {
+      ++it;
+      continue;
+    }
     const BusStatus s = invoke(busIf_, **it);
     if (finished(s)) {
       ++stats_.completed;

@@ -56,6 +56,7 @@ class ReplayMaster final : public sim::Module {
   bus::EcInstrIf& instrIf_;
   bus::EcDataIf& dataIf_;
   unsigned maxInFlight_;
+  bool stageGated_;  ///< Both interfaces publish the Finished stage.
   std::vector<std::uint64_t> issueCycles_;
   std::vector<bus::Tl1Request> requests_;
   std::vector<bus::Tl1Request*> inFlight_;
@@ -87,6 +88,7 @@ class Tl2ReplayMaster final : public sim::Module {
   sim::Clock::HandlerId handlerId_;
   bus::Tl2MasterIf& busIf_;
   unsigned maxInFlight_;
+  bool stageGated_;  ///< The interface publishes the Finished stage.
   std::vector<std::uint64_t> issueCycles_;
   std::vector<bus::Tl2Request> requests_;
   std::vector<std::array<std::uint8_t, 16>> buffers_;

@@ -1,0 +1,143 @@
+// The optimized layer-1 energy hot path against a naive reference.
+//
+// Tl1PowerModel::busCycleEnd was restructured for speed: early-out on
+// unchanged frames, XOR + popcount Hamming distances, and direct
+// indexing of the flat coefficient array instead of an energyFor() call
+// per signal. None of that may change the numbers: this test replays
+// random-mix workloads with the production model and an independently
+// written naive observer (per-signal energyFor, no early-out) attached
+// to the same bus, and requires bit-identical accumulated energy and
+// transition counts.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "../testbench.h"
+#include "bus/ec_signals.h"
+#include "power/tl1_power_model.h"
+#include "trace/workloads.h"
+
+namespace sct {
+namespace {
+
+using bus::SignalId;
+using testbench::Tl1Bench;
+
+/// Straight-line reimplementation of the layer-1 TL-to-RTL adapter the
+/// way the original (pre-fast-path) code computed it: reconstruct the
+/// signal frame from the bus phases, then walk every signal, take
+/// hammingDistance and price it with energyFor — unconditionally.
+struct NaiveTl1Energy final : bus::Tl1Observer {
+  explicit NaiveTl1Energy(const power::SignalEnergyTable& table)
+      : table(table) {}
+
+  void busCycleBegin(std::uint64_t) override {
+    next = prev;
+    next.set(SignalId::EB_AValid, 0);
+    next.set(SignalId::EB_ARdy, 0);
+    next.set(SignalId::EB_RdVal, 0);
+    next.set(SignalId::EB_RBErr, 0);
+    next.set(SignalId::EB_WDRdy, 0);
+    next.set(SignalId::EB_WBErr, 0);
+    next.set(SignalId::EB_Last, 0);
+  }
+
+  void addressPhase(const bus::AddressPhaseInfo& info) override {
+    next.set(SignalId::EB_A, info.address);
+    next.set(SignalId::EB_Instr, info.kind == bus::Kind::InstrFetch);
+    next.set(SignalId::EB_Write, info.kind == bus::Kind::Write);
+    next.set(SignalId::EB_Burst, info.beats > 1);
+    next.set(SignalId::EB_BE, info.byteEnables);
+    next.set(SignalId::EB_AValid, 1);
+    next.set(SignalId::EB_Sel,
+             info.error ? 0 : bus::AddressDecoder::selectMask(info.slave));
+    if (info.accepted && !info.error) next.set(SignalId::EB_ARdy, 1);
+  }
+
+  void readBeat(const bus::DataBeatInfo& info) override {
+    if (info.error) {
+      next.set(SignalId::EB_RBErr, 1);
+      next.set(SignalId::EB_Last, 1);
+      return;
+    }
+    next.set(SignalId::EB_RData, info.data);
+    next.set(SignalId::EB_RdVal, 1);
+    if (info.last) next.set(SignalId::EB_Last, 1);
+  }
+
+  void writeBeat(const bus::DataBeatInfo& info) override {
+    if (info.error) {
+      next.set(SignalId::EB_WBErr, 1);
+      next.set(SignalId::EB_Last, 1);
+      return;
+    }
+    next.set(SignalId::EB_WData, info.data);
+    next.set(SignalId::EB_WDRdy, 1);
+    if (info.last) next.set(SignalId::EB_Last, 1);
+  }
+
+  void busCycleEnd(std::uint64_t) override {
+    double e = 0.0;
+    for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+      const SignalId id = static_cast<SignalId>(i);
+      const unsigned n = bus::hammingDistance(id, prev.get(id), next.get(id));
+      transitions[i] += n;
+      e += table.energyFor(id, static_cast<double>(n));
+    }
+    total_fJ += e;
+    prev = next;
+  }
+
+  power::SignalEnergyTable table;
+  bus::SignalFrame prev;
+  bus::SignalFrame next;
+  std::array<std::uint64_t, bus::kSignalCount> transitions{};
+  double total_fJ = 0.0;
+};
+
+power::SignalEnergyTable distinctTable() {
+  power::SignalEnergyTable t;
+  for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+    // Distinct, irrational-ish coefficients so a reordering or a
+    // dropped term cannot cancel out.
+    t.setCoeff_fJ(static_cast<SignalId>(i),
+                  7.25 + 1.0 / static_cast<double>(3 * i + 1));
+  }
+  return t;
+}
+
+class PowerEquivalenceSeedTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PowerEquivalenceSeedTest, FastPathEnergyBitIdenticalToNaive) {
+  const auto table = distinctTable();
+  trace::MixRatios mix;
+  mix.instrFetch = 1;
+  const trace::BusTrace workload =
+      trace::randomMix(GetParam(), 400, testbench::bothRegions(), mix,
+                       /*issueGapMax=*/3);
+
+  Tl1Bench bench;
+  power::Tl1PowerModel fast(table);
+  NaiveTl1Energy naive(table);
+  bench.bus.addObserver(fast);
+  bench.bus.addObserver(naive);
+  bench.run(workload);
+
+  // Bit-identical, not approximately equal: the fast path must perform
+  // the same additions in the same order.
+  EXPECT_EQ(fast.totalEnergy_fJ(), naive.total_fJ) << "seed " << GetParam();
+  EXPECT_GT(fast.totalEnergy_fJ(), 0.0);
+  for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+    EXPECT_EQ(fast.transitions(static_cast<SignalId>(i)),
+              naive.transitions[i])
+        << "signal " << bus::signalName(static_cast<SignalId>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixes, PowerEquivalenceSeedTest,
+                         ::testing::Values(3u, 17u, 99u, 2024u));
+
+} // namespace
+} // namespace sct

@@ -1,0 +1,77 @@
+// evaluateInterfaces(): the parallel configuration sweep must return
+// exactly what a sequential evaluateInterface() loop returns, in
+// configuration order, at any thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testbench.h"
+#include "jcvm/applets.h"
+#include "jcvm/exploration.h"
+#include "power/characterizer.h"
+#include "trace/workloads.h"
+
+namespace sct::jcvm {
+namespace {
+
+const power::SignalEnergyTable& table() {
+  static const power::SignalEnergyTable t = [] {
+    testbench::RefBench tb;
+    power::Characterizer ch(testbench::energyModel());
+    tb.bus.addFrameListener(ch);
+    tb.run(trace::characterizationTrace(1234, 400,
+                                        testbench::bothRegions()));
+    return ch.buildTable();
+  }();
+  return t;
+}
+
+void expectSameResult(const ExplorationResult& a, const ExplorationResult& b) {
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.bytecodes, b.bytecodes);
+  EXPECT_EQ(a.stackOps, b.stackOps);
+  EXPECT_EQ(a.busTransactions, b.busTransactions);
+  EXPECT_EQ(a.busCycles, b.busCycles);
+  EXPECT_EQ(a.bytesOnBus, b.bytesOnBus);
+  EXPECT_EQ(a.energy_fJ, b.energy_fJ);  // Bit-identical, not approximate.
+}
+
+TEST(ExplorationParallelTest, SweepMatchesSequentialAtAnyThreadCount) {
+  const JcProgram program = applets::sumLoop();
+  const std::vector<JcShort> args{25};
+  const std::vector<InterfaceConfig> space = defaultConfigSpace();
+
+  std::vector<ExplorationResult> sequential;
+  sequential.reserve(space.size());
+  for (const InterfaceConfig& cfg : space) {
+    sequential.push_back(evaluateInterface(program, args, cfg, table()));
+  }
+
+  for (unsigned threads : {1u, 2u, 5u}) {
+    const std::vector<ExplorationResult> swept =
+        evaluateInterfaces(program, args, space, table(), threads);
+    ASSERT_EQ(swept.size(), sequential.size()) << threads << " threads";
+    for (std::size_t i = 0; i < swept.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << threads << " threads, config "
+                                      << space[i].name);
+      expectSameResult(swept[i], sequential[i]);
+    }
+  }
+}
+
+TEST(ExplorationParallelTest, SweepResultsAreMeaningful) {
+  const std::vector<InterfaceConfig> space = defaultConfigSpace();
+  const std::vector<ExplorationResult> swept =
+      evaluateInterfaces(applets::sumLoop(), {10}, space, table(), 2);
+  for (const ExplorationResult& r : swept) {
+    EXPECT_TRUE(r.ok) << r.config;
+    EXPECT_GT(r.busTransactions, 0u) << r.config;
+    EXPECT_GT(r.energy_fJ, 0.0) << r.config;
+  }
+}
+
+} // namespace
+} // namespace sct::jcvm

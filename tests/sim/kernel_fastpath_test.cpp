@@ -1,0 +1,210 @@
+// The kernel's periodic fast path (inline activations driving
+// sim::Clock) against the reference behaviour (every activation routed
+// through the general event queue via Kernel::setEventQueueOnly). The
+// two paths must be indistinguishable: same dispatch order, same
+// timestamps, same cycle counts — including under handler add/remove,
+// halt/resume and aperiodic events colliding with clock edges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/kernel.h"
+
+namespace {
+
+using namespace sct;
+
+// Deterministic generator so the fast and reference runs replay the
+// exact same decision sequence.
+struct Lcg {
+  std::uint64_t s;
+  std::uint32_t next() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(s >> 33);
+  }
+  std::uint32_t below(std::uint32_t n) { return next() % n; }
+};
+
+struct RunLog {
+  std::vector<std::string> events;
+  std::uint64_t cycles = 0;
+  sim::Time endTime = 0;
+};
+
+std::string stamp(const char* tag, std::uint64_t cycle, sim::Time now) {
+  return std::string(tag) + std::to_string(cycle) + "@" + std::to_string(now);
+}
+
+// Clock edges interleaved with aperiodic events at colliding times and
+// distinct priorities, handlers registered and removed mid-run, plus a
+// halt/resume in the middle.
+RunLog structuredScenario(bool queueOnly) {
+  sim::Kernel k;
+  k.setEventQueueOnly(queueOnly);
+  sim::Clock clk(k, "clk", 10);
+  RunLog log;
+
+  clk.onRising([&] { log.events.push_back(stamp("R", clk.cycle(), k.now())); });
+  clk.onFalling(
+      [&] { log.events.push_back(stamp("F", clk.cycle(), k.now())); });
+
+  // Aperiodic events colliding with the first edges: priorities below,
+  // equal to, and above the clock's (0), plus one mid-phase.
+  for (int prio : {-1, 0, 1}) {
+    k.scheduleAt(10, [&log, prio, &k] {
+      log.events.push_back("E" + std::to_string(prio) + "@" +
+                           std::to_string(k.now()));
+    }, prio);
+  }
+  k.scheduleAt(12, [&log, &k] {
+    log.events.push_back("mid@" + std::to_string(k.now()));
+  });
+
+  // A handler that adds another handler on cycle 3 and removes itself
+  // on cycle 5.
+  sim::Clock::HandlerId selfId = clk.onRising([&, firstRun = true]() mutable {
+    if (clk.cycle() == 3 && firstRun) {
+      firstRun = false;
+      clk.onFalling([&] {
+        log.events.push_back(stamp("f2_", clk.cycle(), k.now()));
+      });
+    }
+    if (clk.cycle() == 5) clk.removeHandler(selfId);
+    log.events.push_back(stamp("r2_", clk.cycle(), k.now()));
+  });
+
+  // Halt on cycle 6; an aperiodic event resumes two periods later.
+  clk.onRising([&] {
+    if (clk.cycle() == 6) {
+      clk.halt();
+      k.schedule(20, [&] {
+        log.events.push_back("resume@" + std::to_string(k.now()));
+        clk.resume();
+      });
+    }
+  });
+
+  // runUntil (not runCycles): the halt parks the clock until the
+  // aperiodic resume event fires, which runCycles would never dispatch.
+  k.runUntil(150);
+  log.cycles = clk.cycle();
+  log.endTime = k.now();
+  return log;
+}
+
+// Randomized stress: handlers schedule bursts of aperiodic events at
+// pseudorandom offsets and priorities; occasionally a one-shot handler
+// registers and later removes itself.
+RunLog stressScenario(bool queueOnly, std::uint64_t seed) {
+  sim::Kernel k;
+  k.setEventQueueOnly(queueOnly);
+  sim::Clock clk(k, "clk", 10);
+  RunLog log;
+  Lcg rng{seed};
+
+  clk.onFalling(
+      [&] { log.events.push_back(stamp("F", clk.cycle(), k.now())); });
+  clk.onRising([&] {
+    log.events.push_back(stamp("R", clk.cycle(), k.now()));
+    const std::uint32_t burst = rng.below(3);
+    for (std::uint32_t i = 0; i < burst; ++i) {
+      const sim::Time offset = rng.below(25);
+      const int prio = static_cast<int>(rng.below(3)) - 1;
+      k.schedule(offset, [&log, &k] {
+        log.events.push_back("e@" + std::to_string(k.now()));
+      }, prio);
+    }
+    if (rng.below(8) == 0) {
+      auto id = std::make_shared<sim::Clock::HandlerId>();
+      *id = clk.onFalling([&, id, left = 1 + rng.below(3)]() mutable {
+        log.events.push_back(stamp("x", clk.cycle(), k.now()));
+        if (--left == 0) clk.removeHandler(*id);
+      });
+    }
+  });
+
+  clk.runCycles(60);
+  // Pick up stragglers scheduled past the last edge (bounded: the
+  // clock re-arms forever, so a plain run() would never return).
+  k.runUntil(700);
+  log.cycles = clk.cycle();
+  log.endTime = k.now();
+  return log;
+}
+
+TEST(KernelFastpath, StructuredScenarioMatchesEventQueueReference) {
+  const RunLog fast = structuredScenario(false);
+  const RunLog reference = structuredScenario(true);
+  EXPECT_EQ(fast.events, reference.events);
+  EXPECT_EQ(fast.cycles, reference.cycles);
+  EXPECT_EQ(fast.endTime, reference.endTime);
+  // Sanity: the scenario actually exercised the interesting parts.
+  EXPECT_GE(fast.cycles, 12u);
+  EXPECT_NE(std::find(fast.events.begin(), fast.events.end(), "resume@80"),
+            fast.events.end());
+}
+
+TEST(KernelFastpath, StressScenariosMatchEventQueueReference) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234567ULL}) {
+    const RunLog fast = stressScenario(false, seed);
+    const RunLog reference = stressScenario(true, seed);
+    EXPECT_EQ(fast.events, reference.events) << "seed " << seed;
+    EXPECT_EQ(fast.cycles, reference.cycles) << "seed " << seed;
+    EXPECT_EQ(fast.endTime, reference.endTime) << "seed " << seed;
+    EXPECT_GE(fast.cycles, 60u);
+  }
+}
+
+// Direct check of the fast path's tie-breaking: an activation armed
+// between two same-time, same-priority queue events dispatches between
+// them, because the sequence number is allocated at arm time from the
+// shared counter.
+struct Probe final : sim::PeriodicProcess {
+  std::vector<std::string>* log = nullptr;
+  void fire() override { log->push_back("periodic"); }
+};
+
+TEST(KernelFastpath, ActivationSequencedWithQueueEvents) {
+  sim::Kernel k;
+  std::vector<std::string> log;
+  Probe probe;
+  probe.log = &log;
+  const auto id = k.addPeriodic(probe);
+
+  k.scheduleAt(100, [&] { log.push_back("before"); });
+  k.armPeriodic(id, 100);
+  k.scheduleAt(100, [&] { log.push_back("after"); });
+  k.run();
+
+  EXPECT_EQ(log, (std::vector<std::string>{"before", "periodic", "after"}));
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.now(), 100u);
+}
+
+TEST(KernelFastpath, DisarmCancelsActivationOnBothPaths) {
+  for (bool queueOnly : {false, true}) {
+    sim::Kernel k;
+    k.setEventQueueOnly(queueOnly);
+    std::vector<std::string> log;
+    Probe probe;
+    probe.log = &log;
+    const auto id = k.addPeriodic(probe);
+
+    k.armPeriodic(id, 50);
+    EXPECT_TRUE(k.periodicArmed(id));
+    k.disarmPeriodic(id);
+    EXPECT_FALSE(k.periodicArmed(id));
+    // Re-arm at a different time: only the new activation fires.
+    k.armPeriodic(id, 70);
+    k.run();
+    EXPECT_EQ(log.size(), 1u) << "queueOnly " << queueOnly;
+    EXPECT_EQ(k.now(), 70u) << "queueOnly " << queueOnly;
+  }
+}
+
+} // namespace
