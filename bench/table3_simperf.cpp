@@ -30,6 +30,16 @@ const trace::BusTrace& perfWorkload() {
   return t;
 }
 
+const trace::BusTrace& idleGapWorkload() {
+  // Same mix with up to 100 idle cycles between issues — firmware-like
+  // bursts separated by compute. Not part of the paper's Table 3; it
+  // exercises the event-driven TL2 dead-cycle warp, which back-to-back
+  // traffic cannot.
+  static const trace::BusTrace t = trace::randomMix(
+      777, 4000, bench::platformRegions(), trace::MixRatios{}, 100);
+  return t;
+}
+
 void TL1_WithEstimation(benchmark::State& state) {
   const auto& workload = perfWorkload();
   const auto& table = bench::characterizedTable();
@@ -80,6 +90,31 @@ void TL2_WithoutEstimation(benchmark::State& state) {
                           static_cast<std::int64_t>(workload.size()));
 }
 
+void TL2_WithEstimation_IdleGaps(benchmark::State& state) {
+  const auto& workload = idleGapWorkload();
+  const auto& table = bench::characterizedTable();
+  for (auto _ : state) {
+    ReplayPlatform<bus::Tl2Bus> platform;
+    power::Tl2PowerModel pm(table);
+    platform.ecbus.addObserver(pm);
+    platform.replay(workload);
+    benchmark::DoNotOptimize(pm.totalEnergy_fJ());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.size()));
+}
+
+void TL2_WithoutEstimation_IdleGaps(benchmark::State& state) {
+  const auto& workload = idleGapWorkload();
+  for (auto _ : state) {
+    ReplayPlatform<bus::Tl2Bus> platform;
+    platform.replay(workload);
+    benchmark::DoNotOptimize(platform.ecbus.stats().transactions());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.size()));
+}
+
 // The layer-0 reference for context (the paper cites a ~100x TLM
 // speed-up over RTL from related work; our layer 0 is itself a fast
 // C++ model, so the gap is smaller but the ordering holds).
@@ -98,6 +133,8 @@ BENCHMARK(TL1_WithEstimation);
 BENCHMARK(TL1_WithoutEstimation);
 BENCHMARK(TL2_WithEstimation);
 BENCHMARK(TL2_WithoutEstimation);
+BENCHMARK(TL2_WithEstimation_IdleGaps);
+BENCHMARK(TL2_WithoutEstimation_IdleGaps);
 BENCHMARK(Layer0_Reference);
 
 } // namespace

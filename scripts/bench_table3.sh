@@ -8,7 +8,13 @@
 # root). The google-benchmark `items_per_second` counter is
 # transactions per second — the paper's kT/s metric. Compare the
 # TL1_WithEstimation entry across commits to track hot-path
-# performance.
+# performance; the appended `speedup` object records the TL2-over-TL1
+# throughput ratios (the transaction layer must be the fast layer).
+#
+# Extra benchmark flags pass through via SCT_BENCH_ARGS, e.g.
+#   SCT_BENCH_ARGS=--benchmark_repetitions=5 scripts/bench_table3.sh
+# Absolute numbers drift with host load; for an A/B comparison run two
+# binaries back to back with repetitions and compare medians.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -23,6 +29,27 @@ fi
 
 # The paper-style factor table goes to stdout for the console; the
 # machine-readable run lands in the JSON file.
+# shellcheck disable=SC2086  # SCT_BENCH_ARGS is intentionally split.
 "$bench" --benchmark_format=json --benchmark_out="$out" \
-         --benchmark_out_format=json
+         --benchmark_out_format=json ${SCT_BENCH_ARGS:-}
+
+# Append the TL2/TL1 speedup ratios in machine-readable form (median
+# items_per_second over repetition entries, aggregates excluded).
+if command -v jq >/dev/null 2>&1; then
+  tmp="$out.tmp"
+  jq '
+    def rate(n):
+      [.benchmarks[]
+       | select(.name == n and (.run_type // "iteration") != "aggregate")
+       | .items_per_second]
+      | sort | .[(length / 2) | floor];
+    . + {speedup: {
+      tl2_over_tl1_with_estimation:
+        (rate("TL2_WithEstimation") / rate("TL1_WithEstimation")),
+      tl2_over_tl1_without_estimation:
+        (rate("TL2_WithoutEstimation") / rate("TL1_WithoutEstimation"))
+    }}' "$out" > "$tmp" && mv "$tmp" "$out"
+else
+  echo "warning: jq not found — speedup ratios not appended" >&2
+fi
 echo "wrote $out"

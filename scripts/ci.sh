@@ -1,0 +1,31 @@
+#!/bin/sh
+# Full CI gate, runnable locally and on any runner with cmake + ninja:
+#
+#   scripts/ci.sh
+#
+# Pass 1 — the shipping configuration: Release (LTO) configure, build
+# everything (libraries, tests, benches), run the whole test suite.
+# Pass 2 — the same suite under AddressSanitizer + UndefinedBehavior-
+# Sanitizer (the SCT_SANITIZE option; it disables LTO itself).
+#
+# Both passes use the presets in CMakePresets.json, so what CI checks
+# is exactly what `cmake --preset release` gives a developer.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+for preset in release asan-ubsan; do
+  run cmake --preset "$preset"
+  run cmake --build --preset "$preset" --parallel "$jobs"
+  run ctest --preset "$preset" --parallel "$jobs"
+done
+
+echo "CI: both passes green"

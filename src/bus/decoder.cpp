@@ -28,13 +28,16 @@ int AddressDecoder::attach(EcSlave& slave) {
     }
   }
   slaves_.push_back(&slave);
+  controls_.push_back(&c);
   return static_cast<int>(slaves_.size()) - 1;
 }
 
-int AddressDecoder::decode(Address addr) const {
-  addr &= kAddressMask;
-  for (std::size_t i = 0; i < slaves_.size(); ++i) {
-    if (slaves_[i]->control().contains(addr)) return static_cast<int>(i);
+int AddressDecoder::decodeScan(Address addr) const {
+  for (std::size_t i = 0; i < controls_.size(); ++i) {
+    if (controls_[i]->contains(addr)) {
+      lastHit_ = i;
+      return static_cast<int>(i);
+    }
   }
   return -1;
 }

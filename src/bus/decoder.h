@@ -22,12 +22,27 @@ class AddressDecoder {
   /// registered earlier. Returns the slave's index (select-line number).
   int attach(EcSlave& slave);
 
-  /// Slave index for an address, or -1 on a decode miss.
-  int decode(Address addr) const;
+  /// Slave index for an address, or -1 on a decode miss. Windows are
+  /// disjoint (enforced by attach), so the last-hit cache below is
+  /// exact: an address inside the cached window can match no other.
+  /// The scan walks control blocks cached at attach (the EcSlave
+  /// contract pins the reference for the slave's lifetime), so neither
+  /// path pays a virtual call per probe.
+  int decode(Address addr) const {
+    addr &= kAddressMask;
+    if (lastHit_ < controls_.size() && controls_[lastHit_]->contains(addr)) {
+      return static_cast<int>(lastHit_);
+    }
+    return decodeScan(addr);
+  }
 
   EcSlave& slave(int index) { return *slaves_[static_cast<std::size_t>(index)]; }
   const EcSlave& slave(int index) const {
     return *slaves_[static_cast<std::size_t>(index)];
+  }
+  /// Control block of a decoded slave, through the attach-time cache.
+  const SlaveControl& control(int index) const {
+    return *controls_[static_cast<std::size_t>(index)];
   }
   std::size_t slaveCount() const { return slaves_.size(); }
 
@@ -40,7 +55,11 @@ class AddressDecoder {
   }
 
  private:
+  int decodeScan(Address addr) const;
+
   std::vector<EcSlave*> slaves_;
+  std::vector<const SlaveControl*> controls_;  ///< Cached control() refs.
+  mutable std::size_t lastHit_ = 0;  ///< Smart-card traffic is bursty per window.
 };
 
 } // namespace sct::bus

@@ -56,6 +56,13 @@ class Tl2MasterIf {
   virtual BusStatus write(Tl2Request& req) = 0;
   /// See EcInstrIf::publishesStage() (here for Tl2Request::stage).
   virtual bool publishesStage() const { return false; }
+  /// Wake-on-completion hint: the earliest bus cycle at which any
+  /// accepted transaction will reach stage Finished, kFinishNone when
+  /// nothing is in flight, or kFinishUnknown when the implementation
+  /// cannot predict completions — masters must then poll every cycle.
+  /// An event-driven bus answers from its phase schedule, letting
+  /// masters park their clock handlers until the finish cycle + 1.
+  virtual std::uint64_t nextFinishCycle() const { return kFinishUnknown; }
 };
 
 /// Slave-side interface shared by both bus layers.

@@ -89,6 +89,11 @@ struct Tl2Request {
   unsigned dataCycles = 0;      ///< Estimated data-phase length.
   std::uint64_t acceptCycle = 0;
   std::uint64_t finishCycle = 0;
+  /// Phase schedule resolved at accept time: the cycles in which the
+  /// address and data phases complete (dataDoneCycle is 0 for decode
+  /// misses, which finish with the address phase).
+  std::uint64_t addrDoneCycle = 0;
+  std::uint64_t dataDoneCycle = 0;
 
   void reset() {
     result = BusStatus::Wait;
@@ -96,6 +101,7 @@ struct Tl2Request {
     slave = -1;
     addrCyclesLeft = dataCyclesLeft = 0;
     addrCycles = dataCycles = 0;
+    addrDoneCycle = dataDoneCycle = 0;
   }
 
   unsigned beatCount() const {

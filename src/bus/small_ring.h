@@ -1,0 +1,54 @@
+// Fixed-capacity FIFO ring for the transaction-level bus queues.
+//
+// The layer-2 bus bounds its backlog by construction: at most
+// kMaxOutstandingPerClass transactions per class can be outstanding, so
+// every internal queue holds a small, statically known maximum. A ring
+// over an inline array keeps push/pop/front at a couple of ALU ops with
+// no allocation — std::deque pays a heap segment map plus an
+// indirection per access for queues that never exceed a dozen entries.
+#ifndef SCT_BUS_SMALL_RING_H
+#define SCT_BUS_SMALL_RING_H
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace sct::bus {
+
+/// N must be a power of two and an upper bound the caller can prove;
+/// overflow is a programming error (asserted, not handled).
+template <typename T, unsigned N>
+class SmallRing {
+  static_assert(N > 0 && (N & (N - 1)) == 0, "capacity must be a power of two");
+
+ public:
+  bool empty() const { return head_ == tail_; }
+  std::uint32_t size() const { return tail_ - head_; }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_ & (N - 1)];
+  }
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_ & (N - 1)];
+  }
+
+  void push_back(const T& v) {
+    assert(size() < N && "SmallRing overflow: bound proven too small");
+    slots_[tail_++ & (N - 1)] = v;
+  }
+  void pop_front() {
+    assert(!empty());
+    ++head_;
+  }
+
+ private:
+  std::array<T, N> slots_{};
+  std::uint32_t head_ = 0;
+  std::uint32_t tail_ = 0;
+};
+
+} // namespace sct::bus
+
+#endif // SCT_BUS_SMALL_RING_H

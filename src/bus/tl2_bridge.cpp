@@ -58,8 +58,19 @@ BusStatus Tl2MasterBridge::transport(Tl1Request& req) {
     return BusStatus::Request;
   }
 
-  // Poll the lower transaction.
+  // Poll the lower transaction. When the lower bus publishes its stage
+  // transitions (an event-driven Tl2Bus moves the payload to Finished
+  // from its own process), a poll before that point is a guaranteed
+  // side-effect-free Wait — skip the virtual round trip entirely; the
+  // cycle-true master above polls every cycle regardless.
   Slot& s = it->second;
+  if (stagePublishing_ && s.lower.stage != Tl2Stage::Finished) {
+    // An observer-free event-driven lower bus defers its completion
+    // bookkeeping; asking for the next finish brings it current (O(1)
+    // when it already is) before trusting the published stage.
+    lower_.nextFinishCycle();
+    if (s.lower.stage != Tl2Stage::Finished) return BusStatus::Wait;
+  }
   const BusStatus status = s.lower.kind == Kind::Write
                                ? lower_.write(s.lower)
                                : lower_.read(s.lower);

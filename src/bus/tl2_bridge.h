@@ -23,7 +23,8 @@ namespace sct::bus {
 
 class Tl2MasterBridge final : public EcInstrIf, public EcDataIf {
  public:
-  explicit Tl2MasterBridge(Tl2MasterIf& lower) : lower_(lower) {}
+  explicit Tl2MasterBridge(Tl2MasterIf& lower)
+      : lower_(lower), stagePublishing_(lower.publishesStage()) {}
 
   BusStatus fetch(Tl1Request& req) override { return transport(req); }
   BusStatus read(Tl1Request& req) override { return transport(req); }
@@ -41,6 +42,7 @@ class Tl2MasterBridge final : public EcInstrIf, public EcDataIf {
   BusStatus transport(Tl1Request& req);
 
   Tl2MasterIf& lower_;
+  bool stagePublishing_;  ///< Lower bus advances stages on its own.
   std::unordered_map<Tl1Request*, Slot> pending_;
 };
 

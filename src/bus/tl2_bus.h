@@ -23,11 +23,21 @@
 //  2. Wait states are sampled once at creation: a slave stretching a
 //     beat dynamically at run time (EEPROM programming, busy
 //     coprocessor) is invisible, which under-estimates such workloads.
+//
+// Because all timing is sampled at creation, nothing about a phase
+// depends on the cycles in between — so by default the bus is
+// *event-driven*: at accept it resolves the whole phase schedule with
+// event arithmetic (address-done cycle, data-done cycle, serialised
+// per unit exactly as the counters would serialise them) and parks its
+// clock handler until the next phase boundary. Combined with the
+// clock's dead-cycle warp, idle and wait-state cycles cost nothing.
+// The original per-cycle countdown survives behind a testing hook
+// (setPerCycleProcess) as the reference implementation; both paths
+// produce bit-identical stats, observer callbacks and request fields.
 #ifndef SCT_BUS_TL2_BUS_H
 #define SCT_BUS_TL2_BUS_H
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -35,6 +45,7 @@
 #include "bus/ec_interfaces.h"
 #include "bus/ec_request.h"
 #include "bus/ec_types.h"
+#include "bus/small_ring.h"
 #include "sim/clock.h"
 #include "sim/module.h"
 
@@ -62,7 +73,24 @@ class Tl2Bus final : public sim::Module, public Tl2MasterIf {
 
   int attach(EcSlave& slave) { return decoder_.attach(slave); }
 
-  void addObserver(Tl2Observer& obs) { observers_.push_back(&obs); }
+  /// Observers may attach and detach from within their own callbacks;
+  /// a removal during a notification takes effect immediately (the
+  /// observer is not called again, not even for the current phase), an
+  /// addition from the next phase on.
+  ///
+  /// While no observer is attached the event-driven bus defers phase
+  /// bookkeeping entirely (see retireDue); attaching first retires the
+  /// backlog — phases that completed before the attach are never
+  /// reported, exactly as in the per-cycle model — and re-arms the bus
+  /// process so every later boundary is processed (and notified) on its
+  /// own cycle.
+  void addObserver(Tl2Observer& obs) {
+    if (!perCycle_ && notifyDepth_ == 0) {
+      retireDue();
+      parkProcess(nextEventCycle());
+    }
+    observers_.push_back(&obs);
+  }
   void removeObserver(Tl2Observer& obs);
 
   // Tl2MasterIf. Instruction fetches use read() with kind ==
@@ -72,31 +100,94 @@ class Tl2Bus final : public sim::Module, public Tl2MasterIf {
   // The bus process moves req.stage to Finished itself; intermediate
   // polls are side-effect-free, so masters may gate on the stage field.
   bool publishesStage() const override { return true; }
+  std::uint64_t nextFinishCycle() const override;
 
   bool idle() const;
 
-  const Tl2BusStats& stats() const { return stats_; }
+  const Tl2BusStats& stats() const;
   const AddressDecoder& decoder() const { return decoder_; }
   std::uint64_t cycle() const { return clock_.cycle(); }
+
+  /// Testing hook (PR 1 kernel fast-path pattern): route the bus back
+  /// through the original per-cycle countdown process instead of the
+  /// event-driven schedule. Reference behaviour by construction; the
+  /// equivalence suite pins the event path against it. Only legal while
+  /// the bus is idle. In per-cycle mode nextFinishCycle() answers
+  /// kFinishUnknown, so masters fall back to polling every cycle and
+  /// the hook covers the whole TL2 stack.
+  void setPerCycleProcess(bool v);
+  bool perCycleProcess() const { return perCycle_; }
 
  private:
   BusStatus submitOrPoll(Tl2Request& req);
   bool validate(const Tl2Request& req) const;
   unsigned& outstanding(Kind k);
 
+  /// Bound for every internal queue: three classes at
+  /// kMaxOutstandingPerClass outstanding each, rounded up to a power of
+  /// two for the ring arithmetic.
+  using RequestRing = SmallRing<Tl2Request*, 16>;
+
+  // --- per-cycle reference path -------------------------------------------
   void busProcess();
   void addressPhase();
-  void dataPhase(Tl2Request*& current, std::deque<Tl2Request*>& queue);
-  void finish(Tl2Request& req, BusStatus result);
+  void dataPhase(Tl2Request*& current, RequestRing& queue);
+
+  // --- event-driven path ---------------------------------------------------
+  void scheduleRequest(Tl2Request& req);
+  void eventProcess();
+  void completeAddressPhase(Tl2Request& req, bool notify);
+  void completeDataPhase(RequestRing& queue, bool notify);
+  std::uint64_t nextEventCycle() const;
+  std::uint64_t lastVirtualEdge() const;
+  void syncLazyStats() const;
+  /// Observer-free fast path: all phase timing is resolved at accept,
+  /// so with nobody listening for exact-cycle callbacks the bus process
+  /// never needs to wake at all. Boundaries that have already passed
+  /// (cycle <= lastVirtualEdge()) are retired in bulk from the
+  /// interface entry points instead — every cycle, stage transition and
+  /// statistic comes out of the recorded schedule, bit-identical to
+  /// processing each boundary on its own edge. O(1) when current.
+  void retireDue() const;
+  /// Process every pending phase boundary with cycle <= `through`,
+  /// silently (these boundaries all predate any observer; data
+  /// transfers replay in global completion order so slave memory sees
+  /// the per-cycle interleaving).
+  void retireThrough(std::uint64_t through);
+  /// Park the bus process until `wake`, skipping the clock call when
+  /// the handler is already parked there (the mirror is exact: nothing
+  /// else parks this handler).
+  void parkProcess(std::uint64_t wake) {
+    if (wake != parkedWake_) {
+      parkedWake_ = wake;
+      clock_.parkHandler(processId_, wake);
+    }
+  }
+
+  // --- shared --------------------------------------------------------------
+  void finish(Tl2Request& req, BusStatus result, std::uint64_t cycle);
+  void notifyAddressPhase(const Tl2PhaseInfo& info);
+  void notifyDataPhase(const Tl2PhaseInfo& info);
+  std::uint64_t currentEdge() const;
 
   sim::Clock& clock_;
   sim::Clock::HandlerId processId_;
   AddressDecoder decoder_;
   std::vector<Tl2Observer*> observers_;
+  int notifyDepth_ = 0;
+  bool observersDirty_ = false;
 
-  std::deque<Tl2Request*> requestQueue_;
-  std::deque<Tl2Request*> readQueue_;   ///< Fetches and data reads.
-  std::deque<Tl2Request*> writeQueue_;
+  // Per-cycle mode: requestQueue_ feeds the address unit, the data
+  // queues are filled as address phases complete, and the *Current_
+  // slots hold the request each unit is counting down.
+  // Event mode: a request sits in requestQueue_ until its address-done
+  // cycle and (decode hits only, from accept on) in its class data
+  // queue until its data-done cycle; fronts carry the next boundary of
+  // each unit, ascending by construction. The *Current_ slots stay
+  // null.
+  RequestRing requestQueue_;
+  RequestRing readQueue_;   ///< Fetches and data reads.
+  RequestRing writeQueue_;
   Tl2Request* addrCurrent_ = nullptr;
   Tl2Request* readCurrent_ = nullptr;
   Tl2Request* writeCurrent_ = nullptr;
@@ -105,7 +196,26 @@ class Tl2Bus final : public sim::Module, public Tl2MasterIf {
   unsigned outstandingRead_ = 0;
   unsigned outstandingWrite_ = 0;
 
-  Tl2BusStats stats_;
+  bool perCycle_ = false;
+
+  // Event-mode unit bookkeeping: first cycle each unit is free again,
+  // and the decode-miss finish cycles still pending (ascending).
+  std::uint64_t addrFree_ = 0;
+  std::uint64_t readFree_ = 0;
+  std::uint64_t writeFree_ = 0;
+  std::uint64_t parkedWake_ = 0;  ///< Mirror of the handler's wake cycle.
+  mutable std::uint64_t lastRetireEdge_ = 0;  ///< retireDue() currency guard.
+  SmallRing<std::uint64_t, 16> missFinishCycles_;
+
+  // Event-mode lazy cycle counters: cycles/busyCycles are derived on
+  // stats() from the clock position and the busy intervals instead of
+  // being ticked every falling edge.
+  std::uint64_t firstEdge_ = 1;
+  std::uint64_t busyFrom_ = 0;
+  std::uint64_t closedBusyCycles_ = 0;
+  bool busyOpen_ = false;
+
+  mutable Tl2BusStats stats_;
 };
 
 } // namespace sct::bus

@@ -177,7 +177,7 @@ void GlBus::stepAddressUnit(SignalFrame& next, GlitchCounts& glitches) {
     req.slave = decoder_.decode(req.address);
     bool error = req.slave < 0;
     if (!error) {
-      const bus::SlaveControl& c = decoder_.slave(req.slave).control();
+      const bus::SlaveControl& c = decoder_.control(req.slave);
       error = !c.allows(req.kind) ||
               (req.burst() && !c.contains(req.address + 4u * req.beats - 1));
       addrUnit_.count = error ? 0 : c.addrWait;
@@ -207,7 +207,7 @@ void GlBus::stepAddressUnit(SignalFrame& next, GlitchCounts& glitches) {
   }
   next.set(SignalId::EB_ARdy, 1);
   req.stage = Tl1Stage::DataQueued;
-  const bus::SlaveControl& c = decoder_.slave(req.slave).control();
+  const bus::SlaveControl& c = decoder_.control(req.slave);
   if (req.kind == Kind::Write) {
     req.waitCount = c.writeWait;
     writePending_.push_back(&req);
@@ -257,7 +257,7 @@ void GlBus::stepReadUnit(SignalFrame& next) {
     retire(req, BusStatus::Ok);
     readUnit_.txn = nullptr;
   } else {
-    readUnit_.count = decoder_.slave(req.slave).control().burstBeatWait;
+    readUnit_.count = decoder_.control(req.slave).burstBeatWait;
   }
 }
 
@@ -299,7 +299,7 @@ void GlBus::stepWriteUnit(SignalFrame& next) {
     retire(req, BusStatus::Ok);
     writeUnit_.txn = nullptr;
   } else {
-    writeUnit_.count = decoder_.slave(req.slave).control().burstBeatWait;
+    writeUnit_.count = decoder_.control(req.slave).burstBeatWait;
   }
 }
 

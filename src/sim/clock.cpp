@@ -24,7 +24,9 @@ Clock::HandlerId Clock::onEdge(Edge edge, Callback cb, int priority) {
   auto pos = std::upper_bound(
       vec.begin(), vec.end(), priority,
       [](int p, const Handler& h) { return p < h.priority; });
-  vec.insert(pos, Handler{id, priority, std::move(cb)});
+  vec.insert(pos, Handler{id, priority, /*wake=*/0, std::move(cb)});
+  minWakeDirty_ = true;
+  parkIndexDirty_ = true;
   if (!scheduled_ && !halted_) {
     armNextEdge(kernel_.now() + period_, /*rising=*/true);
   }
@@ -37,6 +39,31 @@ void Clock::removeHandler(HandlerId id) {
   if (pos == pendingRemoval_.end() || *pos != id) {
     pendingRemoval_.insert(pos, id);
   }
+}
+
+void Clock::rebuildParkIndex() const {
+  parkIndex_.clear();
+  for (std::size_t i = 0; i < rising_.size(); ++i) {
+    parkIndex_.push_back({rising_[i].id, false, static_cast<std::uint32_t>(i)});
+  }
+  for (std::size_t i = 0; i < falling_.size(); ++i) {
+    parkIndex_.push_back({falling_[i].id, true, static_cast<std::uint32_t>(i)});
+  }
+  std::sort(parkIndex_.begin(), parkIndex_.end(),
+            [](const ParkSlot& a, const ParkSlot& b) { return a.id < b.id; });
+  parkIndexDirty_ = false;
+}
+
+void Clock::parkHandler(HandlerId id, std::uint64_t wakeCycle) {
+  if (parkIndexDirty_) rebuildParkIndex();
+  auto it = std::lower_bound(
+      parkIndex_.begin(), parkIndex_.end(), id,
+      [](const ParkSlot& s, HandlerId v) { return s.id < v; });
+  if (it == parkIndex_.end() || it->id != id) return;
+  Handler& h = it->falling ? falling_[it->idx] : rising_[it->idx];
+  if (h.wake == wakeCycle) return;
+  h.wake = wakeCycle;
+  minWakeDirty_ = true;
 }
 
 bool Clock::flaggedForRemoval(HandlerId id) const {
@@ -71,6 +98,8 @@ void Clock::fireRising() {
     falling_.erase(std::remove_if(falling_.begin(), falling_.end(), gone),
                    falling_.end());
     pendingRemoval_.clear();
+    minWakeDirty_ = true;
+    parkIndexDirty_ = true;
   }
   if (halted_ || !anyHandlers()) return;
   ++cycle_;
@@ -80,7 +109,9 @@ void Clock::fireRising() {
 }
 
 void Clock::fireFalling() {
+  inFallingDispatch_ = true;
   dispatch(falling_);
+  inFallingDispatch_ = false;
   inHighPhase_ = false;
   if (!halted_) armNextEdge(kernel_.now() + period_ / 2, /*rising=*/true);
 }
@@ -92,32 +123,133 @@ void Clock::dispatch(std::vector<Handler>& handlers) {
   // if their priority sorts later — to keep semantics simple we snapshot
   // the size and skip handlers flagged for removal. A handler call may
   // flag removals, so the per-handler check re-arms as soon as
-  // pendingRemoval_ becomes non-empty.
+  // pendingRemoval_ becomes non-empty. The wake gate is read at call
+  // time: an earlier handler waking a later one takes effect on the
+  // same edge, matching the order an unparked run would produce.
   const std::size_t n = handlers.size();
   for (std::size_t i = 0; i < n && i < handlers.size(); ++i) {
-    if (pendingRemoval_.empty()) {
-      handlers[i].cb();
+    if (handlers[i].wake > cycle_) continue;
+    if (!pendingRemoval_.empty() && flaggedForRemoval(handlers[i].id)) {
       continue;
     }
-    const Handler& h = handlers[i];
-    if (flaggedForRemoval(h.id)) continue;
-    h.cb();
+    handlers[i].cb();
   }
 }
 
+std::uint64_t Clock::minWakeCycle() const {
+  if (!minWakeDirty_) return minWakeCache_;
+  std::uint64_t m = kNeverWake;
+  for (const Handler& h : rising_) m = std::min(m, h.wake);
+  for (const Handler& h : falling_) m = std::min(m, h.wake);
+  minWakeCache_ = m;
+  minWakeDirty_ = false;
+  return m;
+}
+
+void Clock::maybeWarp(std::uint64_t target) {
+  // Flagged-but-unerased handlers still count as present (erasure
+  // happens on the next dispatched rising edge, and may stop the
+  // clock); never warp over that edge.
+  if (!pendingRemoval_.empty()) return;
+  const std::uint64_t stop = std::min(minWakeCycle(), target);
+  if (stop <= cycle_ + 1) return;  // Next rising edge must dispatch anyway.
+  // Land so that the next fired rising edge is cycle `stop`: every
+  // skipped cycle would have dispatched nothing, and the stop cycle
+  // (parked-handler wake or end of run) still produces real edges with
+  // the exact timestamps a fully clocked run would give them.
+  const std::uint64_t skip = stop - cycle_ - 1;
+  cycle_ += skip;
+  kernel_.postponeArmed(periodicId_, skip * period_);
+}
+
 void Clock::runCycles(std::uint64_t n) {
+  breakRequested_ = false;
   const std::uint64_t target = cycle_ + n;
   while ((cycle_ < target || inHighPhase_) && !halted_ && anyHandlers()) {
     // Self-drive: when this clock's own activation is the only thing
-    // the kernel could dispatch, claim it and fire the edge directly —
-    // same time advance, same bookkeeping, minus the generic dispatch
-    // machinery. Anything else pending (queued events, other clocks)
-    // falls back to ordinary single-step dispatch.
-    if (scheduled_ && kernel_.claimSoleActivation(periodicId_)) {
-      fire();
-      continue;
+    // the kernel could dispatch, claim it and run whole cycles inline —
+    // same time advance, same bookkeeping, minus the per-edge kernel
+    // round trips. Anything else pending (queued events, other clocks)
+    // falls back to ordinary single-step dispatch. Before claiming a
+    // rising edge, warp over cycles in which every handler is parked.
+    if (scheduled_ && kernel_.soleArmedActivation(periodicId_)) {
+      if (nextEdgeRising_ && !inHighPhase_) {
+        maybeWarp(target);
+        kernel_.claimSoleActivation(periodicId_);
+        scheduled_ = false;
+        runInline(target);
+      } else {
+        kernel_.claimSoleActivation(periodicId_);
+        fire();
+      }
+    } else if (kernel_.step(1) == 0) {
+      break;
     }
-    if (kernel_.step(1) == 0) break;
+    if (breakRequested_ && !inHighPhase_) break;
+  }
+}
+
+void Clock::runInline(std::uint64_t target) {
+  // Precondition: the rising activation was just claimed (kernel time
+  // sits on the rising edge of cycle_ + 1, nothing pending in the
+  // kernel). Each iteration produces one full cycle. All bail-outs
+  // re-create exactly the state the per-edge path would be in at the
+  // same point, so the two paths interleave freely.
+  Time rise = kernel_.now();
+  std::uint64_t edges = 0;
+  for (;;) {
+    // Rising edge (mirrors fireRising).
+    if (!pendingRemoval_.empty()) {
+      auto gone = [this](const Handler& h) { return flaggedForRemoval(h.id); };
+      rising_.erase(std::remove_if(rising_.begin(), rising_.end(), gone),
+                    rising_.end());
+      falling_.erase(std::remove_if(falling_.begin(), falling_.end(), gone),
+                     falling_.end());
+      pendingRemoval_.clear();
+      minWakeDirty_ = true;
+      parkIndexDirty_ = true;
+      if (!anyHandlers()) {
+        kernel_.noteInlineDispatches(edges);
+        return;  // Clock stops: no arm, like fireRising.
+      }
+    }
+    ++cycle_;
+    inHighPhase_ = true;
+    dispatch(rising_);
+    ++edges;
+    if (halted_ || !kernel_.idleForInline()) {
+      kernel_.noteInlineDispatches(edges);
+      armNextEdge(rise + period_ / 2, /*rising=*/false);
+      return;
+    }
+    // Falling edge (mirrors fireFalling).
+    kernel_.advanceInline(rise + period_ / 2);
+    inFallingDispatch_ = true;
+    dispatch(falling_);
+    inFallingDispatch_ = false;
+    inHighPhase_ = false;
+    ++edges;
+    if (halted_) {
+      kernel_.noteInlineDispatches(edges);
+      return;  // Halted: no re-arm, like fireFalling.
+    }
+    if (!kernel_.idleForInline() || breakRequested_ || cycle_ >= target) {
+      kernel_.noteInlineDispatches(edges);
+      armNextEdge(rise + period_, /*rising=*/true);
+      return;
+    }
+    // Next cycle; warp over fully parked cycles (mirrors maybeWarp,
+    // with no armed activation to postpone — just jump the timestamp).
+    rise += period_;
+    if (pendingRemoval_.empty()) {
+      const std::uint64_t stop = std::min(minWakeCycle(), target);
+      if (stop > cycle_ + 1) {
+        const std::uint64_t skip = stop - cycle_ - 1;
+        cycle_ += skip;
+        rise += skip * period_;
+      }
+    }
+    kernel_.advanceInline(rise);
   }
 }
 

@@ -15,6 +15,15 @@
 // the edges in exactly the order the pure event-queue design produced
 // (the activation's tie-break sequence number is allocated when the
 // previous edge re-arms, just as the old self-scheduling callback was).
+//
+// Event-driven models additionally *park* their handlers
+// (parkHandler()): a parked handler stays registered but is skipped
+// until its wake cycle. When every handler is parked beyond the next
+// cycle and the clock's own activation is the kernel's sole dispatch
+// candidate, runCycles() warps over the dead cycles in O(1) — cycle
+// numbering and edge timestamps of every cycle that actually dispatches
+// a handler are unchanged, so parked/warped runs are observably
+// identical to fully clocked ones.
 #ifndef SCT_SIM_CLOCK_H
 #define SCT_SIM_CLOCK_H
 
@@ -66,8 +75,31 @@ class Clock final : private PeriodicProcess {
   /// takes effect from the next edge.
   void removeHandler(HandlerId id);
 
+  /// Wake cycle for parkHandler() meaning "never" (until re-parked).
+  static constexpr std::uint64_t kNeverWake =
+      ~static_cast<std::uint64_t>(0);
+
+  /// Park `id` until `wakeCycle`: the handler stays registered (the
+  /// clock keeps running) but is skipped on every edge of cycles before
+  /// `wakeCycle`. Parking at a cycle <= the current one (re)activates
+  /// the handler immediately — parkHandler doubles as the wake call —
+  /// and takes effect for edges not yet dispatched this cycle. Safe to
+  /// call from inside any handler.
+  void parkHandler(HandlerId id, std::uint64_t wakeCycle);
+
   /// Run the bound kernel for exactly `n` clock cycles (both edges).
+  /// Cycles in which every handler is parked are warped over whenever
+  /// the clock is the kernel's only pending work; a warp never skips a
+  /// cycle that would dispatch a handler, and the final cycle of the
+  /// run always dispatches so kernel time lands where a fully clocked
+  /// run would. Returns early after completing the cycle in which
+  /// requestBreak() was called.
   void runCycles(std::uint64_t n);
+
+  /// Ask the innermost active runCycles() to return once the current
+  /// cycle completes (falling edge done). No-op outside runCycles();
+  /// the flag is cleared when runCycles() is entered.
+  void requestBreak() { breakRequested_ = true; }
 
   /// Stop generating edges after the current cycle completes.
   void halt() { halted_ = true; }
@@ -77,10 +109,20 @@ class Clock final : private PeriodicProcess {
   /// one full period after the current kernel time.
   void resume();
 
+  /// True between a rising edge and the end of its falling dispatch,
+  /// i.e. while cycle() refers to a cycle whose edges are still being
+  /// produced.
+  bool midCycle() const { return inHighPhase_; }
+
+  /// True while the falling-edge handlers of the current cycle are
+  /// being dispatched.
+  bool inFallingDispatch() const { return inFallingDispatch_; }
+
  private:
   struct Handler {
     HandlerId id;
     int priority;
+    std::uint64_t wake = 0;  ///< First cycle the handler runs again.
     Callback cb;
   };
 
@@ -93,6 +135,22 @@ class Clock final : private PeriodicProcess {
   void dispatch(std::vector<Handler>& handlers);
   bool anyHandlers() const;
   bool flaggedForRemoval(HandlerId id) const;
+  /// Earliest wake cycle over all handlers (0 when any is unparked).
+  /// Cached: the inline run loop probes this every cycle, and a
+  /// simulation whose handlers never park must not pay a handler scan
+  /// per cycle for a warp that can never trigger.
+  std::uint64_t minWakeCycle() const;
+  /// Jump cycle_/the armed activation forward so the next dispatched
+  /// rising edge belongs to cycle min(minWakeCycle(), target).
+  void maybeWarp(std::uint64_t target);
+  /// Fused run loop: with the clock's activation already claimed and
+  /// the kernel otherwise idle, produce whole cycles inline — rising
+  /// dispatch, falling dispatch, dead-cycle warp — without arming an
+  /// activation per edge. Bails back to the generic per-edge path (by
+  /// arming the next edge exactly where fireRising/fireFalling would)
+  /// the moment a handler schedules kernel work, halts the clock, or
+  /// the cycle budget is consumed.
+  void runInline(std::uint64_t target);
 
   Kernel& kernel_;
   std::string name_;
@@ -103,10 +161,28 @@ class Clock final : private PeriodicProcess {
   std::vector<Handler> rising_;
   std::vector<Handler> falling_;
   std::vector<HandlerId> pendingRemoval_;  ///< Kept sorted.
+  /// minWakeCycle() memo, invalidated whenever a wake field or the
+  /// handler set changes (parkHandler, registration, erasure).
+  mutable std::uint64_t minWakeCache_ = 0;
+  mutable bool minWakeDirty_ = true;
+  /// Compact id -> handler-slot index so parkHandler — called once per
+  /// phase boundary by event-driven modules — is a binary search over
+  /// a dozen bytes per entry instead of a scan over the fat Handler
+  /// structs. Rebuilt lazily after any registration or erasure.
+  struct ParkSlot {
+    HandlerId id;
+    bool falling;
+    std::uint32_t idx;
+  };
+  mutable std::vector<ParkSlot> parkIndex_;
+  mutable bool parkIndexDirty_ = true;
+  void rebuildParkIndex() const;
   bool scheduled_ = false;
   bool nextEdgeRising_ = true;
   bool halted_ = false;
   bool inHighPhase_ = false;  ///< Between a rising edge and its falling edge.
+  bool inFallingDispatch_ = false;
+  bool breakRequested_ = false;
 };
 
 } // namespace sct::sim

@@ -119,6 +119,39 @@ class Kernel {
     return periodics_[id].armed;
   }
 
+  /// Non-consuming variant of claimSoleActivation(): true when the armed
+  /// activation of `id` is the only dispatch candidate. Callers may then
+  /// reshape the activation (postponeArmed) before claiming it — the
+  /// basis of the clock's dead-cycle warp.
+  bool soleArmedActivation(PeriodicId id) const {
+    return !eventQueueOnly_ && armedCount_ == 1 && queue_.empty() &&
+           periodics_[id].armed;
+  }
+
+  /// Push the armed activation of `id` into the future by `delta`
+  /// picoseconds. Only legal while soleArmedActivation(id) holds: with
+  /// nothing else pending the move cannot reorder dispatch, so the
+  /// tie-break sequence number is kept.
+  void postponeArmed(PeriodicId id, Time delta) {
+    if (!soleArmedActivation(id)) {
+      throw std::logic_error(
+          "Kernel::postponeArmed: activation is not the sole candidate");
+    }
+    periodics_[id].when += delta;
+  }
+
+  /// Companions to claimSoleActivation() for a self-driving process
+  /// that runs many edges inline (sim::Clock's fused run loop). While
+  /// the kernel is otherwise completely idle — the process claimed its
+  /// sole activation and nothing has been scheduled since — dispatching
+  /// through the kernel would only bounce the same activation back and
+  /// forth, so the caller advances time itself and reports the edge
+  /// dispatches it performed. The moment idleForInline() turns false
+  /// the caller must fall back to arming ordinary activations.
+  bool idleForInline() const { return queue_.empty() && armedCount_ == 0; }
+  void advanceInline(Time when) { now_ = when; }
+  void noteInlineDispatches(std::uint64_t n) { dispatched_ += n; }
+
   /// Testing hook: when set, armPeriodic() routes activations through
   /// the general event queue instead of the inline fast path. Dispatch
   /// order is identical by construction; this exists so the fast path

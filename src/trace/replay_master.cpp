@@ -44,22 +44,15 @@ ReplayMaster::ReplayMaster(sim::Clock& clock, std::string name,
       instrIf_(instrIf),
       dataIf_(dataIf),
       maxInFlight_(maxInFlight),
-      stageGated_(instrIf.publishesStage() && dataIf.publishesStage()) {
-  // Built in place: the payload vector is the bulk of the master's
-  // setup cost, and replay harnesses construct one master per run.
-  const std::size_t n = trace.size();
-  requests_.resize(n);
-  issueCycles_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const TraceEntry& e = trace[i];
-    Tl1Request& r = requests_[i];
-    r.kind = e.kind;
-    r.address = e.address;
-    r.size = e.size;
-    r.beats = e.beats;
-    r.data = e.writeData;
-    issueCycles_[i] = e.issueCycle;
-  }
+      stageGated_(instrIf.publishesStage() && dataIf.publishesStage()),
+      trace_(trace.entries()) {
+  // Setup stays one bulk memcpy (TraceEntry is trivially copyable);
+  // request payloads are materialised lazily, one per entry as it is
+  // issued. Replay harnesses construct one master per run, so skipping
+  // the up-front per-element initialisation is the bulk of the setup
+  // cost. reserve() to full size keeps in-flight pointers stable.
+  requests_.reserve(trace_.size());
+  inFlight_.reserve(maxInFlight_);
   handlerId_ = clock_.onRising([this] { onRisingEdge(); });
 }
 
@@ -88,10 +81,20 @@ void ReplayMaster::onRisingEdge() {
       ++it;
     }
   }
-  // Issue further transactions in trace order.
-  while (nextIssue_ < requests_.size() &&
-         issueCycles_[nextIssue_] <= clock_.cycle() &&
+  // Issue further transactions in trace order, materialising each
+  // request from its trace entry on first touch.
+  while (nextIssue_ < trace_.size() &&
+         trace_[nextIssue_].issueCycle <= clock_.cycle() &&
          inFlight_.size() < maxInFlight_) {
+    if (requests_.size() == nextIssue_) {
+      const TraceEntry& e = trace_[nextIssue_];
+      Tl1Request& r = requests_.emplace_back();
+      r.kind = e.kind;
+      r.address = e.address;
+      r.size = e.size;
+      r.beats = e.beats;
+      r.data = e.writeData;
+    }
     Tl1Request& req = requests_[nextIssue_];
     const BusStatus s = invoke(instrIf_, dataIf_, req);
     if (s == BusStatus::Request) {
@@ -108,11 +111,22 @@ void ReplayMaster::onRisingEdge() {
       break;  // Accept refused (outstanding limit); retry next cycle.
     }
   }
+  if (done() && !doneNotified_) {
+    doneNotified_ = true;
+    clock_.requestBreak();
+  }
 }
 
 std::uint64_t ReplayMaster::runToCompletion(std::uint64_t maxCycles) {
+  // One big runCycles() call per attempt: the handler requests a clock
+  // break on the cycle the trace completes, so this sees the same
+  // elapsed cycle count as stepping one cycle at a time — without
+  // re-entering the run loop per cycle, and without defeating the
+  // clock's dead-cycle warp.
   const std::uint64_t start = clock_.cycle();
-  while (!done() && clock_.cycle() - start < maxCycles) clock_.runCycles(1);
+  while (!done() && clock_.cycle() - start < maxCycles) {
+    clock_.runCycles(maxCycles - (clock_.cycle() - start));
+  }
   return clock_.cycle() - start;
 }
 
@@ -127,28 +141,48 @@ Tl2ReplayMaster::Tl2ReplayMaster(sim::Clock& clock, std::string name,
       clock_(clock),
       busIf_(busIf),
       maxInFlight_(maxInFlight),
-      stageGated_(busIf.publishesStage()) {
-  requests_.resize(trace.size());
-  buffers_.resize(trace.size());
-  issueCycles_.reserve(trace.size());
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const TraceEntry& e = trace[i];
-    Tl2Request& r = requests_[i];
-    r.kind = e.kind;
-    r.address = e.address;
-    r.bytes = e.byteCount();
-    r.data = buffers_[i].data();
-    if (e.kind == Kind::Write) {
-      std::memcpy(buffers_[i].data(), e.writeData.data(), r.bytes);
-    }
-    issueCycles_.push_back(e.issueCycle);
-  }
+      stageGated_(busIf.publishesStage()),
+      trace_(trace.entries()) {
+  // Same bulk-copy-then-lazy-materialise construction as ReplayMaster
+  // (see above). Buffers are resized up front (value-initialised
+  // storage, cheap) so result pointers can be handed out at issue time.
+  requests_.reserve(trace_.size());
+  buffers_.resize(trace_.size());
+  inFlight_.reserve(maxInFlight_);
   handlerId_ = clock_.onRising([this] { onRisingEdge(); });
 }
 
 Tl2ReplayMaster::~Tl2ReplayMaster() { clock_.removeHandler(handlerId_); }
 
+const ReplayStats& Tl2ReplayMaster::stats() const {
+  // While parked on a refusal, credit the stall cycles the per-cycle
+  // polling discipline would have counted so far.
+  syncStalls(clock_.cycle());
+  return stats_;
+}
+
+void Tl2ReplayMaster::syncStalls(std::uint64_t through) const {
+  if (stallOpen_ && through > stallSyncedThrough_) {
+    stats_.issueStallCycles += through - stallSyncedThrough_;
+    stallSyncedThrough_ = through;
+  }
+}
+
 void Tl2ReplayMaster::onRisingEdge() {
+  const std::uint64_t cycle = clock_.cycle();
+  if (stallOpen_) {
+    // Woken at completion + 1: the refusal persisted through every
+    // skipped rising edge (the outstanding slot only frees on the
+    // completion's falling edge), so the per-cycle count is exactly one
+    // stall per skipped cycle. The retry below re-counts this cycle if
+    // it is refused again.
+    syncStalls(cycle - 1);
+    stallOpen_ = false;
+  }
+  // An event-driven bus without observers defers completion bookkeeping
+  // until asked; querying the next finish publishes every stage
+  // transition due by now, so the gate below reads fresh stages.
+  if (stageGated_ && !inFlight_.empty()) busIf_.nextFinishCycle();
   // Same Finished-stage gate as ReplayMaster::onRisingEdge().
   for (auto it = inFlight_.begin(); it != inFlight_.end();) {
     if (stageGated_ && (*it)->stage != bus::Tl2Stage::Finished) {
@@ -165,9 +199,21 @@ void Tl2ReplayMaster::onRisingEdge() {
       ++it;
     }
   }
-  while (nextIssue_ < requests_.size() &&
-         issueCycles_[nextIssue_] <= clock_.cycle() &&
+  bool refused = false;
+  while (nextIssue_ < trace_.size() &&
+         trace_[nextIssue_].issueCycle <= clock_.cycle() &&
          inFlight_.size() < maxInFlight_) {
+    if (requests_.size() == nextIssue_) {
+      const TraceEntry& e = trace_[nextIssue_];
+      Tl2Request& r = requests_.emplace_back();
+      r.kind = e.kind;
+      r.address = e.address;
+      r.bytes = e.byteCount();
+      r.data = buffers_[nextIssue_].data();
+      if (e.kind == Kind::Write) {
+        std::memcpy(r.data, e.writeData.data(), r.bytes);
+      }
+    }
     Tl2Request& req = requests_[nextIssue_];
     const BusStatus s = invoke(busIf_, req);
     if (s == BusStatus::Request) {
@@ -180,14 +226,54 @@ void Tl2ReplayMaster::onRisingEdge() {
       ++nextIssue_;
     } else {
       ++stats_.issueStallCycles;
+      stallSyncedThrough_ = cycle;
+      refused = true;
       break;
     }
   }
+  if (done()) {
+    if (!doneNotified_) {
+      doneNotified_ = true;
+      clock_.requestBreak();
+    }
+    if (busIf_.nextFinishCycle() != bus::kFinishUnknown) {
+      clock_.parkHandler(handlerId_, sim::Clock::kNeverWake);
+    }
+    return;
+  }
+  parkUntilNextWork(refused);
+}
+
+void Tl2ReplayMaster::parkUntilNextWork(bool refused) {
+  const std::uint64_t nf = busIf_.nextFinishCycle();
+  if (nf == bus::kFinishUnknown) return;  // Poll every cycle.
+  // Wake-on-completion: nothing observable changes for this master
+  // before the earliest completion is ready for pickup (finish + 1) or
+  // the next trace entry becomes due — park until then. A refused
+  // issue can only proceed once a completion frees its class slot, and
+  // an in-flight transaction always has a predicted finish, so the
+  // wake below is never kFinishNone while work remains.
+  std::uint64_t wake =
+      (nf == bus::kFinishNone) ? sim::Clock::kNeverWake : nf + 1;
+  if (refused) {
+    stallOpen_ = true;
+  } else if (nextIssue_ < trace_.size() && inFlight_.size() < maxInFlight_) {
+    wake = std::min(wake, trace_[nextIssue_].issueCycle);
+  }
+  // The handler just ran, so its stored wake is <= the current cycle;
+  // when the target is simply "next cycle" leaving it untouched means
+  // the same thing and saves the clock call (the dense-traffic case).
+  if (wake > clock_.cycle() + 1) clock_.parkHandler(handlerId_, wake);
 }
 
 std::uint64_t Tl2ReplayMaster::runToCompletion(std::uint64_t maxCycles) {
+  // See ReplayMaster::runToCompletion — with an event-driven bus both
+  // the bus process and this master park between phase boundaries, so
+  // the whole remaining budget runs in one warping runCycles() call.
   const std::uint64_t start = clock_.cycle();
-  while (!done() && clock_.cycle() - start < maxCycles) clock_.runCycles(1);
+  while (!done() && clock_.cycle() - start < maxCycles) {
+    clock_.runCycles(maxCycles - (clock_.cycle() - start));
+  }
   return clock_.cycle() - start;
 }
 

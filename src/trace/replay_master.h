@@ -38,10 +38,12 @@ class ReplayMaster final : public sim::Module {
                unsigned maxInFlight = 8);
   ~ReplayMaster() override;
 
-  bool done() const { return stats_.completed == requests_.size(); }
+  bool done() const { return stats_.completed == trace_.size(); }
   const ReplayStats& stats() const { return stats_; }
 
-  /// Completed request payloads (read results, per-request cycles).
+  /// Request payloads in trace order (read results, per-request
+  /// cycles). Materialised as entries are issued — the vector holds
+  /// every trace entry once the replay has completed.
   const std::vector<bus::Tl1Request>& requests() const { return requests_; }
 
   /// Run the clock until the whole trace has completed (or maxCycles
@@ -57,10 +59,15 @@ class ReplayMaster final : public sim::Module {
   bus::EcDataIf& dataIf_;
   unsigned maxInFlight_;
   bool stageGated_;  ///< Both interfaces publish the Finished stage.
-  std::vector<std::uint64_t> issueCycles_;
+  /// Entry payloads, bulk-copied (one trivially-copyable memcpy; much
+  /// cheaper than materialising every request up front). Requests are
+  /// built from it one by one as they are issued; requests_ is reserved
+  /// to full size so in-flight pointers stay stable.
+  std::vector<TraceEntry> trace_;
   std::vector<bus::Tl1Request> requests_;
   std::vector<bus::Tl1Request*> inFlight_;
   std::size_t nextIssue_ = 0;
+  bool doneNotified_ = false;
   ReplayStats stats_;
 };
 
@@ -70,8 +77,10 @@ class Tl2ReplayMaster final : public sim::Module {
                   const BusTrace& trace, unsigned maxInFlight = 8);
   ~Tl2ReplayMaster() override;
 
-  bool done() const { return stats_.completed == requests_.size(); }
-  const ReplayStats& stats() const { return stats_; }
+  bool done() const { return stats_.completed == trace_.size(); }
+  const ReplayStats& stats() const;
+  /// Request payloads in trace order; materialised as entries are
+  /// issued (complete once the replay has finished).
   const std::vector<bus::Tl2Request>& requests() const { return requests_; }
 
   /// Read-result bytes of entry `i` (valid after completion).
@@ -83,18 +92,32 @@ class Tl2ReplayMaster final : public sim::Module {
 
  private:
   void onRisingEdge();
+  /// Park the handler until the next cycle anything can change (bus
+  /// completion + 1, or the next issue cycle); no-op when the bus
+  /// cannot predict completions. `refused` flags that this cycle's
+  /// issue was refused by the bus (outstanding limit).
+  void parkUntilNextWork(bool refused);
+  /// Credit the stall cycles a parked handler skipped, up to and
+  /// including cycle `through` (the per-cycle master counts one stall
+  /// per rising edge while the refusal persists).
+  void syncStalls(std::uint64_t through) const;
 
   sim::Clock& clock_;
   sim::Clock::HandlerId handlerId_;
   bus::Tl2MasterIf& busIf_;
   unsigned maxInFlight_;
   bool stageGated_;  ///< The interface publishes the Finished stage.
-  std::vector<std::uint64_t> issueCycles_;
+  /// See ReplayMaster: bulk-copied entries, lazily materialised
+  /// requests (reserved to full size, so pointers stay stable).
+  std::vector<TraceEntry> trace_;
   std::vector<bus::Tl2Request> requests_;
   std::vector<std::array<std::uint8_t, 16>> buffers_;
   std::vector<bus::Tl2Request*> inFlight_;
   std::size_t nextIssue_ = 0;
-  ReplayStats stats_;
+  bool doneNotified_ = false;
+  bool stallOpen_ = false;  ///< A refused issue is waiting, handler parked.
+  mutable std::uint64_t stallSyncedThrough_ = 0;
+  mutable ReplayStats stats_;
 };
 
 } // namespace sct::trace

@@ -280,6 +280,97 @@ TEST_F(Tl2Fixture, ObserverSeesPhaseCompletionsOnly) {
   EXPECT_EQ(obs.data[0].data, reinterpret_cast<std::uint8_t*>(&v));
 }
 
+/// Detaches itself — and optionally a later-registered peer — from
+/// inside its first addressPhaseDone callback.
+struct DetachingTl2Observer : Tl2Observer {
+  DetachingTl2Observer(Tl2Bus& bus, Tl2Observer* peer)
+      : bus(bus), peer(peer) {}
+  void addressPhaseDone(const Tl2PhaseInfo&) override {
+    ++addrCalls;
+    bus.removeObserver(*this);
+    if (peer != nullptr) bus.removeObserver(*peer);
+  }
+  void dataPhaseDone(const Tl2PhaseInfo&) override { ++dataCalls; }
+  Tl2Bus& bus;
+  Tl2Observer* peer;
+  int addrCalls = 0;
+  int dataCalls = 0;
+};
+
+TEST_F(Tl2Fixture, ObserverDetachDuringCallbackIsSafe) {
+  // Removal mid-notification must not invalidate the iteration and
+  // must take effect immediately: the removed observers see nothing
+  // further, not even the rest of the current phase's fan-out.
+  MemorySlave ram("ram", window(0, 0x1000));
+  bus.attach(ram);
+  RecordingTl2Observer before;  // Registered first: unaffected.
+  RecordingTl2Observer after;   // Registered last: detached by proxy.
+  DetachingTl2Observer det(bus, &after);
+  bus.addObserver(before);
+  bus.addObserver(det);
+  bus.addObserver(after);
+
+  Word v = 0;
+  Tl2Request req;
+  req.kind = Kind::Read;
+  req.address = 0x10;
+  req.data = reinterpret_cast<std::uint8_t*>(&v);
+  req.bytes = 4;
+  driveOne(clk, bus, req);
+
+  EXPECT_EQ(before.addr.size(), 1u);
+  EXPECT_EQ(before.data.size(), 1u);
+  EXPECT_EQ(det.addrCalls, 1);  // Self-removed: no further callbacks.
+  EXPECT_EQ(det.dataCalls, 0);
+  EXPECT_TRUE(after.addr.empty());  // Removed before its turn.
+  EXPECT_TRUE(after.data.empty());
+
+  // The survivor keeps receiving phases on later transactions.
+  Tl2Request req2 = req;
+  req2.reset();
+  req2.address = 0x20;
+  driveOne(clk, bus, req2);
+  EXPECT_EQ(before.addr.size(), 2u);
+  EXPECT_EQ(before.data.size(), 2u);
+  EXPECT_EQ(det.addrCalls, 1);
+  EXPECT_TRUE(after.addr.empty());
+}
+
+/// Attaches a peer from inside its first addressPhaseDone callback.
+struct AttachingTl2Observer : Tl2Observer {
+  AttachingTl2Observer(Tl2Bus& bus, Tl2Observer& late) : bus(bus), late(late) {}
+  void addressPhaseDone(const Tl2PhaseInfo&) override {
+    if (!attached) {
+      attached = true;
+      bus.addObserver(late);
+    }
+  }
+  Tl2Bus& bus;
+  Tl2Observer& late;
+  bool attached = false;
+};
+
+TEST_F(Tl2Fixture, ObserverAttachDuringCallbackStartsNextPhase) {
+  // An addition mid-notification is first served from the next phase
+  // on — it must not be invoked for the phase being fanned out.
+  MemorySlave ram("ram", window(0, 0x1000));
+  bus.attach(ram);
+  RecordingTl2Observer late;
+  AttachingTl2Observer att(bus, late);
+  bus.addObserver(att);
+
+  Word v = 0;
+  Tl2Request req;
+  req.kind = Kind::Read;
+  req.address = 0x40;
+  req.data = reinterpret_cast<std::uint8_t*>(&v);
+  req.bytes = 4;
+  driveOne(clk, bus, req);
+
+  EXPECT_TRUE(late.addr.empty());  // Missed the triggering address phase.
+  EXPECT_EQ(late.data.size(), 1u);  // Present from the data phase on.
+}
+
 TEST_F(Tl2Fixture, StatsAccumulate) {
   MemorySlave ram("ram", window(0, 0x1000));
   bus.attach(ram);
