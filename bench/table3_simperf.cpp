@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "trace/report.h"
@@ -23,10 +24,19 @@ namespace {
 using namespace sct;
 using bench::ReplayPlatform;
 
+/// SCT_BENCH_TINY=1 shrinks the workload for CI smoke runs: the point
+/// there is "the bench still runs and reports", not a stable rate.
+bool tinyMode() {
+  const char* v = std::getenv("SCT_BENCH_TINY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::size_t workloadCount() { return tinyMode() ? 200 : 4000; }
+
 const trace::BusTrace& perfWorkload() {
   // All four transaction classes, back-to-back, as in Section 4.2.
   static const trace::BusTrace t = trace::randomMix(
-      777, 4000, bench::platformRegions(), trace::MixRatios{});
+      777, workloadCount(), bench::platformRegions(), trace::MixRatios{});
   return t;
 }
 
@@ -36,7 +46,8 @@ const trace::BusTrace& idleGapWorkload() {
   // exercises the event-driven TL2 dead-cycle warp, which back-to-back
   // traffic cannot.
   static const trace::BusTrace t = trace::randomMix(
-      777, 4000, bench::platformRegions(), trace::MixRatios{}, 100);
+      777, workloadCount(), bench::platformRegions(), trace::MixRatios{},
+      100);
   return t;
 }
 
@@ -209,6 +220,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  printPaperTable();
+  // The timed paper-shape table is meaningless on a smoke workload.
+  if (!tinyMode()) printPaperTable();
   return 0;
 }

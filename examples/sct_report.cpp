@@ -1,0 +1,173 @@
+// sct-report: one simulation, every observability surface.
+//
+//  1. Characterize signal-energy coefficients on the layer-0 reference.
+//  2. Run a mixed workload on the layer-1 bus with the full obs stack
+//     attached: StatsRegistry (clock + bus + kernel + master counters),
+//     EnergyLedger (per-bundle / per-class / per-slave attribution,
+//     bit-identical to the power model's total) and TraceRecorder.
+//  3. Print paper-style attribution tables, dump the registry as JSON,
+//     and optionally write a Chrome trace_event file for Perfetto.
+//
+// Usage: sct_report [trace.json]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bus/memory_slave.h"
+#include "bus/tl1_bus.h"
+#include "obs/ledger.h"
+#include "obs/stats.h"
+#include "obs/trace_json.h"
+#include "power/characterizer.h"
+#include "power/tl1_power_model.h"
+#include "ref/gl_bus.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "trace/replay_master.h"
+#include "trace/report.h"
+#include "trace/workloads.h"
+
+using namespace sct;
+
+namespace {
+
+bus::SlaveControl ramCtl() {
+  bus::SlaveControl c;
+  c.base = 0x0000;
+  c.size = 0x2000;
+  return c;
+}
+
+bus::SlaveControl eepromCtl() {
+  bus::SlaveControl c;
+  c.base = 0x8000;
+  c.size = 0x2000;
+  c.addrWait = 1;
+  c.readWait = 2;
+  c.writeWait = 3;
+  c.burstBeatWait = 1;
+  return c;
+}
+
+std::vector<trace::TargetRegion> regions() {
+  return {trace::TargetRegion{0x0000, 0x2000, true, true, true},
+          trace::TargetRegion{0x8000, 0x2000, true, true, true}};
+}
+
+power::SignalEnergyTable characterize() {
+  ref::ParasiticDb parasitics = ref::ParasiticDb::makeDefault();
+  static const ref::TransitionEnergyModel model(parasitics,
+                                                ref::ProcessParams{});
+  sim::Kernel kernel;
+  sim::Clock clock(kernel, "clk", 30'000);
+  ref::GlBus refBus(clock, "refbus", model);
+  bus::MemorySlave ram("ram", ramCtl());
+  bus::MemorySlave eeprom("eeprom", eepromCtl());
+  refBus.attach(ram);
+  refBus.attach(eeprom);
+  power::Characterizer ch(model);
+  refBus.addFrameListener(ch);
+  trace::ReplayMaster trainer(clock, "trainer", refBus, refBus,
+                              trace::characterizationTrace(1, 800, regions()));
+  trainer.runToCompletion();
+  return ch.buildTable();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const power::SignalEnergyTable table = characterize();
+
+  // --- The instrumented layer-1 system -------------------------------
+  sim::Kernel kernel;
+  sim::Clock clock(kernel, "clk", 30'000);
+  bus::Tl1Bus ecbus(clock, "ecbus");
+  bus::MemorySlave ram("ram", ramCtl());
+  bus::MemorySlave eeprom("eeprom", eepromCtl());
+  ecbus.attach(ram);
+  ecbus.attach(eeprom);
+  power::Tl1PowerModel pm(table);
+  ecbus.addObserver(pm);
+
+  obs::StatsRegistry reg;
+  obs::EnergyLedger ledger;
+  obs::TraceRecorder rec(1u << 15);
+  clock.attachObs(reg, &rec);
+  ecbus.attachObs(reg, &rec);
+  pm.attachLedger(ledger);
+
+  const trace::BusTrace workload = trace::randomMix(
+      42, 400, regions(), trace::MixRatios{3, 2, 2, 1, 2}, /*issueGapMax=*/3);
+  trace::ReplayMaster master(clock, "master", ecbus, ecbus, workload);
+  master.runToCompletion();
+  master.publishObs(reg);
+  kernel.publishObs(reg);
+
+  // --- Paper-style attribution tables --------------------------------
+  const double total = ledger.total_fJ();
+  std::printf("total energy: %.1f fJ over %llu bus cycles "
+              "(ledger reconciles model total bit-identically: %s)\n\n",
+              total,
+              static_cast<unsigned long long>(ecbus.stats().cycles),
+              ledger.total_fJ() == pm.totalEnergy_fJ() ? "yes" : "NO");
+
+  {
+    trace::Table t({"class", "energy [fJ]", "share"});
+    for (std::size_t c = 0; c < obs::kTxClassCount; ++c) {
+      const auto cls = static_cast<obs::TxClass>(c);
+      t.addRow({obs::txClassName(cls),
+                trace::Table::num(ledger.byClass_fJ(cls)),
+                trace::Table::pct(total > 0 ? ledger.byClass_fJ(cls) / total
+                                            : 0.0)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  {
+    trace::Table t({"slave", "energy [fJ]", "share"});
+    const char* names[] = {"ram", "eeprom"};
+    for (int s = 0; s < 2; ++s) {
+      t.addRow({names[s], trace::Table::num(ledger.bySlave_fJ(s)),
+                trace::Table::pct(total > 0 ? ledger.bySlave_fJ(s) / total
+                                            : 0.0)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  {
+    trace::Table t({"signal bundle", "energy [fJ]", "share"});
+    for (const bus::SignalInfo& s : bus::kSignalTable) {
+      t.addRow({std::string(s.name),
+                trace::Table::num(ledger.byBundle_fJ(s.id)),
+                trace::Table::pct(total > 0 ? ledger.byBundle_fJ(s.id) / total
+                                            : 0.0)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Registry JSON --------------------------------------------------
+  reg.gauge("energy.total_fJ").set(total);
+  std::cout << "registry snapshot:\n";
+  reg.writeJson(std::cout);
+  std::cout << "\n";
+
+  // --- Chrome trace (Perfetto / chrome://tracing) ---------------------
+  if (argc > 1) {
+    std::ofstream os(argv[1]);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    rec.writeJson(os);
+    std::printf("wrote %zu timeline events (%llu dropped) to %s\n",
+                rec.size(), static_cast<unsigned long long>(rec.dropped()),
+                argv[1]);
+  } else {
+    std::printf("timeline: %zu events recorded (%llu dropped); "
+                "pass a filename to write Chrome trace JSON\n",
+                rec.size(), static_cast<unsigned long long>(rec.dropped()));
+  }
+  return 0;
+}

@@ -33,11 +33,28 @@ fi
 "$bench" --benchmark_format=json --benchmark_out="$out" \
          --benchmark_out_format=json ${SCT_BENCH_ARGS:-}
 
-# Append the TL2/TL1 speedup ratios in machine-readable form (median
-# items_per_second over repetition entries, aggregates excluded).
+# Identify the host the numbers came from — throughput figures are
+# meaningless across machines without this.
+cpu_model=$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo \
+            2>/dev/null || true)
+[ -n "${cpu_model:-}" ] || cpu_model=$(uname -m)
+cxx=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$build_dir/CMakeCache.txt" \
+      2>/dev/null | head -n 1)
+if [ -n "${cxx:-}" ] && [ -x "$cxx" ]; then
+  compiler=$("$cxx" --version 2>/dev/null | head -n 1)
+else
+  compiler=unknown
+fi
+git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo none)
+run_date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# Append the TL2/TL1 speedup ratios and the host context in
+# machine-readable form (median items_per_second over repetition
+# entries, aggregates excluded).
 if command -v jq >/dev/null 2>&1; then
   tmp="$out.tmp"
-  jq '
+  jq --arg cpu "$cpu_model" --arg compiler "$compiler" \
+     --arg git_sha "$git_sha" --arg date "$run_date" '
     def rate(n):
       [.benchmarks[]
        | select(.name == n and (.run_type // "iteration") != "aggregate")
@@ -48,8 +65,12 @@ if command -v jq >/dev/null 2>&1; then
         (rate("TL2_WithEstimation") / rate("TL1_WithEstimation")),
       tl2_over_tl1_without_estimation:
         (rate("TL2_WithoutEstimation") / rate("TL1_WithoutEstimation"))
+    }}
+    + {host_context: {
+        cpu_model: $cpu, compiler: $compiler,
+        git_sha: $git_sha, date: $date
     }}' "$out" > "$tmp" && mv "$tmp" "$out"
 else
-  echo "warning: jq not found — speedup ratios not appended" >&2
+  echo "warning: jq not found — speedup/host_context not appended" >&2
 fi
 echo "wrote $out"

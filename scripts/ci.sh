@@ -3,8 +3,11 @@
 #
 #   scripts/ci.sh
 #
-# Pass 1 — the shipping configuration: Release (LTO) configure, build
-# everything (libraries, tests, benches), run the whole test suite.
+# Pass 1 — the shipping configuration: Release (LTO) configure with
+# warnings-as-errors, build everything (libraries, tests, benches), run
+# the whole test suite, then smoke-run the Table 3 bench (tiny
+# workload, minimal timing — proves the bench binary and its JSON
+# output stay alive, measures nothing).
 # Pass 2 — the same suite under AddressSanitizer + UndefinedBehavior-
 # Sanitizer (the SCT_SANITIZE option; it disables LTO itself).
 #
@@ -23,9 +26,13 @@ run() {
 }
 
 for preset in release asan-ubsan; do
-  run cmake --preset "$preset"
+  run cmake --preset "$preset" -DSCT_WERROR=ON
   run cmake --build --preset "$preset" --parallel "$jobs"
   run ctest --preset "$preset" --parallel "$jobs"
 done
+
+echo "==> bench smoke (tiny workload)"
+run env SCT_BENCH_TINY=1 ./build/bench/table3_simperf \
+  --benchmark_min_time=0.01
 
 echo "CI: both passes green"

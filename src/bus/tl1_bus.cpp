@@ -81,6 +81,11 @@ BusStatus Tl1Bus::submitOrPoll(Tl1Request& req, Kind expectedKind) {
       req.acceptCycle = clock_.cycle();
       ++outstanding(req.kind);
       requestQueue_.push_back(&req);
+      if constexpr (obs::kEnabled) {
+        if (obsDepth_ != nullptr) {
+          obsDepth_->record(requestQueue_.size());
+        }
+      }
       return BusStatus::Request;
     }
     case Tl1Stage::Finished: {
@@ -152,6 +157,44 @@ void Tl1Bus::finish(Tl1Request& req, BusStatus result) {
     } else {
       ++stats_.readBusErrors;
     }
+  }
+  if constexpr (obs::kEnabled) {
+    if (obsLatency_ != nullptr) noteFinishObs(req, result);
+  }
+}
+
+void Tl1Bus::attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec) {
+  if constexpr (obs::kEnabled) {
+    const std::string& n = name();
+    obsWaits_ = &reg.histogram(n + ".txn_wait_cycles", {0, 1, 2, 4, 8, 16});
+    obsBurst_ = &reg.histogram(n + ".burst_beats", {1, 2, 4});
+    obsDepth_ = &reg.histogram(n + ".queue_depth", {1, 2, 4, 8});
+    obsErrors_ = &reg.counter(n + ".bus_errors");
+    obsRec_ = rec;
+    // Last: obsLatency_ doubles as the attached flag, so it must only
+    // become non-null once every other handle is live.
+    obsLatency_ =
+        &reg.histogram(n + ".txn_latency_cycles", {1, 2, 4, 8, 16, 32});
+  } else {
+    (void)reg;
+    (void)rec;
+  }
+}
+
+void Tl1Bus::noteFinishObs(const Tl1Request& req, BusStatus result) {
+  const std::uint64_t latency = req.finishCycle - req.acceptCycle + 1;
+  obsLatency_->record(latency);
+  // A wait-free transaction takes one address cycle plus one cycle per
+  // beat; anything beyond that is slave wait states or queueing.
+  const std::uint64_t ideal = 1u + req.beats;
+  obsWaits_->record(latency > ideal ? latency - ideal : 0);
+  obsBurst_->record(req.beats);
+  if (result == BusStatus::Error) obsErrors_->add();
+  if (obsRec_ != nullptr) {
+    obsRec_->span("tl1", toString(req.kind).data(), req.acceptCycle,
+                  req.finishCycle, obs::Track::Bus,
+                  obs::TraceArg{"addr", req.address},
+                  obs::TraceArg{"beats", req.beats});
   }
 }
 

@@ -29,6 +29,8 @@
 #include "bus/ec_interfaces.h"
 #include "bus/ec_request.h"
 #include "bus/ec_types.h"
+#include "obs/stats.h"
+#include "obs/trace_json.h"
 #include "sim/clock.h"
 #include "sim/module.h"
 
@@ -86,6 +88,11 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   const AddressDecoder& decoder() const { return decoder_; }
   std::uint64_t cycle() const { return clock_.cycle(); }
 
+  /// Resolve observability handles under "<name>." in `reg`
+  /// (txn_latency_cycles, txn_wait_cycles, burst_beats, queue_depth,
+  /// bus_errors) and optionally emit transaction spans to `rec`.
+  void attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec = nullptr);
+
  private:
   BusStatus submitOrPoll(Tl1Request& req, Kind expectedKind);
   bool validate(const Tl1Request& req) const;
@@ -98,6 +105,7 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   void writePhase();
   void dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue);
   void finish(Tl1Request& req, BusStatus result);
+  void noteFinishObs(const Tl1Request& req, BusStatus result);
   void publishAddressPhase(const AddressPhaseInfo& info);
   void publishBeat(const DataBeatInfo& info, bool isWrite);
 
@@ -121,6 +129,15 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   std::uint64_t cycleNow_ = 0;
   bool anyActivityThisCycle_ = false;
   Tl1BusStats stats_;
+
+  // Observability handles, resolved once by attachObs (null = detached;
+  // obsLatency_ doubles as the attached flag).
+  obs::Histogram* obsLatency_ = nullptr;
+  obs::Histogram* obsWaits_ = nullptr;
+  obs::Histogram* obsBurst_ = nullptr;
+  obs::Histogram* obsDepth_ = nullptr;
+  obs::Counter* obsErrors_ = nullptr;
+  obs::TraceRecorder* obsRec_ = nullptr;
 };
 
 } // namespace sct::bus

@@ -187,6 +187,11 @@ BusStatus Tl2Bus::submitOrPoll(Tl2Request& req) {
       } else {
         scheduleRequest(req);
       }
+      if constexpr (obs::kEnabled) {
+        if (obsDepth_ != nullptr) {
+          obsDepth_->record(requestQueue_.size());
+        }
+      }
       return BusStatus::Request;
     }
     case Tl2Stage::Finished: {
@@ -400,6 +405,9 @@ void Tl2Bus::completeAddressPhase(Tl2Request& req, bool notify) {
     notifyAddressPhase(info);
   }
   req.addrCyclesLeft = 0;
+  if constexpr (obs::kEnabled) {
+    if (obsRec_ != nullptr) noteAddrPhaseObs(req);
+  }
   if (req.slave < 0) {
     missFinishCycles_.pop_front();
     finish(req, BusStatus::Error, req.addrDoneCycle);
@@ -434,6 +442,9 @@ void Tl2Bus::completeDataPhase(RequestRing& queue, bool notify) {
     notifyDataPhase(info);
   }
   req.dataCyclesLeft = 0;
+  if constexpr (obs::kEnabled) {
+    if (obsRec_ != nullptr) noteDataPhaseObs(req);
+  }
   finish(req, ok ? BusStatus::Ok : BusStatus::Error, req.dataDoneCycle);
 }
 
@@ -466,6 +477,49 @@ void Tl2Bus::finish(Tl2Request& req, BusStatus result, std::uint64_t cycle) {
     stats_.bytesWritten += req.bytes;
   } else {
     stats_.bytesRead += req.bytes;
+  }
+  if constexpr (obs::kEnabled) {
+    if (obsLatency_ != nullptr) noteFinishObs(req, result);
+  }
+}
+
+void Tl2Bus::attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec) {
+  if constexpr (obs::kEnabled) {
+    const std::string& n = name();
+    obsDepth_ = &reg.histogram(n + ".queue_depth", {1, 2, 4, 8});
+    obsErrors_ = &reg.counter(n + ".bus_errors");
+    obsRec_ = rec;
+    // Last: obsLatency_ doubles as the attached flag, so it must only
+    // become non-null once every other handle is live.
+    obsLatency_ =
+        &reg.histogram(n + ".txn_latency_cycles", {1, 2, 4, 8, 16, 32});
+  } else {
+    (void)reg;
+    (void)rec;
+  }
+}
+
+void Tl2Bus::noteAddrPhaseObs(const Tl2Request& req) {
+  obsRec_->span("tl2", "addr_phase", req.addrDoneCycle - req.addrCycles + 1,
+                req.addrDoneCycle, obs::Track::AddrPhase,
+                obs::TraceArg{"addr", req.address});
+}
+
+void Tl2Bus::noteDataPhaseObs(const Tl2Request& req) {
+  obsRec_->span("tl2", "data_phase", req.dataDoneCycle - req.dataCycles + 1,
+                req.dataDoneCycle, obs::Track::DataPhase,
+                obs::TraceArg{"addr", req.address},
+                obs::TraceArg{"bytes", req.bytes});
+}
+
+void Tl2Bus::noteFinishObs(const Tl2Request& req, BusStatus result) {
+  obsLatency_->record(req.finishCycle - req.acceptCycle + 1);
+  if (result == BusStatus::Error) obsErrors_->add();
+  if (obsRec_ != nullptr) {
+    obsRec_->span("tl2", toString(req.kind).data(), req.acceptCycle,
+                  req.finishCycle, obs::Track::Bus,
+                  obs::TraceArg{"addr", req.address},
+                  obs::TraceArg{"bytes", req.bytes});
   }
 }
 

@@ -46,6 +46,8 @@
 #include "bus/ec_request.h"
 #include "bus/ec_types.h"
 #include "bus/small_ring.h"
+#include "obs/stats.h"
+#include "obs/trace_json.h"
 #include "sim/clock.h"
 #include "sim/module.h"
 
@@ -118,6 +120,13 @@ class Tl2Bus final : public sim::Module, public Tl2MasterIf {
   void setPerCycleProcess(bool v);
   bool perCycleProcess() const { return perCycle_; }
 
+  /// Resolve observability handles under "<name>." in `reg`
+  /// (txn_latency_cycles, queue_depth, bus_errors) and optionally emit
+  /// transaction/phase spans to `rec`. Spans carry the schedule's cycle
+  /// numbers (acceptCycle, addrDoneCycle, dataDoneCycle), so they are
+  /// exact even when boundaries are retired lazily after a clock warp.
+  void attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec = nullptr);
+
  private:
   BusStatus submitOrPoll(Tl2Request& req);
   bool validate(const Tl2Request& req) const;
@@ -166,6 +175,9 @@ class Tl2Bus final : public sim::Module, public Tl2MasterIf {
 
   // --- shared --------------------------------------------------------------
   void finish(Tl2Request& req, BusStatus result, std::uint64_t cycle);
+  SCT_OBS_COLD void noteFinishObs(const Tl2Request& req, BusStatus result);
+  SCT_OBS_COLD void noteAddrPhaseObs(const Tl2Request& req);
+  SCT_OBS_COLD void noteDataPhaseObs(const Tl2Request& req);
   void notifyAddressPhase(const Tl2PhaseInfo& info);
   void notifyDataPhase(const Tl2PhaseInfo& info);
   std::uint64_t currentEdge() const;
@@ -216,6 +228,13 @@ class Tl2Bus final : public sim::Module, public Tl2MasterIf {
   bool busyOpen_ = false;
 
   mutable Tl2BusStats stats_;
+
+  // Observability handles, resolved once by attachObs (null = detached;
+  // obsLatency_ doubles as the attached flag).
+  obs::Histogram* obsLatency_ = nullptr;
+  obs::Histogram* obsDepth_ = nullptr;
+  obs::Counter* obsErrors_ = nullptr;
+  obs::TraceRecorder* obsRec_ = nullptr;
 };
 
 } // namespace sct::bus

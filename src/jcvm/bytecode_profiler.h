@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "jcvm/interpreter.h"
+#include "obs/stats.h"
 #include "power/power_if.h"
 
 namespace sct::jcvm {
@@ -50,6 +51,19 @@ class BytecodeEnergyProfiler final : public BytecodeObserver {
   }
   double energyOf(Bc op) const {
     return energy_fJ_[static_cast<std::size_t>(op)];
+  }
+
+  /// Publish the attribution into `reg`: per executed bytecode one
+  /// "<prefix>.count.<mnemonic>" counter and one
+  /// "<prefix>.energy_fJ.<mnemonic>" gauge. Copy-out at snapshot time;
+  /// the hot path stays untouched.
+  void publishTo(obs::StatsRegistry& reg,
+                 const std::string& prefix = "bytecode") const {
+    for (const Entry& e : ranking()) {
+      const std::string op(mnemonic(e.op));
+      reg.counter(prefix + ".count." + op).add(e.count);
+      reg.gauge(prefix + ".energy_fJ." + op).add(e.energy_fJ);
+    }
   }
 
  private:

@@ -19,6 +19,15 @@ ExplorationResult evaluateInterface(
   power::Tl1PowerModel pm(table);
   ecbus.addObserver(pm);
 
+  // Per-run observability: every worker owns its registry/ledger (one
+  // kernel per task), so the sweep needs no locking and the snapshots
+  // merge afterwards.
+  obs::StatsRegistry reg;
+  obs::EnergyLedger ledger;
+  clock.attachObs(reg);
+  ecbus.attachObs(reg);
+  pm.attachLedger(ledger);
+
   bus::SlaveControl ctl;
   ctl.base = config.base;
   ctl.size = 0x100;
@@ -55,6 +64,16 @@ ExplorationResult evaluateInterface(
   r.bytesOnBus = adapter.transport().bytesOnBus;
   r.energy_fJ = pm.totalEnergy_fJ();
   if (bytecodeRanking != nullptr) *bytecodeRanking = profiler.ranking();
+
+  kernel.publishObs(reg);
+  if (bytecodeRanking != nullptr) profiler.publishTo(reg);
+  reg.gauge("energy.total_fJ").set(ledger.total_fJ());
+  for (std::size_t c = 0; c < obs::kTxClassCount; ++c) {
+    const auto cls = static_cast<obs::TxClass>(c);
+    reg.gauge(std::string("energy.by_class_fJ.") + obs::txClassName(cls))
+        .set(ledger.byClass_fJ(cls));
+  }
+  r.obsSnapshot = reg.snapshot();
   return r;
 }
 
@@ -85,6 +104,13 @@ std::vector<ExplorationResult> evaluateInterfaces(
         results[i] = evaluateInterface(program, args, space[i], table);
       });
   return results;
+}
+
+obs::Snapshot mergeObsSnapshots(
+    const std::vector<ExplorationResult>& results) {
+  obs::Snapshot all;
+  for (const ExplorationResult& r : results) obs::merge(all, r.obsSnapshot);
+  return all;
 }
 
 std::vector<InterfaceConfig> defaultConfigSpace() {

@@ -18,6 +18,8 @@
 #include "jcvm/bytecode_profiler.h"
 #include "jcvm/hw_stack.h"
 #include "jcvm/interpreter.h"
+#include "obs/ledger.h"
+#include "obs/stats.h"
 #include "power/coeff_table.h"
 
 namespace sct::jcvm {
@@ -42,6 +44,12 @@ struct ExplorationResult {
   std::uint64_t busCycles = 0;
   std::uint64_t bytesOnBus = 0;
   double energy_fJ = 0.0;
+  /// Per-configuration observability snapshot: clock warp/park stats,
+  /// bus latency histograms, kernel counters, per-bytecode attribution
+  /// and the energy split by transaction class. Each worker fills its
+  /// own registry (one kernel per task), so snapshots merge across
+  /// configurations with obs::merge without any locking.
+  obs::Snapshot obsSnapshot;
 
   double energyPerBytecode_fJ() const {
     return bytecodes == 0 ? 0.0
@@ -77,6 +85,10 @@ std::vector<ExplorationResult> evaluateInterfaces(
 
 /// The configuration space swept by the Section 4.3 bench.
 std::vector<InterfaceConfig> defaultConfigSpace();
+
+/// Fold every per-configuration snapshot into one aggregate view
+/// (counters and histogram buckets sum; see obs::merge).
+obs::Snapshot mergeObsSnapshots(const std::vector<ExplorationResult>& results);
 
 } // namespace sct::jcvm
 

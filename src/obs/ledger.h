@@ -1,0 +1,167 @@
+// Energy-attribution ledger.
+//
+// The power models report energy as flat totals (the paper's Table 2
+// interface-level numbers). The ledger splits every contribution four
+// ways while it is being accumulated — by signal bundle, by transaction
+// class (instruction read / data read / write), by decoded slave, and
+// by master — which is the per-component breakdown the AMBA TLM
+// validation work (Kim et al.) and the power-emulation instrumentation
+// of Coburn et al. report, and the actionable form for power-aware
+// firmware decisions ("which interface, talking to which slave, costs
+// what").
+//
+// Reconciliation contract (enforced by tests/obs/ledger_reconcile_test):
+// total_fJ() is BIT-IDENTICAL to the attached model's totalEnergy_fJ().
+// That works because the ledger replays the model's floating-point
+// accumulation exactly:
+//  * Tl2PowerModel adds one energy term per addTransitions() call and
+//    forwards the identical term to add(), which applies `total_ += e`
+//    in the same sequence;
+//  * Tl1PowerModel accumulates a per-cycle sum in bundle-index order
+//    and adds it to its total once per busCycleEnd; the model forwards
+//    each term to addDeferred() (same order, same partial-sum shape)
+//    and calls commitCycle() where the model adds — identical operation
+//    sequence, identical rounding, identical bits.
+// The dimensional splits are ordinary per-dimension accumulators; their
+// cross-sums agree with the total only up to floating-point
+// reassociation, which is exactly why the dedicated total exists.
+#ifndef SCT_OBS_LEDGER_H
+#define SCT_OBS_LEDGER_H
+
+#include <array>
+#include <cstdint>
+
+#include "bus/ec_signals.h"
+#include "bus/ec_types.h"
+#include "obs/obs.h"
+
+namespace sct::obs {
+
+/// Transaction classes the ledger attributes to (the paper's workload
+/// decomposition: instruction reads, data reads, writes).
+enum class TxClass : std::uint8_t { InstrRead, DataRead, Write, kCount };
+
+inline constexpr std::size_t kTxClassCount =
+    static_cast<std::size_t>(TxClass::kCount);
+
+constexpr TxClass txClassOf(bus::Kind k) {
+  switch (k) {
+    case bus::Kind::InstrFetch: return TxClass::InstrRead;
+    case bus::Kind::Read: return TxClass::DataRead;
+    case bus::Kind::Write: return TxClass::Write;
+  }
+  return TxClass::DataRead;
+}
+
+constexpr const char* txClassName(TxClass c) {
+  switch (c) {
+    case TxClass::InstrRead: return "instr-read";
+    case TxClass::DataRead: return "data-read";
+    case TxClass::Write: return "write";
+    case TxClass::kCount: break;
+  }
+  return "?";
+}
+
+#if SCT_OBS_ENABLED
+
+class EnergyLedger {
+ public:
+  /// Slave dimension: decoded index -1 (miss) .. 7 (decoder limit),
+  /// stored shifted by one.
+  static constexpr std::size_t kSlaveSlots = 9;
+  /// Master dimension: platform masters (CPU, DMA, bridge, ...).
+  static constexpr std::size_t kMasterSlots = 4;
+
+  /// Record one energy contribution immediately (interval-style models:
+  /// one term per estimation call). Out of line: the caller is the
+  /// models' per-signal hot path, which should carry only the
+  /// ledger-attached pointer test.
+  SCT_OBS_COLD void add(bus::SignalId bundle, TxClass cls, int slave,
+                        int master, double fJ) {
+    account(bundle, cls, slave, master, fJ);
+    total_fJ_ += fJ;
+  }
+
+  /// Record one contribution of the cycle in progress (cycle-accurate
+  /// models): the splits update now, the total on commitCycle() — the
+  /// same two-step accumulation Tl1PowerModel::busCycleEnd performs.
+  SCT_OBS_COLD void addDeferred(bus::SignalId bundle, TxClass cls, int slave,
+                                int master, double fJ) {
+    account(bundle, cls, slave, master, fJ);
+    cycle_fJ_ += fJ;
+  }
+
+  /// Fold the deferred cycle sum into the total (once per bus cycle).
+  void commitCycle() {
+    total_fJ_ += cycle_fJ_;
+    cycle_fJ_ = 0.0;
+  }
+
+  /// Bit-identical to the attached model's totalEnergy_fJ().
+  double total_fJ() const { return total_fJ_; }
+
+  double byBundle_fJ(bus::SignalId id) const {
+    return byBundle_[static_cast<std::size_t>(id)];
+  }
+  double byClass_fJ(TxClass c) const {
+    return byClass_[static_cast<std::size_t>(c)];
+  }
+  /// `slave` in [-1, kSlaveSlots - 2]; -1 aggregates decode misses.
+  double bySlave_fJ(int slave) const {
+    return bySlave_[slaveSlot(slave)];
+  }
+  double byMaster_fJ(int master) const {
+    return byMaster_[masterSlot(master)];
+  }
+
+  void reset() { *this = EnergyLedger{}; }
+
+ private:
+  static std::size_t slaveSlot(int slave) {
+    const std::size_t s = static_cast<std::size_t>(slave + 1);
+    return s < kSlaveSlots ? s : kSlaveSlots - 1;
+  }
+  static std::size_t masterSlot(int master) {
+    const std::size_t m = master < 0 ? 0 : static_cast<std::size_t>(master);
+    return m < kMasterSlots ? m : kMasterSlots - 1;
+  }
+
+  void account(bus::SignalId bundle, TxClass cls, int slave, int master,
+               double fJ) {
+    byBundle_[static_cast<std::size_t>(bundle)] += fJ;
+    byClass_[static_cast<std::size_t>(cls)] += fJ;
+    bySlave_[slaveSlot(slave)] += fJ;
+    byMaster_[masterSlot(master)] += fJ;
+  }
+
+  std::array<double, bus::kSignalCount> byBundle_{};
+  std::array<double, kTxClassCount> byClass_{};
+  std::array<double, kSlaveSlots> bySlave_{};
+  std::array<double, kMasterSlots> byMaster_{};
+  double total_fJ_ = 0.0;
+  double cycle_fJ_ = 0.0;
+};
+
+#else // !SCT_OBS_ENABLED
+
+class EnergyLedger {
+ public:
+  static constexpr std::size_t kSlaveSlots = 9;
+  static constexpr std::size_t kMasterSlots = 4;
+  void add(bus::SignalId, TxClass, int, int, double) {}
+  void addDeferred(bus::SignalId, TxClass, int, int, double) {}
+  void commitCycle() {}
+  double total_fJ() const { return 0.0; }
+  double byBundle_fJ(bus::SignalId) const { return 0.0; }
+  double byClass_fJ(TxClass) const { return 0.0; }
+  double bySlave_fJ(int) const { return 0.0; }
+  double byMaster_fJ(int) const { return 0.0; }
+  void reset() {}
+};
+
+#endif // SCT_OBS_ENABLED
+
+} // namespace sct::obs
+
+#endif // SCT_OBS_LEDGER_H

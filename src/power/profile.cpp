@@ -5,8 +5,10 @@
 namespace sct::power {
 
 double PowerProfile::meanPower_uW() const {
-  if (samples_.empty()) return 0.0;
-  const double cycles = static_cast<double>(samples_.size());
+  if (sampledCycles_ == 0) return 0.0;
+  // Recorded cycles, not stored samples: under windowed downsampling
+  // one stored sample covers windowCycles() recorded cycles.
+  const double cycles = static_cast<double>(sampledCycles_);
   const double period = static_cast<double>(clockPeriodPs_);
   return total_fJ_ / (cycles * period);
 }

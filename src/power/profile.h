@@ -27,16 +27,40 @@ class PowerProfile {
   };
 
   /// `clockPeriodPs` converts energy per cycle into power.
-  explicit PowerProfile(sim::Time clockPeriodPs)
-      : clockPeriodPs_(clockPeriodPs) {}
+  /// `windowCycles` > 1 turns on windowed downsampling: consecutive
+  /// cycles are folded into one stored sample per window (cycle =
+  /// window start, energy = window sum), bounding memory for long runs
+  /// at the cost of intra-window time resolution. The default keeps
+  /// the historical one-sample-per-cycle behaviour.
+  explicit PowerProfile(sim::Time clockPeriodPs,
+                        std::uint64_t windowCycles = 1)
+      : clockPeriodPs_(clockPeriodPs),
+        windowCycles_(windowCycles == 0 ? 1 : windowCycles) {}
+
+  /// Preallocate sample storage (per stored sample, i.e. per window).
+  void reserve(std::size_t samples) { samples_.reserve(samples); }
 
   void addSample(std::uint64_t cycle, double energy_fJ) {
-    samples_.push_back(Sample{cycle, energy_fJ});
     total_fJ_ += energy_fJ;
+    ++sampledCycles_;
+    if (windowCycles_ == 1) {
+      samples_.push_back(Sample{cycle, energy_fJ});
+      return;
+    }
+    const std::uint64_t windowStart = cycle - (cycle % windowCycles_);
+    if (samples_.empty() || samples_.back().cycle != windowStart) {
+      samples_.push_back(Sample{windowStart, energy_fJ});
+    } else {
+      samples_.back().energy_fJ += energy_fJ;
+    }
   }
 
   const std::vector<Sample>& samples() const { return samples_; }
   sim::Time clockPeriodPs() const { return clockPeriodPs_; }
+  /// Cycles folded into one stored sample (1 = cycle-accurate).
+  std::uint64_t windowCycles() const { return windowCycles_; }
+  /// Cycles recorded via addSample (>= size() when downsampling).
+  std::uint64_t sampledCycles() const { return sampledCycles_; }
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
   double total_fJ() const { return total_fJ_; }
@@ -58,10 +82,13 @@ class PowerProfile {
   void clear() {
     samples_.clear();
     total_fJ_ = 0.0;
+    sampledCycles_ = 0;
   }
 
  private:
   sim::Time clockPeriodPs_;
+  std::uint64_t windowCycles_;
+  std::uint64_t sampledCycles_ = 0;
   std::vector<Sample> samples_;
   double total_fJ_ = 0.0;
 };

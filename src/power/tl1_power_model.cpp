@@ -14,7 +14,35 @@ void Tl1PowerModel::busCycleBegin(std::uint64_t /*cycle*/) {
   // opening a cycle costs nothing.
 }
 
+void Tl1PowerModel::noteAddressOwners(const bus::AddressPhaseInfo& info) {
+  const obs::TxClass cls = obs::txClassOf(info.kind);
+  for (SignalId id : {SignalId::EB_A, SignalId::EB_Instr, SignalId::EB_Write,
+                      SignalId::EB_Burst, SignalId::EB_BE, SignalId::EB_AValid,
+                      SignalId::EB_Sel, SignalId::EB_ARdy}) {
+    setOwner(id, cls, info.slave);
+  }
+}
+
+void Tl1PowerModel::noteBeatOwners(const bus::DataBeatInfo& info,
+                                   bool isWrite) {
+  const obs::TxClass cls = obs::txClassOf(info.kind);
+  if (isWrite) {
+    for (SignalId id : {SignalId::EB_WData, SignalId::EB_WDRdy,
+                        SignalId::EB_WBErr, SignalId::EB_Last}) {
+      setOwner(id, cls, info.slave);
+    }
+  } else {
+    for (SignalId id : {SignalId::EB_RData, SignalId::EB_RdVal,
+                        SignalId::EB_RBErr, SignalId::EB_Last}) {
+      setOwner(id, cls, info.slave);
+    }
+  }
+}
+
 void Tl1PowerModel::addressPhase(const bus::AddressPhaseInfo& info) {
+  if constexpr (obs::kEnabled) {
+    if (ledger_ != nullptr) noteAddressOwners(info);
+  }
   touch(SignalId::EB_A, info.address);
   touch(SignalId::EB_Instr, info.kind == bus::Kind::InstrFetch);
   touch(SignalId::EB_Write, info.kind == bus::Kind::Write);
@@ -27,6 +55,9 @@ void Tl1PowerModel::addressPhase(const bus::AddressPhaseInfo& info) {
 }
 
 void Tl1PowerModel::readBeat(const bus::DataBeatInfo& info) {
+  if constexpr (obs::kEnabled) {
+    if (ledger_ != nullptr) noteBeatOwners(info, /*isWrite=*/false);
+  }
   if (info.error) {
     strobe(SignalId::EB_RBErr);
     strobe(SignalId::EB_Last);
@@ -38,6 +69,9 @@ void Tl1PowerModel::readBeat(const bus::DataBeatInfo& info) {
 }
 
 void Tl1PowerModel::writeBeat(const bus::DataBeatInfo& info) {
+  if constexpr (obs::kEnabled) {
+    if (ledger_ != nullptr) noteBeatOwners(info, /*isWrite=*/true);
+  }
   if (info.error) {
     strobe(SignalId::EB_WBErr);
     strobe(SignalId::EB_Last);
@@ -88,10 +122,24 @@ void Tl1PowerModel::busCycleEnd(std::uint64_t /*cycle*/) {
       const unsigned n = static_cast<unsigned>(std::popcount(diff));
       transitions_[i] += n;
       e += coeff[i] * static_cast<double>(n);
+      if constexpr (obs::kEnabled) {
+        // Same product, same accumulation order as `e`: the ledger's
+        // deferred cycle sum stays bit-identical to it, and the commit
+        // below mirrors `total_fJ_ += e` exactly.
+        if (ledger_ != nullptr) {
+          ledger_->addDeferred(static_cast<SignalId>(i),
+                               static_cast<obs::TxClass>(ownerClass_[i]),
+                               ownerSlave_[i], master_,
+                               coeff[i] * static_cast<double>(n));
+        }
+      }
     }
   }
   lastCycle_fJ_ = e;
   total_fJ_ += e;
+  if constexpr (obs::kEnabled) {
+    if (ledger_ != nullptr) ledger_->commitCycle();
+  }
 }
 
 double Tl1PowerModel::energySinceLastCall_fJ() {

@@ -26,6 +26,7 @@
 #include "bus/decoder.h"
 #include "bus/ec_interfaces.h"
 #include "bus/ec_signals.h"
+#include "obs/ledger.h"
 #include "power/coeff_table.h"
 #include "power/power_if.h"
 
@@ -57,6 +58,16 @@ class Tl1PowerModel final : public bus::Tl1Observer,
   /// the layer-0 equivalence tests; read it after busCycleEnd, i.e.
   /// from an observer registered after the power model).
   const bus::SignalFrame& frame() const { return frame_; }
+
+  /// Attach an energy-attribution ledger. Every coefficient term of the
+  /// busCycleEnd walk is forwarded in accumulation order and committed
+  /// once per cycle, so ledger.total_fJ() stays bit-identical to
+  /// totalEnergy_fJ(). `master` tags all contributions (the EC bus is
+  /// single-master). Detached: one null-check per phase callback.
+  void attachLedger(obs::EnergyLedger& ledger, int master = 0) {
+    ledger_ = &ledger;
+    master_ = master;
+  }
 
  private:
   /// Record a new value for a bundle, saving its pre-cycle value the
@@ -98,6 +109,16 @@ class Tl1PowerModel final : public bus::Tl1Observer,
     frame_.set(id, 1);
   }
 
+  /// Stamp `id`'s attribution owner (used when the ledger is attached;
+  /// a strobe deasserting on a later cycle still bills its last driver).
+  void setOwner(bus::SignalId id, obs::TxClass cls, int slave) {
+    const auto i = static_cast<std::size_t>(id);
+    ownerClass_[i] = static_cast<std::uint8_t>(cls);
+    ownerSlave_[i] = static_cast<std::int8_t>(slave);
+  }
+  void noteAddressOwners(const bus::AddressPhaseInfo& info);
+  void noteBeatOwners(const bus::DataBeatInfo& info, bool isWrite);
+
   SignalEnergyTable table_;
   bus::SignalFrame frame_;  ///< Wire values of the cycle in progress.
   std::array<std::uint64_t, bus::kSignalCount> prev_{};  ///< Pre-cycle
@@ -110,6 +131,12 @@ class Tl1PowerModel final : public bus::Tl1Observer,
   double lastCycle_fJ_ = 0.0;
   double total_fJ_ = 0.0;
   double intervalMarker_fJ_ = 0.0;
+
+  // Energy attribution (null = detached).
+  obs::EnergyLedger* ledger_ = nullptr;
+  int master_ = 0;
+  std::array<std::uint8_t, bus::kSignalCount> ownerClass_{};
+  std::array<std::int8_t, bus::kSignalCount> ownerSlave_{};
 };
 static_assert(bus::kSignalCount <= 32, "dirty_ mask is 32 bits wide");
 

@@ -36,10 +36,22 @@ double popcount64(std::uint64_t v) {
 void Tl2PowerModel::addTransitions(SignalId id, double n) {
   if (n <= 0.0) return;
   estTransitions_[static_cast<std::size_t>(id)] += n;
-  total_fJ_ += table_.energyFor(id, n);
+  const double e = table_.energyFor(id, n);
+  total_fJ_ += e;
+  if constexpr (obs::kEnabled) {
+    // Identical term, identical order: the ledger total accumulates in
+    // lock-step with total_fJ_ and stays bit-identical to it.
+    if (ledger_ != nullptr) ledger_->add(id, ctxClass_, ctxSlave_, master_, e);
+  }
 }
 
 void Tl2PowerModel::addressPhaseDone(const bus::Tl2PhaseInfo& info) {
+  if constexpr (obs::kEnabled) {
+    if (ledger_ != nullptr) {
+      ctxClass_ = obs::txClassOf(info.kind);
+      ctxSlave_ = info.slave;
+    }
+  }
   // "Each transaction phase on its own": the model has no knowledge of
   // the wire state left behind by the previous transaction, so every
   // driven bus is charged against an idle (zero) state. Repeated or
@@ -76,6 +88,12 @@ void Tl2PowerModel::addressPhaseDone(const bus::Tl2PhaseInfo& info) {
 }
 
 void Tl2PowerModel::dataPhaseDone(const bus::Tl2PhaseInfo& info) {
+  if constexpr (obs::kEnabled) {
+    if (ledger_ != nullptr) {
+      ctxClass_ = obs::txClassOf(info.kind);
+      ctxSlave_ = info.slave;
+    }
+  }
   const SignalId dataBus =
       info.kind == bus::Kind::Write ? SignalId::EB_WData : SignalId::EB_RData;
   const SignalId strobe =

@@ -36,6 +36,7 @@
 
 #include "bus/ec_interfaces.h"
 #include "bus/ec_signals.h"
+#include "obs/ledger.h"
 #include "power/coeff_table.h"
 #include "power/power_if.h"
 
@@ -60,6 +61,14 @@ class Tl2PowerModel final : public bus::Tl2Observer, public IntervalPowerIf {
     return estTransitions_[static_cast<std::size_t>(id)];
   }
 
+  /// Attach an energy-attribution ledger. Every per-phase energy term is
+  /// forwarded in accumulation order, so ledger.total_fJ() stays
+  /// bit-identical to totalEnergy_fJ(). `master` tags all contributions.
+  void attachLedger(obs::EnergyLedger& ledger, int master = 0) {
+    ledger_ = &ledger;
+    master_ = master;
+  }
+
  private:
   void addTransitions(bus::SignalId id, double n);
 
@@ -67,6 +76,14 @@ class Tl2PowerModel final : public bus::Tl2Observer, public IntervalPowerIf {
   std::array<double, bus::kSignalCount> estTransitions_{};
   double total_fJ_ = 0.0;
   double intervalMarker_fJ_ = 0.0;
+
+  // Energy attribution (null = detached). The phase context is stamped
+  // at the top of each observer callback before the addTransitions
+  // calls it covers.
+  obs::EnergyLedger* ledger_ = nullptr;
+  int master_ = 0;
+  obs::TxClass ctxClass_ = obs::TxClass::DataRead;
+  int ctxSlave_ = -1;
 };
 
 } // namespace sct::power

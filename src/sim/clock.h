@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.h"
+#include "obs/trace_json.h"
 #include "sim/kernel.h"
 #include "sim/time.h"
 
@@ -118,6 +120,12 @@ class Clock final : private PeriodicProcess {
   /// being dispatched.
   bool inFallingDispatch() const { return inFallingDispatch_; }
 
+  /// Resolve observability handles ("<name>.warps", "<name>.warp_cycles",
+  /// "<name>.parks") in `reg` and optionally mirror warp/park events
+  /// into `rec`. Until called, every hook is one null-check; compiled
+  /// out entirely under SCT_OBS=OFF.
+  void attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec = nullptr);
+
  private:
   struct Handler {
     HandlerId id;
@@ -151,6 +159,12 @@ class Clock final : private PeriodicProcess {
   /// the moment a handler schedules kernel work, halts the clock, or
   /// the cycle budget is consumed.
   void runInline(std::uint64_t target);
+  /// Record one dead-cycle warp of `skip` cycles starting after
+  /// `fromCycle` (only called with obs attached).
+  SCT_OBS_COLD void noteWarp(std::uint64_t fromCycle, std::uint64_t skip);
+  /// Record a park/wake transition for `id` (only called with obs
+  /// attached).
+  SCT_OBS_COLD void notePark(HandlerId id, std::uint64_t wakeCycle);
 
   Kernel& kernel_;
   std::string name_;
@@ -183,6 +197,11 @@ class Clock final : private PeriodicProcess {
   bool inHighPhase_ = false;  ///< Between a rising edge and its falling edge.
   bool inFallingDispatch_ = false;
   bool breakRequested_ = false;
+  // Observability handles, resolved once by attachObs (null = detached).
+  obs::Counter* obsWarps_ = nullptr;
+  obs::Histogram* obsWarpLen_ = nullptr;
+  obs::Counter* obsParks_ = nullptr;
+  obs::TraceRecorder* obsRec_ = nullptr;
 };
 
 } // namespace sct::sim

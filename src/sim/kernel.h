@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.h"
 #include "sim/time.h"
 
 namespace sct::sim {
@@ -185,6 +186,20 @@ class Kernel {
   std::size_t pendingEvents() const { return queue_.size() + armedCount_; }
 
   std::uint64_t dispatchedEvents() const { return dispatched_; }
+
+  /// Tie-break sequence numbers handed out so far, i.e. events scheduled
+  /// plus periodic activations armed.
+  std::uint64_t scheduledEvents() const { return seq_; }
+
+  /// Publish the kernel's counters into `reg` under `prefix`. The
+  /// kernel keeps these counts anyway, so observability costs nothing
+  /// on the dispatch path — this just copies them out at snapshot time.
+  void publishObs(obs::StatsRegistry& reg,
+                  const std::string& prefix = "kernel") const {
+    reg.counter(prefix + ".dispatched_events").add(dispatched_);
+    reg.counter(prefix + ".scheduled_events").add(seq_);
+    reg.gauge(prefix + ".now_ps").set(static_cast<double>(now_));
+  }
 
   /// Reset to time zero with an empty queue and all periodic
   /// activations disarmed. Registered periodic processes stay

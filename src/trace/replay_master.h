@@ -17,6 +17,7 @@
 
 #include "bus/ec_interfaces.h"
 #include "bus/ec_request.h"
+#include "obs/stats.h"
 #include "sim/clock.h"
 #include "sim/module.h"
 #include "trace/bus_trace.h"
@@ -29,6 +30,18 @@ struct ReplayStats {
   std::uint64_t issueStallCycles = 0;  ///< Cycles the accept was refused.
   std::uint64_t finishCycle = 0;       ///< Cycle the last result arrived.
 };
+
+/// Publish one master's replay statistics into `reg` under "<prefix>.".
+/// The master keeps these counts anyway; observability is a copy-out at
+/// snapshot time, never a hot-path hook.
+inline void publishReplayObs(obs::StatsRegistry& reg,
+                             const std::string& prefix,
+                             const ReplayStats& s) {
+  reg.counter(prefix + ".completed").add(s.completed);
+  reg.counter(prefix + ".errors").add(s.errors);
+  reg.counter(prefix + ".issue_stall_cycles").add(s.issueStallCycles);
+  reg.gauge(prefix + ".finish_cycle").set(static_cast<double>(s.finishCycle));
+}
 
 class ReplayMaster final : public sim::Module {
  public:
@@ -49,6 +62,10 @@ class ReplayMaster final : public sim::Module {
   /// Run the clock until the whole trace has completed (or maxCycles
   /// elapsed). Returns elapsed cycles from the call.
   std::uint64_t runToCompletion(std::uint64_t maxCycles = 10'000'000);
+
+  void publishObs(obs::StatsRegistry& reg) const {
+    publishReplayObs(reg, name(), stats());
+  }
 
  private:
   void onRisingEdge();
@@ -89,6 +106,10 @@ class Tl2ReplayMaster final : public sim::Module {
   }
 
   std::uint64_t runToCompletion(std::uint64_t maxCycles = 10'000'000);
+
+  void publishObs(obs::StatsRegistry& reg) const {
+    publishReplayObs(reg, name(), stats());
+  }
 
  private:
   void onRisingEdge();

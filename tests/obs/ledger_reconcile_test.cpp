@@ -1,0 +1,169 @@
+// Energy-attribution ledger reconciliation (the obs subsystem's core
+// correctness contract): for both power models, on every workload of
+// the equivalence suite plus dense random mixes, the ledger total must
+// be BIT-IDENTICAL to the model's own accumulator — same bits, not
+// "close" — and to the sum the interval interface hands out. The
+// dimensional splits (by transaction class, by slave, by bundle) must
+// each re-sum to the total up to floating-point reassociation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "../testbench.h"
+#include "bus/ec_signals.h"
+#include "obs/ledger.h"
+#include "power/characterizer.h"
+#include "power/tl1_power_model.h"
+#include "power/tl2_power_model.h"
+#include "trace/workloads.h"
+
+namespace sct {
+namespace {
+
+using power::SignalEnergyTable;
+using testbench::Tl1Bench;
+using testbench::Tl2Bench;
+
+const SignalEnergyTable& characterizedTable() {
+  static const SignalEnergyTable table = [] {
+    testbench::RefBench tb;
+    power::Characterizer ch(testbench::energyModel());
+    tb.bus.addFrameListener(ch);
+    tb.run(trace::characterizationTrace(1234, 800, testbench::bothRegions()));
+    return ch.buildTable();
+  }();
+  return table;
+}
+
+std::uint64_t bitsOf(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+/// Bit-identical, not approximately equal.
+void expectSameBits(double a, double b, const std::string& what) {
+  EXPECT_EQ(bitsOf(a), bitsOf(b)) << what << ": " << a << " vs " << b;
+}
+
+double sumByClass(const obs::EnergyLedger& ledger) {
+  double s = 0.0;
+  for (std::size_t c = 0; c < obs::kTxClassCount; ++c) {
+    s += ledger.byClass_fJ(static_cast<obs::TxClass>(c));
+  }
+  return s;
+}
+
+double sumBySlave(const obs::EnergyLedger& ledger) {
+  double s = 0.0;
+  for (int slave = -1;
+       slave < static_cast<int>(obs::EnergyLedger::kSlaveSlots) - 1; ++slave) {
+    s += ledger.bySlave_fJ(slave);
+  }
+  return s;
+}
+
+double sumByBundle(const obs::EnergyLedger& ledger) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+    s += ledger.byBundle_fJ(static_cast<bus::SignalId>(i));
+  }
+  return s;
+}
+
+void expectSplitsResum(const obs::EnergyLedger& ledger) {
+  const double total = ledger.total_fJ();
+  const double tol = 1e-9 * (total == 0.0 ? 1.0 : total);
+  EXPECT_NEAR(sumByClass(ledger), total, tol);
+  EXPECT_NEAR(sumBySlave(ledger), total, tol);
+  EXPECT_NEAR(sumByBundle(ledger), total, tol);
+}
+
+void checkTl1(const trace::BusTrace& t, const std::string& what) {
+  Tl1Bench tb;
+  power::Tl1PowerModel pm(characterizedTable());
+  tb.bus.addObserver(pm);
+  obs::EnergyLedger ledger;
+  pm.attachLedger(ledger);
+  tb.run(t);
+  expectSameBits(ledger.total_fJ(), pm.totalEnergy_fJ(), what + " (total)");
+  expectSameBits(ledger.total_fJ(), pm.energySinceLastCall_fJ(),
+                 what + " (interval)");
+  expectSplitsResum(ledger);
+}
+
+void checkTl2(const trace::BusTrace& t, const std::string& what) {
+  Tl2Bench tb;
+  power::Tl2PowerModel pm(characterizedTable());
+  tb.bus.addObserver(pm);
+  obs::EnergyLedger ledger;
+  pm.attachLedger(ledger);
+  tb.run(t);
+  expectSameBits(ledger.total_fJ(), pm.totalEnergy_fJ(), what + " (total)");
+  expectSameBits(ledger.total_fJ(), pm.energySinceLastCall_fJ(),
+                 what + " (interval)");
+  expectSplitsResum(ledger);
+}
+
+TEST(LedgerReconcileTest, Tl1VerificationSuite) {
+  for (const trace::NamedTrace& nt : trace::verificationSuite(
+           testbench::fastRegion(), testbench::waitedRegion())) {
+    checkTl1(nt.trace, "tl1 " + nt.name);
+  }
+}
+
+TEST(LedgerReconcileTest, Tl2VerificationSuite) {
+  for (const trace::NamedTrace& nt : trace::verificationSuite(
+           testbench::fastRegion(), testbench::waitedRegion())) {
+    checkTl2(nt.trace, "tl2 " + nt.name);
+  }
+}
+
+TEST(LedgerReconcileTest, Tl1RandomMixes) {
+  for (std::uint64_t seed : {7u, 99u, 4242u}) {
+    checkTl1(trace::randomMix(seed, 300, testbench::bothRegions(),
+                              trace::MixRatios{2, 2, 1, 1, 1}, 3),
+             "tl1 mix seed " + std::to_string(seed));
+  }
+}
+
+TEST(LedgerReconcileTest, Tl2RandomMixes) {
+  for (std::uint64_t seed : {7u, 99u, 4242u}) {
+    checkTl2(trace::randomMix(seed, 300, testbench::bothRegions(),
+                              trace::MixRatios{2, 2, 1, 1, 1}, 3),
+             "tl2 mix seed " + std::to_string(seed));
+  }
+}
+
+TEST(LedgerReconcileTest, Tl1AttributesClassesAndSlaves) {
+  Tl1Bench tb;
+  power::Tl1PowerModel pm(characterizedTable());
+  tb.bus.addObserver(pm);
+  obs::EnergyLedger ledger;
+  pm.attachLedger(ledger, /*master=*/1);
+  tb.run(trace::randomMix(5, 200, testbench::bothRegions(),
+                          trace::MixRatios{1, 1, 1, 1, 1}, 0));
+  // All classes active in this mix, both slaves decoded, master 1 only.
+  EXPECT_GT(ledger.byClass_fJ(obs::TxClass::InstrRead), 0.0);
+  EXPECT_GT(ledger.byClass_fJ(obs::TxClass::DataRead), 0.0);
+  EXPECT_GT(ledger.byClass_fJ(obs::TxClass::Write), 0.0);
+  EXPECT_GT(ledger.bySlave_fJ(0), 0.0);
+  EXPECT_GT(ledger.bySlave_fJ(1), 0.0);
+  // Dimensional accumulators associate per-contribution, the total per
+  // cycle — a single master matches the total up to reassociation only.
+  EXPECT_NEAR(ledger.byMaster_fJ(1), ledger.total_fJ(),
+              1e-9 * ledger.total_fJ());
+  EXPECT_EQ(ledger.byMaster_fJ(0), 0.0);
+}
+
+TEST(LedgerReconcileTest, ResetClearsEverything) {
+  obs::EnergyLedger ledger;
+  ledger.add(bus::SignalId::EB_A, obs::TxClass::Write, 0, 0, 2.0);
+  ledger.reset();
+  EXPECT_EQ(ledger.total_fJ(), 0.0);
+  EXPECT_EQ(ledger.byClass_fJ(obs::TxClass::Write), 0.0);
+}
+
+} // namespace
+} // namespace sct

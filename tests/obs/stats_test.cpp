@@ -1,0 +1,126 @@
+// StatsRegistry / Snapshot behaviour: stable handles, create-or-get,
+// histogram bucketing, name-sorted deterministic snapshots, JSON shape
+// and cross-registry merging (the exploration sweep's aggregation
+// path).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/stats.h"
+
+namespace sct::obs {
+namespace {
+
+TEST(StatsRegistryTest, CreateOrGetReturnsSameHandle) {
+  StatsRegistry reg;
+  Counter& a = reg.counter("bus.txns");
+  Counter& b = reg.counter("bus.txns");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(StatsRegistryTest, HandlesStayValidAcrossGrowth) {
+  StatsRegistry reg;
+  Counter& first = reg.counter("first");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+    reg.gauge("g" + std::to_string(i));
+    reg.histogram("h" + std::to_string(i), {1, 2});
+  }
+  first.add(5);
+  EXPECT_EQ(reg.counter("first").value(), 5u);
+}
+
+TEST(StatsRegistryTest, GaugeSetAndAdd) {
+  StatsRegistry reg;
+  Gauge& g = reg.gauge("energy");
+  g.set(2.5);
+  g.add(1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+}
+
+TEST(HistogramTest, BucketsByInclusiveUpperBound) {
+  Histogram h({1, 4, 16});
+  for (std::uint64_t v : {0u, 1u, 2u, 4u, 5u, 16u, 17u, 1000u}) h.record(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 4 + 5 + 16 + 17 + 1000);
+  const auto& buckets = h.bucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow.
+  EXPECT_EQ(buckets[0], 2u);  // 0, 1
+  EXPECT_EQ(buckets[1], 2u);  // 2, 4
+  EXPECT_EQ(buckets[2], 2u);  // 5, 16
+  EXPECT_EQ(buckets[3], 2u);  // 17, 1000 (overflow)
+}
+
+TEST(SnapshotTest, SortedByNameAndFindable) {
+  StatsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(0.5);
+  Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "alpha");
+  EXPECT_EQ(snap.entries[1].name, "mid");
+  EXPECT_EQ(snap.entries[2].name, "zeta");
+  const SnapshotEntry* e = snap.find("alpha");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 2u);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(SnapshotTest, JsonShape) {
+  StatsRegistry reg;
+  reg.counter("c").add(7);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h", {2}).record(1);
+  std::ostringstream os;
+  reg.writeJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("{\"stats\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"c\",\"type\":\"counter\",\"value\":7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"g\",\"type\":\"gauge\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[2],\"buckets\":[1,0]"), std::string::npos);
+}
+
+TEST(SnapshotTest, DeterministicAcrossIdenticalRuns) {
+  auto build = [] {
+    StatsRegistry reg;
+    reg.counter("b.two").add(2);
+    reg.counter("a.one").add(1);
+    reg.histogram("c.h", {1, 2}).record(2);
+    std::ostringstream os;
+    reg.writeJson(os);
+    return os.str();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(MergeTest, SumsMatchingEntriesAppendsNew) {
+  StatsRegistry a;
+  a.counter("shared").add(1);
+  a.histogram("h", {1, 2}).record(1);
+  StatsRegistry b;
+  b.counter("shared").add(2);
+  b.counter("only_b").add(5);
+  b.histogram("h", {1, 2}).record(2);
+
+  Snapshot into = a.snapshot();
+  merge(into, b.snapshot());
+  ASSERT_EQ(into.entries.size(), 3u);
+  EXPECT_EQ(into.find("shared")->count, 3u);
+  EXPECT_EQ(into.find("only_b")->count, 5u);
+  const SnapshotEntry* h = into.find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[1], 1u);
+}
+
+} // namespace
+} // namespace sct::obs

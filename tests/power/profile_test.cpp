@@ -50,6 +50,57 @@ TEST(PowerProfileTest, VarianceDetectsFlatVsSpiky) {
   EXPECT_GT(spiky.energyVariance_fJ2(), 0.0);
 }
 
+TEST(PowerProfileTest, WindowedModeBoundsStoredSamples) {
+  PowerProfile p(/*clockPeriodPs=*/10, /*windowCycles=*/4);
+  p.reserve(8);
+  for (std::uint64_t c = 0; c < 10; ++c) p.addSample(c, 10.0);
+  // 10 cycles at window 4 -> windows starting at 0, 4, 8.
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.samples()[0].cycle, 0u);
+  EXPECT_DOUBLE_EQ(p.samples()[0].energy_fJ, 40.0);
+  EXPECT_EQ(p.samples()[1].cycle, 4u);
+  EXPECT_DOUBLE_EQ(p.samples()[1].energy_fJ, 40.0);
+  EXPECT_EQ(p.samples()[2].cycle, 8u);
+  EXPECT_DOUBLE_EQ(p.samples()[2].energy_fJ, 20.0);  // Partial tail.
+  // Totals and mean power track recorded cycles, not stored windows.
+  EXPECT_DOUBLE_EQ(p.total_fJ(), 100.0);
+  EXPECT_EQ(p.sampledCycles(), 10u);
+  EXPECT_DOUBLE_EQ(p.meanPower_uW(), 100.0 / (10.0 * 10.0));
+}
+
+TEST(PowerProfileTest, WindowedModeHandlesCycleGaps) {
+  PowerProfile p(10, 8);
+  p.addSample(3, 1.0);
+  p.addSample(5, 2.0);   // Same window as cycle 3.
+  p.addSample(40, 4.0);  // Warp: far later window.
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.samples()[0].cycle, 0u);
+  EXPECT_DOUBLE_EQ(p.samples()[0].energy_fJ, 3.0);
+  EXPECT_EQ(p.samples()[1].cycle, 40u);
+  EXPECT_DOUBLE_EQ(p.samples()[1].energy_fJ, 4.0);
+}
+
+TEST(PowerProfileTest, WindowOfOneKeepsCycleAccurateBehaviour) {
+  PowerProfile a(10);
+  PowerProfile b(10, 1);
+  for (std::uint64_t c = 0; c < 5; ++c) {
+    a.addSample(c, static_cast<double>(c));
+    b.addSample(c, static_cast<double>(c));
+  }
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.total_fJ(), b.total_fJ());
+  EXPECT_DOUBLE_EQ(a.meanPower_uW(), b.meanPower_uW());
+}
+
+TEST(PowerProfileTest, ClearResetsSampledCycles) {
+  PowerProfile p(10, 2);
+  p.addSample(0, 1.0);
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.sampledCycles(), 0u);
+  EXPECT_DOUBLE_EQ(p.meanPower_uW(), 0.0);
+}
+
 TEST(PowerProfileTest, RecorderCapturesOneSamplePerBusCycle) {
   testbench::Tl1Bench tb;
   testbench::RefBench glForTable;

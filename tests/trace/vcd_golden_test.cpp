@@ -1,0 +1,79 @@
+// Golden-file roundtrip of the VCD writer: a small deterministic
+// layer-1-shaped workload replayed on the layer-0 reference bus (the
+// layer the VCD writer taps) must reproduce tests/trace/golden_tl1.vcd
+// byte for byte. Any change to signal coding, header shape or frame
+// emission shows up as a diff against a file a human can open in a
+// waveform viewer. Regenerate the golden (rewrites the source tree):
+//   SCT_REGEN_GOLDEN=1 build/tests/test_trace
+//     --gtest_filter=VcdGoldenTest.MatchesCheckedInGolden
+#include "trace/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "../testbench.h"
+#include "trace/workloads.h"
+
+namespace sct::trace {
+namespace {
+
+const char* goldenPath() { return SCT_TEST_DATA_DIR "/trace/golden_tl1.vcd"; }
+
+/// Small fixed workload: one of each transaction class, both slaves.
+BusTrace goldenTrace() {
+  BusTrace t;
+  auto add = [&](bus::Kind kind, bus::Address addr, unsigned beats,
+                 std::uint32_t data) {
+    TraceEntry e;
+    e.kind = kind;
+    e.address = addr;
+    e.beats = beats;
+    for (unsigned b = 0; b < beats; ++b) e.writeData[b] = data + b;
+    t.append(e);
+  };
+  add(bus::Kind::Write, 0x0100, 1, 0xCAFEBABE);
+  add(bus::Kind::Read, 0x0100, 1, 0);
+  add(bus::Kind::Write, 0x8010, 4, 0x11111111);
+  add(bus::Kind::Read, 0x8010, 4, 0);
+  add(bus::Kind::InstrFetch, 0x0040, 2, 0);
+  return t;
+}
+
+std::string renderVcd() {
+  testbench::RefBench tb;
+  std::stringstream ss;
+  VcdWriter vcd(ss, /*clockPeriodPs=*/10);
+  tb.bus.addFrameListener(vcd);
+  tb.run(goldenTrace());
+  return ss.str();
+}
+
+TEST(VcdGoldenTest, MatchesCheckedInGolden) {
+  const std::string got = renderVcd();
+  ASSERT_FALSE(got.empty());
+
+  if (std::getenv("SCT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << goldenPath();
+    out << got;
+    GTEST_SKIP() << "regenerated " << goldenPath();
+  }
+
+  std::ifstream in(goldenPath(), std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                  << " — run with SCT_REGEN_GOLDEN=1 to create it";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str());
+}
+
+TEST(VcdGoldenTest, DeterministicAcrossRuns) {
+  EXPECT_EQ(renderVcd(), renderVcd());
+}
+
+} // namespace
+} // namespace sct::trace
