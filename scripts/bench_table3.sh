@@ -64,7 +64,9 @@ if command -v jq >/dev/null 2>&1; then
       tl2_over_tl1_with_estimation:
         (rate("TL2_WithEstimation") / rate("TL1_WithEstimation")),
       tl2_over_tl1_without_estimation:
-        (rate("TL2_WithoutEstimation") / rate("TL1_WithoutEstimation"))
+        (rate("TL2_WithoutEstimation") / rate("TL1_WithoutEstimation")),
+      hybrid_over_tl1_spa:
+        (rate("Hybrid_SpaDpa") / rate("TL1_SpaDpa"))
     }}
     + {host_context: {
         cpu_model: $cpu, compiler: $compiler,

@@ -29,6 +29,10 @@ for preset in release asan-ubsan; do
   run cmake --preset "$preset" -DSCT_WERROR=ON
   run cmake --build --preset "$preset" --parallel "$jobs"
   run ctest --preset "$preset" --parallel "$jobs"
+  # The adaptive-fidelity equivalence suite is the gate for the hybrid
+  # TL1/TL2 bus: run the `hier` label explicitly so a filter or preset
+  # change can never silently drop it from the pass.
+  run ctest --preset "$preset" -L hier --parallel "$jobs"
 done
 
 echo "==> bench smoke (tiny workload)"

@@ -30,9 +30,16 @@ class EcInstrIf {
   /// own (from its bus process) and treats polls of any other non-Idle
   /// stage as side-effect-free Waits. Masters may then skip the poll
   /// until the public stage field reads Finished. Adapters that need
-  /// the poll itself to make progress (e.g. Tl2MasterBridge) keep the
-  /// default false.
+  /// the poll itself to make progress keep the default false.
   virtual bool publishesStage() const { return false; }
+  /// Wake-on-completion hint, mirroring Tl2MasterIf::nextFinishCycle():
+  /// the earliest bus cycle at which any accepted transaction reaches
+  /// stage Finished, kFinishNone when nothing is in flight, or
+  /// kFinishUnknown when completions cannot be predicted — masters must
+  /// then poll every cycle. Non-const on purpose: implementations
+  /// backed by a lazy event-driven bus (Tl2MasterBridge) bring their
+  /// published stages current from here.
+  virtual std::uint64_t nextFinishCycle() { return kFinishUnknown; }
 };
 
 /// Data read/write interface of the layer-1 bus (master side).
@@ -43,6 +50,8 @@ class EcDataIf {
   virtual BusStatus write(Tl1Request& req) = 0;
   /// See EcInstrIf::publishesStage().
   virtual bool publishesStage() const { return false; }
+  /// See EcInstrIf::nextFinishCycle().
+  virtual std::uint64_t nextFinishCycle() { return kFinishUnknown; }
 };
 
 /// Layer-2 master interface: one function for read access and one for

@@ -1,6 +1,7 @@
 #include "bus/tl1_bus.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace sct::bus {
@@ -102,6 +103,28 @@ bool Tl1Bus::idle() const {
   return requestQueue_.empty() && readQueue_.empty() && writeQueue_.empty() &&
          addrCurrent_ == nullptr && readCurrent_ == nullptr &&
          writeCurrent_ == nullptr;
+}
+
+std::uint64_t Tl1Bus::outstandingTotal() const {
+  const std::uint64_t total =
+      outstandingInstr_ + outstandingRead_ + outstandingWrite_;
+  // Every accepted-but-unfinished request sits in exactly one queue or
+  // current slot, and finish() decrements its class count as the result
+  // is posted — so the counters and the queue view must agree.
+  assert((total == 0) == idle());
+  assert(total <= 3u * kMaxOutstandingPerClass);
+  return total;
+}
+
+void Tl1Bus::suspendProcess() {
+  assert(idle() && "suspendProcess() requires an idle bus");
+  suspended_ = true;
+  clock_.parkHandler(processId_, sim::Clock::kNeverWake);
+}
+
+void Tl1Bus::resumeProcess() {
+  suspended_ = false;
+  clock_.parkHandler(processId_, 0);
 }
 
 // ---------------------------------------------------------------------------

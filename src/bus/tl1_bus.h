@@ -84,6 +84,25 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   /// True when no transaction is queued or in flight.
   bool idle() const;
 
+  /// Accepted-but-unfinished transactions across all three classes.
+  /// Zero exactly when idle() — finish() decrements the class count as
+  /// it posts the result, so a Finished payload awaiting master pickup
+  /// is no longer outstanding (the pickup needs no bus process cycle).
+  /// Assert-guarded against the queue state, so quiesce checks can rely
+  /// on either view.
+  std::uint64_t outstandingTotal() const;
+
+  /// Park the falling-edge bus process indefinitely. Legal only while
+  /// idle(): a suspended bus accepts no work (masters must stop
+  /// submitting first), runs no observer callbacks, and counts no
+  /// cycles, so the clock may warp over it. Finished payloads can still
+  /// be picked up — submitOrPoll() runs in the caller's context.
+  void suspendProcess();
+  /// Re-arm the bus process; it runs again from the next falling edge
+  /// not yet dispatched.
+  void resumeProcess();
+  bool suspended() const { return suspended_; }
+
   const Tl1BusStats& stats() const { return stats_; }
   const AddressDecoder& decoder() const { return decoder_; }
   std::uint64_t cycle() const { return clock_.cycle(); }
@@ -127,6 +146,7 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   unsigned outstandingWrite_ = 0;
 
   std::uint64_t cycleNow_ = 0;
+  bool suspended_ = false;
   bool anyActivityThisCycle_ = false;
   Tl1BusStats stats_;
 

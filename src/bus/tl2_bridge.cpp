@@ -1,10 +1,67 @@
 #include "bus/tl2_bridge.h"
 
+#include <cassert>
+
 namespace sct::bus {
+
+void Tl2MasterBridge::copyOut(Tl1Request& req, Slot& s, BusStatus status) {
+  if (status == BusStatus::Ok && req.kind != Kind::Write) {
+    if (req.burst() || req.size == AccessSize::Word) {
+      std::memcpy(req.data.data(), s.buffer.data(), s.lower.bytes);
+    } else {
+      // The layer-1 read bus presents sub-word data on its natural
+      // lanes; shift the byte-exact layer-2 payload into place.
+      Word w = 0;
+      std::memcpy(&w, s.buffer.data(), s.lower.bytes);
+      const unsigned lane = static_cast<unsigned>(req.address & 0x3u);
+      req.data[0] = w << (8 * lane);
+    }
+  }
+  req.beatsDone = req.beats;
+  req.result = status;
+}
+
+void Tl2MasterBridge::sync() {
+  if (pending_.empty()) return;
+  // An observer-free event-driven lower bus defers its completion
+  // bookkeeping; asking for the next finish brings it current (O(1)
+  // when it already is) before trusting the published stages.
+  if (stagePublishing_) lower_.nextFinishCycle();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Slot& s = it->second;
+    if (s.lower.stage != Tl2Stage::Finished) {
+      ++it;
+      continue;
+    }
+    Tl1Request& req = *it->first;
+    const BusStatus status = s.lower.kind == Kind::Write
+                                 ? lower_.write(s.lower)
+                                 : lower_.read(s.lower);
+    copyOut(req, s, status);
+    req.stage = Tl1Stage::Finished;
+    it = pending_.erase(it);
+  }
+}
+
+void Tl2MasterBridge::reset() {
+  sync();
+  // With an idle lower bus every slot's lower transaction has finished,
+  // so sync() has posted all of them and released their slots. Anything
+  // left would still be referenced by the lower bus and cannot be torn
+  // down safely.
+  assert(pending_.empty() && "reset() requires an idle lower bus");
+  pending_.clear();
+}
 
 BusStatus Tl2MasterBridge::transport(Tl1Request& req) {
   auto it = pending_.find(&req);
   if (it == pending_.end()) {
+    if (req.stage == Tl1Stage::Finished) {
+      // sync() posted the result; this poll is the pickup.
+      const BusStatus result = req.result;
+      req.stage = Tl1Stage::Idle;
+      return result;
+    }
     // First call: validate like the layer-1 bus would, then open a
     // layer-2 transaction.
     if (req.stage != Tl1Stage::Idle) return BusStatus::Wait;
@@ -58,6 +115,26 @@ BusStatus Tl2MasterBridge::transport(Tl1Request& req) {
     return BusStatus::Request;
   }
 
+  if (req.stage == Tl1Stage::Idle) {
+    // The master abandoned this payload (Tl1Request::reset()) while its
+    // previous transaction was still in flight and is now re-submitting
+    // the same object. Finish the abandoned lower transaction out
+    // before accepting the payload anew — answering from the stale slot
+    // would hand the master a result it never asked for.
+    Slot& s = it->second;
+    if (stagePublishing_ && s.lower.stage != Tl2Stage::Finished) {
+      lower_.nextFinishCycle();
+    }
+    const BusStatus stale = s.lower.kind == Kind::Write
+                                ? lower_.write(s.lower)
+                                : lower_.read(s.lower);
+    if (stale != BusStatus::Ok && stale != BusStatus::Error) {
+      return BusStatus::Wait;  // Old transaction still draining.
+    }
+    pending_.erase(it);
+    return transport(req);  // Re-enter as a fresh submit.
+  }
+
   // Poll the lower transaction. When the lower bus publishes its stage
   // transitions (an event-driven Tl2Bus moves the payload to Finished
   // from its own process), a poll before that point is a guaranteed
@@ -77,21 +154,8 @@ BusStatus Tl2MasterBridge::transport(Tl1Request& req) {
   if (status != BusStatus::Ok && status != BusStatus::Error) {
     return BusStatus::Wait;
   }
-  if (status == BusStatus::Ok && req.kind != Kind::Write) {
-    if (req.burst() || req.size == AccessSize::Word) {
-      std::memcpy(req.data.data(), s.buffer.data(), s.lower.bytes);
-    } else {
-      // The layer-1 read bus presents sub-word data on its natural
-      // lanes; shift the byte-exact layer-2 payload into place.
-      Word w = 0;
-      std::memcpy(&w, s.buffer.data(), s.lower.bytes);
-      const unsigned lane = static_cast<unsigned>(req.address & 0x3u);
-      req.data[0] = w << (8 * lane);
-    }
-  }
-  req.beatsDone = req.beats;
+  copyOut(req, s, status);
   req.stage = Tl1Stage::Idle;
-  req.result = status;
   pending_.erase(it);
   return status;
 }

@@ -8,6 +8,19 @@
 // pointer-passing transaction. A cycle-true master — e.g. the MIPS
 // core — can thereby run on the fast layer-2 model unchanged, at
 // layer-2 timing fidelity.
+//
+// Two completion disciplines coexist:
+//  * Poll-driven (any master): each fetch/read/write call pumps the
+//    lower transaction; the call that finds it finished returns the
+//    final status directly, exactly the layer-1 "poll until Ok/Error"
+//    contract.
+//  * Stage-published (stage-gating masters): when the lower bus
+//    publishes its stages, the bridge does too — sync() (called from
+//    nextFinishCycle(), mirroring the lazy retirement of the
+//    event-driven Tl2Bus) completes every transport whose lower
+//    transaction finished and posts the upper payload as
+//    Tl1Stage::Finished for a later pickup poll. Masters may then gate
+//    on the public stage field and park until nextFinishCycle() + 1.
 #ifndef SCT_BUS_TL2_BRIDGE_H
 #define SCT_BUS_TL2_BRIDGE_H
 
@@ -30,6 +43,35 @@ class Tl2MasterBridge final : public EcInstrIf, public EcDataIf {
   BusStatus read(Tl1Request& req) override { return transport(req); }
   BusStatus write(Tl1Request& req) override { return transport(req); }
 
+  /// The bridge publishes upper stages iff the lower bus publishes its
+  /// own (sync() needs the lower stage field to be authoritative).
+  bool publishesStage() const override { return stagePublishing_; }
+
+  /// Bring published upper stages current, then forward the lower
+  /// bus's completion hint (kFinishUnknown when the lower bus cannot
+  /// predict — masters then poll every cycle and sync() degrades to a
+  /// cheap no-op path).
+  std::uint64_t nextFinishCycle() override {
+    sync();
+    return lower_.nextFinishCycle();
+  }
+
+  /// Complete every transport whose lower transaction has finished:
+  /// result and read data move into the upper payload, which is posted
+  /// as Tl1Stage::Finished for the master's pickup poll. O(pending).
+  void sync();
+
+  /// True when no transaction is in flight through the bridge
+  /// (Finished payloads awaiting master pickup are no longer the
+  /// bridge's — their slots are released when the result is posted).
+  bool drained() const { return pending_.empty(); }
+
+  /// Deterministic teardown: retire every finished lower transaction
+  /// and release its slot. Requires the lower bus to be idle, so that
+  /// every pending slot is retirable — asserted; upper request
+  /// payloads are not touched (they may already be gone).
+  void reset();
+
   /// Transactions currently in flight through the bridge.
   std::size_t pendingCount() const { return pending_.size(); }
 
@@ -40,6 +82,9 @@ class Tl2MasterBridge final : public EcInstrIf, public EcDataIf {
   };
 
   BusStatus transport(Tl1Request& req);
+  /// Move the finished lower result into the upper payload (lane
+  /// placement included). The caller decides the upper stage.
+  void copyOut(Tl1Request& req, Slot& s, BusStatus status);
 
   Tl2MasterIf& lower_;
   bool stagePublishing_;  ///< Lower bus advances stages on its own.
@@ -61,8 +106,13 @@ class BridgedTl2Bus final : public EcInstrIf, public EcDataIf {
   BusStatus fetch(Tl1Request& req) override { return bridge_.fetch(req); }
   BusStatus read(Tl1Request& req) override { return bridge_.read(req); }
   BusStatus write(Tl1Request& req) override { return bridge_.write(req); }
+  bool publishesStage() const override { return bridge_.publishesStage(); }
+  std::uint64_t nextFinishCycle() override {
+    return bridge_.nextFinishCycle();
+  }
 
   Tl2Bus& lower() { return bus_; }
+  Tl2MasterBridge& bridge() { return bridge_; }
   const Tl2BusStats& stats() const { return bus_.stats(); }
   bool idle() const { return bus_.idle(); }
   std::size_t pendingCount() const { return bridge_.pendingCount(); }

@@ -58,14 +58,44 @@ ReplayMaster::ReplayMaster(sim::Clock& clock, std::string name,
 
 ReplayMaster::~ReplayMaster() { clock_.removeHandler(handlerId_); }
 
+const ReplayStats& ReplayMaster::stats() const {
+  // While parked on a refusal, credit the stall cycles the per-cycle
+  // polling discipline would have counted so far.
+  syncStalls(clock_.cycle());
+  return stats_;
+}
+
+void ReplayMaster::syncStalls(std::uint64_t through) const {
+  if (stallOpen_ && through > stallSyncedThrough_) {
+    stats_.issueStallCycles += through - stallSyncedThrough_;
+    stallSyncedThrough_ = through;
+  }
+}
+
 void ReplayMaster::onRisingEdge() {
+  const std::uint64_t cycle = clock_.cycle();
+  if (stallOpen_) {
+    // See Tl2ReplayMaster::onRisingEdge: one stall per skipped rising
+    // edge; the retry below re-counts this cycle if refused again.
+    syncStalls(cycle - 1);
+    stallOpen_ = false;
+  }
+  // A stage-publishing adapter over an event-driven bus (the
+  // Tl2MasterBridge) defers completion bookkeeping until asked;
+  // querying the next finish publishes every stage transition due by
+  // now, so the gate below reads fresh stages. A cycle-true bus
+  // answers kFinishUnknown from a constant — two trivial virtual calls.
+  if (stageGated_ && !inFlight_.empty()) {
+    instrIf_.nextFinishCycle();
+    dataIf_.nextFinishCycle();
+  }
   // Poll transactions in flight. When the bus publishes stage
   // transitions (publishesStage()), polling a request it still owns
   // returns Wait with no side effects, so the completion pickup is only
   // invoked once the payload's public stage says the result is ready —
   // the same protocol, minus a virtual call per in-flight transaction
-  // per cycle. Adapters like Tl2MasterBridge need every poll to pump
-  // their lower transaction, so they are polled unconditionally.
+  // per cycle. Adapters that do not publish stages need every poll to
+  // pump their lower transaction, so they are polled unconditionally.
   for (auto it = inFlight_.begin(); it != inFlight_.end();) {
     if (stageGated_ && (*it)->stage != bus::Tl1Stage::Finished) {
       ++it;
@@ -83,6 +113,7 @@ void ReplayMaster::onRisingEdge() {
   }
   // Issue further transactions in trace order, materialising each
   // request from its trace entry on first touch.
+  bool refused = false;
   while (nextIssue_ < trace_.size() &&
          trace_[nextIssue_].issueCycle <= clock_.cycle() &&
          inFlight_.size() < maxInFlight_) {
@@ -108,13 +139,47 @@ void ReplayMaster::onRisingEdge() {
       ++nextIssue_;
     } else {
       ++stats_.issueStallCycles;
+      stallSyncedThrough_ = cycle;
+      refused = true;
       break;  // Accept refused (outstanding limit); retry next cycle.
     }
   }
-  if (done() && !doneNotified_) {
-    doneNotified_ = true;
-    clock_.requestBreak();
+  if (done()) {
+    if (!doneNotified_) {
+      doneNotified_ = true;
+      clock_.requestBreak();
+    }
+    if (instrIf_.nextFinishCycle() != bus::kFinishUnknown &&
+        dataIf_.nextFinishCycle() != bus::kFinishUnknown) {
+      clock_.parkHandler(handlerId_, sim::Clock::kNeverWake);
+    }
+    return;
   }
+  parkUntilNextWork(refused);
+}
+
+void ReplayMaster::parkUntilNextWork(bool refused) {
+  // See Tl2ReplayMaster::parkUntilNextWork — identical reasoning, over
+  // the minimum of the two interfaces' predictions (they usually refer
+  // to the same bus object; a duplicate sync is a cheap no-op).
+  const std::uint64_t nfInstr = instrIf_.nextFinishCycle();
+  if (nfInstr == bus::kFinishUnknown) return;  // Poll every cycle.
+  const std::uint64_t nfData = dataIf_.nextFinishCycle();
+  if (nfData == bus::kFinishUnknown) return;
+  const std::uint64_t nf = std::min(nfInstr, nfData);
+  std::uint64_t wake =
+      (nf == bus::kFinishNone) ? sim::Clock::kNeverWake : nf + 1;
+  if (refused) {
+    stallOpen_ = true;
+    // A refusal with nothing in flight is not waiting on a completion
+    // (an adaptive-fidelity bus refuses new work while draining for a
+    // layer switch) — retry every cycle instead of sleeping on a wake
+    // that will never come.
+    if (nf == bus::kFinishNone) wake = clock_.cycle() + 1;
+  } else if (nextIssue_ < trace_.size() && inFlight_.size() < maxInFlight_) {
+    wake = std::min(wake, trace_[nextIssue_].issueCycle);
+  }
+  if (wake > clock_.cycle() + 1) clock_.parkHandler(handlerId_, wake);
 }
 
 std::uint64_t ReplayMaster::runToCompletion(std::uint64_t maxCycles) {

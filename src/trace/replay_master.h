@@ -52,7 +52,7 @@ class ReplayMaster final : public sim::Module {
   ~ReplayMaster() override;
 
   bool done() const { return stats_.completed == trace_.size(); }
-  const ReplayStats& stats() const { return stats_; }
+  const ReplayStats& stats() const;
 
   /// Request payloads in trace order (read results, per-request
   /// cycles). Materialised as entries are issued — the vector holds
@@ -69,6 +69,16 @@ class ReplayMaster final : public sim::Module {
 
  private:
   void onRisingEdge();
+  /// Park the handler until the next cycle anything can change, exactly
+  /// like Tl2ReplayMaster::parkUntilNextWork — a no-op whenever either
+  /// interface answers kFinishUnknown (a cycle-true Tl1Bus always does,
+  /// so layer-1 replays keep the historical poll-every-cycle schedule
+  /// bit-for-bit; a bridged event-driven layer-2 bus predicts finishes
+  /// and the master sleeps through the dead cycles).
+  void parkUntilNextWork(bool refused);
+  /// Credit the stall cycles a parked handler skipped (see
+  /// Tl2ReplayMaster::syncStalls).
+  void syncStalls(std::uint64_t through) const;
 
   sim::Clock& clock_;
   sim::Clock::HandlerId handlerId_;
@@ -85,7 +95,9 @@ class ReplayMaster final : public sim::Module {
   std::vector<bus::Tl1Request*> inFlight_;
   std::size_t nextIssue_ = 0;
   bool doneNotified_ = false;
-  ReplayStats stats_;
+  bool stallOpen_ = false;  ///< A refused issue is waiting, handler parked.
+  mutable std::uint64_t stallSyncedThrough_ = 0;
+  mutable ReplayStats stats_;
 };
 
 class Tl2ReplayMaster final : public sim::Module {

@@ -4,6 +4,7 @@
 
 #include "../testbench.h"
 #include "bus/memory_slave.h"
+#include "bus_test_util.h"
 #include "soc/assembler.h"
 #include "soc/smartcard.h"
 #include "trace/replay_master.h"
@@ -113,6 +114,114 @@ TEST_F(BridgeFixture, RandomWorkloadMatchesLayer1Results) {
   for (std::size_t i = 0; i < workload.size(); ++i) {
     EXPECT_EQ(m2.requests()[i].result, m1.requests()[i].result) << i;
   }
+}
+
+TEST_F(BridgeFixture, DrainedTracksInFlightAndResetIsDeterministic) {
+  EXPECT_TRUE(bus.bridge().drained());
+  bus.bridge().reset();  // Reset of an idle bridge is a no-op.
+
+  Tl1Request req;
+  req.kind = Kind::Read;
+  req.address = 0x8000;  // Waited window: several cycles in flight.
+  BusStatus st = BusStatus::Wait;
+  const auto submit = clk.onRising([&] { st = bus.read(req); });
+  clk.runCycles(1);
+  clk.removeHandler(submit);
+  ASSERT_EQ(st, BusStatus::Request);
+  EXPECT_FALSE(bus.bridge().drained());
+  EXPECT_EQ(bus.pendingCount(), 1u);
+
+  // Let the lower transaction complete; sync() posts the payload as
+  // Finished and releases the slot — drained() again, before pickup.
+  clk.runCycles(12);
+  bus.bridge().sync();
+  EXPECT_TRUE(bus.bridge().drained());
+  EXPECT_EQ(req.stage, Tl1Stage::Finished);
+
+  // reset() on the drained bridge must leave it fully reusable.
+  bus.bridge().reset();
+  const auto pickup = clk.onRising([&] { st = bus.read(req); });
+  clk.runCycles(1);
+  clk.removeHandler(pickup);
+  EXPECT_EQ(st, BusStatus::Ok);
+  EXPECT_EQ(req.stage, Tl1Stage::Idle);
+
+  ram.pokeWord(0x100, 0x5EED5EED);
+  trace::BusTrace t;
+  trace::TraceEntry e;
+  e.kind = Kind::Read;
+  e.address = 0x100;
+  t.append(e);
+  trace::ReplayMaster m(clk, "m", bus, bus, t);
+  m.runToCompletion();
+  EXPECT_EQ(m.requests()[0].data[0], 0x5EED5EEDu);
+}
+
+TEST_F(BridgeFixture, AbandonedPayloadSlotIsNotAnsweredStale) {
+  // Regression: a master that abandons an in-flight payload
+  // (Tl1Request::reset()) and reuses the same object must get the NEW
+  // transaction's result, never the stale slot's. The bridge finishes
+  // the abandoned lower transaction out first (Wait), then re-enters
+  // the payload as a fresh submit.
+  ram.pokeWord(0x200, 0x0DDF00D5);
+  waited.pokeWord(0x8040, 0x0BADF00D);
+
+  Tl1Request req;
+  req.kind = Kind::Read;
+  req.address = 0x8040;  // Slow read, soon abandoned.
+  BusStatus st = BusStatus::Wait;
+  std::uint64_t waits = 0;
+  int phase = 0;
+  const auto id = clk.onRising([&] {
+    if (phase == 0) {
+      ASSERT_EQ(bus.read(req), BusStatus::Request);
+      phase = 1;
+      return;
+    }
+    if (phase == 1) {
+      req.reset();  // Abandon mid-flight...
+      req.kind = Kind::Read;
+      req.address = 0x200;  // ...and reuse the object for a fast read.
+      phase = 2;
+    }
+    st = bus.read(req);
+    if (st == BusStatus::Wait && req.stage == Tl1Stage::Idle) ++waits;
+    if (st == BusStatus::Ok || st == BusStatus::Error) clk.requestBreak();
+  });
+  clk.runCycles(200);
+  clk.removeHandler(id);
+
+  EXPECT_EQ(st, BusStatus::Ok);
+  EXPECT_EQ(req.data[0], 0x0DDF00D5u) << "must not see the stale 0x8040 data";
+  EXPECT_GT(waits, 0u) << "abandoned slot must drain before reuse";
+  EXPECT_EQ(bus.pendingCount(), 0u);
+}
+
+TEST_F(BridgeFixture, DecodeErrorsMatchDirectTl2BusAcrossAllClasses) {
+  // Unmapped addresses must error identically whether the master sits
+  // on the bridged Tl1 interface or drives the Tl2 bus directly.
+  for (const Kind kind : {Kind::Read, Kind::Write, Kind::InstrFetch}) {
+    trace::BusTrace t;
+    trace::TraceEntry e;
+    e.kind = kind;
+    e.address = 0x40000;  // Unmapped.
+    t.append(e);
+    trace::ReplayMaster m(clk, "m", bus, bus, t);
+    m.runToCompletion();
+    EXPECT_TRUE(m.done());
+    EXPECT_EQ(m.stats().errors, 1u) << "kind " << static_cast<int>(kind);
+    EXPECT_EQ(m.requests()[0].result, BusStatus::Error);
+    EXPECT_EQ(bus.pendingCount(), 0u);
+  }
+
+  testbench::Tl2Bench direct;
+  std::uint8_t buf[4] = {};
+  Tl2Request d;
+  d.kind = Kind::Read;
+  d.address = 0x40000;
+  d.data = buf;
+  d.bytes = 4;
+  EXPECT_EQ(testutil::driveOne(direct.clk, direct.bus, d), BusStatus::Error);
 }
 
 TEST(BridgedSocTest, FirmwareRunsIdenticallyAtLayer2Timing) {

@@ -1,0 +1,160 @@
+// Seeded fuzz: random workloads replayed under random fidelity-switch
+// schedules. Whatever the schedule — pure TL1, pure TL2, or arbitrary
+// window sets forcing switches at arbitrary drain points — the
+// functional outcome is conserved: every transaction completes exactly
+// once, read payloads are identical, the final slave memory images are
+// identical, and the two layers' transaction counts sum to the trace
+// size.
+//
+// The workload keeps reads and writes in disjoint regions (reads +
+// fetches from a preloaded read-only window, writes to a write-only
+// window): the layer-1 bus services its read and write queues
+// concurrently, so a read may overtake an older write in timing; with
+// disjoint windows that reordering can never change data, and the
+// invariant holds for every schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "../testbench.h"
+#include "hier/fidelity_controller.h"
+#include "hier/hybrid_bus.h"
+#include "trace/replay_master.h"
+#include "trace/workloads.h"
+
+namespace sct::hier {
+namespace {
+
+constexpr std::size_t kTxns = 300;
+constexpr bus::Address kImageBytes = 0x2000;
+
+std::vector<trace::TargetRegion> fuzzRegions() {
+  return {
+      trace::TargetRegion{0x0000, 0x2000, /*read=*/true, /*write=*/false,
+                          /*exec=*/true},
+      trace::TargetRegion{0x8000, 0x2000, /*read=*/false, /*write=*/true,
+                          /*exec=*/false},
+  };
+}
+
+trace::BusTrace fuzzTrace(std::uint64_t seed) {
+  trace::MixRatios mix;
+  mix.instrFetch = 1;
+  return trace::randomMix(seed, kTxns, fuzzRegions(), mix, /*issueGapMax=*/3);
+}
+
+std::vector<std::uint8_t> romImage(std::uint64_t seed) {
+  std::vector<std::uint8_t> bytes(kImageBytes);
+  trace::fillRealistic(bytes.data(), bytes.size(), seed);
+  return bytes;
+}
+
+/// One complete replay under a given switch schedule. An empty window
+/// set means "pinned": no controller is attached and the bus stays at
+/// `initial` for the whole run (a controller with no active ROI would
+/// immediately steer to TL2).
+struct RunResult {
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t tl1Txns = 0;
+  std::uint64_t tl2Txns = 0;
+  std::vector<bus::Word> payloads;
+  std::vector<std::uint8_t> fastImage;
+  std::vector<std::uint8_t> waitedImage;
+};
+
+RunResult runSchedule(std::uint64_t workloadSeed, Fidelity initial,
+                      std::vector<CycleWindowTrigger::Window> windows) {
+  sim::Kernel kernel;
+  sim::Clock clk{kernel, "clk", 10};
+  HybridBus bus{clk, "ecbus", initial};
+  bus::MemorySlave fast{"rom", testbench::fastCtl()};
+  bus::MemorySlave waited{"eeprom", testbench::waitedCtl()};
+  bus.attach(fast);
+  bus.attach(waited);
+  const auto image = romImage(workloadSeed);
+  fast.load(0x0000, image.data(), image.size());
+
+  const bool pinned = windows.empty();
+  std::optional<FidelityController> ctrl;
+  CycleWindowTrigger trigger(std::move(windows));
+  if (!pinned) {
+    ctrl.emplace(clk, bus);
+    ctrl->addTrigger(trigger);
+  }
+
+  const auto trace = fuzzTrace(workloadSeed);
+  trace::ReplayMaster m(clk, "m", bus, bus, trace);
+  m.runToCompletion();
+  EXPECT_TRUE(m.done());
+  if (ctrl) ctrl->finalize();
+
+  RunResult r;
+  r.completed = m.stats().completed;
+  r.errors = m.stats().errors;
+  r.switches = bus.switches();
+  r.tl1Txns = bus.tl1().stats().transactions();
+  r.tl2Txns = bus.tl2().stats().transactions();
+  for (const auto& req : m.requests()) {
+    for (unsigned b = 0; b < req.beats; ++b) r.payloads.push_back(req.data[b]);
+  }
+  r.fastImage.assign(fast.data(), fast.data() + kImageBytes);
+  r.waitedImage.assign(waited.data(), waited.data() + kImageBytes);
+  return r;
+}
+
+TEST(HybridFuzz, AnySwitchScheduleConservesTheWorkload) {
+  for (const std::uint64_t workloadSeed : {11u, 29u, 71u}) {
+    SCOPED_TRACE("workload seed " + std::to_string(workloadSeed));
+
+    const RunResult ref =
+        runSchedule(workloadSeed, Fidelity::Tl1, {});  // Pure cycle-true.
+    EXPECT_EQ(ref.completed, kTxns);
+    EXPECT_EQ(ref.errors, 0u);
+    EXPECT_EQ(ref.tl1Txns, kTxns);
+    EXPECT_EQ(ref.tl2Txns, 0u);
+
+    const RunResult tl2 = runSchedule(workloadSeed, Fidelity::Tl2, {});
+    EXPECT_EQ(tl2.tl2Txns, kTxns);
+    EXPECT_EQ(tl2.switches, 0u);
+
+    std::vector<RunResult> runs{tl2};
+    std::mt19937_64 rng(workloadSeed * 7919 + 13);
+    for (int schedule = 0; schedule < 4; ++schedule) {
+      // Random window set over the plausible run length; adjacent
+      // windows may touch or nest — the trigger treats them as a union.
+      std::vector<CycleWindowTrigger::Window> windows;
+      std::uint64_t at = rng() % 40;
+      const int count = 1 + static_cast<int>(rng() % 4);
+      for (int w = 0; w < count; ++w) {
+        const std::uint64_t len = 20 + rng() % 150;
+        windows.push_back({at, at + len});
+        at += len + rng() % 120;
+      }
+      const Fidelity initial = (rng() & 1) != 0 ? Fidelity::Tl1 : Fidelity::Tl2;
+      runs.push_back(runSchedule(workloadSeed, initial, std::move(windows)));
+    }
+
+    bool anySwitched = false;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      SCOPED_TRACE("schedule " + std::to_string(i));
+      const RunResult& r = runs[i];
+      EXPECT_EQ(r.completed, ref.completed);
+      EXPECT_EQ(r.errors, 0u);
+      EXPECT_EQ(r.tl1Txns + r.tl2Txns, kTxns)
+          << "every transaction rides exactly one layer";
+      EXPECT_EQ(r.payloads, ref.payloads);
+      EXPECT_EQ(r.fastImage, ref.fastImage);
+      EXPECT_EQ(r.waitedImage, ref.waitedImage);
+      anySwitched = anySwitched || r.switches > 0;
+    }
+    EXPECT_TRUE(anySwitched) << "fuzz never exercised a mid-run switch";
+  }
+}
+
+} // namespace
+} // namespace sct::hier

@@ -1,0 +1,115 @@
+// SmartCardSoC instantiated over the adaptive-fidelity bus: the MIPS
+// core and firmware run unchanged, a hybrid bus pinned at TL1 is
+// cycle-identical to the plain layer-1 SoC, and an address watchpoint
+// on the crypto coprocessor's SFR window pulls the encryption into
+// cycle-true mode automatically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "hier/fidelity_controller.h"
+#include "hier/hybrid_bus.h"
+#include "soc/smartcard.h"
+
+namespace sct::hier {
+namespace {
+
+using soc::SocConfig;
+using soc::assemble;
+namespace memmap = soc::memmap;
+
+using Tl1Soc = soc::SmartCardSoC<bus::Tl1Bus>;
+using HybridSoc = soc::SmartCardSoC<HybridBus>;
+
+// Same firmware as tests/soc/smartcard_test.cpp: encrypt one block on
+// the coprocessor, store the result in RAM.
+constexpr const char* kCryptoProgram = R"(
+    li   $s0, 0x10000400   # Crypto base
+    li   $t0, 0x01234567
+    sw   $t0, 0($s0)       # KEY0
+    li   $t0, 0x89ABCDEF
+    sw   $t0, 4($s0)       # KEY1
+    li   $t0, 0xFEDCBA98
+    sw   $t0, 8($s0)       # KEY2
+    li   $t0, 0x76543210
+    sw   $t0, 12($s0)      # KEY3
+    li   $t0, 0xDEADBEEF
+    sw   $t0, 0x10($s0)    # DATA0
+    li   $t0, 0x00C0FFEE
+    sw   $t0, 0x14($s0)    # DATA1
+    addiu $t0, $zero, 1
+    sw   $t0, 0x18($s0)    # CTRL = encrypt
+  wait:
+    lw   $t1, 0x1C($s0)    # STATUS
+    bne  $t1, $zero, wait
+    lw   $t2, 0x10($s0)
+    lw   $t3, 0x14($s0)
+    li   $s1, 0x08000000
+    sw   $t2, 0($s1)
+    sw   $t3, 4($s1)
+    break
+)";
+
+void expectCipherResult(HybridSoc& soc) {
+  const std::uint32_t key[4] = {0x01234567, 0x89ABCDEF, 0xFEDCBA98,
+                                0x76543210};
+  std::uint32_t d0 = 0xDEADBEEF;
+  std::uint32_t d1 = 0x00C0FFEE;
+  soc::CryptoCoprocessor::encryptBlock(key, d0, d1);
+  EXPECT_EQ(soc.ram().peekWord(memmap::kRamBase), d0);
+  EXPECT_EQ(soc.ram().peekWord(memmap::kRamBase + 4), d1);
+  EXPECT_EQ(soc.crypto().operations(), 1u);
+}
+
+TEST(HybridSocTest, FirmwareRunsUnchangedOnTheEventDrivenLayer) {
+  HybridSoc soc{SocConfig{}};
+  EXPECT_EQ(soc.bus().active(), Fidelity::Tl2);
+  soc.loadProgram(assemble(kCryptoProgram, memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  ASSERT_FALSE(soc.cpu().faulted());
+  expectCipherResult(soc);
+}
+
+TEST(HybridSocTest, PinnedTl1HybridIsCycleIdenticalToPlainTl1Soc) {
+  Tl1Soc plain{SocConfig{}};
+  HybridSoc hybrid{SocConfig{}, Fidelity::Tl1};
+  const auto prog = assemble(kCryptoProgram, memmap::kRomBase);
+  plain.loadProgram(prog);
+  hybrid.loadProgram(prog);
+  ASSERT_TRUE(plain.run());
+  ASSERT_TRUE(hybrid.run());
+  ASSERT_FALSE(hybrid.cpu().faulted());
+  EXPECT_EQ(hybrid.cpu().stats().cycles, plain.cpu().stats().cycles);
+  EXPECT_EQ(hybrid.cpu().stats().instructions,
+            plain.cpu().stats().instructions);
+  EXPECT_EQ(hybrid.ram().peekWord(memmap::kRamBase),
+            plain.ram().peekWord(memmap::kRamBase));
+  EXPECT_EQ(hybrid.bus().tl1().stats().transactions(),
+            plain.bus().stats().transactions());
+  EXPECT_EQ(hybrid.bus().tl2().stats().transactions(), 0u);
+}
+
+TEST(HybridSocTest, CryptoWatchpointPullsTheEncryptionIntoTl1) {
+  HybridSoc soc{SocConfig{}};
+  FidelityController ctrl(soc.clock(), soc.bus());
+  AddressWatchTrigger watch({{memmap::kCryptoBase, memmap::kSfrWindow}},
+                            /*holdCycles=*/32);
+  ctrl.addTrigger(watch);
+
+  soc.loadProgram(assemble(kCryptoProgram, memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  ASSERT_FALSE(soc.cpu().faulted());
+  ctrl.finalize();
+
+  expectCipherResult(soc);
+  EXPECT_GT(watch.hits(), 0u);
+  EXPECT_GE(ctrl.switches(), 1u);
+  EXPECT_GT(ctrl.roiCycles(), 0u);
+  // The crypto SFR accesses themselves ran on the cycle-true layer
+  // (everything after the drain that the first watch hit started).
+  EXPECT_GT(soc.bus().tl1().stats().transactions(), 0u);
+  EXPECT_GT(soc.bus().tl2().stats().transactions(), 0u);
+}
+
+} // namespace
+} // namespace sct::hier
