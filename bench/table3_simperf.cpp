@@ -16,10 +16,12 @@
 #include "trace/report.h"
 
 #include "bench_util.h"
+#include "ckpt/fork_runner.h"
 #include "hier/fidelity_controller.h"
 #include "hier/roi_trigger.h"
 #include "power/tl1_power_model.h"
 #include "power/tl2_power_model.h"
+#include "soc/smartcard.h"
 
 namespace {
 
@@ -210,6 +212,115 @@ void Hybrid_SpaDpa(benchmark::State& state) {
                           static_cast<std::int64_t>(workload.size()));
 }
 
+// ---------------------------------------------------------------------------
+// Section 4.3 exploration cost: boot-per-job vs boot-once/fork-many.
+//
+// Every configuration sweep re-simulates the same applet under N
+// interface variants, and each job pays the identical SoC boot prefix.
+// Boot_Sweep is that naive shape; Fork_Sweep boots once, checkpoints at
+// the quiesce point and restores the snapshot into each variant
+// (src/ckpt). items_per_second counts completed variants, so the
+// Fork_Sweep / Boot_Sweep ratio is the fork speed-up recorded by
+// scripts/bench_table3.sh as speedup.fork_over_boot_sweep.
+
+using SweepSoc = soc::SmartCardSoC<bus::Tl1Bus>;
+
+// Boot: a long checksum grind over EEPROM (the shared prefix worth
+// amortizing). phase2: the short per-variant measured phase.
+constexpr const char* kSweepFirmware = R"(
+    li    $s0, 0x0A000000   # EEPROM base
+    li    $s2, 0x08000000   # RAM base
+    addiu $t2, $zero, 0
+    lw    $t6, 0($s2)       # boot iteration count, poked by the harness
+  boot:
+    lw    $t4, 0($s0)
+    addu  $t2, $t2, $t4
+    xor   $t2, $t2, $t6
+    addiu $s0, $s0, 4
+    andi  $t5, $s0, 0xFFC
+    bne   $t5, $zero, nowrap
+    li    $s0, 0x0A000000
+  nowrap:
+    addiu $t6, $t6, -1
+    bne   $t6, $zero, boot
+    sw    $t2, 4($s2)
+    break
+
+  phase2:
+    li    $s2, 0x08000000
+    lw    $t3, 16($s2)      # variant parameter
+    addiu $t2, $zero, 0
+  ploop:
+    addu  $t2, $t2, $t3
+    addiu $t3, $t3, -1
+    bne   $t3, $zero, ploop
+    sw    $t2, 20($s2)
+    break
+)";
+
+const sct::soc::AssembledProgram& sweepFirmware() {
+  static const auto prog =
+      sct::soc::assemble(kSweepFirmware, soc::memmap::kRomBase);
+  return prog;
+}
+
+std::size_t sweepVariants() { return tinyMode() ? 3 : 12; }
+
+void bootSweepSoc(SweepSoc& s) {
+  std::vector<std::uint8_t> eeprom(4096);
+  for (std::size_t i = 0; i < eeprom.size(); ++i) {
+    eeprom[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  s.loadData(soc::memmap::kEepromBase, eeprom.data(), eeprom.size());
+  s.loadProgram(sweepFirmware());
+  s.ram().pokeWord(soc::memmap::kRamBase,
+                   tinyMode() ? 200 : 4000);  // Boot loop length.
+  s.run();
+}
+
+void runSweepVariant(SweepSoc& s, std::size_t i) {
+  s.ram().pokeWord(soc::memmap::kRamBase + 16,
+                   static_cast<bus::Word>(8 + i));
+  s.cpu().reset(sweepFirmware().label("phase2"));
+  s.run();
+  benchmark::DoNotOptimize(s.ram().peekWord(soc::memmap::kRamBase + 20));
+}
+
+void Boot_Sweep(benchmark::State& state) {
+  const std::size_t variants = sweepVariants();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < variants; ++i) {
+      SweepSoc s{soc::SocConfig{}};
+      bootSweepSoc(s);
+      runSweepVariant(s, i);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(variants));
+}
+
+void Fork_Sweep(benchmark::State& state) {
+  const std::size_t variants = sweepVariants();
+  for (auto _ : state) {
+    ckpt::ForkRunner runner([] {
+      SweepSoc parent{soc::SocConfig{}};
+      bootSweepSoc(parent);
+      return parent.checkpoint();
+    });
+    // Sequential forks: the ratio to Boot_Sweep isolates the amortized
+    // boot, not thread-level parallelism (that is ParallelRunner's
+    // business and already benchmarked by sec43_exploration).
+    runner.runForks(variants, /*threads=*/1,
+                    [](const ckpt::Snapshot& snap, std::size_t i) {
+                      SweepSoc s{soc::SocConfig{}};
+                      s.restore(snap);
+                      runSweepVariant(s, i);
+                    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(variants));
+}
+
 // The layer-0 reference for context (the paper cites a ~100x TLM
 // speed-up over RTL from related work; our layer 0 is itself a fast
 // C++ model, so the gap is smaller but the ordering holds).
@@ -232,6 +343,8 @@ BENCHMARK(TL2_WithEstimation_IdleGaps);
 BENCHMARK(TL2_WithoutEstimation_IdleGaps);
 BENCHMARK(TL1_SpaDpa);
 BENCHMARK(Hybrid_SpaDpa);
+BENCHMARK(Boot_Sweep);
+BENCHMARK(Fork_Sweep);
 BENCHMARK(Layer0_Reference);
 
 } // namespace

@@ -66,7 +66,9 @@ if command -v jq >/dev/null 2>&1; then
       tl2_over_tl1_without_estimation:
         (rate("TL2_WithoutEstimation") / rate("TL1_WithoutEstimation")),
       hybrid_over_tl1_spa:
-        (rate("Hybrid_SpaDpa") / rate("TL1_SpaDpa"))
+        (rate("Hybrid_SpaDpa") / rate("TL1_SpaDpa")),
+      fork_over_boot_sweep:
+        (rate("Fork_Sweep") / rate("Boot_Sweep"))
     }}
     + {host_context: {
         cpu_model: $cpu, compiler: $compiler,

@@ -33,6 +33,9 @@ for preset in release asan-ubsan; do
   # TL1/TL2 bus: run the `hier` label explicitly so a filter or preset
   # change can never silently drop it from the pass.
   run ctest --preset "$preset" -L hier --parallel "$jobs"
+  # Same for the checkpoint/restore gate: restore-equivalence is what
+  # makes fork-based exploration trustworthy.
+  run ctest --preset "$preset" -L ckpt --parallel "$jobs"
 done
 
 echo "==> bench smoke (tiny workload)"

@@ -1,5 +1,6 @@
 #include "bus/memory_slave.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -20,6 +21,7 @@ MemorySlave::MemorySlave(std::string name, const SlaveControl& control,
     : name_(std::move(name)),
       control_(control),
       shared_(sharedImage),
+      baseline_(sharedImage),
       size_(static_cast<std::size_t>(control.size)) {
   if (control_.size == 0) {
     throw std::invalid_argument("MemorySlave: zero-sized window");
@@ -98,6 +100,83 @@ void MemorySlave::pokeWord(Address busAddr, Word value) {
   }
   materialize();
   std::memcpy(&bytes_[offset(busAddr)], &value, 4);
+}
+
+std::uint64_t MemorySlave::imageDigest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
+  const std::uint8_t* p = roData();
+  for (std::size_t i = 0; i < size_; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;  // FNV-1a 64-bit prime.
+  }
+  return h;
+}
+
+void MemorySlave::saveState(ckpt::StateWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(size_));
+  w.u64(static_cast<std::uint64_t>(extraWritePerBeat_));
+  w.u64(static_cast<std::uint64_t>(pendingStretch_));
+  // A still-shared slave is bit-identical to its baseline by
+  // construction; pay the page diff only once something materialized.
+  if (shared_ != nullptr) {
+    w.u32(0);
+    return;
+  }
+  std::vector<std::uint32_t> dirty;
+  const std::uint8_t* live = bytes_.data();
+  for (std::size_t off = 0, page = 0; off < size_;
+       off += kCkptPageBytes, ++page) {
+    const std::size_t n = std::min(kCkptPageBytes, size_ - off);
+    bool same;
+    if (baseline_ != nullptr) {
+      same = std::memcmp(live + off, baseline_ + off, n) == 0;
+    } else {
+      same = true;
+      for (std::size_t i = 0; i < n && same; ++i) {
+        same = live[off + i] == 0;
+      }
+    }
+    if (!same) dirty.push_back(static_cast<std::uint32_t>(page));
+  }
+  w.u32(static_cast<std::uint32_t>(dirty.size()));
+  for (const std::uint32_t page : dirty) {
+    const std::size_t off = static_cast<std::size_t>(page) * kCkptPageBytes;
+    const std::size_t n = std::min(kCkptPageBytes, size_ - off);
+    w.u32(page);
+    w.u32(static_cast<std::uint32_t>(n));
+    w.bytes(live + off, n);
+  }
+}
+
+void MemorySlave::loadState(ckpt::StateReader& r) {
+  if (r.u64() != size_) {
+    throw ckpt::CheckpointError("MemorySlave::loadState: '" + name_ +
+                                "' size differs from the saved slave");
+  }
+  extraWritePerBeat_ = static_cast<unsigned>(r.u64());
+  pendingStretch_ = static_cast<unsigned>(r.u64());
+  const std::uint32_t pages = r.u32();
+  if (pages == 0 && shared_ != nullptr) {
+    return;  // Clean snapshot onto a still-shared slave: stay COW.
+  }
+  // Re-establish the baseline, then apply the dirty pages.
+  if (shared_ != nullptr) {
+    materialize();
+  } else if (baseline_ != nullptr) {
+    bytes_.assign(baseline_, baseline_ + size_);
+  } else {
+    std::fill(bytes_.begin(), bytes_.end(), std::uint8_t{0});
+  }
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const std::uint32_t page = r.u32();
+    const std::uint32_t n = r.u32();
+    const std::size_t off = static_cast<std::size_t>(page) * kCkptPageBytes;
+    if (off + n > size_ || n > kCkptPageBytes) {
+      throw ckpt::CheckpointError("MemorySlave::loadState: '" + name_ +
+                                  "' dirty page out of range");
+    }
+    r.bytes(&bytes_[off], n);
+  }
 }
 
 } // namespace sct::bus

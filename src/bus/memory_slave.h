@@ -14,6 +14,7 @@
 
 #include "bus/ec_interfaces.h"
 #include "bus/ec_types.h"
+#include "ckpt/state_io.h"
 
 namespace sct::bus {
 
@@ -59,6 +60,25 @@ class MemorySlave : public EcSlave {
   Word peekWord(Address busAddr) const;
   void pokeWord(Address busAddr, Word value);
 
+  /// FNV-1a (64-bit) over the live image: lets equivalence and fuzz
+  /// tests compare whole memories without copying them out, and gives
+  /// checkpoint tests a cheap image identity.
+  std::uint64_t imageDigest() const;
+
+  /// -- Checkpoint (see ckpt/checkpoint.h) ------------------------------
+  /// Dirty-page serialization: only kCkptPageBytes-sized pages that
+  /// differ from the construction baseline (the shared prototype image,
+  /// or all-zeros for a plainly constructed slave) enter the section, so
+  /// a mostly clean ROM/flash snapshot costs almost nothing and a fork
+  /// restored from it stays copy-on-write when no page was dirty.
+  /// Checkpointing a shared-image slave requires the prototype image to
+  /// outlive the slave (all in-repo prototypes are static caches or a
+  /// parent system kept alive by the ForkRunner).
+  static constexpr std::uint32_t kCkptVersion = 1;
+  static constexpr std::size_t kCkptPageBytes = 256;
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
+
  protected:
   std::size_t offset(Address addr) const {
     return static_cast<std::size_t>(addr - control_.base);
@@ -83,6 +103,9 @@ class MemorySlave : public EcSlave {
   SlaveControl control_;
   std::vector<std::uint8_t> bytes_;
   const std::uint8_t* shared_ = nullptr;  ///< Non-null until materialized.
+  /// Construction prototype (null = zero-initialized): the reference the
+  /// checkpoint's dirty pages are diffed against and restored onto.
+  const std::uint8_t* baseline_ = nullptr;
   std::size_t size_ = 0;
   unsigned extraWritePerBeat_ = 0;
   unsigned pendingStretch_ = 0;

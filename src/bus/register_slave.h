@@ -16,6 +16,7 @@
 
 #include "bus/ec_interfaces.h"
 #include "bus/ec_types.h"
+#include "ckpt/state_io.h"
 
 namespace sct::bus {
 
@@ -50,6 +51,16 @@ class RegisterSlave : public EcSlave {
   void stretchNextBeats(unsigned n) { stretch_ += n; }
 
   std::size_t registerCount() const { return regs_.size(); }
+
+  /// -- Checkpoint base: derived peripherals call these first from
+  /// their own saveState/loadState (registers are code, not state; only
+  /// the pending wait injection needs to travel).
+  void saveState(ckpt::StateWriter& w) const {
+    w.u64(static_cast<std::uint64_t>(stretch_));
+  }
+  void loadState(ckpt::StateReader& r) {
+    stretch_ = static_cast<unsigned>(r.u64());
+  }
 
  protected:
   struct Register {

@@ -127,6 +127,49 @@ void Tl1Bus::resumeProcess() {
   clock_.parkHandler(processId_, 0);
 }
 
+void Tl1Bus::saveState(ckpt::StateWriter& w) const {
+  if (!idle()) {
+    throw ckpt::CheckpointError(
+        "Tl1Bus::saveState: bus is not idle (not a quiesce point)");
+  }
+  w.u64(stats_.cycles);
+  w.u64(stats_.busyCycles);
+  w.u64(stats_.addrCycles);
+  w.u64(stats_.readBeats);
+  w.u64(stats_.writeBeats);
+  w.u64(stats_.instrTransactions);
+  w.u64(stats_.readTransactions);
+  w.u64(stats_.writeTransactions);
+  w.u64(stats_.readBusErrors);
+  w.u64(stats_.writeBusErrors);
+  w.u64(stats_.bytesRead);
+  w.u64(stats_.bytesWritten);
+  w.u64(cycleNow_);
+  w.b(suspended_);
+}
+
+void Tl1Bus::loadState(ckpt::StateReader& r) {
+  if (!idle()) {
+    throw ckpt::CheckpointError(
+        "Tl1Bus::loadState: restore target bus is not idle");
+  }
+  stats_.cycles = r.u64();
+  stats_.busyCycles = r.u64();
+  stats_.addrCycles = r.u64();
+  stats_.readBeats = r.u64();
+  stats_.writeBeats = r.u64();
+  stats_.instrTransactions = r.u64();
+  stats_.readTransactions = r.u64();
+  stats_.writeTransactions = r.u64();
+  stats_.readBusErrors = r.u64();
+  stats_.writeBusErrors = r.u64();
+  stats_.bytesRead = r.u64();
+  stats_.bytesWritten = r.u64();
+  cycleNow_ = r.u64();
+  suspended_ = r.b();
+  anyActivityThisCycle_ = false;
+}
+
 // ---------------------------------------------------------------------------
 // Bus process
 // ---------------------------------------------------------------------------

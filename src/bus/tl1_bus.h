@@ -112,6 +112,15 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   /// bus_errors) and optionally emit transaction spans to `rec`.
   void attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec = nullptr);
 
+  /// -- Checkpoint (see ckpt/checkpoint.h) ------------------------------
+  /// Only legal while idle(): at a quiesce point every queue is empty
+  /// and no request pointer is held, so the section is just the stats
+  /// block plus the cycle/suspend bookkeeping. The process handler's
+  /// park state is owned (and restored) by the Clock section.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
+
  private:
   BusStatus submitOrPoll(Tl1Request& req, Kind expectedKind);
   bool validate(const Tl1Request& req) const;

@@ -75,6 +75,34 @@ class Tl2MasterBridge final : public EcInstrIf, public EcDataIf {
   /// Transactions currently in flight through the bridge.
   std::size_t pendingCount() const { return pending_.size(); }
 
+  /// -- Checkpoint (see ckpt/checkpoint.h) ------------------------------
+  /// A drained bridge holds no state beyond its construction arguments,
+  /// so the section is an emptiness marker: saving requires drained(),
+  /// and loading verifies the target is drained too.
+  static constexpr std::uint32_t kCkptVersion = 1;
+
+  void saveState(ckpt::StateWriter& w) const {
+    if (!drained()) {
+      throw ckpt::CheckpointError(
+          "Tl2MasterBridge::saveState: bridge is not drained (not a "
+          "quiesce point)");
+    }
+    w.b(stagePublishing_);
+  }
+
+  void loadState(ckpt::StateReader& r) {
+    if (!drained()) {
+      throw ckpt::CheckpointError(
+          "Tl2MasterBridge::loadState: restore target bridge is not "
+          "drained");
+    }
+    if (r.b() != stagePublishing_) {
+      throw ckpt::CheckpointError(
+          "Tl2MasterBridge::loadState: stage-publishing mode differs "
+          "from the saved bridge");
+    }
+  }
+
  private:
   struct Slot {
     Tl2Request lower;
@@ -116,6 +144,17 @@ class BridgedTl2Bus final : public EcInstrIf, public EcDataIf {
   const Tl2BusStats& stats() const { return bus_.stats(); }
   bool idle() const { return bus_.idle(); }
   std::size_t pendingCount() const { return bridge_.pendingCount(); }
+
+  /// -- Checkpoint: one section covering the bus + bridge pair. --------
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    bus_.saveState(w);
+    bridge_.saveState(w);
+  }
+  void loadState(ckpt::StateReader& r) {
+    bus_.loadState(r);
+    bridge_.loadState(r);
+  }
 
  private:
   Tl2Bus bus_;

@@ -483,6 +483,80 @@ void Tl2Bus::finish(Tl2Request& req, BusStatus result, std::uint64_t cycle) {
   }
 }
 
+void Tl2Bus::reset() {
+  if (!idle()) {  // idle() retires due boundaries in event mode first.
+    throw std::logic_error(name() + ": reset with transactions in flight");
+  }
+  assert(missFinishCycles_.empty());
+  assert(outstandingInstr_ == 0 && outstandingRead_ == 0 &&
+         outstandingWrite_ == 0);
+  stats_ = Tl2BusStats{};
+  addrFree_ = readFree_ = writeFree_ = 0;
+  lastRetireEdge_ = 0;
+  firstEdge_ = currentEdge();
+  busyFrom_ = 0;
+  closedBusyCycles_ = 0;
+  busyOpen_ = false;
+  parkProcess(perCycle_ ? 0 : sim::Clock::kNeverWake);
+}
+
+void Tl2Bus::saveState(ckpt::StateWriter& w) const {
+  if (!idle()) {  // Retires due boundaries, so the lazy state is current.
+    throw ckpt::CheckpointError(
+        "Tl2Bus::saveState: bus is not idle (not a quiesce point)");
+  }
+  w.b(perCycle_);
+  w.u64(stats_.cycles);
+  w.u64(stats_.busyCycles);
+  w.u64(stats_.instrTransactions);
+  w.u64(stats_.readTransactions);
+  w.u64(stats_.writeTransactions);
+  w.u64(stats_.errors);
+  w.u64(stats_.bytesRead);
+  w.u64(stats_.bytesWritten);
+  w.u64(addrFree_);
+  w.u64(readFree_);
+  w.u64(writeFree_);
+  w.u64(parkedWake_);
+  w.u64(lastRetireEdge_);
+  w.u64(firstEdge_);
+  w.u64(busyFrom_);
+  w.u64(closedBusyCycles_);
+  w.b(busyOpen_);
+}
+
+void Tl2Bus::loadState(ckpt::StateReader& r) {
+  if (!idle()) {
+    throw ckpt::CheckpointError(
+        "Tl2Bus::loadState: restore target bus is not idle");
+  }
+  const bool savedPerCycle = r.b();
+  if (savedPerCycle != perCycle_) {
+    throw ckpt::CheckpointError(
+        "Tl2Bus::loadState: process mode differs from the saved bus "
+        "(call setPerCycleProcess before restoring)");
+  }
+  stats_.cycles = r.u64();
+  stats_.busyCycles = r.u64();
+  stats_.instrTransactions = r.u64();
+  stats_.readTransactions = r.u64();
+  stats_.writeTransactions = r.u64();
+  stats_.errors = r.u64();
+  stats_.bytesRead = r.u64();
+  stats_.bytesWritten = r.u64();
+  addrFree_ = r.u64();
+  readFree_ = r.u64();
+  writeFree_ = r.u64();
+  // Mirror only: the handler's actual wake cycle was restored by the
+  // Clock section, which loads before any bus.
+  parkedWake_ = r.u64();
+  lastRetireEdge_ = r.u64();
+  firstEdge_ = r.u64();
+  busyFrom_ = r.u64();
+  closedBusyCycles_ = r.u64();
+  busyOpen_ = r.b();
+}
+
 void Tl2Bus::attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec) {
   if constexpr (obs::kEnabled) {
     const std::string& n = name();

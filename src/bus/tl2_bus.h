@@ -127,6 +127,25 @@ class Tl2Bus final : public sim::Module, public Tl2MasterIf {
   /// exact even when boundaries are retired lazily after a clock warp.
   void attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec = nullptr);
 
+  /// Deterministic reset to the state a bus constructed at this instant
+  /// would have (the companion of Tl2MasterBridge::reset()): zeroed
+  /// stats, free units, re-based lazy cycle counters, process parked
+  /// until the next accept. Requires idle() — every schedule retired,
+  /// no master-owned request pointer held; masters holding Finished
+  /// payloads keep them (pickup needs no bus state).
+  void reset();
+
+  /// -- Checkpoint (see ckpt/checkpoint.h) ------------------------------
+  /// Only legal while idle(): the queues, unit slots and the miss ring
+  /// are empty then, so the section carries the stats block, the unit
+  /// free-cycles and the lazy retirement/busy-interval bookkeeping. The
+  /// process handler's park state is restored by the Clock section; the
+  /// restore target must already be in the same process mode
+  /// (setPerCycleProcess) as the saved bus.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
+
  private:
   BusStatus submitOrPoll(Tl2Request& req);
   bool validate(const Tl2Request& req) const;

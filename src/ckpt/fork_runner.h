@@ -1,0 +1,65 @@
+// Boot-once / fork-many exploration driver.
+//
+// The paper's Section 4.3 exploration re-simulates the same applet
+// under dozens of interface configurations, and every job pays for the
+// identical SoC boot prefix again. ForkRunner amortizes that prefix:
+// one parent system boots to a quiesce point and is checkpointed; each
+// configuration variant then restores the shared snapshot into a fresh
+// system (copy-on-write memory images — a clean ROM/flash page never
+// leaves the shared prototype) and runs only its own measured phase.
+// Restore-equivalence (tests/ckpt) guarantees every fork continues
+// bit-identically to a system that had executed the boot itself, so
+// the sweep's results are unchanged — only the boot cost is paid once.
+#ifndef SCT_CKPT_FORK_RUNNER_H
+#define SCT_CKPT_FORK_RUNNER_H
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "ckpt/checkpoint.h"
+#include "sim/parallel_runner.h"
+
+namespace sct::ckpt {
+
+class ForkRunner {
+ public:
+  /// Runs the boot phase once, on the calling thread, and keeps its
+  /// snapshot. The callback builds the parent system, drives it to a
+  /// quiesce point and returns CheckpointRegistry::saveAll(); any
+  /// shared prototype images the parent's slaves read through must
+  /// outlive the runner (see MemorySlave::saveState).
+  explicit ForkRunner(const std::function<Snapshot()>& boot)
+      : snapshot_(boot()) {}
+
+  /// Adopt an existing snapshot (e.g. Snapshot::loadFile of a golden
+  /// boot checkpoint) instead of booting.
+  explicit ForkRunner(Snapshot snapshot) : snapshot_(std::move(snapshot)) {}
+
+  /// Fan `count` variants out over `threads` workers (0 = default pool
+  /// size, 1 = strictly sequential in-caller — the reference sweep
+  /// order). Each variant receives the shared snapshot by const
+  /// reference — Snapshot is immutable plain data, safe to share — and
+  /// must construct its own system, loadAll() the snapshot, apply its
+  /// configuration delta and run. Results are written into caller-owned
+  /// slots keyed by the variant index, exactly the ParallelRunner
+  /// discipline, so the collected output is deterministic regardless of
+  /// scheduling.
+  void runForks(
+      std::size_t count, unsigned threads,
+      const std::function<void(const Snapshot&, std::size_t)>& variant)
+      const {
+    const Snapshot& snap = snapshot_;
+    sim::ParallelRunner::runIndexed(
+        count, threads, [&](std::size_t i) { variant(snap, i); });
+  }
+
+  const Snapshot& snapshot() const { return snapshot_; }
+
+ private:
+  Snapshot snapshot_;
+};
+
+} // namespace sct::ckpt
+
+#endif // SCT_CKPT_FORK_RUNNER_H

@@ -105,4 +105,35 @@ bool HybridBus::tryCompleteSwitch() {
   return true;
 }
 
+void HybridBus::saveState(ckpt::StateWriter& w) {
+  if (!quiesced()) {
+    throw ckpt::CheckpointError(
+        "HybridBus::saveState: not quiesced (snapshot only at quiesce "
+        "points)");
+  }
+  tl1_.saveState(w);
+  tl2_.saveState(w);
+  bridge_.saveState(w);
+  w.u8(static_cast<std::uint8_t>(active_));
+  w.u8(static_cast<std::uint8_t>(pendingTarget_));
+  w.b(switchPending_);
+  w.u64(switchCount_);
+  w.u64(drainWaitAnswers_);
+}
+
+void HybridBus::loadState(ckpt::StateReader& r) {
+  if (!quiesced()) {
+    throw ckpt::CheckpointError(
+        "HybridBus::loadState: restore target is not quiesced");
+  }
+  tl1_.loadState(r);
+  tl2_.loadState(r);
+  bridge_.loadState(r);
+  active_ = static_cast<Fidelity>(r.u8());
+  pendingTarget_ = static_cast<Fidelity>(r.u8());
+  switchPending_ = r.b();
+  switchCount_ = r.u64();
+  drainWaitAnswers_ = r.u64();
+}
+
 } // namespace sct::hier

@@ -37,6 +37,7 @@
 #include "bus/tl1_bus.h"
 #include "bus/tl2_bridge.h"
 #include "bus/tl2_bus.h"
+#include "ckpt/state_io.h"
 #include "sim/clock.h"
 
 namespace sct::hier {
@@ -124,6 +125,17 @@ class HybridBus final : public bus::EcInstrIf, public bus::EcDataIf {
 
   const std::string& name() const { return name_; }
   std::uint64_t cycle() const { return clock_.cycle(); }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): both owned layers, the
+  /// bridge and the switch bookkeeping, in one section. Only legal at a
+  /// quiesce point — the same precondition a fidelity switch needs, so
+  /// any cycle a switch could complete is also a snapshot cycle.
+  /// Non-const: quiesced() brings the bridge's lazy completions
+  /// current. The FidelityController is NOT part of the snapshot;
+  /// checkpoint between its regions and re-drive ROIs from the harness.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w);
+  void loadState(ckpt::StateReader& r);
 
  private:
   bus::BusStatus route(bus::Tl1Request& req, bus::Kind kind);

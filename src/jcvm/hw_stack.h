@@ -50,6 +50,20 @@ class HwStackSlave final : public bus::RegisterSlave {
   bool overflowSeen() const { return overflow_; }
   bool underflowSeen() const { return underflow_; }
 
+  /// -- Checkpoint (see ckpt/checkpoint.h): sticky error flags plus the
+  /// RegisterSlave base. The backend stack is its own component.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    RegisterSlave::saveState(w);
+    w.b(overflow_);
+    w.b(underflow_);
+  }
+  void loadState(ckpt::StateReader& r) {
+    RegisterSlave::loadState(r);
+    overflow_ = r.b();
+    underflow_ = r.b();
+  }
+
  private:
   void defineSeparate();
   void defineCombined();

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/state_io.h"
 #include "jcvm/bytecode.h"
 #include "jcvm/memory_manager.h"
 #include "jcvm/stack_if.h"
@@ -68,6 +69,52 @@ class Interpreter {
 
   /// Value delivered by a top-level `sreturn` (0 for `return`).
   JcShort result() const { return result_; }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): call frames (method, pc,
+  /// locals), error/result latches and the execution statistics. The
+  /// operand stack, memory manager and firewall are separate
+  /// components; the program itself is code, not state.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    w.u64(static_cast<std::uint64_t>(frames_.size()));
+    for (const Frame& f : frames_) {
+      w.u8(f.method);
+      w.u32(f.pc);
+      w.u64(static_cast<std::uint64_t>(f.locals.size()));
+      for (const JcShort v : f.locals) {
+        w.u16(static_cast<std::uint16_t>(v));
+      }
+    }
+    w.u8(static_cast<std::uint8_t>(error_));
+    w.u64(stats_.bytecodesExecuted);
+    w.u64(stats_.stackOps);
+    w.u64(stats_.invocations);
+    w.u64(stats_.branchesTaken);
+    w.u16(static_cast<std::uint16_t>(result_));
+    w.b(finished_);
+  }
+  void loadState(ckpt::StateReader& r) {
+    frames_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Frame f{};
+      f.method = r.u8();
+      f.pc = r.u32();
+      const std::uint64_t locals = r.u64();
+      f.locals.reserve(static_cast<std::size_t>(locals));
+      for (std::uint64_t j = 0; j < locals; ++j) {
+        f.locals.push_back(static_cast<JcShort>(r.u16()));
+      }
+      frames_.push_back(std::move(f));
+    }
+    error_ = static_cast<VmError>(r.u8());
+    stats_.bytecodesExecuted = r.u64();
+    stats_.stackOps = r.u64();
+    stats_.invocations = r.u64();
+    stats_.branchesTaken = r.u64();
+    result_ = static_cast<JcShort>(r.u16());
+    finished_ = r.b();
+  }
 
  private:
   struct Frame {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/state_io.h"
 #include "jcvm/stack_if.h"
 
 namespace sct::jcvm {
@@ -32,6 +33,17 @@ class Firewall {
 
   std::uint64_t checks() const { return checks_; }
   std::uint64_t violations() const { return violations_; }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h).
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    w.u64(checks_);
+    w.u64(violations_);
+  }
+  void loadState(ckpt::StateReader& r) {
+    checks_ = r.u64();
+    violations_ = r.u64();
+  }
 
  private:
   std::uint64_t checks_ = 0;
@@ -64,6 +76,51 @@ class MemoryManager {
 
   std::size_t heapUsedShorts() const { return heapUsed_; }
   std::size_t heapCapacityShorts() const { return heap_.size(); }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): statics, the used part of
+  /// the heap and the array descriptors. The restore target must have
+  /// the same static-field count and heap capacity.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    w.u64(static_cast<std::uint64_t>(statics_.size()));
+    for (const JcShort v : statics_) w.u16(static_cast<std::uint16_t>(v));
+    w.u64(static_cast<std::uint64_t>(heap_.size()));
+    w.u64(static_cast<std::uint64_t>(heapUsed_));
+    for (std::size_t i = 0; i < heapUsed_; ++i) {
+      w.u16(static_cast<std::uint16_t>(heap_[i]));
+    }
+    w.u64(static_cast<std::uint64_t>(arrays_.size()));
+    for (const ArrayDesc& a : arrays_) {
+      w.u64(static_cast<std::uint64_t>(a.offset));
+      w.u16(a.length);
+      w.u16(a.owner);
+    }
+  }
+  void loadState(ckpt::StateReader& r) {
+    if (r.u64() != statics_.size() || r.u64() != heap_.size()) {
+      throw ckpt::CheckpointError(
+          "MemoryManager::loadState: geometry differs from the saved "
+          "manager");
+    }
+    for (JcShort& v : statics_) v = static_cast<JcShort>(r.u16());
+    heapUsed_ = static_cast<std::size_t>(r.u64());
+    if (heapUsed_ > heap_.size()) {
+      throw ckpt::CheckpointError(
+          "MemoryManager::loadState: saved heap use exceeds capacity");
+    }
+    for (std::size_t i = 0; i < heapUsed_; ++i) {
+      heap_[i] = static_cast<JcShort>(r.u16());
+    }
+    arrays_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ArrayDesc a{};
+      a.offset = static_cast<std::size_t>(r.u64());
+      a.length = r.u16();
+      a.owner = r.u16();
+      arrays_.push_back(a);
+    }
+  }
 
  private:
   struct ArrayDesc {

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/state_io.h"
+
 namespace sct::jcvm {
 
 using JcShort = std::int16_t;
@@ -79,6 +81,32 @@ class FunctionalStack final : public OperandStackIf {
 
   const StackStats& stats() const override { return stats_; }
   std::uint16_t capacity() const { return capacity_; }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h).
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    w.u64(static_cast<std::uint64_t>(data_.size()));
+    for (const JcShort v : data_) w.u16(static_cast<std::uint16_t>(v));
+    w.u64(stats_.pushes);
+    w.u64(stats_.pops);
+    w.u64(stats_.overflowAttempts);
+    w.u64(stats_.underflowAttempts);
+  }
+  void loadState(ckpt::StateReader& r) {
+    const std::uint64_t n = r.u64();
+    if (n > capacity_) {
+      throw ckpt::CheckpointError(
+          "FunctionalStack::loadState: saved depth exceeds capacity");
+    }
+    data_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      data_.push_back(static_cast<JcShort>(r.u16()));
+    }
+    stats_.pushes = r.u64();
+    stats_.pops = r.u64();
+    stats_.overflowAttempts = r.u64();
+    stats_.underflowAttempts = r.u64();
+  }
 
  private:
   std::uint16_t capacity_;

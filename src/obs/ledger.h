@@ -33,6 +33,7 @@
 
 #include "bus/ec_signals.h"
 #include "bus/ec_types.h"
+#include "ckpt/state_io.h"
 #include "obs/obs.h"
 
 namespace sct::obs {
@@ -117,6 +118,32 @@ class EnergyLedger {
 
   void reset() { *this = EnergyLedger{}; }
 
+  /// -- Checkpoint (see ckpt/checkpoint.h): every split accumulator and
+  /// both totals, bit-exact. The OBS=OFF stub writes the same-shaped
+  /// empty section so snapshots stay loadable across builds with the
+  /// hooks compiled out.
+  static constexpr std::uint32_t kCkptVersion = 1;
+
+  void saveState(ckpt::StateWriter& w) const {
+    w.b(true);  // Accumulators present.
+    for (const double v : byBundle_) w.f64(v);
+    for (const double v : byClass_) w.f64(v);
+    for (const double v : bySlave_) w.f64(v);
+    for (const double v : byMaster_) w.f64(v);
+    w.f64(total_fJ_);
+    w.f64(cycle_fJ_);
+  }
+
+  void loadState(ckpt::StateReader& r) {
+    if (!r.b()) return;  // Saved by an OBS=OFF build: nothing recorded.
+    for (double& v : byBundle_) v = r.f64();
+    for (double& v : byClass_) v = r.f64();
+    for (double& v : bySlave_) v = r.f64();
+    for (double& v : byMaster_) v = r.f64();
+    total_fJ_ = r.f64();
+    cycle_fJ_ = r.f64();
+  }
+
  private:
   static std::size_t slaveSlot(int slave) {
     const std::size_t s = static_cast<std::size_t>(slave + 1);
@@ -158,6 +185,17 @@ class EnergyLedger {
   double bySlave_fJ(int) const { return 0.0; }
   double byMaster_fJ(int) const { return 0.0; }
   void reset() {}
+
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const { w.b(false); }
+  void loadState(ckpt::StateReader& r) {
+    if (r.b()) {
+      // Section written by an OBS=ON build: skip its accumulators.
+      const std::size_t n = bus::kSignalCount + kTxClassCount +
+                            kSlaveSlots + kMasterSlots + 2;
+      for (std::size_t i = 0; i < n; ++i) (void)r.f64();
+    }
+  }
 };
 
 #endif // SCT_OBS_ENABLED

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bus/ec_interfaces.h"
+#include "ckpt/state_io.h"
 #include "power/tl1_power_model.h"
 #include "sim/time.h"
 
@@ -83,6 +84,37 @@ class PowerProfile {
     samples_.clear();
     total_fJ_ = 0.0;
     sampledCycles_ = 0;
+  }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): the recorded time series
+  /// travels with the snapshot so a restored run's profile is the
+  /// uninterrupted run's profile, sample for sample.
+  static constexpr std::uint32_t kCkptVersion = 1;
+
+  void saveState(ckpt::StateWriter& w) const {
+    w.u64(static_cast<std::uint64_t>(windowCycles_));
+    w.u64(sampledCycles_);
+    w.f64(total_fJ_);
+    w.u64(static_cast<std::uint64_t>(samples_.size()));
+    for (const Sample& s : samples_) {
+      w.u64(s.cycle);
+      w.f64(s.energy_fJ);
+    }
+  }
+
+  void loadState(ckpt::StateReader& r) {
+    if (r.u64() != windowCycles_) {
+      throw ckpt::CheckpointError(
+          "PowerProfile::loadState: window size differs from the saved "
+          "profile");
+    }
+    sampledCycles_ = r.u64();
+    total_fJ_ = r.f64();
+    samples_.resize(static_cast<std::size_t>(r.u64()));
+    for (Sample& s : samples_) {
+      s.cycle = r.u64();
+      s.energy_fJ = r.f64();
+    }
   }
 
  private:

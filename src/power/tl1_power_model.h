@@ -26,6 +26,7 @@
 #include "bus/decoder.h"
 #include "bus/ec_interfaces.h"
 #include "bus/ec_signals.h"
+#include "ckpt/state_io.h"
 #include "obs/ledger.h"
 #include "power/coeff_table.h"
 #include "power/power_if.h"
@@ -67,6 +68,46 @@ class Tl1PowerModel final : public bus::Tl1Observer,
   void attachLedger(obs::EnergyLedger& ledger, int master = 0) {
     ledger_ = &ledger;
     master_ = master;
+  }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): the full signal state —
+  /// frame, pre-cycle values, strobe masks, transition counts and the
+  /// femtojoule accumulators (bit-exact doubles), so a restored model
+  /// continues the exact FP accumulation sequence of the saved run.
+  static constexpr std::uint32_t kCkptVersion = 1;
+
+  void saveState(ckpt::StateWriter& w) const {
+    for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+      w.u64(frame_.get(static_cast<bus::SignalId>(i)));
+    }
+    for (const std::uint64_t v : prev_) w.u64(v);
+    w.u32(dirty_);
+    w.u32(strobeSetMask_);
+    w.u32(pendingLow_);
+    for (const std::uint64_t v : transitions_) w.u64(v);
+    w.f64(lastCycle_fJ_);
+    w.f64(total_fJ_);
+    w.f64(intervalMarker_fJ_);
+    for (const std::uint8_t v : ownerClass_) w.u8(v);
+    for (const std::int8_t v : ownerSlave_) {
+      w.u8(static_cast<std::uint8_t>(v));
+    }
+  }
+
+  void loadState(ckpt::StateReader& r) {
+    for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+      frame_.set(static_cast<bus::SignalId>(i), r.u64());
+    }
+    for (std::uint64_t& v : prev_) v = r.u64();
+    dirty_ = r.u32();
+    strobeSetMask_ = r.u32();
+    pendingLow_ = r.u32();
+    for (std::uint64_t& v : transitions_) v = r.u64();
+    lastCycle_fJ_ = r.f64();
+    total_fJ_ = r.f64();
+    intervalMarker_fJ_ = r.f64();
+    for (std::uint8_t& v : ownerClass_) v = r.u8();
+    for (std::int8_t& v : ownerSlave_) v = static_cast<std::int8_t>(r.u8());
   }
 
  private:

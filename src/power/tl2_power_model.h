@@ -36,6 +36,7 @@
 
 #include "bus/ec_interfaces.h"
 #include "bus/ec_signals.h"
+#include "ckpt/state_io.h"
 #include "obs/ledger.h"
 #include "power/coeff_table.h"
 #include "power/power_if.h"
@@ -67,6 +68,27 @@ class Tl2PowerModel final : public bus::Tl2Observer, public IntervalPowerIf {
   void attachLedger(obs::EnergyLedger& ledger, int master = 0) {
     ledger_ = &ledger;
     master_ = master;
+  }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): estimated transition
+  /// counters, bit-exact energy accumulators and the attribution
+  /// context of the last phase.
+  static constexpr std::uint32_t kCkptVersion = 1;
+
+  void saveState(ckpt::StateWriter& w) const {
+    for (const double v : estTransitions_) w.f64(v);
+    w.f64(total_fJ_);
+    w.f64(intervalMarker_fJ_);
+    w.u8(static_cast<std::uint8_t>(ctxClass_));
+    w.i64(ctxSlave_);
+  }
+
+  void loadState(ckpt::StateReader& r) {
+    for (double& v : estTransitions_) v = r.f64();
+    total_fJ_ = r.f64();
+    intervalMarker_fJ_ = r.f64();
+    ctxClass_ = static_cast<obs::TxClass>(r.u8());
+    ctxSlave_ = static_cast<int>(r.i64());
   }
 
  private:

@@ -301,4 +301,82 @@ void Clock::resume() {
   }
 }
 
+void Clock::saveState(ckpt::StateWriter& w) const {
+  if (inHighPhase_ || inFallingDispatch_ || !pendingRemoval_.empty()) {
+    throw ckpt::CheckpointError(
+        "Clock::saveState: '" + name_ +
+        "' is mid-cycle or has pending handler removals — checkpoints "
+        "are only legal between cycles");
+  }
+  w.u64(cycle_);
+  w.b(halted_);
+  w.b(scheduled_);
+  w.b(nextEdgeRising_);
+  if (scheduled_) {
+    const Kernel::ActivationState a = kernel_.activationState(periodicId_);
+    if (!a.armed) {
+      throw ckpt::CheckpointError("Clock::saveState: '" + name_ +
+                                  "' is scheduled but not armed");
+    }
+    w.u64(static_cast<std::uint64_t>(a.when));
+    w.i64(a.priority);
+    w.u64(a.seq);
+  }
+  w.u64(static_cast<std::uint64_t>(nextId_));
+  const auto writeHandlers = [&w](const std::vector<Handler>& v) {
+    w.u32(static_cast<std::uint32_t>(v.size()));
+    for (const Handler& h : v) {
+      w.u64(static_cast<std::uint64_t>(h.id));
+      w.u64(h.wake);
+    }
+  };
+  writeHandlers(rising_);
+  writeHandlers(falling_);
+}
+
+void Clock::loadState(ckpt::StateReader& r) {
+  if (inHighPhase_ || inFallingDispatch_ || !pendingRemoval_.empty()) {
+    throw ckpt::CheckpointError("Clock::loadState: '" + name_ +
+                                "' is not at a cycle boundary");
+  }
+  cycle_ = r.u64();
+  halted_ = r.b();
+  scheduled_ = r.b();
+  nextEdgeRising_ = r.b();
+  if (scheduled_) {
+    const Time when = static_cast<Time>(r.u64());
+    const int priority = static_cast<int>(r.i64());
+    const std::uint64_t seq = r.u64();
+    kernel_.restoreActivation(periodicId_, when, priority, seq);
+  }
+  const auto nextId = static_cast<HandlerId>(r.u64());
+  if (nextId != nextId_) {
+    throw ckpt::CheckpointError(
+        "Clock::loadState: '" + name_ +
+        "' handler registration differs from the saved system");
+  }
+  const auto readHandlers = [this, &r](std::vector<Handler>& v) {
+    const std::uint32_t n = r.u32();
+    if (n != v.size()) {
+      throw ckpt::CheckpointError(
+          "Clock::loadState: '" + name_ +
+          "' handler count differs from the saved system");
+    }
+    for (Handler& h : v) {
+      const auto id = static_cast<HandlerId>(r.u64());
+      if (id != h.id) {
+        throw ckpt::CheckpointError(
+            "Clock::loadState: '" + name_ +
+            "' handler order differs from the saved system");
+      }
+      h.wake = r.u64();
+    }
+  };
+  readHandlers(rising_);
+  readHandlers(falling_);
+  minWakeDirty_ = true;
+  parkIndexDirty_ = true;
+  breakRequested_ = false;
+}
+
 } // namespace sct::sim

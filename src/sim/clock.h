@@ -126,6 +126,18 @@ class Clock final : private PeriodicProcess {
   /// out entirely under SCT_OBS=OFF.
   void attachObs(obs::StatsRegistry& reg, obs::TraceRecorder* rec = nullptr);
 
+  /// -- Checkpoint (see ckpt/checkpoint.h) ------------------------------
+  /// Saves the cycle counter, run-control flags, the armed edge
+  /// activation (exact kernel triple) and every handler's park wake
+  /// cycle, keyed by HandlerId. Restoring requires an identically
+  /// constructed clock (same handlers registered in the same order) and
+  /// must happen *after* the owning Kernel's section so the activation
+  /// can be re-armed against the restored scheduler. Only legal between
+  /// cycles (not mid-dispatch).
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
+
  private:
   struct Handler {
     HandlerId id;

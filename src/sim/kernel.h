@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/state_io.h"
 #include "obs/stats.h"
 #include "sim/time.h"
 
@@ -120,6 +121,20 @@ class Kernel {
     return periodics_[id].armed;
   }
 
+  /// Read-only view of an activation slot, for checkpointing: the
+  /// owning process saves the exact (when, priority, seq) triple and
+  /// replays it through restoreActivation() on load.
+  struct ActivationState {
+    Time when;
+    int priority;
+    std::uint64_t seq;
+    bool armed;
+  };
+  ActivationState activationState(PeriodicId id) const {
+    const Periodic& p = periodics_[id];
+    return ActivationState{p.when, p.priority, p.seq, p.armed};
+  }
+
   /// Non-consuming variant of claimSoleActivation(): true when the armed
   /// activation of `id` is the only dispatch candidate. Callers may then
   /// reshape the activation (postponeArmed) before claiming it — the
@@ -205,6 +220,74 @@ class Kernel {
   /// activations disarmed. Registered periodic processes stay
   /// registered; modules holding a kernel reference stay valid.
   void reset();
+
+  /// -- Checkpoint (see ckpt/checkpoint.h) ------------------------------
+  /// The kernel section carries the scheduler's monotonic state: time,
+  /// the tie-break sequence counter and the dispatch count. Checkpoints
+  /// are only legal when the event queue is empty (quiesce point —
+  /// armed periodic activations are saved by their owning Clock, which
+  /// re-arms them on load via restoreActivation()).
+  static constexpr std::uint32_t kCkptVersion = 1;
+
+  void saveState(ckpt::StateWriter& w) const {
+    if (!queue_.empty() || eventQueueOnly_) {
+      throw ckpt::CheckpointError(
+          "Kernel::saveState: checkpoint requires an empty event queue "
+          "and the periodic fast path (quiesce point)");
+    }
+    w.u64(static_cast<std::uint64_t>(now_));
+    w.u64(seq_);
+    w.u64(dispatched_);
+    w.u64(static_cast<std::uint64_t>(periodics_.size()));
+  }
+
+  void loadState(ckpt::StateReader& r) {
+    if (!queue_.empty() || eventQueueOnly_) {
+      throw ckpt::CheckpointError(
+          "Kernel::loadState: restore target must have an empty event "
+          "queue and use the periodic fast path");
+    }
+    // A freshly constructed system has each clock's first activation
+    // armed; those are stale (the owning Clock re-arms the saved one
+    // via restoreActivation() when its own section loads).
+    for (Periodic& p : periodics_) p.armed = false;
+    armedCount_ = 0;
+    now_ = static_cast<Time>(r.u64());
+    seq_ = r.u64();
+    dispatched_ = r.u64();
+    const std::uint64_t periodicCount = r.u64();
+    if (periodicCount != periodics_.size()) {
+      throw ckpt::CheckpointError(
+          "Kernel::loadState: periodic-process count mismatch (snapshot " +
+          std::to_string(periodicCount) + ", this system " +
+          std::to_string(periodics_.size()) +
+          ") — construction order differs from the saved system");
+    }
+  }
+
+  /// Re-arm an activation with the exact (when, priority, seq) triple it
+  /// had when saved — unlike armPeriodic() this does NOT allocate a new
+  /// sequence number, so tie-break order against everything scheduled
+  /// after the restore continues bit-identically. Load the Kernel
+  /// section first: the saved seq must predate the restored counter.
+  void restoreActivation(PeriodicId id, Time when, int priority,
+                         std::uint64_t seq) {
+    Periodic& p = periodics_[id];
+    if (p.proc == nullptr) {
+      throw std::logic_error(
+          "Kernel::restoreActivation: process was removed");
+    }
+    if (p.armed || seq >= seq_ || when < now_) {
+      throw ckpt::CheckpointError(
+          "Kernel::restoreActivation: activation inconsistent with the "
+          "restored scheduler state");
+    }
+    p.when = when;
+    p.priority = priority;
+    p.seq = seq;
+    p.armed = true;
+    ++armedCount_;
+  }
 
  private:
   struct Event {

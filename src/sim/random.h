@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "ckpt/state_io.h"
+
 namespace sct::sim {
 
 class Xoshiro256 {
@@ -51,6 +53,15 @@ class Xoshiro256 {
   }
 
   std::uint32_t next32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): the raw 256-bit generator
+  /// state, so a restored stream continues draw-for-draw.
+  void saveState(ckpt::StateWriter& w) const {
+    for (const std::uint64_t s : state_) w.u64(s);
+  }
+  void loadState(ckpt::StateReader& r) {
+    for (std::uint64_t& s : state_) s = r.u64();
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

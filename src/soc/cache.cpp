@@ -77,4 +77,30 @@ void Cache::invalidateAll() {
   for (Line& l : lines_) l.valid = false;
 }
 
+void Cache::saveState(ckpt::StateWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(lineBytes_));
+  w.u64(static_cast<std::uint64_t>(lines_.size()));
+  for (const Line& l : lines_) {
+    w.b(l.valid);
+    w.u64(l.tagBase);
+    for (const bus::Word v : l.words) w.u32(v);
+  }
+  w.u64(stats_.hits);
+  w.u64(stats_.misses);
+}
+
+void Cache::loadState(ckpt::StateReader& r) {
+  if (r.u64() != lineBytes_ || r.u64() != lines_.size()) {
+    throw ckpt::CheckpointError(
+        "Cache::loadState: geometry differs from the saved cache");
+  }
+  for (Line& l : lines_) {
+    l.valid = r.b();
+    l.tagBase = r.u64();
+    for (bus::Word& v : l.words) v = r.u32();
+  }
+  stats_.hits = r.u64();
+  stats_.misses = r.u64();
+}
+
 } // namespace sct::soc

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bus/ec_types.h"
+#include "ckpt/state_io.h"
 
 namespace sct::soc {
 
@@ -59,6 +60,12 @@ class Cache {
   void invalidateAll();
 
   const CacheStats& stats() const { return stats_; }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): tags, valid bits, cached
+  /// words and hit/miss statistics. The restore target must have the
+  /// same geometry (enforced with a CheckpointError).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   struct Line {

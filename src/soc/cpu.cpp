@@ -71,9 +71,11 @@ void MipsCore::onRisingEdge() {
       }
       const BusStatus s = instrIf_.fetch(ifetchReq_);
       if (s == BusStatus::Ok) {
+        ifetchSubmitted_ = false;
         icache_.fillLine(ifetchReq_.address, ifetchReq_.data.data());
         state_ = State::Running;
       } else if (s == BusStatus::Error) {
+        ifetchSubmitted_ = false;
         halt(true);
       }
       return;
@@ -88,9 +90,11 @@ void MipsCore::onRisingEdge() {
       }
       const BusStatus s = dataIf_.read(loadReq_);
       if (s == BusStatus::Ok) {
+        loadSubmitted_ = false;
         finishLoad();
         state_ = State::Running;
       } else if (s == BusStatus::Error) {
+        loadSubmitted_ = false;
         halt(true);
       }
       return;
@@ -453,6 +457,139 @@ bool MipsCore::startStore(const DecodedInstr& d, Address addr) {
     return true;  // Halted; nothing to retry.
   }
   return false;  // Bus refused the accept (EC limit); retry.
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void saveInstr(ckpt::StateWriter& w, const DecodedInstr& d) {
+  w.u16(static_cast<std::uint16_t>(d.op));
+  w.u8(d.rs);
+  w.u8(d.rt);
+  w.u8(d.rd);
+  w.u8(d.shamt);
+  w.i64(d.simm);
+  w.u32(d.uimm);
+  w.u32(d.target);
+}
+
+void loadInstr(ckpt::StateReader& r, DecodedInstr& d) {
+  d.op = static_cast<Op>(r.u16());
+  d.rs = r.u8();
+  d.rt = r.u8();
+  d.rd = r.u8();
+  d.shamt = r.u8();
+  d.simm = static_cast<std::int32_t>(r.i64());
+  d.uimm = r.u32();
+  d.target = r.u32();
+}
+
+/// Full payload: a not-yet-accepted request (refused while the bus was
+/// draining) must resubmit the identical words after restore.
+void saveReq(ckpt::StateWriter& w, const bus::Tl1Request& q) {
+  w.u8(static_cast<std::uint8_t>(q.kind));
+  w.u64(q.address);
+  w.u8(static_cast<std::uint8_t>(q.size));
+  w.u8(q.beats);
+  for (const Word v : q.data) w.u32(v);
+  w.u8(static_cast<std::uint8_t>(q.result));
+  w.u8(static_cast<std::uint8_t>(q.stage));
+  w.u8(q.beatsDone);
+  w.i64(q.slave);
+  w.u32(q.waitCount);
+  w.u64(q.acceptCycle);
+  w.u64(q.finishCycle);
+}
+
+void loadReq(ckpt::StateReader& r, bus::Tl1Request& q) {
+  q.kind = static_cast<Kind>(r.u8());
+  q.address = r.u64();
+  q.size = static_cast<AccessSize>(r.u8());
+  q.beats = r.u8();
+  for (Word& v : q.data) v = r.u32();
+  q.result = static_cast<BusStatus>(r.u8());
+  q.stage = static_cast<bus::Tl1Stage>(r.u8());
+  q.beatsDone = r.u8();
+  q.slave = static_cast<int>(r.i64());
+  q.waitCount = r.u32();
+  q.acceptCycle = r.u64();
+  q.finishCycle = r.u64();
+}
+
+} // namespace
+
+void MipsCore::saveState(ckpt::StateWriter& w) const {
+  if (ifetchSubmitted_ || loadSubmitted_ || storeBusy_ != 0) {
+    throw ckpt::CheckpointError(
+        "MipsCore::saveState: bus transactions in flight (snapshot only at "
+        "quiesce points; ifetch=" +
+        std::to_string(ifetchSubmitted_) +
+        " load=" + std::to_string(loadSubmitted_) +
+        " storeBusy=" + std::to_string(storeBusy_) + ")");
+  }
+  for (const std::uint32_t v : regs_) w.u32(v);
+  w.u32(hi_);
+  w.u32(lo_);
+  w.u64(pc_);
+  w.u64(epc_);
+  w.b(inIsr_);
+  w.u64(interruptsTaken_);
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.b(haltPending_);
+  w.b(faulted_);
+  icache_.saveState(w);
+  dcache_.saveState(w);
+  saveReq(w, ifetchReq_);
+  saveReq(w, loadReq_);
+  w.b(loadIsCached_);
+  saveInstr(w, loadInstr_);
+  w.u64(loadAddr_);
+  saveInstr(w, pendingStore_);
+  w.u64(pendingStoreAddr_);
+  w.u64(stats_.cycles);
+  w.u64(stats_.instructions);
+  w.u64(stats_.ifetchStallCycles);
+  w.u64(stats_.loadStallCycles);
+  w.u64(stats_.storeStallCycles);
+}
+
+void MipsCore::loadState(ckpt::StateReader& r) {
+  if (ifetchSubmitted_ || loadSubmitted_ || storeBusy_ != 0) {
+    throw ckpt::CheckpointError(
+        "MipsCore::loadState: restore target has bus transactions in "
+        "flight");
+  }
+  for (std::uint32_t& v : regs_) v = r.u32();
+  hi_ = r.u32();
+  lo_ = r.u32();
+  pc_ = r.u64();
+  epc_ = r.u64();
+  inIsr_ = r.b();
+  interruptsTaken_ = r.u64();
+  state_ = static_cast<State>(r.u8());
+  haltPending_ = r.b();
+  faulted_ = r.b();
+  icache_.loadState(r);
+  dcache_.loadState(r);
+  loadReq(r, ifetchReq_);
+  loadReq(r, loadReq_);
+  loadIsCached_ = r.b();
+  loadInstr(r, loadInstr_);
+  loadAddr_ = r.u64();
+  loadInstr(r, pendingStore_);
+  pendingStoreAddr_ = r.u64();
+  stats_.cycles = r.u64();
+  stats_.instructions = r.u64();
+  stats_.ifetchStallCycles = r.u64();
+  stats_.loadStallCycles = r.u64();
+  stats_.storeStallCycles = r.u64();
+  ifetchSubmitted_ = false;
+  loadSubmitted_ = false;
+  storeActive_.fill(false);
+  storeBusy_ = 0;
 }
 
 bool MipsCore::runUntilHalt(std::uint64_t maxCycles) {

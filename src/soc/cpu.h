@@ -23,6 +23,7 @@
 
 #include "bus/ec_interfaces.h"
 #include "bus/ec_request.h"
+#include "ckpt/state_io.h"
 #include "sim/clock.h"
 #include "sim/module.h"
 #include "soc/cache.h"
@@ -99,6 +100,15 @@ class MipsCore final : public sim::Module {
   bus::Address epc() const { return epc_; }
   bool inInterruptHandler() const { return inIsr_; }
   std::uint64_t interruptsTaken() const { return interruptsTaken_; }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): only legal with no bus
+  /// transaction in flight (no submitted fetch/load, empty store
+  /// buffer — guaranteed at a quiesce point). Architectural state,
+  /// caches, the stall micro-state and the pending request payloads
+  /// all travel. The restore target must share the cache geometry.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   enum class State : std::uint8_t {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bus/register_slave.h"
+#include "ckpt/state_io.h"
 #include "sim/clock.h"
 #include "sim/random.h"
 
@@ -30,6 +31,19 @@ class InterruptController final : public bus::RegisterSlave {
 
   void raise(unsigned line) { pending_ |= (1u << line); }
   std::uint32_t pending() const { return pending_ & enable_; }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h).
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    RegisterSlave::saveState(w);
+    w.u32(pending_);
+    w.u32(enable_);
+  }
+  void loadState(ckpt::StateReader& r) {
+    RegisterSlave::loadState(r);
+    pending_ = r.u32();
+    enable_ = r.u32();
+  }
 
  private:
   bus::Word pending_ = 0;
@@ -52,6 +66,27 @@ class Timer final : public bus::RegisterSlave {
   bool matched() const { return (status_ & 1u) != 0; }
   /// Monotonic tick counter (does not wrap with COUNT).
   std::uint64_t ticks() const { return ticks_; }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h).
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    RegisterSlave::saveState(w);
+    w.u32(count_);
+    w.u64(ticks_);
+    w.u32(compare_);
+    w.u32(ctrl_);
+    w.u32(status_);
+    w.u64(prescale_);
+  }
+  void loadState(ckpt::StateReader& r) {
+    RegisterSlave::loadState(r);
+    count_ = r.u32();
+    ticks_ = r.u64();
+    compare_ = r.u32();
+    ctrl_ = r.u32();
+    status_ = r.u32();
+    prescale_ = static_cast<unsigned>(r.u64());
+  }
 
  private:
   void tick();
@@ -85,6 +120,26 @@ class Uart final : public bus::RegisterSlave {
   void injectReceive(std::uint8_t byte) { rx_.push_back(byte); }
   bool txBusy() const { return busyCycles_ > 0; }
 
+  /// -- Checkpoint (see ckpt/checkpoint.h): the transmit log travels so
+  /// a restored run ends with the same transmitted() string as the
+  /// uninterrupted one.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    RegisterSlave::saveState(w);
+    w.u64(busyCycles_);
+    w.str(tx_);
+    w.u64(static_cast<std::uint64_t>(rx_.size()));
+    for (const std::uint8_t b : rx_) w.u8(b);
+  }
+  void loadState(ckpt::StateReader& r) {
+    RegisterSlave::loadState(r);
+    busyCycles_ = static_cast<unsigned>(r.u64());
+    tx_ = r.str();
+    rx_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) rx_.push_back(r.u8());
+  }
+
  private:
   void tick();
 
@@ -107,6 +162,20 @@ class Trng final : public bus::RegisterSlave {
        std::uint64_t seed = 0xC0FFEE);
 
   std::uint64_t wordsDrawn() const { return drawn_; }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): the PRNG state travels, so
+  /// a restored run draws the identical "entropy" stream.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    RegisterSlave::saveState(w);
+    rng_.saveState(w);
+    w.u64(drawn_);
+  }
+  void loadState(ckpt::StateReader& r) {
+    RegisterSlave::loadState(r);
+    rng_.loadState(r);
+    drawn_ = r.u64();
+  }
 
  private:
   sim::Xoshiro256 rng_;
@@ -145,6 +214,26 @@ class CryptoCoprocessor final : public bus::RegisterSlave {
                            std::uint32_t& d1);
   static void decryptBlock(const std::uint32_t key[4], std::uint32_t& d0,
                            std::uint32_t& d1);
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): key, data latches and the
+  /// countdown of an operation in progress.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const {
+    RegisterSlave::saveState(w);
+    w.u64(busyCycles_);
+    w.u32(pendingMode_);
+    for (const bus::Word k : key_) w.u32(k);
+    for (const bus::Word d : data_) w.u32(d);
+    w.u64(operations_);
+  }
+  void loadState(ckpt::StateReader& r) {
+    RegisterSlave::loadState(r);
+    busyCycles_ = static_cast<unsigned>(r.u64());
+    pendingMode_ = r.u32();
+    for (bus::Word& k : key_) k = r.u32();
+    for (bus::Word& d : data_) d = r.u32();
+    operations_ = r.u64();
+  }
 
  private:
   void tick();

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "bus/memory_slave.h"
+#include "ckpt/checkpoint.h"
 #include "sim/clock.h"
 #include "sim/kernel.h"
 #include "sim/time.h"
@@ -106,6 +107,41 @@ class SmartCardSoC {
 
   bool run(std::uint64_t maxCycles = 10'000'000) {
     return cpu_.runUntilHalt(maxCycles);
+  }
+
+  /// Bind every component to `reg` in construction order. Registration
+  /// order is also load order: the Kernel must restore before the clock
+  /// re-arms its edge activation, and the clock before anything whose
+  /// park state it owns. Only instantiable for bus types with
+  /// checkpoint support (bus::Tl1Bus; the ref::GlBus reference has
+  /// none — don't call this on a reference platform).
+  void registerCheckpoint(ckpt::CheckpointRegistry& reg) {
+    reg.add("kernel", kernel_);
+    reg.add("clk", clock_);
+    reg.add("ecbus", bus_);
+    reg.add("rom", rom_);
+    reg.add("ram", ram_);
+    reg.add("eeprom", eeprom_);
+    reg.add("flash", flash_);
+    reg.add("irqc", irqc_);
+    reg.add("timer0", timer_);
+    reg.add("timer1", timer2_);
+    reg.add("uart", uart_);
+    reg.add("trng", trng_);
+    reg.add("crypto", crypto_);
+    reg.add("cpu", cpu_);
+  }
+
+  /// Convenience wrappers over a one-shot registry.
+  ckpt::Snapshot checkpoint() {
+    ckpt::CheckpointRegistry reg;
+    registerCheckpoint(reg);
+    return reg.saveAll();
+  }
+  void restore(const ckpt::Snapshot& snap) {
+    ckpt::CheckpointRegistry reg;
+    registerCheckpoint(reg);
+    reg.loadAll(snap);
   }
 
   sim::Kernel& kernel() { return kernel_; }

@@ -195,6 +195,83 @@ std::uint64_t ReplayMaster::runToCompletion(std::uint64_t maxCycles) {
   return clock_.cycle() - start;
 }
 
+void ReplayMaster::saveState(ckpt::StateWriter& w) const {
+  if (!inFlight_.empty()) {
+    throw ckpt::CheckpointError(
+        "ReplayMaster::saveState: transactions in flight (snapshot only at "
+        "quiesce points)");
+  }
+  // Stats are saved raw (without syncing open stalls): the lazy credit
+  // depends only on stallSyncedThrough_ and the clock cycle, both of
+  // which travel, so the restored master resumes the identical lazy
+  // accounting.
+  w.u64(static_cast<std::uint64_t>(trace_.size()));
+  w.u64(static_cast<std::uint64_t>(nextIssue_));
+  w.u64(static_cast<std::uint64_t>(requests_.size()));
+  for (const Tl1Request& q : requests_) {
+    for (const bus::Word v : q.data) w.u32(v);
+    w.u8(static_cast<std::uint8_t>(q.result));
+    w.u8(static_cast<std::uint8_t>(q.stage));
+    w.u8(q.beatsDone);
+    w.i64(q.slave);
+    w.u32(q.waitCount);
+    w.u64(q.acceptCycle);
+    w.u64(q.finishCycle);
+  }
+  w.b(doneNotified_);
+  w.b(stallOpen_);
+  w.u64(stallSyncedThrough_);
+  w.u64(stats_.completed);
+  w.u64(stats_.errors);
+  w.u64(stats_.issueStallCycles);
+  w.u64(stats_.finishCycle);
+}
+
+void ReplayMaster::loadState(ckpt::StateReader& r) {
+  if (!inFlight_.empty()) {
+    throw ckpt::CheckpointError(
+        "ReplayMaster::loadState: restore target has transactions in flight");
+  }
+  if (r.u64() != trace_.size()) {
+    throw ckpt::CheckpointError(
+        "ReplayMaster::loadState: trace length differs from the saved "
+        "replay");
+  }
+  nextIssue_ = static_cast<std::size_t>(r.u64());
+  // A refused issue leaves one request materialised ahead of
+  // nextIssue_, so the count may exceed the issue cursor by one.
+  const std::size_t count = static_cast<std::size_t>(r.u64());
+  if (count > trace_.size() || count < nextIssue_ ||
+      count > nextIssue_ + 1) {
+    throw ckpt::CheckpointError(
+        "ReplayMaster::loadState: corrupt request materialisation count");
+  }
+  requests_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const TraceEntry& e = trace_[i];
+    Tl1Request& q = requests_.emplace_back();
+    q.kind = e.kind;
+    q.address = e.address;
+    q.size = e.size;
+    q.beats = e.beats;
+    for (bus::Word& v : q.data) v = r.u32();
+    q.result = static_cast<BusStatus>(r.u8());
+    q.stage = static_cast<bus::Tl1Stage>(r.u8());
+    q.beatsDone = r.u8();
+    q.slave = static_cast<int>(r.i64());
+    q.waitCount = r.u32();
+    q.acceptCycle = r.u64();
+    q.finishCycle = r.u64();
+  }
+  doneNotified_ = r.b();
+  stallOpen_ = r.b();
+  stallSyncedThrough_ = r.u64();
+  stats_.completed = r.u64();
+  stats_.errors = r.u64();
+  stats_.issueStallCycles = r.u64();
+  stats_.finishCycle = r.u64();
+}
+
 // ---------------------------------------------------------------------------
 // Tl2ReplayMaster
 // ---------------------------------------------------------------------------
@@ -340,6 +417,89 @@ std::uint64_t Tl2ReplayMaster::runToCompletion(std::uint64_t maxCycles) {
     clock_.runCycles(maxCycles - (clock_.cycle() - start));
   }
   return clock_.cycle() - start;
+}
+
+void Tl2ReplayMaster::saveState(ckpt::StateWriter& w) const {
+  if (!inFlight_.empty()) {
+    throw ckpt::CheckpointError(
+        "Tl2ReplayMaster::saveState: transactions in flight (snapshot only "
+        "at quiesce points)");
+  }
+  w.u64(static_cast<std::uint64_t>(trace_.size()));
+  w.u64(static_cast<std::uint64_t>(nextIssue_));
+  w.u64(static_cast<std::uint64_t>(requests_.size()));
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const Tl2Request& q = requests_[i];
+    w.bytes(buffers_[i].data(), buffers_[i].size());
+    w.u8(static_cast<std::uint8_t>(q.result));
+    w.u8(static_cast<std::uint8_t>(q.stage));
+    w.i64(q.slave);
+    w.u32(q.addrCyclesLeft);
+    w.u32(q.dataCyclesLeft);
+    w.u32(q.addrCycles);
+    w.u32(q.dataCycles);
+    w.u64(q.acceptCycle);
+    w.u64(q.finishCycle);
+    w.u64(q.addrDoneCycle);
+    w.u64(q.dataDoneCycle);
+  }
+  w.b(doneNotified_);
+  w.b(stallOpen_);
+  w.u64(stallSyncedThrough_);
+  w.u64(stats_.completed);
+  w.u64(stats_.errors);
+  w.u64(stats_.issueStallCycles);
+  w.u64(stats_.finishCycle);
+}
+
+void Tl2ReplayMaster::loadState(ckpt::StateReader& r) {
+  if (!inFlight_.empty()) {
+    throw ckpt::CheckpointError(
+        "Tl2ReplayMaster::loadState: restore target has transactions in "
+        "flight");
+  }
+  if (r.u64() != trace_.size()) {
+    throw ckpt::CheckpointError(
+        "Tl2ReplayMaster::loadState: trace length differs from the saved "
+        "replay");
+  }
+  nextIssue_ = static_cast<std::size_t>(r.u64());
+  // See ReplayMaster::loadState: a refused issue may have materialised
+  // one request ahead of the issue cursor.
+  const std::size_t count = static_cast<std::size_t>(r.u64());
+  if (count > trace_.size() || count < nextIssue_ ||
+      count > nextIssue_ + 1) {
+    throw ckpt::CheckpointError(
+        "Tl2ReplayMaster::loadState: corrupt request materialisation count");
+  }
+  requests_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const TraceEntry& e = trace_[i];
+    Tl2Request& q = requests_.emplace_back();
+    q.kind = e.kind;
+    q.address = e.address;
+    q.bytes = e.byteCount();
+    q.data = buffers_[i].data();
+    r.bytes(buffers_[i].data(), buffers_[i].size());
+    q.result = static_cast<BusStatus>(r.u8());
+    q.stage = static_cast<bus::Tl2Stage>(r.u8());
+    q.slave = static_cast<int>(r.i64());
+    q.addrCyclesLeft = r.u32();
+    q.dataCyclesLeft = r.u32();
+    q.addrCycles = r.u32();
+    q.dataCycles = r.u32();
+    q.acceptCycle = r.u64();
+    q.finishCycle = r.u64();
+    q.addrDoneCycle = r.u64();
+    q.dataDoneCycle = r.u64();
+  }
+  doneNotified_ = r.b();
+  stallOpen_ = r.b();
+  stallSyncedThrough_ = r.u64();
+  stats_.completed = r.u64();
+  stats_.errors = r.u64();
+  stats_.issueStallCycles = r.u64();
+  stats_.finishCycle = r.u64();
 }
 
 } // namespace sct::trace

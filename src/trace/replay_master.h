@@ -17,6 +17,7 @@
 
 #include "bus/ec_interfaces.h"
 #include "bus/ec_request.h"
+#include "ckpt/state_io.h"
 #include "obs/stats.h"
 #include "sim/clock.h"
 #include "sim/module.h"
@@ -66,6 +67,14 @@ class ReplayMaster final : public sim::Module {
   void publishObs(obs::StatsRegistry& reg) const {
     publishReplayObs(reg, name(), stats());
   }
+
+  /// -- Checkpoint (see ckpt/checkpoint.h): only legal with nothing in
+  /// flight (quiesced bus). Replay progress, the materialised request
+  /// payloads (read results included) and the lazy stall bookkeeping
+  /// travel; the restore target must be built over the same trace.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   void onRisingEdge();
@@ -122,6 +131,11 @@ class Tl2ReplayMaster final : public sim::Module {
   void publishObs(obs::StatsRegistry& reg) const {
     publishReplayObs(reg, name(), stats());
   }
+
+  /// -- Checkpoint: see ReplayMaster. The result buffers travel too.
+  static constexpr std::uint32_t kCkptVersion = 1;
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   void onRisingEdge();

@@ -1,0 +1,185 @@
+// On-disk checkpoint format stability, pinned by a golden file.
+//
+// tests/ckpt/golden_boot.sctck is the checkpoint of a deterministic
+// SmartCardSoC boot (firmware below, run to halt). The test re-runs the
+// boot in-process and requires the freshly produced snapshot to be
+// byte-identical to the golden file — any accidental layout change in
+// any component's saveState breaks this test instead of silently
+// orphaning previously written checkpoints. Deliberate layout changes
+// bump the component's kCkptVersion (making old files fail loudly with
+// a version-skew CheckpointError, also tested here) and regenerate the
+// golden with:
+//   SCT_REGEN_GOLDEN=1 ./test_ckpt --gtest_filter='Golden*'
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bus/tl1_bus.h"
+#include "ckpt/checkpoint.h"
+#include "soc/assembler.h"
+#include "soc/smartcard.h"
+
+namespace sct {
+namespace {
+
+using Tl1Soc = soc::SmartCardSoC<bus::Tl1Bus>;
+
+const std::string kGoldenPath =
+    std::string(SCT_TEST_DATA_DIR) + "/ckpt/golden_boot.sctck";
+
+bool regenRequested() {
+  const char* env = std::getenv("SCT_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Deterministic boot firmware: greet over the UART, checksum the first
+// ROM words into RAM, enable timer 0 (so the snapshot carries a LIVE
+// peripheral that keeps counting after restore), halt.
+constexpr const char* kBootProgram = R"(
+    li   $s0, 0x10000200   # UART base
+    addiu $t0, $zero, 0x42 # 'B'
+    jal  putc
+    addiu $t0, $zero, 0x54 # 'T'
+    jal  putc
+    li   $s1, 0x00000000   # ROM base
+    addiu $t2, $zero, 0
+    addiu $t3, $zero, 32
+  sum:
+    lw   $t4, 0($s1)
+    addu $t2, $t2, $t4
+    addiu $s1, $s1, 4
+    addiu $t3, $t3, -1
+    bne  $t3, $zero, sum
+    li   $s2, 0x08000000   # RAM base
+    sw   $t2, 0($s2)
+    li   $s3, 0x10000100   # Timer 0 base
+    addiu $t5, $zero, 1
+    sw   $t5, 8($s3)       # CTRL.enable
+    break
+  putc:
+    lw   $t1, 4($s0)       # STATUS
+    andi $t1, $t1, 1
+    beq  $t1, $zero, putc
+    sw   $t0, 0($s0)
+    jr   $ra
+)";
+
+/// Boot to halt; the halted core is deeply quiesced, so the checkpoint
+/// precondition holds by construction.
+void boot(Tl1Soc& soc) {
+  soc.loadProgram(
+      soc::assemble(kBootProgram, soc::memmap::kRomBase));
+  ASSERT_TRUE(soc.run());
+  ASSERT_FALSE(soc.cpu().faulted());
+  ASSERT_EQ(soc.uart().transmitted(), "BT");
+}
+
+TEST(GoldenCheckpoint, BootSnapshotMatchesGoldenFile) {
+  Tl1Soc soc{soc::SocConfig{}};
+  boot(soc);
+  const ckpt::Snapshot fresh = soc.checkpoint();
+
+  if (regenRequested()) {
+    fresh.saveFile(kGoldenPath);
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+
+  ckpt::Snapshot golden;
+  try {
+    golden = ckpt::Snapshot::loadFile(kGoldenPath);
+  } catch (const ckpt::CheckpointError& e) {
+    FAIL() << e.what()
+           << " — regenerate with SCT_REGEN_GOLDEN=1 if this is a new "
+              "checkout";
+  }
+
+  // Byte-identical framing: same sections, same versions, same payloads.
+  ASSERT_EQ(golden.sections().size(), fresh.sections().size());
+  for (std::size_t i = 0; i < fresh.sections().size(); ++i) {
+    const auto& g = golden.sections()[i];
+    const auto& f = fresh.sections()[i];
+    EXPECT_EQ(g.tag, f.tag) << "section " << i;
+    EXPECT_EQ(g.version, f.version)
+        << "section '" << f.tag
+        << "': golden written by a different layout version";
+    EXPECT_EQ(g.payload, f.payload)
+        << "section '" << f.tag
+        << "' layout drifted — bump its kCkptVersion and regenerate "
+           "(SCT_REGEN_GOLDEN=1)";
+  }
+  EXPECT_EQ(golden.serialize(), fresh.serialize());
+}
+
+TEST(GoldenCheckpoint, GoldenRestoresAndContinues) {
+  if (regenRequested()) GTEST_SKIP() << "regen run";
+
+  // Reference: boot in-process and keep running 500 post-halt cycles
+  // (the enabled timer keeps counting; the halted core sits still).
+  Tl1Soc ref{soc::SocConfig{}};
+  boot(ref);
+  ref.clock().runCycles(500);
+
+  // Restored platform: fresh SoC with the same firmware image, state
+  // overwritten from the golden file, then the same 500 cycles.
+  Tl1Soc soc{soc::SocConfig{}};
+  soc.loadProgram(soc::assemble(kBootProgram, soc::memmap::kRomBase));
+  const ckpt::Snapshot golden = ckpt::Snapshot::loadFile(kGoldenPath);
+  soc.restore(golden);
+
+  EXPECT_EQ(soc.uart().transmitted(), "BT");
+  EXPECT_EQ(soc.cpu().pc(), ref.cpu().pc());
+  EXPECT_TRUE(soc.cpu().halted());
+  soc.clock().runCycles(500);
+
+  EXPECT_EQ(soc.clock().cycle(), ref.clock().cycle());
+  for (unsigned i = 0; i < 32; ++i) {
+    EXPECT_EQ(soc.cpu().reg(i), ref.cpu().reg(i)) << "reg " << i;
+  }
+  EXPECT_EQ(soc.ram().peekWord(soc::memmap::kRamBase),
+            ref.ram().peekWord(soc::memmap::kRamBase));
+  EXPECT_EQ(soc.ram().imageDigest(), ref.ram().imageDigest());
+  EXPECT_EQ(soc.rom().imageDigest(), ref.rom().imageDigest());
+  EXPECT_EQ(soc.timer().count(), ref.timer().count());
+  EXPECT_GT(soc.timer().count(), 0u) << "timer not live after restore";
+  EXPECT_EQ(soc.cpu().stats().cycles, ref.cpu().stats().cycles);
+  EXPECT_EQ(soc.cpu().stats().instructions, ref.cpu().stats().instructions);
+}
+
+TEST(GoldenCheckpoint, VersionSkewIsRejected) {
+  if (regenRequested()) GTEST_SKIP() << "regen run";
+
+  // A build whose CPU layout moved on (kCkptVersion + 1) must refuse
+  // the old file by name, not misparse it.
+  Tl1Soc soc{soc::SocConfig{}};
+  soc.loadProgram(soc::assemble(kBootProgram, soc::memmap::kRomBase));
+  const ckpt::Snapshot golden = ckpt::Snapshot::loadFile(kGoldenPath);
+
+  ckpt::CheckpointRegistry reg;
+  reg.add("kernel", soc.kernel());
+  reg.add("clk", soc.clock());
+  reg.add("ecbus", soc.bus());
+  reg.add("rom", soc.rom());
+  reg.add("ram", soc.ram());
+  reg.add("eeprom", soc.eeprom());
+  reg.add("flash", soc.flash());
+  reg.add("irqc", soc.irqController());
+  reg.add("timer0", soc.timer());
+  reg.add("timer1", soc.timer2());
+  reg.add("uart", soc.uart());
+  reg.add("trng", soc.trng());
+  reg.add("crypto", soc.crypto());
+  reg.add("cpu", soc.cpu(), soc::MipsCore::kCkptVersion + 1);
+  try {
+    reg.loadAll(golden);
+    FAIL() << "expected CheckpointError";
+  } catch (const ckpt::CheckpointError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version skew"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cpu"), std::string::npos) << msg;
+  }
+}
+
+} // namespace
+} // namespace sct

@@ -1,0 +1,282 @@
+// Unit tests for the checkpoint byte layer and the snapshot container:
+// StateWriter/StateReader round-trips (bit-exact doubles included), the
+// framed on-disk format, and the registry's failure modes — missing
+// tags, version skew, leftover payload, truncation — each of which must
+// surface as a catchable CheckpointError, never UB.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/state_io.h"
+
+namespace sct::ckpt {
+namespace {
+
+TEST(StateIo, ScalarRoundTrip) {
+  StateWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.b(true);
+  w.b(false);
+  w.str("ecbus");
+  const std::uint8_t raw[3] = {1, 2, 3};
+  w.bytes(raw, sizeof(raw));
+
+  StateReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.str(), "ecbus");
+  std::uint8_t out[3] = {};
+  r.bytes(out, sizeof(out));
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(StateIo, DoublesRoundTripBitExact) {
+  // The restore-equivalence suite compares femtojoule accumulators with
+  // operator==, so the encoding must preserve the exact bit pattern —
+  // including -0.0 (sign distinguishes it from +0.0 only bitwise) and
+  // NaN payloads (never equal by value).
+  const double values[] = {
+      0.0, -0.0, 1.0, -1.0, 0.1, 1e-300, 1e300,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::quiet_NaN(),
+  };
+  StateWriter w;
+  for (const double v : values) w.f64(v);
+  StateReader r(w.buffer());
+  for (const double v : values) {
+    const double back = r.f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v));
+  }
+  EXPECT_TRUE(r.done());
+}
+
+TEST(StateIo, EncodingIsLittleEndian) {
+  StateWriter w;
+  w.u32(0x0A0B0C0D);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x0D);
+  EXPECT_EQ(w.buffer()[1], 0x0C);
+  EXPECT_EQ(w.buffer()[2], 0x0B);
+  EXPECT_EQ(w.buffer()[3], 0x0A);
+}
+
+TEST(StateIo, TruncatedReadThrows) {
+  StateWriter w;
+  w.u16(7);
+  StateReader r(w.buffer());
+  EXPECT_THROW((void)r.u32(), CheckpointError);
+  StateReader r2(w.buffer());
+  (void)r2.u16();
+  EXPECT_TRUE(r2.done());
+  EXPECT_THROW((void)r2.u8(), CheckpointError);
+}
+
+TEST(StateIo, TruncatedStringThrows) {
+  StateWriter w;
+  w.u32(100);  // Length prefix promising more bytes than exist.
+  w.u8('x');
+  StateReader r(w.buffer());
+  EXPECT_THROW((void)r.str(), CheckpointError);
+}
+
+TEST(Snapshot, SerializeDeserializeRoundTrip) {
+  Snapshot snap;
+  snap.addSection("clk", 1, {1, 2, 3});
+  snap.addSection("bus", 3, {});
+  snap.addSection("cpu", 2, {0xFF});
+
+  const std::vector<std::uint8_t> bytes = snap.serialize();
+  const Snapshot back = Snapshot::deserialize(bytes);
+  ASSERT_EQ(back.sections().size(), 3u);
+  const Snapshot::Section* clk = back.find("clk");
+  ASSERT_NE(clk, nullptr);
+  EXPECT_EQ(clk->version, 1u);
+  EXPECT_EQ(clk->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  const Snapshot::Section* bus = back.find("bus");
+  ASSERT_NE(bus, nullptr);
+  EXPECT_EQ(bus->version, 3u);
+  EXPECT_TRUE(bus->payload.empty());
+  EXPECT_EQ(back.find("nope"), nullptr);
+}
+
+TEST(Snapshot, DuplicateTagRejected) {
+  Snapshot snap;
+  snap.addSection("clk", 1, {});
+  EXPECT_THROW(snap.addSection("clk", 2, {}), CheckpointError);
+}
+
+TEST(Snapshot, BadMagicRejected) {
+  Snapshot snap;
+  snap.addSection("clk", 1, {9});
+  std::vector<std::uint8_t> bytes = snap.serialize();
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(Snapshot::deserialize(bytes), CheckpointError);
+}
+
+TEST(Snapshot, UnsupportedFormatVersionRejected) {
+  Snapshot snap;
+  snap.addSection("clk", 1, {9});
+  std::vector<std::uint8_t> bytes = snap.serialize();
+  bytes[sizeof(kMagic)] += 1;  // u32 format version, little-endian.
+  try {
+    Snapshot::deserialize(bytes);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("format version"),
+              std::string::npos);
+  }
+}
+
+TEST(Snapshot, TrailingBytesRejected) {
+  Snapshot snap;
+  snap.addSection("clk", 1, {9});
+  std::vector<std::uint8_t> bytes = snap.serialize();
+  bytes.push_back(0);
+  EXPECT_THROW(Snapshot::deserialize(bytes), CheckpointError);
+}
+
+TEST(Snapshot, TruncatedFileRejected) {
+  Snapshot snap;
+  snap.addSection("clk", 1, {1, 2, 3, 4});
+  std::vector<std::uint8_t> bytes = snap.serialize();
+  bytes.resize(bytes.size() - 2);
+  EXPECT_THROW(Snapshot::deserialize(bytes), CheckpointError);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  Snapshot snap;
+  snap.addSection("clk", 1, {4, 5, 6});
+  const std::string path =
+      ::testing::TempDir() + "/sct_ckpt_file_roundtrip.sctck";
+  snap.saveFile(path);
+  const Snapshot back = Snapshot::loadFile(path);
+  const Snapshot::Section* s = back.find("clk");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->payload, (std::vector<std::uint8_t>{4, 5, 6}));
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileThrows) {
+  EXPECT_THROW(Snapshot::loadFile("/nonexistent/dir/x.sctck"),
+               CheckpointError);
+}
+
+/// Minimal checkpointable value for registry tests.
+struct Counter {
+  static constexpr std::uint32_t kCkptVersion = 2;
+  std::uint64_t value = 0;
+  void saveState(StateWriter& w) const { w.u64(value); }
+  void loadState(StateReader& r) { value = r.u64(); }
+};
+
+TEST(Registry, SaveAllLoadAllRoundTrip) {
+  Counter a{.value = 7};
+  Counter b{.value = 9};
+  CheckpointRegistry reg;
+  reg.add("a", a);
+  reg.add("b", b);
+  const Snapshot snap = reg.saveAll();
+
+  Counter a2, b2;
+  CheckpointRegistry reg2;
+  reg2.add("a", a2);
+  reg2.add("b", b2);
+  reg2.loadAll(snap);
+  EXPECT_EQ(a2.value, 7u);
+  EXPECT_EQ(b2.value, 9u);
+}
+
+TEST(Registry, DuplicateComponentTagRejected) {
+  Counter a, b;
+  CheckpointRegistry reg;
+  reg.add("a", a);
+  EXPECT_THROW(reg.add("a", b), CheckpointError);
+}
+
+TEST(Registry, MissingSectionRejected) {
+  Counter a;
+  CheckpointRegistry reg;
+  reg.add("a", a);
+  const Snapshot snap = reg.saveAll();
+
+  Counter a2, b2;
+  CheckpointRegistry reg2;
+  reg2.add("a", a2);
+  reg2.add("b", b2);
+  try {
+    reg2.loadAll(snap);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("'b'"), std::string::npos);
+  }
+}
+
+TEST(Registry, VersionSkewRejected) {
+  Counter a;
+  CheckpointRegistry reg;
+  reg.add("a", a);  // Saved as kCkptVersion = 2.
+  const Snapshot snap = reg.saveAll();
+
+  Counter a2;
+  CheckpointRegistry reg2;
+  reg2.add("a", a2, /*version=*/3);  // This "build" expects v3.
+  try {
+    reg2.loadAll(snap);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version skew"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v3"), std::string::npos) << msg;
+  }
+}
+
+/// Reads one byte fewer than Counter writes: loadAll must flag the
+/// leftover payload instead of silently accepting a layout drift.
+struct ShortReader {
+  static constexpr std::uint32_t kCkptVersion = 2;
+  void saveState(StateWriter& w) const { w.u64(0); }
+  void loadState(StateReader& r) { (void)r.u32(); }
+};
+
+TEST(Registry, LeftoverPayloadRejected) {
+  Counter a{.value = 1};
+  CheckpointRegistry reg;
+  reg.add("a", a);
+  const Snapshot snap = reg.saveAll();
+
+  ShortReader s;
+  CheckpointRegistry reg2;
+  reg2.add("a", s);
+  try {
+    reg2.loadAll(snap);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("unread payload"),
+              std::string::npos);
+  }
+}
+
+} // namespace
+} // namespace sct::ckpt

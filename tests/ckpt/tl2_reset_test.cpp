@@ -1,0 +1,242 @@
+// Tl2Bus::reset() regression: after a reset, the bus is
+// indistinguishable from one constructed at that instant. A workload
+// replayed after reset must produce the same statistics, per-request
+// timing, read payloads and memory effects as the same workload on a
+// fresh platform — in both process modes, and through the
+// Tl2MasterBridge (whose reset() is the companion teardown).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "../testbench.h"
+#include "bus/memory_slave.h"
+#include "bus/tl2_bridge.h"
+#include "bus/tl2_bus.h"
+#include "trace/replay_master.h"
+#include "trace/workloads.h"
+
+namespace sct {
+namespace {
+
+using trace::BusTrace;
+
+trace::MixRatios fullMix() {
+  trace::MixRatios mix;
+  mix.instrFetch = 1;
+  return mix;
+}
+
+/// Back-to-back issue (every issueCycle == 0), so the replay schedule
+/// is start-cycle independent: the same trace issues identically on a
+/// fresh platform at cycle 0 and on a reset platform at cycle R.
+BusTrace backToBack(std::uint64_t seed, std::size_t n) {
+  return trace::randomMix(seed, n, testbench::bothRegions(), fullMix(),
+                          /*issueGapMax=*/0);
+}
+
+struct Platform {
+  sim::Kernel kernel;
+  sim::Clock clk{kernel, "clk", 10};
+  bus::Tl2Bus bus{clk, "ecbus_tl2"};
+  bus::MemorySlave fast{"ram", testbench::fastCtl()};
+  bus::MemorySlave waited{"eeprom", testbench::waitedCtl()};
+
+  explicit Platform(bool perCycle) {
+    bus.setPerCycleProcess(perCycle);
+    bus.attach(fast);
+    bus.attach(waited);
+    fillImages();
+  }
+
+  /// (Re)load the pristine memory contents, so a post-reset replay sees
+  /// the same data a fresh platform would.
+  void fillImages() {
+    trace::fillRealistic(fast.data(), fast.sizeBytes(), 11);
+    trace::fillRealistic(waited.data(), waited.sizeBytes(), 22);
+  }
+};
+
+struct RunResult {
+  bus::Tl2BusStats stats;
+  trace::ReplayStats replay;
+  std::vector<unsigned> addrCycles;
+  std::vector<unsigned> dataCycles;
+  std::vector<bus::BusStatus> results;
+  std::vector<std::uint64_t> relAccept;  ///< acceptCycle - run base.
+  std::vector<std::uint64_t> relFinish;
+  std::vector<std::array<std::uint8_t, 16>> readData;
+  std::uint64_t fastDigest = 0;
+  std::uint64_t waitedDigest = 0;
+};
+
+/// Replay `t` on `p` from its current cycle; cycles are reported
+/// relative to the run base so fresh and post-reset runs compare.
+RunResult replay(Platform& p, const BusTrace& t) {
+  const std::uint64_t base = p.clk.cycle();
+  trace::Tl2ReplayMaster master(p.clk, "master", p.bus, t);
+  master.runToCompletion();
+  EXPECT_TRUE(master.done());
+  RunResult r;
+  r.stats = p.bus.stats();
+  r.replay = master.stats();
+  r.replay.finishCycle -= base;
+  for (const bus::Tl2Request& q : master.requests()) {
+    r.addrCycles.push_back(q.addrCycles);
+    r.dataCycles.push_back(q.dataCycles);
+    r.results.push_back(q.result);
+    r.relAccept.push_back(q.acceptCycle - base);
+    r.relFinish.push_back(q.finishCycle - base);
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != bus::Kind::Write) r.readData.push_back(master.buffer(i));
+  }
+  r.fastDigest = p.fast.imageDigest();
+  r.waitedDigest = p.waited.imageDigest();
+  return r;
+}
+
+void expectEqual(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.busyCycles, b.stats.busyCycles);
+  EXPECT_EQ(a.stats.instrTransactions, b.stats.instrTransactions);
+  EXPECT_EQ(a.stats.readTransactions, b.stats.readTransactions);
+  EXPECT_EQ(a.stats.writeTransactions, b.stats.writeTransactions);
+  EXPECT_EQ(a.stats.errors, b.stats.errors);
+  EXPECT_EQ(a.stats.bytesRead, b.stats.bytesRead);
+  EXPECT_EQ(a.stats.bytesWritten, b.stats.bytesWritten);
+  EXPECT_EQ(a.replay.completed, b.replay.completed);
+  EXPECT_EQ(a.replay.errors, b.replay.errors);
+  EXPECT_EQ(a.replay.issueStallCycles, b.replay.issueStallCycles);
+  EXPECT_EQ(a.replay.finishCycle, b.replay.finishCycle);
+  EXPECT_EQ(a.addrCycles, b.addrCycles);
+  EXPECT_EQ(a.dataCycles, b.dataCycles);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.relAccept, b.relAccept);
+  EXPECT_EQ(a.relFinish, b.relFinish);
+  EXPECT_EQ(a.readData, b.readData);
+  EXPECT_EQ(a.fastDigest, b.fastDigest);
+  EXPECT_EQ(a.waitedDigest, b.waitedDigest);
+}
+
+class Tl2ResetModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(Tl2ResetModeTest, ResetEquivalentToFreshConstruction) {
+  const bool perCycle = GetParam();
+  const BusTrace warmup = backToBack(100, 200);
+  const BusTrace probe = backToBack(200, 250);
+
+  // Fresh reference: only the probe workload, from construction.
+  Platform fresh(perCycle);
+  const RunResult want = replay(fresh, probe);
+
+  // Warmed platform: run a different workload first, reset, restore the
+  // memory images, replay the probe.
+  Platform warmed(perCycle);
+  (void)replay(warmed, warmup);
+  ASSERT_TRUE(warmed.bus.idle());
+  warmed.bus.reset();
+  warmed.fillImages();
+
+  // The reset zeroes the statistics immediately.
+  EXPECT_EQ(warmed.bus.stats().cycles, 0u);
+  EXPECT_EQ(warmed.bus.stats().busyCycles, 0u);
+  EXPECT_EQ(warmed.bus.stats().transactions(), 0u);
+  EXPECT_EQ(warmed.bus.stats().bytesRead, 0u);
+  EXPECT_EQ(warmed.bus.stats().bytesWritten, 0u);
+
+  const RunResult got = replay(warmed, probe);
+  expectEqual(got, want);
+}
+
+TEST_P(Tl2ResetModeTest, RepeatedResetsStayEquivalent) {
+  const bool perCycle = GetParam();
+  const BusTrace probe = backToBack(300, 150);
+
+  Platform fresh(perCycle);
+  const RunResult want = replay(fresh, probe);
+
+  Platform cycled(perCycle);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    if (round != 0) {
+      cycled.bus.reset();
+      cycled.fillImages();
+    }
+    const RunResult got = replay(cycled, probe);
+    expectEqual(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessModes, Tl2ResetModeTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "PerCycle" : "EventDriven";
+                         });
+
+TEST(Tl2Reset, ResetWhileBusyThrows) {
+  Platform p(/*perCycle=*/false);
+  const BusTrace t = backToBack(400, 40);
+  trace::Tl2ReplayMaster master(p.clk, "master", p.bus, t);
+  master.runToCompletion(/*maxCycles=*/3);
+  ASSERT_FALSE(p.bus.idle());
+  EXPECT_THROW(p.bus.reset(), std::logic_error);
+  // Drain, then the reset is legal again.
+  master.runToCompletion();
+  ASSERT_TRUE(p.bus.idle());
+  EXPECT_NO_THROW(p.bus.reset());
+}
+
+TEST(Tl2Reset, BridgedResetEquivalentToFresh) {
+  // The layer-1 view through the Tl2MasterBridge: bridge.reset() +
+  // bus.reset() must equal a freshly bridged bus.
+  const BusTrace probe = backToBack(500, 200);
+
+  Platform fresh(/*perCycle=*/false);
+  bus::Tl2MasterBridge freshBridge(fresh.bus);
+  std::uint64_t wantFinish = 0;
+  std::vector<bus::Word> wantWords;
+  {
+    trace::ReplayMaster m(fresh.clk, "m", freshBridge, freshBridge, probe);
+    m.runToCompletion();
+    EXPECT_TRUE(m.done());
+    wantFinish = m.stats().finishCycle;
+    for (const auto& q : m.requests()) wantWords.push_back(q.data[0]);
+  }
+  const bus::Tl2BusStats want = fresh.bus.stats();
+
+  Platform warmed(/*perCycle=*/false);
+  bus::Tl2MasterBridge bridge(warmed.bus);
+  {
+    trace::ReplayMaster m(warmed.clk, "m", bridge, bridge, backToBack(600, 120));
+    m.runToCompletion();
+    EXPECT_TRUE(m.done());
+  }
+  bridge.sync();
+  ASSERT_TRUE(bridge.drained());
+  ASSERT_TRUE(warmed.bus.idle());
+  bridge.reset();
+  warmed.bus.reset();
+  warmed.fillImages();
+
+  const std::uint64_t base = warmed.clk.cycle();
+  std::vector<bus::Word> gotWords;
+  trace::ReplayMaster m(warmed.clk, "m", bridge, bridge, probe);
+  m.runToCompletion();
+  EXPECT_TRUE(m.done());
+  EXPECT_EQ(m.stats().finishCycle - base, wantFinish);
+  for (const auto& q : m.requests()) gotWords.push_back(q.data[0]);
+  EXPECT_EQ(gotWords, wantWords);
+
+  const bus::Tl2BusStats got = warmed.bus.stats();
+  EXPECT_EQ(got.cycles, want.cycles);
+  EXPECT_EQ(got.busyCycles, want.busyCycles);
+  EXPECT_EQ(got.transactions(), want.transactions());
+  EXPECT_EQ(got.bytesRead, want.bytesRead);
+  EXPECT_EQ(got.bytesWritten, want.bytesWritten);
+}
+
+} // namespace
+} // namespace sct

@@ -65,6 +65,8 @@ struct RunResult {
   std::vector<bus::Word> payloads;
   std::vector<std::uint8_t> fastImage;
   std::vector<std::uint8_t> waitedImage;
+  std::uint64_t fastDigest = 0;
+  std::uint64_t waitedDigest = 0;
 };
 
 RunResult runSchedule(std::uint64_t workloadSeed, Fidelity initial,
@@ -104,6 +106,8 @@ RunResult runSchedule(std::uint64_t workloadSeed, Fidelity initial,
   }
   r.fastImage.assign(fast.data(), fast.data() + kImageBytes);
   r.waitedImage.assign(waited.data(), waited.data() + kImageBytes);
+  r.fastDigest = fast.imageDigest();
+  r.waitedDigest = waited.imageDigest();
   return r;
 }
 
@@ -150,6 +154,9 @@ TEST(HybridFuzz, AnySwitchScheduleConservesTheWorkload) {
       EXPECT_EQ(r.payloads, ref.payloads);
       EXPECT_EQ(r.fastImage, ref.fastImage);
       EXPECT_EQ(r.waitedImage, ref.waitedImage);
+      EXPECT_EQ(r.fastDigest, ref.fastDigest)
+          << "imageDigest disagrees with the byte-for-byte comparison";
+      EXPECT_EQ(r.waitedDigest, ref.waitedDigest);
       anySwitched = anySwitched || r.switches > 0;
     }
     EXPECT_TRUE(anySwitched) << "fuzz never exercised a mid-run switch";
