@@ -321,6 +321,67 @@ void Fork_Sweep(benchmark::State& state) {
                           static_cast<std::int64_t>(variants));
 }
 
+// ROADMAP item 2: the ISS dispatch loop itself. The same CPU-bound
+// firmware (icache-resident ALU/branch kernel with a load/store per
+// outer trip) runs once with the decoded-block frontend — the
+// production default — and once with plain decode-on-fetch, the seed
+// baseline. items_per_second counts executed instructions, and
+// scripts/bench_table3.sh records the ratio as
+// speedup.decoded_block_over_seed.
+constexpr const char* kIssFirmware = R"(
+    li    $s2, 0x08000000    # RAM base
+    lw    $t9, 0($s2)        # outer trip count, poked by the harness
+    addiu $t0, $zero, 0
+    addiu $t1, $zero, 1
+  outer:
+    addiu $t3, $zero, 8
+  inner:
+    addu  $t0, $t0, $t1
+    xor   $t1, $t1, $t0
+    sll   $t4, $t0, 3
+    srl   $t5, $t1, 2
+    or    $t0, $t4, $t5
+    slt   $t6, $t0, $t1
+    addiu $t3, $t3, -1
+    bne   $t3, $zero, inner
+    lw    $t7, 4($s2)
+    addu  $t0, $t0, $t7
+    sw    $t0, 4($s2)
+    addiu $t9, $t9, -1
+    bne   $t9, $zero, outer
+    sw    $t0, 8($s2)
+    break
+)";
+
+const sct::soc::AssembledProgram& issFirmware() {
+  static const auto prog =
+      sct::soc::assemble(kIssFirmware, soc::memmap::kRomBase);
+  return prog;
+}
+
+void runIssBench(benchmark::State& state, bool decodedBlocks) {
+  std::int64_t instructions = 0;
+  for (auto _ : state) {
+    soc::SocConfig cfg;
+    cfg.cpu.decodedBlockCache = decodedBlocks;
+    SweepSoc s{cfg};
+    s.loadProgram(issFirmware());
+    s.ram().pokeWord(soc::memmap::kRamBase, tinyMode() ? 100 : 3000);
+    s.run();
+    benchmark::DoNotOptimize(s.ram().peekWord(soc::memmap::kRamBase + 8));
+    instructions += static_cast<std::int64_t>(s.cpu().stats().instructions);
+  }
+  state.SetItemsProcessed(instructions);
+}
+
+void ISS_DecodedBlocks(benchmark::State& state) {
+  runIssBench(state, /*decodedBlocks=*/true);
+}
+
+void ISS_DecodeOnFetch(benchmark::State& state) {
+  runIssBench(state, /*decodedBlocks=*/false);
+}
+
 // The layer-0 reference for context (the paper cites a ~100x TLM
 // speed-up over RTL from related work; our layer 0 is itself a fast
 // C++ model, so the gap is smaller but the ordering holds).
@@ -345,6 +406,8 @@ BENCHMARK(TL1_SpaDpa);
 BENCHMARK(Hybrid_SpaDpa);
 BENCHMARK(Boot_Sweep);
 BENCHMARK(Fork_Sweep);
+BENCHMARK(ISS_DecodedBlocks);
+BENCHMARK(ISS_DecodeOnFetch);
 BENCHMARK(Layer0_Reference);
 
 } // namespace

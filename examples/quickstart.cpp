@@ -41,10 +41,9 @@ int main() {
     refBus.addFrameListener(characterizer);
 
     const trace::TargetRegion region{0x0000, 0x4000, true, true, true};
-    trace::ReplayMaster trainer(
-        clock, "trainer", refBus, refBus,
-        trace::characterizationTrace(/*seed=*/1, /*count=*/500,
-                                     std::vector{region}));
+    const trace::BusTrace training = trace::characterizationTrace(
+        /*seed=*/1, /*count=*/500, std::vector{region});
+    trace::ReplayMaster trainer(clock, "trainer", refBus, refBus, training);
     trainer.runToCompletion();
     table = characterizer.buildTable();
     std::printf("characterized %u signals; EB_A = %.1f fJ/transition\n",

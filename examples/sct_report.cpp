@@ -24,6 +24,8 @@
 #include "ref/gl_bus.h"
 #include "sim/clock.h"
 #include "sim/kernel.h"
+#include "soc/assembler.h"
+#include "soc/smartcard.h"
 #include "trace/replay_master.h"
 #include "trace/report.h"
 #include "trace/workloads.h"
@@ -68,8 +70,9 @@ power::SignalEnergyTable characterize() {
   refBus.attach(eeprom);
   power::Characterizer ch(model);
   refBus.addFrameListener(ch);
-  trace::ReplayMaster trainer(clock, "trainer", refBus, refBus,
-                              trace::characterizationTrace(1, 800, regions()));
+  const trace::BusTrace training =
+      trace::characterizationTrace(1, 800, regions());
+  trace::ReplayMaster trainer(clock, "trainer", refBus, refBus, training);
   trainer.runToCompletion();
   return ch.buildTable();
 }
@@ -103,6 +106,29 @@ int main(int argc, char** argv) {
   master.runToCompletion();
   master.publishObs(reg);
   kernel.publishObs(reg);
+  pm.publishObs(reg);  // power.packed_lane_cycles
+
+  // --- ISS dispatch-loop counters ------------------------------------
+  // A short firmware run on the full SoC so the decoded-block cache
+  // counters (iss.block_hits / iss.block_misses / iss.invalidations)
+  // show up in the registry next to the bus-level numbers.
+  {
+    soc::SmartCardSoC<bus::Tl1Bus> soc{soc::SocConfig{}};
+    soc.loadProgram(soc::assemble(R"(
+          li    $s0, 0x08000000
+          li    $s1, 200
+        loop:
+          addu  $t0, $t0, $s1
+          xor   $t0, $t0, $s1
+          addiu $s1, $s1, -1
+          bne   $s1, $zero, loop
+          sw    $t0, 0($s0)
+          break
+    )",
+                                  soc::memmap::kRomBase));
+    if (!soc.run()) std::fprintf(stderr, "warning: ISS demo did not halt\n");
+    soc.cpu().publishObs(reg);
+  }
 
   // --- Paper-style attribution tables --------------------------------
   const double total = ledger.total_fJ();

@@ -27,6 +27,28 @@ if [ ! -x "$bench" ]; then
   exit 1
 fi
 
+# Throughput numbers from an unoptimized library are not regression
+# data (the recorded baseline was once polluted by a debug capture).
+# Refuse anything but an optimized build type; SCT_BENCH_ALLOW_NONRELEASE=1
+# overrides for local experiments, loudly, and tags the JSON.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" \
+             2>/dev/null | head -n 1)
+[ -n "${build_type:-}" ] || build_type=unknown
+case "$build_type" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    if [ "${SCT_BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+      echo "WARNING: benchmarking a '$build_type' build — numbers are not" \
+           "comparable to Release baselines (JSON tagged accordingly)" >&2
+    else
+      echo "error: $build_dir is a '$build_type' build; benchmark numbers" \
+           "require Release (use cmake --preset release, or set" \
+           "SCT_BENCH_ALLOW_NONRELEASE=1 to record anyway)" >&2
+      exit 1
+    fi
+    ;;
+esac
+
 # The paper-style factor table goes to stdout for the console; the
 # machine-readable run lands in the JSON file.
 # shellcheck disable=SC2086  # SCT_BENCH_ARGS is intentionally split.
@@ -54,7 +76,8 @@ run_date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 if command -v jq >/dev/null 2>&1; then
   tmp="$out.tmp"
   jq --arg cpu "$cpu_model" --arg compiler "$compiler" \
-     --arg git_sha "$git_sha" --arg date "$run_date" '
+     --arg git_sha "$git_sha" --arg date "$run_date" \
+     --arg build_type "$build_type" '
     def rate(n):
       [.benchmarks[]
        | select(.name == n and (.run_type // "iteration") != "aggregate")
@@ -68,11 +91,13 @@ if command -v jq >/dev/null 2>&1; then
       hybrid_over_tl1_spa:
         (rate("Hybrid_SpaDpa") / rate("TL1_SpaDpa")),
       fork_over_boot_sweep:
-        (rate("Fork_Sweep") / rate("Boot_Sweep"))
+        (rate("Fork_Sweep") / rate("Boot_Sweep")),
+      decoded_block_over_seed:
+        (rate("ISS_DecodedBlocks") / rate("ISS_DecodeOnFetch"))
     }}
     + {host_context: {
         cpu_model: $cpu, compiler: $compiler,
-        git_sha: $git_sha, date: $date
+        git_sha: $git_sha, date: $date, build_type: $build_type
     }}' "$out" > "$tmp" && mv "$tmp" "$out"
 else
   echo "warning: jq not found — speedup/host_context not appended" >&2

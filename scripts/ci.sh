@@ -36,6 +36,10 @@ for preset in release asan-ubsan; do
   # Same for the checkpoint/restore gate: restore-equivalence is what
   # makes fork-based exploration trustworthy.
   run ctest --preset "$preset" -L ckpt --parallel "$jobs"
+  # And for the ISS decoded-block dispatch loop: the `iss` label runs
+  # the block-cache equivalence and self-modifying-code suites, under
+  # sanitizers in pass 2.
+  run ctest --preset "$preset" -L iss --parallel "$jobs"
 done
 
 echo "==> bench smoke (tiny workload)"

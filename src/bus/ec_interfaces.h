@@ -29,9 +29,19 @@ class EcInstrIf {
   /// True if the implementation advances req.stage to Finished on its
   /// own (from its bus process) and treats polls of any other non-Idle
   /// stage as side-effect-free Waits. Masters may then skip the poll
-  /// until the public stage field reads Finished. Adapters that need
-  /// the poll itself to make progress keep the default false.
+  /// until the public stage field reads Finished — and, because every
+  /// stage-publishing implementation serves the pickup poll of a
+  /// Finished payload as exactly `result = req.result; req.stage =
+  /// Idle; return result`, a master may collect a published result
+  /// directly from the payload without the poll call. Adapters that
+  /// need the poll itself to make progress keep the default false.
   virtual bool publishesStage() const { return false; }
+  /// Static property: true if nextFinishCycle() can ever answer with a
+  /// prediction (anything but kFinishUnknown) during this object's
+  /// lifetime. When false, masters may skip the completion-prediction
+  /// and park bookkeeping entirely and poll every cycle — the behaviour
+  /// a kFinishUnknown answer mandates anyway.
+  virtual bool predictsFinish() const { return false; }
   /// Wake-on-completion hint, mirroring Tl2MasterIf::nextFinishCycle():
   /// the earliest bus cycle at which any accepted transaction reaches
   /// stage Finished, kFinishNone when nothing is in flight, or
@@ -40,6 +50,15 @@ class EcInstrIf {
   /// backed by a lazy event-driven bus (Tl2MasterBridge) bring their
   /// published stages current from here.
   virtual std::uint64_t nextFinishCycle() { return kFinishUnknown; }
+  /// Completion-epoch counter: increments every time any transaction
+  /// submitted through this interface reaches stage Finished (and also
+  /// whenever outstanding-slot occupancy can otherwise change, e.g. on
+  /// abort). While the value is unchanged, a stage-gated master may
+  /// skip both its in-flight Finished scan and the retry of an issue
+  /// the bus previously refused for a full-slots condition — neither
+  /// can make progress until a completion occurs. kEpochUnknown means
+  /// the interface keeps no epoch; masters must poll every cycle.
+  virtual std::uint64_t finishEpoch() const { return kEpochUnknown; }
 };
 
 /// Data read/write interface of the layer-1 bus (master side).
@@ -52,6 +71,10 @@ class EcDataIf {
   virtual bool publishesStage() const { return false; }
   /// See EcInstrIf::nextFinishCycle().
   virtual std::uint64_t nextFinishCycle() { return kFinishUnknown; }
+  /// See EcInstrIf::predictsFinish().
+  virtual bool predictsFinish() const { return false; }
+  /// See EcInstrIf::finishEpoch().
+  virtual std::uint64_t finishEpoch() const { return kEpochUnknown; }
 };
 
 /// Layer-2 master interface: one function for read access and one for
@@ -72,6 +95,8 @@ class Tl2MasterIf {
   /// An event-driven bus answers from its phase schedule, letting
   /// masters park their clock handlers until the finish cycle + 1.
   virtual std::uint64_t nextFinishCycle() const { return kFinishUnknown; }
+  /// See EcInstrIf::finishEpoch().
+  virtual std::uint64_t finishEpoch() const { return kEpochUnknown; }
 };
 
 /// Slave-side interface shared by both bus layers.
@@ -129,6 +154,8 @@ struct DataBeatInfo {
   int slave = -1;
 };
 
+class Tl1FrameEnergy;
+
 /// Observer hook of the layer-1 bus. The layer-1 power model and the
 /// transaction tracer attach here; callbacks fire from within the bus
 /// process (falling clock edge), in phase order.
@@ -141,6 +168,18 @@ class Tl1Observer {
   virtual void readBeat(const DataBeatInfo& /*info*/) {}
   virtual void writeBeat(const DataBeatInfo& /*info*/) {}
   virtual void busCycleEnd(std::uint64_t /*cycle*/) {}
+
+  /// Fused drive path: an observer that is a thin shell around a
+  /// bus::Tl1FrameEnergy engine can return it here. A bus that
+  /// understands fusing (Tl1Bus) then drives the engine directly —
+  /// non-virtually, with the engine's inline bodies visible at the
+  /// call sites — instead of routing events through the virtual
+  /// callbacks above, and MUST NOT also deliver those callbacks (the
+  /// events would be double-counted). Publishers that do not know
+  /// about fusing simply use the observer interface; both paths run
+  /// the same engine code in the same order, so the results are
+  /// bit-identical. Returning nullptr (the default) opts out.
+  virtual Tl1FrameEnergy* fusedFrameEnergy() { return nullptr; }
 };
 
 /// Summary of a finished layer-2 phase. The layer-2 power model consumes

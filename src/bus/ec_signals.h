@@ -107,6 +107,11 @@ class SignalFrame {
 
   constexpr bool operator==(const SignalFrame&) const = default;
 
+  /// Raw lane storage in bundle-index order. The layer-1 packed-lane
+  /// transition counter XORs whole frames through this view — one
+  /// contiguous 64-bit lane per bundle, no per-signal accessor calls.
+  constexpr const std::uint64_t* raw() const { return values_.data(); }
+
  private:
   std::array<std::uint64_t, kSignalCount> values_;
 };

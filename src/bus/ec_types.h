@@ -49,6 +49,11 @@ inline constexpr std::uint64_t kFinishUnknown = 0;
 inline constexpr std::uint64_t kFinishNone =
     ~static_cast<std::uint64_t>(0);
 
+/// Sentinel for EcInstrIf/EcDataIf::finishEpoch(): the interface does
+/// not maintain a completion epoch, so masters must poll every cycle.
+inline constexpr std::uint64_t kEpochUnknown =
+    ~static_cast<std::uint64_t>(0);
+
 constexpr bool isRead(Kind k) { return k != Kind::Write; }
 
 constexpr std::string_view toString(Kind k) {

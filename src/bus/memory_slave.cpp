@@ -31,37 +31,6 @@ MemorySlave::MemorySlave(std::string name, const SlaveControl& control,
   }
 }
 
-BusStatus MemorySlave::readBeat(Address addr, AccessSize size, Word& out) {
-  const auto n = static_cast<std::size_t>(size);
-  if (!inWindow(addr, n)) return BusStatus::Error;
-  // Reads are returned on word-aligned lanes, as on the EC read bus.
-  const std::size_t wordOff = offset(addr) & ~std::size_t{3};
-  Word w = 0;
-  std::memcpy(&w, roData() + wordOff, 4);
-  out = w;
-  return BusStatus::Ok;
-}
-
-BusStatus MemorySlave::writeBeat(Address addr, AccessSize size,
-                                 std::uint8_t byteEnables, Word in) {
-  const auto n = static_cast<std::size_t>(size);
-  if (!inWindow(addr, n)) return BusStatus::Error;
-  if (pendingStretch_ < extraWritePerBeat_) {
-    ++pendingStretch_;
-    return BusStatus::Wait;
-  }
-  pendingStretch_ = 0;
-  materialize();
-  const std::size_t wordOff = offset(addr) & ~std::size_t{3};
-  for (unsigned lane = 0; lane < 4; ++lane) {
-    if (byteEnables & (1u << lane)) {
-      bytes_[wordOff + lane] =
-          static_cast<std::uint8_t>((in >> (8 * lane)) & 0xFFu);
-    }
-  }
-  return BusStatus::Ok;
-}
-
 bool MemorySlave::readBlock(Address addr, std::uint8_t* dst, std::size_t n) {
   if (!inWindow(addr, n)) return false;
   std::memcpy(dst, roData() + offset(addr), n);

@@ -9,6 +9,7 @@
 #define SCT_BUS_MEMORY_SLAVE_H
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,9 @@ class MemorySlave : public EcSlave {
   std::string_view name() const override { return name_; }
   const SlaveControl& control() const override { return control_; }
 
+  // The beat functions are defined inline below: the layer-1 bus calls
+  // them directly (devirtualized) once per data-phase cycle, and the
+  // bodies are small enough that the call should disappear entirely.
   BusStatus readBeat(Address addr, AccessSize size, Word& out) override;
   BusStatus writeBeat(Address addr, AccessSize size, std::uint8_t byteEnables,
                       Word in) override;
@@ -91,6 +95,15 @@ class MemorySlave : public EcSlave {
   const std::uint8_t* roData() const {
     return shared_ != nullptr ? shared_ : bytes_.data();
   }
+  /// Expand a 4-bit byte-enable mask into a 32-bit byte mask
+  /// (bit i set -> byte lane i all-ones).
+  static Word laneMask(std::uint8_t byteEnables) {
+    const Word spread = ((byteEnables & 1u) ? 0x000000FFu : 0u) |
+                        ((byteEnables & 2u) ? 0x0000FF00u : 0u) |
+                        ((byteEnables & 4u) ? 0x00FF0000u : 0u) |
+                        ((byteEnables & 8u) ? 0xFF000000u : 0u);
+    return spread;
+  }
   /// Turn a shared image into a private copy before the first mutation.
   void materialize() {
     if (shared_ != nullptr) {
@@ -110,6 +123,40 @@ class MemorySlave : public EcSlave {
   unsigned extraWritePerBeat_ = 0;
   unsigned pendingStretch_ = 0;
 };
+
+inline BusStatus MemorySlave::readBeat(Address addr, AccessSize size,
+                                       Word& out) {
+  const auto n = static_cast<std::size_t>(size);
+  if (!inWindow(addr, n)) return BusStatus::Error;
+  // Reads are returned on word-aligned lanes, as on the EC read bus.
+  const std::size_t wordOff = offset(addr) & ~std::size_t{3};
+  Word w = 0;
+  std::memcpy(&w, roData() + wordOff, 4);
+  out = w;
+  return BusStatus::Ok;
+}
+
+inline BusStatus MemorySlave::writeBeat(Address addr, AccessSize size,
+                                        std::uint8_t byteEnables, Word in) {
+  const auto n = static_cast<std::size_t>(size);
+  if (!inWindow(addr, n)) return BusStatus::Error;
+  if (pendingStretch_ < extraWritePerBeat_) {
+    ++pendingStretch_;
+    return BusStatus::Wait;
+  }
+  pendingStretch_ = 0;
+  materialize();
+  // Branchless lane merge: expand the 4-bit byte-enable mask to a byte
+  // mask and blend the enabled lanes into the stored word (same bytes
+  // the per-lane loop wrote).
+  const std::size_t wordOff = offset(addr) & ~std::size_t{3};
+  const Word mask = laneMask(byteEnables);
+  Word w = 0;
+  std::memcpy(&w, bytes_.data() + wordOff, 4);
+  w = (w & ~mask) | (in & mask);
+  std::memcpy(bytes_.data() + wordOff, &w, 4);
+  return BusStatus::Ok;
+}
 
 } // namespace sct::bus
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <typeinfo>
+
+#include "bus/memory_slave.h"
+#include "bus/tl1_frame_energy.h"
 
 namespace sct::bus {
 
@@ -10,14 +14,48 @@ Tl1Bus::Tl1Bus(sim::Clock& clock, std::string name)
     : sim::Module(clock.kernel(), std::move(name)), clock_(clock) {
   // The bus process runs on the falling edge; masters and slaves are
   // expected to act on the rising edge (paper, Figure 2).
-  processId_ = clock_.onFalling([this] { busProcess(); });
+  processId_ = clock_.onFallingRaw(
+      [](void* self) { static_cast<Tl1Bus*>(self)->busProcess(); }, this);
 }
 
 Tl1Bus::~Tl1Bus() { clock_.removeHandler(processId_); }
 
+int Tl1Bus::attach(EcSlave& slave) {
+  const int idx = decoder_.attach(slave);
+  slaveControls_.push_back(&slave.control());
+  // Exact-type check, not a plain dynamic_cast: a subclass overriding a
+  // beat function must keep taking the virtual path.
+  auto* mem = dynamic_cast<MemorySlave*>(&slave);
+  directSlaves_.push_back(
+      mem != nullptr && typeid(slave) == typeid(MemorySlave) ? mem : nullptr);
+  return idx;
+}
+
+void Tl1Bus::addObserver(Tl1Observer& obs) {
+  // One fused engine per bus: the first observer that offers one is
+  // driven directly (and must NOT also sit in observers_, or its
+  // events would be double-counted); everyone else takes the virtual
+  // path. The engine always runs before the observer list, matching
+  // the convention that frame readers register after the power model.
+  if (Tl1FrameEnergy* fe = obs.fusedFrameEnergy();
+      fe != nullptr && fe_ == nullptr) {
+    fe_ = fe;
+    feOwner_ = &obs;
+  } else {
+    observers_.push_back(&obs);
+  }
+  publish_ = true;
+}
+
 void Tl1Bus::removeObserver(Tl1Observer& obs) {
-  observers_.erase(std::remove(observers_.begin(), observers_.end(), &obs),
-                   observers_.end());
+  if (feOwner_ == &obs) {
+    fe_ = nullptr;
+    feOwner_ = nullptr;
+  } else {
+    observers_.erase(std::remove(observers_.begin(), observers_.end(), &obs),
+                     observers_.end());
+  }
+  publish_ = fe_ != nullptr || !observers_.empty();
 }
 
 // ---------------------------------------------------------------------------
@@ -178,6 +216,7 @@ void Tl1Bus::busProcess() {
   cycleNow_ = clock_.cycle();
   anyActivityThisCycle_ = false;
   ++stats_.cycles;
+  if (fe_ != nullptr) fe_->busCycleBegin(cycleNow_);
   for (Tl1Observer* obs : observers_) obs->busCycleBegin(cycleNow_);
 
   // getSlaveState(): the paper's first phase samples every slave's
@@ -190,9 +229,13 @@ void Tl1Bus::busProcess() {
   writePhase();
 
   if (anyActivityThisCycle_) ++stats_.busyCycles;
+  if (fe_ != nullptr) fe_->busCycleEnd(cycleNow_);
   for (Tl1Observer* obs : observers_) obs->busCycleEnd(cycleNow_);
 }
 
+// The fused engine is driven inline at the call sites (before these
+// run); publishAddressPhase/publishBeat only walk the virtual-path
+// observer list and are only called when it is non-empty.
 void Tl1Bus::publishAddressPhase(const AddressPhaseInfo& info) {
   for (Tl1Observer* obs : observers_) obs->addressPhase(info);
 }
@@ -212,6 +255,7 @@ void Tl1Bus::finish(Tl1Request& req, BusStatus result) {
   req.stage = Tl1Stage::Finished;
   req.finishCycle = cycleNow_;
   --outstanding(req.kind);
+  ++finishEpoch_;
   switch (req.kind) {
     case Kind::InstrFetch: ++stats_.instrTransactions; break;
     case Kind::Read: ++stats_.readTransactions; break;
@@ -284,17 +328,27 @@ void Tl1Bus::addressPhase() {
     if (error) {
       // Decode miss or access-right violation: the phase terminates and
       // the error is indicated on the corresponding data bus error line.
-      AddressPhaseInfo info{req.address, req.kind, req.size, req.beats,
-                            byteEnables(req.size, req.address), req.slave,
-                            /*accepted=*/true, /*error=*/true, &req};
-      publishAddressPhase(info);
-      DataBeatInfo beat;
-      beat.address = req.address;
-      beat.kind = req.kind;
-      beat.error = true;
-      beat.last = true;
-      beat.slave = req.slave;
-      publishBeat(beat, req.kind == Kind::Write);
+      if (publish_) {
+        AddressPhaseInfo info{req.address, req.kind, req.size, req.beats,
+                              byteEnables(req.size, req.address), req.slave,
+                              /*accepted=*/true, /*error=*/true, &req};
+        if (fe_ != nullptr) fe_->addressPhase(info);
+        if (!observers_.empty()) publishAddressPhase(info);
+        DataBeatInfo beat;
+        beat.address = req.address;
+        beat.kind = req.kind;
+        beat.error = true;
+        beat.last = true;
+        beat.slave = req.slave;
+        if (fe_ != nullptr) {
+          if (req.kind == Kind::Write) {
+            fe_->writeBeat(beat);
+          } else {
+            fe_->readBeat(beat);
+          }
+        }
+        if (!observers_.empty()) publishBeat(beat, req.kind == Kind::Write);
+      }
       finish(req, BusStatus::Error);
       addrCurrent_ = nullptr;
       anyActivityThisCycle_ = true;
@@ -307,10 +361,13 @@ void Tl1Bus::addressPhase() {
   anyActivityThisCycle_ = true;
   ++stats_.addrCycles;
   const bool accepted = req.waitCount == 0;
-  AddressPhaseInfo info{req.address, req.kind, req.size, req.beats,
-                        byteEnables(req.size, req.address), req.slave,
-                        accepted, /*error=*/false, &req};
-  publishAddressPhase(info);
+  if (publish_) {
+    AddressPhaseInfo info{req.address, req.kind, req.size, req.beats,
+                          byteEnables(req.size, req.address), req.slave,
+                          accepted, /*error=*/false, &req};
+    if (fe_ != nullptr) fe_->addressPhase(info);
+    if (!observers_.empty()) publishAddressPhase(info);
+  }
   if (!accepted) {
     --req.waitCount;
     return;
@@ -332,7 +389,7 @@ void Tl1Bus::readPhase() { dataPhase(readCurrent_, readQueue_); }
 
 void Tl1Bus::writePhase() { dataPhase(writeCurrent_, writeQueue_); }
 
-void Tl1Bus::dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue) {
+void Tl1Bus::dataPhase(Tl1Request*& current, RequestRing& queue) {
   if (current == nullptr) {
     if (queue.empty()) return;
     current = queue.front();
@@ -348,33 +405,47 @@ void Tl1Bus::dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue) {
     return;
   }
 
-  EcSlave& slave = decoder_.slave(req.slave);
   const Address beatAddr = req.address + 4u * req.beatsDone;
   const std::uint8_t lanes = byteEnables(req.size, beatAddr);
   const bool isWrite = req.kind == Kind::Write;
   Word data = 0;
   BusStatus s;
+  // Direct beat calls for plain MemorySlaves (see directSlaves_):
+  // identical functions, minus the per-beat virtual hop.
+  MemorySlave* mem = directSlaves_[static_cast<std::size_t>(req.slave)];
   if (isWrite) {
     data = req.data[req.beatsDone];
-    s = slave.writeBeat(beatAddr, req.size, lanes, data);
+    s = mem != nullptr
+            ? mem->MemorySlave::writeBeat(beatAddr, req.size, lanes, data)
+            : decoder_.slave(req.slave).writeBeat(beatAddr, req.size, lanes,
+                                                  data);
   } else {
-    s = slave.readBeat(beatAddr, req.size, data);
+    s = mem != nullptr
+            ? mem->MemorySlave::readBeat(beatAddr, req.size, data)
+            : decoder_.slave(req.slave).readBeat(beatAddr, req.size, data);
     if (s == BusStatus::Ok) req.data[req.beatsDone] = data;
   }
   if (s == BusStatus::Wait) return;  // Dynamic stretch by the slave.
 
-  const bool last =
-      (s == BusStatus::Error) || (req.beatsDone + 1u == req.beats);
-  DataBeatInfo beat;
-  beat.address = beatAddr;
-  beat.kind = req.kind;
-  beat.data = data;
-  beat.byteEnables = lanes;
-  beat.beatIndex = req.beatsDone;
-  beat.last = last;
-  beat.error = s == BusStatus::Error;
-  beat.slave = req.slave;
-  publishBeat(beat, isWrite);
+  if (publish_) {
+    DataBeatInfo beat;
+    beat.address = beatAddr;
+    beat.kind = req.kind;
+    beat.data = data;
+    beat.byteEnables = lanes;
+    beat.beatIndex = req.beatsDone;
+    beat.last = (s == BusStatus::Error) || (req.beatsDone + 1u == req.beats);
+    beat.error = s == BusStatus::Error;
+    beat.slave = req.slave;
+    if (fe_ != nullptr) {
+      if (isWrite) {
+        fe_->writeBeat(beat);
+      } else {
+        fe_->readBeat(beat);
+      }
+    }
+    if (!observers_.empty()) publishBeat(beat, isWrite);
+  }
 
   if (isWrite) {
     ++stats_.writeBeats;

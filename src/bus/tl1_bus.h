@@ -20,8 +20,9 @@
 #ifndef SCT_BUS_TL1_BUS_H
 #define SCT_BUS_TL1_BUS_H
 
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,8 @@
 #include "sim/module.h"
 
 namespace sct::bus {
+
+class MemorySlave;
 
 /// Aggregate counters kept by the layer-1 bus.
 struct Tl1BusStats {
@@ -64,13 +67,13 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
 
   /// Register a slave with the bus controller's address decoder.
   /// Returns the slave index (select line).
-  int attach(EcSlave& slave) {
-    const int idx = decoder_.attach(slave);
-    slaveControls_.push_back(&slave.control());
-    return idx;
-  }
+  int attach(EcSlave& slave);
 
-  void addObserver(Tl1Observer& obs) { observers_.push_back(&obs); }
+  /// Register an observer. An observer advertising a fused frame-energy
+  /// engine (Tl1Observer::fusedFrameEnergy) is captured into the direct
+  /// drive slot instead of the observer list — one engine per bus; any
+  /// further fusing observers fall back to the virtual path.
+  void addObserver(Tl1Observer& obs);
   void removeObserver(Tl1Observer& obs);
 
   // EcInstrIf / EcDataIf (master side, call on rising edges).
@@ -80,6 +83,12 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   // The bus process moves req.stage to Finished itself; intermediate
   // polls are side-effect-free, so masters may gate on the stage field.
   bool publishesStage() const override { return true; }
+  /// Completion epoch (see EcInstrIf::finishEpoch): bumped by finish(),
+  /// i.e. exactly when a Finished payload becomes collectable and when
+  /// an outstanding class slot frees — the only two events a
+  /// stage-gated master waits on. One counter serves both interfaces;
+  /// masters summing the two reads still observe a monotonic value.
+  std::uint64_t finishEpoch() const override { return finishEpoch_; }
 
   /// True when no transaction is queued or in flight.
   bool idle() const;
@@ -122,6 +131,33 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   void loadState(ckpt::StateReader& r);
 
  private:
+  /// Fixed-capacity FIFO of request pointers. Total queue occupancy is
+  /// bounded by the per-class outstanding limits (at most
+  /// 3 * kMaxOutstandingPerClass accepted-but-unfinished requests exist
+  /// at any time), so a 16-slot ring never overflows — asserted. The
+  /// unsigned head/tail cursors may wrap; the masked difference stays
+  /// correct because the capacity divides the cursor modulus.
+  class RequestRing {
+   public:
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const {
+      return static_cast<std::size_t>(tail_ - head_);
+    }
+    void push_back(Tl1Request* r) {
+      assert(size() < kCap && "request ring overflow");
+      slots_[tail_++ & kMask] = r;
+    }
+    Tl1Request* front() const { return slots_[head_ & kMask]; }
+    void pop_front() { ++head_; }
+
+   private:
+    static constexpr std::uint32_t kCap = 16;
+    static constexpr std::uint32_t kMask = kCap - 1;
+    std::array<Tl1Request*, kCap> slots_{};
+    std::uint32_t head_ = 0;
+    std::uint32_t tail_ = 0;
+  };
+
   BusStatus submitOrPoll(Tl1Request& req, Kind expectedKind);
   bool validate(const Tl1Request& req) const;
   unsigned& outstanding(Kind k);
@@ -131,7 +167,7 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   void addressPhase();
   void readPhase();
   void writePhase();
-  void dataPhase(Tl1Request*& current, std::deque<Tl1Request*>& queue);
+  void dataPhase(Tl1Request*& current, RequestRing& queue);
   void finish(Tl1Request& req, BusStatus result);
   void noteFinishObs(const Tl1Request& req, BusStatus result);
   void publishAddressPhase(const AddressPhaseInfo& info);
@@ -140,12 +176,28 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   sim::Clock& clock_;
   sim::Clock::HandlerId processId_;
   AddressDecoder decoder_;
+  /// Fused frame-energy engine (see Tl1Observer::fusedFrameEnergy):
+  /// driven directly from the phases, before the observer list, and
+  /// never a member of it. Null when no fusing observer is attached.
+  Tl1FrameEnergy* fe_ = nullptr;
+  /// The observer that supplied fe_ (for removeObserver symmetry).
+  Tl1Observer* feOwner_ = nullptr;
+  /// True iff anyone consumes phase events (fe_ or observers_): lets
+  /// the phases skip building the per-event info structs entirely.
+  bool publish_ = false;
   std::vector<Tl1Observer*> observers_;
   std::vector<const SlaveControl*> slaveControls_;  ///< Cached at attach().
+  /// Beat-call devirtualization: slot i holds the slave as a
+  /// MemorySlave* iff its dynamic type is exactly MemorySlave (checked
+  /// at attach), so the data phase can call the beat functions
+  /// directly — same functions, no vtable hop, inlinable under LTO.
+  /// Subclasses and foreign EcSlave implementations leave a null slot
+  /// and take the virtual path.
+  std::vector<MemorySlave*> directSlaves_;
 
-  std::deque<Tl1Request*> requestQueue_;
-  std::deque<Tl1Request*> readQueue_;   ///< Instr fetches + data reads.
-  std::deque<Tl1Request*> writeQueue_;
+  RequestRing requestQueue_;
+  RequestRing readQueue_;   ///< Instr fetches + data reads.
+  RequestRing writeQueue_;
   Tl1Request* addrCurrent_ = nullptr;
   Tl1Request* readCurrent_ = nullptr;
   Tl1Request* writeCurrent_ = nullptr;
@@ -153,6 +205,8 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   unsigned outstandingInstr_ = 0;
   unsigned outstandingRead_ = 0;
   unsigned outstandingWrite_ = 0;
+  std::uint64_t finishEpoch_ = 0;  ///< Bumped by finish(); not persisted
+                                   ///  (masters resync on restore).
 
   std::uint64_t cycleNow_ = 0;
   bool suspended_ = false;

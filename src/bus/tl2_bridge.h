@@ -56,6 +56,11 @@ class Tl2MasterBridge final : public EcInstrIf, public EcDataIf {
     return lower_.nextFinishCycle();
   }
 
+  /// Conservatively true: the lower bus may predict, and the sync()
+  /// inside nextFinishCycle() is what publishes upper stages — masters
+  /// must keep calling it either way.
+  bool predictsFinish() const override { return true; }
+
   /// Complete every transport whose lower transaction has finished:
   /// result and read data move into the upper payload, which is posted
   /// as Tl1Stage::Finished for the master's pickup poll. O(pending).
@@ -138,6 +143,7 @@ class BridgedTl2Bus final : public EcInstrIf, public EcDataIf {
   std::uint64_t nextFinishCycle() override {
     return bridge_.nextFinishCycle();
   }
+  bool predictsFinish() const override { return bridge_.predictsFinish(); }
 
   Tl2Bus& lower() { return bus_; }
   Tl2MasterBridge& bridge() { return bridge_; }

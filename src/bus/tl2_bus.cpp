@@ -9,13 +9,16 @@ namespace sct::bus {
 
 Tl2Bus::Tl2Bus(sim::Clock& clock, std::string name)
     : sim::Module(clock.kernel(), std::move(name)), clock_(clock) {
-  processId_ = clock_.onFalling([this] {
-    if (perCycle_) {
-      busProcess();
-    } else {
-      eventProcess();
-    }
-  });
+  processId_ = clock_.onFallingRaw(
+      [](void* self) {
+        auto* bus = static_cast<Tl2Bus*>(self);
+        if (bus->perCycle_) {
+          bus->busProcess();
+        } else {
+          bus->eventProcess();
+        }
+      },
+      this);
   firstEdge_ = currentEdge();
   // Event mode: nothing scheduled yet, so sleep until the first accept.
   parkProcess(sim::Clock::kNeverWake);

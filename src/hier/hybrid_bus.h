@@ -81,6 +81,9 @@ class HybridBus final : public bus::EcInstrIf, public bus::EcDataIf {
   /// warps); TL1 regions answer kFinishUnknown — cycle-true masters
   /// must poll every cycle there, exactly as on a plain Tl1Bus.
   std::uint64_t nextFinishCycle() override;
+  /// True: TL2 regions predict, so masters must keep asking even while
+  /// a TL1 region answers kFinishUnknown.
+  bool predictsFinish() const override { return true; }
 
   Fidelity active() const { return active_; }
 

@@ -17,17 +17,27 @@
 // property enforced by tests), so the only estimation error left is the
 // coefficient abstraction itself — slope, coupling, hazard and baseline
 // detail averaged into one number per signal (Table 2, layer 1).
+//
+// The frame-reconstruction engine itself lives in
+// bus::Tl1FrameEnergy (src/bus/tl1_frame_energy.h); this class is the
+// public face — it binds the engine to the characterized coefficient
+// table, adapts it to the Tl1Observer and CycleAccuratePowerIf
+// interfaces, and advertises the engine through fusedFrameEnergy() so
+// Tl1Bus can drive it non-virtually on the hot path. Both drive paths
+// run the same engine code in the same order, so results are
+// bit-identical either way (the observer path stays live for any
+// publisher that does not know about fusing).
 #ifndef SCT_POWER_TL1_POWER_MODEL_H
 #define SCT_POWER_TL1_POWER_MODEL_H
 
 #include <cstdint>
-#include <vector>
 
-#include "bus/decoder.h"
 #include "bus/ec_interfaces.h"
 #include "bus/ec_signals.h"
+#include "bus/tl1_frame_energy.h"
 #include "ckpt/state_io.h"
 #include "obs/ledger.h"
+#include "obs/stats.h"
 #include "power/coeff_table.h"
 #include "power/power_if.h"
 
@@ -36,29 +46,48 @@ namespace sct::power {
 class Tl1PowerModel final : public bus::Tl1Observer,
                             public CycleAccuratePowerIf {
  public:
-  explicit Tl1PowerModel(const SignalEnergyTable& table) : table_(table) {}
+  explicit Tl1PowerModel(const SignalEnergyTable& table)
+      : engine_(table.coeffs()) {}
 
-  // bus::Tl1Observer
-  void busCycleBegin(std::uint64_t cycle) override;
-  void addressPhase(const bus::AddressPhaseInfo& info) override;
-  void readBeat(const bus::DataBeatInfo& info) override;
-  void writeBeat(const bus::DataBeatInfo& info) override;
-  void busCycleEnd(std::uint64_t cycle) override;
+  // bus::Tl1Observer — the generic (virtual) drive path; a fusing bus
+  // calls the engine directly instead and never reaches these.
+  void busCycleBegin(std::uint64_t cycle) override {
+    engine_.busCycleBegin(cycle);
+  }
+  void addressPhase(const bus::AddressPhaseInfo& info) override {
+    engine_.addressPhase(info);
+  }
+  void readBeat(const bus::DataBeatInfo& info) override {
+    engine_.readBeat(info);
+  }
+  void writeBeat(const bus::DataBeatInfo& info) override {
+    engine_.writeBeat(info);
+  }
+  void busCycleEnd(std::uint64_t cycle) override { engine_.busCycleEnd(cycle); }
+
+  /// Hand the bus the engine for direct (non-virtual, inlinable)
+  /// dispatch. Event order and arithmetic are identical to the observer
+  /// path above.
+  bus::Tl1FrameEnergy* fusedFrameEnergy() override { return &engine_; }
 
   // CycleAccuratePowerIf
-  double energyLastCycle_fJ() const override { return lastCycle_fJ_; }
-  double energySinceLastCall_fJ() override;
-  double totalEnergy_fJ() const override { return total_fJ_; }
+  double energyLastCycle_fJ() const override {
+    return engine_.energyLastCycle_fJ();
+  }
+  double energySinceLastCall_fJ() override {
+    return engine_.energySinceLastCall_fJ();
+  }
+  double totalEnergy_fJ() const override { return engine_.totalEnergy_fJ(); }
 
   /// Transition counts per bundle over the whole run (diagnostics).
   std::uint64_t transitions(bus::SignalId id) const {
-    return transitions_[static_cast<std::size_t>(id)];
+    return engine_.transitions(id);
   }
 
   /// The frame as reconstructed for the last completed cycle (used by
   /// the layer-0 equivalence tests; read it after busCycleEnd, i.e.
   /// from an observer registered after the power model).
-  const bus::SignalFrame& frame() const { return frame_; }
+  const bus::SignalFrame& frame() const { return engine_.frame(); }
 
   /// Attach an energy-attribution ledger. Every coefficient term of the
   /// busCycleEnd walk is forwarded in accumulation order and committed
@@ -66,120 +95,42 @@ class Tl1PowerModel final : public bus::Tl1Observer,
   /// totalEnergy_fJ(). `master` tags all contributions (the EC bus is
   /// single-master). Detached: one null-check per phase callback.
   void attachLedger(obs::EnergyLedger& ledger, int master = 0) {
-    ledger_ = &ledger;
-    master_ = master;
+    engine_.attachLedger(ledger, master);
+  }
+
+  /// Force the scalar dirty-walk even on busy cycles (test hook: the
+  /// equivalence suite runs packed and scalar models side by side and
+  /// requires bit-identical energy from both).
+  void setPackedCounting(bool on) { engine_.setPackedCounting(on); }
+
+  /// Cycles whose transition count went through the packed-lane wide
+  /// XOR path (diagnostics, not serialized — resets with the object).
+  std::uint64_t packedLaneCycles() const { return engine_.packedLaneCycles(); }
+
+  /// Publish power.packed_lane_cycles into `reg`. Compiles to nothing
+  /// with SCT_OBS=OFF.
+  void publishObs(obs::StatsRegistry& reg) const {
+    if constexpr (obs::kEnabled) {
+      reg.counter("power.packed_lane_cycles").add(engine_.packedLaneCycles());
+    } else {
+      (void)reg;
+    }
   }
 
   /// -- Checkpoint (see ckpt/checkpoint.h): the full signal state —
   /// frame, pre-cycle values, strobe masks, transition counts and the
   /// femtojoule accumulators (bit-exact doubles), so a restored model
   /// continues the exact FP accumulation sequence of the saved run.
+  /// The byte layout is owned here and implemented by the engine; it
+  /// has not changed since version 1.
   static constexpr std::uint32_t kCkptVersion = 1;
 
-  void saveState(ckpt::StateWriter& w) const {
-    for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
-      w.u64(frame_.get(static_cast<bus::SignalId>(i)));
-    }
-    for (const std::uint64_t v : prev_) w.u64(v);
-    w.u32(dirty_);
-    w.u32(strobeSetMask_);
-    w.u32(pendingLow_);
-    for (const std::uint64_t v : transitions_) w.u64(v);
-    w.f64(lastCycle_fJ_);
-    w.f64(total_fJ_);
-    w.f64(intervalMarker_fJ_);
-    for (const std::uint8_t v : ownerClass_) w.u8(v);
-    for (const std::int8_t v : ownerSlave_) {
-      w.u8(static_cast<std::uint8_t>(v));
-    }
-  }
-
-  void loadState(ckpt::StateReader& r) {
-    for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
-      frame_.set(static_cast<bus::SignalId>(i), r.u64());
-    }
-    for (std::uint64_t& v : prev_) v = r.u64();
-    dirty_ = r.u32();
-    strobeSetMask_ = r.u32();
-    pendingLow_ = r.u32();
-    for (std::uint64_t& v : transitions_) v = r.u64();
-    lastCycle_fJ_ = r.f64();
-    total_fJ_ = r.f64();
-    intervalMarker_fJ_ = r.f64();
-    for (std::uint8_t& v : ownerClass_) v = r.u8();
-    for (std::int8_t& v : ownerSlave_) v = static_cast<std::int8_t>(r.u8());
-  }
+  void saveState(ckpt::StateWriter& w) const { engine_.saveState(w); }
+  void loadState(ckpt::StateReader& r) { engine_.loadState(r); }
 
  private:
-  /// Record a new value for a bundle, saving its pre-cycle value the
-  /// first time the bundle's value actually changes in the current
-  /// cycle. A write that leaves the value as-is is dropped outright
-  /// (it cannot produce a transition), so busCycleEnd inspects just
-  /// the signals that really moved — every other signal holds by
-  /// construction. Handshake strobes must go through strobe() instead:
-  /// their frame value is only valid once pending deassertions are
-  /// accounted for.
-  void touch(bus::SignalId id, std::uint64_t value) {
-    const auto i = static_cast<std::size_t>(id);
-    const std::uint32_t bit = std::uint32_t{1} << i;
-    const std::uint64_t masked = value & bus::signalMask(id);
-    if (!(dirty_ & bit)) {
-      if (frame_.get(id) == masked) return;  // Holds: no transition.
-      prev_[i] = frame_.get(id);
-      dirty_ |= bit;
-    }
-    frame_.set(id, masked);
-  }
-
-  /// Drive a one-bit handshake strobe to its active level. Strobes are
-  /// low at cycle open (busCycleBegin semantics), so the first drive of
-  /// a cycle is a 0 -> 1 edge — unless the previous cycle left the
-  /// strobe high and its lazy deassertion is still pending, in which
-  /// case the strobe simply holds and the deassertion is cancelled.
-  void strobe(bus::SignalId id) {
-    const auto i = static_cast<std::size_t>(id);
-    const std::uint32_t bit = std::uint32_t{1} << i;
-    if (strobeSetMask_ & bit) return;  // Already high this cycle.
-    strobeSetMask_ |= bit;
-    if (pendingLow_ & bit) {
-      pendingLow_ &= ~bit;  // Held high across the boundary: no edge.
-      return;
-    }
-    prev_[i] = 0;
-    dirty_ |= bit;
-    frame_.set(id, 1);
-  }
-
-  /// Stamp `id`'s attribution owner (used when the ledger is attached;
-  /// a strobe deasserting on a later cycle still bills its last driver).
-  void setOwner(bus::SignalId id, obs::TxClass cls, int slave) {
-    const auto i = static_cast<std::size_t>(id);
-    ownerClass_[i] = static_cast<std::uint8_t>(cls);
-    ownerSlave_[i] = static_cast<std::int8_t>(slave);
-  }
-  void noteAddressOwners(const bus::AddressPhaseInfo& info);
-  void noteBeatOwners(const bus::DataBeatInfo& info, bool isWrite);
-
-  SignalEnergyTable table_;
-  bus::SignalFrame frame_;  ///< Wire values of the cycle in progress.
-  std::array<std::uint64_t, bus::kSignalCount> prev_{};  ///< Pre-cycle
-                                                         ///  values of
-                                                         ///  dirty bundles.
-  std::uint32_t dirty_ = 0;
-  std::uint32_t strobeSetMask_ = 0;  ///< Strobes driven high this cycle.
-  std::uint32_t pendingLow_ = 0;  ///< Strobes awaiting lazy deassertion.
-  std::array<std::uint64_t, bus::kSignalCount> transitions_{};
-  double lastCycle_fJ_ = 0.0;
-  double total_fJ_ = 0.0;
-  double intervalMarker_fJ_ = 0.0;
-
-  // Energy attribution (null = detached).
-  obs::EnergyLedger* ledger_ = nullptr;
-  int master_ = 0;
-  std::array<std::uint8_t, bus::kSignalCount> ownerClass_{};
-  std::array<std::int8_t, bus::kSignalCount> ownerSlave_{};
+  bus::Tl1FrameEnergy engine_;
 };
-static_assert(bus::kSignalCount <= 32, "dirty_ mask is 32 bits wide");
 
 } // namespace sct::power
 

@@ -17,14 +17,31 @@ Clock::~Clock() { kernel_.removePeriodic(periodicId_); }
 
 Clock::HandlerId Clock::onEdge(Edge edge, Callback cb, int priority) {
   if (!cb) throw std::invalid_argument("Clock::onEdge: empty callback");
-  HandlerId id = nextId_++;
+  return insertHandler(edge,
+                       Handler{/*id=*/0, priority, /*wake=*/0,
+                               /*raw=*/nullptr, /*obj=*/nullptr,
+                               std::move(cb)});
+}
+
+Clock::HandlerId Clock::onEdgeRaw(Edge edge, RawFn fn, void* obj,
+                                  int priority) {
+  if (fn == nullptr) {
+    throw std::invalid_argument("Clock::onEdgeRaw: null callback");
+  }
+  return insertHandler(
+      edge, Handler{/*id=*/0, priority, /*wake=*/0, fn, obj, Callback{}});
+}
+
+Clock::HandlerId Clock::insertHandler(Edge edge, Handler&& h) {
+  const HandlerId id = nextId_++;
+  h.id = id;
   auto& vec = (edge == Edge::Rising) ? rising_ : falling_;
   // Keep handlers sorted by priority; equal priorities keep
   // registration order (stable insert at upper bound).
   auto pos = std::upper_bound(
-      vec.begin(), vec.end(), priority,
-      [](int p, const Handler& h) { return p < h.priority; });
-  vec.insert(pos, Handler{id, priority, /*wake=*/0, std::move(cb)});
+      vec.begin(), vec.end(), h.priority,
+      [](int p, const Handler& hh) { return p < hh.priority; });
+  vec.insert(pos, std::move(h));
   minWakeDirty_ = true;
   parkIndexDirty_ = true;
   if (!scheduled_ && !halted_) {
@@ -145,7 +162,11 @@ void Clock::dispatch(std::vector<Handler>& handlers) {
     if (!pendingRemoval_.empty() && flaggedForRemoval(handlers[i].id)) {
       continue;
     }
-    handlers[i].cb();
+    if (handlers[i].raw != nullptr) {
+      handlers[i].raw(handlers[i].obj);
+    } else {
+      handlers[i].cb();
+    }
   }
 }
 

@@ -49,6 +49,10 @@ enum class Edge : std::uint8_t { Rising, Falling };
 class Clock final : private PeriodicProcess {
  public:
   using Callback = std::function<void()>;
+  /// Raw-callback form for per-cycle hot handlers: one indirect call,
+  /// no std::function invoker layer. Same registration semantics as
+  /// Callback otherwise.
+  using RawFn = void (*)(void*);
   using HandlerId = std::size_t;
 
   /// `period` must be an even, non-zero number of picoseconds so both
@@ -71,6 +75,18 @@ class Clock final : private PeriodicProcess {
   }
   HandlerId onFalling(Callback cb, int priority = 0) {
     return onEdge(Edge::Falling, std::move(cb), priority);
+  }
+
+  /// Register a raw edge handler (`fn(obj)` per edge). Identical
+  /// ordering/park/removal semantics to the std::function form; the
+  /// models driven every cycle (bus process, replay masters) register
+  /// this way so dispatch costs a single indirect call.
+  HandlerId onEdgeRaw(Edge edge, RawFn fn, void* obj, int priority = 0);
+  HandlerId onRisingRaw(RawFn fn, void* obj, int priority = 0) {
+    return onEdgeRaw(Edge::Rising, fn, obj, priority);
+  }
+  HandlerId onFallingRaw(RawFn fn, void* obj, int priority = 0) {
+    return onEdgeRaw(Edge::Falling, fn, obj, priority);
   }
 
   /// Remove a handler. Safe to call from inside a handler; the removal
@@ -143,11 +159,18 @@ class Clock final : private PeriodicProcess {
     HandlerId id;
     int priority;
     std::uint64_t wake = 0;  ///< First cycle the handler runs again.
+    /// Exactly one of (raw, obj) / cb is active: raw != nullptr wins.
+    RawFn raw = nullptr;
+    void* obj = nullptr;
     Callback cb;
   };
 
   // PeriodicProcess: one activation per edge.
   void fire() override;
+
+  /// Shared tail of onEdge/onEdgeRaw: assign the id, insert sorted by
+  /// priority, kick the edge chain if needed.
+  HandlerId insertHandler(Edge edge, Handler&& h);
 
   void armNextEdge(Time when, bool rising);
   void fireRising();

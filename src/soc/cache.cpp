@@ -48,6 +48,15 @@ bool Cache::lookupWord(bus::Address addr, bus::Word& out) {
   return false;
 }
 
+bool Cache::peekWord(bus::Address addr, bus::Word& out) const {
+  const Line& l = lineFor(addr);
+  if (l.valid && l.tagBase == lineBase(addr)) {
+    out = l.words[static_cast<std::size_t>((addr - l.tagBase) / 4)];
+    return true;
+  }
+  return false;
+}
+
 void Cache::fillLine(bus::Address addr, const bus::Word* words) {
   Line& l = lineFor(addr);
   l.valid = true;
@@ -68,9 +77,13 @@ void Cache::updateIfPresent(bus::Address addr, bus::Word value,
   }
 }
 
-void Cache::invalidate(bus::Address addr) {
+bool Cache::invalidate(bus::Address addr) {
   Line& l = lineFor(addr);
-  if (l.valid && l.tagBase == lineBase(addr)) l.valid = false;
+  if (l.valid && l.tagBase == lineBase(addr)) {
+    l.valid = false;
+    return true;
+  }
+  return false;
 }
 
 void Cache::invalidateAll() {

@@ -46,6 +46,22 @@ class Cache {
   /// records a miss otherwise.
   bool lookupWord(bus::Address addr, bus::Word& out);
 
+  /// Word lookup without touching the hit/miss statistics. The
+  /// decoded-block builder probes ahead of the architectural fetch
+  /// stream with this; its probes must not perturb the cache counters.
+  bool peekWord(bus::Address addr, bus::Word& out) const;
+
+  /// Direct-mapped index of the line that would hold `addr`.
+  std::size_t lineIndex(bus::Address addr) const {
+    return static_cast<std::size_t>(lineBase(addr) / lineBytes_) %
+           lines_.size();
+  }
+
+  /// Record a hit without a tag probe. The decoded-block dispatch path
+  /// proves residency through line generations instead of tag compares;
+  /// this keeps the hit/miss statistics identical to decode-on-fetch.
+  void noteHit() { ++stats_.hits; }
+
   /// Install a line fetched from memory. `words` must hold
   /// lineBytes()/4 entries starting at lineBase(addr).
   void fillLine(bus::Address addr, const bus::Word* words);
@@ -55,8 +71,10 @@ class Cache {
   void updateIfPresent(bus::Address addr, bus::Word value,
                        std::uint8_t byteEnables);
 
-  /// Drop a line (e.g. on DMA or self-modifying code).
-  void invalidate(bus::Address addr);
+  /// Drop a line (e.g. on DMA or self-modifying code). Returns true
+  /// when a valid line actually matched and was dropped, so callers can
+  /// propagate the invalidation to derived state (decoded blocks).
+  bool invalidate(bus::Address addr);
   void invalidateAll();
 
   const CacheStats& stats() const { return stats_; }

@@ -17,8 +17,10 @@ MipsCore::MipsCore(sim::Clock& clock, std::string name,
       dataIf_(dataIf),
       config_(config),
       icache_(config.icacheBytes, config.lineBytes),
-      dcache_(config.dcacheBytes, config.lineBytes) {
-  handlerId_ = clock_.onRising([this] { onRisingEdge(); });
+      dcache_(config.dcacheBytes, config.lineBytes),
+      blocks_(config.icacheBytes / config.lineBytes, config.lineBytes) {
+  handlerId_ = clock_.onRisingRaw(
+      [](void* self) { static_cast<MipsCore*>(self)->onRisingEdge(); }, this);
   reset(config.resetPc);
 }
 
@@ -37,6 +39,9 @@ void MipsCore::reset(Address pc) {
   faulted_ = false;
   icache_.invalidateAll();
   dcache_.invalidateAll();
+  blocks_.flush();
+  curBlock_ = nullptr;
+  curIdx_ = 0;
   ifetchSubmitted_ = false;
   loadSubmitted_ = false;
   storeActive_.fill(false);
@@ -73,6 +78,9 @@ void MipsCore::onRisingEdge() {
       if (s == BusStatus::Ok) {
         ifetchSubmitted_ = false;
         icache_.fillLine(ifetchReq_.address, ifetchReq_.data.data());
+        // The refill may have evicted another tag from this line: any
+        // block decoded from the old content is stale now.
+        blocks_.noteLineFilled(icache_.lineIndex(ifetchReq_.address));
         state_ = State::Running;
       } else if (s == BusStatus::Error) {
         ifetchSubmitted_ = false;
@@ -117,6 +125,7 @@ void MipsCore::onRisingEdge() {
 }
 
 void MipsCore::pollStores() {
+  if (storeBusy_ == 0) return;
   for (std::size_t i = 0; i < storeReqs_.size(); ++i) {
     if (!storeActive_[i]) continue;
     const BusStatus s = dataIf_.write(storeReqs_[i]);
@@ -158,16 +167,70 @@ void MipsCore::executeOne() {
     pc_ = config_.irqVector;
     inIsr_ = true;
     ++interruptsTaken_;
+    curBlock_ = nullptr;  // Vectoring breaks the sequential run.
   }
 
-  // --- Fetch ---------------------------------------------------------------
+  // --- Fetch / dispatch ----------------------------------------------------
+  // Fast path: the cursor points at the PC's op inside the current
+  // decoded block. One generation compare proves the backing icache
+  // line still holds the content the op was decoded from, standing in
+  // for the tag probe; noteHit keeps the icache statistics identical
+  // to the decode-on-fetch path.
+  if (curBlock_ != nullptr) {
+    if (curIdx_ < curBlock_->count &&
+        blocks_.opFresh(*curBlock_, curIdx_, pc_)) {
+      icache_.noteHit();
+      blocks_.noteHit();
+      executeDecoded(curBlock_->ops[curIdx_].d);
+      return;
+    }
+    curBlock_ = nullptr;
+  }
+
+  if (config_.decodedBlockCache) {
+    if (const BlockCache::Block* b = blocks_.lookup(pc_)) {
+      curBlock_ = b;
+      curIdx_ = 0;
+      icache_.noteHit();
+      blocks_.noteHit();
+      executeDecoded(b->ops[0].d);
+      return;
+    }
+  }
+
   Word instrWord = 0;
   if (!icache_.lookupWord(pc_, instrWord)) {
     startIFetch(icache_.lineBase(pc_));
     return;
   }
+  if (config_.decodedBlockCache) {
+    // Translate-once: decode the whole superblock while the line is
+    // hot, then dispatch the first op straight out of it.
+    blocks_.noteMiss();
+    curBlock_ = blocks_.build(pc_, icache_);
+    curIdx_ = 0;
+    executeDecoded(curBlock_->ops[0].d);
+    return;
+  }
+  executeDecoded(decode(instrWord));
+}
 
-  const DecodedInstr d = decode(instrWord);
+/// Advance past an instruction that neither stalled nor halted: count
+/// it, move the PC, and keep the block cursor only across sequential
+/// flow (a taken branch, jump or ERET drops it).
+void MipsCore::retire(Address nextPc) {
+  ++stats_.instructions;
+  if (curBlock_ != nullptr) {
+    if (nextPc == pc_ + 4) {
+      ++curIdx_;
+    } else {
+      curBlock_ = nullptr;
+    }
+  }
+  pc_ = nextPc;
+}
+
+void MipsCore::executeDecoded(const DecodedInstr& d) {
   Address nextPc = pc_ + 4;
   const auto rs = regs_[d.rs];
   const auto rt = regs_[d.rt];
@@ -275,10 +338,9 @@ void MipsCore::executeOne() {
       // stores have drained from the write buffer, as the 4K BIU does.
       if (storeBufferOverlaps(addr)) {
         ++stats_.storeStallCycles;
-        return;  // PC unchanged; retry next cycle.
+        return;  // PC and cursor unchanged; retry next cycle.
       }
-      ++stats_.instructions;
-      pc_ = nextPc;
+      retire(nextPc);
       startLoad(d, addr);
       return;
     }
@@ -286,8 +348,7 @@ void MipsCore::executeOne() {
     case Op::Sh:
     case Op::Sw: {
       const Address addr = rs + static_cast<std::uint32_t>(d.simm);
-      ++stats_.instructions;
-      pc_ = nextPc;
+      retire(nextPc);
       if (!startStore(d, addr)) {
         pendingStore_ = d;
         pendingStoreAddr_ = addr;
@@ -299,17 +360,18 @@ void MipsCore::executeOne() {
     case Op::Break:
       ++stats_.instructions;
       haltPending_ = true;
+      curBlock_ = nullptr;
       return;
     case Op::Eret:
       nextPc = epc_;
       inIsr_ = false;
       break;
     case Op::Invalid:
+      curBlock_ = nullptr;
       halt(true);
       return;
   }
-  ++stats_.instructions;
-  pc_ = nextPc;
+  retire(nextPc);
 }
 
 namespace {
@@ -443,7 +505,11 @@ bool MipsCore::startStore(const DecodedInstr& d, Address addr) {
   // Write-through: keep the cached copy coherent.
   if (addr < config_.uncachedBase) {
     dcache_.updateIfPresent(addr, value, bus::byteEnables(size, addr));
-    icache_.invalidate(addr);  // Self-modifying-code safety.
+    // Self-modifying-code safety: dropping an icache line also retires
+    // every decoded block built from it (generation bump).
+    if (icache_.invalidate(addr)) {
+      blocks_.noteLineInvalidated(icache_.lineIndex(addr));
+    }
   }
 
   const BusStatus s = dataIf_.write(req);
@@ -457,6 +523,29 @@ bool MipsCore::startStore(const DecodedInstr& d, Address addr) {
     return true;  // Halted; nothing to retry.
   }
   return false;  // Bus refused the accept (EC limit); retry.
+}
+
+void MipsCore::invalidateICacheRange(Address addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const Address first = icache_.lineBase(addr);
+  const Address last = icache_.lineBase(addr + bytes - 1);
+  for (Address a = first;; a += config_.lineBytes) {
+    if (icache_.invalidate(a)) {
+      blocks_.noteLineInvalidated(icache_.lineIndex(a));
+    }
+    if (a == last) break;
+  }
+  curBlock_ = nullptr;
+}
+
+void MipsCore::publishObs(obs::StatsRegistry& reg) const {
+  if constexpr (obs::kEnabled) {
+    reg.counter("iss.block_hits").add(blocks_.stats().hits);
+    reg.counter("iss.block_misses").add(blocks_.stats().misses);
+    reg.counter("iss.invalidations").add(blocks_.stats().invalidations);
+  } else {
+    (void)reg;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -590,6 +679,13 @@ void MipsCore::loadState(ckpt::StateReader& r) {
   loadSubmitted_ = false;
   storeActive_.fill(false);
   storeBusy_ = 0;
+  // The decoded-block cache is derived state: nothing of it is in the
+  // snapshot (the checkpoint format predates it and stays unchanged),
+  // so a restore drops every block and lets demand decoding rebuild
+  // them from the restored icache content.
+  blocks_.flush();
+  curBlock_ = nullptr;
+  curIdx_ = 0;
 }
 
 bool MipsCore::runUntilHalt(std::uint64_t maxCycles) {

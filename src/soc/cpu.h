@@ -24,9 +24,11 @@
 #include "bus/ec_interfaces.h"
 #include "bus/ec_request.h"
 #include "ckpt/state_io.h"
+#include "obs/stats.h"
 #include "sim/clock.h"
 #include "sim/module.h"
 #include "soc/cache.h"
+#include "soc/decoded_block.h"
 #include "soc/isa.h"
 
 namespace sct::soc {
@@ -43,6 +45,11 @@ struct CpuConfig {
   /// Addresses at or above this are uncached (memory-mapped SFRs).
   bus::Address uncachedBase = 0x10000000;
   unsigned storeBufferDepth = 4;  ///< <= EC outstanding-write limit.
+  /// Dispatch through the decoded-block cache (decode each basic block
+  /// once, re-execute from pre-resolved entries). Architecturally and
+  /// cycle-wise identical to decode-on-fetch — the off setting exists
+  /// for the equivalence suite and as the seed baseline in benchmarks.
+  bool decodedBlockCache = true;
 };
 
 struct CpuStats {
@@ -85,6 +92,18 @@ class MipsCore final : public sim::Module {
   const CpuStats& stats() const { return stats_; }
   const Cache& icache() const { return icache_; }
   const Cache& dcache() const { return dcache_; }
+  const BlockCacheStats& blockCacheStats() const { return blocks_.stats(); }
+
+  /// Drop any cached instruction state covering [addr, addr+bytes):
+  /// icache lines and the decoded blocks derived from them. External
+  /// image mutators (DMA-style backdoor writes, JCVM code stores that
+  /// bypass the data port) must call this, exactly like software would
+  /// run a cache op after patching code.
+  void invalidateICacheRange(bus::Address addr, std::size_t bytes);
+
+  /// Publish dispatch-loop counters (iss.block_hits, iss.block_misses,
+  /// iss.invalidations) into `reg`. Compiles to nothing with SCT_OBS=OFF.
+  void publishObs(obs::StatsRegistry& reg) const;
 
   /// Drive the clock until the core halts. Returns true if it halted
   /// within `maxCycles`.
@@ -122,6 +141,8 @@ class MipsCore final : public sim::Module {
   void onRisingEdge();
   void pollStores();
   void executeOne();
+  void executeDecoded(const DecodedInstr& d);
+  void retire(bus::Address nextPc);
   void startIFetch(bus::Address pcLine);
   void startLoad(const DecodedInstr& d, bus::Address addr);
   bool storeBufferOverlaps(bus::Address addr) const;
@@ -151,6 +172,14 @@ class MipsCore final : public sim::Module {
 
   Cache icache_;
   Cache dcache_;
+
+  // Decoded-block dispatch (derived state: flushed on reset and on
+  // checkpoint restore, never serialized). The cursor tracks the op the
+  // PC points at inside the current block; it survives only sequential
+  // flow and is dropped on any redirect.
+  BlockCache blocks_;
+  const BlockCache::Block* curBlock_ = nullptr;
+  std::uint32_t curIdx_ = 0;
 
   bus::Tl1Request ifetchReq_;
   bool ifetchSubmitted_ = false;

@@ -1,0 +1,61 @@
+#include "soc/decoded_block.h"
+
+#include <bit>
+
+namespace sct::soc {
+
+namespace {
+
+/// Ops after which straight-line decoding cannot continue: the
+/// successor is never pc+4 (jumps, ERET) or the core halts
+/// (SYSCALL/BREAK/invalid). Conditional branches are *not* terminators:
+/// their fall-through successor keeps the superblock alive, and a taken
+/// branch simply drops the dispatch cursor at retire time.
+bool endsBlock(Op op) {
+  switch (op) {
+    case Op::J:
+    case Op::Jal:
+    case Op::Jr:
+    case Op::Jalr:
+    case Op::Eret:
+    case Op::Syscall:
+    case Op::Break:
+    case Op::Invalid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+} // namespace
+
+BlockCache::BlockCache(std::size_t icacheLineCount, std::size_t lineBytes)
+    : lineShift_(static_cast<unsigned>(std::countr_zero(lineBytes))),
+      lineMask_(icacheLineCount - 1),
+      gens_(icacheLineCount, 0),
+      slots_(kSlots) {}
+
+void BlockCache::flush() {
+  for (Block& b : slots_) b.count = 0;
+}
+
+const BlockCache::Block* BlockCache::build(bus::Address pc,
+                                           const Cache& icache) {
+  Block& b = slots_[slotOf(pc)];
+  b.startPc = pc;
+  b.count = 0;
+  bus::Address a = pc;
+  for (std::size_t n = 0; n < kMaxOps; ++n, a += 4) {
+    bus::Word w = 0;
+    if (!icache.peekWord(a, w)) break;  // Line not resident: stop here.
+    CachedOp& op = b.ops[n];
+    op.d = decode(w);
+    op.lineGen = gens_[lineIndexOf(a)];
+    b.count = static_cast<std::uint16_t>(n + 1);
+    if (endsBlock(op.d.op)) break;
+  }
+  ++stats_.builds;
+  return &b;
+}
+
+} // namespace sct::soc

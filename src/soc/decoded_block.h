@@ -1,0 +1,126 @@
+// Decoded-block cache: translate-once frontend for the MIPS ISS.
+//
+// Decode-on-fetch pays the full field-extraction and opcode-dispatch
+// cost of decode() on every executed instruction even though smart-card
+// firmware spends almost all of its time re-executing the same short
+// loops out of a warm instruction cache. This cache decodes a run of
+// straight-line instructions once — a "superblock" that extends through
+// the fall-through path of conditional branches — into pre-resolved
+// DecodedInstr entries, and lets the core dispatch subsequent visits
+// directly off the cached entries.
+//
+// Coherence model: a block mirrors the *instruction cache*, not memory.
+// Every mutation of an icache line (refill over an old line, or an
+// invalidation from the write-through self-modifying-code path) bumps a
+// per-line generation counter; each cached op remembers the generation
+// of the line it was decoded from, so validity is one compare per
+// dispatched instruction. Because only the icache feeds blocks, the
+// block path is cycle- and stats-identical to decode-on-fetch: it never
+// executes an instruction the icache would have missed on.
+//
+// The whole structure is derived state: it is rebuilt on demand, never
+// serialized, and flushed on reset and on checkpoint restore (the
+// checkpoint format is unchanged — see MipsCore::loadState).
+#ifndef SCT_SOC_DECODED_BLOCK_H
+#define SCT_SOC_DECODED_BLOCK_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bus/ec_types.h"
+#include "soc/cache.h"
+#include "soc/isa.h"
+
+namespace sct::soc {
+
+/// Dispatch-loop diagnostics (never serialized; see obs counters
+/// iss.block_hits / iss.block_misses / iss.invalidations).
+struct BlockCacheStats {
+  std::uint64_t hits = 0;    ///< Instructions dispatched from a block.
+  std::uint64_t misses = 0;  ///< Instructions that fell back to decode().
+  std::uint64_t builds = 0;  ///< Blocks (re)decoded.
+  std::uint64_t invalidations = 0;  ///< Icache-line drops that retired
+                                    ///  decoded state (SMC / DMA).
+};
+
+class BlockCache {
+ public:
+  static constexpr std::size_t kSlots = 256;  ///< Direct-mapped, pow2.
+  static constexpr std::size_t kMaxOps = 16;  ///< Ops per superblock.
+
+  struct CachedOp {
+    DecodedInstr d{};
+    /// Generation of the backing icache line when the op was decoded.
+    std::uint64_t lineGen = 0;
+  };
+
+  struct Block {
+    bus::Address startPc = 0;
+    std::uint16_t count = 0;  ///< 0 = empty slot.
+    std::array<CachedOp, kMaxOps> ops{};
+  };
+
+  /// Geometry must match the instruction cache feeding the blocks;
+  /// both dimensions are powers of two (enforced by Cache).
+  BlockCache(std::size_t icacheLineCount, std::size_t lineBytes);
+
+  /// Block whose first op starts at `pc` and is still coherent with
+  /// the icache, or nullptr.
+  const Block* lookup(bus::Address pc) const {
+    const Block& b = slots_[slotOf(pc)];
+    if (b.count != 0 && b.startPc == pc && opFresh(b, 0, pc)) return &b;
+    return nullptr;
+  }
+
+  /// True when op `idx` of `b` (located at `pc`) was decoded from the
+  /// current generation of its icache line — the single compare that
+  /// stands in for the tag probe on the dispatch fast path.
+  bool opFresh(const Block& b, std::size_t idx, bus::Address pc) const {
+    return gens_[lineIndexOf(pc)] == b.ops[idx].lineGen;
+  }
+
+  /// Decode a superblock starting at `pc` out of the icache. The first
+  /// word must be resident (the caller just hit on it); decoding stops
+  /// at kMaxOps, at a non-resident line, or after an op that cannot
+  /// fall through. Returns the slot the block was installed in.
+  const Block* build(bus::Address pc, const Cache& icache);
+
+  /// An icache line was refilled (possibly evicting another tag): all
+  /// ops decoded from the old content become stale.
+  void noteLineFilled(std::size_t lineIdx) { ++gens_[lineIdx]; }
+
+  /// An icache line was dropped by the coherence path (self-modifying
+  /// code, external image mutation): stale ops, counted as a real
+  /// invalidation event.
+  void noteLineInvalidated(std::size_t lineIdx) {
+    ++gens_[lineIdx];
+    ++stats_.invalidations;
+  }
+
+  /// Drop every block (reset, checkpoint restore). Generations and
+  /// cumulative stats survive; entries do not.
+  void flush();
+
+  void noteHit() { ++stats_.hits; }
+  void noteMiss() { ++stats_.misses; }
+  const BlockCacheStats& stats() const { return stats_; }
+
+ private:
+  std::size_t lineIndexOf(bus::Address a) const {
+    return (static_cast<std::size_t>(a) >> lineShift_) & lineMask_;
+  }
+  static std::size_t slotOf(bus::Address pc) {
+    return (static_cast<std::size_t>(pc) >> 2) & (kSlots - 1);
+  }
+
+  unsigned lineShift_;
+  std::size_t lineMask_;
+  std::vector<std::uint64_t> gens_;  ///< Per-icache-line generation.
+  std::vector<Block> slots_;
+  BlockCacheStats stats_;
+};
+
+} // namespace sct::soc
+
+#endif // SCT_SOC_DECODED_BLOCK_H

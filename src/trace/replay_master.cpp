@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "bus/tl1_bus.h"
+
 namespace sct::trace {
 
 using bus::BusStatus;
@@ -18,6 +20,17 @@ BusStatus invoke(bus::EcInstrIf& instrIf, bus::EcDataIf& dataIf,
     case Kind::InstrFetch: return instrIf.fetch(req);
     case Kind::Read: return dataIf.read(req);
     case Kind::Write: return dataIf.write(req);
+  }
+  return BusStatus::Error;
+}
+
+/// Devirtualized twin of invoke() for the common single-Tl1Bus case:
+/// Tl1Bus is final, so these resolve to direct calls.
+BusStatus invokeDirect(bus::Tl1Bus& b, Tl1Request& req) {
+  switch (req.kind) {
+    case Kind::InstrFetch: return b.fetch(req);
+    case Kind::Read: return b.read(req);
+    case Kind::Write: return b.write(req);
   }
   return BusStatus::Error;
 }
@@ -45,15 +58,24 @@ ReplayMaster::ReplayMaster(sim::Clock& clock, std::string name,
       dataIf_(dataIf),
       maxInFlight_(maxInFlight),
       stageGated_(instrIf.publishesStage() && dataIf.publishesStage()),
+      predictive_(instrIf.predictsFinish() || dataIf.predictsFinish()),
+      epochGated_(stageGated_ &&
+                  instrIf.finishEpoch() != bus::kEpochUnknown &&
+                  dataIf.finishEpoch() != bus::kEpochUnknown),
       trace_(trace.entries()) {
-  // Setup stays one bulk memcpy (TraceEntry is trivially copyable);
-  // request payloads are materialised lazily, one per entry as it is
-  // issued. Replay harnesses construct one master per run, so skipping
-  // the up-front per-element initialisation is the bulk of the setup
-  // cost. reserve() to full size keeps in-flight pointers stable.
+  // The trace is referenced in place (constructor contract: it outlives
+  // the master); request payloads are materialised lazily, one per
+  // entry as it is issued. reserve() to full size keeps in-flight
+  // pointers stable.
+  if (auto* b = dynamic_cast<bus::Tl1Bus*>(&instrIf); b != nullptr &&
+      static_cast<bus::EcDataIf*>(b) == &dataIf) {
+    tl1_ = b;  // Both interfaces are one Tl1Bus: direct-dispatch path.
+  }
   requests_.reserve(trace_.size());
   inFlight_.reserve(maxInFlight_);
-  handlerId_ = clock_.onRising([this] { onRisingEdge(); });
+  handlerId_ = clock_.onRisingRaw(
+      [](void* self) { static_cast<ReplayMaster*>(self)->onRisingEdge(); },
+      this);
 }
 
 ReplayMaster::~ReplayMaster() { clock_.removeHandler(handlerId_); }
@@ -74,48 +96,81 @@ void ReplayMaster::syncStalls(std::uint64_t through) const {
 
 void ReplayMaster::onRisingEdge() {
   const std::uint64_t cycle = clock_.cycle();
-  if (stallOpen_) {
-    // See Tl2ReplayMaster::onRisingEdge: one stall per skipped rising
-    // edge; the retry below re-counts this cycle if refused again.
-    syncStalls(cycle - 1);
-    stallOpen_ = false;
-  }
   // A stage-publishing adapter over an event-driven bus (the
   // Tl2MasterBridge) defers completion bookkeeping until asked;
   // querying the next finish publishes every stage transition due by
-  // now, so the gate below reads fresh stages. A cycle-true bus
-  // answers kFinishUnknown from a constant — two trivial virtual calls.
-  if (stageGated_ && !inFlight_.empty()) {
+  // now, so the gates below read fresh stages. A cycle-true bus never
+  // predicts (predictsFinish() false) and publishes stages from its own
+  // process — no pump needed, no virtual calls spent.
+  if (predictive_ && stageGated_ && !inFlight_.empty()) {
     instrIf_.nextFinishCycle();
     dataIf_.nextFinishCycle();
   }
-  // Poll transactions in flight. When the bus publishes stage
-  // transitions (publishesStage()), polling a request it still owns
-  // returns Wait with no side effects, so the completion pickup is only
-  // invoked once the payload's public stage says the result is ready —
-  // the same protocol, minus a virtual call per in-flight transaction
-  // per cycle. Adapters that do not publish stages need every poll to
-  // pump their lower transaction, so they are polled unconditionally.
-  for (auto it = inFlight_.begin(); it != inFlight_.end();) {
-    if (stageGated_ && (*it)->stage != bus::Tl1Stage::Finished) {
-      ++it;
-      continue;
+  // Completion-epoch gate: while the interfaces' finishEpoch sum is
+  // unchanged, no in-flight transaction can have reached Finished and
+  // no outstanding slot can have freed — the Finished scan and a
+  // pending refused issue are both guaranteed no-ops.
+  bool mayComplete = true;
+  if (epochGated_) {
+    // Same change detection either way: with one underlying bus the
+    // generic sum is exactly twice the direct read, so "moved" agrees.
+    const std::uint64_t ep = tl1_ != nullptr
+                                 ? tl1_->finishEpoch()
+                                 : instrIf_.finishEpoch() + dataIf_.finishEpoch();
+    mayComplete = ep != lastEpoch_;
+    lastEpoch_ = ep;
+  }
+  if (stallOpen_) {
+    if (!mayComplete && !inFlight_.empty()) {
+      // The refusal can only clear once a completion frees its class
+      // slot; nothing finished, so the retry would be refused again.
+      // The skipped stall cycles are credited lazily (syncStalls).
+      return;
     }
-    const BusStatus s = invoke(instrIf_, dataIf_, **it);
-    if (finished(s)) {
-      ++stats_.completed;
-      if (s == BusStatus::Error) ++stats_.errors;
-      stats_.finishCycle = clock_.cycle();
-      it = inFlight_.erase(it);
-    } else {
-      ++it;
+    // One stall per skipped rising edge; the retry below re-counts
+    // this cycle if refused again.
+    syncStalls(cycle - 1);
+    stallOpen_ = false;
+  }
+  // Poll transactions in flight. When the bus publishes stage
+  // transitions (publishesStage()), a payload whose public stage is
+  // not Finished is still owned by the bus, and a Finished payload is
+  // collected directly from the payload fields — the pickup poll of
+  // every stage-publishing bus is exactly `result = req.result, stage
+  // = Idle` (the publishesStage() contract), so no call is made at
+  // all. Adapters that do not publish stages need every poll to pump
+  // their lower transaction, so they are polled unconditionally.
+  if (mayComplete) {
+    for (auto it = inFlight_.begin(); it != inFlight_.end();) {
+      Tl1Request& q = **it;
+      if (stageGated_) {
+        if (q.stage != bus::Tl1Stage::Finished) {
+          ++it;
+          continue;
+        }
+        q.stage = bus::Tl1Stage::Idle;
+        ++stats_.completed;
+        if (q.result == BusStatus::Error) ++stats_.errors;
+        stats_.finishCycle = cycle;
+        it = inFlight_.erase(it);
+        continue;
+      }
+      const BusStatus s = invoke(instrIf_, dataIf_, q);
+      if (finished(s)) {
+        ++stats_.completed;
+        if (s == BusStatus::Error) ++stats_.errors;
+        stats_.finishCycle = cycle;
+        it = inFlight_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   // Issue further transactions in trace order, materialising each
   // request from its trace entry on first touch.
   bool refused = false;
   while (nextIssue_ < trace_.size() &&
-         trace_[nextIssue_].issueCycle <= clock_.cycle() &&
+         trace_[nextIssue_].issueCycle <= cycle &&
          inFlight_.size() < maxInFlight_) {
     if (requests_.size() == nextIssue_) {
       const TraceEntry& e = trace_[nextIssue_];
@@ -127,7 +182,8 @@ void ReplayMaster::onRisingEdge() {
       r.data = e.writeData;
     }
     Tl1Request& req = requests_[nextIssue_];
-    const BusStatus s = invoke(instrIf_, dataIf_, req);
+    const BusStatus s = tl1_ != nullptr ? invokeDirect(*tl1_, req)
+                                        : invoke(instrIf_, dataIf_, req);
     if (s == BusStatus::Request) {
       inFlight_.push_back(&req);
       ++nextIssue_;
@@ -135,13 +191,17 @@ void ReplayMaster::onRisingEdge() {
       // Rejected at validation; counts as an immediately failed entry.
       ++stats_.completed;
       ++stats_.errors;
-      stats_.finishCycle = clock_.cycle();
+      stats_.finishCycle = cycle;
       ++nextIssue_;
     } else {
       ++stats_.issueStallCycles;
       stallSyncedThrough_ = cycle;
       refused = true;
-      break;  // Accept refused (outstanding limit); retry next cycle.
+      // Accept refused (outstanding limit); retry next cycle — or, on
+      // an epoch-keeping bus, on the next cycle a completion occurs
+      // (the stall accounting stays cycle-exact via syncStalls).
+      if (epochGated_) stallOpen_ = true;
+      break;
     }
   }
   if (done()) {
@@ -149,13 +209,14 @@ void ReplayMaster::onRisingEdge() {
       doneNotified_ = true;
       clock_.requestBreak();
     }
-    if (instrIf_.nextFinishCycle() != bus::kFinishUnknown &&
+    if (predictive_ &&
+        instrIf_.nextFinishCycle() != bus::kFinishUnknown &&
         dataIf_.nextFinishCycle() != bus::kFinishUnknown) {
       clock_.parkHandler(handlerId_, sim::Clock::kNeverWake);
     }
     return;
   }
-  parkUntilNextWork(refused);
+  if (predictive_) parkUntilNextWork(refused);
 }
 
 void ReplayMaster::parkUntilNextWork(bool refused) {
@@ -285,13 +346,16 @@ Tl2ReplayMaster::Tl2ReplayMaster(sim::Clock& clock, std::string name,
       maxInFlight_(maxInFlight),
       stageGated_(busIf.publishesStage()),
       trace_(trace.entries()) {
-  // Same bulk-copy-then-lazy-materialise construction as ReplayMaster
-  // (see above). Buffers are resized up front (value-initialised
-  // storage, cheap) so result pointers can be handed out at issue time.
+  // Same reference-in-place-then-lazy-materialise construction as
+  // ReplayMaster (see above). Buffers are resized up front
+  // (value-initialised storage, cheap) so result pointers can be
+  // handed out at issue time.
   requests_.reserve(trace_.size());
   buffers_.resize(trace_.size());
   inFlight_.reserve(maxInFlight_);
-  handlerId_ = clock_.onRising([this] { onRisingEdge(); });
+  handlerId_ = clock_.onRisingRaw(
+      [](void* self) { static_cast<Tl2ReplayMaster*>(self)->onRisingEdge(); },
+      this);
 }
 
 Tl2ReplayMaster::~Tl2ReplayMaster() { clock_.removeHandler(handlerId_); }

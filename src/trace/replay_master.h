@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@
 #include "sim/clock.h"
 #include "sim/module.h"
 #include "trace/bus_trace.h"
+
+namespace sct::bus {
+class Tl1Bus;
+}
 
 namespace sct::trace {
 
@@ -47,9 +52,13 @@ inline void publishReplayObs(obs::StatsRegistry& reg,
 class ReplayMaster final : public sim::Module {
  public:
   /// `instrIf` and `dataIf` usually refer to the same bus object.
+  /// `trace` is referenced, not copied, and must outlive the master —
+  /// the rvalue overload is deleted so a temporary cannot bind here.
   ReplayMaster(sim::Clock& clock, std::string name, bus::EcInstrIf& instrIf,
                bus::EcDataIf& dataIf, const BusTrace& trace,
                unsigned maxInFlight = 8);
+  ReplayMaster(sim::Clock&, std::string, bus::EcInstrIf&, bus::EcDataIf&,
+               BusTrace&&, unsigned = 8) = delete;
   ~ReplayMaster() override;
 
   bool done() const { return stats_.completed == trace_.size(); }
@@ -93,26 +102,47 @@ class ReplayMaster final : public sim::Module {
   sim::Clock::HandlerId handlerId_;
   bus::EcInstrIf& instrIf_;
   bus::EcDataIf& dataIf_;
+  /// Set when both interfaces are the same concrete Tl1Bus (detected at
+  /// construction): the per-cycle epoch probe and the issue calls then
+  /// go through the final class directly — no virtual dispatch, no
+  /// multiple-inheritance thunks. Behavior is identical to the generic
+  /// path; this is purely a dispatch shortcut.
+  bus::Tl1Bus* tl1_ = nullptr;
   unsigned maxInFlight_;
   bool stageGated_;  ///< Both interfaces publish the Finished stage.
-  /// Entry payloads, bulk-copied (one trivially-copyable memcpy; much
-  /// cheaper than materialising every request up front). Requests are
-  /// built from it one by one as they are issued; requests_ is reserved
-  /// to full size so in-flight pointers stay stable.
-  std::vector<TraceEntry> trace_;
+  bool predictive_;  ///< Either interface may predict completions; when
+                     ///  false the park/pump bookkeeping is skipped —
+                     ///  the schedule is poll-every-cycle regardless.
+  bool epochGated_;  ///< Stage-gated over epoch-keeping interfaces: the
+                     ///  in-flight scan and refused-issue retry only run
+                     ///  on cycles whose finishEpoch sum moved.
+  /// Entry payloads, referenced in place (the trace outlives the
+  /// master; see the constructor contract). Requests are built from it
+  /// one by one as they are issued; requests_ is reserved to full size
+  /// so in-flight pointers stay stable.
+  std::span<const TraceEntry> trace_;
   std::vector<bus::Tl1Request> requests_;
   std::vector<bus::Tl1Request*> inFlight_;
   std::size_t nextIssue_ = 0;
+  /// Last observed finishEpoch sum. Deliberately not checkpointed: a
+  /// stale value costs at most one redundant in-flight scan (restores
+  /// always land with nothing in flight), never a missed completion.
+  std::uint64_t lastEpoch_ = 0;
   bool doneNotified_ = false;
-  bool stallOpen_ = false;  ///< A refused issue is waiting, handler parked.
+  bool stallOpen_ = false;  ///< A refused issue is waiting; the handler
+                            ///  is parked or epoch-gated meanwhile.
   mutable std::uint64_t stallSyncedThrough_ = 0;
   mutable ReplayStats stats_;
 };
 
 class Tl2ReplayMaster final : public sim::Module {
  public:
+  /// See ReplayMaster: the trace is referenced, not copied, and must
+  /// outlive the master.
   Tl2ReplayMaster(sim::Clock& clock, std::string name, bus::Tl2MasterIf& busIf,
                   const BusTrace& trace, unsigned maxInFlight = 8);
+  Tl2ReplayMaster(sim::Clock&, std::string, bus::Tl2MasterIf&, BusTrace&&,
+                  unsigned = 8) = delete;
   ~Tl2ReplayMaster() override;
 
   bool done() const { return stats_.completed == trace_.size(); }
@@ -154,9 +184,9 @@ class Tl2ReplayMaster final : public sim::Module {
   bus::Tl2MasterIf& busIf_;
   unsigned maxInFlight_;
   bool stageGated_;  ///< The interface publishes the Finished stage.
-  /// See ReplayMaster: bulk-copied entries, lazily materialised
+  /// See ReplayMaster: referenced entries, lazily materialised
   /// requests (reserved to full size, so pointers stay stable).
-  std::vector<TraceEntry> trace_;
+  std::span<const TraceEntry> trace_;
   std::vector<bus::Tl2Request> requests_;
   std::vector<std::array<std::uint8_t, 16>> buffers_;
   std::vector<bus::Tl2Request*> inFlight_;

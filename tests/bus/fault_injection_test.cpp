@@ -107,7 +107,8 @@ TEST(FaultInjectionTest, MidBurstErrorTerminatesTransaction) {
   Tl1Bus bus(clk, "bus");
   FaultInjectingSlave slave(window(), /*failOnBeat=*/2, /*failOnCall=*/99);
   bus.attach(slave);
-  trace::ReplayMaster m(clk, "m", bus, bus, burstsThenSingles());
+  const trace::BusTrace t = burstsThenSingles();
+  trace::ReplayMaster m(clk, "m", bus, bus, t);
   m.runToCompletion();
   ASSERT_TRUE(m.done());
   EXPECT_EQ(m.requests()[0].result, BusStatus::Error);
@@ -120,12 +121,13 @@ TEST(FaultInjectionTest, MidBurstErrorTerminatesTransaction) {
 }
 
 TEST(FaultInjectionTest, Layer0AgreesWithLayer1OnMidBurstError) {
+  const trace::BusTrace t = burstsThenSingles();
   sim::Kernel k1;
   sim::Clock c1(k1, "clk", 10);
   Tl1Bus tl1(c1, "tl1");
   FaultInjectingSlave s1(window(), 2, 99);
   tl1.attach(s1);
-  trace::ReplayMaster m1(c1, "m", tl1, tl1, burstsThenSingles());
+  trace::ReplayMaster m1(c1, "m", tl1, tl1, t);
   const std::uint64_t cycles1 = m1.runToCompletion();
 
   sim::Kernel k0;
@@ -133,7 +135,7 @@ TEST(FaultInjectionTest, Layer0AgreesWithLayer1OnMidBurstError) {
   ref::GlBus gl(c0, "gl", testbench::energyModel());
   FaultInjectingSlave s0(window(), 2, 99);
   gl.attach(s0);
-  trace::ReplayMaster m0(c0, "m", gl, gl, burstsThenSingles());
+  trace::ReplayMaster m0(c0, "m", gl, gl, t);
   const std::uint64_t cycles0 = m0.runToCompletion();
 
   EXPECT_EQ(cycles1, cycles0);

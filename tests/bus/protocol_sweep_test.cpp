@@ -70,19 +70,21 @@ TEST_P(ProtocolSweepTest, Tl1IsolatedLatencyFormula) {
   Tl1Bus bus(clk, "bus");
   MemorySlave mem("mem", makeCtl());
   bus.attach(mem);
-  trace::ReplayMaster m(clk, "m", bus, bus, isolatedRead());
+  const trace::BusTrace t = isolatedRead();
+  trace::ReplayMaster m(clk, "m", bus, bus, t);
   const std::uint64_t elapsed = m.runToCompletion();
   // submit + aw + dw + beats-1 beats with bw gaps + pickup.
   EXPECT_EQ(elapsed, 2u + aw + dw + (beats - 1) * (1 + bw));
 }
 
 TEST_P(ProtocolSweepTest, Layer0MatchesTl1OnTheGrid) {
+  const trace::BusTrace t = backToBack(12);
   sim::Kernel k1;
   sim::Clock c1(k1, "clk", 10);
   Tl1Bus tl1(c1, "tl1");
   MemorySlave m1("mem", makeCtl());
   tl1.attach(m1);
-  trace::ReplayMaster r1(c1, "m", tl1, tl1, backToBack(12));
+  trace::ReplayMaster r1(c1, "m", tl1, tl1, t);
   const std::uint64_t cyclesTl1 = r1.runToCompletion();
 
   sim::Kernel k0;
@@ -90,19 +92,20 @@ TEST_P(ProtocolSweepTest, Layer0MatchesTl1OnTheGrid) {
   ref::GlBus gl(c0, "gl", testbench::energyModel());
   MemorySlave m0("mem", makeCtl());
   gl.attach(m0);
-  trace::ReplayMaster r0(c0, "m", gl, gl, backToBack(12));
+  trace::ReplayMaster r0(c0, "m", gl, gl, t);
   const std::uint64_t cyclesGl = r0.runToCompletion();
 
   EXPECT_EQ(cyclesTl1, cyclesGl);
 }
 
 TEST_P(ProtocolSweepTest, Tl2NeverUndercutsTl1OnStaticWaits) {
+  const trace::BusTrace t = backToBack(12);
   sim::Kernel k1;
   sim::Clock c1(k1, "clk", 10);
   Tl1Bus tl1(c1, "tl1");
   MemorySlave m1("mem", makeCtl());
   tl1.attach(m1);
-  trace::ReplayMaster r1(c1, "m", tl1, tl1, backToBack(12));
+  trace::ReplayMaster r1(c1, "m", tl1, tl1, t);
   const std::uint64_t cyclesTl1 = r1.runToCompletion();
 
   sim::Kernel k2;
@@ -110,7 +113,7 @@ TEST_P(ProtocolSweepTest, Tl2NeverUndercutsTl1OnStaticWaits) {
   Tl2Bus tl2(c2, "tl2");
   MemorySlave m2("mem", makeCtl());
   tl2.attach(m2);
-  trace::Tl2ReplayMaster r2(c2, "m", tl2, backToBack(12));
+  trace::Tl2ReplayMaster r2(c2, "m", tl2, t);
   const std::uint64_t cyclesTl2 = r2.runToCompletion();
 
   EXPECT_GE(cyclesTl2, cyclesTl1);

@@ -210,7 +210,8 @@ TEST(Tl2Reset, BridgedResetEquivalentToFresh) {
   Platform warmed(/*perCycle=*/false);
   bus::Tl2MasterBridge bridge(warmed.bus);
   {
-    trace::ReplayMaster m(warmed.clk, "m", bridge, bridge, backToBack(600, 120));
+    const BusTrace warmup = backToBack(600, 120);
+    trace::ReplayMaster m(warmed.clk, "m", bridge, bridge, warmup);
     m.runToCompletion();
     EXPECT_TRUE(m.done());
   }

@@ -1,0 +1,115 @@
+// Checkpoint restore into a core with a warm decoded-block cache.
+//
+// The decoded-block cache is derived state: it is never serialized
+// (MipsCore's section format predates it and must stay byte-stable),
+// so loadState has to flush it. This test makes a missing flush
+// actually observable: the restore target first runs a DIFFERENT
+// program at the same addresses, so any decoded block surviving the
+// restore would replay the wrong instructions. A mid-run snapshot
+// (quiesce point found by stepping, like a real harness) is restored
+// into that warm core, into a fresh core, and into a fresh core with
+// the block cache disabled — all three continuations must be
+// bit-identical to the uninterrupted parent run.
+#include <gtest/gtest.h>
+
+#include "../iss/iss_testutil.h"
+#include "ckpt/checkpoint.h"
+#include "soc/assembler.h"
+
+namespace sct::soc {
+namespace {
+
+using isstest::Soc;
+using isstest::configFor;
+using isstest::expectIdenticalOutcome;
+
+// Program A — the checkpointed workload: a long ALU loop (quiesced at
+// almost every cycle once the icache is warm) with a result store.
+constexpr const char* kProgramA = R"(
+      li    $s0, 0x08000000
+      li    $s1, 3000
+      addiu $t0, $zero, 0
+  loop:
+      addu  $t0, $t0, $s1
+      xor   $t0, $t0, $s1
+      sll   $t1, $t0, 2
+      or    $t0, $t0, $t1
+      addiu $s1, $s1, -1
+      bne   $s1, $zero, loop
+      sw    $t0, 0($s0)
+      break
+)";
+
+// Program B — different instructions at the same PCs, used only to
+// warm the restore target's decoded blocks with wrong content.
+constexpr const char* kProgramB = R"(
+      li    $s0, 0x08000000
+      li    $s1, 900
+      addiu $t0, $zero, 1
+  loop:
+      ori   $t0, $t0, 0x15
+      srl   $t2, $t0, 1
+      addu  $t0, $t0, $t2
+      subu  $t0, $t0, $s1
+      addiu $s1, $s1, -1
+      bne   $s1, $zero, loop
+      sw    $t0, 4($s0)
+      break
+)";
+
+TEST(WarmCacheRestore, MidRunSnapshotRestoresIdenticallyIntoWarmCore) {
+  const AssembledProgram progA = assemble(kProgramA, memmap::kRomBase);
+  const AssembledProgram progB = assemble(kProgramB, memmap::kRomBase);
+
+  // Parent: run into the loop, snapshot at the first quiesce point
+  // after warm-up, then continue uninterrupted to completion.
+  Soc parent{configFor(true)};
+  parent.loadProgram(progA);
+  parent.clock().runCycles(400);
+  ASSERT_FALSE(parent.cpu().halted());
+  ASSERT_GT(parent.cpu().blockCacheStats().hits, 0u);  // Cache is warm.
+  ckpt::Snapshot snap;
+  for (int attempts = 0;; ++attempts) {
+    ASSERT_LT(attempts, 64) << "no quiesce point found";
+    try {
+      snap = parent.checkpoint();
+      break;
+    } catch (const ckpt::CheckpointError&) {
+      parent.clock().runCycles(1);
+    }
+  }
+  ASSERT_TRUE(parent.run(2'000'000));
+  ASSERT_FALSE(parent.cpu().faulted());
+
+  // Warm target: fill its decoded blocks by running program B at the
+  // same addresses, then restore the program-A snapshot into it. A
+  // block surviving the restore would execute B's instructions.
+  Soc warm{configFor(true)};
+  warm.loadProgram(progB);
+  ASSERT_TRUE(warm.run(2'000'000));
+  const std::uint64_t buildsBefore = warm.cpu().blockCacheStats().builds;
+  ASSERT_GT(buildsBefore, 0u);
+  warm.restore(snap);
+  ASSERT_FALSE(warm.cpu().halted());  // Snapshot was mid-run.
+  ASSERT_TRUE(warm.run(2'000'000));
+  expectIdenticalOutcome(warm, parent);
+  // Flush evidence: the continuation had to rebuild its blocks.
+  EXPECT_GT(warm.cpu().blockCacheStats().builds, buildsBefore);
+
+  // Fresh target, cache enabled.
+  Soc fresh{configFor(true)};
+  fresh.restore(snap);
+  ASSERT_TRUE(fresh.run(2'000'000));
+  expectIdenticalOutcome(fresh, parent);
+
+  // Fresh target, cache disabled: the restored continuation is also
+  // equivalent across dispatch strategies.
+  Soc plain{configFor(false)};
+  plain.restore(snap);
+  ASSERT_TRUE(plain.run(2'000'000));
+  expectIdenticalOutcome(plain, parent);
+  EXPECT_EQ(plain.cpu().blockCacheStats().hits, 0u);
+}
+
+} // namespace
+} // namespace sct::soc

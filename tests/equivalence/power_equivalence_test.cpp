@@ -120,8 +120,11 @@ TEST_P(PowerEquivalenceSeedTest, FastPathEnergyBitIdenticalToNaive) {
 
   Tl1Bench bench;
   power::Tl1PowerModel fast(table);
+  power::Tl1PowerModel scalar(table);
+  scalar.setPackedCounting(false);  // Force the scalar dirty-walk.
   NaiveTl1Energy naive(table);
   bench.bus.addObserver(fast);
+  bench.bus.addObserver(scalar);
   bench.bus.addObserver(naive);
   bench.run(workload);
 
@@ -129,15 +132,64 @@ TEST_P(PowerEquivalenceSeedTest, FastPathEnergyBitIdenticalToNaive) {
   // the same additions in the same order.
   EXPECT_EQ(fast.totalEnergy_fJ(), naive.total_fJ) << "seed " << GetParam();
   EXPECT_GT(fast.totalEnergy_fJ(), 0.0);
+  // The packed-lane counting (wide XOR over the whole frame on busy
+  // cycles) and the per-bundle scalar walk must agree term for term.
+  EXPECT_EQ(fast.totalEnergy_fJ(), scalar.totalEnergy_fJ())
+      << "seed " << GetParam();
+  // Whether any cycle of a given random mix crosses kPackedLaneThreshold
+  // is workload-dependent; PackedPathExercised below guarantees coverage
+  // on a mix dense enough to take the wide pass.
+  EXPECT_EQ(scalar.packedLaneCycles(), 0u);
   for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
     EXPECT_EQ(fast.transitions(static_cast<SignalId>(i)),
               naive.transitions[i])
+        << "signal " << bus::signalName(static_cast<SignalId>(i));
+    EXPECT_EQ(fast.transitions(static_cast<SignalId>(i)),
+              scalar.transitions(static_cast<SignalId>(i)))
         << "signal " << bus::signalName(static_cast<SignalId>(i));
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomMixes, PowerEquivalenceSeedTest,
                          ::testing::Values(3u, 17u, 99u, 2024u));
+
+// Coverage guarantee for the packed-lane pass: a back-to-back mix of
+// every transaction kind keeps flipping the address-phase control
+// bundles (EB_Instr/EB_Write/EB_Burst/EB_BE) on top of the
+// address/data traffic, so busy cycles dirty enough of the frame to
+// cross kPackedLaneThreshold — and the wide pass must still price
+// exactly the scalar walk's term sequence. (A single-kind workload
+// does not qualify: its control bundles hold steady and busy cycles
+// stay under the threshold, which is why the per-seed test above
+// makes no packed-coverage claim.)
+TEST(PowerEquivalenceTest, PackedPathExercised) {
+  const auto table = distinctTable();
+  trace::MixRatios mix;
+  mix.instrFetch = 1;
+  const trace::BusTrace workload =
+      trace::randomMix(3u, 400, testbench::bothRegions(), mix,
+                       /*issueGapMax=*/0);
+
+  Tl1Bench bench;
+  power::Tl1PowerModel fast(table);
+  power::Tl1PowerModel scalar(table);
+  scalar.setPackedCounting(false);
+  NaiveTl1Energy naive(table);
+  bench.bus.addObserver(fast);
+  bench.bus.addObserver(scalar);
+  bench.bus.addObserver(naive);
+  bench.run(workload);
+
+  EXPECT_GT(fast.packedLaneCycles(), 0u);
+  EXPECT_EQ(scalar.packedLaneCycles(), 0u);
+  EXPECT_EQ(fast.totalEnergy_fJ(), naive.total_fJ);
+  EXPECT_EQ(fast.totalEnergy_fJ(), scalar.totalEnergy_fJ());
+  for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+    EXPECT_EQ(fast.transitions(static_cast<SignalId>(i)),
+              naive.transitions[i])
+        << "signal " << bus::signalName(static_cast<SignalId>(i));
+  }
+}
 
 } // namespace
 } // namespace sct

@@ -128,7 +128,8 @@ TEST(HybridEquivalence, RoiWindowsAreBitIdenticalToPureTl1) {
         hybSeg[s].readWords.push_back(r.data[0]);
     }
     ASSERT_EQ(hb.active(), Fidelity::Tl2);
-    trace::ReplayMaster bg(clk, "bg", hb, hb, backgroundSegment(900 + s));
+    const auto bgTrace = backgroundSegment(900 + s);
+    trace::ReplayMaster bg(clk, "bg", hb, hb, bgTrace);
     bg.runToCompletion();
     EXPECT_TRUE(bg.done());
   }

@@ -1,0 +1,231 @@
+// The decoded-block dispatch path against decode-on-fetch.
+//
+// MipsCore can decode each basic block once into a cached superblock
+// and re-execute from the pre-resolved entries. That is a pure
+// dispatch-loop optimization: architectural state, cycle counts, cache
+// statistics, memory images and the bus-level energy trace must all be
+// bit-identical to the decode-every-fetch baseline. This suite runs a
+// program corpus on two SoCs differing only in
+// CpuConfig::decodedBlockCache and compares everything, including an
+// icache-conflict program that thrashes the line underlying a cached
+// block so the generation-based invalidation actually fires.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "iss_testutil.h"
+#include "power/coeff_table.h"
+#include "power/tl1_power_model.h"
+#include "soc/assembler.h"
+
+namespace sct::soc {
+namespace {
+
+using isstest::Soc;
+using isstest::configFor;
+using isstest::expectIdenticalOutcome;
+
+power::SignalEnergyTable distinctTable() {
+  power::SignalEnergyTable t;
+  for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+    // Distinct coefficients so a reordered or dropped energy term in
+    // the cached run cannot cancel out.
+    t.setCoeff_fJ(static_cast<bus::SignalId>(i),
+                  7.25 + 1.0 / static_cast<double>(3 * i + 1));
+  }
+  return t;
+}
+
+struct NamedProgram {
+  const char* name;
+  std::string src;
+};
+
+// Two subroutines exactly one icache size (4096 bytes) apart: they map
+// to the same direct-mapped line, so every call evicts the other's
+// line while decoded blocks for both stay in their slots. Correctness
+// then rests on the per-line generation check rejecting the stale
+// block after each refill.
+std::string conflictSource() {
+  std::string src = R"(
+        li    $s0, 0x08000000
+        li    $s1, 40
+    main:
+        jal   near
+        jal   far
+        addiu $s1, $s1, -1
+        bne   $s1, $zero, main
+        sw    $t0, 0($s0)
+        break
+    near:
+        addiu $t0, $t0, 1
+        jr    $ra
+  )";
+  // Pad so `far` begins 4096 bytes (1024 words) after `near`: `near`
+  // itself is 2 instructions, so insert 1022 nops.
+  for (int i = 0; i < 1022; ++i) src += "    nop\n";
+  src += R"(
+    far:
+        addiu $t0, $t0, 3
+        jr    $ra
+  )";
+  return src;
+}
+
+std::vector<NamedProgram> programs() {
+  return {
+      {"tight_loop", R"(
+          li    $s0, 0x08000000
+          li    $s1, 500
+          addiu $t0, $zero, 0
+        loop:
+          addu  $t0, $t0, $s1
+          xor   $t0, $t0, $s1
+          sll   $t1, $t0, 3
+          or    $t0, $t0, $t1
+          addiu $s1, $s1, -1
+          bne   $s1, $zero, loop
+          sw    $t0, 0($s0)
+          break
+      )"},
+      {"branch_mix", R"(
+          li    $s0, 0x08000000
+          li    $s1, 120
+          addiu $t0, $zero, 0
+          addiu $t5, $zero, 7
+        loop:
+          slt   $t2, $t0, $s1
+          beq   $t2, $zero, even
+          addiu $t0, $t0, 3
+        even:
+          andi  $t3, $s1, 1
+          bne   $t3, $zero, odd
+          addiu $t0, $t0, 1
+          j     next
+        odd:
+          mult  $t0, $t5
+          mflo  $t4
+          xor   $t0, $t0, $t4
+          div   $t0, $t5
+          mfhi  $t0
+        next:
+          addiu $s1, $s1, -1
+          bgtz  $s1, loop
+          sw    $t0, 0($s0)
+          break
+      )"},
+      {"calls", R"(
+          li    $s0, 0x08000000
+          li    $s1, 60
+          addiu $t0, $zero, 0
+        loop:
+          jal   twist
+          addiu $s1, $s1, -1
+          bne   $s1, $zero, loop
+          sw    $t0, 0($s0)
+          break
+        twist:
+          addu  $t0, $t0, $s1
+          sll   $t1, $t0, 1
+          xor   $t0, $t0, $t1
+          jr    $ra
+      )"},
+      {"mem_traffic", R"(
+          li    $s0, 0x08000000
+          li    $s2, 0x0A000000
+          li    $s1, 48
+          addiu $t0, $zero, 0
+        loop:
+          sw    $s1, 0x40($s0)
+          lw    $t1, 0x40($s0)
+          sb    $s1, 0x80($s0)
+          lbu   $t2, 0x80($s0)
+          sh    $s1, 0x84($s0)
+          lhu   $t3, 0x84($s0)
+          lw    $t4, 0($s2)
+          addu  $t0, $t0, $t1
+          addu  $t0, $t0, $t2
+          addu  $t0, $t0, $t3
+          addu  $t0, $t0, $t4
+          addiu $s1, $s1, -1
+          bne   $s1, $zero, loop
+          sw    $t0, 0($s0)
+          break
+      )"},
+      {"icache_conflict", conflictSource()},
+  };
+}
+
+TEST(DecodedBlockEquivalence, CorpusBitIdenticalIncludingEnergy) {
+  const auto table = distinctTable();
+  for (const NamedProgram& p : programs()) {
+    SCOPED_TRACE(p.name);
+    Soc cached{configFor(true)};
+    Soc plain{configFor(false)};
+    power::Tl1PowerModel pmCached(table);
+    power::Tl1PowerModel pmPlain(table);
+    cached.bus().addObserver(pmCached);
+    plain.bus().addObserver(pmPlain);
+
+    const AssembledProgram prog = assemble(p.src, memmap::kRomBase);
+    cached.loadProgram(prog);
+    plain.loadProgram(prog);
+    ASSERT_TRUE(cached.run(2'000'000));
+    ASSERT_TRUE(plain.run(2'000'000));
+    ASSERT_FALSE(cached.cpu().faulted());
+
+    expectIdenticalOutcome(cached, plain);
+    EXPECT_EQ(pmCached.totalEnergy_fJ(), pmPlain.totalEnergy_fJ());
+    EXPECT_GT(pmCached.totalEnergy_fJ(), 0.0);
+    for (std::size_t i = 0; i < bus::kSignalCount; ++i) {
+      EXPECT_EQ(pmCached.transitions(static_cast<bus::SignalId>(i)),
+                pmPlain.transitions(static_cast<bus::SignalId>(i)))
+          << "signal " << i;
+    }
+
+    // Dispatch accounting: with the cache on, every executed
+    // instruction is either a block hit or the miss that built its
+    // block; loops must actually hit. Dispatches can exceed retired
+    // instructions because a RAW-hazard load re-dispatches until the
+    // write buffer drains (exactly like the re-fetch in the baseline).
+    const BlockCacheStats& bs = cached.cpu().blockCacheStats();
+    EXPECT_GT(bs.hits, 0u);
+    EXPECT_GT(bs.builds, 0u);
+    EXPECT_GE(bs.hits + bs.misses, cached.cpu().stats().instructions);
+    EXPECT_EQ(plain.cpu().blockCacheStats().hits, 0u);
+    EXPECT_EQ(plain.cpu().blockCacheStats().builds, 0u);
+  }
+}
+
+TEST(DecodedBlockEquivalence, ConflictProgramInvalidatesThroughLineFills) {
+  Soc cached{configFor(true)};
+  cached.loadProgram(assemble(conflictSource(), memmap::kRomBase));
+  ASSERT_TRUE(cached.run(2'000'000));
+  // The two conflicting subroutines evict each other's line on every
+  // outer iteration; each refill bumps the line generation, so their
+  // cached blocks go stale and must be rebuilt, not blindly re-hit.
+  EXPECT_GT(cached.cpu().blockCacheStats().builds, 40u);
+  EXPECT_GT(cached.cpu().icache().stats().misses, 40u);
+}
+
+TEST(DecodedBlockEquivalence, ResetRerunMatchesColdRun) {
+  // reset() must flush decoded blocks along with the caches: a rerun
+  // from reset is bit-identical to the cold first run.
+  Soc soc{configFor(true)};
+  soc.loadProgram(assemble(programs()[0].src, memmap::kRomBase));
+  ASSERT_TRUE(soc.run(2'000'000));
+  const std::uint32_t result1 = soc.cpu().reg(8);
+  const CpuStats first = soc.cpu().stats();
+  ASSERT_GT(soc.cpu().blockCacheStats().hits, 0u);
+
+  soc.cpu().reset(memmap::kRomBase);
+  ASSERT_TRUE(soc.run(2'000'000));
+  EXPECT_EQ(soc.cpu().reg(8), result1);
+  EXPECT_EQ(soc.cpu().stats().cycles, first.cycles);
+  EXPECT_EQ(soc.cpu().stats().instructions, first.instructions);
+  EXPECT_EQ(soc.cpu().stats().ifetchStallCycles, first.ifetchStallCycles);
+}
+
+} // namespace
+} // namespace sct::soc

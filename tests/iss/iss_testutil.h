@@ -1,0 +1,58 @@
+// Shared harness for the decoded-block ISS suites: build two SoCs that
+// differ only in CpuConfig::decodedBlockCache and require bit-identical
+// outcomes from both.
+#ifndef SCT_TESTS_ISS_ISS_TESTUTIL_H
+#define SCT_TESTS_ISS_ISS_TESTUTIL_H
+
+#include <gtest/gtest.h>
+
+#include "bus/tl1_bus.h"
+#include "soc/smartcard.h"
+
+namespace sct::soc::isstest {
+
+using Soc = SmartCardSoC<bus::Tl1Bus>;
+
+inline SocConfig configFor(bool decodedBlocks) {
+  SocConfig cfg;
+  cfg.cpu.decodedBlockCache = decodedBlocks;
+  return cfg;
+}
+
+/// The decoded-block path must be indistinguishable from
+/// decode-on-fetch: architectural state, cycle counts, stall
+/// accounting, cache statistics and memory images all bit-identical.
+inline void expectIdenticalOutcome(Soc& cached, Soc& plain) {
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(cached.cpu().reg(r), plain.cpu().reg(r)) << "reg " << r;
+  }
+  EXPECT_EQ(cached.cpu().pc(), plain.cpu().pc());
+  EXPECT_EQ(cached.cpu().hi(), plain.cpu().hi());
+  EXPECT_EQ(cached.cpu().lo(), plain.cpu().lo());
+  EXPECT_EQ(cached.cpu().halted(), plain.cpu().halted());
+  EXPECT_EQ(cached.cpu().faulted(), plain.cpu().faulted());
+
+  const CpuStats& a = cached.cpu().stats();
+  const CpuStats& b = plain.cpu().stats();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.ifetchStallCycles, b.ifetchStallCycles);
+  EXPECT_EQ(a.loadStallCycles, b.loadStallCycles);
+  EXPECT_EQ(a.storeStallCycles, b.storeStallCycles);
+
+  EXPECT_EQ(cached.cpu().icache().stats().hits,
+            plain.cpu().icache().stats().hits);
+  EXPECT_EQ(cached.cpu().icache().stats().misses,
+            plain.cpu().icache().stats().misses);
+  EXPECT_EQ(cached.cpu().dcache().stats().hits,
+            plain.cpu().dcache().stats().hits);
+  EXPECT_EQ(cached.cpu().dcache().stats().misses,
+            plain.cpu().dcache().stats().misses);
+
+  EXPECT_EQ(cached.ram().imageDigest(), plain.ram().imageDigest());
+  EXPECT_EQ(cached.eeprom().imageDigest(), plain.eeprom().imageDigest());
+}
+
+} // namespace sct::soc::isstest
+
+#endif // SCT_TESTS_ISS_ISS_TESTUTIL_H

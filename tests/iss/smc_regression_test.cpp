@@ -1,0 +1,118 @@
+// Self-modifying code and external image mutation vs the decoded-block
+// cache.
+//
+// A decoded block caches pre-resolved instructions; both mutation paths
+// into instruction memory must knock it out:
+//  - the core's own store path (`sw` into a cached block's range) via
+//    the per-store icache invalidation that bumps the line generation;
+//  - MemorySlave backdoor writes (DMA-style image mutation, the path a
+//    JCVM-style loader takes when it bypasses the data port) via
+//    MipsCore::invalidateICacheRange.
+// In both cases the cached core must stay bit-identical to the
+// decode-on-fetch baseline driven through the exact same sequence.
+#include <gtest/gtest.h>
+
+#include "iss_testutil.h"
+#include "soc/assembler.h"
+#include "soc/isa.h"
+
+namespace sct::soc {
+namespace {
+
+using isstest::Soc;
+using isstest::configFor;
+using isstest::expectIdenticalOutcome;
+
+// addiu $t0, $t0, 9 — the replacement for the patch-site instruction.
+constexpr std::uint32_t kPatchedAddiu = encodeI(0x09, 8, 8, 9);
+
+// Two passes over a patch site that starts as `addiu $t0, $t0, 5`.
+// Pass one executes the original (warming the decoded block), then
+// stores a replacement encoding over it and loads it back — the load
+// RAW-stalls on the write buffer, so the store has drained before the
+// refetch. Pass two must execute the patched instruction: $t0 ends at
+// 5 + 9 = 14. The program runs from RAM so its own stores can reach it.
+constexpr const char* kSmcProgram = R"(
+      li    $s0, 0x08000000
+      addiu $s3, $zero, 2
+      addiu $t0, $zero, 0
+  again:
+  patch:
+      addiu $t0, $t0, 5
+      addiu $s3, $s3, -1
+      beq   $s3, $zero, done
+      lw    $t1, 0x100($s0)
+      li    $t2, patch
+      sw    $t1, 0($t2)
+      lw    $t3, 0($t2)
+      j     again
+  done:
+      break
+)";
+
+TEST(SmcRegression, StorePathPatchReexecutesAndMatchesBaseline) {
+  Soc cached{configFor(true)};
+  Soc plain{configFor(false)};
+  const AssembledProgram prog = assemble(kSmcProgram, memmap::kRamBase);
+  for (Soc* s : {&cached, &plain}) {
+    s->loadProgram(prog);
+    // Replacement encoding parked in RAM for the program to pick up.
+    s->ram().pokeWord(memmap::kRamBase + 0x100, kPatchedAddiu);
+    ASSERT_TRUE(s->run(2'000'000));
+    ASSERT_FALSE(s->cpu().faulted());
+    // Original pass adds 5, patched pass adds 9.
+    EXPECT_EQ(s->cpu().reg(8), 14u);
+  }
+  expectIdenticalOutcome(cached, plain);
+  // The store into the cached block's line must have registered as an
+  // invalidation, not gone unnoticed.
+  EXPECT_GE(cached.cpu().blockCacheStats().invalidations, 1u);
+}
+
+// Spin a hook instruction in a tight loop, patch it mid-run through the
+// memory backdoor (plus the required invalidateICacheRange call), and
+// let the run finish. The cached core and the decode-on-fetch core see
+// the patch take effect on exactly the same iteration.
+constexpr const char* kBackdoorProgram = R"(
+      li    $s0, 0x08000000
+      li    $s1, 2000
+      addiu $t2, $zero, 0
+  spin:
+  hook:
+      addiu $t0, $zero, 5
+      addu  $t2, $t2, $t0
+      addiu $s1, $s1, -1
+      bne   $s1, $zero, spin
+      sw    $t2, 0x204($s0)
+      break
+)";
+
+TEST(SmcRegression, BackdoorMutationWithRangeInvalidateMatchesBaseline) {
+  Soc cached{configFor(true)};
+  Soc plain{configFor(false)};
+  const AssembledProgram prog = assemble(kBackdoorProgram, memmap::kRamBase);
+  const bus::Address hook = prog.label("hook");
+
+  for (Soc* s : {&cached, &plain}) {
+    s->loadProgram(prog);
+    // Part-way through the spin loop (well before 2000 iterations
+    // drain), mutate the hook instruction behind the core's back.
+    s->clock().runCycles(3000);
+    ASSERT_FALSE(s->cpu().halted());
+    s->ram().pokeWord(hook, kPatchedAddiu);
+    s->cpu().invalidateICacheRange(hook, 4);
+    ASSERT_TRUE(s->run(2'000'000));
+    ASSERT_FALSE(s->cpu().faulted());
+  }
+
+  expectIdenticalOutcome(cached, plain);
+  // The patch landed mid-run: the accumulator mixes 5s and 9s, so it
+  // can match neither the all-original nor the all-patched total.
+  const std::uint32_t acc = cached.cpu().reg(10);
+  EXPECT_NE(acc, 2000u * 5u);
+  EXPECT_NE(acc, 2000u * 9u);
+  EXPECT_GE(cached.cpu().blockCacheStats().invalidations, 1u);
+}
+
+} // namespace
+} // namespace sct::soc
