@@ -479,6 +479,7 @@ int main(int argc, char** argv) {
   std::printf(
       "Table 3: simulation performance (transactions per second).\n"
       "items_per_second below is the paper's T/s metric.\n\n");
+  benchmark::AddCustomContext("sct_build_type", sct::bench::sctBuildType());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

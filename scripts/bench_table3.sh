@@ -27,33 +27,36 @@ if [ ! -x "$bench" ]; then
   exit 1
 fi
 
-# Throughput numbers from an unoptimized library are not regression
-# data (the recorded baseline was once polluted by a debug capture).
-# Refuse anything but an optimized build type; SCT_BENCH_ALLOW_NONRELEASE=1
-# overrides for local experiments, loudly, and tags the JSON.
-build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" \
-             2>/dev/null | head -n 1)
-[ -n "${build_type:-}" ] || build_type=unknown
-case "$build_type" in
-  Release|RelWithDebInfo|MinSizeRel) ;;
-  *)
-    if [ "${SCT_BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
-      echo "WARNING: benchmarking a '$build_type' build — numbers are not" \
-           "comparable to Release baselines (JSON tagged accordingly)" >&2
-    else
-      echo "error: $build_dir is a '$build_type' build; benchmark numbers" \
-           "require Release (use cmake --preset release, or set" \
-           "SCT_BENCH_ALLOW_NONRELEASE=1 to record anyway)" >&2
-      exit 1
-    fi
-    ;;
-esac
-
 # The paper-style factor table goes to stdout for the console; the
 # machine-readable run lands in the JSON file.
 # shellcheck disable=SC2086  # SCT_BENCH_ARGS is intentionally split.
 "$bench" --benchmark_format=json --benchmark_out="$out" \
          --benchmark_out_format=json ${SCT_BENCH_ARGS:-}
+
+# Throughput numbers from an unoptimized binary are not regression
+# data (the recorded baseline was once polluted by a debug capture).
+# The guard keys on the JSON the run just produced: the bench binary
+# self-reports its compile-time build type as the `sct_build_type`
+# context key (see bench_util.h), so a stale CMake cache or a binary
+# copied between trees cannot fool it. SCT_BENCH_ALLOW_NONRELEASE=1
+# overrides for local experiments, loudly — the off-type tag stays in
+# the JSON either way.
+build_type=$(sed -n 's/.*"sct_build_type": *"\([a-z]*\)".*/\1/p' "$out" \
+             | head -n 1)
+[ -n "${build_type:-}" ] || build_type=unknown
+if [ "$build_type" != "release" ]; then
+  if [ "${SCT_BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+    echo "WARNING: the bench binary reports sct_build_type='$build_type' —" \
+         "numbers are not comparable to Release baselines (JSON tagged" \
+         "accordingly)" >&2
+  else
+    rm -f "$out"
+    echo "error: the bench binary reports sct_build_type='$build_type';" \
+         "benchmark numbers require an optimized build (use cmake --preset" \
+         "release, or set SCT_BENCH_ALLOW_NONRELEASE=1 to record anyway)" >&2
+    exit 1
+  fi
+fi
 
 # Identify the host the numbers came from — throughput figures are
 # meaningless across machines without this.

@@ -40,10 +40,18 @@ for preset in release asan-ubsan; do
   # the block-cache equivalence and self-modifying-code suites, under
   # sanitizers in pass 2.
   run ctest --preset "$preset" -L iss --parallel "$jobs"
+  # And for the card-farm serving subsystem: the `serve` label covers
+  # the NDJSON protocol, golden-snapshot recycle bit-identity, the
+  # threads=1 vs threads=N determinism headline, and the SIGTERM
+  # mid-batch drain against the real daemon binary — the work-stealing
+  # pool teardown must be sanitizer-clean in pass 2.
+  run ctest --preset "$preset" -L serve --parallel "$jobs"
 done
 
 echo "==> bench smoke (tiny workload)"
 run env SCT_BENCH_TINY=1 ./build/bench/table3_simperf \
+  --benchmark_min_time=0.01
+run env SCT_BENCH_TINY=1 ./build/bench/serve_throughput \
   --benchmark_min_time=0.01
 
 echo "CI: both passes green"

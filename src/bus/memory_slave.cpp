@@ -14,6 +14,7 @@ MemorySlave::MemorySlave(std::string name, const SlaveControl& control)
     throw std::invalid_argument("MemorySlave: zero-sized window");
   }
   bytes_.resize(size_, 0);
+  dirty_.resize((pageCount() + 63) / 64, 0);
 }
 
 MemorySlave::MemorySlave(std::string name, const SlaveControl& control,
@@ -29,6 +30,7 @@ MemorySlave::MemorySlave(std::string name, const SlaveControl& control,
   if (sharedImage == nullptr) {
     throw std::invalid_argument("MemorySlave: null shared image");
   }
+  dirty_.resize((pageCount() + 63) / 64, 0);
 }
 
 bool MemorySlave::readBlock(Address addr, std::uint8_t* dst, std::size_t n) {
@@ -41,6 +43,7 @@ bool MemorySlave::writeBlock(Address addr, const std::uint8_t* src,
                              std::size_t n) {
   if (!inWindow(addr, n)) return false;
   materialize();
+  markRange(offset(addr), n);
   std::memcpy(&bytes_[offset(addr)], src, n);
   return true;
 }
@@ -51,6 +54,7 @@ void MemorySlave::load(Address busAddr, const std::uint8_t* src,
     throw std::out_of_range("MemorySlave::load outside window");
   }
   materialize();
+  markRange(offset(busAddr), n);
   std::memcpy(&bytes_[offset(busAddr)], src, n);
 }
 
@@ -68,6 +72,7 @@ void MemorySlave::pokeWord(Address busAddr, Word value) {
     throw std::out_of_range("MemorySlave::pokeWord outside window");
   }
   materialize();
+  markRange(offset(busAddr), 4);
   std::memcpy(&bytes_[offset(busAddr)], &value, 4);
 }
 
@@ -91,10 +96,15 @@ void MemorySlave::saveState(ckpt::StateWriter& w) const {
     w.u32(0);
     return;
   }
+  // Only runtime-marked pages can differ from the baseline; the memcmp
+  // drops false positives (a write that restored the original bytes),
+  // so the emitted page set — and the snapshot bytes — are identical
+  // to a full scan.
   std::vector<std::uint32_t> dirty;
   const std::uint8_t* live = bytes_.data();
   for (std::size_t off = 0, page = 0; off < size_;
        off += kCkptPageBytes, ++page) {
+    if (!pageDirty(page)) continue;
     const std::size_t n = std::min(kCkptPageBytes, size_ - off);
     bool same;
     if (baseline_ != nullptr) {
@@ -128,14 +138,23 @@ void MemorySlave::loadState(ckpt::StateReader& r) {
   if (pages == 0 && shared_ != nullptr) {
     return;  // Clean snapshot onto a still-shared slave: stay COW.
   }
-  // Re-establish the baseline, then apply the dirty pages.
-  if (shared_ != nullptr) {
-    materialize();
-  } else if (baseline_ != nullptr) {
-    bytes_.assign(baseline_, baseline_ + size_);
-  } else {
-    std::fill(bytes_.begin(), bytes_.end(), std::uint8_t{0});
+  // Re-baseline only the runtime-dirty pages (the only ones that can
+  // differ), then overwrite with the snapshot's pages — each snapshot
+  // page carries its full span, so it needs no baseline reset first.
+  // Restore cost is proportional to pages touched since the last
+  // restore, not to the memory size.
+  materialize();
+  for (std::size_t page = 0, count = pageCount(); page < count; ++page) {
+    if (!pageDirty(page)) continue;
+    const std::size_t off = page * kCkptPageBytes;
+    const std::size_t n = std::min(kCkptPageBytes, size_ - off);
+    if (baseline_ != nullptr) {
+      std::memcpy(&bytes_[off], baseline_ + off, n);
+    } else {
+      std::memset(&bytes_[off], 0, n);
+    }
   }
+  std::fill(dirty_.begin(), dirty_.end(), 0);
   for (std::uint32_t i = 0; i < pages; ++i) {
     const std::uint32_t page = r.u32();
     const std::uint32_t n = r.u32();
@@ -145,6 +164,9 @@ void MemorySlave::loadState(ckpt::StateReader& r) {
                                   "' dirty page out of range");
     }
     r.bytes(&bytes_[off], n);
+    // The restored page differs from the baseline (saveState only
+    // records true diffs), so it re-enters the runtime dirty set.
+    markPage(page);
   }
 }
 

@@ -8,6 +8,7 @@
 #ifndef SCT_BUS_MEMORY_SLAVE_H
 #define SCT_BUS_MEMORY_SLAVE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -53,9 +54,12 @@ class MemorySlave : public EcSlave {
   void setExtraWritePerBeat(unsigned cycles) { extraWritePerBeat_ = cycles; }
 
   /// Direct backdoor access (no bus, no timing) for loaders and tests.
-  /// The mutable overload materializes a shared image (copy-on-write).
+  /// The mutable overload materializes a shared image (copy-on-write)
+  /// and conservatively marks the whole image dirty — the raw pointer
+  /// can write anywhere, so page tracking must assume it did.
   std::uint8_t* data() {
     materialize();
+    std::fill(dirty_.begin(), dirty_.end(), ~std::uint64_t{0});
     return bytes_.data();
   }
   const std::uint8_t* data() const { return roData(); }
@@ -78,6 +82,18 @@ class MemorySlave : public EcSlave {
   /// Checkpointing a shared-image slave requires the prototype image to
   /// outlive the slave (all in-repo prototypes are static caches or a
   /// parent system kept alive by the ForkRunner).
+  ///
+  /// Every mutation path additionally marks its pages in a runtime
+  /// dirty bitmap (one bit-or per write beat). The bitmap is a strict
+  /// superset of the pages that differ from the baseline, which makes
+  /// both checkpoint directions proportional to pages TOUCHED rather
+  /// than memory SIZE: saveState diffs only marked pages, and
+  /// loadState re-baselines only marked pages instead of rewriting the
+  /// whole image. That last part is what lets a serve-daemon worker
+  /// recycle a card from the golden snapshot in microseconds — a
+  /// session dirties a handful of RAM pages, not 256 KiB of ROM. The
+  /// bitmap is derived state and never serialized (the on-disk format
+  /// is unchanged, so existing golden checkpoint files stay valid).
   static constexpr std::uint32_t kCkptVersion = 1;
   static constexpr std::size_t kCkptPageBytes = 256;
   void saveState(ckpt::StateWriter& w) const;
@@ -112,6 +128,23 @@ class MemorySlave : public EcSlave {
     }
   }
 
+  std::size_t pageCount() const {
+    return (size_ + kCkptPageBytes - 1) / kCkptPageBytes;
+  }
+  bool pageDirty(std::size_t page) const {
+    return (dirty_[page >> 6] >> (page & 63)) & 1u;
+  }
+  void markPage(std::size_t page) {
+    dirty_[page >> 6] |= std::uint64_t{1} << (page & 63);
+  }
+  /// Mark every page overlapping [off, off + n).
+  void markRange(std::size_t off, std::size_t n) {
+    const std::size_t last = (off + n - 1) / kCkptPageBytes;
+    for (std::size_t page = off / kCkptPageBytes; page <= last; ++page) {
+      markPage(page);
+    }
+  }
+
   std::string name_;
   SlaveControl control_;
   std::vector<std::uint8_t> bytes_;
@@ -119,6 +152,10 @@ class MemorySlave : public EcSlave {
   /// Construction prototype (null = zero-initialized): the reference the
   /// checkpoint's dirty pages are diffed against and restored onto.
   const std::uint8_t* baseline_ = nullptr;
+  /// Runtime dirty bitmap, one bit per kCkptPageBytes page — superset
+  /// of the pages differing from the baseline. Derived state: never
+  /// serialized, reconciled to the snapshot's page set on loadState.
+  std::vector<std::uint64_t> dirty_;
   std::size_t size_ = 0;
   unsigned extraWritePerBeat_ = 0;
   unsigned pendingStretch_ = 0;
@@ -150,6 +187,7 @@ inline BusStatus MemorySlave::writeBeat(Address addr, AccessSize size,
   // mask and blend the enabled lanes into the stored word (same bytes
   // the per-lane loop wrote).
   const std::size_t wordOff = offset(addr) & ~std::size_t{3};
+  markPage(wordOff / kCkptPageBytes);
   const Word mask = laneMask(byteEnables);
   Word w = 0;
   std::memcpy(&w, bytes_.data() + wordOff, 4);

@@ -64,15 +64,80 @@ constexpr const char* txClassName(TxClass c) {
   return "?";
 }
 
+/// Slave dimension: decoded index -1 (miss) .. 7 (decoder limit),
+/// stored shifted by one. Master dimension: platform masters (CPU,
+/// DMA, bridge, ...). Shared by the live ledger and LedgerView so the
+/// view type exists identically in SCT_OBS=OFF builds.
+inline constexpr std::size_t kLedgerSlaveSlots = 9;
+inline constexpr std::size_t kLedgerMasterSlots = 4;
+
+/// Value-type copy of every ledger accumulator — the streamable form
+/// of the attribution data. A long-running server cannot wait for
+/// end-of-run totals: it snapshots the ledger at each session boundary
+/// and streams `delta(end, start)` per session while the simulation
+/// keeps accumulating. Views also merge (fleet aggregation across
+/// workers), mirroring obs::merge for registry snapshots.
+///
+/// Determinism note: delta() subtracts doubles, which is only
+/// bit-stable when the start state is bit-stable. The serve pool
+/// guarantees that by restoring the ledger (with the rest of the
+/// platform) from the boot snapshot before every session, so equal
+/// sessions produce bit-identical deltas on any worker — the
+/// threads=1 vs threads=N suite pins this down.
+struct LedgerView {
+  std::array<double, bus::kSignalCount> byBundle{};
+  std::array<double, kTxClassCount> byClass{};
+  std::array<double, kLedgerSlaveSlots> bySlave{};
+  std::array<double, kLedgerMasterSlots> byMaster{};
+  double total = 0.0;
+
+  bool operator==(const LedgerView&) const = default;
+};
+
+/// Component-wise `end - start`: the attribution accumulated between
+/// two snapshots of the SAME ledger.
+inline LedgerView delta(const LedgerView& end, const LedgerView& start) {
+  LedgerView d;
+  for (std::size_t i = 0; i < d.byBundle.size(); ++i) {
+    d.byBundle[i] = end.byBundle[i] - start.byBundle[i];
+  }
+  for (std::size_t i = 0; i < d.byClass.size(); ++i) {
+    d.byClass[i] = end.byClass[i] - start.byClass[i];
+  }
+  for (std::size_t i = 0; i < d.bySlave.size(); ++i) {
+    d.bySlave[i] = end.bySlave[i] - start.bySlave[i];
+  }
+  for (std::size_t i = 0; i < d.byMaster.size(); ++i) {
+    d.byMaster[i] = end.byMaster[i] - start.byMaster[i];
+  }
+  d.total = end.total - start.total;
+  return d;
+}
+
+/// Component-wise accumulate: fold `add` into `into` (aggregating
+/// per-session deltas into a fleet total).
+inline void merge(LedgerView& into, const LedgerView& add) {
+  for (std::size_t i = 0; i < into.byBundle.size(); ++i) {
+    into.byBundle[i] += add.byBundle[i];
+  }
+  for (std::size_t i = 0; i < into.byClass.size(); ++i) {
+    into.byClass[i] += add.byClass[i];
+  }
+  for (std::size_t i = 0; i < into.bySlave.size(); ++i) {
+    into.bySlave[i] += add.bySlave[i];
+  }
+  for (std::size_t i = 0; i < into.byMaster.size(); ++i) {
+    into.byMaster[i] += add.byMaster[i];
+  }
+  into.total += add.total;
+}
+
 #if SCT_OBS_ENABLED
 
 class EnergyLedger {
  public:
-  /// Slave dimension: decoded index -1 (miss) .. 7 (decoder limit),
-  /// stored shifted by one.
-  static constexpr std::size_t kSlaveSlots = 9;
-  /// Master dimension: platform masters (CPU, DMA, bridge, ...).
-  static constexpr std::size_t kMasterSlots = 4;
+  static constexpr std::size_t kSlaveSlots = kLedgerSlaveSlots;
+  static constexpr std::size_t kMasterSlots = kLedgerMasterSlots;
 
   /// Record one energy contribution immediately (interval-style models:
   /// one term per estimation call). Out of line: the caller is the
@@ -117,6 +182,20 @@ class EnergyLedger {
   }
 
   void reset() { *this = EnergyLedger{}; }
+
+  /// Copy every accumulator into the streamable value type. Taken at a
+  /// session boundary (cycle_fJ_ folded already — the serve pool only
+  /// snapshots at quiesce, where commitCycle has run), paired with
+  /// delta() for per-session attribution.
+  LedgerView view() const {
+    LedgerView v;
+    v.byBundle = byBundle_;
+    v.byClass = byClass_;
+    v.bySlave = bySlave_;
+    v.byMaster = byMaster_;
+    v.total = total_fJ_;
+    return v;
+  }
 
   /// -- Checkpoint (see ckpt/checkpoint.h): every split accumulator and
   /// both totals, bit-exact. The OBS=OFF stub writes the same-shaped
@@ -174,8 +253,8 @@ class EnergyLedger {
 
 class EnergyLedger {
  public:
-  static constexpr std::size_t kSlaveSlots = 9;
-  static constexpr std::size_t kMasterSlots = 4;
+  static constexpr std::size_t kSlaveSlots = kLedgerSlaveSlots;
+  static constexpr std::size_t kMasterSlots = kLedgerMasterSlots;
   void add(bus::SignalId, TxClass, int, int, double) {}
   void addDeferred(bus::SignalId, TxClass, int, int, double) {}
   void commitCycle() {}
@@ -185,6 +264,7 @@ class EnergyLedger {
   double bySlave_fJ(int) const { return 0.0; }
   double byMaster_fJ(int) const { return 0.0; }
   void reset() {}
+  LedgerView view() const { return LedgerView{}; }
 
   static constexpr std::uint32_t kCkptVersion = 1;
   void saveState(ckpt::StateWriter& w) const { w.b(false); }

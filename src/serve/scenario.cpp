@@ -1,0 +1,109 @@
+#include "serve/scenario.h"
+
+#include "sim/random.h"
+
+namespace sct::serve {
+
+namespace {
+
+using soc::apdu::Command;
+
+Command verifyCmd(const std::uint8_t pin[4]) {
+  Command c;
+  c.ins = soc::apdu::kInsVerify;
+  c.data.assign(pin, pin + 4);
+  return c;
+}
+
+Command challengeCmd() {
+  Command c;
+  c.ins = soc::apdu::kInsGetChallenge;
+  return c;
+}
+
+Command authCmd(sim::Xoshiro256& rng) {
+  Command c;
+  c.ins = soc::apdu::kInsInternalAuth;
+  c.data.resize(8);
+  for (std::uint8_t& b : c.data) {
+    b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return c;
+}
+
+Command endCmd() {
+  Command c;
+  c.cla = soc::apdu::kClaEndSession;
+  return c;
+}
+
+Step verifyRight() {
+  return Step{verifyCmd(kCardPin), 0, soc::apdu::kSwOk};
+}
+
+Step verifyWrong(sim::Xoshiro256& rng) {
+  std::uint8_t guess[4];
+  for (std::uint8_t& b : guess) {
+    b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  // Make sure the seeded guess is actually wrong.
+  if (guess[0] == kCardPin[0]) guess[0] ^= 0xFF;
+  return Step{verifyCmd(guess), 0, soc::apdu::kSwPinWrong};
+}
+
+Step challenge() { return Step{challengeCmd(), 4, soc::apdu::kSwOk}; }
+
+Step auth(sim::Xoshiro256& rng, bool verified) {
+  if (verified) return Step{authCmd(rng), 8, soc::apdu::kSwOk};
+  return Step{authCmd(rng), 0, soc::apdu::kSwNotVerified};
+}
+
+Step endSession() { return Step{endCmd(), 0, soc::apdu::kSwOk}; }
+
+} // namespace
+
+bool knownScenario(std::string_view name) {
+  return name == "auth" || name == "wrong_pin" || name == "challenge" ||
+         name == "mixed";
+}
+
+std::vector<Step> buildScenario(std::string_view name, std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  std::vector<Step> steps;
+
+  if (name == "auth") {
+    steps.push_back(verifyRight());
+    steps.push_back(challenge());
+    steps.push_back(auth(rng, /*verified=*/true));
+  } else if (name == "wrong_pin") {
+    steps.push_back(verifyWrong(rng));
+    steps.push_back(auth(rng, /*verified=*/false));
+  } else if (name == "challenge") {
+    const std::uint64_t draws = 2 + seed % 3;
+    for (std::uint64_t i = 0; i < draws; ++i) steps.push_back(challenge());
+  } else if (name == "mixed") {
+    bool verified = false;
+    for (int i = 0; i < 6; ++i) {
+      switch (rng.below(4)) {
+        case 0:
+          steps.push_back(verifyRight());
+          verified = true;
+          break;
+        case 1:
+          steps.push_back(verifyWrong(rng));
+          // The applet clears its verified flag on any wrong guess.
+          verified = false;
+          break;
+        case 2: steps.push_back(challenge()); break;
+        default: steps.push_back(auth(rng, verified)); break;
+      }
+    }
+  } else {
+    return {};
+  }
+
+  steps.push_back(endSession());
+  return steps;
+}
+
+} // namespace sct::serve

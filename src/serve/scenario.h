@@ -1,0 +1,58 @@
+// Named APDU session scenarios for the serve daemon.
+//
+// A serve job names a scenario instead of shipping raw APDU bytes: the
+// daemon expands (name, seed) into a deterministic command script
+// against the stock card applet (soc/apdu.h). The seed feeds a
+// sim::Xoshiro256 so two jobs with the same (scenario, seed) are the
+// same session byte-for-byte — the property the threads=1 vs threads=N
+// determinism suite and the recycle bit-identity tests are built on —
+// while a seed sweep still exercises varied data paths (different
+// challenge payloads, different wrong-PIN guesses, different command
+// mixes).
+#ifndef SCT_SERVE_SCENARIO_H
+#define SCT_SERVE_SCENARIO_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "soc/apdu.h"
+
+namespace sct::serve {
+
+/// The PIN burned into every pooled card's applet ROM (matches the
+/// apdu unit-test card so host-side tooling can drive either).
+inline constexpr std::uint8_t kCardPin[4] = {0x12, 0x34, 0x56, 0x78};
+
+/// One APDU exchange plus what the host expects back. `expectData` is
+/// the exact response payload size (the ISO transport here is
+/// fixed-size per command), `expectSw` the status word a healthy card
+/// must return — a mismatch marks the session failed but never aborts
+/// it (the remaining script still runs, like a real terminal).
+struct Step {
+  soc::apdu::Command cmd;
+  std::size_t expectData = 0;
+  std::uint16_t expectSw = soc::apdu::kSwOk;
+};
+
+/// True if `name` is one of the scenarios below.
+bool knownScenario(std::string_view name);
+
+/// Expand a scenario into its command script. Every script ends with
+/// the CLA 0xFF end-of-session command (the applet halts, which is
+/// what parks the card at a quiesce point for recycling). Unknown
+/// names return an empty script.
+///
+/// Catalog:
+///   "auth"      — VERIFY(correct PIN), GET CHALLENGE, INTERNAL
+///                 AUTHENTICATE over a seeded 8-byte challenge.
+///   "wrong_pin" — VERIFY with a seeded wrong guess (63C0), then an
+///                 INTERNAL AUTHENTICATE that must be refused (6982).
+///   "challenge" — 2 + seed%3 GET CHALLENGE draws (TRNG traffic).
+///   "mixed"     — 6 seeded draws over the primitives above, with the
+///                 expected status tracking the verified state.
+std::vector<Step> buildScenario(std::string_view name, std::uint64_t seed);
+
+} // namespace sct::serve
+
+#endif // SCT_SERVE_SCENARIO_H

@@ -16,6 +16,13 @@
 //    reference; they are plain data with no hidden mutable state.
 //  * anything attached to a Kernel must be created and destroyed
 //    inside one task.
+//
+// This runner keeps ONE shared FIFO — right for uniform sweeps, where
+// every worker drains the same queue. Workloads with per-worker
+// affinity (the serve daemon's card pool: each worker owns a live
+// platform instance and tasks should stick to it unless a peer runs
+// dry) use sim::WorkStealingPool (work_stealing.h), which extends this
+// design with per-worker deques and steal-half rebalancing.
 #ifndef SCT_SIM_PARALLEL_RUNNER_H
 #define SCT_SIM_PARALLEL_RUNNER_H
 

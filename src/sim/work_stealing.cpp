@@ -1,0 +1,179 @@
+#include "sim/work_stealing.h"
+
+#include "sim/parallel_runner.h"
+
+namespace sct::sim {
+
+namespace {
+/// Worker identity for currentWorker(): set once per worker thread.
+thread_local const WorkStealingPool* tlsPool = nullptr;
+thread_local unsigned tlsWorker = WorkStealingPool::kNotAWorker;
+} // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned threads) {
+  if (threads == 0) threads = ParallelRunner::defaultThreadCount();
+  deques_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    shutdown_ = true;
+  }
+  taskReady_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkStealingPool::submit(Task task) {
+  const unsigned shard = static_cast<unsigned>(
+      nextShard_.fetch_add(1, std::memory_order_relaxed) % deques_.size());
+  submitTo(shard, std::move(task));
+}
+
+void WorkStealingPool::submitTo(unsigned worker, Task task) {
+  WorkerDeque& d = *deques_[worker % deques_.size()];
+  {
+    std::lock_guard<std::mutex> lock(d.m);
+    d.dq.push_back(std::move(task));
+    d.size.store(d.dq.size(), std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    ++inFlight_;
+  }
+  taskReady_.notify_all();
+}
+
+void WorkStealingPool::wait() {
+  std::unique_lock<std::mutex> lock(poolMutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+std::size_t WorkStealingPool::cancelPending() {
+  std::size_t dropped = 0;
+  for (auto& dp : deques_) {
+    std::lock_guard<std::mutex> lock(dp->m);
+    dropped += dp->dq.size();
+    dp->dq.clear();
+    dp->size.store(0, std::memory_order_relaxed);
+  }
+  if (dropped != 0) {
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    inFlight_ -= dropped;
+    if (inFlight_ == 0) allDone_.notify_all();
+  }
+  return dropped;
+}
+
+unsigned WorkStealingPool::currentWorker() const {
+  return tlsPool == this ? tlsWorker : kNotAWorker;
+}
+
+WorkStealingPool::Task WorkStealingPool::popOwn(unsigned self) {
+  WorkerDeque& d = *deques_[self];
+  std::lock_guard<std::mutex> lock(d.m);
+  if (d.dq.empty()) return nullptr;
+  Task t = std::move(d.dq.front());
+  d.dq.pop_front();
+  d.size.store(d.dq.size(), std::memory_order_relaxed);
+  return t;
+}
+
+WorkStealingPool::Task WorkStealingPool::stealHalf(unsigned self) {
+  // Pick the richest victim with unlocked size reads (stale is fine —
+  // a wrong pick just steals less), then take the back half under the
+  // victim's lock. Back half: the owner keeps draining its front, so
+  // owner and thief touch opposite ends even while racing.
+  const std::size_t n = deques_.size();
+  unsigned victim = kNotAWorker;
+  std::size_t best = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    if (i == self) continue;
+    const std::size_t size = deques_[i]->size.load(std::memory_order_relaxed);
+    if (size > best) {
+      best = size;
+      victim = i;
+    }
+  }
+  if (victim == kNotAWorker) return nullptr;
+
+  WorkerDeque& v = *deques_[victim];
+  std::deque<Task> loot;
+  {
+    std::lock_guard<std::mutex> lock(v.m);
+    const std::size_t avail = v.dq.size();
+    if (avail == 0) return nullptr;
+    const std::size_t take = (avail + 1) / 2;
+    for (std::size_t i = 0; i < take; ++i) {
+      loot.push_front(std::move(v.dq.back()));
+      v.dq.pop_back();
+    }
+    v.size.store(v.dq.size(), std::memory_order_relaxed);
+  }
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  stolenTasks_.fetch_add(loot.size(), std::memory_order_relaxed);
+
+  // First stolen task runs immediately; the rest land on our own deque.
+  Task t = std::move(loot.front());
+  loot.pop_front();
+  if (!loot.empty()) {
+    WorkerDeque& d = *deques_[self];
+    std::lock_guard<std::mutex> lock(d.m);
+    for (Task& task : loot) d.dq.push_back(std::move(task));
+    d.size.store(d.dq.size(), std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void WorkStealingPool::workerLoop(unsigned self) {
+  tlsPool = this;
+  tlsWorker = self;
+  for (;;) {
+    Task task = popOwn(self);
+    if (!task) task = stealHalf(self);
+    if (task) {
+      task();
+      std::lock_guard<std::mutex> lock(poolMutex_);
+      --inFlight_;
+      if (inFlight_ == 0) allDone_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(poolMutex_);
+    if (shutdown_) return;
+    if (inFlight_ == 0) {
+      allDone_.notify_all();
+    }
+    taskReady_.wait(lock, [this] {
+      if (shutdown_) return true;
+      for (const auto& d : deques_) {
+        if (d->size.load(std::memory_order_relaxed) != 0) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void WorkStealingPool::runIndexed(
+    std::size_t count, unsigned threads,
+    const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) threads = ParallelRunner::defaultThreadCount();
+  if (threads == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  WorkStealingPool pool(threads);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submitTo(static_cast<unsigned>(i % threads), [&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+} // namespace sct::sim

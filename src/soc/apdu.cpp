@@ -15,12 +15,22 @@ std::vector<std::uint8_t> Command::encode() const {
 }
 
 AssembledProgram cardApplet(const std::uint8_t pin[4]) {
+  return cardApplet(pin, std::string_view{});
+}
+
+AssembledProgram cardApplet(const std::uint8_t pin[4],
+                            std::string_view bootPrelude) {
   // Register plan: $s0 UART, $s1 TRNG, $s2 crypto, $s4 verified flag,
   // $s5 CLA, $s6 INS, $s7 LC. Subroutines getc/putc/put2 are leaves.
+  // The boot prelude (possibly empty) runs after the SFR bases are in
+  // $s0..$s2 and before the command loop is entered.
   std::string src = R"(
     li   $s0, 0x10000200
     li   $s1, 0x10000300
     li   $s2, 0x10000400
+)";
+  src += bootPrelude;
+  src += R"(
     addiu $s4, $zero, 0      # PIN not verified
 
   session:

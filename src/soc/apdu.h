@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "soc/assembler.h"
@@ -43,6 +44,18 @@ inline constexpr std::uint16_t kSwInsNotSupported = 0x6D00;
 /// The card applet. `pin` is burned into ROM (4 bytes); the
 /// authentication key is the fixed 128-bit key below.
 AssembledProgram cardApplet(const std::uint8_t pin[4]);
+
+/// Same applet with extra assembly spliced in between the reset-time
+/// register setup and the command-wait loop — a boot prelude. The
+/// prelude runs exactly once per cold boot, may clobber $t*/$a*/$v*
+/// and rely on $s0=UART, $s1=TRNG, $s2=crypto SFR bases, and must not
+/// define labels colliding with the applet's. An empty prelude yields
+/// an image byte-identical to cardApplet(pin). The serve daemon uses
+/// this to model a realistic card OS cold boot (RAM zeroization,
+/// EEPROM scan, crypto self-test) that snapshot-recycled sessions
+/// never pay again.
+AssembledProgram cardApplet(const std::uint8_t pin[4],
+                            std::string_view bootPrelude);
 
 /// The INTERNAL AUTHENTICATE key the applet uses (shared with hosts
 /// that want to verify the cryptogram).

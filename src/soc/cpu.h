@@ -80,6 +80,15 @@ class MipsCore final : public sim::Module {
   /// True when the core stopped because of a bus error or invalid
   /// opcode rather than SYSCALL/BREAK.
   bool faulted() const { return faulted_; }
+  /// True when the core has nothing in flight on the bus: no submitted
+  /// instruction fetch or load, no store draining. This is the CPU half
+  /// of the platform quiesce predicate checkpoints enforce; pollers
+  /// (the serve recycle loop) combine it with the bus's own
+  /// outstandingTotal() == 0 instead of try/catching CheckpointError
+  /// every cycle.
+  bool busQuiesced() const {
+    return !ifetchSubmitted_ && !loadSubmitted_ && storeBusy_ == 0;
+  }
 
   std::uint32_t reg(unsigned index) const { return regs_[index & 31]; }
   void setReg(unsigned index, std::uint32_t value) {
