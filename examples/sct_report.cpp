@@ -19,7 +19,9 @@
 #include "obs/ledger.h"
 #include "obs/stats.h"
 #include "obs/trace_json.h"
+#include "power/budget.h"
 #include "power/characterizer.h"
+#include "power/profile.h"
 #include "power/tl1_power_model.h"
 #include "ref/gl_bus.h"
 #include "sim/clock.h"
@@ -92,6 +94,9 @@ int main(int argc, char** argv) {
   ecbus.attach(eeprom);
   power::Tl1PowerModel pm(table);
   ecbus.addObserver(pm);
+  power::PowerProfile profile(30'000);
+  power::Tl1ProfileRecorder profRec(pm, profile);
+  ecbus.addObserver(profRec);
 
   obs::StatsRegistry reg;
   obs::EnergyLedger ledger;
@@ -168,6 +173,27 @@ int main(int argc, char** argv) {
                 trace::Table::num(ledger.byBundle_fJ(s.id)),
                 trace::Table::pct(total > 0 ? ledger.byBundle_fJ(s.id) / total
                                             : 0.0)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Rolling current vs deployment budgets --------------------------
+  // The same smoothed-draw view the eh brownout detector consumes live,
+  // replayed over the recorded profile: peak rolling current against
+  // each deployment class the paper names.
+  {
+    trace::Table t({"deployment class", "budget [mA]", "peak [mA]",
+                    "mean [mA]", "verdict"});
+    for (const power::SupplySpec& spec :
+         {power::gsm5V(), power::iso7816Class3V(), power::contactless()}) {
+      power::RollingCurrent rc(spec, 30'000);
+      rc.feed(profile);
+      t.addRow({spec.name, trace::Table::num(spec.maxCurrent_mA),
+                trace::Table::num(rc.peakCurrent_mA(), 4),
+                trace::Table::num(rc.meanCurrent_mA(), 4),
+                rc.peakCurrent_mA() <= spec.maxCurrent_mA ? "within"
+                                                          : "OVER"});
     }
     t.print(std::cout);
     std::cout << "\n";

@@ -46,12 +46,19 @@ for preset in release asan-ubsan; do
   # mid-batch drain against the real daemon binary — the work-stealing
   # pool teardown must be sanitizer-clean in pass 2.
   run ctest --preset "$preset" -L serve --parallel "$jobs"
+  # And for the intermittent-power subsystem: the `eh` label covers the
+  # supply integrator, brownout detector, backup schemes, and the
+  # threads=1 vs threads=N sweep bit-identity that makes backup-scheme
+  # exploration trustworthy.
+  run ctest --preset "$preset" -L eh --parallel "$jobs"
 done
 
 echo "==> bench smoke (tiny workload)"
 run env SCT_BENCH_TINY=1 ./build/bench/table3_simperf \
   --benchmark_min_time=0.01
 run env SCT_BENCH_TINY=1 ./build/bench/serve_throughput \
+  --benchmark_min_time=0.01
+run env SCT_BENCH_TINY=1 ./build/bench/eh_sweep_bench \
   --benchmark_min_time=0.01
 
 echo "CI: both passes green"

@@ -1,0 +1,60 @@
+#include "eh/backup_scheme.h"
+
+namespace sct::eh {
+
+BackupCosts nvmSaveCosts(const NvmCosts& c, std::size_t bytes) {
+  BackupCosts out;
+  const std::uint64_t width =
+      c.saveBytesPerCycle == 0 ? 1 : c.saveBytesPerCycle;
+  out.cycles = c.saveFixedCycles + (bytes + width - 1) / width;
+  out.energy_fJ =
+      c.saveFixed_fJ + c.savePerByte_fJ * static_cast<double>(bytes);
+  return out;
+}
+
+BackupCosts nvmRestoreCosts(const NvmCosts& c, std::size_t bytes) {
+  BackupCosts out;
+  const std::uint64_t width =
+      c.restoreBytesPerCycle == 0 ? 1 : c.restoreBytesPerCycle;
+  out.cycles = c.restoreFixedCycles + (bytes + width - 1) / width;
+  out.energy_fJ =
+      c.restoreFixed_fJ + c.restorePerByte_fJ * static_cast<double>(bytes);
+  return out;
+}
+
+ThresholdScheme::ThresholdScheme(const NvmCosts& costs) : costs_(costs) {}
+
+BackupCosts ThresholdScheme::saveCosts(std::size_t snapshotBytes) const {
+  return nvmSaveCosts(costs_, snapshotBytes);
+}
+
+BackupCosts ThresholdScheme::restoreCosts(std::size_t snapshotBytes) const {
+  return nvmRestoreCosts(costs_, snapshotBytes);
+}
+
+QuiesceScheme::QuiesceScheme(std::uint64_t interval, const NvmCosts& costs)
+    : interval_(interval == 0 ? 1 : interval), costs_(costs) {}
+
+BackupCosts QuiesceScheme::saveCosts(std::size_t snapshotBytes) const {
+  return nvmSaveCosts(costs_, snapshotBytes);
+}
+
+BackupCosts QuiesceScheme::restoreCosts(std::size_t snapshotBytes) const {
+  return nvmRestoreCosts(costs_, snapshotBytes);
+}
+
+ParametricScheme::ParametricScheme(std::string_view name,
+                                   const NvmCosts& costs, bool onBrownout,
+                                   std::uint64_t interval)
+    : name_(name), costs_(costs), onBrownout_(onBrownout),
+      interval_(interval) {}
+
+BackupCosts ParametricScheme::saveCosts(std::size_t snapshotBytes) const {
+  return nvmSaveCosts(costs_, snapshotBytes);
+}
+
+BackupCosts ParametricScheme::restoreCosts(std::size_t snapshotBytes) const {
+  return nvmRestoreCosts(costs_, snapshotBytes);
+}
+
+} // namespace sct::eh

@@ -1,0 +1,129 @@
+// Pluggable backup/restore policies for intermittent power.
+//
+// The energy-harvesting literature's classic trade-off: saving state
+// rarely (only when the supply is about to collapse) minimizes NVM
+// traffic but risks losing a whole segment to a sudden field loss,
+// while saving at every safe point bounds the loss window but pays
+// NVM energy continuously. The schemes here parameterize that axis
+// the way eh-sim's BEC / Clank / parametric models do (SNIPPETS.md
+// snippet 1), with the costs charged against the same SupplyModel the
+// workload drains — schemes compete on real energy, not on abstract
+// counters:
+//   ThresholdScheme  — checkpoint only when the brownout detector
+//                      trips (BEC-style "backup every cycle the supply
+//                      demands it, and only then").
+//   QuiesceScheme    — checkpoint every N forward-progress cycles at a
+//                      quiesce point (Clank-style); a brownout then
+//                      powers down WITHOUT an emergency save, losing
+//                      progress back to the last periodic backup. (If
+//                      the energy-limited segment is shorter than N,
+//                      the runner's checkpoint-on-resume backstop
+//                      keeps progress monotonic — see
+//                      IntermittentRunner.)
+//   ParametricScheme — both knobs plus arbitrary fixed/per-byte
+//                      energy and latency costs, for cost-model sweeps.
+//
+// Costs scale with the snapshot size: `fixed + perByte * bytes` energy
+// (fJ, chip-level) and `fixed + bytes / bytesPerCycle` wall cycles,
+// modeling an NVM write/read engine with a setup phase and a bounded
+// write width.
+#ifndef SCT_EH_BACKUP_SCHEME_H
+#define SCT_EH_BACKUP_SCHEME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sct::eh {
+
+/// What one save or restore costs the card.
+struct BackupCosts {
+  std::uint64_t cycles = 0;  ///< Wall cycles the operation stalls.
+  double energy_fJ = 0.0;    ///< Chip-level energy drained.
+};
+
+/// NVM engine cost parameters shared by save and restore.
+struct NvmCosts {
+  double saveFixed_fJ = 1.0e6;
+  double savePerByte_fJ = 300.0;
+  std::uint64_t saveFixedCycles = 64;
+  std::uint64_t saveBytesPerCycle = 64;
+  double restoreFixed_fJ = 5.0e5;
+  double restorePerByte_fJ = 100.0;
+  std::uint64_t restoreFixedCycles = 32;
+  std::uint64_t restoreBytesPerCycle = 128;
+};
+
+class BackupScheme {
+ public:
+  virtual ~BackupScheme() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Emergency checkpoint when the brownout detector trips? (Schemes
+  /// that rely on periodic backups alone return false and accept the
+  /// replay cost.)
+  virtual bool backupOnBrownout() const = 0;
+
+  /// Proactive checkpoint every this many forward-progress cycles at
+  /// the next quiesce point (0 = never).
+  virtual std::uint64_t periodicInterval() const = 0;
+
+  virtual BackupCosts saveCosts(std::size_t snapshotBytes) const = 0;
+  virtual BackupCosts restoreCosts(std::size_t snapshotBytes) const = 0;
+};
+
+/// Save only when the supply demands it.
+class ThresholdScheme : public BackupScheme {
+ public:
+  explicit ThresholdScheme(const NvmCosts& costs = {});
+  std::string_view name() const override { return "threshold"; }
+  bool backupOnBrownout() const override { return true; }
+  std::uint64_t periodicInterval() const override { return 0; }
+  BackupCosts saveCosts(std::size_t snapshotBytes) const override;
+  BackupCosts restoreCosts(std::size_t snapshotBytes) const override;
+
+ protected:
+  NvmCosts costs_;
+};
+
+/// Save every `interval` forward-progress cycles; never on brownout.
+class QuiesceScheme : public BackupScheme {
+ public:
+  explicit QuiesceScheme(std::uint64_t interval, const NvmCosts& costs = {});
+  std::string_view name() const override { return "quiesce"; }
+  bool backupOnBrownout() const override { return false; }
+  std::uint64_t periodicInterval() const override { return interval_; }
+  BackupCosts saveCosts(std::size_t snapshotBytes) const override;
+  BackupCosts restoreCosts(std::size_t snapshotBytes) const override;
+
+ protected:
+  std::uint64_t interval_;
+  NvmCosts costs_;
+};
+
+/// Every knob exposed, for cost-model exploration sweeps.
+class ParametricScheme final : public BackupScheme {
+ public:
+  ParametricScheme(std::string_view name, const NvmCosts& costs,
+                   bool onBrownout, std::uint64_t interval);
+  std::string_view name() const override { return name_; }
+  bool backupOnBrownout() const override { return onBrownout_; }
+  std::uint64_t periodicInterval() const override { return interval_; }
+  BackupCosts saveCosts(std::size_t snapshotBytes) const override;
+  BackupCosts restoreCosts(std::size_t snapshotBytes) const override;
+
+ private:
+  std::string_view name_;
+  NvmCosts costs_;
+  bool onBrownout_;
+  std::uint64_t interval_;
+};
+
+/// Shared cost arithmetic (`fixed + perByte * bytes`, `fixed + ceil`).
+BackupCosts nvmSaveCosts(const NvmCosts& c, std::size_t bytes);
+BackupCosts nvmRestoreCosts(const NvmCosts& c, std::size_t bytes);
+
+} // namespace sct::eh
+
+#endif // SCT_EH_BACKUP_SCHEME_H

@@ -1,0 +1,84 @@
+// Brownout detection with hysteresis and a load-aware predictive trip.
+//
+// A real card's voltage supervisor does two things this models: it
+// debounces the warning threshold (a single dip below vBrownout during
+// an EEPROM write spike must not power-cycle the card), and it is
+// paired with enough capacitor headroom that once the warning fires
+// the card can still reach a safe point and commit state to NVM. The
+// second property is load-dependent, so the detector also consults the
+// rolling-window average draw (power::RollingCurrent — the same
+// accessor sct_report uses): if the energy above the dead level buys
+// fewer cycles at the current draw than the configured guard, the trip
+// fires early even though the voltage is still above the warning
+// threshold. Hysteresis against chatter is provided by the supply's
+// separate restart threshold (vOn > vBrownout): after a power-down the
+// card only restarts once the capacitor recharges well above the level
+// that tripped it.
+#ifndef SCT_EH_BROWNOUT_H
+#define SCT_EH_BROWNOUT_H
+
+#include <cstdint>
+
+#include "eh/supply.h"
+#include "power/budget.h"
+
+namespace sct::eh {
+
+struct BrownoutConfig {
+  /// Consecutive cycles at or below vBrownout before the trip fires.
+  std::uint64_t debounceCycles = 4;
+  /// Predictive trip: fire when the headroom above vDead covers fewer
+  /// than this many cycles at the rolling average draw (0 disables).
+  /// Sized to the worst-case distance to a quiesce point plus the
+  /// backup latency.
+  std::uint64_t guardCycles = 0;
+};
+
+class BrownoutDetector {
+ public:
+  explicit BrownoutDetector(const BrownoutConfig& config = {})
+      : config_(config) {}
+
+  /// Evaluate once per powered wall cycle, after the supply stepped.
+  /// Returns true when the card must checkpoint and power down.
+  bool onCycle(const SupplyModel& supply,
+               const power::RollingCurrent& load) {
+    if (supply.belowBrownout()) {
+      if (++belowStreak_ >= config_.debounceCycles) return trip();
+    } else {
+      belowStreak_ = 0;
+    }
+    if (config_.guardCycles != 0) {
+      const double perCycle_fJ = load.windowMeanEnergy_fJ();
+      if (perCycle_fJ > 0.0) {
+        const double headroom_fJ =
+            supply.stored_fJ() - supply.deadLevel_fJ();
+        if (headroom_fJ <
+            perCycle_fJ * static_cast<double>(config_.guardCycles)) {
+          return trip();
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Re-arm after the power-down completed (called on restore).
+  void rearm() { belowStreak_ = 0; }
+
+  std::uint64_t trips() const { return trips_; }
+
+ private:
+  bool trip() {
+    ++trips_;
+    belowStreak_ = 0;
+    return true;
+  }
+
+  BrownoutConfig config_;
+  std::uint64_t belowStreak_ = 0;
+  std::uint64_t trips_ = 0;
+};
+
+} // namespace sct::eh
+
+#endif // SCT_EH_BROWNOUT_H

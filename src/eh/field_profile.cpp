@@ -1,0 +1,73 @@
+#include "eh/field_profile.h"
+
+namespace sct::eh {
+
+namespace {
+
+/// splitmix64 finalizer (same constants as sim::Xoshiro256's seeder):
+/// a high-quality stateless mix of one 64-bit word.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+} // namespace
+
+SquareBurstField::SquareBurstField(double on_uW, std::uint64_t onCycles,
+                                   std::uint64_t offCycles,
+                                   std::uint64_t phase)
+    : on_uW_(on_uW),
+      onCycles_(onCycles),
+      period_(onCycles + offCycles),
+      phase_(phase) {
+  if (period_ == 0) period_ = 1;
+}
+
+double SquareBurstField::power_uW(std::uint64_t cycle) const {
+  return (cycle + phase_) % period_ < onCycles_ ? on_uW_ : 0.0;
+}
+
+SwipeField::SwipeField(double peak_uW, std::uint64_t rampCycles,
+                       std::uint64_t holdCycles, std::uint64_t gapCycles)
+    : peak_uW_(peak_uW),
+      rampCycles_(rampCycles),
+      holdCycles_(holdCycles),
+      period_(2 * rampCycles + holdCycles + gapCycles) {
+  if (period_ == 0) period_ = 1;
+}
+
+double SwipeField::power_uW(std::uint64_t cycle) const {
+  const std::uint64_t t = cycle % period_;
+  if (t < rampCycles_) {
+    // Approach: field rises as the card enters the loop.
+    return peak_uW_ * static_cast<double>(t) /
+           static_cast<double>(rampCycles_);
+  }
+  if (t < rampCycles_ + holdCycles_) return peak_uW_;
+  if (t < 2 * rampCycles_ + holdCycles_) {
+    const std::uint64_t down = t - rampCycles_ - holdCycles_;
+    return peak_uW_ * static_cast<double>(rampCycles_ - down) /
+           static_cast<double>(rampCycles_);
+  }
+  return 0.0;
+}
+
+NoisyField::NoisyField(std::unique_ptr<FieldProfile> inner, double jitter,
+                       std::uint64_t seed)
+    : inner_(std::move(inner)),
+      jitter_(jitter),
+      seed_(seed),
+      name_("noisy-" + std::string(inner_->name())) {}
+
+double NoisyField::power_uW(std::uint64_t cycle) const {
+  const double base = inner_->power_uW(cycle);
+  if (base == 0.0) return 0.0;
+  // 53 uniform mantissa bits -> u in [0, 1); factor in [1-j, 1+j).
+  const std::uint64_t h = mix64(seed_ ^ (cycle * 0xD1342543DE82EF95ULL));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return base * (1.0 - jitter_ + 2.0 * jitter_ * u);
+}
+
+} // namespace sct::eh

@@ -1,0 +1,112 @@
+// Reader-field power profiles for harvested-energy simulation.
+//
+// A contactless card is powered by the reader's RF field, and the
+// field the card actually sees is anything but constant: the card is
+// swiped past the antenna, the reader duty-cycles its carrier, other
+// cards detune the loop. A FieldProfile maps a wall-clock cycle number
+// to the instantaneous power the harvesting front-end delivers to the
+// storage capacitor.
+//
+// Determinism contract: every profile is a PURE FUNCTION of the cycle
+// number (plus construction-time parameters). Nothing mutates on
+// evaluation, so the delivered power never depends on how often or in
+// which order the supply integrator sampled it — the foundation of the
+// threads=1 vs threads=N bit-identity bar. The noisy profile keeps the
+// contract by hashing (seed, cycle) instead of carrying RNG state.
+//
+// Units follow the repo convention (power/budget.cpp): power in µW,
+// energy in fJ, and energy per cycle = power_uW * clockPeriodPs.
+#ifndef SCT_EH_FIELD_PROFILE_H
+#define SCT_EH_FIELD_PROFILE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sct::eh {
+
+class FieldProfile {
+ public:
+  virtual ~FieldProfile() = default;
+
+  /// Instantaneous harvested power (µW) during wall cycle `cycle`.
+  virtual double power_uW(std::uint64_t cycle) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Steady carrier: the card sits on the reader.
+class ConstantField final : public FieldProfile {
+ public:
+  explicit ConstantField(double uW) : uW_(uW) {}
+  double power_uW(std::uint64_t) const override { return uW_; }
+  std::string_view name() const override { return "constant"; }
+
+ private:
+  double uW_;
+};
+
+/// Duty-cycled carrier: `on_uW` for `onCycles`, then dead air for
+/// `offCycles`, repeating. `phase` shifts the pattern so sweeps can
+/// start mid-burst.
+class SquareBurstField final : public FieldProfile {
+ public:
+  SquareBurstField(double on_uW, std::uint64_t onCycles,
+                   std::uint64_t offCycles, std::uint64_t phase = 0);
+  double power_uW(std::uint64_t cycle) const override;
+  std::string_view name() const override { return "burst"; }
+
+ private:
+  double on_uW_;
+  std::uint64_t onCycles_;
+  std::uint64_t period_;
+  std::uint64_t phase_;
+};
+
+/// A card swiped past the antenna: linear ramp up to `peak_uW` over
+/// `rampCycles`, a hold at the peak for `holdCycles`, a symmetric ramp
+/// down, then `gapCycles` of no field before the next swipe.
+class SwipeField final : public FieldProfile {
+ public:
+  SwipeField(double peak_uW, std::uint64_t rampCycles,
+             std::uint64_t holdCycles, std::uint64_t gapCycles);
+  double power_uW(std::uint64_t cycle) const override;
+  std::string_view name() const override { return "swipe"; }
+
+  std::uint64_t period() const { return period_; }
+
+ private:
+  double peak_uW_;
+  std::uint64_t rampCycles_;
+  std::uint64_t holdCycles_;
+  std::uint64_t period_;
+};
+
+/// Multiplicative jitter over an inner profile: power is the inner
+/// value scaled by a factor in [1 - jitter, 1 + jitter], drawn from a
+/// stateless splitmix64 hash of (seed, cycle). Same seed + cycle ⇒
+/// same factor, always.
+class NoisyField final : public FieldProfile {
+ public:
+  NoisyField(std::unique_ptr<FieldProfile> inner, double jitter,
+             std::uint64_t seed);
+  double power_uW(std::uint64_t cycle) const override;
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::unique_ptr<FieldProfile> inner_;
+  double jitter_;
+  std::uint64_t seed_;
+  std::string name_;
+};
+
+/// Energy (fJ) one cycle of `power_uW` delivers, with the repo's
+/// 1 fJ / 1 ps = 1 µW convention (see power::BudgetChecker).
+inline double harvestPerCycle_fJ(double power_uW, std::uint64_t periodPs) {
+  return power_uW * static_cast<double>(periodPs);
+}
+
+} // namespace sct::eh
+
+#endif // SCT_EH_FIELD_PROFILE_H

@@ -1,0 +1,19 @@
+#include "eh/supply.h"
+
+namespace sct::eh {
+
+SupplyModel::SupplyModel(const SupplyConfig& config,
+                         const FieldProfile& field,
+                         std::uint64_t clockPeriodPs)
+    : config_(config),
+      field_(&field),
+      periodPs_(clockPeriodPs),
+      capacity_fJ_(config.capacity_fJ()),
+      brownoutLevel_fJ_(config.level_fJ(config.vBrownout)),
+      restartLevel_fJ_(config.level_fJ(config.vOn)),
+      deadLevel_fJ_(config.level_fJ(config.vDead)),
+      idlePerCycle_fJ_(
+          harvestPerCycle_fJ(config.idlePower_uW, clockPeriodPs)),
+      stored_fJ_(capacity_fJ_ * config.initialFraction) {}
+
+} // namespace sct::eh

@@ -1,0 +1,144 @@
+// Harvested-energy supply: a storage capacitor between the RF
+// front-end and the chip.
+//
+// The paper's hardest power constraint is the contactless class —
+// "more critical is power consumption for contact-less smart cards
+// that are supplied by RF field" — where the card has no battery and
+// no contact Vcc, only whatever the field delivers into a small
+// buffer capacitor. This module closes the loop between the layer-1
+// energy estimate and execution: every committed bus cycle drains the
+// capacitor by the cycle's estimated whole-chip energy, the field
+// profile charges it, and the stored level decides (via
+// BrownoutDetector) whether the card keeps running at all.
+//
+// Units: energy in fJ throughout (the power models' native unit).
+// Capacitor levels derive from ½CV² with C in nF: 1 nF·V² = 1e-9 J =
+// 1e6 fJ. Voltage thresholds are expressed in volts and converted to
+// energy levels once at construction — the integrator itself never
+// does a sqrt on the hot path.
+#ifndef SCT_EH_SUPPLY_H
+#define SCT_EH_SUPPLY_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "eh/field_profile.h"
+
+namespace sct::eh {
+
+/// Storage + threshold parameters for one supply instance.
+struct SupplyConfig {
+  double capacitance_nF = 10.0;  ///< Buffer capacitor.
+  double vMax = 5.0;             ///< Shunt-regulated ceiling.
+  double vOn = 4.0;              ///< Power-on / restart threshold.
+  double vBrownout = 3.2;        ///< Brownout warning threshold.
+  double vDead = 2.6;            ///< Logic fails below this.
+  /// Fraction of full charge present at t=0 (1.0 = charged).
+  double initialFraction = 1.0;
+  /// Whole-chip scale over bus-interface energy (power::BudgetChecker).
+  double chipScale = 120.0;
+  /// Static chip draw while powered (µW, converted per cycle).
+  double idlePower_uW = 0.5;
+
+  double capacity_fJ() const {
+    return 0.5 * capacitance_nF * vMax * vMax * 1e6;
+  }
+  double level_fJ(double volts) const {
+    return 0.5 * capacitance_nF * volts * volts * 1e6;
+  }
+};
+
+/// Charge/discharge integrator. stepOn/stepOff advance exactly one
+/// wall cycle; the accumulation order is fixed (harvest, then drain),
+/// so a given (profile, workload) pair reproduces the same double
+/// bit patterns on every run and every thread.
+class SupplyModel {
+ public:
+  SupplyModel(const SupplyConfig& config, const FieldProfile& field,
+              std::uint64_t clockPeriodPs);
+
+  /// Whole-chip draw one cycle of `busEnergy_fJ` implies: the
+  /// documented scale factor plus the static draw. The runner shares
+  /// this exact value with the rolling-current window so the detector
+  /// and the integrator never disagree.
+  double chipDrain_fJ(double busEnergy_fJ) const {
+    return busEnergy_fJ * config_.chipScale + idlePerCycle_fJ_;
+  }
+
+  /// One powered wall cycle: harvest from the field, then drain the
+  /// cycle's bus-interface energy scaled to the whole chip plus the
+  /// static draw.
+  void stepOn(std::uint64_t wallCycle, double busEnergy_fJ) {
+    stepOnChip(wallCycle, chipDrain_fJ(busEnergy_fJ));
+  }
+
+  /// stepOn with the chip-level drain already computed.
+  void stepOnChip(std::uint64_t wallCycle, double chipDrain_fJ) {
+    harvest(wallCycle);
+    drain(chipDrain_fJ);
+  }
+
+  /// One unpowered wall cycle: the chip is dark, only the field
+  /// charges the capacitor.
+  void stepOff(std::uint64_t wallCycle) { harvest(wallCycle); }
+
+  /// Withdraw a lump sum (backup/restore costs). Clamped at zero.
+  void drain(double fJ) {
+    consumed_fJ_ += fJ;
+    stored_fJ_ -= fJ;
+    if (stored_fJ_ < 0.0) stored_fJ_ = 0.0;
+  }
+
+  double stored_fJ() const { return stored_fJ_; }
+  double capacity_fJ() const { return capacity_fJ_; }
+  /// Capacitor voltage implied by the stored energy (reporting only).
+  double voltage() const {
+    return config_.vMax * std::sqrt(stored_fJ_ / capacity_fJ_);
+  }
+
+  bool belowBrownout() const { return stored_fJ_ <= brownoutLevel_fJ_; }
+  bool aboveRestart() const { return stored_fJ_ >= restartLevel_fJ_; }
+  bool dead() const { return stored_fJ_ <= deadLevel_fJ_; }
+
+  double brownoutLevel_fJ() const { return brownoutLevel_fJ_; }
+  double restartLevel_fJ() const { return restartLevel_fJ_; }
+  double deadLevel_fJ() const { return deadLevel_fJ_; }
+
+  /// Raise the restart level (e.g. to guarantee headroom for restore
+  /// costs). Clamped to capacity.
+  void setRestartLevel_fJ(double fJ) {
+    restartLevel_fJ_ = fJ < capacity_fJ_ ? fJ : capacity_fJ_;
+  }
+
+  /// Lifetime totals (monotonic; not affected by checkpoints — the
+  /// supply lives in the wall-clock world, not the snapshot).
+  double harvested_fJ() const { return harvested_fJ_; }
+  double consumed_fJ() const { return consumed_fJ_; }
+
+  const SupplyConfig& config() const { return config_; }
+
+ private:
+  void harvest(std::uint64_t wallCycle) {
+    const double in_fJ =
+        harvestPerCycle_fJ(field_->power_uW(wallCycle), periodPs_);
+    harvested_fJ_ += in_fJ;
+    stored_fJ_ += in_fJ;
+    if (stored_fJ_ > capacity_fJ_) stored_fJ_ = capacity_fJ_;
+  }
+
+  SupplyConfig config_;
+  const FieldProfile* field_;
+  std::uint64_t periodPs_;
+  double capacity_fJ_;
+  double brownoutLevel_fJ_;
+  double restartLevel_fJ_;
+  double deadLevel_fJ_;
+  double idlePerCycle_fJ_;
+  double stored_fJ_;
+  double harvested_fJ_ = 0.0;
+  double consumed_fJ_ = 0.0;
+};
+
+} // namespace sct::eh
+
+#endif // SCT_EH_SUPPLY_H

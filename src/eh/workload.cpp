@@ -1,0 +1,86 @@
+#include "eh/workload.h"
+
+#include <string>
+
+#include "soc/smartcard.h"
+
+namespace sct::eh {
+
+soc::AssembledProgram cryptoWorkload(unsigned blocks) {
+  // $s1 = RAM base (markers + ciphertext), $s2 = crypto SFR base.
+  // The prelude mirrors the serve card-OS cold boot (RAM zeroize,
+  // EEPROM header scan) at a quarter of the size, so a boot-per-variant
+  // sweep still pays a prefix the fork sweep amortizes.
+  std::string src = R"(
+    li    $s1, 0x08000000
+    li    $s2, 0x10000400
+
+    # -- prelude: zeroize 2 KiB of scratch RAM ------------------------
+    li    $t0, 0x08000800
+    li    $t1, 0x08001000
+  zram:
+    sw    $zero, 0($t0)
+    addiu $t0, $t0, 4
+    bne   $t0, $t1, zram
+
+    # -- prelude: checksum the first 2 KiB of EEPROM (waited reads) ---
+    li    $t0, 0x0A000000
+    li    $t1, 0x0A000800
+    addiu $v0, $zero, 0
+  escan:
+    lw    $t3, 0($t0)
+    addu  $v0, $v0, $t3
+    addiu $t0, $t0, 4
+    bne   $t0, $t1, escan
+    sw    $v0, 8($s1)
+
+    # Prelude done: publish the fork marker.
+    li    $t0, 0x600D600D
+    sw    $t0, 4($s1)
+
+    # -- main phase: crypto transaction loop --------------------------
+    # Session key into the coprocessor (written once).
+    li    $t0, 0x00112233
+    sw    $t0, 0x00($s2)
+    li    $t0, 0x44556677
+    sw    $t0, 0x04($s2)
+    li    $t0, 0x8899AABB
+    sw    $t0, 0x08($s2)
+    li    $t0, 0xCCDDEEFF
+    sw    $t0, 0x0C($s2)
+
+    li    $s3, )" + std::to_string(blocks) + R"(
+    addiu $s4, $zero, 0      # block counter
+    addiu $v1, $zero, 0      # running digest
+  blk:
+    # Block input derives from the EEPROM checksum and the counter.
+    xor   $t0, $v0, $s4
+    sw    $t0, 0x10($s2)
+    sll   $t1, $s4, 3
+    addu  $t1, $t1, $v0
+    sw    $t1, 0x14($s2)
+    addiu $t0, $zero, 1
+    sw    $t0, 0x18($s2)     # start
+  cwait:
+    lw    $t0, 0x1C($s2)
+    bnez  $t0, cwait
+    lw    $t0, 0x10($s2)
+    lw    $t1, 0x14($s2)
+    xor   $v1, $v1, $t0
+    addu  $v1, $v1, $t1
+    sll   $t2, $s4, 2
+    addu  $t2, $t2, $s1
+    sw    $t0, 0x40($t2)     # ciphertext word per block
+    addiu $s4, $s4, 1
+    sw    $s4, 12($s1)       # progress counter
+    bne   $s4, $s3, blk
+
+    sw    $v1, 16($s1)       # final digest
+    li    $t0, 0xD00DFEED
+    sw    $t0, 0($s1)        # done marker
+    break
+)";
+  return soc::assemble(src, soc::memmap::kRomBase);
+}
+
+} // namespace sct::eh

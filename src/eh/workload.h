@@ -1,0 +1,35 @@
+// The intermittent-power evaluation workload: a card-OS boot prelude
+// followed by a crypto transaction loop, with progress markers the
+// runner can observe from outside the core.
+#ifndef SCT_EH_WORKLOAD_H
+#define SCT_EH_WORKLOAD_H
+
+#include <cstdint>
+
+#include "soc/assembler.h"
+
+namespace sct::eh {
+
+/// RAM words (offsets from memmap::kRamBase) the workload publishes.
+inline constexpr std::uint32_t kDoneOffset = 0x00;      ///< kDoneMagic at end.
+inline constexpr std::uint32_t kPreludeOffset = 0x04;   ///< kPreludeMagic.
+inline constexpr std::uint32_t kChecksumOffset = 0x08;  ///< EEPROM checksum.
+inline constexpr std::uint32_t kProgressOffset = 0x0C;  ///< Blocks finished.
+inline constexpr std::uint32_t kDigestOffset = 0x10;    ///< Running digest.
+
+inline constexpr std::uint32_t kPreludeMagic = 0x600D600Du;
+inline constexpr std::uint32_t kDoneMagic = 0xD00DFEEDu;
+
+/// Assemble the workload: zeroize 2 KiB of RAM and checksum 2 KiB of
+/// EEPROM (the boot prelude, ending with kPreludeMagic at
+/// kPreludeOffset — the fork point), then run `blocks` crypto
+/// coprocessor encryptions, storing ciphertext words and bumping the
+/// progress counter after each block, and finally write kDoneMagic and
+/// halt. Every block's input derives from the EEPROM checksum and the
+/// block index, so the final digest witnesses that no block was
+/// skipped or replayed out of order.
+soc::AssembledProgram cryptoWorkload(unsigned blocks);
+
+} // namespace sct::eh
+
+#endif // SCT_EH_WORKLOAD_H

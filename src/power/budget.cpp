@@ -46,4 +46,65 @@ BudgetReport BudgetChecker::check(const PowerProfile& profile,
   return report;
 }
 
+RollingCurrent::RollingCurrent(const SupplySpec& spec,
+                               std::uint64_t clockPeriodPs,
+                               double chipScale, std::size_t windowCycles)
+    : spec_(spec),
+      chipScale_(chipScale),
+      periodPs_(static_cast<double>(clockPeriodPs)),
+      ring_(windowCycles == 0 ? 1 : windowCycles, 0.0) {}
+
+void RollingCurrent::addCycle(double busEnergy_fJ) {
+  const double chip_fJ = busEnergy_fJ * chipScale_;
+  total_fJ_ += chip_fJ;
+  if (fill_ >= ring_.size()) {
+    window_fJ_ -= ring_[head_];
+  } else {
+    ++fill_;
+  }
+  window_fJ_ += chip_fJ;
+  ring_[head_] = chip_fJ;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  ++cycles_;
+  const double mean = windowMeanEnergy_fJ();
+  if (mean > peakWindowMean_fJ_) peakWindowMean_fJ_ = mean;
+}
+
+void RollingCurrent::feed(const PowerProfile& profile) {
+  for (const PowerProfile::Sample& s : profile.samples()) {
+    addCycle(s.energy_fJ);
+  }
+}
+
+void RollingCurrent::resetWindow() {
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  window_fJ_ = 0.0;
+  head_ = 0;
+  fill_ = 0;
+}
+
+double RollingCurrent::windowMeanEnergy_fJ() const {
+  if (fill_ == 0) return 0.0;
+  return window_fJ_ / static_cast<double>(fill_);
+}
+
+double RollingCurrent::toCurrent_mA(double perCycle_fJ) const {
+  // Whole-chip power in µW (1 fJ / 1 ps = 1 µW), then I = P / V.
+  const double p_uW = perCycle_fJ / periodPs_;
+  return p_uW / (spec_.vdd * 1000.0);
+}
+
+double RollingCurrent::current_mA() const {
+  return toCurrent_mA(windowMeanEnergy_fJ());
+}
+
+double RollingCurrent::peakCurrent_mA() const {
+  return toCurrent_mA(peakWindowMean_fJ_);
+}
+
+double RollingCurrent::meanCurrent_mA() const {
+  if (cycles_ == 0) return 0.0;
+  return toCurrent_mA(total_fJ_ / static_cast<double>(cycles_));
+}
+
 } // namespace sct::power

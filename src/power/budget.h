@@ -15,6 +15,8 @@
 #ifndef SCT_POWER_BUDGET_H
 #define SCT_POWER_BUDGET_H
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,74 @@ class BudgetChecker {
  private:
   SupplySpec spec_;
   double chipScale_;
+};
+
+/// Incremental rolling-window average current.
+//
+// BudgetChecker::check post-processes a recorded PowerProfile in
+// tumbling windows; RollingCurrent answers the same "what does the
+// chip draw right now, smoothed the way the supply regulation smooths
+// it" question *while the simulation runs*, one energy sample per
+// committed cycle. Two consumers: the eh brownout detector (trip
+// decisions need the live draw, not an end-of-run report) and
+// sct_report (peak rolling current against a deployment budget).
+//
+// Determinism: a fixed-capacity ring with an incrementally maintained
+// running sum — add the new sample, subtract the evicted one, in that
+// order, every cycle. No data-dependent re-summation, so the double
+// bit patterns depend only on the sample sequence.
+class RollingCurrent {
+ public:
+  /// `chipScale` converts the per-cycle bus-interface energy to a
+  /// whole-chip figure, as in BudgetChecker; pass 1.0 to feed
+  /// chip-level energies directly. `windowCycles` is clamped to >= 1.
+  RollingCurrent(const SupplySpec& spec, std::uint64_t clockPeriodPs,
+                 double chipScale = 120.0, std::size_t windowCycles = 64);
+
+  /// Record one committed cycle's bus-interface energy (fJ).
+  void addCycle(double busEnergy_fJ);
+
+  /// Replay a recorded profile sample-by-sample (sct_report).
+  void feed(const PowerProfile& profile);
+
+  /// Empty the regulation window (the chip was powered down; whatever
+  /// it drew before the outage is not "recent" when it comes back).
+  /// Lifetime totals — cycles(), meanCurrent_mA(), peakCurrent_mA() —
+  /// are preserved; only the windowed view restarts from empty.
+  void resetWindow();
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::size_t windowCycles() const { return ring_.size(); }
+
+  /// Mean whole-chip energy per cycle over the last window (fJ).
+  /// Averages over the samples actually present while the window is
+  /// still filling.
+  double windowMeanEnergy_fJ() const;
+
+  /// Rolling average current over the last window (mA).
+  double current_mA() const;
+  /// Highest rolling current seen so far (mA).
+  double peakCurrent_mA() const;
+  /// Whole-run mean current (mA).
+  double meanCurrent_mA() const;
+
+  bool overBudget() const { return current_mA() > spec_.maxCurrent_mA; }
+
+  const SupplySpec& spec() const { return spec_; }
+
+ private:
+  double toCurrent_mA(double perCycle_fJ) const;
+
+  SupplySpec spec_;
+  double chipScale_;
+  double periodPs_;
+  std::vector<double> ring_;
+  std::size_t head_ = 0;
+  std::size_t fill_ = 0;  ///< Samples present in the window.
+  std::uint64_t cycles_ = 0;
+  double window_fJ_ = 0.0;
+  double total_fJ_ = 0.0;
+  double peakWindowMean_fJ_ = 0.0;
 };
 
 } // namespace sct::power

@@ -1,0 +1,222 @@
+#include "eh/supply.h"
+
+#include <gtest/gtest.h>
+
+#include "eh/backup_scheme.h"
+#include "eh/brownout.h"
+#include "power/budget.h"
+
+namespace sct {
+namespace {
+
+constexpr std::uint64_t kPeriodPs = 30'000;
+
+eh::SupplyConfig smallSupply() {
+  eh::SupplyConfig c;
+  c.capacitance_nF = 1.0;
+  c.vMax = 5.0;       // capacity 12.5e6 fJ
+  c.vOn = 4.0;        // 8.0e6 fJ
+  c.vBrownout = 3.2;  // 5.12e6 fJ
+  c.vDead = 2.6;      // 3.38e6 fJ
+  c.idlePower_uW = 0.0;
+  c.chipScale = 1.0;
+  return c;
+}
+
+TEST(Supply, LevelsFollowHalfCVSquared) {
+  const eh::SupplyConfig c = smallSupply();
+  EXPECT_DOUBLE_EQ(c.capacity_fJ(), 12.5e6);
+  EXPECT_DOUBLE_EQ(c.level_fJ(3.2), 5.12e6);
+  eh::ConstantField f(0.0);
+  eh::SupplyModel s(c, f, kPeriodPs);
+  EXPECT_DOUBLE_EQ(s.stored_fJ(), 12.5e6);
+  EXPECT_DOUBLE_EQ(s.brownoutLevel_fJ(), 5.12e6);
+  EXPECT_DOUBLE_EQ(s.deadLevel_fJ(), 3.38e6);
+  EXPECT_DOUBLE_EQ(s.restartLevel_fJ(), 8.0e6);
+  EXPECT_DOUBLE_EQ(s.voltage(), 5.0);
+}
+
+TEST(Supply, HarvestThenDrainOrderAndClamps) {
+  eh::SupplyConfig c = smallSupply();
+  c.initialFraction = 0.5;
+  eh::ConstantField f(2.0);  // 60'000 fJ per cycle in.
+  eh::SupplyModel s(c, f, kPeriodPs);
+  const double start = s.stored_fJ();
+  EXPECT_DOUBLE_EQ(start, 6.25e6);
+
+  s.stepOn(0, 10'000.0);  // chipScale 1, idle 0: drain == busEnergy
+  EXPECT_DOUBLE_EQ(s.stored_fJ(), start + 60'000.0 - 10'000.0);
+  EXPECT_DOUBLE_EQ(s.harvested_fJ(), 60'000.0);
+  EXPECT_DOUBLE_EQ(s.consumed_fJ(), 10'000.0);
+
+  s.stepOff(1);  // dark: harvest only
+  EXPECT_DOUBLE_EQ(s.stored_fJ(), start + 2 * 60'000.0 - 10'000.0);
+
+  // Ceiling clamp: harvest cannot exceed capacity, but harvested_fJ
+  // keeps counting what the field delivered.
+  eh::SupplyModel full(smallSupply(), f, kPeriodPs);
+  full.stepOff(0);
+  EXPECT_DOUBLE_EQ(full.stored_fJ(), full.capacity_fJ());
+  EXPECT_DOUBLE_EQ(full.harvested_fJ(), 60'000.0);
+
+  // Floor clamp: a lump drain larger than the store empties it.
+  full.drain(1e9);
+  EXPECT_DOUBLE_EQ(full.stored_fJ(), 0.0);
+  EXPECT_TRUE(full.dead());
+}
+
+TEST(Supply, ThresholdPredicates) {
+  eh::SupplyConfig c = smallSupply();
+  eh::ConstantField f(0.0);
+  eh::SupplyModel s(c, f, kPeriodPs);
+  EXPECT_FALSE(s.belowBrownout());
+  EXPECT_TRUE(s.aboveRestart());
+  EXPECT_FALSE(s.dead());
+
+  s.drain(s.stored_fJ() - s.brownoutLevel_fJ());  // exactly at warning
+  EXPECT_TRUE(s.belowBrownout());
+  EXPECT_FALSE(s.aboveRestart());
+  EXPECT_FALSE(s.dead());
+
+  s.drain(s.stored_fJ() - s.deadLevel_fJ());
+  EXPECT_TRUE(s.dead());
+}
+
+TEST(Supply, RestartLevelIsRaisableAndClamped) {
+  eh::SupplyConfig c = smallSupply();
+  eh::ConstantField f(0.0);
+  eh::SupplyModel s(c, f, kPeriodPs);
+  s.setRestartLevel_fJ(9.0e6);
+  EXPECT_DOUBLE_EQ(s.restartLevel_fJ(), 9.0e6);
+  s.setRestartLevel_fJ(1e12);
+  EXPECT_DOUBLE_EQ(s.restartLevel_fJ(), s.capacity_fJ());
+}
+
+TEST(Supply, ChipDrainAppliesScaleAndIdle) {
+  eh::SupplyConfig c = smallSupply();
+  c.chipScale = 120.0;
+  c.idlePower_uW = 0.5;  // 15'000 fJ per 30'000 ps cycle
+  eh::ConstantField f(0.0);
+  eh::SupplyModel s(c, f, kPeriodPs);
+  EXPECT_DOUBLE_EQ(s.chipDrain_fJ(300.0), 300.0 * 120.0 + 15'000.0);
+}
+
+TEST(Brownout, DebounceFiltersSingleDips) {
+  eh::SupplyConfig c = smallSupply();
+  c.initialFraction = 0.45;  // 5.625e6 fJ: just above brownout level
+  eh::ConstantField charge(2.0);
+  eh::SupplyModel s(c, charge, kPeriodPs);
+  power::RollingCurrent load(power::contactless(), kPeriodPs, 1.0, 8);
+  eh::BrownoutDetector det({/*debounce=*/3, /*guard=*/0});
+
+  // One big drain dips below the warning level for a single cycle;
+  // the field tops it back up before the streak reaches 3.
+  std::uint64_t wall = 0;
+  s.stepOn(wall++, 600'000.0);  // dip below 5.12e6
+  ASSERT_TRUE(s.belowBrownout());
+  EXPECT_FALSE(det.onCycle(s, load));
+  s.stepOn(wall++, 0.0);  // +60k: back above
+  ASSERT_FALSE(s.belowBrownout());
+  EXPECT_FALSE(det.onCycle(s, load));
+  EXPECT_EQ(det.trips(), 0u);
+
+  // Sustained sag: three consecutive cycles below trips exactly once.
+  s.drain(600'000.0);
+  int fired = 0;
+  for (int i = 0; i < 3; ++i) {
+    s.stepOn(wall++, 70'000.0);  // net drain despite harvest
+    if (det.onCycle(s, load)) ++fired;
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(det.trips(), 1u);
+}
+
+TEST(Brownout, PredictiveGuardTripsOnHighLoad) {
+  eh::SupplyConfig c = smallSupply();
+  c.initialFraction = 0.30;  // 3.75e6: above dead, below brownout
+  eh::ConstantField dark(0.0);
+  eh::SupplyModel s(c, dark, kPeriodPs);
+  power::RollingCurrent load(power::contactless(), kPeriodPs, 1.0, 4);
+
+  // Headroom above dead = 3.75e6 - 3.38e6 = 0.37e6 fJ.
+  // At 10'000 fJ/cycle that is 37 cycles of life: a 100-cycle guard
+  // must fire even though debounce is far from elapsed.
+  eh::BrownoutDetector det({/*debounce=*/1'000'000, /*guard=*/100});
+  load.addCycle(10'000.0);
+  EXPECT_TRUE(det.onCycle(s, load));
+  EXPECT_EQ(det.trips(), 1u);
+
+  // Same supply, light load: 1'000 fJ/cycle -> 370 cycles of headroom,
+  // comfortably over the guard; no trip.
+  power::RollingCurrent light(power::contactless(), kPeriodPs, 1.0, 4);
+  eh::BrownoutDetector det2({/*debounce=*/1'000'000, /*guard=*/100});
+  light.addCycle(1'000.0);
+  EXPECT_FALSE(det2.onCycle(s, light));
+
+  // Guard disabled: never fires on load alone.
+  eh::BrownoutDetector det3({/*debounce=*/1'000'000, /*guard=*/0});
+  EXPECT_FALSE(det3.onCycle(s, load));
+}
+
+TEST(Brownout, RearmClearsStreak) {
+  eh::SupplyConfig c = smallSupply();
+  c.initialFraction = 0.35;  // below brownout from the start
+  eh::ConstantField dark(0.0);
+  eh::SupplyModel s(c, dark, kPeriodPs);
+  power::RollingCurrent load(power::contactless(), kPeriodPs, 1.0, 4);
+  eh::BrownoutDetector det({/*debounce=*/3, /*guard=*/0});
+  EXPECT_FALSE(det.onCycle(s, load));
+  EXPECT_FALSE(det.onCycle(s, load));
+  det.rearm();  // restore happened; streak must restart from zero
+  EXPECT_FALSE(det.onCycle(s, load));
+  EXPECT_FALSE(det.onCycle(s, load));
+  EXPECT_TRUE(det.onCycle(s, load));
+}
+
+TEST(BackupScheme, CostArithmetic) {
+  eh::NvmCosts c;
+  c.saveFixed_fJ = 1000.0;
+  c.savePerByte_fJ = 2.0;
+  c.saveFixedCycles = 10;
+  c.saveBytesPerCycle = 64;
+  c.restoreFixed_fJ = 500.0;
+  c.restorePerByte_fJ = 1.0;
+  c.restoreFixedCycles = 5;
+  c.restoreBytesPerCycle = 128;
+
+  const eh::BackupCosts s = eh::nvmSaveCosts(c, 130);
+  EXPECT_DOUBLE_EQ(s.energy_fJ, 1000.0 + 2.0 * 130.0);
+  EXPECT_EQ(s.cycles, 10u + 3u);  // ceil(130/64) = 3
+
+  const eh::BackupCosts r = eh::nvmRestoreCosts(c, 256);
+  EXPECT_DOUBLE_EQ(r.energy_fJ, 500.0 + 256.0);
+  EXPECT_EQ(r.cycles, 5u + 2u);
+
+  // Zero bytes still pays the fixed part.
+  EXPECT_EQ(eh::nvmSaveCosts(c, 0).cycles, 10u);
+  EXPECT_DOUBLE_EQ(eh::nvmSaveCosts(c, 0).energy_fJ, 1000.0);
+}
+
+TEST(BackupScheme, PolicyFlags) {
+  eh::ThresholdScheme bec;
+  EXPECT_EQ(bec.name(), "threshold");
+  EXPECT_TRUE(bec.backupOnBrownout());
+  EXPECT_EQ(bec.periodicInterval(), 0u);
+
+  eh::QuiesceScheme clank(5000);
+  EXPECT_EQ(clank.name(), "quiesce");
+  EXPECT_FALSE(clank.backupOnBrownout());
+  EXPECT_EQ(clank.periodicInterval(), 5000u);
+
+  // Interval clamped to >= 1 so "periodic" never divides by zero.
+  eh::QuiesceScheme degenerate(0);
+  EXPECT_GE(degenerate.periodicInterval(), 1u);
+
+  eh::ParametricScheme p("p1", eh::NvmCosts{}, true, 1234);
+  EXPECT_EQ(p.name(), "p1");
+  EXPECT_TRUE(p.backupOnBrownout());
+  EXPECT_EQ(p.periodicInterval(), 1234u);
+}
+
+} // namespace
+} // namespace sct

@@ -74,5 +74,117 @@ TEST(BudgetTest, ChipScaleScalesLinearly) {
   EXPECT_NEAR(b.peakCurrent_mA, 2.0 * a.peakCurrent_mA, 1e-12);
 }
 
+// ---------------------------------------------------------------------
+// RollingCurrent: the incremental (per-committed-cycle) counterpart of
+// BudgetChecker::check, consumed live by the eh brownout detector.
+
+TEST(RollingCurrent, WindowEdgeEvictsOldestExactly) {
+  RollingCurrent rc(gsm5V(), 30'000, /*chipScale=*/1.0, /*window=*/4);
+  rc.addCycle(1.0);
+  rc.addCycle(2.0);
+  rc.addCycle(3.0);
+  EXPECT_EQ(rc.cycles(), 3u);
+  // Partial window: divide by the samples actually present, not by 4.
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 6.0 / 3.0);
+  rc.addCycle(4.0);
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 10.0 / 4.0);
+  // 5th sample evicts the 1.0: window is now {2,3,4,5}.
+  rc.addCycle(5.0);
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 14.0 / 4.0);
+  // 6th evicts the 2.0.
+  rc.addCycle(6.0);
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 18.0 / 4.0);
+  EXPECT_EQ(rc.cycles(), 6u);
+  EXPECT_EQ(rc.windowCycles(), 4u);
+}
+
+TEST(RollingCurrent, CurrentsFollowTheRepoConvention) {
+  // 3000 fJ per 30'000 ps cycle = 0.1 µW; at 5 V that is 0.02 µA.
+  RollingCurrent rc(gsm5V(), 30'000, 1.0, 8);
+  for (int i = 0; i < 8; ++i) rc.addCycle(3000.0);
+  EXPECT_DOUBLE_EQ(rc.current_mA(), 0.1 / (5.0 * 1000.0));
+  EXPECT_DOUBLE_EQ(rc.meanCurrent_mA(), rc.current_mA());
+  EXPECT_DOUBLE_EQ(rc.peakCurrent_mA(), rc.current_mA());
+  EXPECT_FALSE(rc.overBudget());
+}
+
+TEST(RollingCurrent, PeakHoldsAfterTheBurstPasses) {
+  RollingCurrent rc(contactless(), 30'000, 1.0, 4);
+  for (int i = 0; i < 4; ++i) rc.addCycle(100.0);
+  const double calm = rc.current_mA();
+  for (int i = 0; i < 4; ++i) rc.addCycle(10'000.0);
+  const double burst = rc.current_mA();
+  EXPECT_GT(burst, calm);
+  for (int i = 0; i < 8; ++i) rc.addCycle(100.0);
+  // The rolling value decays back; the peak remembers the burst.
+  EXPECT_DOUBLE_EQ(rc.current_mA(), calm);
+  EXPECT_DOUBLE_EQ(rc.peakCurrent_mA(), burst);
+  // Whole-run mean sits between the two.
+  EXPECT_GT(rc.meanCurrent_mA(), calm);
+  EXPECT_LT(rc.meanCurrent_mA(), burst);
+}
+
+TEST(RollingCurrent, ChipScaleAppliesPerSample) {
+  RollingCurrent rc(gsm5V(), 30'000, /*chipScale=*/120.0, 4);
+  rc.addCycle(10.0);
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 1200.0);
+}
+
+TEST(RollingCurrent, FeedReplaysAProfile) {
+  const PowerProfile p = flatProfile(10, 500.0);
+  RollingCurrent fed(gsm5V(), 30'000, 1.0, 4);
+  fed.feed(p);
+  RollingCurrent manual(gsm5V(), 30'000, 1.0, 4);
+  for (int i = 0; i < 10; ++i) manual.addCycle(500.0);
+  EXPECT_EQ(fed.cycles(), manual.cycles());
+  EXPECT_DOUBLE_EQ(fed.current_mA(), manual.current_mA());
+  EXPECT_DOUBLE_EQ(fed.peakCurrent_mA(), manual.peakCurrent_mA());
+}
+
+TEST(RollingCurrent, DegenerateWindowAndEmptyStateAreSafe) {
+  RollingCurrent rc(gsm5V(), 30'000, 1.0, /*window=*/0);  // clamped to 1
+  EXPECT_EQ(rc.windowCycles(), 1u);
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 0.0);
+  EXPECT_DOUBLE_EQ(rc.current_mA(), 0.0);
+  EXPECT_DOUBLE_EQ(rc.meanCurrent_mA(), 0.0);
+  rc.addCycle(42.0);
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 42.0);
+  rc.addCycle(8.0);  // window of 1: immediately replaced
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 8.0);
+}
+
+TEST(RollingCurrent, ResetWindowForgetsRecentButKeepsLifetime) {
+  RollingCurrent rc(gsm5V(), 30'000, 1.0, 4);
+  for (int i = 0; i < 6; ++i) rc.addCycle(1000.0);
+  EXPECT_GT(rc.current_mA(), 0.0);
+  const double peak = rc.peakCurrent_mA();
+  const double mean = rc.meanCurrent_mA();
+  // A power outage: the windowed view restarts from empty...
+  rc.resetWindow();
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 0.0);
+  EXPECT_DOUBLE_EQ(rc.current_mA(), 0.0);
+  // ...while the lifetime counters survive.
+  EXPECT_EQ(rc.cycles(), 6u);
+  EXPECT_DOUBLE_EQ(rc.peakCurrent_mA(), peak);
+  EXPECT_DOUBLE_EQ(rc.meanCurrent_mA(), mean);
+  // Refilling averages over the samples present, exactly like a fresh
+  // instance.
+  rc.addCycle(500.0);
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 500.0);
+  rc.addCycle(1500.0);
+  EXPECT_DOUBLE_EQ(rc.windowMeanEnergy_fJ(), 1000.0);
+}
+
+TEST(RollingCurrent, OverBudgetTracksTheSpec) {
+  // contactless: 1.7 mA at 3 V -> 5100 µW -> 5100 fJ/ps; with 30'000 ps
+  // cycles the budget is 1.53e8 fJ per cycle. Feed double that.
+  RollingCurrent rc(contactless(), 30'000, 1.0, 2);
+  rc.addCycle(2.0 * 5100.0 * 30'000.0);
+  EXPECT_TRUE(rc.overBudget());
+  rc.addCycle(0.0);
+  rc.addCycle(0.0);
+  EXPECT_FALSE(rc.overBudget());
+}
+
 } // namespace
 } // namespace sct::power
