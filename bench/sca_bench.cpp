@@ -1,0 +1,143 @@
+// Side-channel corpus throughput: attack viability is a trace-count
+// problem, so the factory and the analyzer are measured in traces per
+// second ("Hardware Accelerated Power Estimation" framing, PAPERS.md).
+//
+//   Sca_Generate/threads:N — corpus generation rate: boot-once
+//                            snapshot, N workers forking measured
+//                            encryptions (items = traces written).
+//   Sca_Analyze            — CPA rate over a pre-generated corpus:
+//                            chunked reads, 256-guess exact-integer
+//                            moment accumulation (items = traces
+//                            analyzed).
+//   Sca_Recovery           — the headline quality numbers as counters:
+//                            traces_to_recovery_unprotected (first
+//                            rank-0 checkpoint that holds to the end)
+//                            and traces_to_recovery_masked (0 = never
+//                            recovered at the same corpus size — the
+//                            countermeasure's margin).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "sca/analyzer.h"
+#include "sca/corpus_runner.h"
+
+namespace {
+
+using namespace sct;
+
+/// SCT_BENCH_TINY=1 shrinks the workload for CI smoke runs.
+bool tinyMode() {
+  const char* v = std::getenv("SCT_BENCH_TINY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::uint64_t corpusTraces() { return tinyMode() ? 48u : 600u; }
+
+std::string scratchPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+sca::CorpusConfig benchConfig(bool masked) {
+  sca::CorpusConfig cfg;
+  cfg.traces = corpusTraces();
+  cfg.leak.maskRounds = masked;
+  return cfg;
+}
+
+sca::AttackConfig recoveryAttack() {
+  sca::AttackConfig cfg;
+  for (std::uint64_t c = 50; c < corpusTraces(); c += 50) {
+    cfg.rankCheckpoints.push_back(c);
+  }
+  return cfg;
+}
+
+void Sca_Generate(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const sca::CorpusRunner runner(bench::characterizedTable(),
+                                 benchConfig(false));
+  const std::string path = scratchPath("sca_bench_gen.sctcorp");
+  std::uint64_t traces = 0;
+  for (auto _ : state) {
+    const sca::GenerateStats stats = runner.generate(path, threads);
+    if (stats.traces != corpusTraces()) {
+      state.SkipWithError("generation came up short");
+    }
+    traces += stats.traces;
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(static_cast<std::int64_t>(traces));
+}
+BENCHMARK(Sca_Generate)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void Sca_Analyze(benchmark::State& state) {
+  const std::string path = scratchPath("sca_bench_analyze.sctcorp");
+  sca::CorpusRunner(bench::characterizedTable(), benchConfig(false))
+      .generate(path, 0);
+  sca::AttackConfig cfg;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  const sca::DpaAnalyzer analyzer(cfg);
+  std::uint64_t traces = 0;
+  for (auto _ : state) {
+    const sca::AttackResult r = analyzer.analyze(path);
+    benchmark::DoNotOptimize(r.finalRank);
+    traces += r.traces;
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(static_cast<std::int64_t>(traces));
+}
+BENCHMARK(Sca_Analyze)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void Sca_Recovery(benchmark::State& state) {
+  const std::string unprot = scratchPath("sca_bench_unprot.sctcorp");
+  const std::string masked = scratchPath("sca_bench_masked.sctcorp");
+  const sca::DpaAnalyzer analyzer(recoveryAttack());
+  std::uint64_t recUnprot = 0;
+  std::uint64_t recMasked = 0;
+  for (auto _ : state) {
+    sca::CorpusRunner(bench::characterizedTable(), benchConfig(false))
+        .generate(unprot, 0);
+    sca::CorpusRunner(bench::characterizedTable(), benchConfig(true))
+        .generate(masked, 0);
+    recUnprot = sca::tracesToRecovery(analyzer.analyze(unprot));
+    recMasked = sca::tracesToRecovery(analyzer.analyze(masked));
+  }
+  std::filesystem::remove(unprot);
+  std::filesystem::remove(masked);
+  state.counters["traces_to_recovery_unprotected"] =
+      static_cast<double>(recUnprot);
+  state.counters["traces_to_recovery_masked"] = static_cast<double>(recMasked);
+  state.counters["corpus_traces"] = static_cast<double>(corpusTraces());
+}
+BENCHMARK(Sca_Recovery)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Side-channel corpus throughput: items_per_second is traces per\n"
+      "second (generated for Sca_Generate, analyzed for Sca_Analyze).\n"
+      "Sca_Recovery reports traces-to-recovery as counters; masked = 0\n"
+      "means the countermeasure held at the full corpus size.\n\n");
+  benchmark::AddCustomContext("sct_build_type", sct::bench::sctBuildType());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

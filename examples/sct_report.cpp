@@ -9,13 +9,16 @@
 //     and optionally write a Chrome trace_event file for Perfetto.
 //
 // Usage: sct_report [trace.json]
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "bus/memory_slave.h"
 #include "bus/tl1_bus.h"
+#include "hier/roi_trigger.h"
 #include "obs/ledger.h"
 #include "obs/stats.h"
 #include "obs/trace_json.h"
@@ -59,6 +62,51 @@ std::vector<trace::TargetRegion> regions() {
           trace::TargetRegion{0x8000, 0x2000, true, true, true}};
 }
 
+/// ROI-windowed per-region current statistics: one AddressWatchTrigger
+/// per target region gates which cycles are "that region's", the same
+/// way the sca corpus factory gates its crypto capture. Only the
+/// min/mean/peak reduction is kept — SPA inspection of a region's draw
+/// without exporting the full per-cycle trace.
+class RegionRoiProfiler final : public bus::Tl1Observer {
+ public:
+  struct Region {
+    std::string name;
+    hier::AddressWatchTrigger trigger;
+    std::vector<double> roiEnergy_fJ;  ///< One entry per armed cycle.
+  };
+
+  RegionRoiProfiler(const power::Tl1PowerModel& pm,
+                    std::uint64_t holdCycles)
+      : pm_(pm), holdCycles_(holdCycles) {}
+
+  void addRegion(std::string name, bus::Address base, bus::Address size) {
+    regions_.push_back(Region{
+        std::move(name),
+        hier::AddressWatchTrigger({{base, size}}, holdCycles_),
+        {}});
+  }
+
+  void busCycleBegin(std::uint64_t cycle) override { cycle_ = cycle; }
+  void addressPhase(const bus::AddressPhaseInfo& info) override {
+    if (!info.accepted || info.request == nullptr) return;
+    for (Region& r : regions_) r.trigger.onSubmit(*info.request, cycle_);
+  }
+  void busCycleEnd(std::uint64_t cycle) override {
+    const double e = pm_.energyLastCycle_fJ();
+    for (Region& r : regions_) {
+      if (r.trigger.armed(cycle)) r.roiEnergy_fJ.push_back(e);
+    }
+  }
+
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  const power::Tl1PowerModel& pm_;
+  std::uint64_t holdCycles_;
+  std::uint64_t cycle_ = 0;
+  std::vector<Region> regions_;
+};
+
 power::SignalEnergyTable characterize() {
   ref::ParasiticDb parasitics = ref::ParasiticDb::makeDefault();
   static const ref::TransitionEnergyModel model(parasitics,
@@ -97,6 +145,12 @@ int main(int argc, char** argv) {
   power::PowerProfile profile(30'000);
   power::Tl1ProfileRecorder profRec(pm, profile);
   ecbus.addObserver(profRec);
+  // After the power model: the ROI profiler reads the cycle's final
+  // energy, exactly like the profile recorder above.
+  RegionRoiProfiler roi(pm, /*holdCycles=*/8);
+  roi.addRegion("ram", 0x0000, 0x2000);
+  roi.addRegion("eeprom", 0x8000, 0x2000);
+  ecbus.addObserver(roi);
 
   obs::StatsRegistry reg;
   obs::EnergyLedger ledger;
@@ -194,6 +248,49 @@ int main(int argc, char** argv) {
                 trace::Table::num(rc.meanCurrent_mA(), 4),
                 rc.peakCurrent_mA() <= spec.maxCurrent_mA ? "within"
                                                           : "OVER"});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- ROI-windowed per-region current --------------------------------
+  // SPA-style inspection without the full trace: per address region,
+  // the current over cycles its ROI trigger is armed — minimum and
+  // peak over 16-cycle windows of ROI time, mean over all ROI cycles.
+  {
+    const power::SupplySpec spec = power::gsm5V();
+    const double periodPs = 30'000.0;
+    const double chipScale = 120.0;
+    const auto toCurrent_mA = [&](double perCycle_fJ) {
+      return perCycle_fJ * chipScale / periodPs / (spec.vdd * 1000.0);
+    };
+    constexpr std::size_t kWin = 16;
+    trace::Table t({"region", "roi cycles", "min [mA]", "mean [mA]",
+                    "peak [mA]"});
+    for (const RegionRoiProfiler::Region& r : roi.regions()) {
+      const std::vector<double>& e = r.roiEnergy_fJ;
+      double sum = 0.0;
+      for (const double v : e) sum += v;
+      double minWin = 0.0;
+      double peakWin = 0.0;
+      if (e.size() >= kWin) {
+        double win = 0.0;
+        for (std::size_t i = 0; i < kWin; ++i) win += e[i];
+        minWin = peakWin = win;
+        for (std::size_t i = kWin; i < e.size(); ++i) {
+          win += e[i] - e[i - kWin];
+          minWin = std::min(minWin, win);
+          peakWin = std::max(peakWin, win);
+        }
+      }
+      t.addRow({r.name, std::to_string(e.size()),
+                trace::Table::num(toCurrent_mA(minWin / kWin), 4),
+                trace::Table::num(
+                    e.empty() ? 0.0
+                              : toCurrent_mA(sum /
+                                             static_cast<double>(e.size())),
+                    4),
+                trace::Table::num(toCurrent_mA(peakWin / kWin), 4)});
     }
     t.print(std::cout);
     std::cout << "\n";

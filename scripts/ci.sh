@@ -51,6 +51,12 @@ for preset in release asan-ubsan; do
   # threads=1 vs threads=N sweep bit-identity that makes backup-scheme
   # exploration trustworthy.
   run ctest --preset "$preset" -L eh --parallel "$jobs"
+  # And for the side-channel subsystem: the `sca` label covers the
+  # corpus format (golden bytes + negative paths), the coprocessor leak
+  # model, and the attack headlines — unprotected key-byte recovery,
+  # masked non-recovery, and the corpus/ranking bit-identity across
+  # threads and chunk sizes.
+  run ctest --preset "$preset" -L sca --parallel "$jobs"
 done
 
 echo "==> bench smoke (tiny workload)"
@@ -59,6 +65,8 @@ run env SCT_BENCH_TINY=1 ./build/bench/table3_simperf \
 run env SCT_BENCH_TINY=1 ./build/bench/serve_throughput \
   --benchmark_min_time=0.01
 run env SCT_BENCH_TINY=1 ./build/bench/eh_sweep_bench \
+  --benchmark_min_time=0.01
+run env SCT_BENCH_TINY=1 ./build/bench/sca_bench \
   --benchmark_min_time=0.01
 
 echo "CI: both passes green"

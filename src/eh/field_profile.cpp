@@ -1,19 +1,8 @@
 #include "eh/field_profile.h"
 
+#include "sim/rng.h"
+
 namespace sct::eh {
-
-namespace {
-
-/// splitmix64 finalizer (same constants as sim::Xoshiro256's seeder):
-/// a high-quality stateless mix of one 64-bit word.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-} // namespace
 
 SquareBurstField::SquareBurstField(double on_uW, std::uint64_t onCycles,
                                    std::uint64_t offCycles,
@@ -65,8 +54,11 @@ double NoisyField::power_uW(std::uint64_t cycle) const {
   const double base = inner_->power_uW(cycle);
   if (base == 0.0) return 0.0;
   // 53 uniform mantissa bits -> u in [0, 1); factor in [1-j, 1+j).
-  const std::uint64_t h = mix64(seed_ ^ (cycle * 0xD1342543DE82EF95ULL));
-  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  // sim::mix64 is the same finalizer the historical local copy was, so
+  // every (seed, cycle) draw — and every eh sweep outcome — is
+  // byte-unchanged.
+  const std::uint64_t h = sim::mix64(seed_ ^ (cycle * 0xD1342543DE82EF95ULL));
+  const double u = sim::unitDouble(h);
   return base * (1.0 - jitter_ + 2.0 * jitter_ * u);
 }
 

@@ -1,0 +1,106 @@
+// The attack harness: correlation power analysis (CPA) and classic
+// difference-of-means DPA over a trace corpus.
+//
+// The analyzer recovers one byte of the coprocessor's ROUND-0 key word
+// (rk0 = key[0] ^ 0x9E3779B9 — the key-schedule constant is public, so
+// rk0 gives key[0] directly) from nothing but plaintexts and power
+// traces. The leakage model mirrors the device's Hamming-distance
+// emission: in round 0 the state register pair (d0, d1) toggles to
+// (d1, d0 ^ F(d1, rk0)) with F(r, rk) = rotl(S(r ^ rk), 5) ^ (r >> 3),
+// so the right-half toggle count is
+//     popcount( K  ^  rotl(S(d1 ^ rk0), 5) ),
+//     K = d1 ^ d0 ^ (d1 >> 3)   (known per trace).
+// Byte `i` of the S layer contributes its eight bits at rotated
+// positions (8i + j + 5) mod 32 — a function of ONE key byte — and the
+// other three bytes, the left-half toggle, the other 15 rounds, bus
+// traffic and measurement noise are all uncorrelated with it. Guessing
+// byte i of rk0 and correlating the predicted contribution against
+// every sample point ranks the correct guess first once enough traces
+// average the rest away. (A plain Hamming-weight-of-S-box model has
+// provably zero covariance here: the XOR with the varying known K bits
+// flips the prediction's sign trace by trace. The partial-HD model
+// above is the one that works — this is what the harness demonstrates.)
+//
+// Determinism contract: all accumulation is EXACT integer arithmetic
+// (the corpus samples are already fixed-point integers; hypotheses are
+// small counts), so partial accumulators merge associatively and the
+// ranking is bit-identical for ANY chunk size and ANY thread count.
+// Scores are computed in floating point only at ranking time, from the
+// exact integer moments. Traces stream through one bounded chunk at a
+// time — corpora far larger than RAM analyze fine.
+#ifndef SCT_SCA_ANALYZER_H
+#define SCT_SCA_ANALYZER_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sca/corpus.h"
+
+namespace sct::sca {
+
+enum class AttackMode {
+  Cpa,               ///< Pearson correlation against the HD hypothesis.
+  DifferenceOfMeans, ///< Kocher-style split on hypothesis >= 4 bits,
+                     ///< scored as the standardized mean difference.
+};
+
+struct AttackConfig {
+  /// Which byte of the round-0 key word to recover (0 = LSB .. 3).
+  unsigned byteIndex = 0;
+  AttackMode mode = AttackMode::Cpa;
+  /// Traces decoded and held in memory at a time (out-of-core bound).
+  std::uint64_t chunkTraces = 256;
+  /// Worker threads per chunk (1 = sequential reference).
+  unsigned threads = 1;
+  /// Trace counts at which to record a rank-vs-traces point. The final
+  /// trace count is always recorded; checkpoints past the corpus end
+  /// are ignored. Checkpoint ranks are independent of chunkTraces.
+  std::vector<std::uint64_t> rankCheckpoints;
+};
+
+/// One point of the rank-vs-trace-count curve.
+struct RankPoint {
+  std::uint64_t traces = 0;
+  unsigned rank = 0;        ///< 0 = correct guess scored highest.
+  unsigned bestGuess = 0;
+  double bestScore = 0.0;
+  double correctScore = 0.0;
+};
+
+struct AttackResult {
+  std::vector<RankPoint> curve;     ///< Checkpoints, ascending traces.
+  std::array<double, 256> scores{}; ///< Final per-guess scores.
+  unsigned bestGuess = 0;
+  unsigned correctGuess = 0;        ///< Ground truth (corpus metadata).
+  unsigned finalRank = 0;
+  std::uint64_t traces = 0;
+};
+
+class DpaAnalyzer {
+ public:
+  explicit DpaAnalyzer(const AttackConfig& cfg) : cfg_(cfg) {}
+
+  AttackResult analyze(const std::string& corpusPath) const;
+
+  /// The predicted byte-i round-0 contribution for `guess` (0..8 bits).
+  static unsigned hypothesis(const TraceMeta& meta, unsigned byteIndex,
+                             unsigned guess);
+
+  /// Ground truth: byte `byteIndex` of rk0 = key[0] ^ 0x9E3779B9.
+  static unsigned roundZeroKeyByte(const std::uint32_t key[4],
+                                   unsigned byteIndex);
+
+ private:
+  AttackConfig cfg_;
+};
+
+/// Smallest checkpoint from which the rank is 0 at every later point
+/// of the curve (0 = never recovered; returns 0 if the curve is empty
+/// or the attack never converges).
+std::uint64_t tracesToRecovery(const AttackResult& result);
+
+} // namespace sct::sca
+
+#endif // SCT_SCA_ANALYZER_H

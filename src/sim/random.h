@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "ckpt/state_io.h"
+#include "sim/rng.h"
 
 namespace sct::sim {
 
@@ -17,14 +18,11 @@ class Xoshiro256 {
  public:
   explicit Xoshiro256(std::uint64_t seed) {
     // splitmix64 seeding as recommended by the xoshiro authors.
-    std::uint64_t x = seed;
-    for (auto& s : state_) {
-      x += 0x9e3779b97f4a7c15ull;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-      s = z ^ (z >> 31);
-    }
+    // SplitMix64 produces the exact stream the historical inline loop
+    // did, so every seeded Xoshiro sequence in the repo (incl. the
+    // Trng peripheral's, which golden checkpoints pin) is unchanged.
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
   }
 
   std::uint64_t next() {

@@ -1,0 +1,88 @@
+// Shared seedable PRNG primitives: splitmix64 in its three idioms.
+//
+// Before this header existed the same three splitmix64 constants were
+// copy-pasted in three places (the Xoshiro256 seeder, the eh noisy
+// field profile, ad-hoc test seeding). Everything funnels through here
+// now:
+//
+//  * mix64      — the stateless finalizer: one 64-bit word in, one
+//                 high-quality mixed word out. The determinism
+//                 workhorse for "pure function of (seed, index)"
+//                 contracts (eh::NoisyField, the sca noise and
+//                 plaintext schedules): no RNG state means no
+//                 evaluation-order dependence, which is what makes
+//                 threads=1 vs threads=N sweeps bit-identical.
+//  * SplitMix64 — the sequential generator (state += gamma, finalize).
+//                 Streams are identical to the seeding loop the
+//                 xoshiro authors recommend, so Xoshiro256's seeder
+//                 delegates here without changing a single stream.
+//  * hash64     — stateless mixing of several words into one, for
+//                 keying a deterministic draw on a tuple such as
+//                 (seed, trace, cycle).
+//
+// All three are constexpr and header-only; everything in the repo may
+// include this without a link dependency.
+#ifndef SCT_SIM_RNG_H
+#define SCT_SIM_RNG_H
+
+#include <cstdint>
+
+namespace sct::sim {
+
+/// The splitmix64 golden-ratio increment.
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ULL;
+
+/// Stateless splitmix64 step: add the gamma, run the finalizer. Same
+/// constants (and for a given input the same output) as the historical
+/// copies in sim::Xoshiro256 and eh::NoisyField.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += kSplitMix64Gamma;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Fold several words into one mixed word (for seeding a draw on a
+/// tuple). Not cryptographic — statistical independence only.
+constexpr std::uint64_t hash64(std::uint64_t a, std::uint64_t b) {
+  return mix64(mix64(a) ^ b);
+}
+constexpr std::uint64_t hash64(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t c) {
+  return mix64(hash64(a, b) ^ c);
+}
+
+/// A double in [0, 1) from the top 53 bits of a mixed word.
+constexpr double unitDouble(std::uint64_t mixed) {
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+/// Sequential splitmix64: the stream recommended by the xoshiro
+/// authors for seeding, and a perfectly good small generator for test
+/// data (fill patterns, fuzz schedules) where Xoshiro256 state would
+/// be overkill.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t out = mix64(state_);
+    state_ += kSplitMix64Gamma;
+    return out;
+  }
+
+  /// UniformRandomBitGenerator-shaped call operator.
+  constexpr std::uint64_t operator()() { return next(); }
+
+  /// Uniform value in [0, bound). `bound` must be non-zero.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    return next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+} // namespace sct::sim
+
+#endif // SCT_SIM_RNG_H

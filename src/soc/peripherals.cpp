@@ -1,5 +1,9 @@
 #include "soc/peripherals.h"
 
+#include <bit>
+
+#include "sim/rng.h"
+
 namespace sct::soc {
 
 using bus::Word;
@@ -149,7 +153,7 @@ constexpr std::uint8_t kSbox[256] = {
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
     0xb0, 0x54, 0xbb, 0x16};
 
-constexpr unsigned kRounds = 16;
+constexpr unsigned kRounds = soc::CryptoCoprocessor::kRounds;
 
 std::uint32_t substitute(std::uint32_t v) {
   std::uint32_t out = 0;
@@ -200,6 +204,46 @@ void CryptoCoprocessor::decryptBlock(const std::uint32_t key[4],
   d1 = r;
 }
 
+std::uint8_t CryptoCoprocessor::sbox(std::uint8_t v) { return kSbox[v]; }
+
+void CryptoCoprocessor::rebuildLeakSchedule() {
+  leakValid_ = leak_.hdCoeff_fJ != 0.0 && busyCycles_ > 0 &&
+               (pendingMode_ == 1 || pendingMode_ == 2);
+  if (!leakValid_) return;
+
+  // Walk the same round trajectory the completion tick will execute
+  // and record the Hamming distance between consecutive (l, r) state
+  // register pairs. With masking, each round state is XORed with fresh
+  // masks drawn statelessly from (maskSeed, operation#, round) — the
+  // toggles a masked datapath would really show — which decorrelates
+  // the schedule from the data without touching ciphertext or timing.
+  const auto mask32 = [&](unsigned idx) -> std::uint32_t {
+    if (!leak_.maskRounds) return 0;
+    return static_cast<std::uint32_t>(
+        sim::hash64(leak_.maskSeed, operations_, idx));
+  };
+  // Decryption is the same (l, r) -> (r, l ^ F(r, rk)) recurrence with
+  // the round-key order reversed (decryptBlock's variable naming swaps
+  // the labels, which cancels out of the symmetric Hamming distance).
+  std::uint32_t l = data_[0];
+  std::uint32_t r = data_[1];
+  std::uint32_t mLsb = l ^ mask32(0);
+  std::uint32_t mRsb = r ^ mask32(1);
+  for (unsigned round = 0; round < kRounds; ++round) {
+    const unsigned k = pendingMode_ == 1 ? round : kRounds - 1 - round;
+    const std::uint32_t t = r;
+    r = l ^ feistelF(r, roundKey(key_, k));
+    l = t;
+    const std::uint32_t nextL = l ^ mask32(2 * round + 2);
+    const std::uint32_t nextR = r ^ mask32(2 * round + 3);
+    leakSchedule_[round] =
+        static_cast<std::uint32_t>(std::popcount(mLsb ^ nextL)) +
+        static_cast<std::uint32_t>(std::popcount(mRsb ^ nextR));
+    mLsb = nextL;
+    mRsb = nextR;
+  }
+}
+
 CryptoCoprocessor::CryptoCoprocessor(sim::Clock& clock, std::string name,
                                      const bus::SlaveControl& control,
                                      unsigned cyclesPerRound,
@@ -242,17 +286,31 @@ void CryptoCoprocessor::start(Word mode) {
   if (mode != 1 && mode != 2) return;
   pendingMode_ = mode;
   busyCycles_ = kRounds * cyclesPerRound_;
+  rebuildLeakSchedule();
 }
 
 void CryptoCoprocessor::tick() {
+  lastLeak_fJ_ = 0.0;
   if (busyCycles_ == 0) return;
-  if (--busyCycles_ == 0) {
+  --busyCycles_;
+  if (leakValid_) {
+    // One round completes every cyclesPerRound_ ticks; emit its state
+    // register toggles as internal energy on that tick.
+    const unsigned elapsed = kRounds * cyclesPerRound_ - busyCycles_;
+    if (elapsed % cyclesPerRound_ == 0) {
+      lastLeak_fJ_ = leak_.hdCoeff_fJ *
+                     static_cast<double>(
+                         leakSchedule_[elapsed / cyclesPerRound_ - 1]);
+    }
+  }
+  if (busyCycles_ == 0) {
     if (pendingMode_ == 1) {
       encryptBlock(key_, data_[0], data_[1]);
     } else {
       decryptBlock(key_, data_[0], data_[1]);
     }
     pendingMode_ = 0;
+    leakValid_ = false;
     ++operations_;
     if (irq_ != nullptr) irq_->raise(irqLine_);
   }

@@ -193,6 +193,8 @@ class Trng final : public bus::RegisterSlave {
 /// (dynamic wait states — visible at layers 0/1, invisible at layer 2).
 class CryptoCoprocessor final : public bus::RegisterSlave {
  public:
+  static constexpr unsigned kRounds = 16;
+
   CryptoCoprocessor(sim::Clock& clock, std::string name,
                     const bus::SlaveControl& control,
                     unsigned cyclesPerRound = 2,
@@ -202,6 +204,46 @@ class CryptoCoprocessor final : public bus::RegisterSlave {
 
   bool busy() const { return busyCycles_ > 0; }
   std::uint64_t operations() const { return operations_; }
+
+  /// Side-channel leak model of the internal datapath (src/sca). The
+  /// bus-level power model only sees register traffic; the attack
+  /// surface of a real coprocessor is the round datapath itself —
+  /// every round, the (l, r) state register pair toggles by the
+  /// Hamming distance between consecutive round states. With
+  /// `hdCoeff_fJ` non-zero, the engine emits that HD × coefficient as
+  /// internal energy on the clock tick each round completes
+  /// (internalEnergyLastCycle_fJ — an accessor, never folded into the
+  /// bus power model, so every existing energy total is unchanged).
+  ///
+  /// `maskRounds` is the countermeasure knob: the emitted HDs are
+  /// computed over a boolean-masked state trajectory (fresh masks per
+  /// round drawn statelessly from (maskSeed, operation#, round)), so
+  /// the leak decorrelates from the data while ciphertext and timing
+  /// stay identical.
+  struct LeakConfig {
+    double hdCoeff_fJ = 0.0;    ///< fJ per toggled state bit (0 = off).
+    bool maskRounds = false;    ///< Masking countermeasure on/off.
+    std::uint64_t maskSeed = 0; ///< Mask stream seed.
+  };
+
+  /// The leak schedule is derived state: recomputed here, in start()
+  /// and in loadState() from the already-checkpointed key/data/mode
+  /// latches — never serialized, so the checkpoint byte layout (and
+  /// the ckpt golden file) is untouched.
+  void setLeakModel(const LeakConfig& cfg) {
+    leak_ = cfg;
+    rebuildLeakSchedule();
+  }
+  const LeakConfig& leakModel() const { return leak_; }
+
+  /// Internal (datapath) energy emitted on the last clock tick, fJ.
+  /// Zero when idle, between round boundaries, or with the model off.
+  double internalEnergyLastCycle_fJ() const { return lastLeak_fJ_; }
+
+  /// The round function's substitution box (for attack hypothesis
+  /// computation in src/sca — the analyzer models what the hardware
+  /// does, it does not peek at secrets).
+  static std::uint8_t sbox(std::uint8_t v);
 
   /// Reads of DATA0/DATA1 answer Wait while an operation is running:
   /// dynamic wait states the layer-2 timing estimation cannot see.
@@ -233,11 +275,17 @@ class CryptoCoprocessor final : public bus::RegisterSlave {
     for (bus::Word& k : key_) k = r.u32();
     for (bus::Word& d : data_) d = r.u32();
     operations_ = r.u64();
+    // Mid-operation restore: the data latches still hold the operation
+    // input (the cipher only executes on the completion tick), so the
+    // restored schedule is identical to the one the interrupted run
+    // computed at start().
+    rebuildLeakSchedule();
   }
 
  private:
   void tick();
   void start(bus::Word mode);
+  void rebuildLeakSchedule();
 
   sim::Clock& clock_;
   sim::Clock::HandlerId handlerId_;
@@ -249,6 +297,12 @@ class CryptoCoprocessor final : public bus::RegisterSlave {
   bus::Word key_[4] = {};
   bus::Word data_[2] = {};
   std::uint64_t operations_ = 0;
+
+  // Leak model (derived state — see LeakConfig; none of it serialized).
+  LeakConfig leak_;
+  bool leakValid_ = false;
+  std::uint32_t leakSchedule_[kRounds] = {};
+  double lastLeak_fJ_ = 0.0;
 };
 
 } // namespace sct::soc

@@ -20,6 +20,7 @@
 #include "bus/tl1_bus.h"
 #include "ckpt/checkpoint.h"
 #include "ckpt/fork_runner.h"
+#include "sim/rng.h"
 #include "soc/assembler.h"
 #include "soc/smartcard.h"
 
@@ -39,8 +40,9 @@ bus::SlaveControl plainCtl(std::size_t size) {
 }
 
 void fillPattern(std::uint8_t* d, std::size_t n, unsigned seed) {
+  sim::SplitMix64 rng(seed);
   for (std::size_t i = 0; i < n; ++i) {
-    d[i] = static_cast<std::uint8_t>(i * 31 + seed);
+    d[i] = static_cast<std::uint8_t>(rng.next());
   }
 }
 
@@ -80,7 +82,7 @@ TEST(ImageDigest, SharedImageMatchesPrototype) {
   cow.pokeWord(0, 0xDEADBEEF);
   plain.pokeWord(0, 0xDEADBEEF);
   EXPECT_EQ(cow.imageDigest(), plain.imageDigest());
-  EXPECT_EQ(proto[0], static_cast<std::uint8_t>(0 * 31 + 9));
+  EXPECT_EQ(proto[0], static_cast<std::uint8_t>(sim::SplitMix64(9).next()));
 }
 
 // ---------------------------------------------------------------------

@@ -16,12 +16,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <random>
 #include <vector>
 
 #include "../testbench.h"
 #include "hier/fidelity_controller.h"
 #include "hier/hybrid_bus.h"
+#include "sim/rng.h"
 #include "trace/replay_master.h"
 #include "trace/workloads.h"
 
@@ -127,7 +127,7 @@ TEST(HybridFuzz, AnySwitchScheduleConservesTheWorkload) {
     EXPECT_EQ(tl2.switches, 0u);
 
     std::vector<RunResult> runs{tl2};
-    std::mt19937_64 rng(workloadSeed * 7919 + 13);
+    sim::SplitMix64 rng(sim::hash64(workloadSeed, 13));
     for (int schedule = 0; schedule < 4; ++schedule) {
       // Random window set over the plausible run length; adjacent
       // windows may touch or nest — the trigger treats them as a union.
