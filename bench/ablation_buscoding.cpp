@@ -18,6 +18,11 @@
 #include "bench_util.h"
 #include "trace/report.h"
 
+#if defined(SCT_HAVE_ENC)
+#include "enc/codecs.h"
+#include "power/tl1_power_model.h"
+#endif
+
 namespace {
 
 std::uint64_t toGray(std::uint64_t v) { return v ^ (v >> 1); }
@@ -58,6 +63,54 @@ int main() {
   std::printf("\nGray coding toggles exactly one address bit per "
               "sequential step — the classic low-power bus encoding "
               "result.\n\n");
+
+#if defined(SCT_HAVE_ENC)
+  // --- (a') Cross-check: analytic counts vs the in-simulator codec ----
+  // The counts above are pencil-and-paper; the enc subsystem drives the
+  // same encoding through the real TL1 bus. Replaying the identical
+  // fetch stream with (and without) the gray address codec installed
+  // must reproduce the analytic EB_A transition counts EXACTLY — any
+  // drift means the simulator's wire model and the paper math have
+  // diverged, and the ablation's conclusions are void.
+  {
+    const auto fetchStream = [] {
+      trace::BusTrace t;
+      for (std::uint64_t i = 0; i < 1024; ++i) {
+        trace::TraceEntry e;
+        e.kind = bus::Kind::InstrFetch;
+        e.address = 0x1000 + i * 16;  // Same stream as the table above.
+        t.append(e);
+      }
+      return t;
+    }();
+    const auto simulatedEbA = [&](sct::bus::BusCodec* codec) {
+      bench::ReplayPlatform<bus::Tl1Bus> platform;
+      power::Tl1PowerModel pm(table);
+      platform.ecbus.addObserver(pm);
+      if (codec != nullptr) platform.ecbus.setCodec(codec);
+      platform.replay(fetchStream);
+      return pm.transitions(bus::SignalId::EB_A);
+    };
+    const std::uint64_t simBinary = simulatedEbA(nullptr);
+    // Granularity 4 = the 16-byte fetch-line stride of the analytic
+    // model above.
+    enc::GrayAddressCodec gray(4);
+    const std::uint64_t simGray = simulatedEbA(&gray);
+    std::printf("Cross-check against the in-simulator codec (TL1 bus, "
+                "enc::GrayAddressCodec):\n"
+                "  binary: analytic %llu, simulated %llu\n"
+                "  gray:   analytic %llu, simulated %llu\n\n",
+                static_cast<unsigned long long>(binaryTransitions),
+                static_cast<unsigned long long>(simBinary),
+                static_cast<unsigned long long>(grayTransitions),
+                static_cast<unsigned long long>(simGray));
+    if (simBinary != binaryTransitions || simGray != grayTransitions) {
+      std::fprintf(stderr, "FAIL: analytic and simulated EB_A transition "
+                           "counts disagree\n");
+      return 1;
+    }
+  }
+#endif
 
   // --- (b) Data-path width for a 256-byte transfer --------------------
   std::printf("Ablation (b): moving 256 bytes RAM -> RAM, by access "

@@ -1,0 +1,101 @@
+#!/bin/sh
+# Run the bus-encoding sweep benchmark and record the result as JSON
+# for regression tracking.
+#
+#   scripts/bench_enc.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build, output-json = BENCH_enc.json (repo
+# root). The google-benchmark `items_per_second` counter is codec x
+# workload variants per second. The appended `speedup` object records
+# the sweep runner's headline ratios:
+#   fork_sweep_over_boot_sweep — what amortizing the boot prelude via
+#     one ckpt::ForkRunner snapshot buys over booting a platform per
+#     variant,
+#   fork_threads_{2,4}_over_1 — sweep worker scaling, which can only
+#     exceed ~1.0 when the host has free cores; read it against
+#     host_context.num_cpus (a single-core container will honestly
+#     report ~1.0 and that is not a regression).
+#
+# Extra benchmark flags pass through via SCT_BENCH_ARGS, e.g.
+#   SCT_BENCH_ARGS=--benchmark_repetitions=5 scripts/bench_enc.sh
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_enc.json"}
+bench="$build_dir/bench/enc_sweep_bench"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built — run: cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target enc_sweep_bench (requires SCT_ENC=ON)" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086  # SCT_BENCH_ARGS is intentionally split.
+"$bench" --benchmark_format=json --benchmark_out="$out" \
+         --benchmark_out_format=json ${SCT_BENCH_ARGS:-}
+
+# Same guard as bench_eh.sh: the binary self-reports its build type
+# into the JSON context (`sct_build_type`), and only an optimized
+# binary's numbers are recordable regression data.
+build_type=$(sed -n 's/.*"sct_build_type": *"\([a-z]*\)".*/\1/p' "$out" \
+             | head -n 1)
+[ -n "${build_type:-}" ] || build_type=unknown
+if [ "$build_type" != "release" ]; then
+  if [ "${SCT_BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+    echo "WARNING: the bench binary reports sct_build_type='$build_type' —" \
+         "numbers are not comparable to Release baselines (JSON tagged" \
+         "accordingly)" >&2
+  else
+    rm -f "$out"
+    echo "error: the bench binary reports sct_build_type='$build_type';" \
+         "benchmark numbers require an optimized build (use cmake --preset" \
+         "release, or set SCT_BENCH_ALLOW_NONRELEASE=1 to record anyway)" >&2
+    exit 1
+  fi
+fi
+
+# Identify the host the numbers came from — sweep rates are
+# meaningless across machines without this, and the thread-scaling
+# ratios are meaningless without the core count.
+cpu_model=$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo \
+            2>/dev/null || true)
+[ -n "${cpu_model:-}" ] || cpu_model=$(uname -m)
+num_cpus=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
+cxx=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$build_dir/CMakeCache.txt" \
+      2>/dev/null | head -n 1)
+if [ -n "${cxx:-}" ] && [ -x "$cxx" ]; then
+  compiler=$("$cxx" --version 2>/dev/null | head -n 1)
+else
+  compiler=unknown
+fi
+git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo none)
+run_date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+if command -v jq >/dev/null 2>&1; then
+  tmp="$out.tmp"
+  jq --arg cpu "$cpu_model" --arg compiler "$compiler" \
+     --arg git_sha "$git_sha" --arg date "$run_date" \
+     --arg build_type "$build_type" --argjson num_cpus "$num_cpus" '
+    def rate(n):
+      [.benchmarks[]
+       | select(.name == n and (.run_type // "iteration") != "aggregate")
+       | .items_per_second]
+      | sort | .[(length / 2) | floor];
+    . + {speedup: {
+      fork_sweep_over_boot_sweep:
+        (rate("Enc_ForkSweep/threads:1/real_time") / rate("Enc_BootSweep")),
+      fork_threads_2_over_1:
+        (rate("Enc_ForkSweep/threads:2/real_time")
+         / rate("Enc_ForkSweep/threads:1/real_time")),
+      fork_threads_4_over_1:
+        (rate("Enc_ForkSweep/threads:4/real_time")
+         / rate("Enc_ForkSweep/threads:1/real_time"))
+    }}
+    + {host_context: {
+        cpu_model: $cpu, num_cpus: $num_cpus, compiler: $compiler,
+        git_sha: $git_sha, date: $date, build_type: $build_type
+    }}' "$out" > "$tmp" && mv "$tmp" "$out"
+else
+  echo "warning: jq not found — speedup/host_context not appended" >&2
+fi
+echo "wrote $out"

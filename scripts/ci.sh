@@ -57,6 +57,11 @@ for preset in release asan-ubsan; do
   # masked non-recovery, and the corpus/ranking bit-identity across
   # threads and chunk sizes.
   run ctest --preset "$preset" -L sca --parallel "$jobs"
+  # And for the bus-encoding subsystem: the `enc` label covers the codec
+  # round-trip algebra, the no-codec/identity byte-equivalence pin that
+  # protects every pre-codec golden output, and the codec x workload
+  # sweep's threads=1 vs threads=N bit-identity.
+  run ctest --preset "$preset" -L enc --parallel "$jobs"
 done
 
 echo "==> bench smoke (tiny workload)"
@@ -67,6 +72,8 @@ run env SCT_BENCH_TINY=1 ./build/bench/serve_throughput \
 run env SCT_BENCH_TINY=1 ./build/bench/eh_sweep_bench \
   --benchmark_min_time=0.01
 run env SCT_BENCH_TINY=1 ./build/bench/sca_bench \
+  --benchmark_min_time=0.01
+run env SCT_BENCH_TINY=1 ./build/bench/enc_sweep_bench \
   --benchmark_min_time=0.01
 
 echo "CI: both passes green"

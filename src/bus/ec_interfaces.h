@@ -142,7 +142,11 @@ struct AddressPhaseInfo {
                                         ///  recorders; may be null).
 };
 
-/// Information about a completed data beat.
+/// Information about a completed data beat. `data` is the word as
+/// driven on the wires — when a low-power codec is installed on the
+/// bus this is the *encoded* word, with `invert` carrying the codec's
+/// EB_Inv sideband level for the channel; without a codec `data` is
+/// the payload and `invert` stays false.
 struct DataBeatInfo {
   Address address = 0;
   Kind kind = Kind::Read;
@@ -152,6 +156,7 @@ struct DataBeatInfo {
   bool last = false;
   bool error = false;
   int slave = -1;
+  bool invert = false;  ///< EB_Inv level driven for this channel.
 };
 
 class Tl1FrameEnergy;

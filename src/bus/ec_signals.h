@@ -40,6 +40,7 @@ enum class SignalId : std::uint8_t {
   EB_WBErr,   ///< Write bus error, 1 bit.
   EB_Last,    ///< Last beat of a burst, 1 bit.
   EB_Sel,     ///< Decoder slave-select lines, 8 bits (one-hot).
+  EB_Inv,     ///< Low-power codec invert control, 2 bits (write, read).
   kCount
 };
 
@@ -68,7 +69,18 @@ inline constexpr std::array<SignalInfo, kSignalCount> kSignalTable{{
     {SignalId::EB_WBErr, "EB_WBErr", 1},
     {SignalId::EB_Last, "EB_Last", 1},
     {SignalId::EB_Sel, "EB_Sel", 8},
+    {SignalId::EB_Inv, "EB_Inv", 2},
 }};
+
+/// Bit positions within the EB_Inv bundle: one invert indication per
+/// data bus (the buses are separate, so each carries its own sideband
+/// line). The lines are level signals like EB_Sel — they hold their
+/// value until the next beat on the same channel re-drives them — and
+/// stay at 0 unless a low-power codec (bus-invert / limited-weight,
+/// src/enc) is installed on the bus; without one they never toggle and
+/// contribute no transitions and no energy.
+inline constexpr std::uint64_t kInvWriteBit = 0x1;  ///< EB_WData inverted.
+inline constexpr std::uint64_t kInvReadBit = 0x2;   ///< EB_RData inverted.
 
 constexpr const SignalInfo& signalInfo(SignalId id) {
   return kSignalTable[static_cast<std::size_t>(id)];

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <typeinfo>
 
+#include "bus/bus_codec.h"
 #include "bus/memory_slave.h"
 #include "bus/tl1_frame_energy.h"
 
@@ -56,6 +57,11 @@ void Tl1Bus::removeObserver(Tl1Observer& obs) {
                      observers_.end());
   }
   publish_ = fe_ != nullptr || !observers_.empty();
+}
+
+void Tl1Bus::setCodec(BusCodec* codec) {
+  assert(idle() && "setCodec() requires an idle bus");
+  codec_ = codec;
 }
 
 // ---------------------------------------------------------------------------
@@ -315,7 +321,13 @@ void Tl1Bus::addressPhase() {
     requestQueue_.pop_front();
     Tl1Request& req = *addrCurrent_;
     req.stage = Tl1Stage::Address;
-    req.slave = decoder_.decode(req.address);
+    // With a codec installed the decoder sits behind the decode stage —
+    // a real encode/decode round trip, so a non-invertible address
+    // codec misroutes and fails correctness suites, not just energy.
+    req.slave = decoder_.decode(
+        codec_ == nullptr
+            ? req.address
+            : codec_->decodeAddress(codec_->encodeAddress(req.address)));
     bool error = req.slave < 0;
     if (!error) {
       const SlaveControl& c = *slaveControls_[static_cast<std::size_t>(req.slave)];
@@ -329,9 +341,12 @@ void Tl1Bus::addressPhase() {
       // Decode miss or access-right violation: the phase terminates and
       // the error is indicated on the corresponding data bus error line.
       if (publish_) {
-        AddressPhaseInfo info{req.address, req.kind, req.size, req.beats,
-                              byteEnables(req.size, req.address), req.slave,
-                              /*accepted=*/true, /*error=*/true, &req};
+        AddressPhaseInfo info{
+            codec_ == nullptr ? req.address
+                              : codec_->encodeAddress(req.address),
+            req.kind, req.size, req.beats,
+            byteEnables(req.size, req.address), req.slave,
+            /*accepted=*/true, /*error=*/true, &req};
         if (fe_ != nullptr) fe_->addressPhase(info);
         if (!observers_.empty()) publishAddressPhase(info);
         DataBeatInfo beat;
@@ -362,9 +377,13 @@ void Tl1Bus::addressPhase() {
   ++stats_.addrCycles;
   const bool accepted = req.waitCount == 0;
   if (publish_) {
-    AddressPhaseInfo info{req.address, req.kind, req.size, req.beats,
-                          byteEnables(req.size, req.address), req.slave,
-                          accepted, /*error=*/false, &req};
+    // info.address is the value driven on EB_A — encoded when a codec
+    // is installed. Routing and range checks above used the payload
+    // address; only the wires (and thus the power model) see the code.
+    AddressPhaseInfo info{
+        codec_ == nullptr ? req.address : codec_->encodeAddress(req.address),
+        req.kind, req.size, req.beats, byteEnables(req.size, req.address),
+        req.slave, accepted, /*error=*/false, &req};
     if (fe_ != nullptr) fe_->addressPhase(info);
     if (!observers_.empty()) publishAddressPhase(info);
   }
@@ -409,29 +428,61 @@ void Tl1Bus::dataPhase(Tl1Request*& current, RequestRing& queue) {
   const std::uint8_t lanes = byteEnables(req.size, beatAddr);
   const bool isWrite = req.kind == Kind::Write;
   Word data = 0;
+  // Wire view of the beat when a codec is installed: enc.wire is what
+  // the data bus carries (and what the power model prices), enc.invert
+  // the EB_Inv sideband level. The encode is a side-effect-free peek —
+  // a slave Wait stretch means the wire is not driven this cycle, so
+  // codec state only advances via commit*() once the beat completes.
+  EncodedWord enc;
   BusStatus s;
   // Direct beat calls for plain MemorySlaves (see directSlaves_):
   // identical functions, minus the per-beat virtual hop.
   MemorySlave* mem = directSlaves_[static_cast<std::size_t>(req.slave)];
   if (isWrite) {
     data = req.data[req.beatsDone];
+    Word slaveWord = data;
+    if (codec_ != nullptr) {
+      enc = codec_->encodeWrite(data);
+      // The slave decodes the wire back to the payload — a real round
+      // trip, so a broken codec corrupts memory, not just energy.
+      slaveWord = codec_->decodeWrite(enc);
+    }
     s = mem != nullptr
-            ? mem->MemorySlave::writeBeat(beatAddr, req.size, lanes, data)
+            ? mem->MemorySlave::writeBeat(beatAddr, req.size, lanes, slaveWord)
             : decoder_.slave(req.slave).writeBeat(beatAddr, req.size, lanes,
-                                                  data);
+                                                  slaveWord);
   } else {
     s = mem != nullptr
             ? mem->MemorySlave::readBeat(beatAddr, req.size, data)
             : decoder_.slave(req.slave).readBeat(beatAddr, req.size, data);
-    if (s == BusStatus::Ok) req.data[req.beatsDone] = data;
+    if (s == BusStatus::Ok) {
+      if (codec_ != nullptr) {
+        enc = codec_->encodeRead(data);
+        req.data[req.beatsDone] = codec_->decodeRead(enc);
+      } else {
+        req.data[req.beatsDone] = data;
+      }
+    }
   }
   if (s == BusStatus::Wait) return;  // Dynamic stretch by the slave.
+
+  // The beat completed and (on Ok) the encoded word was driven: advance
+  // codec channel state exactly once. Error beats never drive the data
+  // wires, so they do not commit.
+  if (codec_ != nullptr && s == BusStatus::Ok) {
+    if (isWrite) {
+      codec_->commitWrite(enc);
+    } else {
+      codec_->commitRead(enc);
+    }
+  }
 
   if (publish_) {
     DataBeatInfo beat;
     beat.address = beatAddr;
     beat.kind = req.kind;
-    beat.data = data;
+    beat.data = codec_ != nullptr && s == BusStatus::Ok ? enc.wire : data;
+    beat.invert = codec_ != nullptr && s == BusStatus::Ok && enc.invert;
     beat.byteEnables = lanes;
     beat.beatIndex = req.beatsDone;
     beat.last = (s == BusStatus::Error) || (req.beatsDone + 1u == req.beats);

@@ -37,6 +37,7 @@
 
 namespace sct::bus {
 
+class BusCodec;
 class MemorySlave;
 
 /// Aggregate counters kept by the layer-1 bus.
@@ -75,6 +76,17 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   /// further fusing observers fall back to the virtual path.
   void addObserver(Tl1Observer& obs);
   void removeObserver(Tl1Observer& obs);
+
+  /// Install a low-power bus codec (see bus/bus_codec.h) or remove it
+  /// (nullptr). The codec transforms the words driven on the wires —
+  /// the power model prices the encoded values plus the EB_Inv
+  /// sideband — while the functional side keeps seeing decoded
+  /// payloads. Only legal while idle(): swapping codecs mid-transfer
+  /// would split a burst across encodings. The codec is exploration
+  /// configuration, not bus state: it is NOT part of the bus's
+  /// checkpoint section (register stateful codecs separately).
+  void setCodec(BusCodec* codec);
+  BusCodec* codec() const { return codec_; }
 
   // EcInstrIf / EcDataIf (master side, call on rising edges).
   BusStatus fetch(Tl1Request& req) override;
@@ -176,6 +188,10 @@ class Tl1Bus final : public sim::Module, public EcInstrIf, public EcDataIf {
   sim::Clock& clock_;
   sim::Clock::HandlerId processId_;
   AddressDecoder decoder_;
+  /// Installed low-power codec (null = plain binary wires). Checked on
+  /// the data-phase hot path only after a beat actually completes, so
+  /// the null case costs one predictable branch per beat.
+  BusCodec* codec_ = nullptr;
   /// Fused frame-energy engine (see Tl1Observer::fusedFrameEnergy):
   /// driven directly from the phases, before the observer list, and
   /// never a member of it. Null when no fusing observer is attached.

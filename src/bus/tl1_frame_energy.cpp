@@ -20,12 +20,14 @@ void Tl1FrameEnergy::noteBeatOwners(const DataBeatInfo& info, bool isWrite) {
   const obs::TxClass cls = obs::txClassOf(info.kind);
   if (isWrite) {
     for (SignalId id : {SignalId::EB_WData, SignalId::EB_WDRdy,
-                        SignalId::EB_WBErr, SignalId::EB_Last}) {
+                        SignalId::EB_WBErr, SignalId::EB_Last,
+                        SignalId::EB_Inv}) {
       setOwner(id, cls, info.slave);
     }
   } else {
     for (SignalId id : {SignalId::EB_RData, SignalId::EB_RdVal,
-                        SignalId::EB_RBErr, SignalId::EB_Last}) {
+                        SignalId::EB_RBErr, SignalId::EB_Last,
+                        SignalId::EB_Inv}) {
       setOwner(id, cls, info.slave);
     }
   }
@@ -43,27 +45,26 @@ double Tl1FrameEnergy::packedCycleEnergy() {
   std::array<std::uint64_t, kSignalCount> cnt;
   std::uint32_t nz = 0;
 #if SCT_TL1FE_AVX512
-  // Two 512-bit strips cover the 15-lane frame (8 + 7 masked). VPOPCNTQ
+  // Two full 512-bit strips cover the 16-lane frame exactly. VPOPCNTQ
   // counts every lane at once; the changed-lane bitmap falls out of the
   // test-against-zero mask, and the shadow update is a wholesale frame
   // copy (unchanged lanes are overwritten with the value they already
   // hold). Counting order does not matter here — only the pricing walk
   // below touches the accumulators, in ascending lane order as always.
   {
-    static_assert(kSignalCount == 15, "strip masks assume a 15-lane frame");
-    constexpr __mmask8 kHi = 0x7F;  // Lanes 8..14.
+    static_assert(kSignalCount == 16, "strips assume a 16-lane frame");
     const __m512i s0 = _mm512_loadu_si512(shadow_.data());
     const __m512i c0 = _mm512_loadu_si512(cur);
-    const __m512i s1 = _mm512_maskz_loadu_epi64(kHi, shadow_.data() + 8);
-    const __m512i c1 = _mm512_maskz_loadu_epi64(kHi, cur + 8);
+    const __m512i s1 = _mm512_loadu_si512(shadow_.data() + 8);
+    const __m512i c1 = _mm512_loadu_si512(cur + 8);
     const __m512i d0 = _mm512_xor_si512(s0, c0);
     const __m512i d1 = _mm512_xor_si512(s1, c1);
     nz = static_cast<std::uint32_t>(_mm512_test_epi64_mask(d0, d0)) |
          (static_cast<std::uint32_t>(_mm512_test_epi64_mask(d1, d1)) << 8);
     _mm512_storeu_si512(cnt.data(), _mm512_popcnt_epi64(d0));
-    _mm512_mask_storeu_epi64(cnt.data() + 8, kHi, _mm512_popcnt_epi64(d1));
+    _mm512_storeu_si512(cnt.data() + 8, _mm512_popcnt_epi64(d1));
     _mm512_storeu_si512(shadow_.data(), c0);
-    _mm512_mask_storeu_epi64(shadow_.data() + 8, kHi, c1);
+    _mm512_storeu_si512(shadow_.data() + 8, c1);
   }
 #else
   constexpr std::size_t kUnroll = 4;

@@ -77,6 +77,11 @@ class Tl1FrameEnergy {
       return;
     }
     touch(SignalId::EB_RData, info.data);
+    // Invert sideband of the read-data bus: level signal, so only the
+    // read channel's bit is re-driven — the write bit holds.
+    touch(SignalId::EB_Inv,
+          (frame_.get(SignalId::EB_Inv) & ~kInvReadBit) |
+              (info.invert ? kInvReadBit : 0));
     strobe(SignalId::EB_RdVal);
     if (info.last) strobe(SignalId::EB_Last);
   }
@@ -91,6 +96,9 @@ class Tl1FrameEnergy {
       return;
     }
     touch(SignalId::EB_WData, info.data);
+    touch(SignalId::EB_Inv,
+          (frame_.get(SignalId::EB_Inv) & ~kInvWriteBit) |
+              (info.invert ? kInvWriteBit : 0));
     strobe(SignalId::EB_WDRdy);
     if (info.last) strobe(SignalId::EB_Last);
   }
@@ -281,7 +289,7 @@ class Tl1FrameEnergy {
   double packedCycleEnergy();
 
   /// Minimum dirty-bundle count before the packed-lane pass beats the
-  /// scalar dirty-walk on this 15-bundle frame. Idle cycles and near-idle
+  /// scalar dirty-walk on this 16-bundle frame. Idle cycles and near-idle
   /// cycles (a few strobes deasserting) stay on the scalar fast path.
   /// Measured on the Table 3 replay: even with AVX-512 VPOPCNTQ strips
   /// the outlined packed call only wins once most of the frame changed

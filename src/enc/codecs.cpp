@@ -1,0 +1,29 @@
+#include "enc/codecs.h"
+
+#include <stdexcept>
+
+namespace sct::enc {
+
+const std::vector<std::string>& codecNames() {
+  static const std::vector<std::string> names{
+      "identity", "bus-invert", "gray-addr", "limited-weight"};
+  return names;
+}
+
+std::unique_ptr<bus::BusCodec> makeCodec(const std::string& name) {
+  if (name == "identity") {
+    return std::make_unique<IdentityCodec>();
+  }
+  if (name == "bus-invert") {
+    return std::make_unique<BusInvertCodec>();
+  }
+  if (name == "gray-addr") {
+    return std::make_unique<GrayAddressCodec>(/*granularityLog2=*/2);
+  }
+  if (name == "limited-weight") {
+    return std::make_unique<LimitedWeightCodec>();
+  }
+  throw std::invalid_argument("unknown bus codec: " + name);
+}
+
+} // namespace sct::enc

@@ -1,0 +1,186 @@
+// Concrete low-power bus codecs (ROADMAP item 4).
+//
+// Implementations of the bus::BusCodec interface, covering the codec
+// families of the low-power encoding literature the repo tracks in
+// PAPERS.md ("Optimal Memoryless Encoding for Low Power Off-Chip Data
+// Buses"; Stan/Burleson's bus-invert):
+//
+//  * IdentityCodec      — plain binary wires; the do-nothing reference
+//                         every equivalence test pins against.
+//  * BusInvertCodec     — Stan/Burleson bus-invert per data channel: if
+//                         more than half of the 32 data wires would
+//                         toggle against the previously driven word,
+//                         drive the complement and raise the channel's
+//                         EB_Inv line. Stateful (remembers the last
+//                         driven word per channel), so it checkpoints.
+//  * GrayAddressCodec   — gray-codes the address bus above a
+//                         configurable granularity; sequential streams
+//                         (instruction fetch, memcpy bursts) then move
+//                         exactly one EB_A wire per stride step.
+//  * LimitedWeightCodec — memoryless limited-weight code: any data word
+//                         with more than 16 ones is driven inverted, so
+//                         every codeword has weight <= 16. A
+//                         self-inverse, history-free map — the simplest
+//                         member of the memoryless family.
+//
+// All codecs are exactly invertible; the bus routes slave decoding and
+// master read results through decode(encode(x)), so the functional
+// suites hold with any codec installed.
+#ifndef SCT_ENC_CODECS_H
+#define SCT_ENC_CODECS_H
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bus/bus_codec.h"
+#include "bus/ec_types.h"
+#include "ckpt/state_io.h"
+
+namespace sct::enc {
+
+/// Reflected binary (gray) code of `v`, and its inverse. toGray is
+/// GF(2)-linear — toGray(x) ^ toGray(y) == toGray(x ^ y) — which is why
+/// a +1 step moves exactly one wire and a +2^k step exactly two.
+constexpr std::uint64_t toGray(std::uint64_t v) { return v ^ (v >> 1); }
+constexpr std::uint64_t fromGray(std::uint64_t g) {
+  std::uint64_t v = g;
+  v ^= v >> 1;
+  v ^= v >> 2;
+  v ^= v >> 4;
+  v ^= v >> 8;
+  v ^= v >> 16;
+  v ^= v >> 32;
+  return v;
+}
+
+class IdentityCodec final : public bus::BusCodec {
+ public:
+  std::string_view name() const override { return "identity"; }
+};
+
+/// Stan/Burleson bus-invert, one independent history per data channel
+/// (the EC read and write buses are separate wire sets).
+class BusInvertCodec final : public bus::BusCodec {
+ public:
+  std::string_view name() const override { return "bus-invert"; }
+
+  bus::EncodedWord encodeWrite(bus::Word payload) const override {
+    return encodeAgainst(payload, lastWrite_);
+  }
+  void commitWrite(const bus::EncodedWord& e) override { lastWrite_ = e.wire; }
+  bus::Word decodeWrite(const bus::EncodedWord& e) const override {
+    return e.invert ? ~e.wire : e.wire;
+  }
+
+  bus::EncodedWord encodeRead(bus::Word payload) const override {
+    return encodeAgainst(payload, lastRead_);
+  }
+  void commitRead(const bus::EncodedWord& e) override { lastRead_ = e.wire; }
+  bus::Word decodeRead(const bus::EncodedWord& e) const override {
+    return e.invert ? ~e.wire : e.wire;
+  }
+
+  bus::Word lastWrite() const { return lastWrite_; }
+  bus::Word lastRead() const { return lastRead_; }
+
+  static constexpr std::uint32_t kCkptVersion = 1;
+  std::uint32_t ckptVersion() const override { return kCkptVersion; }
+  void saveState(ckpt::StateWriter& w) const override {
+    w.u32(lastWrite_);
+    w.u32(lastRead_);
+  }
+  void loadState(ckpt::StateReader& r) override {
+    lastWrite_ = r.u32();
+    lastRead_ = r.u32();
+  }
+
+ private:
+  static bus::EncodedWord encodeAgainst(bus::Word payload, bus::Word last) {
+    // Invert when strictly more than half of the 32 wires would
+    // toggle; at exactly half, plain binary wins (the EB_Inv line
+    // itself may have to toggle, so ties must not invert).
+    const unsigned toggles =
+        static_cast<unsigned>(std::popcount(payload ^ last));
+    if (toggles > 16) {
+      return {static_cast<bus::Word>(~payload), true};
+    }
+    return {payload, false};
+  }
+
+  bus::Word lastWrite_ = 0;  ///< Word last driven on EB_WData.
+  bus::Word lastRead_ = 0;   ///< Word last driven on EB_RData.
+};
+
+/// Gray-coded address bus. The low `granularityLog2` bits pass through
+/// unchanged and only the line index above them is gray-coded:
+/// sequential accesses with a 2^granularityLog2-byte stride then toggle
+/// exactly ONE EB_A wire per step (full-address gray would toggle two,
+/// because toGray(x << g) spreads a +1 line step over two bits).
+/// Memoryless, address-phase only — the data buses pass through.
+class GrayAddressCodec final : public bus::BusCodec {
+ public:
+  explicit GrayAddressCodec(unsigned granularityLog2)
+      : g_(granularityLog2),
+        mask_((std::uint64_t{1} << granularityLog2) - 1) {}
+
+  std::string_view name() const override { return "gray-addr"; }
+
+  std::uint64_t encodeAddress(bus::Address a) const override {
+    return ((toGray(a >> g_) << g_) | (a & mask_)) & bus::kAddressMask;
+  }
+  bus::Address decodeAddress(std::uint64_t wire) const override {
+    return ((fromGray(wire >> g_) << g_) | (wire & mask_)) &
+           bus::kAddressMask;
+  }
+
+  unsigned granularityLog2() const { return g_; }
+
+ private:
+  unsigned g_;
+  std::uint64_t mask_;
+};
+
+/// Memoryless limited-weight code on both data channels: words heavier
+/// than 16 ones are driven inverted (EB_Inv raised), bounding every
+/// codeword's weight at 16. History-free and self-inverse.
+class LimitedWeightCodec final : public bus::BusCodec {
+ public:
+  std::string_view name() const override { return "limited-weight"; }
+
+  bus::EncodedWord encodeWrite(bus::Word payload) const override {
+    return encode(payload);
+  }
+  bus::Word decodeWrite(const bus::EncodedWord& e) const override {
+    return e.invert ? ~e.wire : e.wire;
+  }
+  bus::EncodedWord encodeRead(bus::Word payload) const override {
+    return encode(payload);
+  }
+  bus::Word decodeRead(const bus::EncodedWord& e) const override {
+    return e.invert ? ~e.wire : e.wire;
+  }
+
+ private:
+  static bus::EncodedWord encode(bus::Word payload) {
+    if (std::popcount(payload) > 16) {
+      return {static_cast<bus::Word>(~payload), true};
+    }
+    return {payload, false};
+  }
+};
+
+/// The codec names the sweep grid iterates, in grid order.
+const std::vector<std::string>& codecNames();
+
+/// Factory over codecNames(). "gray-addr" uses word granularity
+/// (granularityLog2 = 2), the natural choice for a 32-bit data bus.
+/// Throws std::invalid_argument on unknown names.
+std::unique_ptr<bus::BusCodec> makeCodec(const std::string& name);
+
+} // namespace sct::enc
+
+#endif // SCT_ENC_CODECS_H

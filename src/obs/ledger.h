@@ -200,8 +200,9 @@ class EnergyLedger {
   /// -- Checkpoint (see ckpt/checkpoint.h): every split accumulator and
   /// both totals, bit-exact. The OBS=OFF stub writes the same-shaped
   /// empty section so snapshots stay loadable across builds with the
-  /// hooks compiled out.
-  static constexpr std::uint32_t kCkptVersion = 1;
+  /// hooks compiled out. Version 2: EB_Inv joined the signal
+  /// inventory, growing the per-bundle accumulator array by one slot.
+  static constexpr std::uint32_t kCkptVersion = 2;
 
   void saveState(ckpt::StateWriter& w) const {
     w.b(true);  // Accumulators present.
@@ -266,7 +267,7 @@ class EnergyLedger {
   void reset() {}
   LedgerView view() const { return LedgerView{}; }
 
-  static constexpr std::uint32_t kCkptVersion = 1;
+  static constexpr std::uint32_t kCkptVersion = 2;
   void saveState(ckpt::StateWriter& w) const { w.b(false); }
   void loadState(ckpt::StateReader& r) {
     if (r.b()) {

@@ -121,9 +121,10 @@ class Tl1PowerModel final : public bus::Tl1Observer,
   /// frame, pre-cycle values, strobe masks, transition counts and the
   /// femtojoule accumulators (bit-exact doubles), so a restored model
   /// continues the exact FP accumulation sequence of the saved run.
-  /// The byte layout is owned here and implemented by the engine; it
-  /// has not changed since version 1.
-  static constexpr std::uint32_t kCkptVersion = 1;
+  /// The byte layout is owned here and implemented by the engine.
+  /// Version 2: the EB_Inv codec sideband joined the signal inventory,
+  /// growing every per-signal array in the section by one slot.
+  static constexpr std::uint32_t kCkptVersion = 2;
 
   void saveState(ckpt::StateWriter& w) const { engine_.saveState(w); }
   void loadState(ckpt::StateReader& r) { engine_.loadState(r); }

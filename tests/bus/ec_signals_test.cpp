@@ -32,8 +32,9 @@ TEST(EcSignalsTest, MasksMatchWidths) {
 }
 
 TEST(EcSignalsTest, TotalWireCount) {
-  // 36+1+1+1+4+1+1+32+1+1+32+1+1+1+8 = 122 wires.
-  EXPECT_EQ(totalWireCount(), 122u);
+  // 36+1+1+1+4+1+1+32+1+1+32+1+1+1+8+2 = 124 wires (the trailing 2
+  // is the EB_Inv codec invert sideband — one line per channel).
+  EXPECT_EQ(totalWireCount(), 124u);
 }
 
 TEST(EcSignalsTest, FrameMasksStoredValues) {

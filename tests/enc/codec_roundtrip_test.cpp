@@ -1,0 +1,194 @@
+// Codec algebra contracts: every codec is exactly invertible on both
+// data channels and on the address bus (the bus routes slave decoding
+// through decode(encode(x)), so these round trips are what keeps the
+// functional suites passing with a codec installed), the gray code
+// moves exactly one wire per stride step, bus-invert respects its
+// majority threshold, and the stateful bus-invert codec checkpoints
+// through a CheckpointRegistry bit-identically mid-stream.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bus/bus_codec.h"
+#include "bus/ec_types.h"
+#include "ckpt/checkpoint.h"
+#include "enc/codecs.h"
+#include "sim/random.h"
+
+namespace sct::enc {
+namespace {
+
+using bus::EncodedWord;
+using bus::Word;
+
+TEST(GrayCode, ToFromInverseExhaustive16) {
+  for (std::uint64_t v = 0; v < 0x10000; ++v) {
+    EXPECT_EQ(fromGray(toGray(v)), v);
+  }
+}
+
+TEST(GrayCode, ToFromInverseFuzz64) {
+  sim::Xoshiro256 rng(0xC0DE);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next();
+    EXPECT_EQ(fromGray(toGray(v)), v);
+    EXPECT_EQ(toGray(fromGray(v)), v);
+  }
+}
+
+TEST(GrayCode, AdjacentCodesDifferInOneBit) {
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    EXPECT_EQ(std::popcount(toGray(v) ^ toGray(v + 1)), 1) << v;
+  }
+}
+
+TEST(CodecRoundtrip, AllCodecsInvertDataAndAddresses) {
+  for (const std::string& name : codecNames()) {
+    SCOPED_TRACE(name);
+    const std::unique_ptr<bus::BusCodec> codec = makeCodec(name);
+    sim::Xoshiro256 rng(0xF0F0 + name.size());
+    for (int i = 0; i < 5000; ++i) {
+      // Commit between draws so stateful codecs (bus-invert) walk a
+      // real history rather than encoding against a frozen state.
+      const Word w = rng.next32();
+      const EncodedWord ew = codec->encodeWrite(w);
+      EXPECT_EQ(codec->decodeWrite(ew), w);
+      codec->commitWrite(ew);
+
+      const Word r = rng.next32();
+      const EncodedWord er = codec->encodeRead(r);
+      EXPECT_EQ(codec->decodeRead(er), r);
+      codec->commitRead(er);
+
+      const bus::Address a = rng.next() & bus::kAddressMask;
+      EXPECT_EQ(codec->decodeAddress(codec->encodeAddress(a)), a);
+    }
+  }
+}
+
+TEST(CodecRoundtrip, FactoryRejectsUnknownNames) {
+  EXPECT_THROW(makeCodec("huffman"), std::invalid_argument);
+}
+
+TEST(GrayAddressCodec, StrideStepsToggleExactlyOneWire) {
+  // The whole point of granular gray addressing: a sequential stream
+  // with the granularity stride costs one EB_A transition per step.
+  const GrayAddressCodec codec(4);
+  for (bus::Address a = 0x1000; a < 0x1000 + 64 * 16; a += 16) {
+    const std::uint64_t cur = codec.encodeAddress(a);
+    const std::uint64_t nxt = codec.encodeAddress(a + 16);
+    EXPECT_EQ(std::popcount(cur ^ nxt), 1) << std::hex << a;
+  }
+}
+
+TEST(GrayAddressCodec, LowBitsPassThrough) {
+  const GrayAddressCodec codec(4);
+  for (bus::Address a : {bus::Address{0x1230}, bus::Address{0x1234},
+                         bus::Address{0xFFFF'FFF7}}) {
+    EXPECT_EQ(codec.encodeAddress(a) & 0xF, a & 0xF);
+  }
+}
+
+TEST(BusInvertCodec, InvertsOnlyAboveMajorityThreshold) {
+  BusInvertCodec codec;  // lastWrite starts at 0.
+  // 17 toggles against 0 -> invert; driven word is the complement.
+  const Word heavy = 0x0001'FFFF;
+  const EncodedWord e = codec.encodeWrite(heavy);
+  EXPECT_TRUE(e.invert);
+  EXPECT_EQ(e.wire, static_cast<Word>(~heavy));
+  // Exactly 16 toggles is a tie: plain binary must win (the EB_Inv
+  // line itself would have to toggle, so ties never invert).
+  const Word half = 0x0000'FFFF;
+  const EncodedWord t = codec.encodeWrite(half);
+  EXPECT_FALSE(t.invert);
+  EXPECT_EQ(t.wire, half);
+}
+
+TEST(BusInvertCodec, PeekIsSideEffectFree) {
+  // The bus re-peeks the encoding on every Wait-stretched poll cycle;
+  // repeated peeks without a commit must agree.
+  BusInvertCodec codec;
+  const Word w = 0xDEAD'BEEF;
+  const EncodedWord first = codec.encodeWrite(w);
+  for (int i = 0; i < 4; ++i) {
+    const EncodedWord again = codec.encodeWrite(w);
+    EXPECT_EQ(again.wire, first.wire);
+    EXPECT_EQ(again.invert, first.invert);
+  }
+  EXPECT_EQ(codec.lastWrite(), 0u);  // still the reset value
+}
+
+TEST(BusInvertCodec, ChannelsKeepIndependentHistories) {
+  BusInvertCodec codec;
+  codec.commitWrite({0xFFFF'FFFF, false});
+  // The write history moved; the read history is still 0, so the same
+  // payload encodes differently per channel.
+  const Word w = 0xFFFF'FF00;  // 8 toggles vs all-ones, 24 vs zero
+  EXPECT_FALSE(codec.encodeWrite(w).invert);
+  EXPECT_TRUE(codec.encodeRead(w).invert);
+}
+
+TEST(LimitedWeightCodec, BoundsDrivenWeightAt16) {
+  LimitedWeightCodec codec;
+  sim::Xoshiro256 rng(0x11F7);
+  for (int i = 0; i < 5000; ++i) {
+    const Word w = rng.next32();
+    const EncodedWord e = codec.encodeWrite(w);
+    EXPECT_LE(std::popcount(e.wire), 16);
+    EXPECT_EQ(codec.decodeWrite(e), w);
+  }
+}
+
+TEST(BusInvertCkpt, MidStreamRestoreContinuesBitIdentical) {
+  // Reference: one codec walks 400 draws uninterrupted. Probe: a
+  // second codec walks the first 200, checkpoints through a registry,
+  // and a THIRD (fresh) codec restores the snapshot and walks the
+  // remaining 200. The restored codec's encodings must match the
+  // reference exactly — the invert decision depends on the last driven
+  // word, so any lost history shows up immediately.
+  const auto draws = [] {
+    std::vector<Word> v;
+    sim::Xoshiro256 rng(0xB1B1);
+    for (int i = 0; i < 400; ++i) v.push_back(rng.next32());
+    return v;
+  }();
+
+  BusInvertCodec ref;
+  std::vector<EncodedWord> want;
+  for (const Word w : draws) {
+    const EncodedWord e = ref.encodeWrite(w);
+    ref.commitWrite(e);
+    const EncodedWord r = ref.encodeRead(~w);
+    ref.commitRead(r);
+    want.push_back(e);
+  }
+
+  BusInvertCodec part;
+  for (int i = 0; i < 200; ++i) {
+    part.commitWrite(part.encodeWrite(draws[i]));
+    part.commitRead(part.encodeRead(~draws[i]));
+  }
+  ckpt::CheckpointRegistry saveReg;
+  saveReg.add("codec", part, part.ckptVersion());
+  const ckpt::Snapshot snap = saveReg.saveAll();
+
+  BusInvertCodec cont;
+  ckpt::CheckpointRegistry loadReg;
+  loadReg.add("codec", cont, cont.ckptVersion());
+  loadReg.loadAll(snap);
+  EXPECT_EQ(cont.lastWrite(), part.lastWrite());
+  EXPECT_EQ(cont.lastRead(), part.lastRead());
+  for (int i = 200; i < 400; ++i) {
+    const EncodedWord e = cont.encodeWrite(draws[i]);
+    EXPECT_EQ(e.wire, want[static_cast<std::size_t>(i)].wire) << i;
+    EXPECT_EQ(e.invert, want[static_cast<std::size_t>(i)].invert) << i;
+    cont.commitWrite(e);
+    cont.commitRead(cont.encodeRead(~draws[i]));
+  }
+}
+
+} // namespace
+} // namespace sct::enc

@@ -62,6 +62,24 @@ TEST(CharacterizerTest, QuietSignalsFallBackToAnalyticEstimate) {
   EXPECT_GT(table.coeff_fJ(SignalId::EB_WData), 0.0);
 }
 
+TEST(CharacterizerTest, InvertLineGetsAnalyticFallbackCoefficient) {
+  // The layer-0 reference bus drives no codec, so the EB_Inv sideband
+  // never toggles during characterization — yet a codec-enabled TL1
+  // run needs a nonzero coefficient for it, or bus-invert's control
+  // overhead would be free energy-wise. The analytic ½CV² fallback
+  // covers it from the parasitic database (the sideband wires are in
+  // the database like any other bundle).
+  RefBench tb;
+  Characterizer ch(testbench::energyModel());
+  tb.bus.addFrameListener(ch);
+  tb.run(trace::characterizationTrace(17, 200, testbench::bothRegions()));
+  EXPECT_EQ(ch.accumulated().transitions[static_cast<std::size_t>(
+                SignalId::EB_Inv)],
+            0u);
+  const SignalEnergyTable table = ch.buildTable();
+  EXPECT_GT(table.coeff_fJ(SignalId::EB_Inv), 0.0);
+}
+
 TEST(CharacterizerTest, DeterministicAcrossRuns) {
   auto runOnce = [] {
     RefBench tb;

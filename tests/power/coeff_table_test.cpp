@@ -43,6 +43,20 @@ TEST(CoeffTableTest, LoadSkipsCommentsAndBlankLines) {
   EXPECT_DOUBLE_EQ(t.coeff_fJ(SignalId::EB_RData), 0.0);
 }
 
+TEST(CoeffTableTest, InvertLineRoundTripsThroughTextFormat) {
+  // The EB_Inv codec sideband is a first-class bundle: it must appear
+  // in the saved table text and survive a load like any data signal
+  // (a coefficient database written before the bundle existed still
+  // loads — missing signals keep their current value).
+  SignalEnergyTable t;
+  t.setCoeff_fJ(SignalId::EB_Inv, 7.75);
+  std::stringstream ss;
+  t.save(ss);
+  EXPECT_NE(ss.str().find("EB_Inv 7.75"), std::string::npos);
+  const SignalEnergyTable loaded = SignalEnergyTable::load(ss);
+  EXPECT_DOUBLE_EQ(loaded.coeff_fJ(SignalId::EB_Inv), 7.75);
+}
+
 TEST(CoeffTableTest, LoadRejectsUnknownSignal) {
   std::stringstream ss("EB_BOGUS 1.0\n");
   EXPECT_THROW(SignalEnergyTable::load(ss), std::runtime_error);
